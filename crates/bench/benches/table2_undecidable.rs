@@ -1,0 +1,35 @@
+//! Table II, undecidable rows (Theorem 4.1): RCQP for FO/FP. Only bounded
+//! evidence is possible; the bench times the candidate/refutation sweep on
+//! the 2-head DFA reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ric::prelude::*;
+use ric::reductions::two_head_dfa::{to_rcdp_instance, TwoHeadDfa};
+
+fn bounded_rcqp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/rcqp_fp_bounded");
+    group.sample_size(10);
+    for (name, dfa) in [
+        ("nonempty_language", TwoHeadDfa::ones()),
+        ("empty_language", TwoHeadDfa::empty_language()),
+    ] {
+        let (setting, q, _db) = to_rcdp_instance(&dfa);
+        let budget = SearchBudget {
+            max_delta_tuples: 2,
+            fresh_values: 1,
+            max_candidates: 50_000,
+            ..SearchBudget::default()
+        };
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let v = rcqp(&setting, &q, &budget).unwrap();
+                assert!(matches!(v, QueryVerdict::Unknown { .. }));
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bounded_rcqp);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Shared instance builders for the Table I / Table II benchmarks.
+//!
+//! Each function returns ready-to-decide instances for one complexity cell;
+//! the Criterion benches time the deciders on them, and the `regen_tables`
+//! binary prints the empirical tables (verdicts validated against the
+//! ground-truth oracles of `ric::reductions`).
+
+use rand::SeedableRng;
+use ric::prelude::*;
+use ric::reductions::workload::{planted_rcdp, PlantedInstance, WorkloadParams};
+use ric::reductions::{qbf, rcdp_sigma2, rcqp_conp, sat, tiling};
+
+/// RCDP(CQ, INDs) on typical master-data workloads of growing size.
+pub fn rcdp_workloads(sizes: &[usize]) -> Vec<(String, PlantedInstance)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut out = Vec::new();
+    for &n in sizes {
+        for complete in [true, false] {
+            let params = WorkloadParams {
+                n_customers: n,
+                n_employees: 4,
+                n_support: 2 * n,
+            };
+            let label = format!(
+                "customers={n}/{}",
+                if complete { "complete" } else { "incomplete" }
+            );
+            out.push((label, planted_rcdp(&params, complete, &mut rng)));
+        }
+    }
+    out
+}
+
+/// RCDP(CQ, INDs) hardness instances from ∀*∃*-3SAT (Theorem 3.6), with the
+/// oracle truth attached.
+pub fn rcdp_sigma2_instances(
+    shapes: &[(usize, usize, usize)],
+) -> Vec<(String, Setting, Query, Database, bool)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut out = Vec::new();
+    for &(n_forall, n_exists, n_clauses) in shapes {
+        let phi = qbf::ForallExists::random(n_forall, n_exists, n_clauses, &mut rng);
+        let truth = phi.eval();
+        let (setting, q, db) = rcdp_sigma2::to_rcdp_instance(&phi);
+        out.push((
+            format!("forall={n_forall}/exists={n_exists}/clauses={n_clauses}"),
+            setting,
+            q,
+            db,
+            truth,
+        ));
+    }
+    out
+}
+
+/// RCQP(CQ, INDs) hardness instances from 3SAT (Theorem 4.5(1)).
+pub fn rcqp_conp_instances(shapes: &[(usize, usize)]) -> Vec<(String, Setting, Query, bool)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut out = Vec::new();
+    for &(n_vars, n_clauses) in shapes {
+        let phi = sat::Cnf::random_3sat(n_vars, n_clauses, &mut rng);
+        let sat_truth = phi.satisfiable();
+        let (setting, q) = rcqp_conp::to_rcqp_instance(&phi);
+        out.push((
+            format!("vars={n_vars}/clauses={n_clauses}"),
+            setting,
+            q,
+            !sat_truth, // RCQ nonempty iff φ unsatisfiable
+        ));
+    }
+    out
+}
+
+/// Tiling instances with their reductions (Theorem 4.5(2)); witness
+/// verification is the decidable part the bench times.
+pub fn tiling_instances(ns: &[u32]) -> Vec<(String, tiling::TilingInstance)> {
+    ns.iter()
+        .map(|&n| {
+            (
+                format!("grid={}x{}", 1 << n, 1 << n),
+                tiling::TilingInstance {
+                    n_tiles: 2,
+                    horiz: [(0, 1), (1, 0)].into_iter().collect(),
+                    vert: [(0, 1), (1, 0)].into_iter().collect(),
+                    t0: 0,
+                    n,
+                },
+            )
+        })
+        .collect()
+}
+
+/// A standard budget for the benches.
+pub fn bench_budget() -> SearchBudget {
+    SearchBudget::default()
+}

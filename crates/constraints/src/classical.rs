@@ -1,0 +1,386 @@
+//! Classical integrity constraints (Section 2.2) with direct checkers.
+//!
+//! * [`Denial`] — denial constraints (Arenas et al. 1999);
+//! * [`Fd`] / [`Cfd`] — (conditional) functional dependencies (Fan et al.
+//!   2008);
+//! * [`IndCc`] — inclusion dependencies from the database into master data,
+//!   the `L_C` = INDs cells of Tables I/II;
+//! * [`Cind`] — conditional inclusion dependencies (Bravo et al. 2007).
+//!
+//! Each class has a semantics-level checker here and a compiler into
+//! containment constraints in [`crate::compile`]; the test suites verify the
+//! two agree on arbitrary databases (Proposition 2.1).
+
+use ric_data::{Database, RelId, Value};
+use ric_query::{Cq, Term};
+
+/// A denial constraint `∀x̄ ¬(R_1(x̄_1) ∧ … ∧ R_k(x̄_k) ∧ φ)`, represented by
+/// the forbidden pattern as a Boolean CQ: the constraint holds iff the query
+/// is empty.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Denial {
+    /// The forbidden pattern (head is ignored by the checker).
+    pub pattern: Cq,
+}
+
+impl Denial {
+    /// Build from a pattern CQ.
+    pub fn new(pattern: Cq) -> Self {
+        Denial { pattern }
+    }
+
+    /// Does `db` satisfy the constraint?
+    pub fn satisfied(&self, db: &Database) -> bool {
+        ric_query::eval::eval_cq(&self.pattern, db)
+            .map(|res| res.is_empty())
+            .unwrap_or(true)
+    }
+}
+
+/// A functional dependency `X → Y` on one relation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Fd {
+    /// The relation.
+    pub rel: RelId,
+    /// Determinant column positions `X`.
+    pub lhs: Vec<usize>,
+    /// Dependent column positions `Y`.
+    pub rhs: Vec<usize>,
+}
+
+impl Fd {
+    /// Build an FD.
+    pub fn new(rel: RelId, lhs: Vec<usize>, rhs: Vec<usize>) -> Self {
+        Fd { rel, lhs, rhs }
+    }
+
+    /// Does `db` satisfy the FD?
+    pub fn satisfied(&self, db: &Database) -> bool {
+        self.as_cfd().satisfied(db)
+    }
+
+    /// The equivalent pattern-free CFD.
+    pub fn as_cfd(&self) -> Cfd {
+        Cfd {
+            rel: self.rel,
+            lhs: self.lhs.clone(),
+            rhs: self.rhs.clone(),
+            lhs_pattern: Vec::new(),
+            rhs_pattern: Vec::new(),
+        }
+    }
+}
+
+/// A conditional functional dependency: `X → Y` restricted to tuples matching
+/// a constant pattern on `X`-side columns, additionally forcing a constant
+/// pattern on `Y`-side columns.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cfd {
+    /// The relation.
+    pub rel: RelId,
+    /// Determinant columns `X`.
+    pub lhs: Vec<usize>,
+    /// Dependent columns `Y`.
+    pub rhs: Vec<usize>,
+    /// `φ(x̄)`: required constants on (any) columns for a tuple to be
+    /// *selected* by the dependency.
+    pub lhs_pattern: Vec<(usize, Value)>,
+    /// `ψ(ȳ)`: constants that selected tuples must carry.
+    pub rhs_pattern: Vec<(usize, Value)>,
+}
+
+impl Cfd {
+    fn selects(&self, t: &ric_data::Tuple) -> bool {
+        self.lhs_pattern.iter().all(|(c, v)| t.get(*c) == v)
+    }
+
+    /// Does `db` satisfy the CFD?
+    pub fn satisfied(&self, db: &Database) -> bool {
+        let inst = db.instance(self.rel);
+        let selected: Vec<_> = inst.iter().filter(|t| self.selects(t)).collect();
+        // Single-tuple condition: selected tuples carry the RHS pattern.
+        for t in &selected {
+            if !self.rhs_pattern.iter().all(|(c, v)| t.get(*c) == v) {
+                return false;
+            }
+        }
+        // Pair condition: agreeing on X forces agreeing on Y.
+        for (i, t1) in selected.iter().enumerate() {
+            for t2 in &selected[i + 1..] {
+                let same_x = self.lhs.iter().all(|&c| t1.get(c) == t2.get(c));
+                if same_x {
+                    let same_y = self.rhs.iter().all(|&c| t1.get(c) == t2.get(c));
+                    if !same_y {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// An inclusion dependency used as a containment constraint: a projection of
+/// a database relation contained in a projection of a master relation (or
+/// `∅`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IndCc {
+    /// Source relation (in the database schema).
+    pub rel: RelId,
+    /// Source columns.
+    pub cols: Vec<usize>,
+    /// Target master relation; `None` encodes containment in `∅` (which
+    /// forces the source projection — hence the source relation — empty).
+    pub master: Option<(RelId, Vec<usize>)>,
+}
+
+impl IndCc {
+    /// `π_cols(R) ⊆ π_mcols(R^m)`.
+    pub fn new(rel: RelId, cols: Vec<usize>, master_rel: RelId, master_cols: Vec<usize>) -> Self {
+        IndCc { rel, cols, master: Some((master_rel, master_cols)) }
+    }
+
+    /// Does `(db, dm)` satisfy the IND?
+    pub fn satisfied(&self, db: &Database, dm: &Database) -> bool {
+        let lhs: std::collections::BTreeSet<_> = db
+            .instance(self.rel)
+            .iter()
+            .map(|t| t.project(&self.cols))
+            .collect();
+        match &self.master {
+            None => lhs.is_empty(),
+            Some((mrel, mcols)) => {
+                let rhs: std::collections::BTreeSet<_> = dm
+                    .instance(*mrel)
+                    .iter()
+                    .map(|t| t.project(mcols))
+                    .collect();
+                lhs.is_subset(&rhs)
+            }
+        }
+    }
+}
+
+/// A conditional inclusion dependency inside the database:
+/// `∀ (R_1(x̄, ȳ_1, z̄_1) ∧ φ(ȳ_1) → ∃ (R_2(x̄, ȳ_2, z̄_2) ∧ ψ(ȳ_2)))`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cind {
+    /// The constrained relation `R_1`.
+    pub lhs_rel: RelId,
+    /// Shared columns `x̄` in `R_1`.
+    pub lhs_cols: Vec<usize>,
+    /// The referenced relation `R_2`.
+    pub rhs_rel: RelId,
+    /// Shared columns `x̄` in `R_2` (same length/order as `lhs_cols`).
+    pub rhs_cols: Vec<usize>,
+    /// `φ(ȳ_1)`: selecting pattern on `R_1`.
+    pub lhs_pattern: Vec<(usize, Value)>,
+    /// `ψ(ȳ_2)`: required pattern on the witnessing `R_2` tuple.
+    pub rhs_pattern: Vec<(usize, Value)>,
+}
+
+impl Cind {
+    /// Does `db` satisfy the CIND?
+    pub fn satisfied(&self, db: &Database) -> bool {
+        let r2: Vec<_> = db
+            .instance(self.rhs_rel)
+            .iter()
+            .filter(|t| self.rhs_pattern.iter().all(|(c, v)| t.get(*c) == v))
+            .map(|t| t.project(&self.rhs_cols))
+            .collect();
+        for t1 in db.instance(self.lhs_rel).iter() {
+            if !self.lhs_pattern.iter().all(|(c, v)| t1.get(*c) == v) {
+                continue;
+            }
+            let key = t1.project(&self.lhs_cols);
+            if !r2.contains(&key) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Helper: the Boolean "pattern" CQ for a denial constraint forbidding `k`
+/// duplicate-free tuples in `rel` that agree nowhere — used by examples; the
+/// paper's `φ_1` "each employee supports at most `k` customers" is the
+/// special case produced by [`at_most_k_per_key`].
+pub fn at_most_k_per_key(rel: RelId, key_col: usize, value_col: usize, k: usize, arity: usize) -> Denial {
+    // q(e) :- R(..e..c1..), …, R(..e..c_{k+1}..), c_i ≠ c_j for i<j
+    let mut b = Cq::builder();
+    let key = b.var("key");
+    let cs: Vec<_> = (0..=k).map(|i| b.var(&format!("c{i}"))).collect();
+    let pads: Vec<Vec<_>> = (0..=k)
+        .map(|i| {
+            (0..arity)
+                .filter(|&c| c != key_col && c != value_col)
+                .map(|c| b.var(&format!("p{i}_{c}")))
+                .collect()
+        })
+        .collect();
+    let mut builder = b;
+    for i in 0..=k {
+        let mut args = Vec::with_capacity(arity);
+        let mut pad_it = pads[i].iter();
+        for c in 0..arity {
+            if c == key_col {
+                args.push(Term::Var(key));
+            } else if c == value_col {
+                args.push(Term::Var(cs[i]));
+            } else {
+                args.push(Term::Var(*pad_it.next().expect("pad count")));
+            }
+        }
+        builder = builder.atom(rel, args);
+    }
+    for i in 0..=k {
+        for j in (i + 1)..=k {
+            builder = builder.neq(Term::Var(cs[i]), Term::Var(cs[j]));
+        }
+    }
+    Denial::new(builder.head_vars(vec![key]).build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ric_data::{RelationSchema, Schema, Tuple};
+
+    fn supt_schema() -> Schema {
+        Schema::from_relations(vec![RelationSchema::infinite(
+            "Supt",
+            &["eid", "dept", "cid"],
+        )])
+        .unwrap()
+    }
+
+    fn t3(a: &str, b: &str, c: &str) -> Tuple {
+        Tuple::new([Value::str(a), Value::str(b), Value::str(c)])
+    }
+
+    #[test]
+    fn fd_detects_violation() {
+        let s = supt_schema();
+        let supt = s.rel_id("Supt").unwrap();
+        let fd = Fd::new(supt, vec![0], vec![1, 2]); // eid -> dept, cid
+        let mut db = Database::empty(&s);
+        db.insert(supt, t3("e0", "d0", "c0"));
+        assert!(fd.satisfied(&db));
+        db.insert(supt, t3("e1", "d1", "c1"));
+        assert!(fd.satisfied(&db));
+        db.insert(supt, t3("e0", "d0", "c9"));
+        assert!(!fd.satisfied(&db));
+    }
+
+    #[test]
+    fn cfd_only_constrains_selected_tuples() {
+        let s = supt_schema();
+        let supt = s.rel_id("Supt").unwrap();
+        // dept = "BU": eid -> cid (the paper's Section 2.2 example).
+        let cfd = Cfd {
+            rel: supt,
+            lhs: vec![0],
+            rhs: vec![2],
+            lhs_pattern: vec![(1, Value::str("BU"))],
+            rhs_pattern: vec![],
+        };
+        let mut db = Database::empty(&s);
+        db.insert(supt, t3("e0", "SALES", "c0"));
+        db.insert(supt, t3("e0", "SALES", "c1")); // same eid, two cids, not BU
+        assert!(cfd.satisfied(&db));
+        db.insert(supt, t3("e1", "BU", "c2"));
+        assert!(cfd.satisfied(&db));
+        db.insert(supt, t3("e1", "BU", "c3"));
+        assert!(!cfd.satisfied(&db));
+    }
+
+    #[test]
+    fn cfd_rhs_pattern_single_tuple() {
+        let s = supt_schema();
+        let supt = s.rel_id("Supt").unwrap();
+        // dept = "BU" -> cid = "c-vip"
+        let cfd = Cfd {
+            rel: supt,
+            lhs: vec![0],
+            rhs: vec![2],
+            lhs_pattern: vec![(1, Value::str("BU"))],
+            rhs_pattern: vec![(2, Value::str("c-vip"))],
+        };
+        let mut db = Database::empty(&s);
+        db.insert(supt, t3("e0", "BU", "c-vip"));
+        assert!(cfd.satisfied(&db));
+        db.insert(supt, t3("e1", "BU", "c-ordinary"));
+        assert!(!cfd.satisfied(&db));
+    }
+
+    #[test]
+    fn denial_at_most_k() {
+        let s = supt_schema();
+        let supt = s.rel_id("Supt").unwrap();
+        let denial = at_most_k_per_key(supt, 0, 2, 2, 3); // ≤ 2 customers per eid
+        let mut db = Database::empty(&s);
+        db.insert(supt, t3("e0", "d", "c0"));
+        db.insert(supt, t3("e0", "d", "c1"));
+        assert!(denial.satisfied(&db));
+        db.insert(supt, t3("e0", "d", "c2"));
+        assert!(!denial.satisfied(&db));
+    }
+
+    #[test]
+    fn ind_cc_against_master() {
+        let s = supt_schema();
+        let supt = s.rel_id("Supt").unwrap();
+        let m = Schema::from_relations(vec![RelationSchema::infinite("Emp", &["eid"])]).unwrap();
+        let emp = m.rel_id("Emp").unwrap();
+        let ind = IndCc::new(supt, vec![0], emp, vec![0]);
+        let mut dm = Database::empty(&m);
+        dm.insert(emp, Tuple::new([Value::str("e0")]));
+        let mut db = Database::empty(&s);
+        db.insert(supt, t3("e0", "d", "c0"));
+        assert!(ind.satisfied(&db, &dm));
+        db.insert(supt, t3("eX", "d", "c1"));
+        assert!(!ind.satisfied(&db, &dm));
+    }
+
+    #[test]
+    fn ind_cc_into_empty() {
+        let s = supt_schema();
+        let supt = s.rel_id("Supt").unwrap();
+        let ind = IndCc { rel: supt, cols: vec![0], master: None };
+        let db = Database::empty(&s);
+        let dm = Database::with_relations(0);
+        assert!(ind.satisfied(&db, &dm));
+        let mut db2 = db.clone();
+        db2.insert(supt, t3("e0", "d", "c"));
+        assert!(!ind.satisfied(&db2, &dm));
+    }
+
+    #[test]
+    fn cind_requires_witness_with_pattern() {
+        let s = Schema::from_relations(vec![
+            RelationSchema::infinite("Order", &["cid", "kind"]),
+            RelationSchema::infinite("Cust", &["cid", "status"]),
+        ])
+        .unwrap();
+        let (ord, cust) = (s.rel_id("Order").unwrap(), s.rel_id("Cust").unwrap());
+        // Order(cid, kind='priority') → ∃ Cust(cid, status='gold')
+        let cind = Cind {
+            lhs_rel: ord,
+            lhs_cols: vec![0],
+            rhs_rel: cust,
+            rhs_cols: vec![0],
+            lhs_pattern: vec![(1, Value::str("priority"))],
+            rhs_pattern: vec![(1, Value::str("gold"))],
+        };
+        let mut db = Database::empty(&s);
+        db.insert(ord, Tuple::new([Value::int(1), Value::str("normal")]));
+        assert!(cind.satisfied(&db));
+        db.insert(ord, Tuple::new([Value::int(2), Value::str("priority")]));
+        assert!(!cind.satisfied(&db));
+        db.insert(cust, Tuple::new([Value::int(2), Value::str("gold")]));
+        assert!(cind.satisfied(&db));
+        db.insert(ord, Tuple::new([Value::int(3), Value::str("priority")]));
+        db.insert(cust, Tuple::new([Value::int(3), Value::str("silver")]));
+        assert!(!cind.satisfied(&db));
+    }
+}

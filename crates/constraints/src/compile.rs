@@ -1,0 +1,302 @@
+//! Proposition 2.1: integrity constraints as containment constraints.
+//!
+//! * denial constraints → a single CC in CQ with `⊆ ∅`;
+//! * CFDs → two families of CCs in CQ with `⊆ ∅` (pair violations and
+//!   single-tuple pattern violations);
+//! * INDs → CCs whose body is a projection;
+//! * CINDs → a single CC in FO with `⊆ ∅`.
+//!
+//! In every case only an empty master relation is needed, so a database `D`
+//! satisfies the original constraint iff `(D, D_m) |= compiled` for *any*
+//! master data — consistency and relative completeness are enforced by one
+//! uniform mechanism (Section 2.2).
+
+use crate::cc::{CcBody, ContainmentConstraint, Projection};
+use crate::classical::{Cfd, Cind, Denial, Fd, IndCc};
+use ric_data::Schema;
+use ric_query::{Atom, Cq, FoExpr, FoQuery, Term, Var};
+
+/// Compile a denial constraint: the forbidden pattern, with every variable
+/// exposed in the head, contained in `∅` (Proposition 2.1(a)).
+pub fn denial_to_cc(d: &Denial) -> ContainmentConstraint {
+    let mut q = d.pattern.clone();
+    // Expose all variables: q(x̄_1, …, x̄_k) ⊆ ∅.
+    let vars = q.all_vars();
+    q.head = vars.into_iter().map(Term::Var).collect();
+    ContainmentConstraint::into_empty(CcBody::Cq(q))
+}
+
+/// Compile a CFD into its CC set (Proposition 2.1(b)). Needs the relation's
+/// arity, read from the schema.
+pub fn cfd_to_ccs(cfd: &Cfd, schema: &Schema) -> Vec<ContainmentConstraint> {
+    let arity = schema
+        .arity(cfd.rel)
+        .expect("CFD relation must exist in the schema");
+    let mut out = Vec::new();
+
+    // First family: two selected tuples agreeing on X but differing on one
+    // Y column.
+    for &ycol in &cfd.rhs {
+        let mut b = Cq::builder();
+        let t1: Vec<Var> = (0..arity).map(|c| b.var(&format!("a{c}"))).collect();
+        let t2: Vec<Var> = (0..arity).map(|c| b.var(&format!("b{c}"))).collect();
+        let mut builder = b
+            .atom(cfd.rel, t1.iter().map(|&v| Term::Var(v)).collect())
+            .atom(cfd.rel, t2.iter().map(|&v| Term::Var(v)).collect());
+        for (c, val) in &cfd.lhs_pattern {
+            builder = builder
+                .eq(Term::Var(t1[*c]), Term::Const(val.clone()))
+                .eq(Term::Var(t2[*c]), Term::Const(val.clone()));
+        }
+        for &xcol in &cfd.lhs {
+            builder = builder.eq(Term::Var(t1[xcol]), Term::Var(t2[xcol]));
+        }
+        builder = builder.neq(Term::Var(t1[ycol]), Term::Var(t2[ycol]));
+        let head: Vec<Term> = t1
+            .iter()
+            .chain(t2.iter())
+            .map(|&v| Term::Var(v))
+            .collect();
+        out.push(ContainmentConstraint::into_empty(CcBody::Cq(
+            builder.head(head).build(),
+        )));
+    }
+
+    // Second family: a selected tuple violating the RHS constant pattern.
+    for (ycol, val) in &cfd.rhs_pattern {
+        let mut b = Cq::builder();
+        let t: Vec<Var> = (0..arity).map(|c| b.var(&format!("a{c}"))).collect();
+        let mut builder = b.atom(cfd.rel, t.iter().map(|&v| Term::Var(v)).collect());
+        for (c, pval) in &cfd.lhs_pattern {
+            builder = builder.eq(Term::Var(t[*c]), Term::Const(pval.clone()));
+        }
+        builder = builder.neq(Term::Var(t[*ycol]), Term::Const(val.clone()));
+        let head: Vec<Term> = t.iter().map(|&v| Term::Var(v)).collect();
+        out.push(ContainmentConstraint::into_empty(CcBody::Cq(
+            builder.head(head).build(),
+        )));
+    }
+    out
+}
+
+/// Compile an FD (a pattern-free CFD).
+pub fn fd_to_ccs(fd: &Fd, schema: &Schema) -> Vec<ContainmentConstraint> {
+    cfd_to_ccs(&fd.as_cfd(), schema)
+}
+
+/// Compile an IND into a projection-bodied CC.
+pub fn ind_to_cc(ind: &IndCc) -> ContainmentConstraint {
+    let body = CcBody::Proj(Projection::new(ind.rel, ind.cols.clone()));
+    match &ind.master {
+        None => ContainmentConstraint::into_empty(body),
+        Some((mrel, mcols)) => {
+            ContainmentConstraint::into_master(body, *mrel, mcols.clone())
+        }
+    }
+}
+
+/// Compile a CIND into a single CC in FO (Proposition 2.1(c)):
+/// `q ⊆ ∅` with
+/// `q(v̄_1) = R_1(v̄_1) ∧ φ(v̄_1) ∧ ∀v̄_2 ¬(R_2(v̄_2) ∧ x̄-match ∧ ψ(v̄_2))`.
+pub fn cind_to_cc(cind: &Cind, schema: &Schema) -> ContainmentConstraint {
+    let a1 = schema.arity(cind.lhs_rel).expect("CIND lhs relation");
+    let a2 = schema.arity(cind.rhs_rel).expect("CIND rhs relation");
+    let vars1: Vec<Var> = (0..a1).map(|i| Var(i as u32)).collect();
+    let vars2: Vec<Var> = (0..a2).map(|i| Var((a1 + i) as u32)).collect();
+    let mut names: Vec<String> = (0..a1).map(|i| format!("a{i}")).collect();
+    names.extend((0..a2).map(|i| format!("b{i}")));
+
+    let mut conj = vec![FoExpr::Atom(Atom::new(
+        cind.lhs_rel,
+        vars1.iter().map(|&v| Term::Var(v)).collect(),
+    ))];
+    for (c, val) in &cind.lhs_pattern {
+        conj.push(FoExpr::Eq(Term::Var(vars1[*c]), Term::Const(val.clone())));
+    }
+    // ∀v̄_2 ¬(R_2(v̄_2) ∧ shared columns match ∧ ψ)
+    let mut witness = vec![FoExpr::Atom(Atom::new(
+        cind.rhs_rel,
+        vars2.iter().map(|&v| Term::Var(v)).collect(),
+    ))];
+    for (lc, rc) in cind.lhs_cols.iter().zip(cind.rhs_cols.iter()) {
+        witness.push(FoExpr::Eq(Term::Var(vars1[*lc]), Term::Var(vars2[*rc])));
+    }
+    for (c, val) in &cind.rhs_pattern {
+        witness.push(FoExpr::Eq(Term::Var(vars2[*c]), Term::Const(val.clone())));
+    }
+    conj.push(FoExpr::Forall(
+        vars2.clone(),
+        Box::new(FoExpr::not(FoExpr::And(witness))),
+    ));
+    let q = FoQuery::new(vars1, FoExpr::And(conj), names);
+    ContainmentConstraint::into_empty(CcBody::Fo(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::at_most_k_per_key;
+    use ric_data::{Database, RelationSchema, Schema, Tuple, Value};
+
+    fn supt_schema() -> Schema {
+        Schema::from_relations(vec![RelationSchema::infinite(
+            "Supt",
+            &["eid", "dept", "cid"],
+        )])
+        .unwrap()
+    }
+
+    fn t3(a: &str, b: &str, c: &str) -> Tuple {
+        Tuple::new([Value::str(a), Value::str(b), Value::str(c)])
+    }
+
+    /// The empty master database used by all `⊆ ∅` compilations.
+    fn empty_master() -> Database {
+        Database::with_relations(0)
+    }
+
+    #[test]
+    fn denial_compilation_agrees_with_direct_check() {
+        let s = supt_schema();
+        let supt = s.rel_id("Supt").unwrap();
+        let denial = at_most_k_per_key(supt, 0, 2, 1, 3);
+        let cc = denial_to_cc(&denial);
+        let dm = empty_master();
+        let mut db = Database::empty(&s);
+        db.insert(supt, t3("e0", "d", "c0"));
+        assert_eq!(denial.satisfied(&db), cc.satisfied(&db, &dm).unwrap());
+        db.insert(supt, t3("e0", "d", "c1"));
+        assert_eq!(denial.satisfied(&db), cc.satisfied(&db, &dm).unwrap());
+        assert!(!denial.satisfied(&db));
+    }
+
+    #[test]
+    fn fd_compilation_agrees_with_direct_check() {
+        let s = supt_schema();
+        let supt = s.rel_id("Supt").unwrap();
+        let fd = Fd::new(supt, vec![0], vec![1, 2]);
+        let ccs = fd_to_ccs(&fd, &s);
+        assert_eq!(ccs.len(), 2); // one per dependent column
+        let dm = empty_master();
+        let check = |db: &Database| {
+            ccs.iter()
+                .all(|cc| cc.satisfied(db, &dm).unwrap())
+        };
+        let mut db = Database::empty(&s);
+        db.insert(supt, t3("e0", "d0", "c0"));
+        db.insert(supt, t3("e1", "d1", "c1"));
+        assert_eq!(fd.satisfied(&db), check(&db));
+        assert!(check(&db));
+        db.insert(supt, t3("e0", "d9", "c0")); // violates eid -> dept
+        assert_eq!(fd.satisfied(&db), check(&db));
+        assert!(!check(&db));
+    }
+
+    #[test]
+    fn cfd_compilation_handles_both_families() {
+        let s = supt_schema();
+        let supt = s.rel_id("Supt").unwrap();
+        let cfd = Cfd {
+            rel: supt,
+            lhs: vec![0],
+            rhs: vec![2],
+            lhs_pattern: vec![(1, Value::str("BU"))],
+            rhs_pattern: vec![(2, Value::str("c-vip"))],
+        };
+        let ccs = cfd_to_ccs(&cfd, &s);
+        assert_eq!(ccs.len(), 2);
+        let dm = empty_master();
+        let check = |db: &Database| ccs.iter().all(|cc| cc.satisfied(db, &dm).unwrap());
+
+        let mut db = Database::empty(&s);
+        db.insert(supt, t3("e0", "SALES", "anything"));
+        assert_eq!(cfd.satisfied(&db), check(&db));
+        assert!(check(&db));
+        // Single-tuple violation: BU tuple without the vip cid.
+        db.insert(supt, t3("e1", "BU", "c-ordinary"));
+        assert_eq!(cfd.satisfied(&db), check(&db));
+        assert!(!check(&db));
+    }
+
+    #[test]
+    fn cfd_pair_violation_detected_by_compiled_ccs() {
+        let s = supt_schema();
+        let supt = s.rel_id("Supt").unwrap();
+        let cfd = Cfd {
+            rel: supt,
+            lhs: vec![0],
+            rhs: vec![2],
+            lhs_pattern: vec![(1, Value::str("BU"))],
+            rhs_pattern: vec![],
+        };
+        let ccs = cfd_to_ccs(&cfd, &s);
+        let dm = empty_master();
+        let check = |db: &Database| ccs.iter().all(|cc| cc.satisfied(db, &dm).unwrap());
+        let mut db = Database::empty(&s);
+        db.insert(supt, t3("e1", "BU", "c2"));
+        db.insert(supt, t3("e1", "BU", "c3"));
+        assert_eq!(cfd.satisfied(&db), check(&db));
+        assert!(!check(&db));
+    }
+
+    #[test]
+    fn ind_compilation_agrees_with_direct_check() {
+        let s = supt_schema();
+        let supt = s.rel_id("Supt").unwrap();
+        let m = Schema::from_relations(vec![RelationSchema::infinite("Emp", &["eid"])]).unwrap();
+        let emp = m.rel_id("Emp").unwrap();
+        let ind = IndCc::new(supt, vec![0], emp, vec![0]);
+        let cc = ind_to_cc(&ind);
+        let mut dm = Database::empty(&m);
+        dm.insert(emp, Tuple::new([Value::str("e0")]));
+        let mut db = Database::empty(&s);
+        db.insert(supt, t3("e0", "d", "c"));
+        assert_eq!(ind.satisfied(&db, &dm), cc.satisfied(&db, &dm).unwrap());
+        db.insert(supt, t3("eX", "d", "c"));
+        assert_eq!(ind.satisfied(&db, &dm), cc.satisfied(&db, &dm).unwrap());
+        assert!(!ind.satisfied(&db, &dm));
+    }
+
+    #[test]
+    fn cind_compilation_agrees_with_direct_check() {
+        let s = Schema::from_relations(vec![
+            RelationSchema::infinite("Order", &["cid", "kind"]),
+            RelationSchema::infinite("Cust", &["cid", "status"]),
+        ])
+        .unwrap();
+        let (ord, cust) = (s.rel_id("Order").unwrap(), s.rel_id("Cust").unwrap());
+        let cind = Cind {
+            lhs_rel: ord,
+            lhs_cols: vec![0],
+            rhs_rel: cust,
+            rhs_cols: vec![0],
+            lhs_pattern: vec![(1, Value::str("priority"))],
+            rhs_pattern: vec![(1, Value::str("gold"))],
+        };
+        let cc = cind_to_cc(&cind, &s);
+        let dm = empty_master();
+        let scenarios: Vec<Vec<(usize, Tuple)>> = vec![
+            vec![(0, Tuple::new([Value::int(1), Value::str("normal")]))],
+            vec![(0, Tuple::new([Value::int(2), Value::str("priority")]))],
+            vec![
+                (0, Tuple::new([Value::int(2), Value::str("priority")])),
+                (1, Tuple::new([Value::int(2), Value::str("gold")])),
+            ],
+            vec![
+                (0, Tuple::new([Value::int(3), Value::str("priority")])),
+                (1, Tuple::new([Value::int(3), Value::str("silver")])),
+            ],
+        ];
+        for sc in scenarios {
+            let mut db = Database::empty(&s);
+            for (rel, t) in sc {
+                db.insert(ric_data::RelId(rel), t);
+            }
+            assert_eq!(
+                cind.satisfied(&db),
+                cc.satisfied(&db, &dm).unwrap(),
+                "direct and compiled CIND checks disagree on {db}"
+            );
+        }
+    }
+}

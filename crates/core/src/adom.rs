@@ -1,0 +1,89 @@
+//! The extended active domain `Adom` of Section 3.2.
+//!
+//! `Adom` consists of (a) all constants appearing in `D`, `D_m`, `Q`, or `V`,
+//! and (b) a set `New` of distinct values not occurring in any of them. The
+//! paper allocates one fresh value per tableau variable; because fresh values
+//! are interchangeable (none of `D`, `D_m`, `Q`, `V` mentions them, so every
+//! check is invariant under permuting them), the enumerator in
+//! [`crate::valuations`] breaks the symmetry and only ever explores
+//! canonical uses of the fresh pool — the pool therefore only needs to be as
+//! large as the largest single tableau.
+
+use crate::query::Query;
+use crate::setting::Setting;
+use ric_data::{Database, FreshValues, Value};
+use std::collections::BTreeSet;
+
+/// The extended active domain: the shared constants plus the fresh pool.
+#[derive(Clone, Debug)]
+pub struct Adom {
+    /// Constants of `D ∪ D_m ∪ Q ∪ V`, deterministic order.
+    pub constants: Vec<Value>,
+    /// The `New` values (infinite-domain only, never in any input).
+    pub fresh: Vec<Value>,
+}
+
+impl Adom {
+    /// Build the active domain for a decision about `(db, setting, query)`,
+    /// with a fresh pool of `n_fresh` values.
+    pub fn build(db: &Database, setting: &Setting, query: &Query, n_fresh: usize) -> Adom {
+        let mut consts: BTreeSet<Value> = db.active_domain();
+        consts.extend(setting.dm.active_domain());
+        consts.extend(query.constants());
+        consts.extend(setting.v.constants());
+        let mut gen = FreshValues::new();
+        gen.observe_all(consts.iter());
+        let fresh = gen.fresh_n(n_fresh);
+        Adom { constants: consts.into_iter().collect(), fresh }
+    }
+
+    /// Total size |Adom| = constants + fresh pool.
+    pub fn len(&self) -> usize {
+        self.constants.len() + self.fresh.len()
+    }
+
+    /// Is the domain empty (no constants and no fresh values)?
+    pub fn is_empty(&self) -> bool {
+        self.constants.is_empty() && self.fresh.is_empty()
+    }
+
+    /// Is `v` one of the fresh (`New`) values?
+    pub fn is_fresh(&self, v: &Value) -> bool {
+        self.fresh.contains(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ric_constraints::ConstraintSet;
+    use ric_data::{RelationSchema, Schema, Tuple};
+    use ric_query::parse_cq;
+
+    #[test]
+    fn adom_collects_all_sources_and_fresh_is_disjoint() {
+        let schema =
+            Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+        let r = schema.rel_id("R").unwrap();
+        let mschema =
+            Schema::from_relations(vec![RelationSchema::infinite("M", &["a"])]).unwrap();
+        let m = mschema.rel_id("M").unwrap();
+        let mut dm = Database::empty(&mschema);
+        dm.insert(m, Tuple::new([Value::int(100)]));
+        let setting = Setting::new(schema.clone(), mschema, dm, ConstraintSet::empty());
+        let mut db = Database::empty(&schema);
+        db.insert(r, Tuple::new([Value::int(1), Value::str("a")]));
+        let q: Query = parse_cq(&schema, "Q(X) :- R(X, 7).").unwrap().into();
+        let adom = Adom::build(&db, &setting, &q, 3);
+        assert!(adom.constants.contains(&Value::int(1)));
+        assert!(adom.constants.contains(&Value::int(100)));
+        assert!(adom.constants.contains(&Value::int(7)));
+        assert!(adom.constants.contains(&Value::str("a")));
+        assert_eq!(adom.fresh.len(), 3);
+        for f in &adom.fresh {
+            assert!(!adom.constants.contains(f));
+            assert!(adom.is_fresh(f));
+        }
+        assert_eq!(adom.len(), adom.constants.len() + 3);
+    }
+}

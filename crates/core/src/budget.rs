@@ -1,0 +1,114 @@
+//! Search budgets.
+//!
+//! RCDP for CQ/UCQ/∃FO⁺ is Σᵖ₂-complete and RCQP is NEXPTIME-complete
+//! (Theorems 3.6 and 4.5); the FO/FP cells are undecidable (Theorems 3.1 and
+//! 4.1). The deciders are exact, but exactness can cost exponential time —
+//! a [`SearchBudget`] bounds the work, and exceeding it yields
+//! `Verdict::Unknown`, never a wrong answer.
+
+/// Limits on decider work.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchBudget {
+    /// Maximum number of candidate valuations examined per decision.
+    pub max_valuations: u64,
+    /// Maximum number of candidate witness databases examined (RCQP search).
+    pub max_candidates: u64,
+    /// Maximum tuples in a candidate extension Δ (semi-decision for FO/FP).
+    pub max_delta_tuples: usize,
+    /// Maximum tuples in a constructed witness database.
+    pub max_witness_tuples: usize,
+    /// Extra fresh values made available to the FO/FP extension search.
+    pub fresh_values: usize,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget {
+            max_valuations: 5_000_000,
+            max_candidates: 2_000_000,
+            max_delta_tuples: 3,
+            max_witness_tuples: 10_000,
+            fresh_values: 2,
+        }
+    }
+}
+
+impl SearchBudget {
+    /// A small budget for quick checks in tests.
+    pub fn small() -> Self {
+        SearchBudget {
+            max_valuations: 100_000,
+            max_candidates: 50_000,
+            max_delta_tuples: 2,
+            max_witness_tuples: 1_000,
+            fresh_values: 1,
+        }
+    }
+
+    /// An effectively unbounded budget (exactness over speed).
+    pub fn exhaustive() -> Self {
+        SearchBudget {
+            max_valuations: u64::MAX,
+            max_candidates: u64::MAX,
+            max_delta_tuples: usize::MAX,
+            max_witness_tuples: usize::MAX,
+            fresh_values: 4,
+        }
+    }
+}
+
+/// A running counter checked against a limit; shared by the enumeration
+/// loops.
+#[derive(Debug)]
+pub struct Meter {
+    used: u64,
+    limit: u64,
+}
+
+impl Meter {
+    /// A meter with the given limit.
+    pub fn new(limit: u64) -> Self {
+        Meter { used: 0, limit }
+    }
+
+    /// Count one unit; `false` when the budget is exhausted.
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        self.used += 1;
+        self.used <= self.limit
+    }
+
+    /// Has the budget been exhausted?
+    pub fn exhausted(&self) -> bool {
+        self.used > self.limit
+    }
+
+    /// Units consumed so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_ticks_to_limit() {
+        let mut m = Meter::new(2);
+        assert!(m.tick());
+        assert!(m.tick());
+        assert!(!m.tick());
+        assert!(m.exhausted());
+        assert_eq!(m.used(), 3);
+    }
+
+    #[test]
+    fn presets_are_ordered() {
+        let s = SearchBudget::small();
+        let d = SearchBudget::default();
+        let e = SearchBudget::exhaustive();
+        assert!(s.max_valuations < d.max_valuations);
+        assert!(d.max_valuations < e.max_valuations);
+    }
+}

@@ -1,0 +1,432 @@
+//! RCDP — the *relatively complete database* problem (Section 3).
+//!
+//! Given `Q`, `(D_m, V)`, and a partially closed `D`, decide whether
+//! `D ∈ RCQ(Q, D_m, V)`. For `L_Q, L_C` among INDs/CQ/UCQ/∃FO⁺ the decision
+//! is exact and follows the paper's characterizations:
+//!
+//! > `D` is complete iff for every valid valuation `μ` of a disjunct tableau
+//! > `(T_i, u_i)` over `Adom`: `(D ∪ μ(T_i), D_m) |= V  ⇒  μ(u_i) ∈ Q(D)`.
+//!
+//! This folds C1 and C2 (Proposition 3.3: when `Q(D) = ∅` the right-hand side
+//! is unsatisfiable, giving C1), C3 (Corollary 3.4: for INDs,
+//! `(D ∪ μ(T), D_m) |= V` simplifies to `(μ(T), D_m) |= V` because `D` is
+//! partially closed and projections distribute over unions), and the
+//! per-disjunct reading of C4 (Corollary 3.5: CC satisfaction with monotone
+//! bodies is inherited by sub-extensions, so a UCQ extension changes the
+//! answer iff some single disjunct instantiation does).
+//!
+//! When `L_Q` or `L_C` is FO or FP the problem is undecidable (Theorem 3.1);
+//! [`rcdp`] automatically falls back to the bounded extension search of
+//! [`crate::semidecide`], which can certify incompleteness but reports
+//! `Unknown` otherwise.
+
+use crate::adom::Adom;
+use crate::budget::{Meter, SearchBudget};
+use crate::query::Query;
+use crate::setting::Setting;
+use crate::valuations::{EnumOutcome, ValuationSpace};
+use crate::verdict::{CounterExample, RcError, Verdict};
+use ric_query::QueryLanguage;
+use ric_data::{Database, Tuple};
+use std::collections::BTreeSet;
+
+/// Is the language exactly decidable by the Σᵖ₂ procedure?
+fn exactly_decidable(l: QueryLanguage) -> bool {
+    matches!(
+        l,
+        QueryLanguage::Inds | QueryLanguage::Cq | QueryLanguage::Ucq | QueryLanguage::EfoPlus
+    )
+}
+
+/// Decide RCDP. Dispatches to the exact Σᵖ₂ decider when both `L_Q` and
+/// `L_C` avoid negation and recursion, and to the bounded semi-decision
+/// procedure otherwise.
+///
+/// Errors if `D` is not partially closed with respect to `(D_m, V)` — both
+/// decision problems take partially closed databases as input.
+pub fn rcdp(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+) -> Result<Verdict, RcError> {
+    validate_fp_bodies(setting, query)?;
+    if !setting.partially_closed(db)? {
+        return Err(RcError::NotPartiallyClosed);
+    }
+    if exactly_decidable(query.language()) && exactly_decidable(setting.v.language()) {
+        rcdp_exact(setting, query, db, budget)
+    } else {
+        crate::semidecide::rcdp_bounded(setting, query, db, budget)
+    }
+}
+
+/// The exact decider; callers must have verified the language combination
+/// and partial closure. Exposed for the characterization cross-checks.
+pub fn rcdp_exact(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+) -> Result<Verdict, RcError> {
+    let ucq = query
+        .as_ucq()
+        .expect("exact RCDP requires a UCQ-expressible query");
+    let tableaux = ucq.tableaux()?;
+    if tableaux.is_empty() {
+        // Unsatisfiable query: every partially closed database is complete.
+        return Ok(Verdict::Complete);
+    }
+    let q_d: BTreeSet<Tuple> = query.eval(db)?;
+    let n_fresh = tableaux.iter().map(|t| t.n_vars as usize).max().unwrap_or(0).max(1);
+    let adom = Adom::build(db, setting, query, n_fresh);
+    let is_ind = setting.v.is_ind_set();
+    let mut meter = Meter::new(budget.max_valuations);
+
+    for t in &tableaux {
+        if !t.domain_consistent(&setting.schema) {
+            // Constants outside finite domains: this disjunct matches no
+            // valid tuple and cannot witness incompleteness.
+            continue;
+        }
+        let space = ValuationSpace::new(t, &setting.schema, &adom);
+        let mut found: Option<CounterExample> = None;
+        let head_terms = t.head.clone();
+        let outcome = space.for_each_valid_pruned(
+            &mut meter,
+            |binding| {
+                // Prune: if the candidate output tuple is already answered,
+                // no valuation with these head values is a counterexample.
+                let tuple = Tuple::new(head_terms.iter().map(|term| match term {
+                    ric_query::Term::Var(v) => {
+                        binding[v.idx()].clone().expect("head vars bound first")
+                    }
+                    ric_query::Term::Const(c) => c.clone(),
+                }));
+                !q_d.contains(&tuple)
+            },
+            |binding| {
+                // Prune subtrees whose already-instantiated tuples violate V:
+                // constraint bodies are monotone, so the violation persists
+                // in every completion.
+                let bound = space.bound_atoms(binding);
+                if bound.is_empty() {
+                    return true;
+                }
+                let mut delta = Database::with_relations(setting.schema.len());
+                for (rel, tuple) in bound {
+                    delta.insert(rel, tuple);
+                }
+                let candidate = if is_ind {
+                    delta
+                } else {
+                    db.union(&delta).expect("same schema")
+                };
+                // Upper bounds only: lower bounds hold on D and are
+                // preserved by extension (monotone bodies).
+                setting
+                    .v
+                    .upper_satisfied(&candidate, &setting.dm)
+                    .expect("constraint bodies validated by the precondition check")
+            },
+            |mu| {
+                let delta = mu.instantiate(t, setting.schema.len());
+                let closed = if is_ind {
+                    // C3: INDs distribute over union, and D is partially
+                    // closed, so checking Δ alone is equivalent and cheaper.
+                    setting.v.upper_satisfied(&delta, &setting.dm)
+                } else {
+                    let extended = db.union(&delta).expect("same schema");
+                    setting.v.upper_satisfied(&extended, &setting.dm)
+                }
+                .expect("constraint bodies validated by the precondition check");
+                if closed {
+                    let new_answer = mu.head_tuple(t);
+                    let added = delta.difference(db).expect("same schema");
+                    found = Some(CounterExample { delta: added, new_answer });
+                    return std::ops::ControlFlow::Break(());
+                }
+                std::ops::ControlFlow::Continue(())
+            },
+        );
+        match outcome {
+            EnumOutcome::Stopped => {
+                return Ok(Verdict::Incomplete(found.expect("set before break")));
+            }
+            EnumOutcome::BudgetExceeded => {
+                return Ok(Verdict::Unknown {
+                    searched: format!(
+                        "valuation budget of {} exhausted",
+                        budget.max_valuations
+                    ),
+                });
+            }
+            EnumOutcome::Exhausted => {}
+        }
+    }
+    Ok(Verdict::Complete)
+}
+
+/// Check a claimed counterexample: `(D ∪ Δ, D_m) |= V` and
+/// `Q(D ∪ Δ) ≠ Q(D)`. Used by tests and by downstream consumers that want to
+/// re-verify certificates.
+pub fn certify_counterexample(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    ce: &CounterExample,
+) -> Result<bool, RcError> {
+    let extended = db.union(&ce.delta).map_err(|_| RcError::NotPartiallyClosed)?;
+    if !setting.partially_closed(&extended)? {
+        return Ok(false);
+    }
+    let before = query.eval(db)?;
+    let after = query.eval(&extended)?;
+    Ok(before != after && (after.contains(&ce.new_answer) != before.contains(&ce.new_answer)))
+}
+
+fn validate_fp_bodies(setting: &Setting, query: &Query) -> Result<(), RcError> {
+    if let Query::Fp(p) = query {
+        p.validate().map_err(|e| RcError::Program(e.to_string()))?;
+    }
+    for cc in &setting.v.ccs {
+        if let ric_constraints::CcBody::Fp(p) = &cc.body {
+            p.validate().map_err(|e| RcError::Program(e.to_string()))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint, Projection};
+    use ric_data::{RelationSchema, Schema, Value};
+    use ric_query::parse_cq;
+
+    /// Example 1.1 / 2.2 style setting: Supt(eid, dept, cid) with master
+    /// relation DCust(cid) bounding the customers employee e0 may support.
+    fn supt_setting() -> (Setting, ric_data::RelId) {
+        let schema = Schema::from_relations(vec![RelationSchema::infinite(
+            "Supt",
+            &["eid", "dept", "cid"],
+        )])
+        .unwrap();
+        let supt = schema.rel_id("Supt").unwrap();
+        let mschema =
+            Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
+        let dcust = mschema.rel_id("DCust").unwrap();
+        let mut dm = Database::empty(&mschema);
+        for c in ["c1", "c2"] {
+            dm.insert(dcust, Tuple::new([Value::str(c)]));
+        }
+        // All supported customers must be master customers.
+        let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(supt, vec![2])),
+            dcust,
+            vec![0],
+        )]);
+        (Setting::new(schema, mschema, dm, v), supt)
+    }
+
+    fn t3(a: &str, b: &str, c: &str) -> Tuple {
+        Tuple::new([Value::str(a), Value::str(b), Value::str(c)])
+    }
+
+    #[test]
+    fn open_world_database_is_incomplete() {
+        let schema =
+            Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
+        let setting = Setting::open_world(schema.clone());
+        let q: Query = parse_cq(&schema, "Q(X) :- R(X).").unwrap().into();
+        let db = Database::empty(&schema);
+        let verdict = rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap();
+        match &verdict {
+            Verdict::Incomplete(ce) => {
+                assert!(certify_counterexample(&setting, &q, &db, ce).unwrap());
+            }
+            other => panic!("expected incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn database_covering_master_is_complete() {
+        let (setting, supt) = supt_setting();
+        // Q: customers supported by e0.
+        let q: Query = parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).")
+            .unwrap()
+            .into();
+        let mut db = Database::empty(&setting.schema);
+        db.insert(supt, t3("e0", "d", "c1"));
+        db.insert(supt, t3("e0", "d", "c2"));
+        let verdict = rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap();
+        assert_eq!(verdict, Verdict::Complete);
+    }
+
+    #[test]
+    fn database_missing_master_customer_is_incomplete() {
+        let (setting, supt) = supt_setting();
+        let q: Query = parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).")
+            .unwrap()
+            .into();
+        let mut db = Database::empty(&setting.schema);
+        db.insert(supt, t3("e0", "d", "c1")); // c2 still possible
+        let verdict = rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap();
+        match &verdict {
+            Verdict::Incomplete(ce) => {
+                assert!(certify_counterexample(&setting, &q, &db, ce).unwrap());
+                assert_eq!(ce.new_answer, Tuple::new([Value::str("c2")]));
+            }
+            other => panic!("expected incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_partially_closed_is_an_error() {
+        let (setting, supt) = supt_setting();
+        let q: Query = parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).")
+            .unwrap()
+            .into();
+        let mut db = Database::empty(&setting.schema);
+        db.insert(supt, t3("e0", "d", "c-unknown"));
+        assert_eq!(
+            rcdp(&setting, &q, &db, &SearchBudget::default()),
+            Err(RcError::NotPartiallyClosed)
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_query_trivially_complete() {
+        let schema =
+            Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
+        let setting = Setting::open_world(schema.clone());
+        let q: Query = parse_cq(&schema, "Q(X) :- R(X), X != X.").unwrap().into();
+        let db = Database::empty(&schema);
+        assert_eq!(
+            rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap(),
+            Verdict::Complete
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let schema =
+            Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b", "c"])]).unwrap();
+        let setting = Setting::open_world(schema.clone());
+        let q: Query = parse_cq(&schema, "Q(X, Y, Z) :- R(X, Y, Z).").unwrap().into();
+        let db = Database::empty(&schema);
+        let tiny = SearchBudget {
+            max_valuations: 0,
+            ..SearchBudget::small()
+        };
+        match rcdp(&setting, &q, &db, &tiny).unwrap() {
+            Verdict::Unknown { .. } => {}
+            other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+
+    /// Example 3.1, first part: with the "at most k customers per employee"
+    /// CC in place, a database already holding k answers is complete.
+    #[test]
+    fn at_most_k_makes_full_database_complete() {
+        let schema = Schema::from_relations(vec![RelationSchema::infinite(
+            "Supt",
+            &["eid", "dept", "cid"],
+        )])
+        .unwrap();
+        let supt = schema.rel_id("Supt").unwrap();
+        let denial = ric_constraints::classical::at_most_k_per_key(supt, 0, 2, 2, 3);
+        let v = ConstraintSet::new(vec![ric_constraints::compile::denial_to_cc(&denial)]);
+        let setting = Setting::new(
+            schema.clone(),
+            Schema::new(),
+            Database::with_relations(0),
+            v,
+        );
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+        // k = 2 customers already supported: complete.
+        let mut db = Database::empty(&schema);
+        db.insert(supt, t3("e0", "d", "c1"));
+        db.insert(supt, t3("e0", "d", "c2"));
+        assert_eq!(
+            rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap(),
+            Verdict::Complete
+        );
+        // Only one: still incomplete.
+        let mut db1 = Database::empty(&schema);
+        db1.insert(supt, t3("e0", "d", "c1"));
+        let verdict = rcdp(&setting, &q, &db1, &SearchBudget::default()).unwrap();
+        assert!(verdict.is_incomplete(), "got {verdict:?}");
+    }
+
+    /// Example 3.1, second part: under the FD eid → dept,cid a database with
+    /// no e0 tuple is incomplete, but any database with one e0 tuple is
+    /// complete for Q2.
+    #[test]
+    fn fd_blocks_after_one_tuple() {
+        let schema = Schema::from_relations(vec![RelationSchema::infinite(
+            "Supt",
+            &["eid", "dept", "cid"],
+        )])
+        .unwrap();
+        let supt = schema.rel_id("Supt").unwrap();
+        let fd = ric_constraints::Fd::new(supt, vec![0], vec![1, 2]);
+        let v = ConstraintSet::new(ric_constraints::compile::fd_to_ccs(&fd, &schema));
+        let setting = Setting::new(
+            schema.clone(),
+            Schema::new(),
+            Database::with_relations(0),
+            v,
+        );
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+
+        let empty = Database::empty(&schema);
+        let verdict = rcdp(&setting, &q, &empty, &SearchBudget::default()).unwrap();
+        assert!(verdict.is_incomplete(), "empty Supt should be incomplete");
+
+        let mut db = Database::empty(&schema);
+        db.insert(supt, t3("e0", "d0", "c0"));
+        assert_eq!(
+            rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap(),
+            Verdict::Complete,
+            "FD pins e0's single (dept, cid) pair"
+        );
+    }
+
+    #[test]
+    fn ucq_per_disjunct_counterexample() {
+        let (setting, supt) = supt_setting();
+        // Heads carry the employee, so the disjuncts do not overlap.
+        let q: Query = ric_query::parse_ucq(
+            &setting.schema,
+            "Q(E, C) :- Supt(E, D, C), E = 'e0'. Q(E, C) :- Supt(E, D, C), E = 'e1'.",
+        )
+        .unwrap()
+        .into();
+        let mut db = Database::empty(&setting.schema);
+        // e0 saturated, e1 not.
+        db.insert(supt, t3("e0", "d", "c1"));
+        db.insert(supt, t3("e0", "d", "c2"));
+        db.insert(supt, t3("e1", "d", "c1"));
+        let verdict = rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap();
+        match &verdict {
+            Verdict::Incomplete(ce) => {
+                assert!(certify_counterexample(&setting, &q, &db, ce).unwrap());
+                assert_eq!(
+                    ce.new_answer,
+                    Tuple::new([Value::str("e1"), Value::str("c2")])
+                );
+            }
+            other => panic!("expected incomplete, got {other:?}"),
+        }
+
+        // A database where both disjuncts saturate the master list is
+        // complete even though the per-employee answers differ.
+        let mut full = db.clone();
+        full.insert(supt, t3("e1", "d", "c2"));
+        assert_eq!(
+            rcdp(&setting, &q, &full, &SearchBudget::default()).unwrap(),
+            Verdict::Complete
+        );
+    }
+}

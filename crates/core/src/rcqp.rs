@@ -1,0 +1,961 @@
+//! RCQP — the *relatively complete query* problem (Section 4).
+//!
+//! Given `Q` and `(D_m, V)`, decide whether `RCQ(Q, D_m, V)` is nonempty:
+//! does *any* partially closed database have complete information for `Q`?
+//!
+//! * `L_C` = INDs (Theorem 4.5(1), coNP): the syntactic characterization of
+//!   Proposition 4.3 — every disjunct is either *blocked* (no valid valuation
+//!   satisfies `V`) or *bounded* (each infinite-domain head variable occurs
+//!   in an IND-covered column, E4, or has a finite domain, E3).
+//! * `L_C` among CQ/UCQ/∃FO⁺ (Theorem 4.5(2), NEXPTIME): the E2
+//!   characterization of Proposition 4.2. `RCQ` is nonempty iff E1 holds or
+//!   some set `𝒱` of partial valuations of the constraint tableaux over
+//!   `Adom` satisfies E2. Two structural facts make this searchable:
+//!
+//!   1. every `𝒱` decomposes into *single-atom* instantiations with the same
+//!      `D_𝒱` and at least the same bound head values, so the search space
+//!      is the subsets of a tuple pool;
+//!   2. E2 is *monotone* in `D_𝒱` (adding consistent tuples removes
+//!      valuations from the `(D_𝒱 ∪ μ(T_Q), D_m) |= V` gate — constraint
+//!      bodies are monotone — and only grows the bound-value set), so it
+//!      suffices to check the **maximal** `V`-consistent pool subsets.
+//!
+//!   The decider therefore: (a) probes a greedy completion from the empty
+//!   database (fast, certified); (b) enumerates maximal consistent subsets
+//!   of the pool and checks E2 on each; all failing ⇒ `Empty`. The fresh
+//!   pool used to build candidate tuples is bounded by
+//!   `SearchBudget::fresh_values`; the paper's small-model bound can require
+//!   as many fresh values as the largest constraint tableau has variables,
+//!   so when the configured pool is smaller than that an exhausted search
+//!   reports `Unknown` rather than `Empty`.
+//! * FO/FP: undecidable (Theorem 4.1); falls back to
+//!   [`crate::semidecide::rcqp_bounded`].
+//!
+//! With `(D_m, V)` fixed the same search runs in Πᵖ₃ (Corollary 4.6); the
+//! benches exercise exactly that regime.
+
+use crate::adom::Adom;
+use crate::budget::{Meter, SearchBudget};
+use crate::extend::{complete_extension, CompletionOutcome};
+use crate::query::Query;
+use crate::setting::Setting;
+use crate::valuations::{EnumOutcome, ValuationSpace};
+use crate::verdict::{QueryVerdict, RcError, Verdict};
+use ric_data::{Database, RelId, Tuple, Value};
+use ric_query::tableau::Tableau;
+use ric_query::{QueryLanguage, Term};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::ControlFlow;
+
+/// Rounds allowed for the greedy fast-path probe before falling back to the
+/// characterization-driven search.
+const GREEDY_PROBE_TUPLES: usize = 8;
+
+fn exactly_decidable(l: QueryLanguage) -> bool {
+    matches!(
+        l,
+        QueryLanguage::Inds | QueryLanguage::Cq | QueryLanguage::Ucq | QueryLanguage::EfoPlus
+    )
+}
+
+/// Decide RCQP, dispatching on the language combination.
+pub fn rcqp(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+) -> Result<QueryVerdict, RcError> {
+    if !(exactly_decidable(query.language()) && exactly_decidable(setting.v.language())) {
+        return crate::semidecide::rcqp_bounded(setting, query, budget);
+    }
+    // Lower-bound constraints (the Section 5 extension) force minimal
+    // content into every candidate database; build that seed first. With no
+    // lower bounds the seed is the empty database.
+    let Some(seed) = lower_bound_seed(setting) else {
+        return Ok(QueryVerdict::Unknown {
+            searched: "lower-bound constraints with non-projection bodies are not \
+                       supported by the RCQP search"
+                .to_string(),
+        });
+    };
+    if !setting.partially_closed(&seed)? {
+        // With no lower bounds the seed is empty and, by monotonicity of the
+        // (UCQ-expressible) upper bounds, nothing is partially closed: RCQ
+        // is vacuously empty. With lower bounds, a different choice of
+        // padding values could still work — stay honest.
+        return Ok(if setting.v.lower_bounds.is_empty() {
+            QueryVerdict::Empty
+        } else {
+            QueryVerdict::Unknown {
+                searched: "the lower-bound seed database violates the upper bounds"
+                    .to_string(),
+            }
+        });
+    }
+    let ucq = query.as_ucq().expect("decidable languages are UCQ-expressible");
+    let tableaux = ucq.tableaux()?;
+    if tableaux.is_empty() {
+        // Unsatisfiable query: the seed database is complete.
+        return Ok(QueryVerdict::Nonempty { witness: Some(seed) });
+    }
+    // E1/E5: all head variables finite — trivially relatively complete.
+    if crate::characterize::finite_head(&ucq, &setting.schema)? {
+        let witness = greedy_witness(setting, query, &seed, budget, budget.max_witness_tuples)?;
+        return Ok(QueryVerdict::Nonempty { witness });
+    }
+    if setting.v.is_ind_set() {
+        rcqp_ind(setting, query, &seed, &tableaux, budget)
+    } else {
+        rcqp_general(setting, query, &seed, &tableaux, budget)
+    }
+}
+
+/// Construct the minimal database forced by the lower-bound constraints:
+/// for each `p(R_m) ⊆ π_cols(R)`, one `R` tuple per master tuple, projected
+/// columns copied and the rest padded with fresh values. Returns `None` when
+/// some lower-bound body is not a projection (no canonical seed exists).
+fn lower_bound_seed(setting: &Setting) -> Option<Database> {
+    let mut db = Database::empty(&setting.schema);
+    if setting.v.lower_bounds.is_empty() {
+        return Some(db);
+    }
+    let mut fresh = ric_data::FreshValues::new();
+    for v in setting.dm.active_domain() {
+        fresh.observe(&v);
+    }
+    for v in setting.v.constants() {
+        fresh.observe(&v);
+    }
+    for lb in &setting.v.lower_bounds {
+        let ric_constraints::CcBody::Proj(proj) = &lb.body else { return None };
+        let arity = setting.schema.arity(proj.rel).ok()?;
+        for m in lb.master.eval(&setting.dm) {
+            let mut fields: Vec<Option<Value>> = vec![None; arity];
+            for (i, &col) in proj.cols.iter().enumerate() {
+                fields[col] = Some(m.get(i).clone());
+            }
+            let tuple = Tuple::new(fields.into_iter().map(|f| f.unwrap_or_else(|| fresh.fresh())));
+            db.insert(proj.rel, tuple);
+        }
+    }
+    Some(db)
+}
+
+/// Try to build a witness by greedy completion from the seed database,
+/// allowing up to `max_tuples` additions.
+fn greedy_witness(
+    setting: &Setting,
+    query: &Query,
+    seed: &Database,
+    budget: &SearchBudget,
+    max_tuples: usize,
+) -> Result<Option<Database>, RcError> {
+    let capped = SearchBudget { max_witness_tuples: max_tuples, ..*budget };
+    Ok(match complete_extension(setting, query, seed, &capped)? {
+        CompletionOutcome::AlreadyComplete => Some(seed.clone()),
+        CompletionOutcome::Completed { result, .. } => Some(result),
+        CompletionOutcome::Budget { .. } => None,
+    })
+}
+
+/// Proposition 4.3: the coNP decision for `L_C` = INDs.
+fn rcqp_ind(
+    setting: &Setting,
+    query: &Query,
+    seed: &Database,
+    tableaux: &[Tableau],
+    budget: &SearchBudget,
+) -> Result<QueryVerdict, RcError> {
+    let n_fresh = tableaux.iter().map(|t| t.n_vars as usize).max().unwrap_or(0).max(1);
+    let empty = Database::empty(&setting.schema);
+    let adom = Adom::build(&empty, setting, query, n_fresh);
+    let mut meter = Meter::new(budget.max_valuations);
+    for t in tableaux {
+        if !t.domain_consistent(&setting.schema) {
+            continue; // blocked: matches no valid tuple at all
+        }
+        // Is the disjunct blocked — no valid valuation with (μ(T), D_m) |= V?
+        let space = ValuationSpace::new(t, &setting.schema, &adom);
+        let mut has_valid = false;
+        let outcome = space.for_each_valid_pruned(
+            &mut meter,
+            |_| true,
+            |binding| {
+                // Partial pruning: a partially instantiated tableau that
+                // already escapes the master projections cannot become valid.
+                let bound = space.bound_atoms(binding);
+                if bound.is_empty() {
+                    return true;
+                }
+                let mut delta = Database::with_relations(setting.schema.len());
+                for (rel, tuple) in bound {
+                    delta.insert(rel, tuple);
+                }
+                setting.v.upper_satisfied(&delta, &setting.dm).expect("IND bodies never error")
+            },
+            |_mu| {
+                // The partial filter already validated the full instantiation.
+                has_valid = true;
+                ControlFlow::Break(())
+            },
+        );
+        if outcome == EnumOutcome::BudgetExceeded {
+            return Ok(QueryVerdict::Unknown {
+                searched: format!("valuation budget of {} exhausted", budget.max_valuations),
+            });
+        }
+        if !has_valid {
+            continue; // blocked
+        }
+        if !crate::characterize::ind_bounded(t, &setting.schema, setting) {
+            // An unblocked, unbounded disjunct: fresh head values can always
+            // be injected, so no database is ever complete.
+            return Ok(QueryVerdict::Empty);
+        }
+    }
+    let witness = greedy_witness(setting, query, seed, budget, budget.max_witness_tuples)?;
+    Ok(QueryVerdict::Nonempty { witness })
+}
+
+/// A candidate tuple for the `D_𝒱` search: an instantiation of one
+/// constraint-tableau atom, together with the head values it pins (its
+/// contribution to the E2 bound set).
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct PoolEntry {
+    rel: RelId,
+    tuple: Tuple,
+    bound: BTreeSet<Value>,
+}
+
+/// Build the candidate pool over `values`: every instantiation of every atom
+/// of every constraint tableau (head-variable values recorded as bound), and
+/// the constant tuples of the query tableaux (no bound contribution).
+fn candidate_pool(
+    setting: &Setting,
+    query_tableaux: &[Tableau],
+    values: &[Value],
+) -> Result<Vec<PoolEntry>, RcError> {
+    let mut pool: BTreeMap<(RelId, Tuple), BTreeSet<Value>> = BTreeMap::new();
+    for cc in &setting.v.ccs {
+        let Some(ucq) = cc.body.as_ucq(&setting.schema) else { continue };
+        for t in ucq.tableaux()? {
+            let doms = t.var_domains(&setting.schema);
+            let head_vars = t.head_vars();
+            for atom in &t.atoms {
+                let mut binding: BTreeMap<u32, Value> = BTreeMap::new();
+                instantiate_atom(atom, &doms, values, 0, &mut binding, &mut |tuple, binding| {
+                    let bound: BTreeSet<Value> = atom
+                        .vars()
+                        .filter(|v| head_vars.contains(v))
+                        .map(|v| binding[&v.0].clone())
+                        .collect();
+                    pool.entry((atom.rel, tuple)).or_default().extend(bound);
+                });
+            }
+        }
+    }
+    for t in query_tableaux {
+        for atom in &t.atoms {
+            if atom.args.iter().any(Term::is_var) {
+                continue;
+            }
+            let tuple = Tuple::new(atom.args.iter().map(|a| match a {
+                Term::Const(c) => c.clone(),
+                Term::Var(_) => unreachable!(),
+            }));
+            pool.entry((atom.rel, tuple)).or_default();
+        }
+    }
+    Ok(pool
+        .into_iter()
+        .map(|((rel, tuple), bound)| PoolEntry { rel, tuple, bound })
+        .collect())
+}
+
+fn instantiate_atom(
+    atom: &ric_query::Atom,
+    doms: &[Option<BTreeSet<Value>>],
+    values: &[Value],
+    col: usize,
+    binding: &mut BTreeMap<u32, Value>,
+    out: &mut impl FnMut(Tuple, &BTreeMap<u32, Value>),
+) {
+    if col == atom.args.len() {
+        let tuple = Tuple::new(atom.args.iter().map(|t| match t {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => binding[&v.0].clone(),
+        }));
+        out(tuple, binding);
+        return;
+    }
+    match &atom.args[col] {
+        Term::Const(_) => instantiate_atom(atom, doms, values, col + 1, binding, out),
+        Term::Var(v) => {
+            if binding.contains_key(&v.0) {
+                instantiate_atom(atom, doms, values, col + 1, binding, out);
+                return;
+            }
+            let candidates: Vec<Value> = match &doms[v.idx()] {
+                Some(dom) => dom.iter().cloned().collect(),
+                None => values.to_vec(),
+            };
+            for val in candidates {
+                binding.insert(v.0, val);
+                instantiate_atom(atom, doms, values, col + 1, binding, out);
+            }
+            binding.remove(&v.0);
+        }
+    }
+}
+
+/// A sound emptiness test that avoids the exponential E2 search: the
+/// *fresh-escape* test. Instantiate a disjunct tableau generically — every
+/// infinite-domain variable gets a distinct fresh value — and ask whether
+/// the resulting tuples could *ever* participate in a constraint violation,
+/// for **any** database `D` whose values avoid the fresh ones:
+///
+/// * a violation is an instantiation of some CC body mapping each atom
+///   either to a generic tuple or to an unknown `D` tuple;
+/// * `D` tuples cannot carry fresh values, so a shared variable bound to a
+///   fresh value by a generic tuple rules the mapping out;
+/// * a mapping that uses only generic tuples has a fully determined output,
+///   which is harmless when it already lands inside the CC's master
+///   projection.
+///
+/// If no CC can be violated, then every partially closed `D` extends by the
+/// generic tuples (with fresh values chosen outside `D`) to a partially
+/// closed `D′` with a brand-new answer — so `RCQ(Q, D_m, V) = ∅`
+/// (the generalisation of the unbounded-IND argument of Proposition 4.3).
+fn fresh_escape(setting: &Setting, t: &Tableau) -> Result<bool, RcError> {
+    if !t.domain_consistent(&setting.schema) {
+        return Ok(false);
+    }
+    let doms = t.var_domains(&setting.schema);
+    let head_vars = t.head_vars();
+    if !head_vars.iter().any(|v| doms[v.idx()].is_none()) {
+        return Ok(false); // no infinite head variable: nothing escapes
+    }
+    // Build the generic valuation μ*: fresh values for infinite-domain
+    // variables, a backtracking assignment for finite-domain ones (honouring
+    // the tableau inequalities).
+    let mut gen = ric_data::FreshValues::new();
+    for c in t.constants() {
+        gen.observe(&c);
+    }
+    for c in setting.dm.active_domain() {
+        gen.observe(&c);
+    }
+    for c in setting.v.constants() {
+        gen.observe(&c);
+    }
+    let n = t.n_vars as usize;
+    let mut assignment: Vec<Option<Value>> = vec![None; n];
+    let mut fresh_vals: BTreeSet<Value> = BTreeSet::new();
+    for v in 0..n {
+        if doms[v].is_none() {
+            let f = gen.fresh();
+            fresh_vals.insert(f.clone());
+            assignment[v] = Some(f);
+        }
+    }
+    if !assign_finite(t, &doms, 0, &mut assignment) {
+        return Ok(false); // finite domains cannot satisfy the inequalities
+    }
+    let mu = crate::valuations::materialize(t, &assignment);
+
+    // Can any CC body match the generic tuples?
+    for cc in &setting.v.ccs {
+        let Some(ucq) = cc.body.as_ucq(&setting.schema) else { return Ok(false) };
+        let rhs: BTreeSet<Tuple> = match &cc.rhs {
+            ric_constraints::CcRhs::Empty => BTreeSet::new(),
+            ric_constraints::CcRhs::Master(p) => p.eval(&setting.dm),
+        };
+        for body in ucq.tableaux()? {
+            let mut binding: Vec<Option<Value>> = vec![None; body.n_vars as usize];
+            let mut d_tainted: Vec<bool> = vec![false; body.n_vars as usize];
+            if hybrid_match(
+                &body, 0, &mu, &fresh_vals, &rhs, false, false, &mut binding, &mut d_tainted,
+            ) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+fn assign_finite(
+    t: &Tableau,
+    doms: &[Option<BTreeSet<Value>>],
+    var: usize,
+    assignment: &mut Vec<Option<Value>>,
+) -> bool {
+    if var == t.n_vars as usize {
+        return neqs_ok(t, assignment, true);
+    }
+    if assignment[var].is_some() {
+        return assign_finite(t, doms, var + 1, assignment);
+    }
+    let dom = doms[var].as_ref().expect("only finite vars unassigned").clone();
+    for val in dom {
+        assignment[var] = Some(val);
+        if neqs_ok(t, assignment, false) && assign_finite(t, doms, var + 1, assignment) {
+            return true;
+        }
+        assignment[var] = None;
+    }
+    false
+}
+
+fn neqs_ok(t: &Tableau, assignment: &[Option<Value>], total: bool) -> bool {
+    t.neqs.iter().all(|(l, r)| {
+        let lv = match l {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => assignment[v.idx()].clone(),
+        };
+        let rv = match r {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => assignment[v.idx()].clone(),
+        };
+        match (lv, rv) {
+            (Some(a), Some(b)) => a != b,
+            _ => !total,
+        }
+    })
+}
+
+/// Can `body` (a CC tableau) be instantiated with every atom mapped either
+/// to a generic tuple or to an unknown fresh-free `D` tuple, such that the
+/// result is a potential *violation*? An all-generic match whose output
+/// lands in `rhs` is harmless. `d_tainted` marks variables appearing in
+/// `D`-mapped atoms — they may never take a fresh value, because `D` is
+/// chosen disjoint from the fresh pool.
+#[allow(clippy::too_many_arguments)]
+fn hybrid_match(
+    body: &Tableau,
+    atom_idx: usize,
+    generic: &[(RelId, Tuple)],
+    fresh: &BTreeSet<Value>,
+    rhs: &BTreeSet<Tuple>,
+    any_d_atom: bool,
+    used_generic: bool,
+    binding: &mut Vec<Option<Value>>,
+    d_tainted: &mut Vec<bool>,
+) -> bool {
+    if atom_idx == body.atoms.len() {
+        if !used_generic {
+            // A match entirely inside D already exists in D itself; it is
+            // not a *new* violation introduced by the generic tuples.
+            return false;
+        }
+        if !neqs_ok(body, binding, false) {
+            return false;
+        }
+        if any_d_atom {
+            // Unknown D tuples involved: conservatively a potential
+            // violation (their values could realise anything fresh-free).
+            return true;
+        }
+        // Fully generic: the output is determined; harmless iff inside rhs.
+        let out = Tuple::new(body.head.iter().map(|term| match term {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => binding[v.idx()].clone().expect("all vars bound"),
+        }));
+        return !rhs.contains(&out);
+    }
+    let atom = &body.atoms[atom_idx];
+    // Option 1: map to one of the generic tuples.
+    for (rel, tuple) in generic {
+        if *rel != atom.rel || tuple.arity() != atom.args.len() {
+            continue;
+        }
+        let mut newly: Vec<usize> = Vec::new();
+        let mut ok = true;
+        for (term, value) in atom.args.iter().zip(tuple.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match &binding[v.idx()] {
+                    Some(b) => {
+                        if b != value {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        // A D-constrained variable cannot take a fresh value.
+                        if d_tainted[v.idx()] && fresh.contains(value) {
+                            ok = false;
+                            break;
+                        }
+                        binding[v.idx()] = Some(value.clone());
+                        newly.push(v.idx());
+                    }
+                },
+            }
+        }
+        let matched = ok
+            && neqs_ok(body, binding, false)
+            && hybrid_match(
+                body, atom_idx + 1, generic, fresh, rhs, any_d_atom, true, binding, d_tainted,
+            );
+        for i in newly {
+            binding[i] = None;
+        }
+        if matched {
+            return true;
+        }
+    }
+    // Option 2: map to an unknown D tuple — possible only if none of the
+    // atom's already-bound variables carries a fresh value; its variables
+    // become D-constrained for the rest of the search.
+    let d_possible = atom.args.iter().all(|term| match term {
+        Term::Const(_) => true,
+        Term::Var(v) => match &binding[v.idx()] {
+            Some(val) => !fresh.contains(val),
+            None => true,
+        },
+    });
+    if d_possible {
+        let mut newly_tainted: Vec<usize> = Vec::new();
+        for term in &atom.args {
+            if let Term::Var(v) = term {
+                if !d_tainted[v.idx()] {
+                    d_tainted[v.idx()] = true;
+                    newly_tainted.push(v.idx());
+                }
+            }
+        }
+        let matched = hybrid_match(
+            body, atom_idx + 1, generic, fresh, rhs, true, used_generic, binding, d_tainted,
+        );
+        for i in newly_tainted {
+            d_tainted[i] = false;
+        }
+        if matched {
+            return true;
+        }
+    }
+    false
+}
+
+/// The E2-driven search (Proposition 4.2) for `L_C` among CQ/UCQ/∃FO⁺.
+fn rcqp_general(
+    setting: &Setting,
+    query: &Query,
+    seed: &Database,
+    tableaux: &[Tableau],
+    budget: &SearchBudget,
+) -> Result<QueryVerdict, RcError> {
+    // Sound emptiness fast path: a disjunct whose generic instantiation
+    // escapes every constraint dooms all candidate databases.
+    for t in tableaux {
+        if fresh_escape(setting, t)? {
+            return Ok(QueryVerdict::Empty);
+        }
+    }
+    // Fast path: a greedy completion from the seed often succeeds for
+    // queries whose witnesses answer the query (e.g. full-key FDs).
+    if let Some(witness) = greedy_witness(
+        setting,
+        query,
+        seed,
+        budget,
+        GREEDY_PROBE_TUPLES.min(budget.max_witness_tuples),
+    )? {
+        return Ok(QueryVerdict::Nonempty { witness: Some(witness) });
+    }
+    // Fresh pool for candidate tuples. The paper's small-model bound may
+    // need as many fresh values as the largest constraint tableau has
+    // variables; track whether the configured pool reaches that, since an
+    // exhausted search only proves emptiness relative to its pool.
+    let mut needed_fresh: usize = 0;
+    for cc in &setting.v.ccs {
+        if let Some(ucq) = cc.body.as_ucq(&setting.schema) {
+            for t in ucq.tableaux()? {
+                needed_fresh = needed_fresh.max(t.n_vars as usize);
+            }
+        }
+    }
+    let n_fresh = budget.fresh_values.max(1);
+    let pool_is_exact = n_fresh >= needed_fresh;
+    let adom = Adom::build(seed, setting, query, n_fresh);
+    let mut values = adom.constants.clone();
+    values.extend(adom.fresh.iter().cloned());
+    // Estimate the pool before materialising it: Σ |values|^{vars per atom}.
+    const MAX_POOL: usize = 4096;
+    let mut estimate = 0usize;
+    for cc in &setting.v.ccs {
+        if let Some(ucq) = cc.body.as_ucq(&setting.schema) {
+            for t in ucq.tableaux()? {
+                for atom in &t.atoms {
+                    let vars: BTreeSet<_> = atom.vars().collect();
+                    estimate = estimate
+                        .saturating_add(values.len().max(1).saturating_pow(vars.len() as u32));
+                }
+            }
+        }
+    }
+    if estimate > MAX_POOL {
+        return Ok(QueryVerdict::Unknown {
+            searched: format!(
+                "estimated candidate pool of {estimate} tuples exceeds the searchable bound \
+                 of {MAX_POOL}"
+            ),
+        });
+    }
+    let mut pool = candidate_pool(setting, tableaux, &values)?;
+
+    // Pre-filter: a tuple that violates V on its own can never belong to a
+    // consistent subset.
+    {
+        let mut kept = Vec::with_capacity(pool.len());
+        for entry in pool {
+            let mut single = Database::with_relations(setting.schema.len());
+            single.insert(entry.rel, entry.tuple.clone());
+            // Upper bounds only: a lone tuple cannot be expected to satisfy
+            // lower bounds (the seed provides those).
+            if setting.v.upper_satisfied(&single, &setting.dm)? {
+                kept.push(entry);
+            }
+        }
+        pool = kept;
+    }
+    // A tuple is *inert* when its relation occurs in no multi-atom
+    // constraint tableau: having survived the single-tuple filter it can
+    // never participate in a violation, so every maximal subset contains it
+    // (its exclude branch is skipped below).
+    let mut multi_atom_rels: BTreeSet<RelId> = BTreeSet::new();
+    for cc in &setting.v.ccs {
+        if let Some(ucq) = cc.body.as_ucq(&setting.schema) {
+            for t in ucq.tableaux()? {
+                if t.atoms.len() >= 2 {
+                    multi_atom_rels.extend(t.atoms.iter().map(|a| a.rel));
+                }
+            }
+        }
+    }
+    let inert: Vec<bool> = pool.iter().map(|e| !multi_atom_rels.contains(&e.rel)).collect();
+
+
+    // Enumerate maximal V-consistent subsets of the pool; E2 is monotone in
+    // D_𝒱, so checking maximal subsets decides ∃𝒱.E2.
+    let mut meter = Meter::new(budget.max_candidates);
+    let q_cqs = match query.as_ucq() {
+        Some(u) => u.disjuncts,
+        None => unreachable!("dispatch guarantees UCQ-expressible"),
+    };
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut current = seed.clone();
+    let mut result: Option<Database> = None;
+    let outcome = maximal_subsets(
+        setting,
+        &pool,
+        &inert,
+        0,
+        &mut chosen,
+        &mut current,
+        &mut meter,
+        &mut |db: &Database, entries: &[usize]| -> Result<bool, RcError> {
+            // E2 over this maximal D_𝒱: bound values are the pinned
+            // constraint-head values of the chosen instantiations.
+            let bound: BTreeSet<Value> = entries
+                .iter()
+                .flat_map(|&i| pool[i].bound.iter().cloned())
+                .collect();
+            for cq in &q_cqs {
+                match crate::characterize::e2_check(setting, cq, db, &bound, budget)? {
+                    Some(true) => {}
+                    _ => return Ok(false),
+                }
+            }
+            Ok(true)
+        },
+        &mut result,
+    )?;
+    match outcome {
+        MaxOutcome::Found => {
+            let witness = result.expect("Found sets the result");
+            // Certify the witness with the RCDP decider; E2 guarantees
+            // nonemptiness (Proposition 4.2), the certificate is a bonus.
+            let certified = matches!(
+                crate::rcdp::rcdp_exact(setting, query, &witness, budget)?,
+                Verdict::Complete
+            );
+            Ok(QueryVerdict::Nonempty { witness: certified.then_some(witness) })
+        }
+        MaxOutcome::Exhausted if pool_is_exact => Ok(QueryVerdict::Empty),
+        MaxOutcome::Exhausted => Ok(QueryVerdict::Unknown {
+            searched: format!(
+                "no E2 witness over a fresh pool of {n_fresh} value(s); emptiness would need \
+                 {needed_fresh} (raise SearchBudget::fresh_values for an exact verdict)"
+            ),
+        }),
+        MaxOutcome::Budget => Ok(QueryVerdict::Unknown {
+            searched: format!(
+                "candidate budget of {} exhausted over a pool of {} tuples",
+                budget.max_candidates,
+                pool.len()
+            ),
+        }),
+    }
+}
+
+#[derive(PartialEq, Eq, Debug)]
+enum MaxOutcome {
+    Found,
+    Exhausted,
+    Budget,
+}
+
+/// Enumerate the maximal `V`-consistent subsets of the pool, invoking
+/// `check` on each; a `true` check stores the subset in `result` and stops.
+#[allow(clippy::too_many_arguments)]
+fn maximal_subsets(
+    setting: &Setting,
+    pool: &[PoolEntry],
+    inert: &[bool],
+    idx: usize,
+    chosen: &mut Vec<usize>,
+    current: &mut Database,
+    meter: &mut Meter,
+    check: &mut impl FnMut(&Database, &[usize]) -> Result<bool, RcError>,
+    result: &mut Option<Database>,
+) -> Result<MaxOutcome, RcError> {
+    if !meter.tick() {
+        return Ok(MaxOutcome::Budget);
+    }
+    if idx == pool.len() {
+        // Maximality: no excluded entry can be consistently added.
+        for (i, entry) in pool.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            if current.instance(entry.rel).contains(&entry.tuple) {
+                continue; // same tuple contributed by another template
+            }
+            let mut extended = current.clone();
+            extended.insert(entry.rel, entry.tuple.clone());
+            if setting.partially_closed(&extended)? {
+                return Ok(MaxOutcome::Exhausted); // not maximal; skip
+            }
+        }
+        if check(current, chosen)? {
+            *result = Some(current.clone());
+            return Ok(MaxOutcome::Found);
+        }
+        return Ok(MaxOutcome::Exhausted);
+    }
+    let entry = &pool[idx];
+    // Include branch (only if consistent).
+    let already = current.instance(entry.rel).contains(&entry.tuple);
+    let mut extended = current.clone();
+    extended.insert(entry.rel, entry.tuple.clone());
+    if setting.partially_closed(&extended)? {
+        chosen.push(idx);
+        let out = maximal_subsets(
+            setting, pool, inert, idx + 1, chosen, &mut extended, meter, check, result,
+        )?;
+        chosen.pop();
+        if out != MaxOutcome::Exhausted {
+            return Ok(out);
+        }
+        // Inert tuples belong to every maximal subset; skip their exclude
+        // branch.
+        if inert[idx] {
+            return Ok(MaxOutcome::Exhausted);
+        }
+    }
+    // Exclude branch (pointless if the tuple is already present).
+    if already {
+        return Ok(MaxOutcome::Exhausted);
+    }
+    maximal_subsets(setting, pool, inert, idx + 1, chosen, current, meter, check, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint, Projection};
+    use ric_data::{RelationSchema, Schema};
+    use ric_query::parse_cq;
+
+    fn supt_schema() -> Schema {
+        Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "dept", "cid"])])
+            .unwrap()
+    }
+
+    /// A query over a completely open-world database can never be complete.
+    #[test]
+    fn open_world_query_is_not_relatively_complete() {
+        let schema = supt_schema();
+        let setting = Setting::open_world(schema.clone());
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+        assert_eq!(
+            rcqp(&setting, &q, &SearchBudget::default()).unwrap(),
+            QueryVerdict::Empty
+        );
+    }
+
+    /// With the cid column IND-bounded by master data, the query becomes
+    /// relatively complete and a witness is constructed.
+    #[test]
+    fn ind_bounded_query_is_relatively_complete() {
+        let schema = supt_schema();
+        let supt = schema.rel_id("Supt").unwrap();
+        let mschema =
+            Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
+        let dcust = mschema.rel_id("DCust").unwrap();
+        let mut dm = Database::empty(&mschema);
+        for c in ["c1", "c2"] {
+            dm.insert(dcust, Tuple::new([Value::str(c)]));
+        }
+        let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(supt, vec![2])),
+            dcust,
+            vec![0],
+        )]);
+        let setting = Setting::new(schema.clone(), mschema, dm, v);
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+        match rcqp(&setting, &q, &SearchBudget::default()).unwrap() {
+            QueryVerdict::Nonempty { witness: Some(w) } => {
+                assert_eq!(
+                    crate::rcdp(&setting, &q, &w, &SearchBudget::default()).unwrap(),
+                    Verdict::Complete
+                );
+            }
+            other => panic!("expected nonempty with witness, got {other:?}"),
+        }
+    }
+
+    /// Example 4.1: Q4 selects Supt tuples with eid = e0 ∧ dept = d0; under
+    /// the FD eid → dept a single blocking tuple (e0, d′, c) with d′ ≠ d0
+    /// makes a complete database — the query is relatively complete even
+    /// though its head is unbounded, because a D⁻ can block all additions.
+    #[test]
+    fn example_4_1_blocking_witness_found() {
+        let schema =
+            Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "dept"])])
+                .unwrap();
+        let supt = schema.rel_id("Supt").unwrap();
+        let fd = ric_constraints::Fd::new(supt, vec![0], vec![1]); // eid → dept
+        let v = ConstraintSet::new(ric_constraints::compile::fd_to_ccs(&fd, &schema));
+        let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
+        // Q4 (projected): employees paired with dept d0, for eid = e0.
+        let q: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.").unwrap().into();
+        let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
+        match rcqp(&setting, &q, &budget).unwrap() {
+            QueryVerdict::Nonempty { witness } => {
+                if let Some(w) = witness {
+                    assert_eq!(
+                        crate::rcdp(&setting, &q, &w, &budget).unwrap(),
+                        Verdict::Complete,
+                        "witness {w} must be certified complete"
+                    );
+                }
+            }
+            other => panic!("expected nonempty, got {other:?}"),
+        }
+    }
+
+    /// Example 4.1 continued: with only eid → dept, the query asking for the
+    /// *employees* with dept d0 is not relatively complete — eid stays free,
+    /// fresh employees can always be injected.
+    #[test]
+    fn example_4_1_unbounded_head_is_empty() {
+        let schema =
+            Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "dept"])])
+                .unwrap();
+        let supt = schema.rel_id("Supt").unwrap();
+        let fd = ric_constraints::Fd::new(supt, vec![0], vec![1]); // eid → dept
+        let v = ConstraintSet::new(ric_constraints::compile::fd_to_ccs(&fd, &schema));
+        let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
+        let q: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0').").unwrap().into();
+        // The FD tableau has 3 variables; give the pool that many fresh
+        // values so the exhausted search is paper-exact (Empty, not Unknown).
+        let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
+        assert_eq!(rcqp(&setting, &q, &budget).unwrap(), QueryVerdict::Empty);
+    }
+
+    /// Example 4.1 final part: with the full FD eid → dept, cid the query Q2
+    /// (all customers of e0) becomes relatively complete — a single
+    /// (e0, d0, c0) tuple pins the answer; the greedy probe finds it.
+    #[test]
+    fn example_4_1_full_fd_is_nonempty() {
+        let schema = supt_schema();
+        let supt = schema.rel_id("Supt").unwrap();
+        let fd = ric_constraints::Fd::new(supt, vec![0], vec![1, 2]);
+        let v = ConstraintSet::new(ric_constraints::compile::fd_to_ccs(&fd, &schema));
+        let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+        match rcqp(&setting, &q, &SearchBudget::default()).unwrap() {
+            QueryVerdict::Nonempty { witness: Some(w) } => {
+                assert_eq!(
+                    crate::rcdp(&setting, &q, &w, &SearchBudget::default()).unwrap(),
+                    Verdict::Complete
+                );
+            }
+            other => panic!("expected nonempty, got {other:?}"),
+        }
+    }
+
+    /// A finite-domain head is trivially relatively complete (E1).
+    #[test]
+    fn finite_head_is_relatively_complete() {
+        let schema = Schema::from_relations(vec![RelationSchema::new(
+            "B",
+            vec![ric_data::Attribute::boolean("x"), ric_data::Attribute::new("y")],
+        )])
+        .unwrap();
+        let setting = Setting::open_world(schema.clone());
+        let q: Query = parse_cq(&schema, "Q(X) :- B(X, Y).").unwrap().into();
+        match rcqp(&setting, &q, &SearchBudget::default()).unwrap() {
+            QueryVerdict::Nonempty { witness } => {
+                if let Some(w) = witness {
+                    assert_eq!(
+                        crate::rcdp(&setting, &q, &w, &SearchBudget::default()).unwrap(),
+                        Verdict::Complete
+                    );
+                }
+            }
+            other => panic!("expected nonempty, got {other:?}"),
+        }
+    }
+
+    /// Unsatisfiable queries are relatively complete with the empty witness.
+    #[test]
+    fn unsatisfiable_query_nonempty() {
+        let schema = supt_schema();
+        let setting = Setting::open_world(schema.clone());
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt(E, D, C), C != C.").unwrap().into();
+        match rcqp(&setting, &q, &SearchBudget::default()).unwrap() {
+            QueryVerdict::Nonempty { witness: Some(w) } => assert!(w.is_all_empty()),
+            other => panic!("expected nonempty with empty witness, got {other:?}"),
+        }
+    }
+
+    /// The at-most-k denial constraint makes the query relatively complete:
+    /// a database holding k distinct answers blocks all further additions.
+    #[test]
+    fn at_most_k_denial_is_nonempty() {
+        let schema =
+            Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "cid"])])
+                .unwrap();
+        let supt = schema.rel_id("Supt").unwrap();
+        let denial = ric_constraints::classical::at_most_k_per_key(supt, 0, 1, 2, 2);
+        let v = ConstraintSet::new(vec![ric_constraints::compile::denial_to_cc(&denial)]);
+        let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', C).").unwrap().into();
+        let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
+        match rcqp(&setting, &q, &budget).unwrap() {
+            QueryVerdict::Nonempty { witness } => {
+                if let Some(w) = witness {
+                    assert_eq!(crate::rcdp(&setting, &q, &w, &budget).unwrap(), Verdict::Complete);
+                }
+            }
+            other => panic!("expected nonempty, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Bounded semi-decision for the undecidable cells of Tables I and II.
+//!
+//! When `L_Q` or `L_C` is FO or FP, RCDP and RCQP are undecidable (Theorems
+//! 3.1 and 4.1) — no terminating procedure can decide them. What *is*
+//! possible, and what this module provides, is a bounded search over
+//! candidate extensions:
+//!
+//! * [`rcdp_bounded`] — enumerate extensions `Δ` built from tuples over the
+//!   active domain plus a small fresh pool, up to `budget.max_delta_tuples`
+//!   tuples. Finding `Δ` with `(D ∪ Δ, D_m) |= V` and `Q(D ∪ Δ) ≠ Q(D)`
+//!   *certifies* incompleteness; exhausting the bound yields `Unknown`.
+//! * [`rcqp_bounded`] — search for a candidate database that `rcdp_bounded`
+//!   cannot refute within the bound. Because completeness itself is
+//!   undecidable here, a surviving candidate is only evidence, so the result
+//!   is at best `Unknown` with a description of how far the search went —
+//!   exactly the epistemic state the undecidability theorems force.
+
+use crate::adom::Adom;
+use crate::budget::{Meter, SearchBudget};
+use crate::query::Query;
+use crate::setting::Setting;
+use crate::verdict::{CounterExample, QueryVerdict, RcError, Verdict};
+use ric_data::{Database, RelId, Tuple, Value};
+
+/// Upper bound on the materialised candidate pool; beyond it the bounded
+/// searches report `Unknown` instead of exhausting memory.
+const MAX_POOL: usize = 100_000;
+
+/// Estimated pool size (saturating): Σ over relations of |values|^arity.
+pub(crate) fn pool_estimate(setting: &Setting, n_values: usize) -> usize {
+    let mut total = 0usize;
+    for (_, rs) in setting.schema.iter() {
+        let mut per = 1usize;
+        for attr in &rs.attributes {
+            let base = match attr.domain.finite_values() {
+                Some(d) => d.len(),
+                None => n_values,
+            };
+            per = per.saturating_mul(base.max(1));
+        }
+        total = total.saturating_add(per);
+    }
+    total
+}
+
+/// All candidate tuples over `values`, per relation, respecting finite
+/// domains, excluding tuples already in `db`.
+pub(crate) fn tuple_pool(
+    setting: &Setting,
+    db: &Database,
+    values: &[Value],
+) -> Vec<(RelId, Tuple)> {
+    let mut pool = Vec::new();
+    for (rel, rs) in setting.schema.iter() {
+        let arity = rs.arity();
+        let mut current: Vec<Value> = Vec::with_capacity(arity);
+        fill(rs, values, 0, &mut current, &mut |t: Tuple| {
+            if !db.instance(rel).contains(&t) {
+                pool.push((rel, t));
+            }
+        });
+    }
+    pool
+}
+
+fn fill(
+    rs: &ric_data::RelationSchema,
+    values: &[Value],
+    col: usize,
+    current: &mut Vec<Value>,
+    out: &mut impl FnMut(Tuple),
+) {
+    if col == rs.arity() {
+        out(Tuple::new(current.iter().cloned()));
+        return;
+    }
+    match rs.attributes[col].domain.finite_values() {
+        Some(dom) => {
+            for v in dom {
+                current.push(v.clone());
+                fill(rs, values, col + 1, current, out);
+                current.pop();
+            }
+        }
+        None => {
+            for v in values {
+                current.push(v.clone());
+                fill(rs, values, col + 1, current, out);
+                current.pop();
+            }
+        }
+    }
+}
+
+/// Bounded RCDP: certify incompleteness with a small witness extension, or
+/// report `Unknown`.
+pub fn rcdp_bounded(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+) -> Result<Verdict, RcError> {
+    let q_d = query.eval(db)?;
+    let adom = Adom::build(db, setting, query, budget.fresh_values);
+    let mut values = adom.constants.clone();
+    values.extend(adom.fresh.iter().cloned());
+    if pool_estimate(setting, values.len()) > MAX_POOL {
+        return Ok(Verdict::Unknown {
+            searched: format!(
+                "candidate tuple space exceeds {MAX_POOL} over {} values; \
+                 narrow the schema or shrink the database",
+                values.len()
+            ),
+        });
+    }
+    let pool = tuple_pool(setting, db, &values);
+    let mut meter = Meter::new(budget.max_candidates);
+
+    for size in 1..=budget.max_delta_tuples.min(pool.len()) {
+        let mut chosen: Vec<usize> = Vec::with_capacity(size);
+        let found = choose(
+            &pool,
+            0,
+            size,
+            &mut chosen,
+            &mut meter,
+            &mut |subset: &[usize]| -> Result<Option<CounterExample>, RcError> {
+                let mut delta = Database::with_relations(setting.schema.len());
+                for &i in subset {
+                    let (rel, t) = &pool[i];
+                    delta.insert(*rel, t.clone());
+                }
+                let extended = db.union(&delta).expect("same schema");
+                if !setting.partially_closed(&extended)? {
+                    return Ok(None);
+                }
+                let q_after = query.eval(&extended)?;
+                if q_after != q_d {
+                    // For non-monotone L_Q an addition can also *remove*
+                    // answers; report any distinguishing tuple.
+                    let new_answer = q_after
+                        .symmetric_difference(&q_d)
+                        .next()
+                        .expect("answers differ")
+                        .clone();
+                    return Ok(Some(CounterExample { delta, new_answer }));
+                }
+                Ok(None)
+            },
+        )?;
+        match found {
+            ChooseOutcome::Found(ce) => return Ok(Verdict::Incomplete(ce)),
+            ChooseOutcome::Budget => {
+                return Ok(Verdict::Unknown {
+                    searched: format!(
+                        "bounded search: candidate budget {} exhausted at extension size {size}",
+                        budget.max_candidates
+                    ),
+                })
+            }
+            ChooseOutcome::Exhausted => {}
+        }
+    }
+    Ok(Verdict::Unknown {
+        searched: format!(
+            "bounded search: no violating extension with ≤ {} tuple(s) over {} candidate tuple(s) \
+             ({} fresh value(s))",
+            budget.max_delta_tuples.min(pool.len()),
+            pool.len(),
+            budget.fresh_values
+        ),
+    })
+}
+
+enum ChooseOutcome {
+    Found(CounterExample),
+    Budget,
+    Exhausted,
+}
+
+fn choose(
+    pool: &[(RelId, Tuple)],
+    start: usize,
+    remaining: usize,
+    chosen: &mut Vec<usize>,
+    meter: &mut Meter,
+    check: &mut impl FnMut(&[usize]) -> Result<Option<CounterExample>, RcError>,
+) -> Result<ChooseOutcome, RcError> {
+    if remaining == 0 {
+        if !meter.tick() {
+            return Ok(ChooseOutcome::Budget);
+        }
+        if let Some(ce) = check(chosen)? {
+            return Ok(ChooseOutcome::Found(ce));
+        }
+        return Ok(ChooseOutcome::Exhausted);
+    }
+    for i in start..pool.len() {
+        chosen.push(i);
+        let outcome = choose(pool, i + 1, remaining - 1, chosen, meter, check)?;
+        chosen.pop();
+        match outcome {
+            ChooseOutcome::Exhausted => {}
+            other => return Ok(other),
+        }
+    }
+    Ok(ChooseOutcome::Exhausted)
+}
+
+/// Bounded RCQP for undecidable language combinations: search small candidate
+/// databases; a candidate that survives [`rcdp_bounded`] within budget is
+/// reported (as evidence, not proof) in the `Unknown` description; finding a
+/// certified violating extension for *every* candidate is likewise not a
+/// proof of emptiness, because the candidate space is unbounded.
+pub fn rcqp_bounded(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+) -> Result<QueryVerdict, RcError> {
+    let empty = Database::empty(&setting.schema);
+    let adom = Adom::build(&empty, setting, query, budget.fresh_values);
+    let mut values = adom.constants.clone();
+    values.extend(adom.fresh.iter().cloned());
+    if pool_estimate(setting, values.len()) > MAX_POOL {
+        return Ok(QueryVerdict::Unknown {
+            searched: format!("candidate tuple space exceeds {MAX_POOL}"),
+        });
+    }
+    let pool = tuple_pool(setting, &empty, &values);
+    let mut meter = Meter::new(budget.max_candidates);
+
+    let max_size = budget.max_delta_tuples.min(pool.len());
+    for size in 0..=max_size {
+        let mut chosen: Vec<usize> = Vec::with_capacity(size);
+        let mut survivor: Option<Database> = None;
+        let outcome = choose(
+            &pool,
+            0,
+            size,
+            &mut chosen,
+            &mut meter,
+            &mut |subset: &[usize]| -> Result<Option<CounterExample>, RcError> {
+                let mut db = Database::with_relations(setting.schema.len());
+                for &i in subset {
+                    let (rel, t) = &pool[i];
+                    db.insert(*rel, t.clone());
+                }
+                if !setting.partially_closed(&db)? {
+                    return Ok(None);
+                }
+                if let Verdict::Unknown { .. } = rcdp_bounded(setting, query, &db, budget)? {
+                    // No refutation within bound: treat as a survivor and
+                    // abuse the Found channel to stop the search.
+                    survivor = Some(db);
+                    return Ok(Some(CounterExample {
+                        delta: Database::with_relations(setting.schema.len()),
+                        new_answer: Tuple::unit(),
+                    }));
+                }
+                Ok(None)
+            },
+        )?;
+        match outcome {
+            ChooseOutcome::Found(_) => {
+                let db = survivor.expect("set before found");
+                return Ok(QueryVerdict::Unknown {
+                    searched: format!(
+                        "undecidable combination: candidate with {} tuple(s) not refuted within \
+                         extension bound {} (evidence only)",
+                        db.tuple_count(),
+                        budget.max_delta_tuples
+                    ),
+                });
+            }
+            ChooseOutcome::Budget => {
+                return Ok(QueryVerdict::Unknown {
+                    searched: "candidate budget exhausted".to_string(),
+                })
+            }
+            ChooseOutcome::Exhausted => {}
+        }
+    }
+    Ok(QueryVerdict::Unknown {
+        searched: format!(
+            "undecidable combination: every candidate database with ≤ {max_size} tuple(s) was \
+             refuted within the extension bound"
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ric_constraints::ConstraintSet;
+    use ric_data::{RelationSchema, Schema};
+    use ric_query::{parse_program, FoExpr, FoQuery, Term, Var};
+
+    fn edge_schema() -> Schema {
+        Schema::from_relations(vec![RelationSchema::infinite("E", &["a", "b"])]).unwrap()
+    }
+
+    #[test]
+    fn fp_query_incompleteness_found() {
+        // Transitive closure query on an open-world edge relation: adding an
+        // edge changes the answer, so any finite DB is incomplete; the
+        // bounded search certifies this.
+        let schema = edge_schema();
+        let setting = Setting::open_world(schema.clone());
+        let p = parse_program(&schema, "Tc(X,Y) :- E(X,Y). Tc(X,Y) :- E(X,Z), Tc(Z,Y).", "Tc")
+            .unwrap();
+        let q: Query = p.into();
+        let db = Database::empty(&schema);
+        let verdict = crate::rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap();
+        match verdict {
+            Verdict::Incomplete(ce) => {
+                assert!(crate::rcdp::certify_counterexample(&setting, &q, &db, &ce).unwrap());
+            }
+            other => panic!("expected incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fo_query_with_blocking_constraint_reports_unknown() {
+        // Q := ∀x∀y ¬E(x,y) (emptiness of E) with a CC forbidding any E
+        // tuple: no extension is allowed, so the bounded search finds no
+        // counterexample and honestly reports Unknown.
+        let schema = edge_schema();
+        let e = schema.rel_id("E").unwrap();
+        let (x, y) = (Var(0), Var(1));
+        let fo = FoQuery::new(
+            vec![],
+            FoExpr::Forall(
+                vec![x, y],
+                Box::new(FoExpr::not(FoExpr::Atom(ric_query::Atom::new(
+                    e,
+                    vec![Term::Var(x), Term::Var(y)],
+                )))),
+            ),
+            vec!["x".into(), "y".into()],
+        );
+        let block = ric_query::parse_cq(&schema, "Q(X, Y) :- E(X, Y).").unwrap();
+        let v = ConstraintSet::new(vec![ric_constraints::ContainmentConstraint::into_empty(
+            ric_constraints::CcBody::Cq(block),
+        )]);
+        let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
+        let db = Database::empty(&schema);
+        let verdict = crate::rcdp(&setting, &Query::Fo(fo), &db, &SearchBudget::small()).unwrap();
+        match verdict {
+            Verdict::Unknown { .. } => {}
+            other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fo_query_answer_can_shrink() {
+        // Q(x) := E(x,x) ∧ ∀y ¬E(x,y) is non-monotone-ish; simpler: Q :=
+        // ¬∃x E(x,x). Adding a loop removes the empty-tuple answer.
+        let schema = edge_schema();
+        let e = schema.rel_id("E").unwrap();
+        let x = Var(0);
+        let fo = FoQuery::new(
+            vec![],
+            FoExpr::not(FoExpr::Exists(
+                vec![x],
+                Box::new(FoExpr::Atom(ric_query::Atom::new(
+                    e,
+                    vec![Term::Var(x), Term::Var(x)],
+                ))),
+            )),
+            vec!["x".into()],
+        );
+        let setting = Setting::open_world(schema.clone());
+        let mut db = Database::empty(&schema);
+        db.insert(e, Tuple::new([Value::int(1), Value::int(2)]));
+        let verdict =
+            crate::rcdp(&setting, &Query::Fo(fo.clone()), &db, &SearchBudget::default()).unwrap();
+        match verdict {
+            Verdict::Incomplete(ce) => {
+                // The distinguishing tuple is the unit tuple leaving the
+                // answer set.
+                assert_eq!(ce.new_answer, Tuple::unit());
+            }
+            other => panic!("expected incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tuple_pool_respects_finite_domains_and_db() {
+        let schema = Schema::from_relations(vec![RelationSchema::new(
+            "B",
+            vec![ric_data::Attribute::boolean("x")],
+        )])
+        .unwrap();
+        let b = schema.rel_id("B").unwrap();
+        let setting = Setting::open_world(schema.clone());
+        let mut db = Database::empty(&schema);
+        db.insert(b, Tuple::new([Value::int(0)]));
+        let pool = tuple_pool(&setting, &db, &[Value::int(42)]);
+        // Only (1) remains: (0) is in db and 42 is outside the domain.
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool[0].1, Tuple::new([Value::int(1)]));
+    }
+
+    #[test]
+    fn rcqp_bounded_reports_unknown_with_evidence() {
+        let schema = edge_schema();
+        let setting = Setting::open_world(schema.clone());
+        let p = parse_program(&schema, "Tc(X,Y) :- E(X,Y). Tc(X,Y) :- E(X,Z), Tc(Z,Y).", "Tc")
+            .unwrap();
+        let verdict = rcqp_bounded(&setting, &Query::Fp(p), &SearchBudget::small()).unwrap();
+        match verdict {
+            QueryVerdict::Unknown { .. } => {}
+            other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Enumeration of *valid valuations* (Section 3.2).
+//!
+//! A valuation `μ` of the tableau variables is valid when (a) each variable
+//! draws from its active domain — the full finite domain `d_f` for
+//! finite-domain variables, `Adom` (constants + `New`) otherwise — and (b)
+//! `Q(μ(T_Q)) ≠ ∅`, which for CQ means exactly that the inequalities of the
+//! tableau hold under `μ`.
+//!
+//! The enumerator walks variables in an order that puts head variables first
+//! (so callers can prune whole subtrees once the candidate output tuple is
+//! known to already be in `Q(D)`), checks inequalities as soon as both sides
+//! are bound, and breaks the symmetry of the fresh pool: fresh value `k+1` is
+//! only tried after fresh values `0..k` are in use. Symmetry breaking is
+//! sound because no input mentions a fresh value, so every predicate the
+//! deciders evaluate is invariant under permutations of the pool.
+
+use crate::adom::Adom;
+use crate::budget::Meter;
+use ric_data::{Schema, Value};
+use ric_query::tableau::{Tableau, Valuation};
+use ric_query::Term;
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+/// How an enumeration run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EnumOutcome {
+    /// Every valid valuation was visited.
+    Exhausted,
+    /// A callback broke out early.
+    Stopped,
+    /// The meter ran out.
+    BudgetExceeded,
+}
+
+/// Candidate values for one variable.
+#[derive(Clone, Debug)]
+enum Cands {
+    /// A finite-domain variable: exactly these values.
+    Finite(Vec<Value>),
+    /// An infinite-domain variable: the shared constants plus the
+    /// (symmetry-broken) fresh pool.
+    Infinite,
+}
+
+/// A prepared enumeration over the valid valuations of one tableau.
+pub struct ValuationSpace<'a> {
+    tableau: &'a Tableau,
+    adom: &'a Adom,
+    cands: Vec<Cands>,
+    /// Variable assignment order; head variables first.
+    order: Vec<u32>,
+    /// How many leading entries of `order` are head variables.
+    head_prefix: usize,
+}
+
+impl<'a> ValuationSpace<'a> {
+    /// Prepare the space for `tableau` over `adom`, reading per-variable
+    /// domains from `schema`.
+    pub fn new(tableau: &'a Tableau, schema: &Schema, adom: &'a Adom) -> Self {
+        let doms = tableau.var_domains(schema);
+        let cands = doms
+            .into_iter()
+            .map(|d| match d {
+                Some(set) => Cands::Finite(set.into_iter().collect()),
+                None => Cands::Infinite,
+            })
+            .collect();
+        // Head variables first, then the rest in index order.
+        let head: BTreeSet<u32> = tableau.head_vars().iter().map(|v| v.0).collect();
+        let mut order: Vec<u32> = head.iter().copied().collect();
+        for v in 0..tableau.n_vars {
+            if !head.contains(&v) {
+                order.push(v);
+            }
+        }
+        let head_prefix = head.len();
+        ValuationSpace { tableau, adom, cands, order, head_prefix }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.tableau.n_vars as usize
+    }
+
+    /// Enumerate valid valuations.
+    ///
+    /// * `meter` — ticked once per assignment tried; exhaustion aborts.
+    /// * `head_filter` — called once all head variables are bound, with the
+    ///   partial binding; returning `false` prunes the subtree.
+    /// * `visit` — called for each valid valuation; `Break` stops the run.
+    pub fn for_each_valid(
+        &self,
+        meter: &mut Meter,
+        mut head_filter: impl FnMut(&[Option<Value>]) -> bool,
+        mut visit: impl FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> EnumOutcome {
+        let mut binding: Vec<Option<Value>> = vec![None; self.n_vars()];
+        let mut no_prune = |_: &[Option<Value>]| true;
+        // Special case: no variables at all — one (empty) valuation.
+        self.rec(0, 0, &mut binding, meter, &mut head_filter, &mut no_prune, &mut visit)
+    }
+
+    /// Like [`Self::for_each_valid`], with an additional `partial_filter`
+    /// invoked after every consistent binding step; returning `false` prunes
+    /// the subtree. Sound for any property that is *anti-monotone in the
+    /// instantiated tuples* — in particular "the tuples instantiated so far
+    /// do not yet violate `V`": constraint bodies are monotone, so a partial
+    /// violation persists in every completion (the pruning the Σᵖ₂
+    /// reduction instances of Theorem 3.6 rely on to stay tractable).
+    pub fn for_each_valid_pruned(
+        &self,
+        meter: &mut Meter,
+        mut head_filter: impl FnMut(&[Option<Value>]) -> bool,
+        mut partial_filter: impl FnMut(&[Option<Value>]) -> bool,
+        mut visit: impl FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> EnumOutcome {
+        let mut binding: Vec<Option<Value>> = vec![None; self.n_vars()];
+        self.rec(0, 0, &mut binding, meter, &mut head_filter, &mut partial_filter, &mut visit)
+    }
+
+    /// The tuples of `μ(T_Q)` whose atoms are fully bound under a partial
+    /// binding (constants-only atoms always qualify).
+    pub fn bound_atoms(&self, binding: &[Option<Value>]) -> Vec<(ric_data::RelId, ric_data::Tuple)> {
+        let mut out = Vec::new();
+        'atoms: for atom in &self.tableau.atoms {
+            let mut fields = Vec::with_capacity(atom.args.len());
+            for t in &atom.args {
+                match term_val(t, binding) {
+                    Some(v) => fields.push(v.clone()),
+                    None => continue 'atoms,
+                }
+            }
+            out.push((atom.rel, ric_data::Tuple::new(fields)));
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        &self,
+        depth: usize,
+        fresh_used: usize,
+        binding: &mut Vec<Option<Value>>,
+        meter: &mut Meter,
+        head_filter: &mut dyn FnMut(&[Option<Value>]) -> bool,
+        partial_filter: &mut dyn FnMut(&[Option<Value>]) -> bool,
+        visit: &mut dyn FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> EnumOutcome {
+        if depth == self.head_prefix && !head_filter(binding) {
+            return EnumOutcome::Exhausted; // pruned subtree, not a stop
+        }
+        if depth == self.order.len() {
+            let mu = Valuation(
+                binding
+                    .iter()
+                    .map(|b| b.clone().expect("all variables bound"))
+                    .collect(),
+            );
+            return match visit(&mu) {
+                ControlFlow::Continue(()) => EnumOutcome::Exhausted,
+                ControlFlow::Break(()) => EnumOutcome::Stopped,
+            };
+        }
+        let var = self.order[depth] as usize;
+        // Candidates paired with the fresh-pool usage after choosing them.
+        let candidates: Vec<(Value, usize)> = match &self.cands[var] {
+            Cands::Finite(vals) => vals.iter().map(|v| (v.clone(), fresh_used)).collect(),
+            Cands::Infinite => {
+                let mut out: Vec<(Value, usize)> = self
+                    .adom
+                    .constants
+                    .iter()
+                    .map(|v| (v.clone(), fresh_used))
+                    .collect();
+                // Symmetry-broken fresh pool: reuse any fresh value already in
+                // use, or introduce exactly the next unused one.
+                let limit = (fresh_used + 1).min(self.adom.fresh.len());
+                for (i, v) in self.adom.fresh[..limit].iter().enumerate() {
+                    let next = if i == fresh_used { fresh_used + 1 } else { fresh_used };
+                    out.push((v.clone(), next));
+                }
+                out
+            }
+        };
+        for (value, next_fresh) in candidates {
+            if !meter.tick() {
+                return EnumOutcome::BudgetExceeded;
+            }
+            binding[var] = Some(value);
+            let outcome = if self.neqs_consistent(binding) && partial_filter(binding) {
+                self.rec(depth + 1, next_fresh, binding, meter, head_filter, partial_filter, visit)
+            } else {
+                EnumOutcome::Exhausted
+            };
+            binding[var] = None;
+            match outcome {
+                EnumOutcome::Exhausted => {}
+                other => return other,
+            }
+        }
+        EnumOutcome::Exhausted
+    }
+
+    /// Are the tableau inequalities consistent with the partial binding?
+    fn neqs_consistent(&self, binding: &[Option<Value>]) -> bool {
+        self.tableau.neqs.iter().all(|(l, r)| {
+            match (term_val(l, binding), term_val(r, binding)) {
+                (Some(a), Some(b)) => a != b,
+                _ => true,
+            }
+        })
+    }
+}
+
+/// Instantiate every atom of a tableau under a total assignment, returning
+/// `(relation, tuple)` pairs (used by the fresh-escape emptiness test).
+pub fn materialize(
+    t: &Tableau,
+    assignment: &[Option<Value>],
+) -> Vec<(ric_data::RelId, ric_data::Tuple)> {
+    t.atoms
+        .iter()
+        .map(|atom| {
+            let tuple = ric_data::Tuple::new(atom.args.iter().map(|term| match term {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => assignment[v.idx()].clone().expect("total assignment"),
+            }));
+            (atom.rel, tuple)
+        })
+        .collect()
+}
+
+fn term_val<'b>(t: &'b Term, binding: &'b [Option<Value>]) -> Option<&'b Value> {
+    match t {
+        Term::Const(c) => Some(c),
+        Term::Var(v) => binding[v.idx()].as_ref(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ric_data::{Attribute, Database, RelationSchema};
+    use ric_query::{parse_cq, Cq};
+
+    fn boolean_schema() -> Schema {
+        Schema::from_relations(vec![RelationSchema::new(
+            "B",
+            vec![Attribute::boolean("x"), Attribute::new("y")],
+        )])
+        .unwrap()
+    }
+
+    fn adom_for(schema: &Schema, q: &Cq, n_fresh: usize) -> Adom {
+        let setting = crate::Setting::open_world(schema.clone());
+        let db = Database::empty(schema);
+        Adom::build(&db, &setting, &crate::Query::Cq(q.clone()), n_fresh)
+    }
+
+    #[test]
+    fn finite_vars_range_over_their_domain() {
+        let s = boolean_schema();
+        let q = parse_cq(&s, "Q(X) :- B(X, Y).").unwrap();
+        let t = ric_query::Tableau::of(&q).unwrap();
+        let adom = adom_for(&s, &q, 2);
+        let space = ValuationSpace::new(&t, &s, &adom);
+        let mut seen = Vec::new();
+        let mut meter = Meter::new(1_000_000);
+        let out = space.for_each_valid(
+            &mut meter,
+            |_| true,
+            |mu| {
+                seen.push(mu.clone());
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(out, EnumOutcome::Exhausted);
+        // X ∈ {0,1}; Y infinite: constants ∅ (no db constants) + fresh pool
+        // symmetry-broken to exactly 1 representative.
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn symmetry_breaking_collapses_fresh_permutations() {
+        let s =
+            Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+        let q = parse_cq(&s, "Q(X, Y) :- R(X, Y), X != Y.").unwrap();
+        let t = ric_query::Tableau::of(&q).unwrap();
+        let adom = adom_for(&s, &q, 3);
+        let space = ValuationSpace::new(&t, &s, &adom);
+        let mut count = 0;
+        let mut meter = Meter::new(1_000_000);
+        space.for_each_valid(
+            &mut meter,
+            |_| true,
+            |_| {
+                count += 1;
+                ControlFlow::Continue(())
+            },
+        );
+        // With no constants, the only canonical valuation is
+        // (fresh0, fresh1): fresh0=fresh1 violates X≠Y, permutations are
+        // broken, and fresh2 can never be introduced before fresh1.
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn head_filter_prunes() {
+        let s =
+            Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+        let q = parse_cq(&s, "Q(X) :- R(X, Y).").unwrap();
+        let t = ric_query::Tableau::of(&q).unwrap();
+        let adom = adom_for(&s, &q, 2);
+        let space = ValuationSpace::new(&t, &s, &adom);
+        let mut visited = 0;
+        let mut meter = Meter::new(1_000_000);
+        let out = space.for_each_valid(
+            &mut meter,
+            |_| false, // prune everything
+            |_| {
+                visited += 1;
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(out, EnumOutcome::Exhausted);
+        assert_eq!(visited, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let s =
+            Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+        let q = parse_cq(&s, "Q(X, Y) :- R(X, Y).").unwrap();
+        let t = ric_query::Tableau::of(&q).unwrap();
+        let adom = adom_for(&s, &q, 3);
+        let space = ValuationSpace::new(&t, &s, &adom);
+        let mut meter = Meter::new(1);
+        let out = space.for_each_valid(&mut meter, |_| true, |_| ControlFlow::Continue(()));
+        assert_eq!(out, EnumOutcome::BudgetExceeded);
+    }
+
+    #[test]
+    fn early_stop_reported() {
+        let s =
+            Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+        let q = parse_cq(&s, "Q(X, Y) :- R(X, Y).").unwrap();
+        let t = ric_query::Tableau::of(&q).unwrap();
+        let adom = adom_for(&s, &q, 3);
+        let space = ValuationSpace::new(&t, &s, &adom);
+        let mut meter = Meter::new(1_000_000);
+        let out = space.for_each_valid(&mut meter, |_| true, |_| ControlFlow::Break(()));
+        assert_eq!(out, EnumOutcome::Stopped);
+    }
+
+    #[test]
+    fn zero_variable_tableau_yields_unit_valuation() {
+        let s = Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
+        let q = parse_cq(&s, "Q() :- R(5).").unwrap();
+        let t = ric_query::Tableau::of(&q).unwrap();
+        let adom = adom_for(&s, &q, 1);
+        let space = ValuationSpace::new(&t, &s, &adom);
+        let mut seen = 0;
+        let mut meter = Meter::new(10);
+        let out = space.for_each_valid(
+            &mut meter,
+            |_| true,
+            |mu| {
+                assert!(mu.0.is_empty());
+                seen += 1;
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(out, EnumOutcome::Exhausted);
+        assert_eq!(seen, 1);
+    }
+}

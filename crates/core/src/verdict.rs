@@ -1,0 +1,119 @@
+//! Verdicts and certificates.
+
+use ric_data::{Database, Tuple};
+use ric_query::tableau::TableauError;
+use std::fmt;
+
+/// A certified counterexample to relative completeness: an extension Δ such
+/// that `(D ∪ Δ, D_m) |= V` but `Q(D ∪ Δ) ≠ Q(D)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CounterExample {
+    /// The tuples to add (disjoint from `D`).
+    pub delta: Database,
+    /// A tuple in `Q(D ∪ Δ) \ Q(D)` witnessing the change.
+    pub new_answer: Tuple,
+}
+
+/// Outcome of an RCDP decision.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// `D` is complete for `Q` relative to `(D_m, V)`.
+    Complete,
+    /// `D` is not complete; the certificate is checkable.
+    Incomplete(CounterExample),
+    /// The search budget was exhausted before a decision was reached (or the
+    /// language combination is undecidable and the bounded search found no
+    /// counterexample).
+    Unknown {
+        /// Human-readable description of the bound that was hit.
+        searched: String,
+    },
+}
+
+impl Verdict {
+    /// Is this `Complete`?
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Verdict::Complete)
+    }
+
+    /// Is this `Incomplete`?
+    pub fn is_incomplete(&self) -> bool {
+        matches!(self, Verdict::Incomplete(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Complete => write!(f, "complete"),
+            Verdict::Incomplete(ce) => {
+                write!(f, "incomplete (adding {} tuple(s) yields new answer {})",
+                    ce.delta.tuple_count(), ce.new_answer)
+            }
+            Verdict::Unknown { searched } => write!(f, "unknown ({searched})"),
+        }
+    }
+}
+
+/// Outcome of an RCQP decision.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryVerdict {
+    /// Some complete database exists; `witness`, when present, is one such
+    /// database (certified by the RCDP decider before being returned).
+    Nonempty {
+        /// A relatively complete database, if one was constructed within
+        /// budget.
+        witness: Option<Database>,
+    },
+    /// No database is complete for the query relative to `(D_m, V)`.
+    Empty,
+    /// Budget exhausted before a decision.
+    Unknown {
+        /// Human-readable description of the bound that was hit.
+        searched: String,
+    },
+}
+
+impl QueryVerdict {
+    /// Is this `Nonempty`?
+    pub fn is_nonempty(&self) -> bool {
+        matches!(self, QueryVerdict::Nonempty { .. })
+    }
+
+    /// Is this `Empty`?
+    pub fn is_empty_verdict(&self) -> bool {
+        matches!(self, QueryVerdict::Empty)
+    }
+}
+
+/// Errors raised by the deciders.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RcError {
+    /// The input database is not partially closed: `(D, D_m) ⊭ V`. Both
+    /// problems take partially closed databases as input (Section 2.1).
+    NotPartiallyClosed,
+    /// A query or constraint body is malformed (unsafe variable, …).
+    Query(TableauError),
+    /// A datalog constraint or query failed validation.
+    Program(String),
+}
+
+impl From<TableauError> for RcError {
+    fn from(e: TableauError) -> Self {
+        RcError::Query(e)
+    }
+}
+
+impl fmt::Display for RcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RcError::NotPartiallyClosed => {
+                write!(f, "input database violates the containment constraints")
+            }
+            RcError::Query(e) => write!(f, "malformed query: {e}"),
+            RcError::Program(e) => write!(f, "malformed datalog program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RcError {}

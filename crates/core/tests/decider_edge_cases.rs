@@ -1,0 +1,206 @@
+//! Edge cases for the deciders: Boolean queries, mixed UCQ disjuncts, ∃FO⁺
+//! dispatch, and the budget/Unknown paths.
+
+use ric_complete::{rcdp, rcqp, Query, QueryVerdict, SearchBudget, Setting, Verdict};
+use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint, Projection};
+use ric_data::{Database, RelationSchema, Schema, Tuple, Value};
+use ric_query::{parse_cq, parse_ucq, EfoExpr, EfoQuery, Term, Var};
+
+fn open_schema() -> Schema {
+    Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap()
+}
+
+/// Boolean queries have a finite (empty) head: they are always relatively
+/// complete, and a database answering `true` is complete.
+#[test]
+fn boolean_query_lifecycle() {
+    let schema = open_schema();
+    let r = schema.rel_id("R").unwrap();
+    let setting = Setting::open_world(schema.clone());
+    let q: Query = parse_cq(&schema, "Q() :- R(X, X).").unwrap().into();
+
+    // Empty database: incomplete (the Boolean answer can still flip).
+    let empty = Database::empty(&schema);
+    let verdict = rcdp(&setting, &q, &empty, &SearchBudget::default()).unwrap();
+    assert!(verdict.is_incomplete());
+
+    // A database answering true is complete: the answer can never flip back
+    // (CQ is monotone).
+    let mut db = Database::empty(&schema);
+    db.insert(r, Tuple::new([Value::int(1), Value::int(1)]));
+    assert_eq!(
+        rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap(),
+        Verdict::Complete
+    );
+
+    // And RCQP is nonempty with a certified witness.
+    match rcqp(&setting, &q, &SearchBudget::default()).unwrap() {
+        QueryVerdict::Nonempty { witness: Some(w) } => {
+            assert_eq!(
+                rcdp(&setting, &q, &w, &SearchBudget::default()).unwrap(),
+                Verdict::Complete
+            );
+        }
+        other => panic!("expected nonempty, got {other:?}"),
+    }
+}
+
+/// A UCQ mixing a satisfiable and an unsatisfiable disjunct behaves like the
+/// satisfiable disjunct alone.
+#[test]
+fn ucq_with_unsatisfiable_disjunct() {
+    let schema = open_schema();
+    let setting = Setting::open_world(schema.clone());
+    let u: Query = parse_ucq(
+        &schema,
+        "Q(X) :- R(X, Y), X != X. Q(X) :- R(X, 1).",
+    )
+    .unwrap()
+    .into();
+    let db = Database::empty(&schema);
+    let verdict = rcdp(&setting, &u, &db, &SearchBudget::default()).unwrap();
+    assert!(verdict.is_incomplete(), "the live disjunct is open world");
+}
+
+/// ∃FO⁺ queries dispatch through the same exact machinery.
+#[test]
+fn efo_query_exact_dispatch() {
+    let schema = open_schema();
+    let r = schema.rel_id("R").unwrap();
+    let mschema = Schema::from_relations(vec![RelationSchema::infinite("M", &["a"])]).unwrap();
+    let m = mschema.rel_id("M").unwrap();
+    let mut dm = Database::empty(&mschema);
+    dm.insert(m, Tuple::new([Value::int(1)]));
+    dm.insert(m, Tuple::new([Value::int(2)]));
+    let v = ConstraintSet::new(vec![
+        ContainmentConstraint::into_master(CcBody::Proj(Projection::new(r, vec![0])), m, vec![0]),
+        ContainmentConstraint::into_master(CcBody::Proj(Projection::new(r, vec![1])), m, vec![0]),
+    ]);
+    let setting = Setting::new(schema.clone(), mschema, dm, v);
+    // Q(x) := ∃y (R(x,y) ∧ (y = 1 ∨ y = 2))
+    let (x, y) = (Var(0), Var(1));
+    let body = EfoExpr::And(vec![
+        EfoExpr::Atom(ric_query::Atom::new(r, vec![Term::Var(x), Term::Var(y)])),
+        EfoExpr::Or(vec![
+            EfoExpr::Eq(Term::Var(y), Term::from(1)),
+            EfoExpr::Eq(Term::Var(y), Term::from(2)),
+        ]),
+    ]);
+    let q: Query = EfoQuery::new(vec![Term::Var(x)], body, vec!["x".into(), "y".into()]).into();
+
+    // Full database over the master domain: complete.
+    let mut db = Database::empty(&schema);
+    for a in [1i64, 2] {
+        for b in [1i64, 2] {
+            db.insert(r, Tuple::new([Value::int(a), Value::int(b)]));
+        }
+    }
+    assert_eq!(
+        rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap(),
+        Verdict::Complete
+    );
+    // Remove one source value: incomplete.
+    let mut partial = Database::empty(&schema);
+    partial.insert(r, Tuple::new([Value::int(1), Value::int(1)]));
+    assert!(rcdp(&setting, &q, &partial, &SearchBudget::default())
+        .unwrap()
+        .is_incomplete());
+}
+
+/// The RCQP budget path: a tiny candidate budget yields `Unknown`, never a
+/// wrong `Empty`.
+#[test]
+fn rcqp_budget_exhaustion_is_honest() {
+    let schema = Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "dept"])])
+        .unwrap();
+    let supt = schema.rel_id("Supt").unwrap();
+    let fd = ric_constraints::Fd::new(supt, vec![0], vec![1]);
+    let v = ConstraintSet::new(ric_constraints::compile::fd_to_ccs(&fd, &schema));
+    let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
+    let q: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.").unwrap().into();
+    let tiny = SearchBudget {
+        fresh_values: 3,
+        max_candidates: 1,
+        max_valuations: 50, // also starves the greedy probe
+        ..SearchBudget::default()
+    };
+    match rcqp(&setting, &q, &tiny).unwrap() {
+        QueryVerdict::Unknown { .. } | QueryVerdict::Nonempty { .. } => {}
+        QueryVerdict::Empty => panic!("budget exhaustion must not fabricate emptiness"),
+    }
+}
+
+/// Completeness is monotone along the greedy completion path: every prefix
+/// of the collected extension keeps the database partially closed.
+#[test]
+fn completion_path_stays_partially_closed() {
+    let schema =
+        Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "cid"])]).unwrap();
+    let supt = schema.rel_id("Supt").unwrap();
+    let mschema = Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
+    let dcust = mschema.rel_id("DCust").unwrap();
+    let mut dm = Database::empty(&mschema);
+    for c in 0..4 {
+        dm.insert(dcust, Tuple::new([Value::str(format!("c{c}"))]));
+    }
+    let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+        CcBody::Proj(Projection::new(supt, vec![1])),
+        dcust,
+        vec![0],
+    )]);
+    let setting = Setting::new(schema.clone(), mschema, dm, v);
+    let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', C).").unwrap().into();
+    let db = Database::empty(&schema);
+    match ric_complete::extend::complete_extension(&setting, &q, &db, &SearchBudget::default())
+        .unwrap()
+    {
+        ric_complete::extend::CompletionOutcome::Completed { added, result } => {
+            assert_eq!(added.tuple_count(), 4);
+            assert!(setting.partially_closed(&result).unwrap());
+            // Add the tuples one at a time: every prefix is partially closed.
+            let mut current = db.clone();
+            for (rel, inst) in added.iter() {
+                for t in inst.iter() {
+                    current.insert(rel, t.clone());
+                    assert!(setting.partially_closed(&current).unwrap());
+                }
+            }
+        }
+        other => panic!("expected completion, got {other:?}"),
+    }
+}
+
+/// Nested master projections: a CC whose right-hand side projects a *wider*
+/// master relation onto a column subset.
+#[test]
+fn master_projection_subset_columns() {
+    let schema = Schema::from_relations(vec![RelationSchema::infinite("T", &["k"])]).unwrap();
+    let t = schema.rel_id("T").unwrap();
+    let mschema =
+        Schema::from_relations(vec![RelationSchema::infinite("Wide", &["k", "x", "y"])]).unwrap();
+    let wide = mschema.rel_id("Wide").unwrap();
+    let mut dm = Database::empty(&mschema);
+    dm.insert(wide, Tuple::new([Value::int(1), Value::int(10), Value::int(20)]));
+    dm.insert(wide, Tuple::new([Value::int(2), Value::int(30), Value::int(40)]));
+    let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+        CcBody::Proj(Projection::new(t, vec![0])),
+        wide,
+        vec![0],
+    )]);
+    let setting = Setting::new(schema.clone(), mschema, dm, v);
+    let q: Query = parse_cq(&schema, "Q(K) :- T(K).").unwrap().into();
+    let mut db = Database::empty(&schema);
+    db.insert(t, Tuple::new([Value::int(1)]));
+    let verdict = rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap();
+    match verdict {
+        Verdict::Incomplete(ce) => {
+            assert_eq!(ce.new_answer, Tuple::new([Value::int(2)]));
+        }
+        other => panic!("expected incomplete (key 2 missing), got {other:?}"),
+    }
+    db.insert(t, Tuple::new([Value::int(2)]));
+    assert_eq!(
+        rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap(),
+        Verdict::Complete
+    );
+}

@@ -1,0 +1,153 @@
+//! The Section 5 extension: containment constraints *from master data into
+//! the database* (`p(D_m) ⊆ q(D)`), as Example 1.1 needs for
+//! `Manage ⊇ Manage_m`.
+
+use ric_complete::{rcdp, rcqp, Query, QueryVerdict, RcError, SearchBudget, Setting, Verdict};
+use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint, LowerBound, Projection};
+use ric_data::{Database, RelationSchema, Schema, Tuple, Value};
+use ric_query::parse_cq;
+
+/// Manage(up, down) must contain the master hierarchy Manage_m, and its
+/// participants are bounded by the master employee list.
+fn hierarchy_setting() -> Setting {
+    let schema =
+        Schema::from_relations(vec![RelationSchema::infinite("Manage", &["up", "down"])]).unwrap();
+    let manage = schema.rel_id("Manage").unwrap();
+    let mschema = Schema::from_relations(vec![
+        RelationSchema::infinite("ManageM", &["up", "down"]),
+        RelationSchema::infinite("Emp", &["eid"]),
+    ])
+    .unwrap();
+    let manage_m = mschema.rel_id("ManageM").unwrap();
+    let emp = mschema.rel_id("Emp").unwrap();
+    let mut dm = Database::empty(&mschema);
+    for (a, b) in [("e2", "e1"), ("e1", "e0")] {
+        dm.insert(manage_m, Tuple::new([Value::str(a), Value::str(b)]));
+    }
+    for e in ["e0", "e1", "e2", "e3"] {
+        dm.insert(emp, Tuple::new([Value::str(e)]));
+    }
+    let mut v = ConstraintSet::new(vec![
+        ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(manage, vec![0])),
+            emp,
+            vec![0],
+        ),
+        ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(manage, vec![1])),
+            emp,
+            vec![0],
+        ),
+    ]);
+    // The Section 5 lower bound: Manage ⊇ Manage_m.
+    v.push_lower_bound(LowerBound {
+        master: Projection::new(manage_m, vec![0, 1]),
+        body: CcBody::Proj(Projection::new(manage, vec![0, 1])),
+    });
+    Setting::new(schema, mschema, dm, v)
+}
+
+#[test]
+fn databases_missing_master_edges_are_not_partially_closed() {
+    let setting = hierarchy_setting();
+    let manage = setting.schema.rel_id("Manage").unwrap();
+    let q: Query = parse_cq(&setting.schema, "Q(X) :- Manage(X, 'e0').").unwrap().into();
+
+    // Missing the master hierarchy: rejected as input.
+    let empty = Database::empty(&setting.schema);
+    assert_eq!(
+        rcdp(&setting, &q, &empty, &SearchBudget::default()),
+        Err(RcError::NotPartiallyClosed)
+    );
+
+    // Containing it: accepted, and the bounded employee list makes the
+    // one-hop query decidable as usual.
+    let mut db = Database::empty(&setting.schema);
+    for (a, b) in [("e2", "e1"), ("e1", "e0")] {
+        db.insert(manage, Tuple::new([Value::str(a), Value::str(b)]));
+    }
+    let verdict = rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap();
+    // e3 (a master employee not yet in Manage) could still manage e0.
+    match verdict {
+        Verdict::Incomplete(ce) => {
+            assert!(
+                ric_complete::rcdp::certify_counterexample(&setting, &q, &db, &ce).unwrap()
+            );
+        }
+        other => panic!("expected incomplete, got {other:?}"),
+    }
+
+    // Saturate the up-column possibilities for e0: complete.
+    for e in ["e0", "e1", "e2", "e3"] {
+        db.insert(manage, Tuple::new([Value::str(e), Value::str("e0")]));
+    }
+    assert_eq!(
+        rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap(),
+        Verdict::Complete
+    );
+}
+
+#[test]
+fn rcqp_seeds_candidates_with_the_forced_content() {
+    let setting = hierarchy_setting();
+    let q: Query = parse_cq(&setting.schema, "Q(X) :- Manage(X, 'e0').").unwrap().into();
+    match rcqp(&setting, &q, &SearchBudget::default()).unwrap() {
+        QueryVerdict::Nonempty { witness: Some(w) } => {
+            // The witness contains the forced master hierarchy…
+            let manage = setting.schema.rel_id("Manage").unwrap();
+            assert!(w
+                .instance(manage)
+                .contains(&Tuple::new([Value::str("e1"), Value::str("e0")])));
+            // …and is certified complete.
+            assert_eq!(
+                rcdp(&setting, &q, &w, &SearchBudget::default()).unwrap(),
+                Verdict::Complete
+            );
+        }
+        other => panic!("expected nonempty with witness, got {other:?}"),
+    }
+}
+
+#[test]
+fn lower_bound_satisfaction_is_preserved_under_extension() {
+    let setting = hierarchy_setting();
+    let manage = setting.schema.rel_id("Manage").unwrap();
+    let mut db = Database::empty(&setting.schema);
+    for (a, b) in [("e2", "e1"), ("e1", "e0")] {
+        db.insert(manage, Tuple::new([Value::str(a), Value::str(b)]));
+    }
+    assert!(setting.partially_closed(&db).unwrap());
+    // Any extension keeps the lower bound satisfied (monotone body).
+    db.insert(manage, Tuple::new([Value::str("e3"), Value::str("e2")]));
+    assert!(setting.partially_closed(&db).unwrap());
+}
+
+#[test]
+fn non_projection_lower_bound_reports_unknown_for_rcqp() {
+    let schema =
+        Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+    let r = schema.rel_id("R").unwrap();
+    let mschema = Schema::from_relations(vec![RelationSchema::infinite("M", &["a"])]).unwrap();
+    let m = mschema.rel_id("M").unwrap();
+    let mut dm = Database::empty(&mschema);
+    dm.insert(m, Tuple::new([Value::int(1)]));
+    let mut v = ConstraintSet::empty();
+    // Lower bound with a join body: no canonical seed.
+    let body = parse_cq(&schema, "Q(X) :- R(X, Y), R(Y, X).").unwrap();
+    v.push_lower_bound(LowerBound {
+        master: Projection::new(m, vec![0]),
+        body: CcBody::Cq(body),
+    });
+    // Add an upper bound so the setting is not a pure IND set.
+    v.push(ContainmentConstraint::into_master(
+        CcBody::Proj(Projection::new(r, vec![0])),
+        m,
+        vec![0],
+    ));
+    let setting = Setting::new(schema.clone(), mschema, dm, v);
+    let q: Query = parse_cq(&schema, "Q(X) :- R(X, Y).").unwrap().into();
+    match rcqp(&setting, &q, &SearchBudget::default()).unwrap() {
+        QueryVerdict::Unknown { .. } => {}
+        other => panic!("expected honest unknown, got {other:?}"),
+    }
+}

@@ -1,0 +1,399 @@
+//! Tuples, instances, and databases.
+//!
+//! Instances use set semantics with deterministic (ordered) iteration so that
+//! valuation enumeration in the deciders is reproducible run to run. The
+//! containment order `D ⊆ D′` (Section 2.1) and extension construction
+//! (`D ∪ Δ`) are the operations the completeness definitions are built on.
+
+use crate::error::DataError;
+use crate::schema::{RelId, Schema};
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A tuple: an ordered list of constants.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(pub Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl IntoIterator<Item = Value>) -> Self {
+        Tuple(values.into_iter().collect())
+    }
+
+    /// The empty (nullary) tuple `()` — Boolean query results.
+    pub fn unit() -> Self {
+        Tuple(Box::new([]))
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Project onto the given column positions.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple(cols.iter().map(|&c| self.0[c].clone()).collect())
+    }
+
+    /// Field access.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// Iterate the fields.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.0.iter()
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(vs: [Value; N]) -> Self {
+        Tuple::new(vs)
+    }
+}
+
+impl Tuple {
+    fn fmt_parenthesised(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_parenthesised(f)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_parenthesised(f)
+    }
+}
+
+/// An instance of a single relation: a set of tuples.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Instance {
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Self {
+        Instance::default()
+    }
+
+    /// Build from tuples.
+    pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        Instance { tuples: tuples.into_iter().collect() }
+    }
+
+    /// Insert a tuple; returns whether it was new.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        self.tuples.insert(t)
+    }
+
+    /// Remove a tuple; returns whether it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Ordered iteration.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset(&self, other: &Instance) -> bool {
+        self.tuples.is_subset(&other.tuples)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Instance) {
+        for t in other.iter() {
+            self.tuples.insert(t.clone());
+        }
+    }
+}
+
+impl FromIterator<Tuple> for Instance {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Instance::from_tuples(iter)
+    }
+}
+
+/// A database: one [`Instance`] per relation of a [`Schema`].
+///
+/// The schema itself is *not* owned by the database; all operations that need
+/// schema information take it as a parameter. This keeps `Database` a plain
+/// value type that is cheap to clone and compare — the deciders clone
+/// candidate extensions constantly.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Database {
+    instances: Vec<Instance>,
+}
+
+impl Database {
+    /// The empty database over a schema with `n` relations.
+    pub fn empty(schema: &Schema) -> Self {
+        Database { instances: vec![Instance::new(); schema.len()] }
+    }
+
+    /// The empty database over `n` relations (schema-free construction).
+    pub fn with_relations(n: usize) -> Self {
+        Database { instances: vec![Instance::new(); n] }
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Is the database empty of relations?
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn tuple_count(&self) -> usize {
+        self.instances.iter().map(Instance::len).sum()
+    }
+
+    /// Are all instances empty?
+    pub fn is_all_empty(&self) -> bool {
+        self.instances.iter().all(Instance::is_empty)
+    }
+
+    /// The instance of a relation.
+    pub fn instance(&self, id: RelId) -> &Instance {
+        &self.instances[id.0]
+    }
+
+    /// Mutable access to the instance of a relation.
+    pub fn instance_mut(&mut self, id: RelId) -> &mut Instance {
+        &mut self.instances[id.0]
+    }
+
+    /// Insert a tuple, checking arity and finite-domain membership against the
+    /// schema.
+    pub fn insert_checked(
+        &mut self,
+        schema: &Schema,
+        id: RelId,
+        t: Tuple,
+    ) -> Result<bool, DataError> {
+        let rel = schema.relation(id)?;
+        if t.arity() != rel.arity() {
+            return Err(DataError::ArityMismatch { rel: id, expected: rel.arity(), got: t.arity() });
+        }
+        for (col, (v, a)) in t.iter().zip(rel.attributes.iter()).enumerate() {
+            if !a.domain.admits(v) {
+                return Err(DataError::DomainViolation { rel: id, col, value: v.to_string() });
+            }
+        }
+        Ok(self.instances[id.0].insert(t))
+    }
+
+    /// Insert a tuple without schema checks (used by internal algorithms that
+    /// construct tuples from schema-derived templates).
+    pub fn insert(&mut self, id: RelId, t: Tuple) -> bool {
+        self.instances[id.0].insert(t)
+    }
+
+    /// `self ⊆ other` component-wise (Section 2.1).
+    pub fn is_contained_in(&self, other: &Database) -> bool {
+        self.instances.len() == other.instances.len()
+            && self
+                .instances
+                .iter()
+                .zip(other.instances.iter())
+                .all(|(a, b)| a.is_subset(b))
+    }
+
+    /// `self ∪ other`, the canonical *extension* construction `D ∪ Δ`.
+    pub fn union(&self, other: &Database) -> Result<Database, DataError> {
+        if self.instances.len() != other.instances.len() {
+            return Err(DataError::SchemaMismatch);
+        }
+        let mut out = self.clone();
+        for (mine, theirs) in out.instances.iter_mut().zip(other.instances.iter()) {
+            mine.union_with(theirs);
+        }
+        Ok(out)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Database) -> Result<(), DataError> {
+        if self.instances.len() != other.instances.len() {
+            return Err(DataError::SchemaMismatch);
+        }
+        for (mine, theirs) in self.instances.iter_mut().zip(other.instances.iter()) {
+            mine.union_with(theirs);
+        }
+        Ok(())
+    }
+
+    /// The tuples of `self` missing from `other`, per relation — `self \ other`.
+    pub fn difference(&self, other: &Database) -> Result<Database, DataError> {
+        if self.instances.len() != other.instances.len() {
+            return Err(DataError::SchemaMismatch);
+        }
+        let mut out = Database::with_relations(self.instances.len());
+        for (i, (mine, theirs)) in self.instances.iter().zip(other.instances.iter()).enumerate() {
+            for t in mine.iter() {
+                if !theirs.contains(t) {
+                    out.instances[i].insert(t.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All constants appearing anywhere in the database (the *active domain*).
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        for inst in &self.instances {
+            for t in inst.iter() {
+                for v in t.iter() {
+                    out.insert(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterate `(RelId, &Instance)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Instance)> {
+        self.instances.iter().enumerate().map(|(i, inst)| (RelId(i), inst))
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, inst) in self.iter() {
+            write!(f, "{id}: {{")?;
+            for (i, t) in inst.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, RelationSchema};
+
+    fn schema() -> Schema {
+        Schema::from_relations(vec![
+            RelationSchema::infinite("R", &["a", "b"]),
+            RelationSchema::new("B", vec![Attribute::boolean("x")]),
+        ])
+        .unwrap()
+    }
+
+    fn t(vs: &[i64]) -> Tuple {
+        Tuple::new(vs.iter().map(|&v| Value::int(v)))
+    }
+
+    #[test]
+    fn insert_checked_validates_arity_and_domain() {
+        let s = schema();
+        let mut d = Database::empty(&s);
+        let r = s.rel_id("R").unwrap();
+        let b = s.rel_id("B").unwrap();
+        assert!(d.insert_checked(&s, r, t(&[1, 2])).unwrap());
+        assert!(!d.insert_checked(&s, r, t(&[1, 2])).unwrap()); // duplicate
+        assert!(matches!(
+            d.insert_checked(&s, r, t(&[1])),
+            Err(DataError::ArityMismatch { .. })
+        ));
+        assert!(d.insert_checked(&s, b, t(&[1])).unwrap());
+        assert!(matches!(
+            d.insert_checked(&s, b, t(&[7])),
+            Err(DataError::DomainViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn containment_and_union() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let mut d1 = Database::empty(&s);
+        d1.insert(r, t(&[1, 2]));
+        let mut d2 = d1.clone();
+        d2.insert(r, t(&[3, 4]));
+        assert!(d1.is_contained_in(&d2));
+        assert!(!d2.is_contained_in(&d1));
+        let u = d1.union(&d2).unwrap();
+        assert_eq!(u, d2);
+        assert_eq!(u.tuple_count(), 2);
+    }
+
+    #[test]
+    fn difference_yields_missing_tuples() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let mut d1 = Database::empty(&s);
+        d1.insert(r, t(&[1, 2]));
+        let mut d2 = d1.clone();
+        d2.insert(r, t(&[3, 4]));
+        let diff = d2.difference(&d1).unwrap();
+        assert_eq!(diff.tuple_count(), 1);
+        assert!(diff.instance(r).contains(&t(&[3, 4])));
+    }
+
+    #[test]
+    fn active_domain_collects_all_constants() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let mut d = Database::empty(&s);
+        d.insert(r, t(&[1, 2]));
+        d.insert(r, t(&[2, 3]));
+        let adom = d.active_domain();
+        assert_eq!(adom.len(), 3);
+        assert!(adom.contains(&Value::int(3)));
+    }
+
+    #[test]
+    fn tuple_projection() {
+        let x = t(&[10, 20, 30]);
+        assert_eq!(x.project(&[2, 0]), t(&[30, 10]));
+        assert_eq!(Tuple::unit().arity(), 0);
+    }
+
+    #[test]
+    fn schema_mismatch_detected() {
+        let d1 = Database::with_relations(1);
+        let d2 = Database::with_relations(2);
+        assert!(d1.union(&d2).is_err());
+        assert!(!d1.is_contained_in(&d2));
+    }
+}

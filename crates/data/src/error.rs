@@ -1,0 +1,63 @@
+//! Errors for the relational substrate.
+
+use crate::schema::RelId;
+use std::fmt;
+
+/// Errors raised when constructing or manipulating schemas and databases.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DataError {
+    /// Two relations with the same name in one schema.
+    DuplicateRelation(String),
+    /// A relation id that does not exist in the schema.
+    UnknownRelation(RelId),
+    /// A column index beyond the relation's arity.
+    ColumnOutOfRange {
+        /// Offending relation.
+        rel: RelId,
+        /// Requested column.
+        col: usize,
+        /// Actual arity.
+        arity: usize,
+    },
+    /// A tuple whose arity does not match its relation schema.
+    ArityMismatch {
+        /// Offending relation.
+        rel: RelId,
+        /// Expected arity.
+        expected: usize,
+        /// Arity of the inserted tuple.
+        got: usize,
+    },
+    /// A value outside the declared (finite) domain of its column.
+    DomainViolation {
+        /// Offending relation.
+        rel: RelId,
+        /// Offending column.
+        col: usize,
+        /// The rejected value, rendered.
+        value: String,
+    },
+    /// Two databases over different schemas were combined.
+    SchemaMismatch,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateRelation(n) => write!(f, "duplicate relation name `{n}`"),
+            DataError::UnknownRelation(id) => write!(f, "unknown relation {id}"),
+            DataError::ColumnOutOfRange { rel, col, arity } => {
+                write!(f, "column {col} out of range for {rel} (arity {arity})")
+            }
+            DataError::ArityMismatch { rel, expected, got } => {
+                write!(f, "arity mismatch for {rel}: expected {expected}, got {got}")
+            }
+            DataError::DomainViolation { rel, col, value } => {
+                write!(f, "value {value} outside the finite domain of {rel} column {col}")
+            }
+            DataError::SchemaMismatch => write!(f, "databases are over different schemas"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

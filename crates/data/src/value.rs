@@ -1,0 +1,123 @@
+//! Constants.
+//!
+//! The paper fixes two domains: a countably infinite domain `d` and a finite
+//! domain `d_f` with at least two elements (Section 2.1). We realise both with
+//! a single [`Value`] type; *which* domain an attribute draws from is recorded
+//! in the schema ([`crate::DomainKind`]), not in the value itself.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant appearing in a database, master data, query, or constraint.
+///
+/// `Int` covers the countably infinite domain; `Str` exists so that examples
+/// and scenario data can use readable constants (`"e0"`, `"NJ"`, …). The two
+/// variants never compare equal.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant (cheaply clonable).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub const fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_str_are_distinct() {
+        assert_ne!(Value::int(0), Value::str("0"));
+    }
+
+    #[test]
+    fn values_order_deterministically() {
+        let mut v = vec![Value::str("b"), Value::int(2), Value::str("a"), Value::int(1)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Value::int(1), Value::int(2), Value::str("a"), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7), Value::int(7));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::int(3).as_int(), Some(3));
+        assert_eq!(Value::str("y").as_str(), Some("y"));
+        assert_eq!(Value::int(3).as_str(), None);
+        assert_eq!(Value::str("y").as_int(), None);
+    }
+
+    #[test]
+    fn display_roundtrip_is_readable() {
+        assert_eq!(Value::int(-4).to_string(), "-4");
+        assert_eq!(Value::str("NJ").to_string(), "NJ");
+        assert_eq!(format!("{:?}", Value::str("NJ")), "\"NJ\"");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the relational substrate: the containment order,
+//! union/difference algebra, and active-domain bookkeeping the deciders rely
+//! on.
+
+use proptest::prelude::*;
+use ric_data::{Database, RelationSchema, Schema, Tuple, Value};
+
+fn schema() -> Schema {
+    Schema::from_relations(vec![
+        RelationSchema::infinite("R", &["a", "b"]),
+        RelationSchema::infinite("S", &["a"]),
+    ])
+    .unwrap()
+}
+
+prop_compose! {
+    fn arb_db()(r in proptest::collection::vec((0i64..8, 0i64..8), 0..10),
+                s in proptest::collection::vec(0i64..8, 0..6)) -> Database {
+        let sc = schema();
+        let mut db = Database::empty(&sc);
+        let rr = sc.rel_id("R").unwrap();
+        let ss = sc.rel_id("S").unwrap();
+        for (a, b) in r {
+            db.insert(rr, Tuple::new([Value::int(a), Value::int(b)]));
+        }
+        for a in s {
+            db.insert(ss, Tuple::new([Value::int(a)]));
+        }
+        db
+    }
+}
+
+proptest! {
+    /// `D ⊆ D ∪ Δ` and `Δ ⊆ D ∪ Δ`.
+    #[test]
+    fn union_is_an_upper_bound(d in arb_db(), delta in arb_db()) {
+        let u = d.union(&delta).unwrap();
+        prop_assert!(d.is_contained_in(&u));
+        prop_assert!(delta.is_contained_in(&u));
+    }
+
+    /// Union is idempotent, commutative, and associative (set semantics).
+    #[test]
+    fn union_algebra(a in arb_db(), b in arb_db(), c in arb_db()) {
+        prop_assert_eq!(a.union(&a).unwrap(), a.clone());
+        prop_assert_eq!(a.union(&b).unwrap(), b.union(&a).unwrap());
+        prop_assert_eq!(
+            a.union(&b).unwrap().union(&c).unwrap(),
+            a.union(&b.union(&c).unwrap()).unwrap()
+        );
+    }
+
+    /// `(A ∪ B) \ A ⊆ B` and `A ∪ ((A ∪ B) \ A) = A ∪ B`.
+    #[test]
+    fn difference_recovers_the_extension(a in arb_db(), b in arb_db()) {
+        let u = a.union(&b).unwrap();
+        let diff = u.difference(&a).unwrap();
+        prop_assert!(diff.is_contained_in(&b));
+        prop_assert_eq!(a.union(&diff).unwrap(), u);
+    }
+
+    /// Containment is a partial order: reflexive, antisymmetric, transitive.
+    #[test]
+    fn containment_is_a_partial_order(a in arb_db(), b in arb_db(), c in arb_db()) {
+        prop_assert!(a.is_contained_in(&a));
+        if a.is_contained_in(&b) && b.is_contained_in(&a) {
+            prop_assert_eq!(a.clone(), b.clone());
+        }
+        let ab = a.union(&b).unwrap();
+        let abc = ab.union(&c).unwrap();
+        prop_assert!(a.is_contained_in(&ab));
+        prop_assert!(ab.is_contained_in(&abc));
+        prop_assert!(a.is_contained_in(&abc));
+    }
+
+    /// The active domain of a union is the union of active domains.
+    #[test]
+    fn active_domain_distributes_over_union(a in arb_db(), b in arb_db()) {
+        let u = a.union(&b).unwrap();
+        let mut expected = a.active_domain();
+        expected.extend(b.active_domain());
+        prop_assert_eq!(u.active_domain(), expected);
+    }
+
+    /// Tuple counts: |A ∪ B| ≤ |A| + |B| with equality iff disjoint.
+    #[test]
+    fn union_tuple_count(a in arb_db(), b in arb_db()) {
+        let u = a.union(&b).unwrap();
+        prop_assert!(u.tuple_count() <= a.tuple_count() + b.tuple_count());
+        prop_assert!(u.tuple_count() >= a.tuple_count().max(b.tuple_count()));
+    }
+}

@@ -1,0 +1,24 @@
+//! # `ric-mdm` — master data management scenarios
+//!
+//! The paper motivates relative completeness through Master Data Management
+//! (Section 1 and Section 2.3): an enterprise keeps a closed-world master
+//! repository while its operational databases are only *partially* closed.
+//! This crate packages the running CRM example — master relation
+//! `DCust(cid, name, ac, phn)`, operational relations
+//! `Cust(cid, name, cc, ac, phn)` and `Supt(eid, dept, cid)`, containment
+//! constraints `φ0` (domestic customers bounded by `DCust`) and `φ1` (an
+//! employee supports at most `k` customers) — together with the queries
+//! `Q0, Q0′, Q1, Q2, Q3` of Examples 1.1 and 2.3, and the three
+//! *relative-completeness paradigms* as an API:
+//!
+//! 1. **assess** the completeness of the data behind a query (RCDP);
+//! 2. **guide collection**: which tuples must be gathered to make the
+//!    database complete;
+//! 3. **guide master expansion**: detect queries that no database can answer
+//!    completely under the current master data (RCQP = ∅).
+
+pub mod paradigms;
+pub mod scenario;
+
+pub use paradigms::{assess, guide_collection, needs_master_expansion, Assessment, Guidance};
+pub use scenario::{CrmScenario, ScenarioParams};

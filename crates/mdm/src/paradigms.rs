@@ -1,0 +1,218 @@
+//! The three relative-completeness paradigms of Section 2.3.
+//!
+//! 1. **Assessing the completeness of the data** — run RCDP before trusting
+//!    a query answer ([`assess`]).
+//! 2. **Guidance for what data should be collected** — when RCDP says no,
+//!    check RCQP and, if a complete database exists, compute the tuples to
+//!    collect ([`guide_collection`]).
+//! 3. **A guideline for how master data should be expanded** — when RCQP
+//!    says no database can ever be complete, the master data itself is the
+//!    bottleneck ([`needs_master_expansion`]).
+
+use ric_complete::extend::{complete_extension, CompletionOutcome};
+use ric_complete::{rcdp, rcqp, Query, QueryVerdict, RcError, SearchBudget, Setting, Verdict};
+use ric_data::Database;
+
+/// Outcome of paradigm 1: can the answer to the query be trusted?
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Assessment {
+    /// The database has complete information: trust `Q(D)`.
+    Trustworthy,
+    /// The answer may be missing tuples; the certificate shows one way the
+    /// answer could still grow.
+    Untrustworthy {
+        /// A legal extension changing the answer.
+        example_gap: ric_complete::CounterExample,
+    },
+    /// The decision procedure ran out of budget.
+    Inconclusive {
+        /// What was searched.
+        searched: String,
+    },
+}
+
+/// Paradigm 1: assess whether `Q(D)` is complete relative to the setting.
+pub fn assess(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+) -> Result<Assessment, RcError> {
+    Ok(match rcdp(setting, query, db, budget)? {
+        Verdict::Complete => Assessment::Trustworthy,
+        Verdict::Incomplete(ce) => Assessment::Untrustworthy { example_gap: ce },
+        Verdict::Unknown { searched } => Assessment::Inconclusive { searched },
+    })
+}
+
+/// Outcome of paradigm 2.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Guidance {
+    /// Nothing to do: the database is already complete.
+    AlreadyComplete,
+    /// Collect these tuples; the result is certified complete.
+    Collect {
+        /// Tuples to add, per relation.
+        missing: Database,
+    },
+    /// No amount of data collection helps: no partially closed database is
+    /// complete for this query (move to paradigm 3).
+    ExpandMasterData,
+    /// Budget exhausted before a decision.
+    Inconclusive {
+        /// What was searched.
+        searched: String,
+    },
+}
+
+/// Paradigm 2: determine what to collect to make `db` complete for `query`.
+pub fn guide_collection(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+) -> Result<Guidance, RcError> {
+    // Is completion possible at all?
+    match rcqp(setting, query, budget)? {
+        QueryVerdict::Empty => return Ok(Guidance::ExpandMasterData),
+        QueryVerdict::Unknown { searched } => {
+            return Ok(Guidance::Inconclusive { searched });
+        }
+        QueryVerdict::Nonempty { .. } => {}
+    }
+    Ok(match complete_extension(setting, query, db, budget)? {
+        CompletionOutcome::AlreadyComplete => Guidance::AlreadyComplete,
+        CompletionOutcome::Completed { added, .. } => Guidance::Collect { missing: added },
+        CompletionOutcome::Budget { .. } => Guidance::Inconclusive {
+            searched: "completion budget exhausted".to_string(),
+        },
+    })
+}
+
+/// Paradigm 3: does answering `query` completely require expanding the
+/// master data? (`true` exactly when `RCQ(Q, D_m, V) = ∅`.)
+pub fn needs_master_expansion(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+) -> Result<Option<bool>, RcError> {
+    Ok(match rcqp(setting, query, budget)? {
+        QueryVerdict::Empty => Some(true),
+        QueryVerdict::Nonempty { .. } => Some(false),
+        QueryVerdict::Unknown { .. } => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CrmScenario, ScenarioParams};
+    use rand::SeedableRng;
+    use ric_data::{Tuple, Value};
+
+    fn scenario() -> CrmScenario {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        CrmScenario::generate(
+            ScenarioParams {
+                n_domestic: 4,
+                n_international: 2,
+                n_employees: 3,
+                n_support: 6,
+                at_most_k: None,
+                n_manage: 2,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn q2_assessment_matches_coverage() {
+        let sc = scenario();
+        let budget = SearchBudget::default();
+        // Saturate e0 against the master list: Q2 becomes trustworthy.
+        let supt = sc.setting.schema.rel_id("Supt").unwrap();
+        let cust = sc.setting.schema.rel_id("Cust").unwrap();
+        let mut db = sc.db.clone();
+        for c in 0..sc.params.n_domestic {
+            db.insert(
+                supt,
+                Tuple::new([
+                    Value::str("e0"),
+                    Value::str("d0"),
+                    Value::str(format!("c{c}")),
+                ]),
+            );
+        }
+        // Q2 over Supt only is still untrustworthy (international customers
+        // are open world): assess must find a gap.
+        match assess(&sc.setting, &sc.q2(), &db, &budget).unwrap() {
+            Assessment::Untrustworthy { example_gap } => {
+                // The gap adds a non-domestic support tuple.
+                assert!(example_gap.delta.tuple_count() >= 1);
+            }
+            other => panic!("expected untrustworthy, got {other:?}"),
+        }
+        let _ = cust;
+    }
+
+    #[test]
+    fn q2_needs_master_expansion() {
+        // Q2 exposes cid values that φ0 only bounds for *domestic* customers
+        // joined through Cust; Supt alone is open world, so no database is
+        // complete: paradigm 3 fires.
+        let sc = scenario();
+        assert_eq!(
+            needs_master_expansion(&sc.setting, &sc.q2(), &SearchBudget::default()).unwrap(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn guide_collection_detects_master_bottleneck() {
+        let sc = scenario();
+        match guide_collection(&sc.setting, &sc.q2(), &sc.db, &SearchBudget::default()).unwrap() {
+            Guidance::ExpandMasterData => {}
+            other => panic!("expected master-data guidance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ind_bounded_query_gets_collection_guidance() {
+        // Rebuild the scenario with a direct IND: π_cid(Supt) ⊆ π_cid(DCust);
+        // then "customers of e0" is completable and guidance lists the
+        // missing master customers.
+        use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint, Projection};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let sc = CrmScenario::generate(
+            ScenarioParams {
+                n_domestic: 3,
+                n_international: 0,
+                n_employees: 2,
+                n_support: 0,
+                at_most_k: None,
+                n_manage: 0,
+            },
+            &mut rng,
+        );
+        let supt = sc.setting.schema.rel_id("Supt").unwrap();
+        let dcust = sc.setting.master_schema.rel_id("DCust").unwrap();
+        let setting = Setting::new(
+            sc.setting.schema.clone(),
+            sc.setting.master_schema.clone(),
+            sc.setting.dm.clone(),
+            ConstraintSet::new(vec![ContainmentConstraint::into_master(
+                CcBody::Proj(Projection::new(supt, vec![2])),
+                dcust,
+                vec![0],
+            )]),
+        );
+        let q = sc.q2();
+        let db = Database::empty(&setting.schema);
+        match guide_collection(&setting, &q, &db, &SearchBudget::default()).unwrap() {
+            Guidance::Collect { missing } => {
+                assert_eq!(missing.instance(supt).len(), 3, "one per master customer");
+            }
+            other => panic!("expected collection guidance, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The CRM scenario of Examples 1.1 / 2.1 / 2.3.
+//!
+//! Relations:
+//!
+//! * master `DCust(cid, name, ac, phn)` — all *domestic* customers;
+//! * `Cust(cid, name, cc, ac, phn)` — all customers, domestic (`cc = 1`) or
+//!   international;
+//! * `Supt(eid, dept, cid)` — employee `eid` in `dept` supports `cid`;
+//! * master `Manage_m(eid1, eid2)` and operational `Manage(eid1, eid2)` —
+//!   the reporting hierarchy (for query `Q3`).
+//!
+//! Constraints:
+//!
+//! * `φ0`: supported domestic customers are bounded by `DCust`
+//!   (Example 2.1's CQ containment constraint);
+//! * `φ1`: each employee supports at most `k` customers (a denial
+//!   constraint, compiled to a CC via Proposition 2.1);
+//! * `Manage ⊇ Manage_m` — the paper's "Manage contains all tuples in
+//!   Manage_m", expressed as a *lower-bound* constraint (the Section 5
+//!   extension implemented in `ric_constraints::LowerBound`); the generator
+//!   also materialises the master edges so the database starts partially
+//!   closed.
+
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+use ric_complete::{Query, Setting};
+use ric_constraints::{classical, compile, CcBody, ConstraintSet, ContainmentConstraint};
+use ric_data::{Database, RelationSchema, Schema, Tuple, Value};
+use ric_query::{parse_cq, parse_program};
+
+/// Shape of a generated CRM scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioParams {
+    /// Domestic customers in the master list.
+    pub n_domestic: usize,
+    /// International customers (unconstrained by master data).
+    pub n_international: usize,
+    /// Employees.
+    pub n_employees: usize,
+    /// Support assignments to generate.
+    pub n_support: usize,
+    /// The `φ1` bound: an employee supports at most `k` customers
+    /// (`None` disables `φ1`).
+    pub at_most_k: Option<usize>,
+    /// Management edges in the master hierarchy.
+    pub n_manage: usize,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        ScenarioParams {
+            n_domestic: 10,
+            n_international: 4,
+            n_employees: 4,
+            n_support: 12,
+            at_most_k: None,
+            n_manage: 6,
+        }
+    }
+}
+
+/// A fully built scenario: schemas, master data, constraints, and a
+/// populated operational database.
+#[derive(Clone, Debug)]
+pub struct CrmScenario {
+    /// Master data + constraints.
+    pub setting: Setting,
+    /// The operational database (always partially closed on construction).
+    pub db: Database,
+    /// The parameters it was built from.
+    pub params: ScenarioParams,
+}
+
+impl CrmScenario {
+    /// The database schema shared by all scenarios.
+    pub fn schema() -> Schema {
+        Schema::from_relations(vec![
+            RelationSchema::infinite("Cust", &["cid", "name", "cc", "ac", "phn"]),
+            RelationSchema::infinite("Supt", &["eid", "dept", "cid"]),
+            RelationSchema::infinite("Manage", &["eid1", "eid2"]),
+        ])
+        .expect("fixed schema")
+    }
+
+    /// The master schema.
+    pub fn master_schema() -> Schema {
+        Schema::from_relations(vec![
+            RelationSchema::infinite("DCust", &["cid", "name", "ac", "phn"]),
+            RelationSchema::infinite("ManageM", &["eid1", "eid2"]),
+        ])
+        .expect("fixed master schema")
+    }
+
+    /// Build a randomized scenario. The generated database is partially
+    /// closed by construction (assignments for the `e0` focus employee are
+    /// drawn from master customers only).
+    pub fn generate(params: ScenarioParams, rng: &mut impl Rng) -> CrmScenario {
+        let schema = Self::schema();
+        let mschema = Self::master_schema();
+        let cust = schema.rel_id("Cust").unwrap();
+        let supt = schema.rel_id("Supt").unwrap();
+        let manage = schema.rel_id("Manage").unwrap();
+        let dcust = mschema.rel_id("DCust").unwrap();
+        let manage_m = mschema.rel_id("ManageM").unwrap();
+
+        // Master data.
+        let mut dm = Database::empty(&mschema);
+        for c in 0..params.n_domestic {
+            dm.insert(
+                dcust,
+                Tuple::new([
+                    Value::str(format!("c{c}")),
+                    Value::str(format!("name{c}")),
+                    Value::int(900 + (c % 10) as i64),
+                    Value::int(5_550_000 + c as i64),
+                ]),
+            );
+        }
+        let mut edges = Vec::new();
+        for e in 0..params.n_manage.min(params.n_employees.saturating_sub(1)) {
+            // A management tree: e+1 reports to e.
+            edges.push((e, e + 1));
+            dm.insert(
+                manage_m,
+                Tuple::new([Value::str(format!("e{e}")), Value::str(format!("e{}", e + 1))]),
+            );
+        }
+
+        // Constraints: φ0 — domestic customers of Cust⋈Supt bounded by DCust.
+        let phi0 = parse_cq(
+            &schema,
+            "Q(C) :- Cust(C, N, Cc, A, P), Supt(E, D2, C), Cc = 1.",
+        )
+        .expect("φ0");
+        let mut v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+            CcBody::Cq(phi0),
+            dcust,
+            vec![0],
+        )]);
+        // φ1 — at most k customers per employee.
+        if let Some(k) = params.at_most_k {
+            let denial = classical::at_most_k_per_key(supt, 0, 2, k, 3);
+            v.push(compile::denial_to_cc(&denial));
+        }
+        // Manage ⊇ Manage_m — the paper's "contains all tuples in Manage_m",
+        // expressed with the Section 5 lower-bound extension.
+        v.push_lower_bound(ric_constraints::LowerBound {
+            master: ric_constraints::Projection::new(manage_m, vec![0, 1]),
+            body: CcBody::Proj(ric_constraints::Projection::new(manage, vec![0, 1])),
+        });
+        let setting = Setting::new(schema.clone(), mschema, dm, v);
+
+        // Operational database.
+        let mut db = Database::empty(&schema);
+        let domestic: Vec<String> = (0..params.n_domestic).map(|c| format!("c{c}")).collect();
+        let international: Vec<String> =
+            (0..params.n_international).map(|c| format!("i{c}")).collect();
+        for (i, c) in domestic.iter().chain(international.iter()).enumerate() {
+            let is_domestic = i < domestic.len();
+            db.insert(
+                cust,
+                Tuple::new([
+                    Value::str(c),
+                    Value::str(format!("name-{c}")),
+                    Value::int(if is_domestic { 1 } else { 44 }),
+                    Value::int(900 + (i % 10) as i64),
+                    Value::int(5_550_000 + i as i64),
+                ]),
+            );
+        }
+        let per_emp_cap = params.at_most_k.unwrap_or(usize::MAX);
+        let mut per_emp = vec![std::collections::BTreeSet::new(); params.n_employees.max(1)];
+        for _ in 0..params.n_support {
+            let e = rng.random_range(0..params.n_employees.max(1));
+            if per_emp[e].len() >= per_emp_cap {
+                continue;
+            }
+            let c = if rng.random_bool(0.7) {
+                domestic.choose(rng).cloned()
+            } else {
+                international.choose(rng).cloned()
+            };
+            let Some(c) = c else { continue };
+            per_emp[e].insert(c.clone());
+            db.insert(
+                supt,
+                Tuple::new([
+                    Value::str(format!("e{e}")),
+                    Value::str(format!("d{}", e % 2)),
+                    Value::str(c),
+                ]),
+            );
+        }
+        // Manage starts as a copy of the master hierarchy (the paper's
+        // "contains all tuples in Manage_m").
+        for (a, b) in edges {
+            db.insert(
+                manage,
+                Tuple::new([Value::str(format!("e{a}")), Value::str(format!("e{b}"))]),
+            );
+        }
+        CrmScenario { setting, db, params }
+    }
+
+    /// `Q0`: all customers based in area code 908 (Section 2.3 paradigm 1).
+    pub fn q0(&self) -> Query {
+        parse_cq(&self.setting.schema, "Q(C) :- Cust(C, N, Cc, A, P), A = 908.")
+            .expect("fixed query")
+            .into()
+    }
+
+    /// `Q0′`: all customers, domestic or international (paradigm 3 — no
+    /// relatively complete database exists under the current master data).
+    pub fn q0_prime(&self) -> Query {
+        parse_cq(&self.setting.schema, "Q(C) :- Cust(C, N, Cc, A, P).")
+            .expect("fixed query")
+            .into()
+    }
+
+    /// `Q1`: the NJ customers (area code 908) supported by employee `e0`.
+    pub fn q1(&self) -> Query {
+        parse_cq(
+            &self.setting.schema,
+            "Q(C) :- Supt('e0', D, C), Cust(C, N, Cc, A, P), Cc = 1, A = 908.",
+        )
+        .expect("fixed query")
+        .into()
+    }
+
+    /// `Q2`: all customers supported by employee `e0`.
+    pub fn q2(&self) -> Query {
+        parse_cq(&self.setting.schema, "Q(C) :- Supt('e0', D, C).")
+            .expect("fixed query")
+            .into()
+    }
+
+    /// `Q3` in FP: everyone above `e0` in the management hierarchy.
+    pub fn q3_datalog(&self) -> Query {
+        parse_program(
+            &self.setting.schema,
+            "Above(X, Y) :- Manage(X, Y). Above(X, Y) :- Manage(X, Z), Above(Z, Y). \
+             Boss(X) :- Above(X, Y), Y = 'e0'.",
+            "Boss",
+        )
+        .expect("fixed program")
+        .into()
+    }
+
+    /// `Q3` as a CQ limited to two management hops — the paper's point that
+    /// completeness is relative to the query language.
+    pub fn q3_cq_two_hops(&self) -> Query {
+        parse_cq(
+            &self.setting.schema,
+            "Q(X) :- Manage(X, Z), Manage(Z, 'e0').",
+        )
+        .expect("fixed query")
+        .into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_scenarios_are_partially_closed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for at_most_k in [None, Some(2)] {
+            let params = ScenarioParams { at_most_k, ..ScenarioParams::default() };
+            let sc = CrmScenario::generate(params, &mut rng);
+            assert!(sc.setting.partially_closed(&sc.db).unwrap());
+        }
+    }
+
+    #[test]
+    fn queries_evaluate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sc = CrmScenario::generate(ScenarioParams::default(), &mut rng);
+        for q in [sc.q0(), sc.q0_prime(), sc.q1(), sc.q2(), sc.q3_datalog(), sc.q3_cq_two_hops()] {
+            let _ = q.eval(&sc.db).unwrap();
+        }
+        // Q0' sees every customer.
+        let all = sc.q0_prime().eval(&sc.db).unwrap();
+        assert_eq!(all.len(), sc.params.n_domestic + sc.params.n_international);
+    }
+
+    #[test]
+    fn at_most_k_caps_support_lists() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let params = ScenarioParams { at_most_k: Some(1), n_support: 30, ..Default::default() };
+        let sc = CrmScenario::generate(params, &mut rng);
+        let supt = sc.setting.schema.rel_id("Supt").unwrap();
+        let mut per_emp: std::collections::BTreeMap<Value, usize> = Default::default();
+        for t in sc.db.instance(supt).iter() {
+            *per_emp.entry(t.get(0).clone()).or_default() += 1;
+        }
+        assert!(per_emp.values().all(|&n| n <= 1));
+    }
+}

@@ -1,0 +1,169 @@
+//! CQ containment via canonical databases (Chandra & Merlin 1977).
+//!
+//! The paper's Σᵖ₂ upper bound (Theorem 3.6) cites the Chandra–Merlin NP
+//! bound for "is a tuple in the answer of a CQ"; this module provides the
+//! classical containment test itself, used by the test suite to validate the
+//! evaluators and by `ric-constraints` to simplify constraint sets.
+//!
+//! The homomorphism test is exact for inequality-free CQs. For queries with
+//! `≠` the function refuses rather than silently giving a one-sided answer.
+
+use crate::cq::Cq;
+use crate::eval::eval_tableau;
+use crate::tableau::{Tableau, TableauError, Valuation};
+use ric_data::{Database, Value};
+
+/// Why containment could not be decided.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ContainmentError {
+    /// One of the queries has inequalities; the classical homomorphism test
+    /// does not apply.
+    HasInequalities,
+    /// Head arities differ, so containment is trivially false — reported as
+    /// an error because it is almost always a construction mistake.
+    ArityMismatch,
+    /// A query is unsafe.
+    Tableau(TableauError),
+}
+
+impl From<TableauError> for ContainmentError {
+    fn from(e: TableauError) -> Self {
+        ContainmentError::Tableau(e)
+    }
+}
+
+/// Is `q1 ⊆ q2` — does `q1(D) ⊆ q2(D)` hold on every database over `n_rels`
+/// relations? Exact for inequality-free CQs.
+pub fn contained_in(q1: &Cq, q2: &Cq, n_rels: usize) -> Result<bool, ContainmentError> {
+    if q1.head_arity() != q2.head_arity() {
+        return Err(ContainmentError::ArityMismatch);
+    }
+    if !q1.neqs.is_empty() || !q2.neqs.is_empty() {
+        return Err(ContainmentError::HasInequalities);
+    }
+    let t1 = match Tableau::of(q1) {
+        Ok(t) => t,
+        // Unsatisfiable q1 is contained in everything.
+        Err(TableauError::Unsatisfiable) => return Ok(true),
+        Err(e) => return Err(e.into()),
+    };
+    let t2 = match Tableau::of(q2) {
+        Ok(t) => t,
+        Err(TableauError::Unsatisfiable) => {
+            // q2 empty: containment iff q1 is also empty — q1 is satisfiable
+            // here, so false.
+            return Ok(false);
+        }
+        Err(e) => return Err(e.into()),
+    };
+    // Freeze q1: map each variable to a distinct fresh constant, materialise
+    // the canonical database, and test whether q2 retrieves the frozen head.
+    let mut fresh = ric_data::FreshValues::new();
+    for c in t1.constants().iter().chain(t2.constants().iter()) {
+        fresh.observe(c);
+    }
+    let frozen: Vec<Value> = fresh.fresh_n(t1.n_vars as usize);
+    let mu = Valuation(frozen);
+    let canonical: Database = mu.instantiate(&t1, n_rels);
+    let frozen_head = mu.head_tuple(&t1);
+    Ok(eval_tableau(&t2, &canonical).contains(&frozen_head))
+}
+
+/// Are `q1` and `q2` equivalent (mutual containment)?
+pub fn equivalent(q1: &Cq, q2: &Cq, n_rels: usize) -> Result<bool, ContainmentError> {
+    Ok(contained_in(q1, q2, n_rels)? && contained_in(q2, q1, n_rels)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term as T;
+    use ric_data::{RelationSchema, Schema};
+
+    fn schema() -> Schema {
+        Schema::from_relations(vec![RelationSchema::infinite("E", &["a", "b"])]).unwrap()
+    }
+
+    #[test]
+    fn longer_path_contained_in_shorter() {
+        let s = schema();
+        let e = s.rel_id("E").unwrap();
+        // q1(x,z) :- E(x,y), E(y,z)  (2-hop)
+        let mut b1 = Cq::builder();
+        let (x, y, z) = (b1.var("x"), b1.var("y"), b1.var("z"));
+        let q1 = b1
+            .atom(e, vec![T::Var(x), T::Var(y)])
+            .atom(e, vec![T::Var(y), T::Var(z)])
+            .head_vars(vec![x, z])
+            .build();
+        // q2(x,z) :- E(x,y1), E(y2,z)  (disconnected endpoints)
+        let mut b2 = Cq::builder();
+        let (x2, y1, y2, z2) = (b2.var("x"), b2.var("y1"), b2.var("y2"), b2.var("z"));
+        let q2 = b2
+            .atom(e, vec![T::Var(x2), T::Var(y1)])
+            .atom(e, vec![T::Var(y2), T::Var(z2)])
+            .head_vars(vec![x2, z2])
+            .build();
+        assert!(contained_in(&q1, &q2, s.len()).unwrap());
+        assert!(!contained_in(&q2, &q1, s.len()).unwrap());
+        assert!(!equivalent(&q1, &q2, s.len()).unwrap());
+    }
+
+    #[test]
+    fn redundant_atom_is_equivalent() {
+        let s = schema();
+        let e = s.rel_id("E").unwrap();
+        let mut b1 = Cq::builder();
+        let (x, y) = (b1.var("x"), b1.var("y"));
+        let q1 = b1
+            .atom(e, vec![T::Var(x), T::Var(y)])
+            .head_vars(vec![x, y])
+            .build();
+        // Same plus a duplicate atom with a redundant variable.
+        let mut b2 = Cq::builder();
+        let (x2, y2, w) = (b2.var("x"), b2.var("y"), b2.var("w"));
+        let q2 = b2
+            .atom(e, vec![T::Var(x2), T::Var(y2)])
+            .atom(e, vec![T::Var(x2), T::Var(w)])
+            .head_vars(vec![x2, y2])
+            .build();
+        assert!(equivalent(&q1, &q2, s.len()).unwrap());
+    }
+
+    #[test]
+    fn inequalities_are_refused() {
+        let s = schema();
+        let e = s.rel_id("E").unwrap();
+        let mut b = Cq::builder();
+        let (x, y) = (b.var("x"), b.var("y"));
+        let q = b
+            .atom(e, vec![T::Var(x), T::Var(y)])
+            .neq(T::Var(x), T::Var(y))
+            .head_vars(vec![x, y])
+            .build();
+        assert_eq!(
+            contained_in(&q, &q, s.len()),
+            Err(ContainmentError::HasInequalities)
+        );
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let s = schema();
+        let e = s.rel_id("E").unwrap();
+        let mut b1 = Cq::builder();
+        let y = b1.var("y");
+        let q1 = b1.atom(e, vec![T::from(1), T::Var(y)]).head_vars(vec![y]).build();
+        let mut b2 = Cq::builder();
+        let y2 = b2.var("y");
+        let q2 = b2.atom(e, vec![T::from(2), T::Var(y2)]).head_vars(vec![y2]).build();
+        assert!(!contained_in(&q1, &q2, s.len()).unwrap());
+        let mut b3 = Cq::builder();
+        let (x3, y3) = (b3.var("x"), b3.var("y"));
+        let q3 = b3
+            .atom(e, vec![T::Var(x3), T::Var(y3)])
+            .head_vars(vec![y3])
+            .build();
+        assert!(contained_in(&q1, &q3, s.len()).unwrap());
+    }
+}

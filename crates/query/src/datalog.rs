@@ -1,0 +1,550 @@
+//! Datalog (the paper's FP, Section 2.1(f)): positive rules with `=` and `≠`,
+//! evaluated with an inflationary (semi-naive) fixpoint.
+//!
+//! FP sits on the undecidable side of Tables I and II; like FO it is needed
+//! here so the bounded semi-decision procedures can evaluate FP queries (e.g.
+//! the transitive-closure query `Q_3` of Example 1.1 and the 2-head-DFA
+//! reachability query of Theorem 3.1(3)).
+
+use crate::cq::Atom;
+use crate::term::{Term, Var};
+use ric_data::{Database, Instance, Tuple, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies an IDB predicate within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PredId(pub usize);
+
+/// A body literal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Literal {
+    /// An EDB atom over the database schema.
+    Edb(Atom),
+    /// An IDB atom over a program predicate.
+    Idb(PredId, Vec<Term>),
+    /// Equality.
+    Eq(Term, Term),
+    /// Inequality.
+    Neq(Term, Term),
+}
+
+/// A rule `p(x̄) ← l_1, …, l_n`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// Head predicate.
+    pub head: PredId,
+    /// Head arguments.
+    pub head_args: Vec<Term>,
+    /// Body literals.
+    pub body: Vec<Literal>,
+    /// Number of variables in the rule (rule-local numbering).
+    pub n_vars: u32,
+}
+
+/// Why a program is ill-formed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProgramError {
+    /// A head or comparison variable that occurs in no positive relational
+    /// body literal (not range-restricted).
+    NotRangeRestricted { rule: usize, var: Var },
+    /// An IDB atom whose arity disagrees with the predicate declaration.
+    ArityMismatch { rule: usize, pred: PredId },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::NotRangeRestricted { rule, var } => {
+                write!(f, "rule {rule}: variable {var} is not range-restricted")
+            }
+            ProgramError::ArityMismatch { rule, pred } => {
+                write!(f, "rule {rule}: arity mismatch for predicate P{}", pred.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A datalog program with a designated output predicate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// Predicate display names.
+    pub pred_names: Vec<String>,
+    /// Predicate arities.
+    pub arities: Vec<usize>,
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// The output predicate.
+    pub output: PredId,
+}
+
+impl Program {
+    /// Validate range restriction and arities.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        for (ri, rule) in self.rules.iter().enumerate() {
+            // Arities of IDB literals and the head.
+            if rule.head_args.len() != self.arities[rule.head.0] {
+                return Err(ProgramError::ArityMismatch { rule: ri, pred: rule.head });
+            }
+            for lit in &rule.body {
+                if let Literal::Idb(p, args) = lit {
+                    if args.len() != self.arities[p.0] {
+                        return Err(ProgramError::ArityMismatch { rule: ri, pred: *p });
+                    }
+                }
+            }
+            // Range restriction: variables bound by a positive relational
+            // literal, closed under equality propagation (`x = y` or
+            // `x = c` makes `x` bound when the other side is).
+            let mut positive: BTreeSet<Var> = BTreeSet::new();
+            for lit in &rule.body {
+                match lit {
+                    Literal::Edb(a) => positive.extend(a.vars()),
+                    Literal::Idb(_, args) => {
+                        positive.extend(args.iter().filter_map(Term::as_var))
+                    }
+                    _ => {}
+                }
+            }
+            loop {
+                let mut grew = false;
+                for lit in &rule.body {
+                    if let Literal::Eq(l, r) = lit {
+                        let l_bound = match l {
+                            Term::Const(_) => true,
+                            Term::Var(v) => positive.contains(v),
+                        };
+                        let r_bound = match r {
+                            Term::Const(_) => true,
+                            Term::Var(v) => positive.contains(v),
+                        };
+                        if l_bound && !r_bound {
+                            if let Term::Var(v) = r {
+                                grew |= positive.insert(*v);
+                            }
+                        }
+                        if r_bound && !l_bound {
+                            if let Term::Var(v) = l {
+                                grew |= positive.insert(*v);
+                            }
+                        }
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+            let check = |t: &Term| -> Result<(), ProgramError> {
+                if let Term::Var(v) = t {
+                    if !positive.contains(v) {
+                        return Err(ProgramError::NotRangeRestricted { rule: ri, var: *v });
+                    }
+                }
+                Ok(())
+            };
+            for t in &rule.head_args {
+                check(t)?;
+            }
+            for lit in &rule.body {
+                match lit {
+                    Literal::Eq(l, r) | Literal::Neq(l, r) => {
+                        check(l)?;
+                        check(r)?;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate the program on a database with a semi-naive fixpoint; returns
+    /// the output predicate's tuples.
+    pub fn eval(&self, db: &Database) -> BTreeSet<Tuple> {
+        self.eval_all(db)[self.output.0]
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Evaluate and return every IDB instance (useful for debugging and for
+    /// the reduction tests, which inspect auxiliary predicates).
+    pub fn eval_all(&self, db: &Database) -> Vec<Instance> {
+        let n = self.arities.len();
+        let mut idb: Vec<Instance> = vec![Instance::new(); n];
+        let mut delta: Vec<Instance> = vec![Instance::new(); n];
+
+        // First round: every rule against the (empty) IDB.
+        for rule in &self.rules {
+            for t in fire(rule, db, &idb, None, PredId(0)) {
+                if idb[rule.head.0].insert(t.clone()) {
+                    delta[rule.head.0].insert(t);
+                }
+            }
+        }
+        // Semi-naive iteration: each subsequent round requires at least one
+        // IDB literal bound to the previous round's delta.
+        loop {
+            let mut new_delta: Vec<Instance> = vec![Instance::new(); n];
+            let mut grew = false;
+            for rule in &self.rules {
+                let idb_positions: Vec<usize> = rule
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, l)| matches!(l, Literal::Idb(..)).then_some(i))
+                    .collect();
+                for &pos in &idb_positions {
+                    let Literal::Idb(p, _) = &rule.body[pos] else { unreachable!() };
+                    if delta[p.0].is_empty() {
+                        continue;
+                    }
+                    for t in fire(rule, db, &idb, Some(pos), *p) {
+                        if !idb[rule.head.0].contains(&t) {
+                            new_delta[rule.head.0].insert(t);
+                            grew = true;
+                        }
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+            for (full, d) in idb.iter_mut().zip(new_delta.iter()) {
+                full.union_with(d);
+            }
+            // Note: classic semi-naive joins delta against "idb before this
+            // round" for the delta position; joining against the updated idb
+            // is still sound for positive programs (it may only find tuples
+            // earlier).
+            delta = new_delta;
+        }
+        idb
+    }
+}
+
+/// Evaluate one rule body; if `delta_pos` is set, the IDB literal at that
+/// position additionally filters against the current delta of `delta_pred`
+/// (the caller provides the delta via closure-free indexing: we re-derive it
+/// by checking membership order — see `fire_inner`).
+fn fire(
+    rule: &Rule,
+    db: &Database,
+    idb: &[Instance],
+    _delta_pos: Option<usize>,
+    _delta_pred: PredId,
+) -> Vec<Tuple> {
+    // For clarity we evaluate against the full IDB; the semi-naive driver
+    // already skips rules whose delta predicates are empty, which captures
+    // the bulk of the saving on the fixpoints we run (transitive closures,
+    // reachability). A position-precise delta join is a straightforward
+    // refinement.
+    let mut out = Vec::new();
+    let mut binding: Vec<Option<Value>> = vec![None; rule.n_vars as usize];
+    fire_inner(rule, db, idb, 0, &mut binding, &mut out);
+    out
+}
+
+fn fire_inner(
+    rule: &Rule,
+    db: &Database,
+    idb: &[Instance],
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+    out: &mut Vec<Tuple>,
+) {
+    if depth == rule.body.len() {
+        out.push(Tuple::new(rule.head_args.iter().map(|t| match t {
+            Term::Var(v) => binding[v.idx()].clone().expect("range-restricted"),
+            Term::Const(c) => c.clone(),
+        })));
+        return;
+    }
+    match &rule.body[depth] {
+        Literal::Eq(l, r) => {
+            match (term_val(l, binding), term_val(r, binding)) {
+                (Some(a), Some(b)) => {
+                    if a == b {
+                        fire_inner(rule, db, idb, depth + 1, binding, out);
+                    }
+                }
+                (Some(a), None) => {
+                    if let Term::Var(v) = r {
+                        binding[v.idx()] = Some(a);
+                        fire_inner(rule, db, idb, depth + 1, binding, out);
+                        binding[v.idx()] = None;
+                    }
+                }
+                (None, Some(b)) => {
+                    if let Term::Var(v) = l {
+                        binding[v.idx()] = Some(b);
+                        fire_inner(rule, db, idb, depth + 1, binding, out);
+                        binding[v.idx()] = None;
+                    }
+                }
+                (None, None) => {
+                    // Both sides unbound: defer by rotating the literal to the
+                    // end would be cleaner; with range restriction this can
+                    // only happen if a later literal binds them, so we try the
+                    // remaining literals first and re-check at the head. For
+                    // simplicity, panic — validated programs order their
+                    // comparisons after binding literals.
+                    panic!("Eq literal with two unbound variables; reorder rule body");
+                }
+            }
+        }
+        Literal::Neq(l, r) => match (term_val(l, binding), term_val(r, binding)) {
+            (Some(a), Some(b)) => {
+                if a != b {
+                    fire_inner(rule, db, idb, depth + 1, binding, out);
+                }
+            }
+            _ => panic!("Neq literal with an unbound variable; reorder rule body"),
+        },
+        Literal::Edb(atom) => {
+            for tuple in db.instance(atom.rel).iter() {
+                try_match(&atom.args, tuple, rule, db, idb, depth, binding, out);
+            }
+        }
+        Literal::Idb(p, args) => {
+            let tuples: Vec<Tuple> = idb[p.0].iter().cloned().collect();
+            for tuple in &tuples {
+                try_match(args, tuple, rule, db, idb, depth, binding, out);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_match(
+    args: &[Term],
+    tuple: &Tuple,
+    rule: &Rule,
+    db: &Database,
+    idb: &[Instance],
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+    out: &mut Vec<Tuple>,
+) {
+    if args.len() != tuple.arity() {
+        return;
+    }
+    let mut newly: Vec<usize> = Vec::new();
+    for (term, value) in args.iter().zip(tuple.iter()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    for &i in &newly {
+                        binding[i] = None;
+                    }
+                    return;
+                }
+            }
+            Term::Var(v) => match &binding[v.idx()] {
+                Some(b) => {
+                    if b != value {
+                        for &i in &newly {
+                            binding[i] = None;
+                        }
+                        return;
+                    }
+                }
+                None => {
+                    binding[v.idx()] = Some(value.clone());
+                    newly.push(v.idx());
+                }
+            },
+        }
+    }
+    fire_inner(rule, db, idb, depth + 1, binding, out);
+    for &i in &newly {
+        binding[i] = None;
+    }
+}
+
+fn term_val(t: &Term, binding: &[Option<Value>]) -> Option<Value> {
+    match t {
+        Term::Const(c) => Some(c.clone()),
+        Term::Var(v) => binding[v.idx()].clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ric_data::{RelationSchema, Schema};
+
+    fn setup() -> (Schema, Database) {
+        let s = Schema::from_relations(vec![RelationSchema::infinite("E", &["a", "b"])]).unwrap();
+        let e = s.rel_id("E").unwrap();
+        let mut db = Database::empty(&s);
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            db.insert(e, Tuple::new([Value::int(a), Value::int(b)]));
+        }
+        (s, db)
+    }
+
+    /// TC(x,y) ← E(x,y);  TC(x,y) ← E(x,z), TC(z,y).
+    fn transitive_closure(s: &Schema) -> Program {
+        let e = s.rel_id("E").unwrap();
+        let tc = PredId(0);
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let base = Rule {
+            head: tc,
+            head_args: vec![Term::Var(x), Term::Var(y)],
+            body: vec![Literal::Edb(Atom::new(e, vec![Term::Var(x), Term::Var(y)]))],
+            n_vars: 2,
+        };
+        let step = Rule {
+            head: tc,
+            head_args: vec![Term::Var(x), Term::Var(y)],
+            body: vec![
+                Literal::Edb(Atom::new(e, vec![Term::Var(x), Term::Var(z)])),
+                Literal::Idb(tc, vec![Term::Var(z), Term::Var(y)]),
+            ],
+            n_vars: 3,
+        };
+        Program {
+            pred_names: vec!["TC".into()],
+            arities: vec![2],
+            rules: vec![base, step],
+            output: tc,
+        }
+    }
+
+    #[test]
+    fn transitive_closure_of_a_path() {
+        let (s, db) = setup();
+        let p = transitive_closure(&s);
+        p.validate().unwrap();
+        let res = p.eval(&db);
+        assert_eq!(res.len(), 6); // 1-2,1-3,1-4,2-3,2-4,3-4
+        assert!(res.contains(&Tuple::new([Value::int(1), Value::int(4)])));
+        assert!(!res.contains(&Tuple::new([Value::int(4), Value::int(1)])));
+    }
+
+    #[test]
+    fn cycle_closes_fully() {
+        let (s, mut db) = setup();
+        let e = s.rel_id("E").unwrap();
+        db.insert(e, Tuple::new([Value::int(4), Value::int(1)]));
+        let p = transitive_closure(&s);
+        assert_eq!(p.eval(&db).len(), 16);
+    }
+
+    #[test]
+    fn neq_literal_filters() {
+        let (s, mut db) = setup();
+        let e = s.rel_id("E").unwrap();
+        db.insert(e, Tuple::new([Value::int(5), Value::int(5)]));
+        let out = PredId(0);
+        let (x, y) = (Var(0), Var(1));
+        let p = Program {
+            pred_names: vec!["NoLoop".into()],
+            arities: vec![2],
+            rules: vec![Rule {
+                head: out,
+                head_args: vec![Term::Var(x), Term::Var(y)],
+                body: vec![
+                    Literal::Edb(Atom::new(e, vec![Term::Var(x), Term::Var(y)])),
+                    Literal::Neq(Term::Var(x), Term::Var(y)),
+                ],
+                n_vars: 2,
+            }],
+            output: out,
+        };
+        p.validate().unwrap();
+        assert_eq!(p.eval(&db).len(), 3);
+    }
+
+    #[test]
+    fn validation_rejects_unrestricted_head() {
+        let (s, _) = setup();
+        let e = s.rel_id("E").unwrap();
+        let out = PredId(0);
+        let (x, y, w) = (Var(0), Var(1), Var(2));
+        let p = Program {
+            pred_names: vec!["Bad".into()],
+            arities: vec![1],
+            rules: vec![Rule {
+                head: out,
+                head_args: vec![Term::Var(w)],
+                body: vec![Literal::Edb(Atom::new(e, vec![Term::Var(x), Term::Var(y)]))],
+                n_vars: 3,
+            }],
+            output: out,
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::NotRangeRestricted { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_arity_mismatch() {
+        let (s, _) = setup();
+        let e = s.rel_id("E").unwrap();
+        let out = PredId(0);
+        let (x, y) = (Var(0), Var(1));
+        let p = Program {
+            pred_names: vec!["Bad".into()],
+            arities: vec![1],
+            rules: vec![Rule {
+                head: out,
+                head_args: vec![Term::Var(x), Term::Var(y)],
+                body: vec![Literal::Edb(Atom::new(e, vec![Term::Var(x), Term::Var(y)]))],
+                n_vars: 2,
+            }],
+            output: out,
+        };
+        assert!(matches!(p.validate(), Err(ProgramError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn mutual_recursion_two_predicates() {
+        let (s, db) = setup();
+        let e = s.rel_id("E").unwrap();
+        // Even(x,y): path of even length; Odd(x,y): odd length.
+        let even = PredId(0);
+        let odd = PredId(1);
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let p = Program {
+            pred_names: vec!["Even".into(), "Odd".into()],
+            arities: vec![2, 2],
+            rules: vec![
+                Rule {
+                    head: odd,
+                    head_args: vec![Term::Var(x), Term::Var(y)],
+                    body: vec![Literal::Edb(Atom::new(e, vec![Term::Var(x), Term::Var(y)]))],
+                    n_vars: 2,
+                },
+                Rule {
+                    head: even,
+                    head_args: vec![Term::Var(x), Term::Var(y)],
+                    body: vec![
+                        Literal::Edb(Atom::new(e, vec![Term::Var(x), Term::Var(z)])),
+                        Literal::Idb(odd, vec![Term::Var(z), Term::Var(y)]),
+                    ],
+                    n_vars: 3,
+                },
+                Rule {
+                    head: odd,
+                    head_args: vec![Term::Var(x), Term::Var(y)],
+                    body: vec![
+                        Literal::Edb(Atom::new(e, vec![Term::Var(x), Term::Var(z)])),
+                        Literal::Idb(even, vec![Term::Var(z), Term::Var(y)]),
+                    ],
+                    n_vars: 3,
+                },
+            ],
+            output: even,
+        };
+        p.validate().unwrap();
+        let res = p.eval(&db); // path 1-2-3-4: even paths 1-3, 2-4
+        assert_eq!(res.len(), 2);
+        assert!(res.contains(&Tuple::new([Value::int(1), Value::int(3)])));
+        assert!(res.contains(&Tuple::new([Value::int(2), Value::int(4)])));
+    }
+}

@@ -1,0 +1,373 @@
+//! Set-semantics evaluation of CQ and UCQ.
+//!
+//! Evaluation proceeds over the tableau: a backtracking join that binds the
+//! canonical variables atom by atom, pruning with inequalities as soon as
+//! both sides are bound. Results are ordered sets of output tuples, so
+//! `Q(D) = Q(D′)` is a plain comparison — exactly the equality the
+//! completeness definition (Section 2.1) is stated in.
+
+use crate::cq::{Atom, Cq};
+use crate::tableau::{Tableau, TableauError};
+use crate::term::Term;
+use crate::ucq::Ucq;
+use ric_data::{Database, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// The query languages considered by the paper, used to label instances and
+/// report which complexity cell of Tables I/II they exercise.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum QueryLanguage {
+    /// Projection queries only (inclusion dependencies when used as `L_C`).
+    Inds,
+    /// Conjunctive queries.
+    Cq,
+    /// Unions of conjunctive queries.
+    Ucq,
+    /// Positive existential FO.
+    EfoPlus,
+    /// Full first-order logic.
+    Fo,
+    /// Datalog / inflationary fixpoint.
+    Fp,
+}
+
+impl std::fmt::Display for QueryLanguage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            QueryLanguage::Inds => "INDs",
+            QueryLanguage::Cq => "CQ",
+            QueryLanguage::Ucq => "UCQ",
+            QueryLanguage::EfoPlus => "∃FO+",
+            QueryLanguage::Fo => "FO",
+            QueryLanguage::Fp => "FP",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Evaluate a CQ on a database. Unsatisfiable queries return the empty set;
+/// unsafe queries surface their error.
+pub fn eval_cq(cq: &Cq, db: &Database) -> Result<BTreeSet<Tuple>, TableauError> {
+    match Tableau::of(cq) {
+        Ok(t) => Ok(eval_tableau(&t, db)),
+        Err(TableauError::Unsatisfiable) => Ok(BTreeSet::new()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Evaluate a UCQ: the union of its disjuncts' answers.
+pub fn eval_ucq(q: &Ucq, db: &Database) -> Result<BTreeSet<Tuple>, TableauError> {
+    let mut out = BTreeSet::new();
+    for cq in &q.disjuncts {
+        out.extend(eval_cq(cq, db)?);
+    }
+    Ok(out)
+}
+
+/// Evaluate a normalised tableau query on a database.
+pub fn eval_tableau(t: &Tableau, db: &Database) -> BTreeSet<Tuple> {
+    let mut out = BTreeSet::new();
+    let order = atom_order(t);
+    let mut binding: Vec<Option<Value>> = vec![None; t.n_vars as usize];
+    search(t, db, &order, 0, &mut binding, &mut out);
+    out
+}
+
+/// Boolean convenience: is `Q(D)` nonempty?
+pub fn holds(t: &Tableau, db: &Database) -> bool {
+    // A dedicated early-exit search would be faster; the deciders only call
+    // this on tiny tableaux, so reuse the full evaluator.
+    !eval_tableau(t, db).is_empty()
+}
+
+/// Choose an atom processing order: greedily prefer atoms sharing variables
+/// with already-scheduled atoms (keeps intermediate bindings selective).
+fn atom_order(t: &Tableau) -> Vec<usize> {
+    let n = t.atoms.len();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut bound: BTreeSet<u32> = BTreeSet::new();
+    for _ in 0..n {
+        let mut best: Option<(usize, usize)> = None; // (score, index)
+        for (i, a) in t.atoms.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let score = a.vars().filter(|v| bound.contains(&v.0)).count();
+            if best.map(|(s, _)| score > s).unwrap_or(true) {
+                best = Some((score, i));
+            }
+        }
+        let (_, i) = best.expect("atom count invariant");
+        used[i] = true;
+        bound.extend(t.atoms[i].vars().map(|v| v.0));
+        order.push(i);
+    }
+    order
+}
+
+fn search(
+    t: &Tableau,
+    db: &Database,
+    order: &[usize],
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+    out: &mut BTreeSet<Tuple>,
+) {
+    if depth == order.len() {
+        // All atoms matched; all variables are bound (tableau invariant).
+        if neqs_hold(t, binding) {
+            let head = Tuple::new(t.head.iter().map(|term| match term {
+                Term::Var(v) => binding[v.idx()].clone().expect("head var bound"),
+                Term::Const(c) => c.clone(),
+            }));
+            out.insert(head);
+        }
+        return;
+    }
+    let atom = &t.atoms[order[depth]];
+    let inst = db.instance(atom.rel);
+    'tuples: for tuple in inst.iter() {
+        if tuple.arity() != atom.args.len() {
+            continue;
+        }
+        let mut newly_bound: Vec<usize> = Vec::new();
+        for (term, value) in atom.args.iter().zip(tuple.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        undo(binding, &newly_bound);
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => match &binding[v.idx()] {
+                    Some(b) => {
+                        if b != value {
+                            undo(binding, &newly_bound);
+                            continue 'tuples;
+                        }
+                    }
+                    None => {
+                        binding[v.idx()] = Some(value.clone());
+                        newly_bound.push(v.idx());
+                    }
+                },
+            }
+        }
+        // Eagerly prune with inequalities whose sides are both bound.
+        if partial_neqs_hold(t, binding) {
+            search(t, db, order, depth + 1, binding, out);
+        }
+        undo(binding, &newly_bound);
+    }
+}
+
+fn undo(binding: &mut [Option<Value>], newly: &[usize]) {
+    for &i in newly {
+        binding[i] = None;
+    }
+}
+
+fn term_value<'a>(t: &'a Term, binding: &'a [Option<Value>]) -> Option<&'a Value> {
+    match t {
+        Term::Const(c) => Some(c),
+        Term::Var(v) => binding[v.idx()].as_ref(),
+    }
+}
+
+fn partial_neqs_hold(t: &Tableau, binding: &[Option<Value>]) -> bool {
+    t.neqs.iter().all(|(l, r)| {
+        match (term_value(l, binding), term_value(r, binding)) {
+            (Some(a), Some(b)) => a != b,
+            _ => true, // not yet decidable
+        }
+    })
+}
+
+fn neqs_hold(t: &Tableau, binding: &[Option<Value>]) -> bool {
+    t.neqs.iter().all(|(l, r)| {
+        let a = term_value(l, binding).expect("all vars bound");
+        let b = term_value(r, binding).expect("all vars bound");
+        a != b
+    })
+}
+
+/// Reference evaluator used by property tests: enumerate *every* assignment
+/// of atoms to tuples (no pruning). Exponential; only for cross-checking.
+pub fn eval_tableau_naive(t: &Tableau, db: &Database) -> BTreeSet<Tuple> {
+    let mut out = BTreeSet::new();
+    let mut binding: Vec<Option<Value>> = vec![None; t.n_vars as usize];
+    naive(t, db, 0, &mut binding, &mut out);
+    out
+}
+
+fn naive(
+    t: &Tableau,
+    db: &Database,
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+    out: &mut BTreeSet<Tuple>,
+) {
+    if depth == t.atoms.len() {
+        if neqs_hold(t, binding) {
+            let head = Tuple::new(t.head.iter().map(|term| match term {
+                Term::Var(v) => binding[v.idx()].clone().unwrap(),
+                Term::Const(c) => c.clone(),
+            }));
+            out.insert(head);
+        }
+        return;
+    }
+    let atom: &Atom = &t.atoms[depth];
+    let tuples: Vec<Tuple> = db.instance(atom.rel).iter().cloned().collect();
+    for tuple in tuples {
+        if tuple.arity() != atom.args.len() {
+            continue;
+        }
+        let saved = binding.clone();
+        let mut ok = true;
+        for (term, value) in atom.args.iter().zip(tuple.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match &binding[v.idx()] {
+                    Some(b) if b != value => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => binding[v.idx()] = Some(value.clone()),
+                },
+            }
+        }
+        if ok {
+            naive(t, db, depth + 1, binding, out);
+        }
+        *binding = saved;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use ric_data::{RelationSchema, Schema};
+
+    fn setup() -> (Schema, Database) {
+        let s = Schema::from_relations(vec![
+            RelationSchema::infinite("E", &["src", "dst"]),
+        ])
+        .unwrap();
+        let e = s.rel_id("E").unwrap();
+        let mut db = Database::empty(&s);
+        for (a, b) in [(1, 2), (2, 3), (3, 1), (1, 1)] {
+            db.insert(e, Tuple::new([Value::int(a), Value::int(b)]));
+        }
+        (s, db)
+    }
+
+    #[test]
+    fn join_two_hops() {
+        let (s, db) = setup();
+        let e = s.rel_id("E").unwrap();
+        let mut b = Cq::builder();
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        let q = b
+            .atom(e, vec![Term::Var(x), Term::Var(y)])
+            .atom(e, vec![Term::Var(y), Term::Var(z)])
+            .head_vars(vec![x, z])
+            .build();
+        let res = eval_cq(&q, &db).unwrap();
+        // 1->2->3, 2->3->1, 3->1->2, 3->1->1, 1->1->2, 1->1->1, 1->2? (2,3)...
+        assert!(res.contains(&Tuple::new([Value::int(1), Value::int(3)])));
+        assert!(res.contains(&Tuple::new([Value::int(3), Value::int(2)])));
+        assert!(!res.contains(&Tuple::new([Value::int(2), Value::int(2)])));
+    }
+
+    #[test]
+    fn inequality_filters() {
+        let (s, db) = setup();
+        let e = s.rel_id("E").unwrap();
+        let mut b = Cq::builder();
+        let (x, y) = (b.var("x"), b.var("y"));
+        let q = b
+            .atom(e, vec![Term::Var(x), Term::Var(y)])
+            .neq(Term::Var(x), Term::Var(y))
+            .head_vars(vec![x, y])
+            .build();
+        let res = eval_cq(&q, &db).unwrap();
+        assert_eq!(res.len(), 3); // (1,1) filtered out
+    }
+
+    #[test]
+    fn constants_select() {
+        let (s, db) = setup();
+        let e = s.rel_id("E").unwrap();
+        let mut b = Cq::builder();
+        let y = b.var("y");
+        let q = b
+            .atom(e, vec![Term::from(1), Term::Var(y)])
+            .head_vars(vec![y])
+            .build();
+        let res = eval_cq(&q, &db).unwrap();
+        assert_eq!(res.len(), 2); // 1->2, 1->1
+    }
+
+    #[test]
+    fn empty_conjunction_is_true() {
+        let (_, db) = setup();
+        let q = Cq::builder().head(vec![]).build();
+        let res = eval_cq(&q, &db).unwrap();
+        assert_eq!(res.len(), 1);
+        assert!(res.contains(&Tuple::unit()));
+    }
+
+    #[test]
+    fn unsatisfiable_query_evaluates_empty() {
+        let (s, db) = setup();
+        let e = s.rel_id("E").unwrap();
+        let mut b = Cq::builder();
+        let x = b.var("x");
+        let q = b
+            .atom(e, vec![Term::Var(x), Term::Var(x)])
+            .neq(Term::Var(x), Term::Var(x))
+            .head_vars(vec![x])
+            .build();
+        assert!(eval_cq(&q, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn optimized_matches_naive() {
+        let (s, db) = setup();
+        let e = s.rel_id("E").unwrap();
+        let mut b = Cq::builder();
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        let q = b
+            .atom(e, vec![Term::Var(x), Term::Var(y)])
+            .atom(e, vec![Term::Var(y), Term::Var(z)])
+            .neq(Term::Var(x), Term::Var(z))
+            .head_vars(vec![x, y, z])
+            .build();
+        let t = Tableau::of(&q).unwrap();
+        assert_eq!(eval_tableau(&t, &db), eval_tableau_naive(&t, &db));
+    }
+
+    #[test]
+    fn ucq_unions_disjuncts() {
+        let (s, db) = setup();
+        let e = s.rel_id("E").unwrap();
+        let mut b1 = Cq::builder();
+        let y1 = b1.var("y");
+        let q1 = b1.atom(e, vec![Term::from(1), Term::Var(y1)]).head_vars(vec![y1]).build();
+        let mut b2 = Cq::builder();
+        let y2 = b2.var("y");
+        let q2 = b2.atom(e, vec![Term::from(2), Term::Var(y2)]).head_vars(vec![y2]).build();
+        let u = Ucq::new(vec![q1, q2]);
+        let res = eval_ucq(&u, &db).unwrap();
+        assert_eq!(res.len(), 3); // {1,2} from 1->*, {3} from 2->3
+    }
+}

@@ -1,0 +1,581 @@
+//! A datalog-style text syntax for CQ, UCQ, and FP.
+//!
+//! ```text
+//! Q(X, C) :- Cust(C, N, Cc, A, P), Supt(E, D, C), Cc = 1, X != 'NJ'.
+//! ```
+//!
+//! * identifiers starting with an uppercase letter or `_` are **variables**;
+//! * lowercase identifiers and `'quoted strings'` are **string constants**;
+//! * integers are integer constants;
+//! * body items are relation atoms, `t = t`, or `t != t`; rules end with `.`;
+//! * a UCQ is several rules sharing one head predicate;
+//! * an FP program may use head predicates that are not in the schema (IDB).
+
+use crate::cq::{Atom, Cq};
+use crate::datalog::{Literal, PredId, Program, Rule};
+use crate::term::{Term, Var};
+use crate::ucq::Ucq;
+use ric_data::{Schema, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse failure, with a human-readable message and byte offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Implies, // :-
+    Eq,
+    Neq,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '%' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            '.' => {
+                toks.push((Tok::Dot, i));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Eq, i));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Neq, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError { message: "expected `!=`".into(), offset: i });
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    toks.push((Tok::Implies, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError { message: "expected `:-`".into(), offset: i });
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(ParseError { message: "unterminated string".into(), offset: i });
+                }
+                toks.push((Tok::Str(src[start..j].to_string()), i));
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: i64 = text.parse().map_err(|_| ParseError {
+                    message: format!("bad integer `{text}`"),
+                    offset: start,
+                })?;
+                toks.push((Tok::Int(n), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(src[start..i].to_string()), start));
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    schema: &'a Schema,
+}
+
+/// One parsed rule, relation names unresolved for the head.
+struct RawRule {
+    head_name: String,
+    head_args: Vec<RawTerm>,
+    body: Vec<RawItem>,
+}
+
+enum RawTerm {
+    Var(String),
+    Const(Value),
+}
+
+enum RawItem {
+    Atom(String, Vec<RawTerm>),
+    Eq(RawTerm, RawTerm),
+    Neq(RawTerm, RawTerm),
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(_, o)| *o)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset: self.offset() }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(ref t) if t == want => Ok(()),
+            _ => {
+                self.pos -= 1;
+                Err(self.err(format!("expected {what}")))
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<RawTerm, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(RawTerm::Const(Value::int(n))),
+            Some(Tok::Str(s)) => Ok(RawTerm::Const(Value::str(s))),
+            Some(Tok::Ident(name)) => {
+                let first = name.chars().next().unwrap();
+                if first.is_ascii_uppercase() || first == '_' {
+                    Ok(RawTerm::Var(name))
+                } else {
+                    Ok(RawTerm::Const(Value::str(name)))
+                }
+            }
+            _ => {
+                self.pos -= 1;
+                Err(self.err("expected a term"))
+            }
+        }
+    }
+
+    fn term_list(&mut self) -> Result<Vec<RawTerm>, ParseError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut out = Vec::new();
+        if self.peek() == Some(&Tok::RParen) {
+            self.bump();
+            return Ok(out);
+        }
+        loop {
+            out.push(self.term()?);
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                _ => {
+                    self.pos -= 1;
+                    return Err(self.err("expected `,` or `)`"));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn rule(&mut self) -> Result<RawRule, ParseError> {
+        let head_name = match self.bump() {
+            Some(Tok::Ident(n)) => n,
+            _ => {
+                self.pos -= 1;
+                return Err(self.err("expected a head predicate"));
+            }
+        };
+        let head_args = self.term_list()?;
+        let mut body = Vec::new();
+        match self.bump() {
+            Some(Tok::Dot) => return Ok(RawRule { head_name, head_args, body }),
+            Some(Tok::Implies) => {}
+            _ => {
+                self.pos -= 1;
+                return Err(self.err("expected `:-` or `.`"));
+            }
+        }
+        loop {
+            // An item is IDENT(...) or term (=|!=) term.
+            let item = if let Some(Tok::Ident(_)) = self.peek() {
+                // Lookahead: IDENT followed by `(` is an atom.
+                let is_atom = matches!(self.toks.get(self.pos + 1), Some((Tok::LParen, _)));
+                if is_atom {
+                    let Some(Tok::Ident(name)) = self.bump() else { unreachable!() };
+                    let args = self.term_list()?;
+                    RawItem::Atom(name, args)
+                } else {
+                    self.comparison()?
+                }
+            } else {
+                self.comparison()?
+            };
+            body.push(item);
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::Dot) => break,
+                _ => {
+                    self.pos -= 1;
+                    return Err(self.err("expected `,` or `.`"));
+                }
+            }
+        }
+        Ok(RawRule { head_name, head_args, body })
+    }
+
+    fn comparison(&mut self) -> Result<RawItem, ParseError> {
+        let l = self.term()?;
+        match self.bump() {
+            Some(Tok::Eq) => Ok(RawItem::Eq(l, self.term()?)),
+            Some(Tok::Neq) => Ok(RawItem::Neq(l, self.term()?)),
+            _ => {
+                self.pos -= 1;
+                Err(self.err("expected `=` or `!=`"))
+            }
+        }
+    }
+
+    fn rules(&mut self) -> Result<Vec<RawRule>, ParseError> {
+        let mut out = Vec::new();
+        while self.peek().is_some() {
+            out.push(self.rule()?);
+        }
+        if out.is_empty() {
+            return Err(self.err("no rules"));
+        }
+        Ok(out)
+    }
+}
+
+/// Shared var-interning for a single rule.
+struct VarScope {
+    names: Vec<String>,
+}
+
+impl VarScope {
+    fn new() -> Self {
+        VarScope { names: Vec::new() }
+    }
+
+    fn get(&mut self, name: &str) -> Var {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            Var(i as u32)
+        } else {
+            self.names.push(name.to_string());
+            Var((self.names.len() - 1) as u32)
+        }
+    }
+
+    fn term(&mut self, t: &RawTerm) -> Term {
+        match t {
+            RawTerm::Var(n) => Term::Var(self.get(n)),
+            RawTerm::Const(c) => Term::Const(c.clone()),
+        }
+    }
+}
+
+fn rule_to_cq(rule: &RawRule, schema: &Schema) -> Result<Cq, ParseError> {
+    let mut scope = VarScope::new();
+    let head: Vec<Term> = rule.head_args.iter().map(|t| scope.term(t)).collect();
+    let mut atoms = Vec::new();
+    let mut eqs = Vec::new();
+    let mut neqs = Vec::new();
+    for item in &rule.body {
+        match item {
+            RawItem::Atom(name, args) => {
+                let rel = schema.rel_id(name).ok_or_else(|| ParseError {
+                    message: format!("unknown relation `{name}`"),
+                    offset: 0,
+                })?;
+                let arity = schema.relation(rel).expect("validated").arity();
+                if args.len() != arity {
+                    return Err(ParseError {
+                        message: format!(
+                            "relation `{name}` expects {arity} arguments, got {}",
+                            args.len()
+                        ),
+                        offset: 0,
+                    });
+                }
+                atoms.push(Atom::new(rel, args.iter().map(|t| scope.term(t)).collect()));
+            }
+            RawItem::Eq(l, r) => eqs.push((scope.term(l), scope.term(r))),
+            RawItem::Neq(l, r) => neqs.push((scope.term(l), scope.term(r))),
+        }
+    }
+    Ok(Cq {
+        n_vars: scope.names.len() as u32,
+        head,
+        atoms,
+        eqs,
+        neqs,
+        var_names: scope.names,
+    })
+}
+
+/// Parse a single CQ rule.
+pub fn parse_cq(schema: &Schema, src: &str) -> Result<Cq, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0, schema };
+    let rules = p.rules()?;
+    if rules.len() != 1 {
+        return Err(ParseError {
+            message: format!("expected exactly one rule, found {}", rules.len()),
+            offset: 0,
+        });
+    }
+    rule_to_cq(&rules[0], p.schema)
+}
+
+/// Parse a UCQ: one or more rules sharing one head predicate.
+pub fn parse_ucq(schema: &Schema, src: &str) -> Result<Ucq, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0, schema };
+    let rules = p.rules()?;
+    let head = rules[0].head_name.clone();
+    if rules.iter().any(|r| r.head_name != head) {
+        return Err(ParseError {
+            message: "all UCQ rules must share one head predicate".into(),
+            offset: 0,
+        });
+    }
+    let disjuncts = rules
+        .iter()
+        .map(|r| rule_to_cq(r, schema))
+        .collect::<Result<Vec<_>, _>>()?;
+    let arity = disjuncts[0].head_arity();
+    if disjuncts.iter().any(|d| d.head_arity() != arity) {
+        return Err(ParseError { message: "UCQ disjunct head arities differ".into(), offset: 0 });
+    }
+    Ok(Ucq::new(disjuncts))
+}
+
+/// Parse an FP (datalog) program. Head predicates and body predicates not in
+/// the schema become IDB predicates; `output` names the result predicate.
+pub fn parse_program(schema: &Schema, src: &str, output: &str) -> Result<Program, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0, schema };
+    let raw = p.rules()?;
+
+    // Collect IDB predicates: anything used as a head, or in a body and not
+    // an EDB relation.
+    let mut idb: BTreeMap<String, (PredId, usize)> = BTreeMap::new();
+    let declare = |name: &str, arity: usize, idb: &mut BTreeMap<String, (PredId, usize)>|
+     -> Result<PredId, ParseError> {
+        if let Some((id, a)) = idb.get(name) {
+            if *a != arity {
+                return Err(ParseError {
+                    message: format!("predicate `{name}` used with arities {a} and {arity}"),
+                    offset: 0,
+                });
+            }
+            return Ok(*id);
+        }
+        let id = PredId(idb.len());
+        idb.insert(name.to_string(), (id, arity));
+        Ok(id)
+    };
+    for r in &raw {
+        if schema.rel_id(&r.head_name).is_some() {
+            return Err(ParseError {
+                message: format!("head predicate `{}` is an EDB relation", r.head_name),
+                offset: 0,
+            });
+        }
+        declare(&r.head_name, r.head_args.len(), &mut idb)?;
+    }
+    for r in &raw {
+        for item in &r.body {
+            if let RawItem::Atom(name, args) = item {
+                if schema.rel_id(name).is_none() {
+                    declare(name, args.len(), &mut idb)?;
+                }
+            }
+        }
+    }
+
+    let mut rules = Vec::with_capacity(raw.len());
+    for r in &raw {
+        let mut scope = VarScope::new();
+        let head_args: Vec<Term> = r.head_args.iter().map(|t| scope.term(t)).collect();
+        let head = idb[&r.head_name].0;
+        let mut body = Vec::new();
+        for item in &r.body {
+            match item {
+                RawItem::Atom(name, args) => {
+                    let terms: Vec<Term> = args.iter().map(|t| scope.term(t)).collect();
+                    if let Some(rel) = schema.rel_id(name) {
+                        body.push(Literal::Edb(Atom::new(rel, terms)));
+                    } else {
+                        body.push(Literal::Idb(idb[name].0, terms));
+                    }
+                }
+                RawItem::Eq(l, r2) => body.push(Literal::Eq(scope.term(l), scope.term(r2))),
+                RawItem::Neq(l, r2) => body.push(Literal::Neq(scope.term(l), scope.term(r2))),
+            }
+        }
+        rules.push(Rule { head, head_args, body, n_vars: scope.names.len() as u32 });
+    }
+
+    let mut pred_names = vec![String::new(); idb.len()];
+    let mut arities = vec![0usize; idb.len()];
+    for (name, (id, arity)) in &idb {
+        pred_names[id.0] = name.clone();
+        arities[id.0] = *arity;
+    }
+    let out_id = idb
+        .get(output)
+        .map(|(id, _)| *id)
+        .ok_or_else(|| ParseError {
+            message: format!("output predicate `{output}` not defined"),
+            offset: 0,
+        })?;
+    let program = Program { pred_names, arities, rules, output: out_id };
+    program.validate().map_err(|e| ParseError { message: e.to_string(), offset: 0 })?;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_cq, eval_ucq};
+    use ric_data::{Database, RelationSchema, Tuple};
+
+    fn setup() -> (Schema, Database) {
+        let s = Schema::from_relations(vec![RelationSchema::infinite("E", &["a", "b"])]).unwrap();
+        let e = s.rel_id("E").unwrap();
+        let mut db = Database::empty(&s);
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            db.insert(e, Tuple::new([Value::int(a), Value::int(b)]));
+        }
+        (s, db)
+    }
+
+    #[test]
+    fn parse_and_eval_cq() {
+        let (s, db) = setup();
+        let q = parse_cq(&s, "Q(X, Z) :- E(X, Y), E(Y, Z), X != Z.").unwrap();
+        let res = eval_cq(&q, &db).unwrap();
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn parse_constants_and_strings() {
+        let (s, _) = setup();
+        let q = parse_cq(&s, "Q(X) :- E(X, 2), X != 'NJ', X != nj.").unwrap();
+        assert_eq!(q.atoms.len(), 1);
+        assert_eq!(q.neqs.len(), 2);
+        assert_eq!(q.neqs[0].1, Term::from("NJ"));
+        assert_eq!(q.neqs[1].1, Term::from("nj"));
+    }
+
+    #[test]
+    fn parse_ucq_shares_head() {
+        let (s, db) = setup();
+        let u = parse_ucq(&s, "Q(X) :- E(X, 2). Q(X) :- E(X, 3).").unwrap();
+        assert_eq!(u.disjuncts.len(), 2);
+        let res = eval_ucq(&u, &db).unwrap();
+        assert_eq!(res.len(), 2); // 1 and 2
+    }
+
+    #[test]
+    fn parse_program_transitive_closure() {
+        let (s, db) = setup();
+        let p = parse_program(
+            &s,
+            "Tc(X, Y) :- E(X, Y). Tc(X, Y) :- E(X, Z), Tc(Z, Y).",
+            "Tc",
+        )
+        .unwrap();
+        assert_eq!(p.eval(&db).len(), 6);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let (s, _) = setup();
+        assert!(parse_cq(&s, "Q(X) :- Nope(X).").is_err());
+        assert!(parse_cq(&s, "Q(X) :- E(X).").is_err()); // arity
+        assert!(parse_cq(&s, "Q(X) :- E(X, Y)").is_err()); // missing dot
+        assert!(parse_cq(&s, "Q(X) :- E(X, 'unterminated.").is_err());
+        assert!(parse_ucq(&s, "Q(X) :- E(X, Y). P(X) :- E(X, Y).").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let (s, _) = setup();
+        let q = parse_cq(&s, "% header\nQ(X) :- E(X, Y). % trailing").unwrap();
+        assert_eq!(q.atoms.len(), 1);
+    }
+
+    #[test]
+    fn boolean_head() {
+        let (s, db) = setup();
+        let q = parse_cq(&s, "Q() :- E(1, X).").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(eval_cq(&q, &db).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! The single-relation transform of Lemma 3.2.
+//!
+//! For every schema `R = (R_1, …, R_n)` there is a single relation schema
+//! `R̂`, a linear-time database transform `f_D`, and a linear-time query
+//! transform `f_Q` with `Q(D) = f_Q(Q)(f_D(D))`. The construction pads every
+//! relation to a uniform arity and appends a tag attribute `A_R ∈ [1, n]`
+//! identifying the source relation; `f_Q` rewrites each atom `R_j(x̄)` into a
+//! tagged atom over `R̂`.
+
+use crate::cq::{Atom, Cq};
+use crate::term::{Term, Var};
+use ric_data::{Attribute, Database, RelationSchema, Schema, Tuple, Value};
+
+/// The reusable output of Lemma 3.2 for a fixed source schema.
+#[derive(Clone, Debug)]
+pub struct SingleRelTransform {
+    /// The source schema `R`.
+    pub source: Schema,
+    /// The single-relation target schema `(R̂)`.
+    pub target: Schema,
+    /// Uniform attribute count (max arity over the source relations).
+    pub width: usize,
+    /// The padding constant used by `f_D` for missing columns.
+    pub pad: Value,
+}
+
+impl SingleRelTransform {
+    /// Build the transform for a source schema. `Lemma 3.2` allows any
+    /// uniformisation; we pad with a dedicated constant.
+    pub fn new(source: &Schema) -> Self {
+        let width = source
+            .iter()
+            .map(|(_, r)| r.arity())
+            .max()
+            .unwrap_or(0);
+        let mut attrs: Vec<Attribute> =
+            (0..width).map(|i| Attribute::new(format!("c{i}"))).collect();
+        attrs.push(Attribute::new("tag"));
+        let target = Schema::from_relations(vec![RelationSchema::new("Rhat", attrs)])
+            .expect("single fresh relation");
+        SingleRelTransform {
+            source: source.clone(),
+            target,
+            width,
+            pad: Value::str("\u{22A5}pad"),
+        }
+    }
+
+    /// `f_D`: map an instance of the source schema to an instance of `R̂`.
+    pub fn map_database(&self, db: &Database) -> Database {
+        let mut out = Database::empty(&self.target);
+        let rhat = self.target.rel_id("Rhat").expect("target relation");
+        for (rel, inst) in db.iter() {
+            let tag = Value::int(rel.0 as i64 + 1);
+            for t in inst.iter() {
+                let mut fields: Vec<Value> = t.iter().cloned().collect();
+                fields.resize(self.width, self.pad.clone());
+                fields.push(tag.clone());
+                out.insert(rhat, Tuple::new(fields));
+            }
+        }
+        out
+    }
+
+    /// `f_Q`: rewrite a CQ over the source schema into one over `R̂`. Each
+    /// source atom's missing columns become fresh existential variables.
+    pub fn map_query(&self, q: &Cq) -> Cq {
+        let rhat = self.target.rel_id("Rhat").expect("target relation");
+        let mut next = q.n_vars;
+        let mut names = q.var_names.clone();
+        names.resize(q.n_vars as usize, String::new());
+        for (i, n) in names.iter_mut().enumerate() {
+            if n.is_empty() {
+                *n = format!("x{i}");
+            }
+        }
+        let atoms = q
+            .atoms
+            .iter()
+            .map(|a| {
+                let mut args = a.args.clone();
+                while args.len() < self.width {
+                    names.push(format!("_pad{next}"));
+                    args.push(Term::Var(Var(next)));
+                    next += 1;
+                }
+                args.push(Term::from(a.rel.0 as i64 + 1));
+                Atom::new(rhat, args)
+            })
+            .collect();
+        Cq {
+            n_vars: next,
+            head: q.head.clone(),
+            atoms,
+            eqs: q.eqs.clone(),
+            neqs: q.neqs.clone(),
+            var_names: names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_cq;
+    use ric_data::RelationSchema;
+
+    fn source() -> Schema {
+        Schema::from_relations(vec![
+            RelationSchema::infinite("R", &["a"]),
+            RelationSchema::infinite("S", &["a", "b", "c"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn query_answers_preserved() {
+        let s = source();
+        let (r, srel) = (s.rel_id("R").unwrap(), s.rel_id("S").unwrap());
+        let mut db = Database::empty(&s);
+        db.insert(r, Tuple::new([Value::int(1)]));
+        db.insert(r, Tuple::new([Value::int(2)]));
+        db.insert(srel, Tuple::new([Value::int(1), Value::int(10), Value::int(20)]));
+        db.insert(srel, Tuple::new([Value::int(3), Value::int(30), Value::int(40)]));
+
+        // Q(x, b) :- R(x), S(x, b, c)
+        let mut bld = Cq::builder();
+        let (x, b, c) = (bld.var("x"), bld.var("b"), bld.var("c"));
+        let q = bld
+            .atom(r, vec![Term::Var(x)])
+            .atom(srel, vec![Term::Var(x), Term::Var(b), Term::Var(c)])
+            .head_vars(vec![x, b])
+            .build();
+
+        let tr = SingleRelTransform::new(&s);
+        let db_hat = tr.map_database(&db);
+        let q_hat = tr.map_query(&q);
+        assert_eq!(
+            eval_cq(&q, &db).unwrap(),
+            eval_cq(&q_hat, &db_hat).unwrap(),
+            "Lemma 3.2: Q(D) = f_Q(Q)(f_D(D))"
+        );
+        let expected = eval_cq(&q, &db).unwrap();
+        assert_eq!(expected.len(), 1);
+    }
+
+    #[test]
+    fn tags_separate_relations_of_same_arity() {
+        let s = Schema::from_relations(vec![
+            RelationSchema::infinite("P", &["a"]),
+            RelationSchema::infinite("N", &["a"]),
+        ])
+        .unwrap();
+        let (p, n) = (s.rel_id("P").unwrap(), s.rel_id("N").unwrap());
+        let mut db = Database::empty(&s);
+        db.insert(p, Tuple::new([Value::int(1)]));
+        db.insert(n, Tuple::new([Value::int(2)]));
+        let mut bld = Cq::builder();
+        let x = bld.var("x");
+        let q = bld.atom(p, vec![Term::Var(x)]).head_vars(vec![x]).build();
+        let tr = SingleRelTransform::new(&s);
+        let res = eval_cq(&tr.map_query(&q), &tr.map_database(&db)).unwrap();
+        assert_eq!(res.len(), 1);
+        assert!(res.contains(&Tuple::new([Value::int(1)])));
+    }
+
+    #[test]
+    fn empty_schema_handled() {
+        let s = Schema::new();
+        let tr = SingleRelTransform::new(&s);
+        assert_eq!(tr.width, 0);
+        let db = Database::empty(&s);
+        let mapped = tr.map_database(&db);
+        assert_eq!(mapped.tuple_count(), 0);
+    }
+}

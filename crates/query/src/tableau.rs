@@ -1,0 +1,482 @@
+//! Tableau representation of conjunctive queries (Section 3.2).
+//!
+//! A satisfiable CQ `Q` is represented as a *tableau query* `(T_Q, u_Q)`:
+//! equalities are eliminated by merging variable classes (and substituting
+//! constants), so the tableau contains only canonical variables, constants,
+//! and residual inequalities. The deciders of `ric-complete` enumerate
+//! *valuations* `μ` of the tableau variables; `μ(T_Q)` is a set of concrete
+//! tuples and `μ(u_Q)` the corresponding output tuple.
+
+use crate::cq::{Atom, Cq};
+use crate::term::{Term, Var};
+use ric_data::{Database, DomainKind, Schema, Tuple, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a CQ has no tableau.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TableauError {
+    /// The equality/inequality conditions are contradictory; `Q(D) = ∅` on
+    /// every database. (The paper assumes satisfiable queries; the deciders
+    /// special-case this.)
+    Unsatisfiable,
+    /// Some variable of the head or an inequality occurs in no relation atom,
+    /// so the query is not domain-independent.
+    UnsafeVariable(Var),
+}
+
+impl fmt::Display for TableauError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableauError::Unsatisfiable => write!(f, "query is unsatisfiable"),
+            TableauError::UnsafeVariable(v) => {
+                write!(f, "variable {v} occurs in no relation atom (unsafe query)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableauError {}
+
+/// The tableau `(T_Q, u_Q)` of a satisfiable, safe CQ.
+///
+/// Invariants: variables are `Var(0) .. Var(n_vars-1)`; every variable occurs
+/// in at least one atom; `neqs` never relate two constants or a term to
+/// itself.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tableau {
+    /// Number of canonical variables.
+    pub n_vars: u32,
+    /// The tuple templates `T_Q`.
+    pub atoms: Vec<Atom>,
+    /// The output summary `u_Q`.
+    pub head: Vec<Term>,
+    /// Residual inequalities (at least one side a variable).
+    pub neqs: Vec<(Term, Term)>,
+    /// Display names for canonical variables.
+    pub var_names: Vec<String>,
+}
+
+/// Union-find over query variables, with optional constant binding per class.
+struct Unifier {
+    parent: Vec<usize>,
+    constant: Vec<Option<Value>>,
+}
+
+impl Unifier {
+    fn new(n: usize) -> Self {
+        Unifier { parent: (0..n).collect(), constant: vec![None; n] }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    /// Merge the classes of `a` and `b`; `false` on constant conflict.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return true;
+        }
+        match (self.constant[ra].clone(), self.constant[rb].clone()) {
+            (Some(ca), Some(cb)) if ca != cb => return false,
+            (Some(ca), None) => self.constant[rb] = Some(ca),
+            _ => {}
+        }
+        self.parent[ra] = rb;
+        true
+    }
+
+    /// Bind the class of `a` to constant `c`; `false` on conflict.
+    fn bind(&mut self, a: usize, c: &Value) -> bool {
+        let r = self.find(a);
+        match &self.constant[r] {
+            Some(existing) => existing == c,
+            None => {
+                self.constant[r] = Some(c.clone());
+                true
+            }
+        }
+    }
+}
+
+impl Tableau {
+    /// Normalise a CQ into its tableau (Section 3.2).
+    pub fn of(cq: &Cq) -> Result<Tableau, TableauError> {
+        let n = cq.n_vars as usize;
+        let mut uf = Unifier::new(n);
+        // Apply equalities.
+        for (l, r) in &cq.eqs {
+            let ok = match (l, r) {
+                (Term::Var(a), Term::Var(b)) => uf.union(a.idx(), b.idx()),
+                (Term::Var(a), Term::Const(c)) | (Term::Const(c), Term::Var(a)) => {
+                    uf.bind(a.idx(), c)
+                }
+                (Term::Const(c1), Term::Const(c2)) => c1 == c2,
+            };
+            if !ok {
+                return Err(TableauError::Unsatisfiable);
+            }
+        }
+        // Canonicalise a term.
+        let canon = |t: &Term, uf: &mut Unifier| -> Term {
+            match t {
+                Term::Const(c) => Term::Const(c.clone()),
+                Term::Var(v) => {
+                    let r = uf.find(v.idx());
+                    match &uf.constant[r] {
+                        Some(c) => Term::Const(c.clone()),
+                        None => Term::Var(Var(r as u32)),
+                    }
+                }
+            }
+        };
+        // Rewrite atoms, head, inequalities.
+        let raw_atoms: Vec<Atom> = cq
+            .atoms
+            .iter()
+            .map(|a| Atom::new(a.rel, a.args.iter().map(|t| canon(t, &mut uf)).collect()))
+            .collect();
+        let raw_head: Vec<Term> = cq.head.iter().map(|t| canon(t, &mut uf)).collect();
+        let mut raw_neqs = Vec::new();
+        for (l, r) in &cq.neqs {
+            let (cl, cr) = (canon(l, &mut uf), canon(r, &mut uf));
+            match (&cl, &cr) {
+                _ if cl == cr => return Err(TableauError::Unsatisfiable),
+                (Term::Const(_), Term::Const(_)) => {} // distinct constants: always true
+                _ => raw_neqs.push((cl, cr)),
+            }
+        }
+        // Densely renumber the surviving canonical variables; atom order
+        // determines numbering so the result is deterministic.
+        let mut remap: Vec<Option<u32>> = vec![None; n];
+        let mut names: Vec<String> = Vec::new();
+        let mut next = 0u32;
+        let mut assign = |v: Var, remap: &mut Vec<Option<u32>>, names: &mut Vec<String>| -> Var {
+            let slot = &mut remap[v.idx()];
+            match slot {
+                Some(i) => Var(*i),
+                None => {
+                    let id = next;
+                    next += 1;
+                    *slot = Some(id);
+                    names.push(cq.var_name(v));
+                    Var(id)
+                }
+            }
+        };
+        let mut atoms = Vec::with_capacity(raw_atoms.len());
+        for a in &raw_atoms {
+            let args = a
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => Term::Var(assign(*v, &mut remap, &mut names)),
+                    c => c.clone(),
+                })
+                .collect();
+            atoms.push(Atom::new(a.rel, args));
+        }
+        let map_bound = |t: &Term, remap: &Vec<Option<u32>>| -> Result<Term, TableauError> {
+            match t {
+                Term::Var(v) => match remap[v.idx()] {
+                    Some(i) => Ok(Term::Var(Var(i))),
+                    None => Err(TableauError::UnsafeVariable(*v)),
+                },
+                c => Ok(c.clone()),
+            }
+        };
+        let head = raw_head
+            .iter()
+            .map(|t| map_bound(t, &remap))
+            .collect::<Result<Vec<_>, _>>()?;
+        let neqs = raw_neqs
+            .iter()
+            .map(|(l, r)| Ok((map_bound(l, &remap)?, map_bound(r, &remap)?)))
+            .collect::<Result<Vec<_>, TableauError>>()?;
+        Ok(Tableau { n_vars: next, atoms, head, neqs, var_names: names })
+    }
+
+    /// Constants appearing in the tableau (atoms, head, inequalities).
+    pub fn constants(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        let mut push = |t: &Term| {
+            if let Term::Const(c) = t {
+                out.insert(c.clone());
+            }
+        };
+        for a in &self.atoms {
+            for t in &a.args {
+                push(t);
+            }
+        }
+        for t in &self.head {
+            push(t);
+        }
+        for (l, r) in &self.neqs {
+            push(l);
+            push(r);
+        }
+        out
+    }
+
+    /// The variables of the output summary `u_Q`.
+    pub fn head_vars(&self) -> BTreeSet<Var> {
+        self.head.iter().filter_map(Term::as_var).collect()
+    }
+
+    /// Per-variable effective domain with respect to a schema: `None` means
+    /// the infinite domain; `Some(set)` is the intersection of the finite
+    /// domains of every column the variable occurs in (Section 3.2's
+    /// `dom(y)`).
+    pub fn var_domains(&self, schema: &Schema) -> Vec<Option<BTreeSet<Value>>> {
+        let mut doms: Vec<Option<BTreeSet<Value>>> = vec![None; self.n_vars as usize];
+        for a in &self.atoms {
+            for (col, t) in a.args.iter().enumerate() {
+                let Some(v) = t.as_var() else { continue };
+                let Ok(dk) = schema.domain(a.rel, col) else { continue };
+                if let DomainKind::Finite(vals) = dk {
+                    let set: BTreeSet<Value> = vals.iter().cloned().collect();
+                    doms[v.idx()] = Some(match doms[v.idx()].take() {
+                        None => set,
+                        Some(prev) => prev.intersection(&set).cloned().collect(),
+                    });
+                }
+            }
+        }
+        doms
+    }
+
+    /// Do the constant positions of the tableau respect the schema's finite
+    /// domains? (If not, `Q(D) = ∅` on every valid database.)
+    pub fn domain_consistent(&self, schema: &Schema) -> bool {
+        for a in &self.atoms {
+            for (col, t) in a.args.iter().enumerate() {
+                if let Term::Const(c) = t {
+                    if let Ok(dk) = schema.domain(a.rel, col) {
+                        if !dk.admits(c) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The positions `(relation, column)` where each variable occurs.
+    pub fn var_positions(&self) -> Vec<Vec<(ric_data::RelId, usize)>> {
+        let mut out: Vec<Vec<(ric_data::RelId, usize)>> = vec![Vec::new(); self.n_vars as usize];
+        for a in &self.atoms {
+            for (col, t) in a.args.iter().enumerate() {
+                if let Some(v) = t.as_var() {
+                    out[v.idx()].push((a.rel, col));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A total assignment of constants to the variables of a [`Tableau`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Valuation(pub Vec<Value>);
+
+impl Valuation {
+    /// The value of a term under this valuation.
+    pub fn term(&self, t: &Term) -> Value {
+        match t {
+            Term::Var(v) => self.0[v.idx()].clone(),
+            Term::Const(c) => c.clone(),
+        }
+    }
+
+    /// Does the valuation observe all inequalities of the tableau? Together
+    /// with domain membership this is the paper's *valid valuation* condition
+    /// (Section 3.2): `Q(μ(T_Q))` is nonempty iff the inequalities hold.
+    pub fn satisfies_neqs(&self, t: &Tableau) -> bool {
+        t.neqs.iter().all(|(l, r)| self.term(l) != self.term(r))
+    }
+
+    /// `μ(T_Q)` as a database over a schema with `n_rels` relations.
+    pub fn instantiate(&self, t: &Tableau, n_rels: usize) -> Database {
+        let mut db = Database::with_relations(n_rels);
+        for a in &t.atoms {
+            let tuple = Tuple::new(a.args.iter().map(|x| self.term(x)));
+            db.insert(a.rel, tuple);
+        }
+        db
+    }
+
+    /// `μ(u_Q)`, the output tuple.
+    pub fn head_tuple(&self, t: &Tableau) -> Tuple {
+        Tuple::new(t.head.iter().map(|x| self.term(x)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ric_data::{RelationSchema, Schema};
+
+    fn schema() -> Schema {
+        Schema::from_relations(vec![
+            RelationSchema::infinite("R", &["a", "b"]),
+            RelationSchema::new(
+                "B",
+                vec![
+                    ric_data::Attribute::boolean("x"),
+                    ric_data::Attribute::new("y"),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn equalities_merge_classes() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let mut b = Cq::builder();
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        let q = b
+            .atom(r, vec![Term::Var(x), Term::Var(y)])
+            .atom(r, vec![Term::Var(y), Term::Var(z)])
+            .eq(Term::Var(x), Term::Var(z))
+            .head_vars(vec![x])
+            .build();
+        let t = Tableau::of(&q).unwrap();
+        assert_eq!(t.n_vars, 2); // x=z merged
+        assert_eq!(t.atoms.len(), 2);
+    }
+
+    #[test]
+    fn constant_binding_substitutes() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let mut b = Cq::builder();
+        let (x, y) = (b.var("x"), b.var("y"));
+        let q = b
+            .atom(r, vec![Term::Var(x), Term::Var(y)])
+            .eq(Term::Var(x), Term::from(5))
+            .head_vars(vec![y])
+            .build();
+        let t = Tableau::of(&q).unwrap();
+        assert_eq!(t.n_vars, 1);
+        assert_eq!(t.atoms[0].args[0], Term::from(5));
+    }
+
+    #[test]
+    fn conflicting_constants_unsatisfiable() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let mut b = Cq::builder();
+        let x = b.var("x");
+        let q = b
+            .atom(r, vec![Term::Var(x), Term::Var(x)])
+            .eq(Term::Var(x), Term::from(1))
+            .eq(Term::Var(x), Term::from(2))
+            .head_vars(vec![])
+            .build();
+        assert_eq!(Tableau::of(&q), Err(TableauError::Unsatisfiable));
+    }
+
+    #[test]
+    fn neq_on_same_class_unsatisfiable() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let mut b = Cq::builder();
+        let (x, y) = (b.var("x"), b.var("y"));
+        let q = b
+            .atom(r, vec![Term::Var(x), Term::Var(y)])
+            .eq(Term::Var(x), Term::Var(y))
+            .neq(Term::Var(x), Term::Var(y))
+            .head_vars(vec![])
+            .build();
+        assert_eq!(Tableau::of(&q), Err(TableauError::Unsatisfiable));
+    }
+
+    #[test]
+    fn neq_between_distinct_constants_dropped() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let mut b = Cq::builder();
+        let x = b.var("x");
+        let q = b
+            .atom(r, vec![Term::Var(x), Term::Var(x)])
+            .neq(Term::from(1), Term::from(2))
+            .head_vars(vec![x])
+            .build();
+        let t = Tableau::of(&q).unwrap();
+        assert!(t.neqs.is_empty());
+    }
+
+    #[test]
+    fn unsafe_head_variable_rejected() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let mut b = Cq::builder();
+        let x = b.var("x");
+        let free = b.var("free");
+        let q = b
+            .atom(r, vec![Term::Var(x), Term::Var(x)])
+            .head_vars(vec![free])
+            .build();
+        assert!(matches!(Tableau::of(&q), Err(TableauError::UnsafeVariable(_))));
+    }
+
+    #[test]
+    fn var_domains_use_finite_columns() {
+        let s = schema();
+        let bb = s.rel_id("B").unwrap();
+        let mut b = Cq::builder();
+        let (x, y) = (b.var("x"), b.var("y"));
+        let q = b
+            .atom(bb, vec![Term::Var(x), Term::Var(y)])
+            .head_vars(vec![x, y])
+            .build();
+        let t = Tableau::of(&q).unwrap();
+        let doms = t.var_domains(&s);
+        assert_eq!(doms[0].as_ref().unwrap().len(), 2); // boolean column
+        assert!(doms[1].is_none()); // infinite column
+    }
+
+    #[test]
+    fn domain_consistency_detects_bad_constants() {
+        let s = schema();
+        let bb = s.rel_id("B").unwrap();
+        let mut b = Cq::builder();
+        let y = b.var("y");
+        let q = b
+            .atom(bb, vec![Term::from(7), Term::Var(y)])
+            .head_vars(vec![y])
+            .build();
+        let t = Tableau::of(&q).unwrap();
+        assert!(!t.domain_consistent(&s));
+    }
+
+    #[test]
+    fn valuation_instantiates_and_projects() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let mut b = Cq::builder();
+        let (x, y) = (b.var("x"), b.var("y"));
+        let q = b
+            .atom(r, vec![Term::Var(x), Term::Var(y)])
+            .neq(Term::Var(x), Term::Var(y))
+            .head_vars(vec![y])
+            .build();
+        let t = Tableau::of(&q).unwrap();
+        let mu = Valuation(vec![Value::int(1), Value::int(2)]);
+        assert!(mu.satisfies_neqs(&t));
+        let db = mu.instantiate(&t, s.len());
+        assert_eq!(db.instance(r).len(), 1);
+        assert_eq!(mu.head_tuple(&t), Tuple::new([Value::int(2)]));
+        let bad = Valuation(vec![Value::int(1), Value::int(1)]);
+        assert!(!bad.satisfies_neqs(&t));
+    }
+}

@@ -1,0 +1,111 @@
+//! Variables and terms.
+
+use ric_data::Value;
+use std::fmt;
+
+/// A query variable, identified by a dense index within its query.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The index as `usize`, for table lookups.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+
+    /// Is this a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+impl From<i64> for Term {
+    fn from(i: i64) -> Self {
+        Term::Const(Value::int(i))
+    }
+}
+
+impl From<&str> for Term {
+    fn from(s: &str) -> Self {
+        Term::Const(Value::str(s))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => match c {
+                Value::Int(i) => write!(f, "{i}"),
+                Value::Str(s) => write!(f, "'{s}'"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_accessors() {
+        let t = Term::Var(Var(3));
+        assert_eq!(t.as_var(), Some(Var(3)));
+        assert!(t.is_var());
+        let c = Term::from(5);
+        assert_eq!(c.as_const(), Some(&Value::int(5)));
+        assert!(!c.is_var());
+    }
+
+    #[test]
+    fn display_quotes_strings() {
+        assert_eq!(Term::from("NJ").to_string(), "'NJ'");
+        assert_eq!(Term::from(7).to_string(), "7");
+        assert_eq!(Term::Var(Var(0)).to_string(), "x0");
+    }
+}

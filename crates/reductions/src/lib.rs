@@ -1,0 +1,33 @@
+//! # `ric-reductions` — the paper's lower bounds as runnable artifacts
+//!
+//! Every hardness proof in the paper is a reduction from a canonical hard
+//! problem. This crate implements each source problem *and* its reduction,
+//! together with an independent ground-truth solver, so the deciders of
+//! `ric-complete` can be validated end to end and their scaling measured:
+//!
+//! | Paper result | Source problem | Module |
+//! | --- | --- | --- |
+//! | Thm 3.6 (RCDP Σᵖ₂-hard, `L_C` = INDs) | ∀*∃*-3SAT | [`rcdp_sigma2`] |
+//! | Thm 4.5(1) (RCQP coNP-hard, `L_C` = INDs) | 3SAT | [`rcqp_conp`] |
+//! | Cor 4.6(2) (RCQP Πᵖ₃-hard, fixed `(D_m, V)`) | ∃*∀*∃*-3SAT | [`rcqp_pi3`] |
+//! | Thm 4.5(2) (RCQP NEXPTIME-hard) | 2ⁿ×2ⁿ tiling | [`tiling`] |
+//! | Thm 3.1(3)/4.1(3) (undecidability) | 2-head DFA emptiness | [`two_head_dfa`] |
+//!
+//! [`sat`] hosts CNF machinery with a DPLL solver; [`qbf`] the quantified
+//! variants with brute-force evaluation; [`workload`] random
+//! master-data-management instances with planted ground truth for the
+//! benches.
+
+pub mod qbf;
+pub mod rcdp_sigma2;
+pub mod rcqp_conp;
+pub mod rcqp_pi3;
+pub mod sat;
+pub mod tiling;
+pub mod two_head_dfa;
+pub mod workload;
+
+pub use qbf::{ExistsForallExists, ForallExists};
+pub use sat::{Clause, Cnf, Lit};
+pub use tiling::TilingInstance;
+pub use two_head_dfa::TwoHeadDfa;

@@ -1,0 +1,224 @@
+//! Quantified 3SAT variants: `∀*∃*` (Σᵖ₂-hard complement, used by the RCDP
+//! lower bound of Theorem 3.6) and `∃*∀*∃*` (Πᵖ₃-hard complement, used by the
+//! fixed-`(D_m, V)` RCQP lower bound of Corollary 4.6). Both come with exact
+//! brute-force evaluators usable up to ~20 quantified variables.
+
+use crate::sat::Cnf;
+use rand::Rng;
+
+/// `φ = ∀X ∃Y ψ(X, Y)` with `ψ` in 3CNF. Variables `0..n_forall` are
+/// universal; `n_forall..n_forall+n_exists` existential.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ForallExists {
+    /// Number of universally quantified variables `X`.
+    pub n_forall: usize,
+    /// Number of existentially quantified variables `Y`.
+    pub n_exists: usize,
+    /// The matrix over `n_forall + n_exists` variables.
+    pub matrix: Cnf,
+}
+
+impl ForallExists {
+    /// Exact evaluation: for every `X` assignment, does some `Y` assignment
+    /// satisfy the matrix? Exponential in `n_forall`; the inner search uses
+    /// DPLL on the restricted matrix.
+    pub fn eval(&self) -> bool {
+        assert_eq!(self.matrix.n_vars, self.n_forall + self.n_exists);
+        assert!(self.n_forall <= 20, "outer enumeration is exponential");
+        (0..(1u64 << self.n_forall)).all(|mask| {
+            let restricted = restrict(&self.matrix, 0, self.n_forall, mask);
+            restricted.satisfiable()
+        })
+    }
+
+    /// A random instance.
+    pub fn random(n_forall: usize, n_exists: usize, n_clauses: usize, rng: &mut impl Rng) -> Self {
+        ForallExists {
+            n_forall,
+            n_exists,
+            matrix: Cnf::random_3sat(n_forall + n_exists, n_clauses, rng),
+        }
+    }
+}
+
+/// `φ = ∃X ∀Y ∃Z ψ(X, Y, Z)` with `ψ` in 3CNF.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExistsForallExists {
+    /// Number of outer existential variables `X`.
+    pub n_exists_outer: usize,
+    /// Number of universal variables `Y`.
+    pub n_forall: usize,
+    /// Number of inner existential variables `Z`.
+    pub n_exists_inner: usize,
+    /// The matrix over all variables, ordered `X, Y, Z`.
+    pub matrix: Cnf,
+}
+
+impl ExistsForallExists {
+    /// Exact evaluation by nested enumeration (DPLL innermost).
+    pub fn eval(&self) -> bool {
+        let n = self.n_exists_outer + self.n_forall + self.n_exists_inner;
+        assert_eq!(self.matrix.n_vars, n);
+        assert!(self.n_exists_outer + self.n_forall <= 20);
+        (0..(1u64 << self.n_exists_outer)).any(|xmask| {
+            let after_x = restrict(&self.matrix, 0, self.n_exists_outer, xmask);
+            (0..(1u64 << self.n_forall)).all(|ymask| {
+                let after_y = restrict(&after_x, self.n_exists_outer, self.n_forall, ymask);
+                after_y.satisfiable()
+            })
+        })
+    }
+
+    /// A random instance.
+    pub fn random(
+        n_exists_outer: usize,
+        n_forall: usize,
+        n_exists_inner: usize,
+        n_clauses: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        ExistsForallExists {
+            n_exists_outer,
+            n_forall,
+            n_exists_inner,
+            matrix: Cnf::random_3sat(
+                n_exists_outer + n_forall + n_exists_inner,
+                n_clauses,
+                rng,
+            ),
+        }
+    }
+}
+
+/// Restrict variables `[start, start+count)` of `cnf` to the bits of `mask`;
+/// satisfied clauses are dropped, falsified literals removed.
+fn restrict(cnf: &Cnf, start: usize, count: usize, mask: u64) -> Cnf {
+    let value = |var: usize| -> Option<bool> {
+        if (start..start + count).contains(&var) {
+            Some(mask & (1 << (var - start)) != 0)
+        } else {
+            None
+        }
+    };
+    let mut clauses = Vec::new();
+    'clauses: for clause in &cnf.clauses {
+        let mut kept = Vec::new();
+        for l in &clause.0 {
+            match value(l.var) {
+                Some(v) if v == l.positive => continue 'clauses, // satisfied
+                Some(_) => {}                                    // falsified literal
+                None => kept.push(*l),
+            }
+        }
+        clauses.push(crate::sat::Clause(kept));
+    }
+    Cnf { n_vars: cnf.n_vars, clauses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{Clause, Lit};
+    use rand::SeedableRng;
+
+    #[test]
+    fn forall_exists_tautology() {
+        // ∀x ∃y (x ∨ y) ∧ (¬x ∨ ¬y): pick y = ¬x. True.
+        let phi = ForallExists {
+            n_forall: 1,
+            n_exists: 1,
+            matrix: Cnf {
+                n_vars: 2,
+                clauses: vec![
+                    Clause(vec![Lit::pos(0), Lit::pos(1)]),
+                    Clause(vec![Lit::neg(0), Lit::neg(1)]),
+                ],
+            },
+        };
+        assert!(phi.eval());
+    }
+
+    #[test]
+    fn forall_exists_false_instance() {
+        // ∀x ∃y (x): false for x = 0.
+        let phi = ForallExists {
+            n_forall: 1,
+            n_exists: 1,
+            matrix: Cnf { n_vars: 2, clauses: vec![Clause(vec![Lit::pos(0)])] },
+        };
+        assert!(!phi.eval());
+    }
+
+    #[test]
+    fn exists_forall_exists_cases() {
+        // ∃x ∀y ∃z (x) — true with x = 1.
+        let t = ExistsForallExists {
+            n_exists_outer: 1,
+            n_forall: 1,
+            n_exists_inner: 1,
+            matrix: Cnf { n_vars: 3, clauses: vec![Clause(vec![Lit::pos(0)])] },
+        };
+        assert!(t.eval());
+        // ∃x ∀y ∃z (y) — false: y = 0 falsifies.
+        let f = ExistsForallExists {
+            n_exists_outer: 1,
+            n_forall: 1,
+            n_exists_inner: 1,
+            matrix: Cnf { n_vars: 3, clauses: vec![Clause(vec![Lit::pos(1)])] },
+        };
+        assert!(!f.eval());
+        // ∃x ∀y ∃z (y ∨ z) ∧ (¬z ∨ ¬y... ) — z can always rescue: true.
+        let rescue = ExistsForallExists {
+            n_exists_outer: 1,
+            n_forall: 1,
+            n_exists_inner: 1,
+            matrix: Cnf {
+                n_vars: 3,
+                clauses: vec![Clause(vec![Lit::pos(1), Lit::pos(2)])],
+            },
+        };
+        assert!(rescue.eval());
+    }
+
+    #[test]
+    fn quantifier_order_matters() {
+        // matrix: (x ↔ y) as (¬x ∨ y) ∧ (x ∨ ¬y)
+        let matrix = Cnf {
+            n_vars: 2,
+            clauses: vec![
+                Clause(vec![Lit::neg(0), Lit::pos(1)]),
+                Clause(vec![Lit::pos(0), Lit::neg(1)]),
+            ],
+        };
+        // ∀x ∃y (x ↔ y): true.
+        let fe = ForallExists { n_forall: 1, n_exists: 1, matrix: matrix.clone() };
+        assert!(fe.eval());
+        // ∃y ∀x (x ↔ y) — modelled as ∃X ∀Y ∃(nothing) with X = y, Y = x and
+        // matrix rewritten: variables reordered so x is universal (index 1).
+        let reordered = Cnf {
+            n_vars: 2,
+            clauses: vec![
+                Clause(vec![Lit::neg(1), Lit::pos(0)]),
+                Clause(vec![Lit::pos(1), Lit::neg(0)]),
+            ],
+        };
+        let efe = ExistsForallExists {
+            n_exists_outer: 1,
+            n_forall: 1,
+            n_exists_inner: 0,
+            matrix: reordered,
+        };
+        assert!(!efe.eval());
+    }
+
+    #[test]
+    fn random_instances_evaluate_without_panic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let phi = ForallExists::random(3, 3, 8, &mut rng);
+            let _ = phi.eval();
+            let psi = ExistsForallExists::random(2, 2, 2, 6, &mut rng);
+            let _ = psi.eval();
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The Σᵖ₂ lower bound for RCDP (Theorem 3.6): reduction from ∀*∃*-3SAT to
+//! RCDP(CQ, INDs) with *fixed* master data and constraints (Corollary 3.7).
+//!
+//! The database carries Boolean-logic truth tables `R_1..R_5` (domain,
+//! disjunction, conjunction, negation, and the selector table `I_c`) plus a
+//! switch relation `R_6`; each is IND-bounded by an identical master copy,
+//! except that the master `R^m_6 = {(0), (1)}` while `D` holds `I_6 = {(1)}`.
+//! The query evaluates the 3SAT matrix over all assignments and uses
+//! `R_5(z′, z, 1)` so that with `z′ = 1` only the `∃Y`-satisfiable `X`
+//! assignments are returned, while adding `(0)` to `R_6` would return *all*
+//! `X` assignments. Hence `D` is complete for `Q` iff `∀X ∃Y ψ` is true.
+
+use crate::qbf::ForallExists;
+use crate::sat::Lit;
+use ric_complete::{Query, Setting};
+use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint, Projection};
+use ric_data::{Database, RelationSchema, Schema, Tuple, Value};
+use ric_query::{Cq, Term, Var};
+
+/// Build the RCDP(CQ, INDs) instance: `(Setting, Q, D)` with `D` partially
+/// closed and `D ∈ RCQ(Q, D_m, V)` iff `phi` evaluates to true.
+pub fn to_rcdp_instance(phi: &ForallExists) -> (Setting, Query, Database) {
+    assert!(!phi.matrix.clauses.is_empty(), "reduction expects at least one clause");
+    let schema = Schema::from_relations(vec![
+        RelationSchema::infinite("R1", &["x"]),
+        RelationSchema::infinite("R2", &["a", "b", "c"]), // OR
+        RelationSchema::infinite("R3", &["a", "b", "c"]), // AND
+        RelationSchema::infinite("R4", &["x", "nx"]),     // NOT
+        RelationSchema::infinite("R5", &["zp", "z", "s"]), // selector I_c
+        RelationSchema::infinite("R6", &["x"]),           // switch
+    ])
+    .expect("fixed schema");
+    let mschema = Schema::from_relations(vec![
+        RelationSchema::infinite("Rm1", &["x"]),
+        RelationSchema::infinite("Rm2", &["a", "b", "c"]),
+        RelationSchema::infinite("Rm3", &["a", "b", "c"]),
+        RelationSchema::infinite("Rm4", &["x", "nx"]),
+        RelationSchema::infinite("Rm5", &["zp", "z", "s"]),
+        RelationSchema::infinite("Rm6", &["x"]),
+    ])
+    .expect("fixed master schema");
+
+    let bools = [0i64, 1];
+    let or_rows: Vec<[i64; 3]> = bools
+        .iter()
+        .flat_map(|&a| bools.iter().map(move |&b| [a, b, (a != 0 || b != 0) as i64]))
+        .collect();
+    let and_rows: Vec<[i64; 3]> = bools
+        .iter()
+        .flat_map(|&a| bools.iter().map(move |&b| [a, b, (a != 0 && b != 0) as i64]))
+        .collect();
+    let not_rows: Vec<[i64; 2]> = vec![[0, 1], [1, 0]];
+    // I_c(z′, z, 1) holds iff z′ = 0, or z′ = 1 ∧ z = 1.
+    let ic_rows: Vec<[i64; 3]> = vec![[0, 0, 1], [0, 1, 1], [1, 0, 0], [1, 1, 1]];
+
+    let fill = |db: &mut Database, schema: &Schema, prefix: &str, switch: &[i64]| {
+        let rel = |n: &str| schema.rel_id(&format!("{prefix}{n}")).unwrap();
+        for &b in &bools {
+            db.insert(rel("1"), Tuple::new([Value::int(b)]));
+        }
+        for r in &or_rows {
+            db.insert(rel("2"), Tuple::new(r.iter().map(|&v| Value::int(v))));
+        }
+        for r in &and_rows {
+            db.insert(rel("3"), Tuple::new(r.iter().map(|&v| Value::int(v))));
+        }
+        for r in &not_rows {
+            db.insert(rel("4"), Tuple::new(r.iter().map(|&v| Value::int(v))));
+        }
+        for r in &ic_rows {
+            db.insert(rel("5"), Tuple::new(r.iter().map(|&v| Value::int(v))));
+        }
+        for &s in switch {
+            db.insert(rel("6"), Tuple::new([Value::int(s)]));
+        }
+    };
+    let mut db = Database::empty(&schema);
+    fill(&mut db, &schema, "R", &[1]);
+    let mut dm = Database::empty(&mschema);
+    fill(&mut dm, &mschema, "Rm", &[0, 1]);
+
+    // V: R_i ⊆ R^m_i, full width — a fixed set of INDs.
+    let mut v = ConstraintSet::empty();
+    for i in 1..=6u32 {
+        let r = schema.rel_id(&format!("R{i}")).unwrap();
+        let rm = mschema.rel_id(&format!("Rm{i}")).unwrap();
+        let width = schema.arity(r).unwrap();
+        let cols: Vec<usize> = (0..width).collect();
+        v.push(ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(r, cols.clone())),
+            rm,
+            cols,
+        ));
+    }
+    let setting = Setting::new(schema.clone(), mschema, dm, v);
+    let q = build_query(&schema, phi);
+    (setting, Query::Cq(q), db)
+}
+
+/// `Q(x̄) = π_x̄ ( R6(z′) × T(x̄, ȳ, z) × R5(z′, z, 1) )` with `T` the circuit
+/// evaluating the 3SAT matrix.
+fn build_query(schema: &Schema, phi: &ForallExists) -> Cq {
+    let r1 = schema.rel_id("R1").unwrap();
+    let r2 = schema.rel_id("R2").unwrap();
+    let r3 = schema.rel_id("R3").unwrap();
+    let r4 = schema.rel_id("R4").unwrap();
+    let r5 = schema.rel_id("R5").unwrap();
+    let r6 = schema.rel_id("R6").unwrap();
+    let n_all = phi.n_forall + phi.n_exists;
+
+    let mut b = Cq::builder();
+    // Positive and negated copies of every propositional variable.
+    let pos: Vec<Var> = (0..n_all).map(|i| b.var(&format!("v{i}"))).collect();
+    let neg: Vec<Var> = (0..n_all).map(|i| b.var(&format!("nv{i}"))).collect();
+    let zp = b.var("zp");
+    // Per-clause outputs and the conjunction chain.
+    let clause_out: Vec<Var> =
+        (0..phi.matrix.clauses.len()).map(|i| b.var(&format!("c{i}"))).collect();
+    let or_tmp: Vec<Var> =
+        (0..phi.matrix.clauses.len()).map(|i| b.var(&format!("o{i}"))).collect();
+    let chain: Vec<Var> =
+        (1..phi.matrix.clauses.len()).map(|i| b.var(&format!("g{i}"))).collect();
+
+    let mut builder = b;
+    // Variable typing and negation wiring.
+    for i in 0..n_all {
+        builder = builder
+            .atom(r1, vec![Term::Var(pos[i])])
+            .atom(r4, vec![Term::Var(pos[i]), Term::Var(neg[i])]);
+    }
+    let lit_term = |l: &Lit| -> Term {
+        if l.positive {
+            Term::Var(pos[l.var])
+        } else {
+            Term::Var(neg[l.var])
+        }
+    };
+    // Clause circuits: o_i = l1 ∨ l2; c_i = o_i ∨ l3.
+    for (i, clause) in phi.matrix.clauses.iter().enumerate() {
+        assert_eq!(clause.0.len(), 3, "3SAT clauses");
+        builder = builder
+            .atom(
+                r2,
+                vec![lit_term(&clause.0[0]), lit_term(&clause.0[1]), Term::Var(or_tmp[i])],
+            )
+            .atom(r2, vec![Term::Var(or_tmp[i]), lit_term(&clause.0[2]), Term::Var(clause_out[i])]);
+    }
+    // Conjunction chain: g_1 = c_0 ∧ c_1; g_i = g_{i-1} ∧ c_i; z = last.
+    let z: Term = if clause_out.len() == 1 {
+        Term::Var(clause_out[0])
+    } else {
+        let mut prev = Term::Var(clause_out[0]);
+        for (i, &g) in chain.iter().enumerate() {
+            builder = builder.atom(r3, vec![prev, Term::Var(clause_out[i + 1]), Term::Var(g)]);
+            prev = Term::Var(g);
+        }
+        prev
+    };
+    // Switch and selector.
+    builder = builder
+        .atom(r6, vec![Term::Var(zp)])
+        .atom(r5, vec![Term::Var(zp), z, Term::from(1)]);
+    let head: Vec<Var> = pos[..phi.n_forall].to_vec();
+    builder.head_vars(head).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{Clause, Cnf};
+    use ric_complete::{rcdp, SearchBudget, Verdict};
+
+    fn decide(phi: &ForallExists) -> Verdict {
+        let (setting, q, db) = to_rcdp_instance(phi);
+        rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap()
+    }
+
+    #[test]
+    fn true_formula_yields_complete_database() {
+        // ∀x ∃y (x ∨ y ∨ y): true (take y = 1).
+        let phi = ForallExists {
+            n_forall: 1,
+            n_exists: 1,
+            matrix: Cnf {
+                n_vars: 2,
+                clauses: vec![Clause(vec![Lit::pos(0), Lit::pos(1), Lit::pos(1)])],
+            },
+        };
+        assert!(phi.eval());
+        assert_eq!(decide(&phi), Verdict::Complete);
+    }
+
+    #[test]
+    fn false_formula_yields_incomplete_database() {
+        // ∀x ∃y (x ∨ x ∨ x): false for x = 0.
+        let phi = ForallExists {
+            n_forall: 1,
+            n_exists: 1,
+            matrix: Cnf {
+                n_vars: 2,
+                clauses: vec![Clause(vec![Lit::pos(0), Lit::pos(0), Lit::pos(0)])],
+            },
+        };
+        assert!(!phi.eval());
+        let (setting, q, db) = to_rcdp_instance(&phi);
+        match rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap() {
+            Verdict::Incomplete(ce) => {
+                assert!(ric_complete::rcdp::certify_counterexample(&setting, &q, &db, &ce)
+                    .unwrap());
+            }
+            other => panic!("expected incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduction_agrees_with_oracle_on_random_instances() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut seen = [0usize; 2];
+        for _ in 0..8 {
+            let phi = ForallExists::random(2, 2, 3, &mut rng);
+            let truth = phi.eval();
+            seen[truth as usize] += 1;
+            let verdict = decide(&phi);
+            assert_eq!(
+                verdict.is_complete(),
+                truth,
+                "decider and QBF oracle disagree on {phi:?}"
+            );
+        }
+        assert!(seen[0] > 0 && seen[1] > 0, "want both outcomes covered");
+    }
+
+    #[test]
+    fn multi_clause_chain_is_wired_correctly() {
+        // ∀x ∃y (x ∨ y ∨ y) ∧ (¬x ∨ ¬y ∨ ¬y): true (y = ¬x).
+        let phi = ForallExists {
+            n_forall: 1,
+            n_exists: 1,
+            matrix: Cnf {
+                n_vars: 2,
+                clauses: vec![
+                    Clause(vec![Lit::pos(0), Lit::pos(1), Lit::pos(1)]),
+                    Clause(vec![Lit::neg(0), Lit::neg(1), Lit::neg(1)]),
+                ],
+            },
+        };
+        assert!(phi.eval());
+        assert_eq!(decide(&phi), Verdict::Complete);
+    }
+}

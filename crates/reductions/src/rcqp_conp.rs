@@ -1,0 +1,167 @@
+//! The coNP lower bound for RCQP (Theorem 4.5(1)): reduction from 3SAT to
+//! the *complement* of RCQP(CQ, INDs), with fixed master data and fixed INDs.
+//!
+//! Truth assignments live in `Rt(x, x̄) ⊆ R^m_t = {(0,1), (1,0)}` and clause
+//! satisfaction in `R∨ ⊆ R^m_∨` (the seven satisfying rows). The relation
+//! `R(A, x_1, x̄_1, …, x_n, x̄_n)` is *unconstrained* and its first column `A`
+//! has an infinite domain. The query joins `R` with the typing and clause
+//! tables, returning `A`:
+//!
+//! * if `φ` is satisfiable, a fresh `A`-value can always be injected through
+//!   a satisfying assignment — no database is ever complete (`RCQ = ∅`);
+//! * if `φ` is unsatisfiable the query is unsatisfiable under `V`, and the
+//!   empty database is complete (`RCQ ≠ ∅`).
+
+use crate::sat::{Cnf, Lit};
+use ric_complete::{Query, Setting};
+use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint, Projection};
+use ric_data::{Database, RelationSchema, Schema, Tuple, Value};
+use ric_query::{Cq, Term, Var};
+
+/// Build the RCQP(CQ, INDs) instance: `RCQ(Q, D_m, V) = ∅` iff `phi` is
+/// satisfiable.
+pub fn to_rcqp_instance(phi: &Cnf) -> (Setting, Query) {
+    let n = phi.n_vars;
+    let mut r_attrs: Vec<String> = vec!["a".to_string()];
+    for i in 0..n {
+        r_attrs.push(format!("x{i}"));
+        r_attrs.push(format!("nx{i}"));
+    }
+    let schema = Schema::from_relations(vec![
+        RelationSchema::infinite("Rt", &["x", "nx"]),
+        RelationSchema::infinite("Ror", &["l1", "l2", "l3"]),
+        RelationSchema::new(
+            "R",
+            r_attrs.iter().map(|a| ric_data::Attribute::new(a.clone())).collect(),
+        ),
+    ])
+    .expect("fixed schema");
+    let mschema = Schema::from_relations(vec![
+        RelationSchema::infinite("Rmt", &["x", "nx"]),
+        RelationSchema::infinite("Rmor", &["l1", "l2", "l3"]),
+    ])
+    .expect("fixed master schema");
+    let rmt = mschema.rel_id("Rmt").unwrap();
+    let rmor = mschema.rel_id("Rmor").unwrap();
+    let mut dm = Database::empty(&mschema);
+    dm.insert(rmt, Tuple::new([Value::int(0), Value::int(1)]));
+    dm.insert(rmt, Tuple::new([Value::int(1), Value::int(0)]));
+    for a in [0i64, 1] {
+        for b in [0i64, 1] {
+            for c in [0i64, 1] {
+                if a != 0 || b != 0 || c != 0 {
+                    dm.insert(rmor, Tuple::new([Value::int(a), Value::int(b), Value::int(c)]));
+                }
+            }
+        }
+    }
+    let rt = schema.rel_id("Rt").unwrap();
+    let ror = schema.rel_id("Ror").unwrap();
+    let r = schema.rel_id("R").unwrap();
+    let v = ConstraintSet::new(vec![
+        ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(rt, vec![0, 1])),
+            rmt,
+            vec![0, 1],
+        ),
+        ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(ror, vec![0, 1, 2])),
+            rmor,
+            vec![0, 1, 2],
+        ),
+    ]);
+    let setting = Setting::new(schema.clone(), mschema, dm, v);
+
+    // Q(z) :- R(z, x̄), Rt(x_i, x̄_i) ∀i, R∨(l1, l2, l3) per clause.
+    let mut b = Cq::builder();
+    let z = b.var("z");
+    let pos: Vec<Var> = (0..n).map(|i| b.var(&format!("x{i}"))).collect();
+    let neg: Vec<Var> = (0..n).map(|i| b.var(&format!("nx{i}"))).collect();
+    let mut builder = b;
+    let mut r_args: Vec<Term> = vec![Term::Var(z)];
+    for i in 0..n {
+        r_args.push(Term::Var(pos[i]));
+        r_args.push(Term::Var(neg[i]));
+    }
+    builder = builder.atom(r, r_args);
+    for i in 0..n {
+        builder = builder.atom(rt, vec![Term::Var(pos[i]), Term::Var(neg[i])]);
+    }
+    let lit_term = |l: &Lit| -> Term {
+        if l.positive {
+            Term::Var(pos[l.var])
+        } else {
+            Term::Var(neg[l.var])
+        }
+    };
+    for clause in &phi.clauses {
+        assert_eq!(clause.0.len(), 3, "3SAT clauses");
+        builder = builder.atom(
+            ror,
+            vec![lit_term(&clause.0[0]), lit_term(&clause.0[1]), lit_term(&clause.0[2])],
+        );
+    }
+    let q = builder.head_vars(vec![z]).build();
+    (setting, Query::Cq(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::Clause;
+    use ric_complete::{rcqp, QueryVerdict, SearchBudget};
+
+    fn decide(phi: &Cnf) -> QueryVerdict {
+        let (setting, q) = to_rcqp_instance(phi);
+        rcqp(&setting, &q, &SearchBudget::default()).unwrap()
+    }
+
+    #[test]
+    fn satisfiable_formula_means_no_complete_database() {
+        // (x ∨ x ∨ x): satisfiable.
+        let phi = Cnf {
+            n_vars: 1,
+            clauses: vec![Clause(vec![Lit::pos(0), Lit::pos(0), Lit::pos(0)])],
+        };
+        assert!(phi.satisfiable());
+        assert_eq!(decide(&phi), QueryVerdict::Empty);
+    }
+
+    #[test]
+    fn unsatisfiable_formula_means_empty_database_is_complete() {
+        // (x ∨ x ∨ x) ∧ (¬x ∨ ¬x ∨ ¬x): unsatisfiable.
+        let phi = Cnf {
+            n_vars: 1,
+            clauses: vec![
+                Clause(vec![Lit::pos(0), Lit::pos(0), Lit::pos(0)]),
+                Clause(vec![Lit::neg(0), Lit::neg(0), Lit::neg(0)]),
+            ],
+        };
+        assert!(!phi.satisfiable());
+        match decide(&phi) {
+            QueryVerdict::Nonempty { .. } => {}
+            other => panic!("expected nonempty, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduction_agrees_with_dpll_on_random_instances() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let mut seen = [0usize; 2];
+        // Sweep the clause/variable ratio across the SAT/UNSAT transition so
+        // both outcomes occur.
+        for n_clauses in [2, 4, 8, 12, 16, 20] {
+            let phi = Cnf::random_3sat(2, n_clauses, &mut rng);
+            let sat = phi.satisfiable();
+            seen[sat as usize] += 1;
+            let verdict = decide(&phi);
+            assert_eq!(
+                verdict.is_empty_verdict(),
+                sat,
+                "decider and DPLL disagree on {phi:?}"
+            );
+        }
+        assert!(seen[0] > 0 && seen[1] > 0, "want both outcomes covered");
+    }
+}

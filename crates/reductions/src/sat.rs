@@ -1,0 +1,241 @@
+//! CNF formulas, a DPLL solver, and random 3SAT generation.
+//!
+//! The ground-truth oracle for the coNP reduction of Theorem 4.5(1) and the
+//! building block of the quantified variants in [`crate::qbf`].
+
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+
+/// A literal: variable index with sign.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit {
+    /// Variable index (0-based).
+    pub var: usize,
+    /// `true` for the positive literal.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `var`.
+    pub fn pos(var: usize) -> Lit {
+        Lit { var, positive: true }
+    }
+
+    /// Negative literal of `var`.
+    pub fn neg(var: usize) -> Lit {
+        Lit { var, positive: false }
+    }
+
+    /// Evaluate under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+/// A clause: a disjunction of literals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Clause(pub Vec<Lit>);
+
+impl Clause {
+    /// Evaluate under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.eval(assignment))
+    }
+}
+
+/// A CNF formula over `n_vars` variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cnf {
+    /// Number of variables.
+    pub n_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Evaluate under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// DPLL satisfiability with unit propagation; exact.
+    pub fn satisfiable(&self) -> bool {
+        self.solve().is_some()
+    }
+
+    /// DPLL: a satisfying assignment if one exists.
+    pub fn solve(&self) -> Option<Vec<bool>> {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.n_vars];
+        if self.dpll(&mut assignment) {
+            Some(assignment.into_iter().map(|a| a.unwrap_or(false)).collect())
+        } else {
+            None
+        }
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation to fixpoint.
+        let mut trail: Vec<usize> = Vec::new();
+        loop {
+            let mut changed = false;
+            for clause in &self.clauses {
+                let mut unassigned: Option<Lit> = None;
+                let mut n_unassigned = 0;
+                let mut satisfied = false;
+                for l in &clause.0 {
+                    match assignment[l.var] {
+                        Some(v) if v == l.positive => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            n_unassigned += 1;
+                            unassigned = Some(*l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => {
+                        // Conflict: undo the propagation trail.
+                        for &v in &trail {
+                            assignment[v] = None;
+                        }
+                        return false;
+                    }
+                    1 => {
+                        let l = unassigned.expect("counted one");
+                        assignment[l.var] = Some(l.positive);
+                        trail.push(l.var);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Branch on the first unassigned variable.
+        match (0..self.n_vars).find(|&v| assignment[v].is_none()) {
+            None => true, // all clauses propagated satisfied
+            Some(v) => {
+                for value in [true, false] {
+                    assignment[v] = Some(value);
+                    if self.dpll(assignment) {
+                        return true;
+                    }
+                    assignment[v] = None;
+                }
+                for &t in &trail {
+                    assignment[t] = None;
+                }
+                false
+            }
+        }
+    }
+
+    /// Brute-force satisfiability (reference for the DPLL implementation;
+    /// only for small `n_vars`).
+    pub fn satisfiable_brute(&self) -> bool {
+        assert!(self.n_vars <= 24, "brute force is exponential");
+        (0..(1u64 << self.n_vars)).any(|mask| {
+            let assignment: Vec<bool> = (0..self.n_vars).map(|i| mask & (1 << i) != 0).collect();
+            self.eval(&assignment)
+        })
+    }
+
+    /// A random 3SAT instance with `n_vars` variables and `n_clauses`
+    /// clauses (clauses may repeat variables, as in the paper's definition).
+    pub fn random_3sat(n_vars: usize, n_clauses: usize, rng: &mut impl Rng) -> Cnf {
+        assert!(n_vars >= 1);
+        let vars: Vec<usize> = (0..n_vars).collect();
+        let clauses = (0..n_clauses)
+            .map(|_| {
+                Clause(
+                    (0..3)
+                        .map(|_| {
+                            let var = *vars.choose(rng).expect("nonempty");
+                            if rng.random_bool(0.5) {
+                                Lit::pos(var)
+                            } else {
+                                Lit::neg(var)
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Cnf { n_vars, clauses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cnf(n: usize, clauses: &[&[i64]]) -> Cnf {
+        Cnf {
+            n_vars: n,
+            clauses: clauses
+                .iter()
+                .map(|c| {
+                    Clause(
+                        c.iter()
+                            .map(|&l| {
+                                if l > 0 {
+                                    Lit::pos((l - 1) as usize)
+                                } else {
+                                    Lit::neg((-l - 1) as usize)
+                                }
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        assert!(!cnf(2, &[&[1, 2], &[-1], &[-2, 1]]).satisfiable());
+        assert!(cnf(2, &[&[1, 2], &[-1]]).satisfiable());
+        let f = cnf(1, &[&[1], &[-1]]);
+        assert!(!f.satisfiable());
+    }
+
+    #[test]
+    fn solver_returns_model() {
+        let f = cnf(3, &[&[1, 2, 3], &[-1, 2], &[-2, 3], &[-3, -1]]);
+        if let Some(model) = f.solve() {
+            assert!(f.eval(&model));
+        } else {
+            panic!("formula is satisfiable");
+        }
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force_on_random_instances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..60 {
+            let f = Cnf::random_3sat(5, 12, &mut rng);
+            assert_eq!(f.satisfiable(), f.satisfiable_brute(), "formula {f:?}");
+        }
+    }
+
+    #[test]
+    fn empty_cnf_is_satisfiable() {
+        let f = Cnf { n_vars: 1, clauses: vec![] };
+        assert!(f.satisfiable());
+    }
+
+    #[test]
+    fn empty_clause_is_unsatisfiable() {
+        let f = Cnf { n_vars: 1, clauses: vec![Clause(vec![])] };
+        assert!(!f.satisfiable());
+    }
+}

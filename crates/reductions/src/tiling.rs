@@ -1,0 +1,527 @@
+//! The 2ⁿ×2ⁿ tiling problem and the NEXPTIME-hardness construction of
+//! Theorem 4.5(2).
+//!
+//! An instance is a tile set `T` with horizontal/vertical compatibility
+//! relations and a forced top-left tile `t0`; the question is whether a
+//! compatible `2ⁿ×2ⁿ` tiling exists. [`TilingInstance::solve`] is the exact
+//! (exponential) oracle.
+//!
+//! [`to_rcqp_instance`] builds the paper's reduction to RCQP(CQ, CQ):
+//! *hypertiles* of rank `i` are `2ⁱ×2ⁱ` squares stored in relation `R_i`
+//! (rank 1 stores four tiles `X1..X4` directly; rank `i ≥ 2` stores the ids
+//! of its four quadrant hypertiles plus the five *seam* hypertiles that
+//! witness compatibility across quadrant borders). Containment constraints
+//! enforce key-ness of ids, rank-1 compatibility against the master
+//! relations, top-left bookkeeping `Z`, and the geometric consistency of the
+//! seams; a final CC releases the `Rb` relation (bounding it by
+//! `R^m_b = {(0)}`) only when a full-rank hypertile with top-left tile `t0`
+//! is present. The query returns `Rb`, so a relatively complete database
+//! exists iff a tiling exists.
+//!
+//! [`tiling_witness`] materialises the complete database the proof builds
+//! from a tiling `f`: every `2ⁱ×2ⁱ` subgrid at a `2^{i-1}`-aligned position.
+//! Its completeness is certified by the (decidable) RCDP decider — the
+//! honest shape of NEXPTIME-hardness: verifying a witness is cheap, finding
+//! one blows up.
+
+use ric_complete::{Query, Setting};
+use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint, Projection};
+use ric_data::{Database, RelationSchema, Schema, Tuple, Value};
+use ric_query::{Cq, Term};
+use std::collections::BTreeSet;
+
+/// A tiling instance: `k` tiles with compatibility relations, a forced
+/// top-left tile, and the exponent `n` (grid side `2ⁿ`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TilingInstance {
+    /// Number of tiles; tiles are `0..n_tiles`.
+    pub n_tiles: usize,
+    /// Horizontally compatible pairs `(left, right)`.
+    pub horiz: BTreeSet<(usize, usize)>,
+    /// Vertically compatible pairs `(top, bottom)`.
+    pub vert: BTreeSet<(usize, usize)>,
+    /// The forced top-left tile `t0`.
+    pub t0: usize,
+    /// Grid side is `2ⁿ`.
+    pub n: u32,
+}
+
+impl TilingInstance {
+    /// Grid side length `2ⁿ`.
+    pub fn side(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// Is `grid` (row-major, side×side) a valid tiling?
+    pub fn check(&self, grid: &[usize]) -> bool {
+        let s = self.side();
+        if grid.len() != s * s || grid[0] != self.t0 {
+            return false;
+        }
+        for r in 0..s {
+            for c in 0..s {
+                let t = grid[r * s + c];
+                if t >= self.n_tiles {
+                    return false;
+                }
+                if c + 1 < s && !self.horiz.contains(&(t, grid[r * s + c + 1])) {
+                    return false;
+                }
+                if r + 1 < s && !self.vert.contains(&(t, grid[(r + 1) * s + c])) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Exact backtracking solver (row-major order).
+    pub fn solve(&self) -> Option<Vec<usize>> {
+        let s = self.side();
+        let mut grid = vec![usize::MAX; s * s];
+        if self.place(&mut grid, 0) {
+            Some(grid)
+        } else {
+            None
+        }
+    }
+
+    fn place(&self, grid: &mut Vec<usize>, idx: usize) -> bool {
+        let s = self.side();
+        if idx == s * s {
+            return true;
+        }
+        let (r, c) = (idx / s, idx % s);
+        let candidates: Vec<usize> =
+            if idx == 0 { vec![self.t0] } else { (0..self.n_tiles).collect() };
+        for t in candidates {
+            let left_ok = c == 0 || self.horiz.contains(&(grid[r * s + c - 1], t));
+            let up_ok = r == 0 || self.vert.contains(&(grid[(r - 1) * s + c], t));
+            if left_ok && up_ok {
+                grid[idx] = t;
+                if self.place(grid, idx + 1) {
+                    return true;
+                }
+                grid[idx] = usize::MAX;
+            }
+        }
+        false
+    }
+
+    /// A trivially tilable instance: one tile compatible with itself.
+    pub fn solvable_example(n: u32) -> TilingInstance {
+        TilingInstance {
+            n_tiles: 1,
+            horiz: [(0, 0)].into_iter().collect(),
+            vert: [(0, 0)].into_iter().collect(),
+            t0: 0,
+            n,
+        }
+    }
+
+    /// An unsolvable instance: two tiles that must alternate horizontally
+    /// but are vertically incompatible everywhere.
+    pub fn unsolvable_example(n: u32) -> TilingInstance {
+        TilingInstance {
+            n_tiles: 2,
+            horiz: [(0, 1), (1, 0)].into_iter().collect(),
+            vert: BTreeSet::new(),
+            t0: 0,
+            n,
+        }
+    }
+}
+
+/// Arity of the hypertile relation at rank `i` (1-based).
+fn rank_arity(i: u32) -> usize {
+    if i == 1 {
+        6 // (id, X1, X2, X3, X4, Z)
+    } else {
+        11 // (id, id1..id4, id12, id13, id24, id34, id1234, Z)
+    }
+}
+
+/// The database schema of the reduction: `R_1 .. R_n` plus `Rb`.
+pub fn reduction_schema(n: u32) -> Schema {
+    let mut rels = Vec::new();
+    for i in 1..=n {
+        let attrs: Vec<&str> = if i == 1 {
+            vec!["id", "x1", "x2", "x3", "x4", "z"]
+        } else {
+            vec!["id", "id1", "id2", "id3", "id4", "id12", "id13", "id24", "id34", "id1234", "z"]
+        };
+        rels.push(RelationSchema::infinite(format!("R{i}"), &attrs));
+    }
+    rels.push(RelationSchema::infinite("Rb", &["b"]));
+    Schema::from_relations(rels).expect("fixed schema")
+}
+
+/// Build the full RCQP(CQ, CQ) instance of Theorem 4.5(2):
+/// `RCQ(Q, D_m, V)` is nonempty iff the tiling instance has a solution.
+pub fn to_rcqp_instance(inst: &TilingInstance) -> (Setting, Query) {
+    let n = inst.n;
+    assert!(n >= 1);
+    let schema = reduction_schema(n);
+    let mschema = Schema::from_relations(vec![
+        RelationSchema::infinite("RmT", &["t"]),
+        RelationSchema::infinite("RmV", &["top", "bottom"]),
+        RelationSchema::infinite("RmH", &["left", "right"]),
+        RelationSchema::infinite("Rmb", &["b"]),
+    ])
+    .expect("fixed master schema");
+    let mut dm = Database::empty(&mschema);
+    let rmt = mschema.rel_id("RmT").unwrap();
+    let rmv = mschema.rel_id("RmV").unwrap();
+    let rmh = mschema.rel_id("RmH").unwrap();
+    let rmb = mschema.rel_id("Rmb").unwrap();
+    for t in 0..inst.n_tiles {
+        dm.insert(rmt, Tuple::new([Value::int(t as i64)]));
+    }
+    for &(a, b) in &inst.vert {
+        dm.insert(rmv, Tuple::new([Value::int(a as i64), Value::int(b as i64)]));
+    }
+    for &(a, b) in &inst.horiz {
+        dm.insert(rmh, Tuple::new([Value::int(a as i64), Value::int(b as i64)]));
+    }
+    dm.insert(rmb, Tuple::new([Value::int(0)]));
+
+    let mut v = ConstraintSet::empty();
+    for i in 1..=n {
+        let ri = schema.rel_id(&format!("R{i}")).unwrap();
+        let arity = rank_arity(i);
+        // id is a key.
+        let fd = ric_constraints::Fd::new(ri, vec![0], (1..arity).collect());
+        for cc in ric_constraints::compile::fd_to_ccs(&fd, &schema) {
+            v.push(cc);
+        }
+        if i == 1 {
+            // Tile typing, compatibility, and top-left bookkeeping.
+            for col in 1..=5 {
+                v.push(ContainmentConstraint::into_master(
+                    CcBody::Proj(Projection::new(ri, vec![col])),
+                    rmt,
+                    vec![0],
+                ));
+            }
+            // Vertical: (X1, X3) and (X2, X4); horizontal: (X1, X2), (X3, X4).
+            for cols in [[1, 3], [2, 4]] {
+                v.push(ContainmentConstraint::into_master(
+                    CcBody::Proj(Projection::new(ri, cols.to_vec())),
+                    rmv,
+                    vec![0, 1],
+                ));
+            }
+            for cols in [[1, 2], [3, 4]] {
+                v.push(ContainmentConstraint::into_master(
+                    CcBody::Proj(Projection::new(ri, cols.to_vec())),
+                    rmh,
+                    vec![0, 1],
+                ));
+            }
+            // Z = X1 (top-left): forbid X1 ≠ Z.
+            let name = format!("R{i}");
+            let topl = ric_query::parse_cq(
+                &schema,
+                &format!("Q(I, A, B, C, D, Z) :- {name}(I, A, B, C, D, Z), A != Z."),
+            )
+            .expect("topl CC");
+            v.push(ContainmentConstraint::into_empty(CcBody::Cq(topl)));
+        } else {
+            // Geometric consistency of the seams. For each auxiliary id and
+            // each of its four quadrant fields, the referenced rank-(i-1)
+            // tuples must agree. Patterns (aux field -> (quadrant, field)):
+            //   id12 = (a2, b1, a4, b3)   id13 = (a3, a4, c1, c2)
+            //   id24 = (b3, b4, d1, d2)   id34 = (c2, d1, c4, d3)
+            //   id1234 = (a4, b3, c2, d1)
+            // where a..d are the tuples referenced by id1..id4 and the field
+            // index selects their quadrant columns 1..4.
+            let patterns: [(usize, [(usize, usize); 4]); 5] = [
+                (5, [(1, 2), (2, 1), (1, 4), (2, 3)]),   // id12
+                (6, [(1, 3), (1, 4), (3, 1), (3, 2)]),   // id13
+                (7, [(2, 3), (2, 4), (4, 1), (4, 2)]),   // id24
+                (8, [(3, 2), (4, 1), (3, 4), (4, 3)]),   // id34
+                (9, [(1, 4), (2, 3), (3, 2), (4, 1)]),   // id1234
+            ];
+            let prev = schema.rel_id(&format!("R{}", i - 1)).unwrap();
+            let prev_arity = rank_arity(i - 1);
+            for (aux_col, fields) in patterns {
+                for (aux_field, (quadrant, quad_field)) in fields.iter().enumerate() {
+                    v.push(seam_mismatch_cc(
+                        &schema, ri, arity, prev, prev_arity, aux_col,
+                        aux_field + 1, *quadrant, *quad_field,
+                    ));
+                }
+            }
+            // t[Z] equals the Z of the id1 quadrant.
+            v.push(z_mismatch_cc(&schema, ri, arity, prev, prev_arity));
+        }
+    }
+    // The releasing CC: a traced full-rank hypertile with top-left t0 bounds
+    // Rb by {(0)}.
+    v.push(releasing_cc(&schema, inst, rmb));
+
+    let setting = Setting::new(schema.clone(), mschema, dm, v);
+    let rb = schema.rel_id("Rb").unwrap();
+    let mut b = Cq::builder();
+    let w = b.var("w");
+    let q = b.atom(rb, vec![Term::Var(w)]).head_vars(vec![w]).build();
+    (setting, Query::Cq(q))
+}
+
+/// CC forbidding: parent tuple `t` in `R_i`, quadrant tuple `q` (via
+/// `t[quadrant]`), aux tuple `s` (via `t[aux_col]`), with
+/// `s[aux_field] ≠ q[quad_field]`.
+#[allow(clippy::too_many_arguments)]
+fn seam_mismatch_cc(
+    _schema: &Schema,
+    ri: ric_data::RelId,
+    arity: usize,
+    prev: ric_data::RelId,
+    prev_arity: usize,
+    aux_col: usize,
+    aux_field: usize,
+    quadrant: usize,
+    quad_field: usize,
+) -> ContainmentConstraint {
+    let mut b = Cq::builder();
+    let t: Vec<_> = (0..arity).map(|c| b.var(&format!("t{c}"))).collect();
+    let q: Vec<_> = (0..prev_arity).map(|c| b.var(&format!("q{c}"))).collect();
+    let s: Vec<_> = (0..prev_arity).map(|c| b.var(&format!("s{c}"))).collect();
+    let head: Vec<Term> = t.iter().map(|&v| Term::Var(v)).collect();
+    let cq = b
+        .atom(ri, t.iter().map(|&v| Term::Var(v)).collect())
+        .atom(prev, q.iter().map(|&v| Term::Var(v)).collect())
+        .atom(prev, s.iter().map(|&v| Term::Var(v)).collect())
+        .eq(Term::Var(q[0]), Term::Var(t[quadrant]))
+        .eq(Term::Var(s[0]), Term::Var(t[aux_col]))
+        .neq(Term::Var(s[aux_field]), Term::Var(q[quad_field]))
+        .head(head)
+        .build();
+    ContainmentConstraint::into_empty(CcBody::Cq(cq))
+}
+
+/// CC forbidding `t[Z] ≠ z(id1)`.
+fn z_mismatch_cc(
+    _schema: &Schema,
+    ri: ric_data::RelId,
+    arity: usize,
+    prev: ric_data::RelId,
+    prev_arity: usize,
+) -> ContainmentConstraint {
+    let mut b = Cq::builder();
+    let t: Vec<_> = (0..arity).map(|c| b.var(&format!("t{c}"))).collect();
+    let q: Vec<_> = (0..prev_arity).map(|c| b.var(&format!("q{c}"))).collect();
+    let head: Vec<Term> = t.iter().map(|&v| Term::Var(v)).collect();
+    let cq = b
+        .atom(ri, t.iter().map(|&v| Term::Var(v)).collect())
+        .atom(prev, q.iter().map(|&v| Term::Var(v)).collect())
+        .eq(Term::Var(q[0]), Term::Var(t[1]))
+        .neq(Term::Var(q[prev_arity - 1]), Term::Var(t[arity - 1]))
+        .head(head)
+        .build();
+    ContainmentConstraint::into_empty(CcBody::Cq(cq))
+}
+
+/// The releasing CC `q(w) ⊆ π(R^m_b)` with
+/// `q(w) = ∃t (trace_n(t) ∧ t[Z] = t0) ∧ Rb(w)`: once a fully traced
+/// hypertile of rank `n` with top-left `t0` exists, `Rb` is bounded.
+fn releasing_cc(
+    schema: &Schema,
+    inst: &TilingInstance,
+    rmb: ric_data::RelId,
+) -> ContainmentConstraint {
+    let mut b = Cq::builder();
+    let w = b.var("w");
+    let rb = schema.rel_id("Rb").unwrap();
+    // Recursively collect the trace atoms: a rank-i tuple whose nine sub-ids
+    // (four quadrants + five seams for i ≥ 2) all resolve to traced
+    // rank-(i-1) tuples; `eqs` wires each child's id field to the parent's
+    // corresponding sub-id field.
+    fn trace(
+        schema: &Schema,
+        b: &mut ric_query::cq::CqBuilder,
+        atoms: &mut Vec<(ric_data::RelId, Vec<ric_query::Var>)>,
+        eqs: &mut Vec<(ric_query::Var, ric_query::Var)>,
+        i: u32,
+        tag: &str,
+    ) -> Vec<ric_query::Var> {
+        let ri = schema.rel_id(&format!("R{i}")).unwrap();
+        let arity = rank_arity(i);
+        let vars: Vec<_> = (0..arity).map(|c| b.var(&format!("{tag}_{c}"))).collect();
+        atoms.push((ri, vars.clone()));
+        if i > 1 {
+            #[allow(clippy::needless_range_loop)] // `sub` is a field index, not an iterator
+            for sub in 1..=9 {
+                let child = trace(schema, b, atoms, eqs, i - 1, &format!("{tag}_{sub}"));
+                eqs.push((child[0], vars[sub]));
+            }
+        }
+        vars
+    }
+    let mut atoms: Vec<(ric_data::RelId, Vec<ric_query::Var>)> = Vec::new();
+    let mut eqs: Vec<(ric_query::Var, ric_query::Var)> = Vec::new();
+    let top = trace(schema, &mut b, &mut atoms, &mut eqs, inst.n, "h");
+    let mut builder = b;
+    for (rel, vars) in atoms {
+        builder = builder.atom(rel, vars.iter().map(|&v| Term::Var(v)).collect());
+    }
+    for (a, bb) in eqs {
+        builder = builder.eq(Term::Var(a), Term::Var(bb));
+    }
+    // Top-left tile of the full-rank hypertile is t0.
+    let z = top[rank_arity(inst.n) - 1];
+    builder = builder.eq(Term::Var(z), Term::from(inst.t0 as i64));
+    builder = builder.atom(rb, vec![Term::Var(w)]);
+    let q = builder.head_vars(vec![w]).build();
+    ContainmentConstraint::into_master(CcBody::Cq(q), rmb, vec![0])
+}
+
+/// Materialise the complete database of the proof from a tiling `f`: all
+/// `2ⁱ×2ⁱ` subgrids at `2^{i-1}`-aligned positions, plus `Rb = {(0)}`.
+pub fn tiling_witness(schema: &Schema, inst: &TilingInstance, grid: &[usize]) -> Database {
+    let s = inst.side();
+    assert_eq!(grid.len(), s * s);
+    let mut db = Database::empty(schema);
+    let id = |i: u32, r: usize, c: usize| Value::str(format!("h{i}_{r}_{c}"));
+    for i in 1..=inst.n {
+        let ri = schema.rel_id(&format!("R{i}")).unwrap();
+        let size = 1usize << i;
+        let step = size / 2;
+        let mut r = 0;
+        while r + size <= s {
+            let mut c = 0;
+            while c + size <= s {
+                let z = Value::int(grid[r * s + c] as i64);
+                let tuple = if i == 1 {
+                    Tuple::new([
+                        id(i, r, c),
+                        Value::int(grid[r * s + c] as i64),
+                        Value::int(grid[r * s + c + 1] as i64),
+                        Value::int(grid[(r + 1) * s + c] as i64),
+                        Value::int(grid[(r + 1) * s + c + 1] as i64),
+                        z,
+                    ])
+                } else {
+                    let h = size / 2;
+                    let half = h / 2;
+                    Tuple::new([
+                        id(i, r, c),
+                        id(i - 1, r, c),
+                        id(i - 1, r, c + h),
+                        id(i - 1, r + h, c),
+                        id(i - 1, r + h, c + h),
+                        id(i - 1, r, c + half),          // id12 (top middle)
+                        id(i - 1, r + half, c),          // id13 (left middle)
+                        id(i - 1, r + half, c + h),      // id24 (right middle)
+                        id(i - 1, r + h, c + half),      // id34 (bottom middle)
+                        id(i - 1, r + half, c + half),   // id1234 (centre)
+                        z,
+                    ])
+                };
+                db.insert(ri, tuple);
+                c += step;
+            }
+            r += step;
+        }
+    }
+    let rb = schema.rel_id("Rb").unwrap();
+    db.insert(rb, Tuple::new([Value::int(0)]));
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_solver_and_checker_agree() {
+        let solvable = TilingInstance::solvable_example(1);
+        let grid = solvable.solve().expect("solvable");
+        assert!(solvable.check(&grid));
+        assert!(TilingInstance::unsolvable_example(1).solve().is_none());
+    }
+
+    #[test]
+    fn checkerboard_tiling() {
+        // Two tiles that alternate in both directions.
+        let inst = TilingInstance {
+            n_tiles: 2,
+            horiz: [(0, 1), (1, 0)].into_iter().collect(),
+            vert: [(0, 1), (1, 0)].into_iter().collect(),
+            t0: 0,
+            n: 2,
+        };
+        let grid = inst.solve().expect("checkerboard tiles 4x4");
+        assert!(inst.check(&grid));
+        assert_eq!(grid[0], 0);
+        assert_eq!(grid[1], 1);
+        assert_eq!(grid[4], 1); // row 1 starts with the other tile
+    }
+
+    #[test]
+    fn witness_of_solvable_instance_is_partially_closed() {
+        let inst = TilingInstance::solvable_example(1);
+        let (setting, _q) = to_rcqp_instance(&inst);
+        let grid = inst.solve().unwrap();
+        let db = tiling_witness(&setting.schema, &inst, &grid);
+        assert!(setting.partially_closed(&db).unwrap());
+    }
+
+    #[test]
+    fn witness_is_certified_complete_by_rcdp() {
+        let inst = TilingInstance::solvable_example(1);
+        let (setting, q) = to_rcqp_instance(&inst);
+        let grid = inst.solve().unwrap();
+        let db = tiling_witness(&setting.schema, &inst, &grid);
+        let verdict =
+            ric_complete::rcdp(&setting, &q, &db, &ric_complete::SearchBudget::default()).unwrap();
+        assert_eq!(verdict, ric_complete::Verdict::Complete);
+    }
+
+    #[test]
+    fn empty_database_is_incomplete_for_solvable_and_unsolvable() {
+        for inst in [TilingInstance::solvable_example(1), TilingInstance::unsolvable_example(1)] {
+            let (setting, q) = to_rcqp_instance(&inst);
+            let db = Database::empty(&setting.schema);
+            let verdict =
+                ric_complete::rcdp(&setting, &q, &db, &ric_complete::SearchBudget::default())
+                    .unwrap();
+            assert!(verdict.is_incomplete(), "Rb is unbounded without a tiling");
+        }
+    }
+
+    #[test]
+    fn invalid_tiling_violates_constraints() {
+        let inst = TilingInstance {
+            n_tiles: 2,
+            horiz: [(0, 1), (1, 0)].into_iter().collect(),
+            vert: [(0, 1), (1, 0)].into_iter().collect(),
+            t0: 0,
+            n: 1,
+        };
+        let (setting, _q) = to_rcqp_instance(&inst);
+        // A uniform grid of tile 0 is NOT a valid checkerboard tiling.
+        let bad = vec![0, 0, 0, 0];
+        assert!(!inst.check(&bad));
+        let db = tiling_witness(&setting.schema, &inst, &bad);
+        assert!(!setting.partially_closed(&db).unwrap());
+    }
+
+    #[test]
+    fn rank2_witness_is_partially_closed_and_complete() {
+        let inst = TilingInstance {
+            n_tiles: 2,
+            horiz: [(0, 1), (1, 0)].into_iter().collect(),
+            vert: [(0, 1), (1, 0)].into_iter().collect(),
+            t0: 0,
+            n: 2,
+        };
+        let (setting, q) = to_rcqp_instance(&inst);
+        let grid = inst.solve().unwrap();
+        let db = tiling_witness(&setting.schema, &inst, &grid);
+        assert!(setting.partially_closed(&db).unwrap());
+        let verdict =
+            ric_complete::rcdp(&setting, &q, &db, &ric_complete::SearchBudget::default()).unwrap();
+        assert_eq!(verdict, ric_complete::Verdict::Complete);
+    }
+}

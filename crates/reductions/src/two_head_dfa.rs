@@ -1,0 +1,414 @@
+//! Deterministic finite 2-head automata and the undecidability reductions of
+//! Theorems 3.1(3)/(4) and 4.1(1)/(3)/(4).
+//!
+//! A 2-head DFA `A = (Q, Σ, δ, q0, qacc)` reads its input with two heads;
+//! emptiness of `L(A)` is undecidable (Spielmann 2000), which is the engine
+//! behind the FP/FO undecidability cells of Tables I and II. This module
+//! provides:
+//!
+//! * a faithful simulator ([`TwoHeadDfa::accepts`]) with loop detection;
+//! * bounded emptiness testing ([`TwoHeadDfa::find_accepted_word`]);
+//! * the Theorem 3.1(3) reduction ([`to_rcdp_instance`]): schema
+//!   `P(A), P̄(A), F(A1, A2)`, well-formedness CCs `V1–V3` in CQ, and an FP
+//!   query that reaches the accepting configuration — the empty database is
+//!   complete for the query iff `L(A) = ∅`;
+//! * the string encoding of the reduction ([`encode_word`]), so tests can
+//!   check that the FP query accepts an encoded word exactly when the
+//!   automaton does.
+
+use ric_complete::{Query, Setting};
+use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint};
+use ric_data::{Database, RelationSchema, Schema, Tuple, Value};
+use ric_query::datalog::{Literal, PredId, Program, Rule};
+use ric_query::{parse_cq, Atom, Term, Var};
+use std::collections::BTreeSet;
+
+/// Input symbols read by a head: `0`, `1`, or `ε` (the head ignores the
+/// tape and the move must be 0).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum HeadInput {
+    /// Symbol 0 under the head.
+    Zero,
+    /// Symbol 1 under the head.
+    One,
+    /// Head does not read (end-of-input check: position is final).
+    Eps,
+}
+
+/// A transition `(q, in1, in2) → (q′, move1, move2)` with moves in `{0, +1}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transition {
+    /// Source state.
+    pub from: usize,
+    /// Symbol condition for head 1.
+    pub in1: HeadInput,
+    /// Symbol condition for head 2.
+    pub in2: HeadInput,
+    /// Target state.
+    pub to: usize,
+    /// Whether head 1 advances.
+    pub move1: bool,
+    /// Whether head 2 advances.
+    pub move2: bool,
+}
+
+/// A deterministic finite 2-head automaton over `Σ = {0, 1}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TwoHeadDfa {
+    /// Number of states; state 0 is initial.
+    pub n_states: usize,
+    /// Accepting state.
+    pub accept: usize,
+    /// Transition list (determinism is the builder's responsibility; the
+    /// simulator takes the first applicable transition).
+    pub transitions: Vec<Transition>,
+}
+
+impl TwoHeadDfa {
+    /// Simulate on a word; loop detection over the finite configuration
+    /// space `(state, pos1, pos2)`.
+    pub fn accepts(&self, word: &[bool]) -> bool {
+        let n = word.len();
+        let mut seen: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
+        let (mut q, mut p1, mut p2) = (0usize, 0usize, 0usize);
+        loop {
+            if q == self.accept {
+                return true;
+            }
+            if !seen.insert((q, p1, p2)) {
+                return false; // loop without acceptance
+            }
+            let matches = |input: HeadInput, pos: usize| -> bool {
+                match input {
+                    HeadInput::Zero => pos < n && !word[pos],
+                    HeadInput::One => pos < n && word[pos],
+                    HeadInput::Eps => pos == n,
+                }
+            };
+            let Some(t) = self
+                .transitions
+                .iter()
+                .find(|t| t.from == q && matches(t.in1, p1) && matches(t.in2, p2))
+            else {
+                return false; // stuck
+            };
+            // An ε condition requires a stationary head (no tape cell to
+            // consume); the builder upholds this, the simulator enforces it.
+            q = t.to;
+            if t.move1 {
+                p1 += 1;
+            }
+            if t.move2 {
+                p2 += 1;
+            }
+        }
+    }
+
+    /// Bounded emptiness: the shortest accepted word of length ≤ `max_len`,
+    /// if any.
+    pub fn find_accepted_word(&self, max_len: usize) -> Option<Vec<bool>> {
+        for len in 0..=max_len {
+            for mask in 0..(1u64 << len) {
+                let word: Vec<bool> = (0..len).map(|i| mask & (1 << i) != 0).collect();
+                if self.accepts(&word) {
+                    return Some(word);
+                }
+            }
+        }
+        None
+    }
+
+    /// The automaton accepting exactly the words `1ⁿ` with `n ≥ 1`, with the
+    /// second head verifying the first (a classic nonempty example).
+    pub fn ones() -> TwoHeadDfa {
+        TwoHeadDfa {
+            n_states: 3,
+            accept: 2,
+            transitions: vec![
+                // Read a 1 with both heads, stay in "reading".
+                Transition {
+                    from: 0,
+                    in1: HeadInput::One,
+                    in2: HeadInput::One,
+                    to: 1,
+                    move1: true,
+                    move2: true,
+                },
+                Transition {
+                    from: 1,
+                    in1: HeadInput::One,
+                    in2: HeadInput::One,
+                    to: 1,
+                    move1: true,
+                    move2: true,
+                },
+                // Both heads at end: accept.
+                Transition {
+                    from: 1,
+                    in1: HeadInput::Eps,
+                    in2: HeadInput::Eps,
+                    to: 2,
+                    move1: false,
+                    move2: false,
+                },
+            ],
+        }
+    }
+
+    /// An automaton with `L(A) = ∅`: it demands a 0 under head 1 and a 1
+    /// under head 2 at the same position forever.
+    pub fn empty_language() -> TwoHeadDfa {
+        TwoHeadDfa {
+            n_states: 2,
+            accept: 1,
+            transitions: vec![Transition {
+                from: 0,
+                in1: HeadInput::Zero,
+                in2: HeadInput::One,
+                to: 0,
+                move1: true,
+                move2: true,
+            }],
+        }
+    }
+}
+
+/// The schema of the Theorem 3.1(3) reduction: `P(A)`, `P̄(A)` (spelled
+/// `Pbar`), and the successor relation `F(A1, A2)`.
+pub fn reduction_schema() -> Schema {
+    Schema::from_relations(vec![
+        RelationSchema::infinite("P", &["pos"]),
+        RelationSchema::infinite("Pbar", &["pos"]),
+        RelationSchema::infinite("F", &["pos", "succ"]),
+    ])
+    .expect("fixed schema")
+}
+
+/// Encode a word as a well-formed `(P, P̄, F)` database: positions `0..n`,
+/// `F` the successor with the final self-loop `(n, n)`.
+pub fn encode_word(schema: &Schema, word: &[bool]) -> Database {
+    let p = schema.rel_id("P").expect("P");
+    let pbar = schema.rel_id("Pbar").expect("Pbar");
+    let f = schema.rel_id("F").expect("F");
+    let mut db = Database::empty(schema);
+    for (i, &bit) in word.iter().enumerate() {
+        let rel = if bit { p } else { pbar };
+        db.insert(rel, Tuple::new([Value::int(i as i64)]));
+        db.insert(f, Tuple::new([Value::int(i as i64), Value::int(i as i64 + 1)]));
+    }
+    let n = word.len() as i64;
+    db.insert(f, Tuple::new([Value::int(n), Value::int(n)]));
+    db
+}
+
+/// The Theorem 3.1(3) instance: `(Setting, Q ∈ FP, D = ∅)` such that `D` is
+/// complete for `Q` relative to `(D_m, V)` iff `L(A) = ∅`. `D_m` is a single
+/// empty unary relation; `V` = `{V1, V2, V3}` in CQ, fixed and independent of
+/// the automaton.
+pub fn to_rcdp_instance(dfa: &TwoHeadDfa) -> (Setting, Query, Database) {
+    let schema = reduction_schema();
+    let mschema =
+        Schema::from_relations(vec![RelationSchema::infinite("Rm1", &["x"])]).expect("fixed");
+    let dm = Database::empty(&mschema);
+
+    // V1: P and P̄ are disjoint.
+    let v1 = parse_cq(&schema, "Q(X) :- P(X), Pbar(X).").expect("V1");
+    // V2: F is a function.
+    let v2 = parse_cq(&schema, "Q(X, Y, Z) :- F(X, Y), F(X, Z), Y != Z.").expect("V2");
+    // V3: at most one final self-loop.
+    let v3 = parse_cq(&schema, "Q(X, Y) :- F(X, X), F(Y, Y), X != Y.").expect("V3");
+    let v = ConstraintSet::new(vec![
+        ContainmentConstraint::into_empty(CcBody::Cq(v1)),
+        ContainmentConstraint::into_empty(CcBody::Cq(v2)),
+        ContainmentConstraint::into_empty(CcBody::Cq(v3)),
+    ]);
+    let setting = Setting::new(schema.clone(), mschema, dm, v);
+    let program = reachability_program(&schema, dfa);
+    let db = Database::empty(&schema);
+    (setting, Query::Fp(program), db)
+}
+
+/// The FP query of the reduction: `Reach` closes the transition relation
+/// over configurations `(state, pos1, pos2)`; `Q() ← Reach(qacc, ·, ·),
+/// F(0, ·), F(w, w)` adds the `Q_ini ∧ Q_fin` well-formedness checks.
+pub fn reachability_program(schema: &Schema, dfa: &TwoHeadDfa) -> Program {
+    let p_rel = schema.rel_id("P").expect("P");
+    let pbar_rel = schema.rel_id("Pbar").expect("Pbar");
+    let f_rel = schema.rel_id("F").expect("F");
+    let reach = PredId(0);
+    let out = PredId(1);
+    let mut rules = Vec::new();
+
+    // Base: the initial configuration (q0, 0, 0) is reachable, provided the
+    // initial position exists (Q_ini folded into the seed).
+    let x = Var(0);
+    rules.push(Rule {
+        head: reach,
+        head_args: vec![Term::from(0i64), Term::from(0i64), Term::from(0i64)],
+        body: vec![Literal::Edb(Atom::new(f_rel, vec![Term::from(0i64), Term::Var(x)]))],
+        n_vars: 1,
+    });
+
+    // One rule per transition δ = (q, in1, in2) → (q′, m1, m2):
+    // Reach(q′, y′, z′) ← Reach(q, y, z), α1(y), α2(z), β1(y, y′), β2(z, z′).
+    for t in &dfa.transitions {
+        let y = Var(0);
+        let z = Var(1);
+        let y2 = Var(2);
+        let z2 = Var(3);
+        let mut n_vars = 4u32;
+        let mut body = vec![Literal::Idb(
+            reach,
+            vec![Term::from(t.from as i64), Term::Var(y), Term::Var(z)],
+        )];
+        let alpha = |pos: Var, input: HeadInput, body: &mut Vec<Literal>, n_vars: &mut u32| {
+            match input {
+                HeadInput::One | HeadInput::Zero => {
+                    // ∃w F(pos, w) ∧ pos ≠ w ∧ (P | P̄)(pos)
+                    let w = Var(*n_vars);
+                    *n_vars += 1;
+                    body.push(Literal::Edb(Atom::new(
+                        f_rel,
+                        vec![Term::Var(pos), Term::Var(w)],
+                    )));
+                    body.push(Literal::Neq(Term::Var(pos), Term::Var(w)));
+                    let rel = if input == HeadInput::One { p_rel } else { pbar_rel };
+                    body.push(Literal::Edb(Atom::new(rel, vec![Term::Var(pos)])));
+                }
+                HeadInput::Eps => {
+                    body.push(Literal::Edb(Atom::new(
+                        f_rel,
+                        vec![Term::Var(pos), Term::Var(pos)],
+                    )));
+                }
+            }
+        };
+        alpha(y, t.in1, &mut body, &mut n_vars);
+        alpha(z, t.in2, &mut body, &mut n_vars);
+        let beta = |pos: Var, next: Var, moved: bool, body: &mut Vec<Literal>| {
+            if moved {
+                body.push(Literal::Edb(Atom::new(
+                    f_rel,
+                    vec![Term::Var(pos), Term::Var(next)],
+                )));
+            } else {
+                body.push(Literal::Eq(Term::Var(next), Term::Var(pos)));
+            }
+        };
+        beta(y, y2, t.move1, &mut body);
+        beta(z, z2, t.move2, &mut body);
+        rules.push(Rule {
+            head: reach,
+            head_args: vec![Term::from(t.to as i64), Term::Var(y2), Term::Var(z2)],
+            body,
+            n_vars,
+        });
+    }
+
+    // Q() ← Reach(qacc, y, z), F(0, x) [Q_ini], F(w, w) [Q_fin].
+    let (y, z, x0, w) = (Var(0), Var(1), Var(2), Var(3));
+    rules.push(Rule {
+        head: out,
+        head_args: vec![],
+        body: vec![
+            Literal::Idb(
+                reach,
+                vec![Term::from(dfa.accept as i64), Term::Var(y), Term::Var(z)],
+            ),
+            Literal::Edb(Atom::new(f_rel, vec![Term::from(0i64), Term::Var(x0)])),
+            Literal::Edb(Atom::new(f_rel, vec![Term::Var(w), Term::Var(w)])),
+        ],
+        n_vars: 4,
+    });
+
+    let program = Program {
+        pred_names: vec!["Reach".into(), "Q".into()],
+        arities: vec![3, 0],
+        rules,
+        output: out,
+    };
+    program.validate().expect("reduction program is range-restricted");
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulator_accepts_ones() {
+        let a = TwoHeadDfa::ones();
+        assert!(a.accepts(&[true]));
+        assert!(a.accepts(&[true, true, true]));
+        assert!(!a.accepts(&[]));
+        assert!(!a.accepts(&[false]));
+        assert!(!a.accepts(&[true, false]));
+    }
+
+    #[test]
+    fn bounded_emptiness() {
+        assert_eq!(TwoHeadDfa::ones().find_accepted_word(3), Some(vec![true]));
+        assert_eq!(TwoHeadDfa::empty_language().find_accepted_word(5), None);
+    }
+
+    #[test]
+    fn fp_query_matches_simulator_on_encoded_words() {
+        let dfa = TwoHeadDfa::ones();
+        let schema = reduction_schema();
+        let program = reachability_program(&schema, &dfa);
+        for word in [vec![], vec![true], vec![false], vec![true, true], vec![true, false]] {
+            let db = encode_word(&schema, &word);
+            let fp_accepts = !program.eval(&db).is_empty();
+            assert_eq!(
+                fp_accepts,
+                dfa.accepts(&word),
+                "FP query and simulator disagree on {word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_words_are_partially_closed() {
+        let (setting, _, _) = to_rcdp_instance(&TwoHeadDfa::ones());
+        for word in [vec![], vec![true, false, true]] {
+            let db = encode_word(&setting.schema, &word);
+            assert!(setting.partially_closed(&db).unwrap(), "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn rcdp_instance_detects_nonempty_language() {
+        // L(A) ≠ ∅ ⇒ the empty database is NOT complete: the bounded search
+        // must find a witness extension (the encoded accepted word).
+        let (setting, q, db) = to_rcdp_instance(&TwoHeadDfa::ones());
+        let budget = ric_complete::SearchBudget {
+            max_delta_tuples: 3, // encoding of "1": P(0), F(0,1), F(1,1)
+            fresh_values: 2,
+            ..ric_complete::SearchBudget::default()
+        };
+        let verdict = ric_complete::rcdp(&setting, &q, &db, &budget).unwrap();
+        match verdict {
+            ric_complete::Verdict::Incomplete(ce) => {
+                assert!(ric_complete::rcdp::certify_counterexample(&setting, &q, &db, &ce)
+                    .unwrap());
+            }
+            other => panic!("expected incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rcdp_instance_reports_unknown_for_empty_language() {
+        let (setting, q, db) = to_rcdp_instance(&TwoHeadDfa::empty_language());
+        let budget = ric_complete::SearchBudget {
+            max_delta_tuples: 3,
+            fresh_values: 2,
+            max_candidates: 200_000,
+            ..ric_complete::SearchBudget::default()
+        };
+        let verdict = ric_complete::rcdp(&setting, &q, &db, &budget).unwrap();
+        assert!(
+            matches!(verdict, ric_complete::Verdict::Unknown { .. }),
+            "emptiness is undecidable; the bounded search must answer Unknown, got {verdict:?}"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Random master-data-management workloads with planted ground truth.
+//!
+//! The complexity tables say what happens in the worst case; the benches
+//! also need *typical* instances to show where the deciders are fast. This
+//! module generates CRM-style settings (a master customer list, support
+//! tables IND-bounded by it) and databases that are complete or incomplete
+//! by construction.
+
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+use ric_complete::{Query, Setting};
+use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint, Projection};
+use ric_data::{Database, RelationSchema, Schema, Tuple, Value};
+use ric_query::parse_cq;
+
+/// Tunable workload shape.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadParams {
+    /// Number of master customers.
+    pub n_customers: usize,
+    /// Number of employees referenced by the support table.
+    pub n_employees: usize,
+    /// Support tuples in the generated database.
+    pub n_support: usize,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams { n_customers: 20, n_employees: 5, n_support: 40 }
+    }
+}
+
+/// A generated instance: setting, query, database, and the planted truth
+/// (`true` = complete).
+#[derive(Clone, Debug)]
+pub struct PlantedInstance {
+    /// Master data and constraints.
+    pub setting: Setting,
+    /// The query under test.
+    pub query: Query,
+    /// The partially closed database.
+    pub db: Database,
+    /// Whether `db` is complete for `query` (by construction).
+    pub complete: bool,
+}
+
+/// The CRM setting of Example 1.1: `Supt(eid, dept, cid)` with
+/// `π_cid(Supt) ⊆ π_cid(DCust)`.
+pub fn crm_setting(n_customers: usize) -> Setting {
+    let schema = Schema::from_relations(vec![RelationSchema::infinite(
+        "Supt",
+        &["eid", "dept", "cid"],
+    )])
+    .expect("fixed schema");
+    let supt = schema.rel_id("Supt").unwrap();
+    let mschema =
+        Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).expect("fixed");
+    let dcust = mschema.rel_id("DCust").unwrap();
+    let mut dm = Database::empty(&mschema);
+    for c in 0..n_customers {
+        dm.insert(dcust, Tuple::new([Value::str(format!("c{c}"))]));
+    }
+    let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+        CcBody::Proj(Projection::new(supt, vec![2])),
+        dcust,
+        vec![0],
+    )]);
+    Setting::new(schema, mschema, dm, v)
+}
+
+/// Generate an RCDP instance. The query asks for the customers of employee
+/// `e0`; a complete instance saturates `e0` against the master list, an
+/// incomplete one leaves a random subset missing.
+pub fn planted_rcdp(params: &WorkloadParams, complete: bool, rng: &mut impl Rng) -> PlantedInstance {
+    let setting = crm_setting(params.n_customers);
+    let supt = setting.schema.rel_id("Supt").unwrap();
+    let query: Query = parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).")
+        .expect("fixed query")
+        .into();
+    let mut db = Database::empty(&setting.schema);
+    let customers: Vec<String> = (0..params.n_customers).map(|c| format!("c{c}")).collect();
+    // e0's coverage.
+    let covered: usize = if complete {
+        params.n_customers
+    } else {
+        rng.random_range(0..params.n_customers.max(1))
+    };
+    for c in customers.iter().take(covered) {
+        db.insert(
+            supt,
+            Tuple::new([Value::str("e0"), Value::str("d0"), Value::str(c)]),
+        );
+    }
+    // Background noise from other employees (never affects completeness of
+    // the e0 query: their cids are master customers).
+    for _ in 0..params.n_support {
+        let e = rng.random_range(1..params.n_employees.max(2));
+        let c = customers.choose(rng).expect("nonempty");
+        db.insert(
+            supt,
+            Tuple::new([
+                Value::str(format!("e{e}")),
+                Value::str(format!("d{}", rng.random_range(0..3))),
+                Value::str(c),
+            ]),
+        );
+    }
+    PlantedInstance { setting, query, db, complete }
+}
+
+/// Generate an RCQP instance over the CRM setting: queries on IND-covered
+/// columns are relatively complete, queries exposing the employee id are
+/// not.
+pub fn planted_rcqp(n_customers: usize, nonempty: bool) -> (Setting, Query, bool) {
+    let setting = crm_setting(n_customers);
+    let query: Query = if nonempty {
+        parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).").expect("fixed").into()
+    } else {
+        parse_cq(&setting.schema, "Q(E) :- Supt(E, D, C).").expect("fixed").into()
+    };
+    (setting, query, nonempty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use ric_complete::{rcdp, rcqp, SearchBudget};
+
+    #[test]
+    fn planted_rcdp_truth_is_respected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let params = WorkloadParams { n_customers: 6, n_employees: 3, n_support: 10 };
+        for complete in [true, false] {
+            let inst = planted_rcdp(&params, complete, &mut rng);
+            let verdict =
+                rcdp(&inst.setting, &inst.query, &inst.db, &SearchBudget::default()).unwrap();
+            assert_eq!(
+                verdict.is_complete(),
+                inst.complete,
+                "planted truth mismatch (complete = {complete})"
+            );
+        }
+    }
+
+    #[test]
+    fn planted_rcqp_truth_is_respected() {
+        for nonempty in [true, false] {
+            let (setting, query, truth) = planted_rcqp(5, nonempty);
+            let verdict = rcqp(&setting, &query, &SearchBudget::default()).unwrap();
+            assert_eq!(verdict.is_nonempty(), truth);
+        }
+    }
+
+    #[test]
+    fn generated_databases_are_partially_closed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let inst = planted_rcdp(&WorkloadParams::default(), false, &mut rng);
+        assert!(inst.setting.partially_closed(&inst.db).unwrap());
+    }
+}

@@ -1,0 +1,91 @@
+//! # `ric` — relative information completeness
+//!
+//! A Rust implementation of *Relative Information Completeness* (Wenfei Fan
+//! and Floris Geerts, PODS 2009 / ACM TODS 35(4), 2010): given master data
+//! `D_m` and containment constraints `V`, decide whether a partially closed
+//! database `D` has complete information to answer a query `Q`
+//! ([`rcdp`]), and whether *any* such database exists ([`rcqp`]).
+//!
+//! ```
+//! use ric::prelude::*;
+//!
+//! // Master data: the complete list of domestic customers.
+//! let schema = Schema::from_relations(vec![
+//!     RelationSchema::infinite("Supt", &["eid", "dept", "cid"]),
+//! ]).unwrap();
+//! let supt = schema.rel_id("Supt").unwrap();
+//! let master = Schema::from_relations(vec![
+//!     RelationSchema::infinite("DCust", &["cid"]),
+//! ]).unwrap();
+//! let dcust = master.rel_id("DCust").unwrap();
+//! let mut dm = Database::empty(&master);
+//! dm.insert(dcust, Tuple::new([Value::str("c1")]));
+//! dm.insert(dcust, Tuple::new([Value::str("c2")]));
+//!
+//! // Constraint: supported customers are bounded by the master list.
+//! let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+//!     CcBody::Proj(Projection::new(supt, vec![2])), dcust, vec![0],
+//! )]);
+//! let setting = Setting::new(schema.clone(), master, dm, v);
+//!
+//! // The database currently only knows about c1.
+//! let mut db = Database::empty(&schema);
+//! db.insert(supt, Tuple::new([Value::str("e0"), Value::str("d"), Value::str("c1")]));
+//!
+//! // Is the answer to "customers supported by e0" complete?
+//! let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+//! let verdict = rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap();
+//! assert!(verdict.is_incomplete()); // c2 could still appear
+//! ```
+//!
+//! The crate is a facade over the workspace:
+//!
+//! * [`data`] — values, domains, schemas, databases;
+//! * [`query`] — CQ, UCQ, ∃FO⁺, FO, and datalog with evaluators and parser;
+//! * [`constraints`] — containment constraints and classical integrity
+//!   constraints with the Proposition 2.1 compilers;
+//! * [`complete`] — the RCDP/RCQP deciders, characterizations, witnesses;
+//! * [`reductions`] — the hardness constructions as instance generators;
+//! * [`mdm`] — master-data-management scenarios and the Section 2.3
+//!   paradigms.
+
+pub use ric_complete as complete;
+pub use ric_constraints as constraints;
+pub use ric_data as data;
+pub use ric_mdm as mdm;
+pub use ric_query as query;
+pub use ric_reductions as reductions;
+
+pub use ric_complete::{
+    rcdp, rcqp, Query, QueryVerdict, RcError, SearchBudget, Setting, Verdict,
+};
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use ric_complete::{
+        rcdp, rcqp, CounterExample, Query, QueryVerdict, RcError, SearchBudget, Setting, Verdict,
+    };
+    pub use ric_constraints::{
+        CcBody, CcRhs, Cfd, Cind, ConstraintSet, ContainmentConstraint, Denial, Fd, IndCc,
+        LowerBound, Projection,
+    };
+    pub use ric_data::{
+        Attribute, Database, DomainKind, RelId, RelationSchema, Schema, Tuple, Value,
+    };
+    pub use ric_query::{parse_cq, parse_program, parse_ucq, Cq, Term, Ucq, Var};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let schema =
+            Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
+        let setting = Setting::open_world(schema.clone());
+        let q: Query = parse_cq(&schema, "Q(X) :- R(X).").unwrap().into();
+        let db = Database::empty(&schema);
+        let verdict = rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap();
+        assert!(verdict.is_incomplete());
+    }
+}

@@ -1,0 +1,75 @@
+//! The full CRM walkthrough of Section 2.3, on a generated scenario.
+//!
+//! Run with `cargo run --example crm_master_data`.
+//!
+//! Shows the three relative-completeness paradigms working together on the
+//! paper's customer-relationship-management setting: master customer list
+//! `DCust`, operational tables `Cust` / `Supt` / `Manage`, constraint `φ0`
+//! (domestic customers bounded by master data) and optionally `φ1` (support
+//! cardinality).
+
+use rand::SeedableRng;
+use ric::mdm::{assess, guide_collection, needs_master_expansion, Assessment, Guidance};
+use ric::mdm::{CrmScenario, ScenarioParams};
+use ric::prelude::*;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+    let sc = CrmScenario::generate(
+        ScenarioParams {
+            n_domestic: 5,
+            n_international: 2,
+            n_employees: 3,
+            n_support: 7,
+            at_most_k: Some(2),
+            n_manage: 2,
+        },
+        &mut rng,
+    );
+    let budget = SearchBudget::default();
+    println!("master customers: {}", sc.setting.dm.tuple_count());
+    println!("operational database:\n{}", sc.db);
+
+    // ── Paradigm 1: assess before trusting ─────────────────────────────
+    let q2 = sc.q2();
+    println!("Q2 = customers supported by e0");
+    match assess(&sc.setting, &q2, &sc.db, &budget).expect("assess") {
+        Assessment::Trustworthy => println!("  the current answer is complete"),
+        Assessment::Untrustworthy { example_gap } => {
+            println!("  NOT complete — e.g. this could still be added:");
+            println!("    {}", example_gap.delta);
+        }
+        Assessment::Inconclusive { searched } => println!("  inconclusive: {searched}"),
+    }
+
+    // ── Paradigm 2: what to collect ─────────────────────────────────────
+    match guide_collection(&sc.setting, &q2, &sc.db, &budget).expect("guide") {
+        Guidance::AlreadyComplete => println!("  nothing to collect"),
+        Guidance::Collect { missing } => {
+            println!("  collect these tuples to close the gap (φ1 bounds the distance):");
+            println!("{missing}");
+        }
+        Guidance::ExpandMasterData => {
+            println!("  no amount of collection helps — master data is the bottleneck")
+        }
+        Guidance::Inconclusive { searched } => println!("  inconclusive: {searched}"),
+    }
+
+    // ── Paradigm 3: which queries need more master data ────────────────
+    for (name, q) in [("Q0 (ac=908 customers)", sc.q0()), ("Q0' (all customers)", sc.q0_prime())]
+    {
+        match needs_master_expansion(&sc.setting, &q, &budget).expect("rcqp") {
+            Some(true) => println!("{name}: needs master-data expansion"),
+            Some(false) => println!("{name}: answerable completely with the right data"),
+            None => println!("{name}: undetermined within budget"),
+        }
+    }
+
+    // ── Language relativity (Example 1.1, Q3) ──────────────────────────
+    let fp = sc.q3_datalog();
+    let verdict = rcdp(&sc.setting, &fp, &sc.db, &budget).expect("rcdp");
+    println!("Q3 (datalog ancestors of e0): {verdict}");
+    let cq = sc.q3_cq_two_hops();
+    let verdict = rcdp(&sc.setting, &cq, &sc.db, &budget).expect("rcdp");
+    println!("Q3 (two-hop CQ): {verdict}");
+}

@@ -1,0 +1,94 @@
+//! Designing answerable queries: RCQP as a design-time tool (Section 4).
+//!
+//! Run with `cargo run --example query_design`.
+//!
+//! Before shipping a report or dashboard query, ask whether *any* database
+//! the enterprise could maintain would answer it completely under the
+//! current master data. Queries fall into three camps:
+//!
+//! * **bounded** — head values pinned by master data or finite domains
+//!   (Propositions 4.2/4.3): completable, and the witness shows what a
+//!   complete database looks like;
+//! * **blockable** — completable only through a database that *blocks*
+//!   further additions via the constraints (Example 4.1's `D⁻`);
+//! * **unbounded** — fresh values always escape: redesign the query or
+//!   expand the master data.
+
+use ric::prelude::*;
+
+fn main() {
+    // Schema: assignments of employees to projects, with a skill register.
+    let schema = Schema::from_relations(vec![
+        RelationSchema::infinite("Assign", &["emp", "proj"]),
+        RelationSchema::new(
+            "Skill",
+            vec![
+                Attribute::new("emp"),
+                Attribute::finite(
+                    "level",
+                    [Value::str("junior"), Value::str("senior")],
+                ),
+            ],
+        ),
+    ])
+    .expect("schema");
+    let assign = schema.rel_id("Assign").unwrap();
+    let master =
+        Schema::from_relations(vec![RelationSchema::infinite("Projects", &["proj"])])
+            .expect("schema");
+    let projects = master.rel_id("Projects").unwrap();
+    let mut dm = Database::empty(&master);
+    for p in ["apollo", "gemini"] {
+        dm.insert(projects, Tuple::new([Value::str(p)]));
+    }
+    // Constraints: assigned projects come from the master project registry,
+    // and each employee works on at most one project (an FD in CQ).
+    let mut v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+        CcBody::Proj(Projection::new(assign, vec![1])),
+        projects,
+        vec![0],
+    )]);
+    let fd = Fd::new(assign, vec![0], vec![1]);
+    for cc in ric::constraints::compile::fd_to_ccs(&fd, &schema) {
+        v.push(cc);
+    }
+    let setting = Setting::new(schema.clone(), master, dm, v);
+    let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
+
+    let candidates: Vec<(&str, Query)> = vec![
+        (
+            "projects of employee 'ada' (master-bounded head)",
+            parse_cq(&schema, "Q(P) :- Assign('ada', P).").unwrap().into(),
+        ),
+        (
+            "skill level of 'ada' (finite-domain head, E1)",
+            parse_cq(&schema, "Q(L) :- Skill('ada', L).").unwrap().into(),
+        ),
+        (
+            "is 'ada' on apollo? (blockable via the FD)",
+            parse_cq(&schema, "Q(E) :- Assign(E, 'apollo'), E = 'ada'.").unwrap().into(),
+        ),
+        (
+            "everyone on apollo (unbounded head)",
+            parse_cq(&schema, "Q(E) :- Assign(E, 'apollo').").unwrap().into(),
+        ),
+    ];
+
+    for (label, q) in candidates {
+        print!("{label:55} → ");
+        match rcqp(&setting, &q, &budget).expect("rcqp") {
+            QueryVerdict::Nonempty { witness: Some(w) } => {
+                let verdict = rcdp(&setting, &q, &w, &budget).expect("rcdp");
+                println!(
+                    "answerable; a complete database has {} tuple(s) [{verdict}]",
+                    w.tuple_count()
+                );
+            }
+            QueryVerdict::Nonempty { witness: None } => {
+                println!("answerable (witness construction exceeded budget)")
+            }
+            QueryVerdict::Empty => println!("NOT answerable — redesign or expand master data"),
+            QueryVerdict::Unknown { searched } => println!("undetermined ({searched})"),
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Quickstart: is my database complete enough to answer this query?
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The scenario is the paper's opening example: a support table that is
+//! open-world in general, but whose *customer* column is bounded by the
+//! enterprise's master customer list. The example walks through the full
+//! lifecycle: decide → inspect the counterexample → collect the missing
+//! tuples → decide again.
+
+use ric::complete::extend::{complete_extension, CompletionOutcome};
+use ric::prelude::*;
+
+fn main() {
+    // 1. Schemas: the operational table and the master list.
+    let schema = Schema::from_relations(vec![RelationSchema::infinite(
+        "Supt",
+        &["eid", "dept", "cid"],
+    )])
+    .expect("schema");
+    let supt = schema.rel_id("Supt").unwrap();
+    let master =
+        Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).expect("schema");
+    let dcust = master.rel_id("DCust").unwrap();
+
+    // 2. Master data: the complete, closed-world list of domestic customers.
+    let mut dm = Database::empty(&master);
+    for c in ["acme", "globex", "initech"] {
+        dm.insert(dcust, Tuple::new([Value::str(c)]));
+    }
+
+    // 3. One containment constraint: every supported customer is a master
+    //    customer — π_cid(Supt) ⊆ π_cid(DCust).
+    let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+        CcBody::Proj(Projection::new(supt, vec![2])),
+        dcust,
+        vec![0],
+    )]);
+    let setting = Setting::new(schema.clone(), master, dm, v);
+
+    // 4. The operational database only knows one assignment so far.
+    let mut db = Database::empty(&schema);
+    db.insert(
+        supt,
+        Tuple::new([Value::str("e0"), Value::str("sales"), Value::str("acme")]),
+    );
+
+    // 5. The question: do we already know *all* customers employee e0
+    //    supports?
+    let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).")
+        .expect("query")
+        .into();
+    let budget = SearchBudget::default();
+
+    println!("query: customers supported by e0");
+    println!("database:\n{db}");
+    match rcdp(&setting, &q, &db, &budget).expect("decide") {
+        Verdict::Complete => println!("verdict: complete — trust the answer"),
+        Verdict::Incomplete(ce) => {
+            println!("verdict: INCOMPLETE");
+            println!("  a legal extension would add: {}", ce.delta);
+            println!("  yielding the new answer tuple {}", ce.new_answer);
+        }
+        Verdict::Unknown { searched } => println!("verdict: unknown ({searched})"),
+    }
+
+    // 6. Paradigm 2 (Section 2.3): what must be collected?
+    match complete_extension(&setting, &q, &db, &budget).expect("complete") {
+        CompletionOutcome::Completed { added, result } => {
+            println!("\nto make the answer complete, collect:\n{added}");
+            let verdict = rcdp(&setting, &q, &result, &budget).expect("decide");
+            println!("after collection the verdict is: {verdict}");
+            let answers = q.eval(&result).expect("eval");
+            println!("and the certified-complete answer is:");
+            for t in answers {
+                println!("  {t}");
+            }
+        }
+        other => println!("completion outcome: {other:?}"),
+    }
+
+    // 7. Paradigm 3: some queries can never be answered completely under the
+    //    current master data — e.g. exposing the (unconstrained) employees.
+    let open: Query = parse_cq(&schema, "Q(E) :- Supt(E, D, C).")
+        .expect("query")
+        .into();
+    match rcqp(&setting, &open, &budget).expect("decide") {
+        QueryVerdict::Empty => println!(
+            "\n'all employees' can NEVER be answered completely: \
+             expand the master data first"
+        ),
+        other => println!("\nunexpected: {other:?}"),
+    }
+}

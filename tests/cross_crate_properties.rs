@@ -1,0 +1,248 @@
+//! Property-based cross-validation of the framework's load-bearing
+//! invariants, using randomly generated databases, queries, and constraints.
+
+use proptest::prelude::*;
+use ric::prelude::*;
+use std::collections::BTreeSet;
+
+/// A small fixed schema for the generators: `R(a, b)` and `S(a)`.
+fn schema() -> Schema {
+    Schema::from_relations(vec![
+        RelationSchema::infinite("R", &["a", "b"]),
+        RelationSchema::infinite("S", &["a"]),
+    ])
+    .unwrap()
+}
+
+prop_compose! {
+    /// A database over `schema()` with values in 0..6.
+    fn arb_db()(r_tuples in proptest::collection::vec((0i64..6, 0i64..6), 0..8),
+                s_tuples in proptest::collection::vec(0i64..6, 0..5))
+                -> Database {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let srel = s.rel_id("S").unwrap();
+        let mut db = Database::empty(&s);
+        for (a, b) in r_tuples {
+            db.insert(r, Tuple::new([Value::int(a), Value::int(b)]));
+        }
+        for a in s_tuples {
+            db.insert(srel, Tuple::new([Value::int(a)]));
+        }
+        db
+    }
+}
+
+/// A pool of small CQs over `schema()`.
+fn queries() -> Vec<Cq> {
+    let s = schema();
+    [
+        "Q(X) :- R(X, Y).",
+        "Q(X, Z) :- R(X, Y), R(Y, Z).",
+        "Q(X) :- R(X, Y), S(Y).",
+        "Q(X, Y) :- R(X, Y), X != Y.",
+        "Q(X) :- R(X, 3).",
+        "Q() :- R(1, X), S(X).",
+    ]
+    .iter()
+    .map(|src| parse_cq(&s, src).unwrap())
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimised CQ evaluator agrees with the naive reference evaluator.
+    #[test]
+    fn cq_eval_matches_naive(db in arb_db(), qi in 0usize..6) {
+        let q = &queries()[qi];
+        let t = ric::query::Tableau::of(q).unwrap();
+        let fast = ric::query::eval::eval_tableau(&t, &db);
+        let slow = ric::query::eval::eval_tableau_naive(&t, &db);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// CQ answers are monotone under database extension.
+    #[test]
+    fn cq_eval_is_monotone(db in arb_db(), extra in arb_db(), qi in 0usize..6) {
+        let q = &queries()[qi];
+        let bigger = db.union(&extra).unwrap();
+        let small = ric::query::eval::eval_cq(q, &db).unwrap();
+        let large = ric::query::eval::eval_cq(q, &bigger).unwrap();
+        prop_assert!(small.is_subset(&large));
+    }
+
+    /// Partial closure is inherited by sub-databases (the downward closure
+    /// the per-disjunct RCDP decider relies on).
+    #[test]
+    fn partial_closure_is_downward_closed(db in arb_db(), extra in arb_db()) {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let mschema = Schema::from_relations(
+            vec![RelationSchema::infinite("M", &["a"])]).unwrap();
+        let m = mschema.rel_id("M").unwrap();
+        let mut dm = Database::empty(&mschema);
+        for v in 0..4i64 {
+            dm.insert(m, Tuple::new([Value::int(v)]));
+        }
+        let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(r, vec![0])), m, vec![0],
+        )]);
+        let bigger = db.union(&extra).unwrap();
+        let big_ok = v.satisfied(&bigger, &dm).unwrap();
+        if big_ok {
+            prop_assert!(v.satisfied(&db, &dm).unwrap());
+        }
+    }
+
+    /// Proposition 2.1(b): the direct CFD check and the compiled containment
+    /// constraints agree on every database.
+    #[test]
+    fn cfd_compilation_equivalence(db in arb_db(), lhs_col in 0usize..2) {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let cfd = Cfd {
+            rel: r,
+            lhs: vec![lhs_col],
+            rhs: vec![1 - lhs_col],
+            lhs_pattern: vec![],
+            rhs_pattern: vec![],
+        };
+        let ccs = ric::constraints::compile::cfd_to_ccs(&cfd, &s);
+        let dm = Database::with_relations(0);
+        let compiled = ccs.iter().all(|cc| cc.satisfied(&db, &dm).unwrap());
+        prop_assert_eq!(cfd.satisfied(&db), compiled);
+    }
+
+    /// Proposition 2.1(a): denial constraints likewise.
+    #[test]
+    fn denial_compilation_equivalence(db in arb_db()) {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let denial = ric::constraints::classical::at_most_k_per_key(r, 0, 1, 2, 2);
+        let cc = ric::constraints::compile::denial_to_cc(&denial);
+        let dm = Database::with_relations(0);
+        prop_assert_eq!(denial.satisfied(&db), cc.satisfied(&db, &dm).unwrap());
+    }
+
+    /// Lemma 3.2: `Q(D) = f_Q(Q)(f_D(D))` under the single-relation
+    /// transform.
+    #[test]
+    fn single_relation_transform_preserves_answers(db in arb_db(), qi in 0usize..6) {
+        let s = schema();
+        let q = &queries()[qi];
+        let tr = ric::query::single_rel::SingleRelTransform::new(&s);
+        let db_hat = tr.map_database(&db);
+        let q_hat = tr.map_query(q);
+        prop_assert_eq!(
+            ric::query::eval::eval_cq(q, &db).unwrap(),
+            ric::query::eval::eval_cq(&q_hat, &db_hat).unwrap()
+        );
+    }
+
+    /// RCDP verdicts certify: `Incomplete` counterexamples check out, and
+    /// `Complete` databases survive random extension probes over their
+    /// active domain.
+    #[test]
+    fn rcdp_verdicts_certify(db in arb_db(), extra in arb_db(), qi in 0usize..6) {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let mschema = Schema::from_relations(
+            vec![RelationSchema::infinite("M", &["a"])]).unwrap();
+        let m = mschema.rel_id("M").unwrap();
+        let mut dm = Database::empty(&mschema);
+        for v in 0..6i64 {
+            dm.insert(m, Tuple::new([Value::int(v)]));
+        }
+        // Both R columns bounded by master data: every query over R is
+        // value-bounded; S stays open.
+        let v = ConstraintSet::new(vec![
+            ContainmentConstraint::into_master(
+                CcBody::Proj(Projection::new(r, vec![0])), m, vec![0]),
+            ContainmentConstraint::into_master(
+                CcBody::Proj(Projection::new(r, vec![1])), m, vec![0]),
+        ]);
+        let setting = Setting::new(s.clone(), mschema, dm, v);
+        let q: Query = queries()[qi].clone().into();
+        let verdict = rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap();
+        match verdict {
+            Verdict::Incomplete(ce) => {
+                prop_assert!(ric::complete::rcdp::certify_counterexample(
+                    &setting, &q, &db, &ce).unwrap());
+            }
+            Verdict::Complete => {
+                // Probe: no random extension that stays partially closed may
+                // change the answer.
+                let before: BTreeSet<Tuple> = q.eval(&db).unwrap();
+                let probe = db.union(&extra).unwrap();
+                if setting.partially_closed(&probe).unwrap() {
+                    prop_assert_eq!(q.eval(&probe).unwrap(), before);
+                }
+            }
+            Verdict::Unknown { .. } => {}
+        }
+    }
+
+    /// The exact Σᵖ₂ decider agrees with the doubly exponential brute-force
+    /// reference on tiny instances (Proposition 3.3's small-model property).
+    #[test]
+    fn rcdp_agrees_with_brute_force(r_tuples in proptest::collection::vec((0i64..2, 0i64..2), 0..3)) {
+        let s = Schema::from_relations(
+            vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+        let r = s.rel_id("R").unwrap();
+        let mschema = Schema::from_relations(
+            vec![RelationSchema::infinite("M", &["a"])]).unwrap();
+        let m = mschema.rel_id("M").unwrap();
+        let mut dm = Database::empty(&mschema);
+        dm.insert(m, Tuple::new([Value::int(0)]));
+        dm.insert(m, Tuple::new([Value::int(1)]));
+        let v = ConstraintSet::new(vec![
+            ContainmentConstraint::into_master(
+                CcBody::Proj(Projection::new(r, vec![0])), m, vec![0]),
+            ContainmentConstraint::into_master(
+                CcBody::Proj(Projection::new(r, vec![1])), m, vec![0]),
+        ]);
+        let setting = Setting::new(s.clone(), mschema, dm, v);
+        let mut db = Database::empty(&s);
+        for (a, b) in r_tuples {
+            db.insert(r, Tuple::new([Value::int(a), Value::int(b)]));
+        }
+        let q: Query = parse_cq(&s, "Q(X, Y) :- R(X, Y).").unwrap().into();
+        let exact = rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap();
+        let brute = ric::complete::characterize::brute_force_complete(
+            &setting, &q, &db, 1, 10).unwrap();
+        if let Some(expected) = brute {
+            prop_assert_eq!(exact.is_complete(), expected);
+        }
+    }
+
+    /// RCQP `Nonempty` witnesses are certified complete by RCDP.
+    #[test]
+    fn rcqp_witnesses_certify(n_master in 1usize..4) {
+        let s = Schema::from_relations(
+            vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+        let r = s.rel_id("R").unwrap();
+        let mschema = Schema::from_relations(
+            vec![RelationSchema::infinite("M", &["a"])]).unwrap();
+        let m = mschema.rel_id("M").unwrap();
+        let mut dm = Database::empty(&mschema);
+        for v in 0..n_master as i64 {
+            dm.insert(m, Tuple::new([Value::int(v)]));
+        }
+        let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(r, vec![1])), m, vec![0],
+        )]);
+        let setting = Setting::new(s.clone(), mschema, dm, v);
+        let q: Query = parse_cq(&s, "Q(Y) :- R('k', Y).").unwrap().into();
+        match rcqp(&setting, &q, &SearchBudget::default()).unwrap() {
+            QueryVerdict::Nonempty { witness: Some(w) } => {
+                prop_assert_eq!(
+                    rcdp(&setting, &q, &w, &SearchBudget::default()).unwrap(),
+                    Verdict::Complete
+                );
+            }
+            QueryVerdict::Nonempty { witness: None } => {}
+            other => prop_assert!(false, "expected nonempty, got {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The Section 2.3 walkthrough, end to end on generated CRM scenarios.
+
+use rand::SeedableRng;
+use ric::mdm::{assess, guide_collection, needs_master_expansion, Assessment, Guidance};
+use ric::mdm::{CrmScenario, ScenarioParams};
+use ric::prelude::*;
+
+fn small_scenario(at_most_k: Option<usize>) -> CrmScenario {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    CrmScenario::generate(
+        ScenarioParams {
+            n_domestic: 4,
+            n_international: 2,
+            n_employees: 3,
+            n_support: 5,
+            at_most_k,
+            n_manage: 2,
+        },
+        &mut rng,
+    )
+}
+
+/// Paradigm 1 on `Q1` (domestic customers of e0, joined through Cust):
+/// the φ0-bounded join can be saturated, at which point the answer is
+/// trustworthy.
+#[test]
+fn paradigm_1_assessment_lifecycle() {
+    let sc = small_scenario(None);
+    let budget = SearchBudget::default();
+    // Fresh scenario: almost certainly untrustworthy or trustworthy —
+    // whichever it is, the assessment must be decisive (never inconclusive
+    // on instances this small).
+    match assess(&sc.setting, &sc.q1(), &sc.db, &budget).unwrap() {
+        Assessment::Inconclusive { searched } => {
+            panic!("assessment must be decisive on small instances: {searched}")
+        }
+        Assessment::Untrustworthy { example_gap } => {
+            assert!(example_gap.delta.tuple_count() >= 1);
+        }
+        Assessment::Trustworthy => {}
+    }
+}
+
+/// Paradigm 2 with the φ1 cardinality constraint: the completion distance
+/// for "customers of e0" is k - k′.
+#[test]
+fn paradigm_2_completion_under_phi1() {
+    let k = 2;
+    let sc = small_scenario(Some(k));
+    let supt = sc.setting.schema.rel_id("Supt").unwrap();
+    let q = sc.q2();
+    let budget = SearchBudget::default();
+    // Current coverage of e0.
+    let covered = sc
+        .db
+        .instance(supt)
+        .iter()
+        .filter(|t| t.get(0) == &Value::str("e0"))
+        .count();
+    match guide_collection(&sc.setting, &q, &sc.db, &budget).unwrap() {
+        Guidance::Collect { missing } => {
+            assert_eq!(
+                missing.tuple_count(),
+                k - covered,
+                "φ1 bounds the completion distance by k - k′"
+            );
+        }
+        Guidance::AlreadyComplete => assert_eq!(covered, k),
+        other => panic!("unexpected guidance {other:?}"),
+    }
+}
+
+/// Paradigm 3: `Q0′` (all customers, including international) can never be
+/// answered completely under the current master data — and neither can the
+/// bare `Q2` without φ1.
+#[test]
+fn paradigm_3_master_expansion_detection() {
+    let sc = small_scenario(None);
+    let budget = SearchBudget::default();
+    assert_eq!(
+        needs_master_expansion(&sc.setting, &sc.q0_prime(), &budget).unwrap(),
+        Some(true),
+        "international customers are open world"
+    );
+    assert_eq!(
+        needs_master_expansion(&sc.setting, &sc.q2(), &budget).unwrap(),
+        Some(true),
+        "Supt alone is open world without φ1"
+    );
+}
+
+/// The `Q3` language-relativity claim on a generated scenario.
+#[test]
+fn q3_cq_vs_datalog() {
+    let sc = small_scenario(None);
+    let budget = SearchBudget::default();
+    // Both are incomplete in the open world, but both deciders must reach a
+    // decision (FP through the bounded search).
+    let fp_verdict = rcdp(&sc.setting, &sc.q3_datalog(), &sc.db, &budget).unwrap();
+    assert!(
+        fp_verdict.is_incomplete() || matches!(fp_verdict, Verdict::Unknown { .. }),
+        "got {fp_verdict:?}"
+    );
+    let cq_verdict = rcdp(&sc.setting, &sc.q3_cq_two_hops(), &sc.db, &budget).unwrap();
+    assert!(cq_verdict.is_incomplete());
+}
+
+/// Scenario generation respects its own constraints across seeds and
+/// parameter combinations.
+#[test]
+fn scenario_generation_is_robust() {
+    for seed in 0..5 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for at_most_k in [None, Some(1), Some(3)] {
+            let sc = CrmScenario::generate(
+                ScenarioParams {
+                    n_domestic: 3 + seed as usize,
+                    n_international: seed as usize % 3,
+                    n_employees: 2 + seed as usize % 3,
+                    n_support: 8,
+                    at_most_k,
+                    n_manage: 2,
+                },
+                &mut rng,
+            );
+            assert!(
+                sc.setting.partially_closed(&sc.db).unwrap(),
+                "seed {seed}, k {at_most_k:?}"
+            );
+        }
+    }
+}
