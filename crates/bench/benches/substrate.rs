@@ -1,8 +1,8 @@
 //! Substrate microbenchmarks: the evaluators and constraint checkers the
 //! deciders are built from.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ric::prelude::*;
+use ric_bench::harness;
 
 fn chain_db(n: usize) -> (Schema, Database) {
     let s = Schema::from_relations(vec![RelationSchema::infinite("E", &["a", "b"])]).unwrap();
@@ -15,49 +15,45 @@ fn chain_db(n: usize) -> (Schema, Database) {
     (s, db)
 }
 
-fn cq_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate/cq_three_way_join");
+fn cq_eval() {
+    let mut group = harness::group("substrate/cq_three_way_join");
     for n in [50usize, 200, 800] {
         let (s, db) = chain_db(n);
         let q = parse_cq(&s, "Q(W, Z) :- E(W, X), E(X, Y), E(Y, Z), W != Z.").unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
-            b.iter(|| ric::query::eval::eval_cq(&q, db).unwrap())
+        group.bench(n.to_string(), || {
+            ric::query::eval::eval_cq(&q, &db).unwrap()
         });
     }
-    group.finish();
 }
 
-fn datalog_tc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate/datalog_transitive_closure");
+fn datalog_tc() {
+    let mut group = harness::group("substrate/datalog_transitive_closure");
     group.sample_size(10);
     for n in [20usize, 60, 120] {
         let (s, db) = chain_db(n);
         let p = parse_program(&s, "Tc(X,Y) :- E(X,Y). Tc(X,Y) :- E(X,Z), Tc(Z,Y).", "Tc").unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
-            b.iter(|| p.eval(db))
-        });
+        group.bench(n.to_string(), || p.eval(&db));
     }
-    group.finish();
 }
 
-fn constraint_check(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate/fd_containment_check");
+fn constraint_check() {
+    let mut group = harness::group("substrate/fd_containment_check");
     for n in [50usize, 200, 800] {
         let (s, db) = chain_db(n);
         let e = s.rel_id("E").unwrap();
         let fd = Fd::new(e, vec![0], vec![1]);
         let ccs = ric::constraints::compile::fd_to_ccs(&fd, &s);
         let dm = Database::with_relations(0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
-            b.iter(|| {
-                ccs.iter()
-                    .map(|cc| cc.satisfied(db, &dm).unwrap())
-                    .collect::<Vec<_>>()
-            })
+        group.bench(n.to_string(), || {
+            ccs.iter()
+                .map(|cc| cc.satisfied(&db, &dm).unwrap())
+                .collect::<Vec<_>>()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, cq_eval, datalog_tc, constraint_check);
-criterion_main!(benches);
+fn main() {
+    cq_eval();
+    datalog_tc();
+    constraint_check();
+}

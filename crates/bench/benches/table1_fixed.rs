@@ -3,12 +3,11 @@
 //! reduction already uses a fixed (D_m, V); this bench varies only the
 //! formula and shows the growth is carried entirely by the query.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ric::prelude::*;
-use ric_bench::{bench_budget, rcdp_sigma2_instances};
+use ric_bench::{bench_budget, harness, rcdp_sigma2_instances};
 
-fn fixed_master(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1/rcdp_fixed_dm_v");
+fn fixed_master() {
+    let mut group = harness::group("table1/rcdp_fixed_dm_v");
     group.sample_size(10);
     let instances = rcdp_sigma2_instances(&[(1, 1, 1), (1, 2, 2), (2, 2, 2), (2, 3, 3)]);
     // All instances share one (D_m, V): verified here, relied on below.
@@ -17,16 +16,14 @@ fn fixed_master(c: &mut Criterion) {
         assert_eq!(w[0].1.v, w[1].1.v);
     }
     for (label, setting, q, db, truth) in instances {
-        group.bench_function(BenchmarkId::from_parameter(&label), |b| {
-            b.iter(|| {
-                let v = rcdp(&setting, &q, &db, &bench_budget()).unwrap();
-                assert_eq!(v.is_complete(), truth);
-                v
-            })
+        group.bench(&label, || {
+            let v = rcdp(&setting, &q, &db, &bench_budget()).unwrap();
+            assert_eq!(v.is_complete(), truth);
+            v
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, fixed_master);
-criterion_main!(benches);
+fn main() {
+    fixed_master();
+}

@@ -2,40 +2,35 @@
 //! (UCQ, UCQ), (∃FO⁺, ∃FO⁺) — Theorem 3.6. Times the exact decider on
 //! typical master-data workloads and on the ∀*∃*-3SAT hardness instances.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ric::prelude::*;
-use ric_bench::{bench_budget, rcdp_sigma2_instances, rcdp_workloads};
+use ric_bench::{bench_budget, harness, rcdp_sigma2_instances, rcdp_workloads};
 
-fn workloads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1/rcdp_cq_inds_workload");
+fn workloads() {
+    let mut group = harness::group("table1/rcdp_cq_inds_workload");
     for (label, inst) in rcdp_workloads(&[5, 10, 20, 40]) {
-        group.bench_with_input(BenchmarkId::from_parameter(&label), &inst, |b, inst| {
-            b.iter(|| {
-                let v = rcdp(&inst.setting, &inst.query, &inst.db, &bench_budget()).unwrap();
-                assert_eq!(v.is_complete(), inst.complete);
-                v
-            })
+        group.bench(&label, || {
+            let v = rcdp(&inst.setting, &inst.query, &inst.db, &bench_budget()).unwrap();
+            assert_eq!(v.is_complete(), inst.complete);
+            v
         });
     }
-    group.finish();
 }
 
-fn sigma2_hardness(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1/rcdp_sigma2_reduction");
+fn sigma2_hardness() {
+    let mut group = harness::group("table1/rcdp_sigma2_reduction");
     group.sample_size(10);
     for (label, setting, q, db, truth) in
         rcdp_sigma2_instances(&[(1, 1, 1), (2, 2, 2), (2, 2, 3), (3, 2, 3)])
     {
-        group.bench_function(BenchmarkId::from_parameter(&label), |b| {
-            b.iter(|| {
-                let v = rcdp(&setting, &q, &db, &bench_budget()).unwrap();
-                assert_eq!(v.is_complete(), truth);
-                v
-            })
+        group.bench(&label, || {
+            let v = rcdp(&setting, &q, &db, &bench_budget()).unwrap();
+            assert_eq!(v.is_complete(), truth);
+            v
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, workloads, sigma2_hardness);
-criterion_main!(benches);
+fn main() {
+    workloads();
+    sigma2_hardness();
+}

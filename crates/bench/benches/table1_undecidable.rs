@@ -3,12 +3,12 @@
 //! 2-head DFA accepts a short word, and burns its whole budget otherwise —
 //! the bench shows the cost of both outcomes as the extension bound grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ric::prelude::*;
 use ric::reductions::two_head_dfa::{to_rcdp_instance, TwoHeadDfa};
+use ric_bench::harness;
 
-fn bounded_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1/rcdp_fp_bounded");
+fn bounded_search() {
+    let mut group = harness::group("table1/rcdp_fp_bounded");
     group.sample_size(10);
     for (name, dfa, expect_witness) in [
         ("nonempty_language", TwoHeadDfa::ones(), true),
@@ -22,22 +22,17 @@ fn bounded_search(c: &mut Criterion) {
                 max_candidates: 500_000,
                 ..SearchBudget::default()
             };
-            group.bench_function(
-                BenchmarkId::from_parameter(format!("{name}/delta<={max_delta}")),
-                |b| {
-                    b.iter(|| {
-                        let v = rcdp(&setting, &q, &db, &budget).unwrap();
-                        if expect_witness && max_delta >= 3 {
-                            assert!(v.is_incomplete());
-                        }
-                        v
-                    })
-                },
-            );
+            group.bench(format!("{name}/delta<={max_delta}"), || {
+                let v = rcdp(&setting, &q, &db, &budget).unwrap();
+                if expect_witness && max_delta >= 3 {
+                    assert!(v.is_incomplete());
+                }
+                v
+            });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bounded_search);
-criterion_main!(benches);
+fn main() {
+    bounded_search();
+}

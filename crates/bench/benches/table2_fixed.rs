@@ -3,35 +3,34 @@
 //! fixed-setting family of `ric::reductions::rcqp_pi3`: one (D_m, V) built
 //! once, queries as the only varying input.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ric::prelude::*;
 use ric::reductions::rcqp_pi3;
+use ric_bench::harness;
 
-fn fixed_setting_family(c: &mut Criterion) {
+fn fixed_setting_family() {
     let setting = rcqp_pi3::fixed_setting();
-    let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
-    let mut group = c.benchmark_group("table2/rcqp_fixed_dm_v");
+    let budget = SearchBudget {
+        fresh_values: 3,
+        ..SearchBudget::default()
+    };
+    let mut group = harness::group("table2/rcqp_fixed_dm_v");
     group.sample_size(10);
     for k in [0usize, 1, 2] {
         let bounded = rcqp_pi3::bounded_query(&setting, k);
-        group.bench_function(BenchmarkId::from_parameter(format!("bounded/k={k}")), |b| {
-            b.iter(|| {
-                let v = rcqp(&setting, &bounded, &budget).unwrap();
-                assert!(v.is_nonempty());
-                v
-            })
+        group.bench(format!("bounded/k={k}"), || {
+            let v = rcqp(&setting, &bounded, &budget).unwrap();
+            assert!(v.is_nonempty());
+            v
         });
     }
     let unbounded = rcqp_pi3::unbounded_query(&setting, 0);
-    group.bench_function("unbounded/empty-verdict", |b| {
-        b.iter(|| {
-            let v = rcqp(&setting, &unbounded, &budget).unwrap();
-            assert_eq!(v, QueryVerdict::Empty);
-            v
-        })
+    group.bench("unbounded/empty-verdict", || {
+        let v = rcqp(&setting, &unbounded, &budget).unwrap();
+        assert_eq!(v, QueryVerdict::Empty);
+        v
     });
-    group.finish();
 }
 
-criterion_group!(benches, fixed_setting_family);
-criterion_main!(benches);
+fn main() {
+    fixed_setting_family();
+}

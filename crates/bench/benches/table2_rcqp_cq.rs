@@ -4,32 +4,28 @@
 //! fast here), while *finding* one blows up — the bench times witness
 //! construction from the tiling oracle plus RCDP certification, per rank.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ric::prelude::*;
 use ric::reductions::tiling;
-use ric_bench::tiling_instances;
+use ric_bench::{harness, tiling_instances};
 
-fn witness_certification(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2/rcqp_cq_tiling_witness");
+fn witness_certification() {
+    let mut group = harness::group("table2/rcqp_cq_tiling_witness");
     group.sample_size(10);
     for (label, inst) in tiling_instances(&[1, 2]) {
         let (setting, q) = tiling::to_rcqp_instance(&inst);
         let grid = inst.solve().expect("checkerboard tiles");
-        group.bench_function(BenchmarkId::from_parameter(&label), |b| {
-            b.iter(|| {
-                let witness = tiling::tiling_witness(&setting.schema, &inst, &grid);
-                let v = rcdp(&setting, &q, &witness, &SearchBudget::default()).unwrap();
-                assert_eq!(v, Verdict::Complete);
-                v
-            })
+        group.bench(&label, || {
+            let witness = tiling::tiling_witness(&setting.schema, &inst, &grid);
+            let v = rcdp(&setting, &q, &witness, &SearchBudget::default()).unwrap();
+            assert_eq!(v, Verdict::Complete);
+            v
         });
     }
-    group.finish();
 }
 
 /// The E2-driven search on the tractable FD family (blocking witnesses).
-fn blocking_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2/rcqp_cq_blocking");
+fn blocking_search() {
+    let mut group = harness::group("table2/rcqp_cq_blocking");
     group.sample_size(10);
     for n_depts in [1usize, 2, 3] {
         let schema =
@@ -38,24 +34,29 @@ fn blocking_search(c: &mut Criterion) {
         let supt = schema.rel_id("Supt").unwrap();
         let fd = Fd::new(supt, vec![0], vec![1]);
         let v = ConstraintSet::new(ric::constraints::compile::fd_to_ccs(&fd, &schema));
-        let setting =
-            Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
+        let setting = Setting::new(
+            schema.clone(),
+            Schema::new(),
+            Database::with_relations(0),
+            v,
+        );
         // More constants in the query → larger Adom → larger pool.
-        let eqs: Vec<String> =
-            (0..n_depts).map(|d| format!("E != 'x{d}'")).collect();
+        let eqs: Vec<String> = (0..n_depts).map(|d| format!("E != 'x{d}'")).collect();
         let src = format!("Q(E) :- Supt(E, 'd0'), E = 'e0', {}.", eqs.join(", "));
         let q: Query = parse_cq(&schema, &src).unwrap().into();
-        let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
-        group.bench_function(BenchmarkId::from_parameter(format!("constants={n_depts}")), |b| {
-            b.iter(|| {
-                let verdict = rcqp(&setting, &q, &budget).unwrap();
-                assert!(verdict.is_nonempty());
-                verdict
-            })
+        let budget = SearchBudget {
+            fresh_values: 3,
+            ..SearchBudget::default()
+        };
+        group.bench(format!("constants={n_depts}"), || {
+            let verdict = rcqp(&setting, &q, &budget).unwrap();
+            assert!(verdict.is_nonempty());
+            verdict
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, witness_certification, blocking_search);
-criterion_main!(benches);
+fn main() {
+    witness_certification();
+    blocking_search();
+}

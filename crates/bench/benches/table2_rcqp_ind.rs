@@ -2,26 +2,21 @@
 //! Times the syntactic E3/E4 decider on the 3SAT reduction across the
 //! SAT/UNSAT transition.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ric::prelude::*;
-use ric_bench::{bench_budget, rcqp_conp_instances};
+use ric_bench::{bench_budget, harness, rcqp_conp_instances};
 
-fn conp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2/rcqp_inds_3sat");
+fn conp() {
+    let mut group = harness::group("table2/rcqp_inds_3sat");
     group.sample_size(10);
-    for (label, setting, q, nonempty) in
-        rcqp_conp_instances(&[(2, 4), (3, 6), (4, 8), (4, 16)])
-    {
-        group.bench_function(BenchmarkId::from_parameter(&label), |b| {
-            b.iter(|| {
-                let v = rcqp(&setting, &q, &bench_budget()).unwrap();
-                assert_eq!(v.is_nonempty(), nonempty);
-                v
-            })
+    for (label, setting, q, nonempty) in rcqp_conp_instances(&[(2, 4), (3, 6), (4, 8), (4, 16)]) {
+        group.bench(&label, || {
+            let v = rcqp(&setting, &q, &bench_budget()).unwrap();
+            assert_eq!(v.is_nonempty(), nonempty);
+            v
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, conp);
-criterion_main!(benches);
+fn main() {
+    conp();
+}

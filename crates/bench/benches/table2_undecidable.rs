@@ -2,12 +2,12 @@
 //! evidence is possible; the bench times the candidate/refutation sweep on
 //! the 2-head DFA reduction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ric::prelude::*;
 use ric::reductions::two_head_dfa::{to_rcdp_instance, TwoHeadDfa};
+use ric_bench::harness;
 
-fn bounded_rcqp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2/rcqp_fp_bounded");
+fn bounded_rcqp() {
+    let mut group = harness::group("table2/rcqp_fp_bounded");
     group.sample_size(10);
     for (name, dfa) in [
         ("nonempty_language", TwoHeadDfa::ones()),
@@ -20,16 +20,14 @@ fn bounded_rcqp(c: &mut Criterion) {
             max_candidates: 50_000,
             ..SearchBudget::default()
         };
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let v = rcqp(&setting, &q, &budget).unwrap();
-                assert!(matches!(v, QueryVerdict::Unknown { .. }));
-                v
-            })
+        group.bench(name, || {
+            let v = rcqp(&setting, &q, &budget).unwrap();
+            assert!(matches!(v, QueryVerdict::Unknown { .. }));
+            v
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bounded_rcqp);
-criterion_main!(benches);
+fn main() {
+    bounded_rcqp();
+}

@@ -1,30 +1,68 @@
 //! Regenerate Tables I and II of the paper, empirically.
 //!
 //! For every cell of the complexity tables, run the corresponding decider on
-//! generated instance families, validate the verdict against an independent
-//! ground-truth oracle where one exists, and report the outcome and timing.
-//! The *shape* of the paper's results is what must reproduce: decidable
-//! cells decide (and match the oracle), undecidable cells return certified
-//! witnesses or an honest `Unknown`, and the hardness reductions blow up
-//! where the bounds say they must.
+//! generated instance families with a telemetry [`Collector`] attached,
+//! validate the verdict against an independent ground-truth oracle where one
+//! exists, and report the outcome, timing, and search counters. The *shape*
+//! of the paper's results is what must reproduce: decidable cells decide
+//! (and match the oracle), undecidable cells return certified witnesses or
+//! an honest `Unknown`, and the hardness reductions blow up where the
+//! bounds say they must.
+//!
+//! Beyond the human-readable tables on stdout, the run writes two
+//! machine-readable artifacts to the current directory:
+//!
+//! * `BENCH_TABLE1.json` — one object per Table I (RCDP) cell;
+//! * `BENCH_TABLE2.json` — one object per Table II (RCQP) cell.
+//!
+//! Each cell object carries `cell`, `paper_bound`, `outcome`, an `oracle`
+//! sub-object (`checked`, and `agrees` when a ground-truth oracle exists),
+//! `micros`, and the full telemetry report (`counters` / `gauges` /
+//! `spans_micros` / `notes`) of the decision. See EXPERIMENTS.md for the
+//! schema.
 //!
 //! Run with `cargo run --release -p ric-bench --bin regen_tables`.
 
-use rand::SeedableRng;
 use ric::prelude::*;
 use ric::reductions::two_head_dfa::{to_rcdp_instance, TwoHeadDfa};
 use ric::reductions::workload::{planted_rcdp, WorkloadParams};
 use ric::reductions::{qbf, rcdp_sigma2, rcqp_conp, rcqp_pi3, sat, tiling};
+use ric::telemetry::Json;
+use ric::{rcdp_probed, rcqp_probed, SplitMix64};
 use std::time::Instant;
 
-struct Row {
+struct Cell {
     cell: &'static str,
     paper: &'static str,
     outcome: String,
+    /// `Some(agrees)` when an independent ground-truth oracle exists for the
+    /// cell, `None` when the expectation is structural only.
+    oracle: Option<bool>,
     micros: u128,
+    report: Report,
 }
 
-fn print_table(title: &str, rows: &[Row]) {
+impl Cell {
+    fn to_json(&self) -> Json {
+        let oracle = match self.oracle {
+            Some(agrees) => Json::obj([
+                ("checked", Json::from(true)),
+                ("agrees", Json::from(agrees)),
+            ]),
+            None => Json::obj([("checked", Json::from(false))]),
+        };
+        Json::obj([
+            ("cell", Json::from(self.cell)),
+            ("paper_bound", Json::from(self.paper)),
+            ("outcome", Json::from(self.outcome.as_str())),
+            ("oracle", oracle),
+            ("micros", Json::from(self.micros)),
+            ("telemetry", self.report.to_json()),
+        ])
+    }
+}
+
+fn print_table(title: &str, cells: &[Cell]) {
     println!("\n{title}");
     println!("{}", "=".repeat(title.len()));
     println!(
@@ -32,56 +70,83 @@ fn print_table(title: &str, rows: &[Row]) {
         "(L_Q, L_C)", "paper bound", "measured outcome", "time"
     );
     println!("{}", "-".repeat(120));
-    for r in rows {
+    for c in cells {
         println!(
             "{:<34} {:<24} {:<46} {:>9} µs",
-            r.cell, r.paper, r.outcome, r.micros
+            c.cell, c.paper, c.outcome, c.micros
         );
     }
 }
 
-fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed().as_micros())
+fn write_table(path: &str, table: &str, title: &str, cells: &[Cell]) {
+    let doc = Json::obj([
+        ("table", Json::from(table)),
+        ("title", Json::from(title)),
+        ("source", Json::from("regen_tables")),
+        ("cells", Json::arr(cells.iter().map(Cell::to_json))),
+    ]);
+    match std::fs::write(path, format!("{}\n", doc.pretty())) {
+        Ok(()) => println!("wrote {path} ({} cells)", cells.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
-fn table1() -> Vec<Row> {
-    let mut rows = Vec::new();
+/// Run `f` with a fresh collector attached; returns the result, the wall
+/// time, and the aggregated telemetry of everything `f` probed.
+fn probed<T>(f: impl FnOnce(Probe<'_>) -> T) -> (T, u128, Report) {
+    let collector = Collector::new();
+    let start = Instant::now();
+    let out = f(Probe::attached(&collector));
+    (out, start.elapsed().as_micros(), collector.report())
+}
+
+fn table1() -> Vec<Cell> {
+    let mut cells = Vec::new();
     let budget = SearchBudget::default();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = SplitMix64::seed_from_u64(1);
 
     // (CQ, INDs): Σᵖ₂-complete — typical workload + hardness reduction.
     {
-        let params = WorkloadParams { n_customers: 25, n_employees: 4, n_support: 50 };
+        let params = WorkloadParams {
+            n_customers: 25,
+            n_employees: 4,
+            n_support: 50,
+        };
         let inst = planted_rcdp(&params, false, &mut rng);
-        let (v, us) = timed(|| rcdp(&inst.setting, &inst.query, &inst.db, &budget).unwrap());
-        rows.push(Row {
+        let (v, us, report) =
+            probed(|p| rcdp_probed(&inst.setting, &inst.query, &inst.db, &budget, p).unwrap());
+        cells.push(Cell {
             cell: "(CQ, INDs) workload",
             paper: "Sigma-p-2-complete",
             outcome: format!("{v} (planted: incomplete)"),
+            oracle: Some(v.is_incomplete()),
             micros: us,
+            report,
         });
     }
     {
         let mut agree = 0;
         let mut total_us = 0;
         let n = 4;
+        let collector = Collector::new();
         for _ in 0..n {
             let phi = qbf::ForallExists::random(2, 2, 3, &mut rng);
             let truth = phi.eval();
             let (setting, q, db) = rcdp_sigma2::to_rcdp_instance(&phi);
-            let (v, us) = timed(|| rcdp(&setting, &q, &db, &budget).unwrap());
-            total_us += us;
+            let start = Instant::now();
+            let v = rcdp_probed(&setting, &q, &db, &budget, Probe::attached(&collector)).unwrap();
+            total_us += start.elapsed().as_micros();
             if v.is_complete() == truth {
                 agree += 1;
             }
         }
-        rows.push(Row {
+        cells.push(Cell {
             cell: "(CQ, INDs) forall-exists-3SAT",
             paper: "Sigma-p-2-hard (Thm 3.6)",
             outcome: format!("{agree}/{n} agree with QBF oracle"),
+            oracle: Some(agree == n),
             micros: total_us / n as u128,
+            report: collector.report(),
         });
     }
     // (CQ, CQ) / (UCQ, UCQ): same decider, CQ constraints (FD-compiled).
@@ -94,20 +159,28 @@ fn table1() -> Vec<Row> {
         let supt = schema.rel_id("Supt").unwrap();
         let fd = Fd::new(supt, vec![0], vec![1, 2]);
         let v = ConstraintSet::new(ric::constraints::compile::fd_to_ccs(&fd, &schema));
-        let setting =
-            Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
-        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+        let setting = Setting::new(
+            schema.clone(),
+            Schema::new(),
+            Database::with_relations(0),
+            v,
+        );
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).")
+            .unwrap()
+            .into();
         let mut db = Database::empty(&schema);
         db.insert(
             supt,
             Tuple::new([Value::str("e0"), Value::str("d0"), Value::str("c0")]),
         );
-        let (verdict, us) = timed(|| rcdp(&setting, &q, &db, &budget).unwrap());
-        rows.push(Row {
+        let (verdict, us, report) = probed(|p| rcdp_probed(&setting, &q, &db, &budget, p).unwrap());
+        cells.push(Cell {
             cell: "(CQ, CQ) FD-blocked",
             paper: "Sigma-p-2-complete",
             outcome: format!("{verdict} (Example 3.1: complete)"),
+            oracle: Some(verdict.is_complete()),
             micros: us,
+            report,
         });
         let u: Query = parse_ucq(
             &schema,
@@ -115,12 +188,14 @@ fn table1() -> Vec<Row> {
         )
         .unwrap()
         .into();
-        let (verdict, us) = timed(|| rcdp(&setting, &u, &db, &budget).unwrap());
-        rows.push(Row {
+        let (verdict, us, report) = probed(|p| rcdp_probed(&setting, &u, &db, &budget, p).unwrap());
+        cells.push(Cell {
             cell: "(UCQ, UCQ) per-disjunct",
             paper: "Sigma-p-2-complete",
             outcome: format!("{verdict}"),
+            oracle: None,
             micros: us,
+            report,
         });
     }
     // (FO, CQ) and (FP, CQ): undecidable — bounded semi-decision.
@@ -132,50 +207,58 @@ fn table1() -> Vec<Row> {
             ..SearchBudget::default()
         };
         let (setting, q, db) = to_rcdp_instance(&TwoHeadDfa::ones());
-        let (v, us) = timed(|| rcdp(&setting, &q, &db, &budget_fp).unwrap());
-        rows.push(Row {
+        let (v, us, report) = probed(|p| rcdp_probed(&setting, &q, &db, &budget_fp, p).unwrap());
+        cells.push(Cell {
             cell: "(FP, CQ) DFA L nonempty",
             paper: "undecidable (Thm 3.1)",
             outcome: format!("{v} - witness encodes a word"),
+            oracle: Some(v.is_incomplete()),
             micros: us,
+            report,
         });
         let (setting, q, db) = to_rcdp_instance(&TwoHeadDfa::empty_language());
-        let (v, us) = timed(|| rcdp(&setting, &q, &db, &budget_fp).unwrap());
-        rows.push(Row {
+        let (v, us, report) = probed(|p| rcdp_probed(&setting, &q, &db, &budget_fp, p).unwrap());
+        cells.push(Cell {
             cell: "(FP, CQ) DFA L empty",
             paper: "undecidable (Thm 3.1)",
             outcome: format!("{v}"),
+            oracle: None,
             micros: us,
+            report,
         });
     }
-    rows
+    cells
 }
 
-fn table2() -> Vec<Row> {
-    let mut rows = Vec::new();
+fn table2() -> Vec<Cell> {
+    let mut cells = Vec::new();
     let budget = SearchBudget::default();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = SplitMix64::seed_from_u64(2);
 
     // (CQ, INDs): coNP-complete via 3SAT.
     {
         let mut agree = 0;
         let mut total_us = 0;
         let n = 4;
+        let collector = Collector::new();
         for n_clauses in [3, 6, 10, 14] {
             let phi = sat::Cnf::random_3sat(3, n_clauses, &mut rng);
             let truth = !phi.satisfiable(); // RCQ nonempty iff unsat
             let (setting, q) = rcqp_conp::to_rcqp_instance(&phi);
-            let (v, us) = timed(|| rcqp(&setting, &q, &budget).unwrap());
-            total_us += us;
+            let start = Instant::now();
+            let v = rcqp_probed(&setting, &q, &budget, Probe::attached(&collector)).unwrap();
+            total_us += start.elapsed().as_micros();
             if v.is_nonempty() == truth {
                 agree += 1;
             }
         }
-        rows.push(Row {
+        cells.push(Cell {
             cell: "(CQ, INDs) 3SAT reduction",
             paper: "coNP-complete (Thm 4.5)",
             outcome: format!("{agree}/{n} agree with DPLL oracle"),
+            oracle: Some(agree == n),
             micros: total_us / n as u128,
+            report: collector.report(),
         });
     }
     // (CQ, CQ): NEXPTIME-complete via tiling — witness verification is the
@@ -192,8 +275,9 @@ fn table2() -> Vec<Row> {
             let (setting, q) = tiling::to_rcqp_instance(&inst);
             let grid = inst.solve().expect("checkerboard");
             let witness = tiling::tiling_witness(&setting.schema, &inst, &grid);
-            let (v, us) = timed(|| rcdp(&setting, &q, &witness, &budget).unwrap());
-            rows.push(Row {
+            let (v, us, report) =
+                probed(|p| rcdp_probed(&setting, &q, &witness, &budget, p).unwrap());
+            cells.push(Cell {
                 cell: if n == 1 {
                     "(CQ, CQ) tiling 2x2 witness"
                 } else {
@@ -201,7 +285,9 @@ fn table2() -> Vec<Row> {
                 },
                 paper: "NEXPTIME-complete",
                 outcome: format!("witness certified: {v}"),
+                oracle: Some(v.is_complete()),
                 micros: us,
+                report,
             });
         }
     }
@@ -213,54 +299,91 @@ fn table2() -> Vec<Row> {
         let supt = schema.rel_id("Supt").unwrap();
         let fd = Fd::new(supt, vec![0], vec![1]);
         let v = ConstraintSet::new(ric::constraints::compile::fd_to_ccs(&fd, &schema));
-        let setting =
-            Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
-        let bqt = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
-        let q4: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.").unwrap().into();
-        let (verdict, us) = timed(|| rcqp(&setting, &q4, &bqt).unwrap());
-        rows.push(Row {
+        let setting = Setting::new(
+            schema.clone(),
+            Schema::new(),
+            Database::with_relations(0),
+            v,
+        );
+        let bqt = SearchBudget {
+            fresh_values: 3,
+            ..SearchBudget::default()
+        };
+        let q4: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.")
+            .unwrap()
+            .into();
+        let (verdict, us, report) = probed(|p| rcqp_probed(&setting, &q4, &bqt, p).unwrap());
+        cells.push(Cell {
             cell: "(CQ, CQ) blocking witness",
             paper: "NEXPTIME-complete",
             outcome: format!(
                 "{} (Example 4.1: nonempty)",
-                if verdict.is_nonempty() { "nonempty" } else { "UNEXPECTED" }
+                if verdict.is_nonempty() {
+                    "nonempty"
+                } else {
+                    "UNEXPECTED"
+                }
             ),
+            oracle: Some(verdict.is_nonempty()),
             micros: us,
+            report,
         });
         let q2: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0').").unwrap().into();
-        let (verdict, us) = timed(|| rcqp(&setting, &q2, &bqt).unwrap());
-        rows.push(Row {
+        let (verdict, us, report) = probed(|p| rcqp_probed(&setting, &q2, &bqt, p).unwrap());
+        cells.push(Cell {
             cell: "(CQ, CQ) unbounded head",
             paper: "NEXPTIME-complete",
             outcome: format!(
                 "{} (Example 4.1: empty)",
-                if verdict.is_empty_verdict() { "empty" } else { "UNEXPECTED" }
+                if verdict.is_empty_verdict() {
+                    "empty"
+                } else {
+                    "UNEXPECTED"
+                }
             ),
+            oracle: Some(verdict.is_empty_verdict()),
             micros: us,
+            report,
         });
     }
     // Fixed (D_m, V): Πᵖ₃ regime.
     {
         let setting = rcqp_pi3::fixed_setting();
-        let bqt = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
+        let bqt = SearchBudget {
+            fresh_values: 3,
+            ..SearchBudget::default()
+        };
         let q = rcqp_pi3::bounded_query(&setting, 0);
-        let (v, us) = timed(|| rcqp(&setting, &q, &bqt).unwrap());
-        rows.push(Row {
+        let (v, us, report) = probed(|p| rcqp_probed(&setting, &q, &bqt, p).unwrap());
+        cells.push(Cell {
             cell: "fixed (Dm,V), bounded query",
             paper: "Pi-p-3-complete (Cor 4.6)",
-            outcome: if v.is_nonempty() { "nonempty".into() } else { "UNEXPECTED".into() },
+            outcome: if v.is_nonempty() {
+                "nonempty".into()
+            } else {
+                "UNEXPECTED".into()
+            },
+            oracle: Some(v.is_nonempty()),
             micros: us,
+            report,
         });
         let q = rcqp_pi3::unbounded_query(&setting, 0);
-        let (v, us) = timed(|| rcqp(&setting, &q, &bqt).unwrap());
-        rows.push(Row {
+        let (v, us, report) = probed(|p| rcqp_probed(&setting, &q, &bqt, p).unwrap());
+        cells.push(Cell {
             cell: "fixed (Dm,V), unbounded query",
             paper: "Pi-p-3-complete (Cor 4.6)",
-            outcome: if v.is_empty_verdict() { "empty".into() } else { "UNEXPECTED".into() },
+            outcome: if v.is_empty_verdict() {
+                "empty".into()
+            } else {
+                "UNEXPECTED".into()
+            },
+            oracle: Some(v.is_empty_verdict()),
             micros: us,
+            report,
         });
     }
-    // (FP, …): undecidable — bounded evidence only.
+    // (FP, …): undecidable — bounded evidence only. The telemetry notes for
+    // this cell name the exhausted budget limit (`rcqp.limit`).
     {
         let (setting, q, _) = to_rcdp_instance(&TwoHeadDfa::ones());
         let bqt = SearchBudget {
@@ -269,18 +392,22 @@ fn table2() -> Vec<Row> {
             max_candidates: 50_000,
             ..SearchBudget::default()
         };
-        let (v, us) = timed(|| rcqp(&setting, &q, &bqt).unwrap());
-        rows.push(Row {
+        let (v, us, report) = probed(|p| rcqp_probed(&setting, &q, &bqt, p).unwrap());
+        cells.push(Cell {
             cell: "(FP, CQ) DFA reduction",
             paper: "undecidable (Thm 4.1)",
-            outcome: match v {
-                QueryVerdict::Unknown { .. } => "unknown (honest)".into(),
+            outcome: match &v {
+                QueryVerdict::Unknown { stats } => {
+                    format!("unknown (honest; limit: {})", stats.limit)
+                }
                 _ => "UNEXPECTED".into(),
             },
+            oracle: Some(matches!(v, QueryVerdict::Unknown { .. })),
             micros: us,
+            report,
         });
     }
-    rows
+    cells
 }
 
 fn main() {
@@ -291,4 +418,6 @@ fn main() {
     let t2 = table2();
     print_table("Table II - RCQP(L_Q, L_C)", &t2);
     println!();
+    write_table("BENCH_TABLE1.json", "I", "RCDP(L_Q, L_C)", &t1);
+    write_table("BENCH_TABLE2.json", "II", "RCQP(L_Q, L_C)", &t2);
 }

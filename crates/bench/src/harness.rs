@@ -1,0 +1,88 @@
+//! A minimal wall-clock benchmarking harness.
+//!
+//! The workspace builds fully offline, so the benches cannot pull in
+//! criterion; this harness keeps the same group/label structure and prints
+//! min / median / mean wall time per measurement. It makes no attempt at
+//! statistical rigor (no outlier rejection, no warm-up calibration) — the
+//! numbers are for spotting order-of-magnitude regressions, and
+//! `regen_tables` is the artifact-producing entry point.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A named group of measurements, printed as `group/label  …`.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+/// Start a measurement group.
+pub fn group(name: &str) -> Group {
+    Group {
+        name: name.to_string(),
+        samples: 20,
+    }
+}
+
+impl Group {
+    /// Set how many timed runs each measurement takes (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Time `f` and print one result line.
+    pub fn bench<T>(&mut self, label: impl AsRef<str>, mut f: impl FnMut() -> T) {
+        // One untimed run warms caches and surfaces panics before timing.
+        black_box(f());
+        let mut times: Vec<u128> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed().as_nanos()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<u128>() / times.len() as u128;
+        println!(
+            "{}/{:<40} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+            self.name,
+            label.as_ref(),
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            self.samples
+        );
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure_samples_plus_warmup_times() {
+        let mut calls = 0u32;
+        group("t").sample_size(5).bench("label", || calls += 1);
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(25_000), "25.0 µs");
+        assert_eq!(fmt_ns(50_000_000), "50.0 ms");
+    }
+}

@@ -1,18 +1,21 @@
 //! Shared instance builders for the Table I / Table II benchmarks.
 //!
 //! Each function returns ready-to-decide instances for one complexity cell;
-//! the Criterion benches time the deciders on them, and the `regen_tables`
-//! binary prints the empirical tables (verdicts validated against the
-//! ground-truth oracles of `ric::reductions`).
+//! the in-tree benches (`cargo bench`) time the deciders on them, and the
+//! `regen_tables` binary prints the empirical tables (verdicts validated
+//! against the ground-truth oracles of `ric::reductions`) and writes the
+//! machine-readable `BENCH_TABLE1.json` / `BENCH_TABLE2.json` artifacts.
 
-use rand::SeedableRng;
+pub mod harness;
+
 use ric::prelude::*;
 use ric::reductions::workload::{planted_rcdp, PlantedInstance, WorkloadParams};
 use ric::reductions::{qbf, rcdp_sigma2, rcqp_conp, sat, tiling};
+use ric::SplitMix64;
 
 /// RCDP(CQ, INDs) on typical master-data workloads of growing size.
 pub fn rcdp_workloads(sizes: &[usize]) -> Vec<(String, PlantedInstance)> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = SplitMix64::seed_from_u64(7);
     let mut out = Vec::new();
     for &n in sizes {
         for complete in [true, false] {
@@ -36,7 +39,7 @@ pub fn rcdp_workloads(sizes: &[usize]) -> Vec<(String, PlantedInstance)> {
 pub fn rcdp_sigma2_instances(
     shapes: &[(usize, usize, usize)],
 ) -> Vec<(String, Setting, Query, Database, bool)> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng = SplitMix64::seed_from_u64(11);
     let mut out = Vec::new();
     for &(n_forall, n_exists, n_clauses) in shapes {
         let phi = qbf::ForallExists::random(n_forall, n_exists, n_clauses, &mut rng);
@@ -55,7 +58,7 @@ pub fn rcdp_sigma2_instances(
 
 /// RCQP(CQ, INDs) hardness instances from 3SAT (Theorem 4.5(1)).
 pub fn rcqp_conp_instances(shapes: &[(usize, usize)]) -> Vec<(String, Setting, Query, bool)> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut rng = SplitMix64::seed_from_u64(13);
     let mut out = Vec::new();
     for &(n_vars, n_clauses) in shapes {
         let phi = sat::Cnf::random_3sat(n_vars, n_clauses, &mut rng);

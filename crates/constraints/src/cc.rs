@@ -130,9 +130,16 @@ impl CcBody {
                 let arity = schema.arity(p.rel).ok()?;
                 let mut b = Cq::builder();
                 let vars: Vec<_> = (0..arity).map(|i| b.var(&format!("c{i}"))).collect();
-                let head = p.cols.iter().map(|&c| ric_query::Term::Var(vars[c])).collect();
+                let head = p
+                    .cols
+                    .iter()
+                    .map(|&c| ric_query::Term::Var(vars[c]))
+                    .collect();
                 let q = b
-                    .atom(p.rel, vars.iter().map(|&v| ric_query::Term::Var(v)).collect())
+                    .atom(
+                        p.rel,
+                        vars.iter().map(|&v| ric_query::Term::Var(v)).collect(),
+                    )
                     .head(head)
                     .build();
                 Some(Ucq::single(q))
@@ -176,12 +183,18 @@ pub struct ContainmentConstraint {
 impl ContainmentConstraint {
     /// `q_v ⊆ ∅`.
     pub fn into_empty(body: CcBody) -> Self {
-        ContainmentConstraint { body, rhs: CcRhs::Empty }
+        ContainmentConstraint {
+            body,
+            rhs: CcRhs::Empty,
+        }
     }
 
     /// `q_v ⊆ π_cols(R^m)`.
     pub fn into_master(body: CcBody, rel: RelId, cols: Vec<usize>) -> Self {
-        ContainmentConstraint { body, rhs: CcRhs::Master(Projection::new(rel, cols)) }
+        ContainmentConstraint {
+            body,
+            rhs: CcRhs::Master(Projection::new(rel, cols)),
+        }
     }
 
     /// `(D, D_m) |= φ_v`.
@@ -240,7 +253,10 @@ impl ConstraintSet {
 
     /// Build from constraints.
     pub fn new(ccs: Vec<ContainmentConstraint>) -> Self {
-        ConstraintSet { ccs, lower_bounds: Vec::new() }
+        ConstraintSet {
+            ccs,
+            lower_bounds: Vec::new(),
+        }
     }
 
     /// Add a constraint.
@@ -292,9 +308,7 @@ impl ConstraintSet {
     /// Are all constraints inclusion dependencies? (Enables the C3/E3-E4
     /// fast paths of Corollary 3.4 and Proposition 4.3.)
     pub fn is_ind_set(&self) -> bool {
-        self.ccs
-            .iter()
-            .all(|cc| matches!(cc.body, CcBody::Proj(_)))
+        self.ccs.iter().all(|cc| matches!(cc.body, CcBody::Proj(_)))
     }
 
     /// All constants appearing in constraint bodies.
@@ -321,8 +335,8 @@ mod tests {
 
     /// Database schema: Cust(cid, cc); master schema: DCust(cid).
     fn schemas() -> (Schema, Schema) {
-        let r = Schema::from_relations(vec![RelationSchema::infinite("Cust", &["cid", "cc"])])
-            .unwrap();
+        let r =
+            Schema::from_relations(vec![RelationSchema::infinite("Cust", &["cid", "cc"])]).unwrap();
         let m = Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
         (r, m)
     }

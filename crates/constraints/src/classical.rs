@@ -137,7 +137,11 @@ pub struct IndCc {
 impl IndCc {
     /// `π_cols(R) ⊆ π_mcols(R^m)`.
     pub fn new(rel: RelId, cols: Vec<usize>, master_rel: RelId, master_cols: Vec<usize>) -> Self {
-        IndCc { rel, cols, master: Some((master_rel, master_cols)) }
+        IndCc {
+            rel,
+            cols,
+            master: Some((master_rel, master_cols)),
+        }
     }
 
     /// Does `(db, dm)` satisfy the IND?
@@ -205,7 +209,13 @@ impl Cind {
 /// duplicate-free tuples in `rel` that agree nowhere — used by examples; the
 /// paper's `φ_1` "each employee supports at most `k` customers" is the
 /// special case produced by [`at_most_k_per_key`].
-pub fn at_most_k_per_key(rel: RelId, key_col: usize, value_col: usize, k: usize, arity: usize) -> Denial {
+pub fn at_most_k_per_key(
+    rel: RelId,
+    key_col: usize,
+    value_col: usize,
+    k: usize,
+    arity: usize,
+) -> Denial {
     // q(e) :- R(..e..c1..), …, R(..e..c_{k+1}..), c_i ≠ c_j for i<j
     let mut b = Cq::builder();
     let key = b.var("key");
@@ -346,7 +356,11 @@ mod tests {
     fn ind_cc_into_empty() {
         let s = supt_schema();
         let supt = s.rel_id("Supt").unwrap();
-        let ind = IndCc { rel: supt, cols: vec![0], master: None };
+        let ind = IndCc {
+            rel: supt,
+            cols: vec![0],
+            master: None,
+        };
         let db = Database::empty(&s);
         let dm = Database::with_relations(0);
         assert!(ind.satisfied(&db, &dm));

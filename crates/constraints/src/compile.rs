@@ -52,11 +52,7 @@ pub fn cfd_to_ccs(cfd: &Cfd, schema: &Schema) -> Vec<ContainmentConstraint> {
             builder = builder.eq(Term::Var(t1[xcol]), Term::Var(t2[xcol]));
         }
         builder = builder.neq(Term::Var(t1[ycol]), Term::Var(t2[ycol]));
-        let head: Vec<Term> = t1
-            .iter()
-            .chain(t2.iter())
-            .map(|&v| Term::Var(v))
-            .collect();
+        let head: Vec<Term> = t1.iter().chain(t2.iter()).map(|&v| Term::Var(v)).collect();
         out.push(ContainmentConstraint::into_empty(CcBody::Cq(
             builder.head(head).build(),
         )));
@@ -89,9 +85,7 @@ pub fn ind_to_cc(ind: &IndCc) -> ContainmentConstraint {
     let body = CcBody::Proj(Projection::new(ind.rel, ind.cols.clone()));
     match &ind.master {
         None => ContainmentConstraint::into_empty(body),
-        Some((mrel, mcols)) => {
-            ContainmentConstraint::into_master(body, *mrel, mcols.clone())
-        }
+        Some((mrel, mcols)) => ContainmentConstraint::into_master(body, *mrel, mcols.clone()),
     }
 }
 
@@ -178,10 +172,7 @@ mod tests {
         let ccs = fd_to_ccs(&fd, &s);
         assert_eq!(ccs.len(), 2); // one per dependent column
         let dm = empty_master();
-        let check = |db: &Database| {
-            ccs.iter()
-                .all(|cc| cc.satisfied(db, &dm).unwrap())
-        };
+        let check = |db: &Database| ccs.iter().all(|cc| cc.satisfied(db, &dm).unwrap());
         let mut db = Database::empty(&s);
         db.insert(supt, t3("e0", "d0", "c0"));
         db.insert(supt, t3("e1", "d1", "c1"));

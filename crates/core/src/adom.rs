@@ -34,7 +34,10 @@ impl Adom {
         let mut gen = FreshValues::new();
         gen.observe_all(consts.iter());
         let fresh = gen.fresh_n(n_fresh);
-        Adom { constants: consts.into_iter().collect(), fresh }
+        Adom {
+            constants: consts.into_iter().collect(),
+            fresh,
+        }
     }
 
     /// Total size |Adom| = constants + fresh pool.
@@ -65,8 +68,7 @@ mod tests {
         let schema =
             Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
         let r = schema.rel_id("R").unwrap();
-        let mschema =
-            Schema::from_relations(vec![RelationSchema::infinite("M", &["a"])]).unwrap();
+        let mschema = Schema::from_relations(vec![RelationSchema::infinite("M", &["a"])]).unwrap();
         let m = mschema.rel_id("M").unwrap();
         let mut dm = Database::empty(&mschema);
         dm.insert(m, Tuple::new([Value::int(100)]));

@@ -59,31 +59,49 @@ impl SearchBudget {
 
 /// A running counter checked against a limit; shared by the enumeration
 /// loops.
+///
+/// Semantics: [`Meter::tick`] *requests* one unit of work. A request past the
+/// limit is rejected — it returns `false`, marks the meter exhausted, and is
+/// **not** counted, so [`Meter::used`] reports exactly the units of work
+/// actually performed and never exceeds the limit. (An earlier revision
+/// counted the rejected request too, over-reporting `used()` by one after
+/// exhaustion; the telemetry counters are fed from `used()`, so the invariant
+/// `used() ≤ limit` now holds everywhere.)
 #[derive(Debug)]
 pub struct Meter {
     used: u64,
     limit: u64,
+    exhausted: bool,
 }
 
 impl Meter {
     /// A meter with the given limit.
     pub fn new(limit: u64) -> Self {
-        Meter { used: 0, limit }
+        Meter {
+            used: 0,
+            limit,
+            exhausted: false,
+        }
     }
 
-    /// Count one unit; `false` when the budget is exhausted.
+    /// Request one unit of work; `false` when the budget is exhausted (the
+    /// rejected request is not counted).
     #[inline]
     pub fn tick(&mut self) -> bool {
+        if self.used >= self.limit {
+            self.exhausted = true;
+            return false;
+        }
         self.used += 1;
-        self.used <= self.limit
+        true
     }
 
-    /// Has the budget been exhausted?
+    /// Has a request been rejected?
     pub fn exhausted(&self) -> bool {
-        self.used > self.limit
+        self.exhausted
     }
 
-    /// Units consumed so far.
+    /// Units of work performed (accepted requests only; at most the limit).
     pub fn used(&self) -> u64 {
         self.used
     }
@@ -96,11 +114,24 @@ mod tests {
     #[test]
     fn meter_ticks_to_limit() {
         let mut m = Meter::new(2);
+        assert!(!m.exhausted());
         assert!(m.tick());
         assert!(m.tick());
+        assert!(!m.exhausted(), "reaching the limit is not exhaustion");
         assert!(!m.tick());
         assert!(m.exhausted());
-        assert_eq!(m.used(), 3);
+        // The rejected request is not counted: used() never exceeds the limit.
+        assert_eq!(m.used(), 2);
+        assert!(!m.tick());
+        assert_eq!(m.used(), 2);
+    }
+
+    #[test]
+    fn zero_limit_meter_rejects_immediately() {
+        let mut m = Meter::new(0);
+        assert!(!m.tick());
+        assert!(m.exhausted());
+        assert_eq!(m.used(), 0);
     }
 
     #[test]

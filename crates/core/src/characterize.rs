@@ -22,6 +22,7 @@ use ric_constraints::{CcBody, CcRhs};
 use ric_data::{Database, Value};
 use ric_query::tableau::Tableau;
 use ric_query::{Cq, Ucq};
+use ric_telemetry::Probe;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
@@ -33,7 +34,12 @@ pub fn bounded_database_cq(
     db: &Database,
     budget: &SearchBudget,
 ) -> Result<Option<bool>, RcError> {
-    verdict_to_bool(crate::rcdp::rcdp_exact(setting, &Query::Cq(q.clone()), db, budget))
+    verdict_to_bool(crate::rcdp::rcdp_exact(
+        setting,
+        &Query::Cq(q.clone()),
+        db,
+        budget,
+    ))
 }
 
 /// C3: the IND specialisation (Corollary 3.4). Panics if `V` is not a set of
@@ -55,7 +61,12 @@ pub fn bounded_database_ucq(
     db: &Database,
     budget: &SearchBudget,
 ) -> Result<Option<bool>, RcError> {
-    verdict_to_bool(crate::rcdp::rcdp_exact(setting, &Query::Ucq(q.clone()), db, budget))
+    verdict_to_bool(crate::rcdp::rcdp_exact(
+        setting,
+        &Query::Ucq(q.clone()),
+        db,
+        budget,
+    ))
 }
 
 fn verdict_to_bool(v: Result<Verdict, RcError>) -> Result<Option<bool>, RcError> {
@@ -134,10 +145,7 @@ pub fn ind_bounded(t: &Tableau, schema: &ric_data::Schema, setting: &Setting) ->
         for (rel, col) in &positions[v.idx()] {
             for cc in &setting.v.ccs {
                 if let CcBody::Proj(p) = &cc.body {
-                    if p.rel == *rel
-                        && p.cols.contains(col)
-                        && matches!(cc.rhs, CcRhs::Master(_))
-                    {
+                    if p.rel == *rel && p.cols.contains(col) && matches!(cc.rhs, CcRhs::Master(_)) {
                         continue 't_vars; // E4
                     }
                 }
@@ -160,6 +168,33 @@ pub fn e2_check(
     dv: &Database,
     bound_values: &BTreeSet<Value>,
     budget: &SearchBudget,
+) -> Result<Option<bool>, RcError> {
+    e2_check_probed(setting, q, dv, bound_values, budget, Probe::disabled())
+}
+
+/// [`e2_check`] with a telemetry probe attached: reports the valuations
+/// enumerated (`characterize.e2_valuations`) and the check's wall time.
+pub fn e2_check_probed(
+    setting: &Setting,
+    q: &Cq,
+    dv: &Database,
+    bound_values: &BTreeSet<Value>,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+) -> Result<Option<bool>, RcError> {
+    let span = probe.span("characterize.e2_check");
+    let result = e2_check_inner(setting, q, dv, bound_values, budget, probe);
+    drop(span);
+    result
+}
+
+fn e2_check_inner(
+    setting: &Setting,
+    q: &Cq,
+    dv: &Database,
+    bound_values: &BTreeSet<Value>,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
 ) -> Result<Option<bool>, RcError> {
     if !setting.partially_closed(dv)? {
         return Ok(Some(false));
@@ -200,6 +235,7 @@ pub fn e2_check(
             ControlFlow::Continue(())
         },
     );
+    probe.count("characterize.e2_valuations", meter.used());
     match outcome {
         EnumOutcome::BudgetExceeded => Ok(None),
         _ => Ok(Some(ok)),
@@ -214,11 +250,9 @@ mod tests {
     use ric_query::parse_cq;
 
     fn supt_ind_setting() -> Setting {
-        let schema = Schema::from_relations(vec![RelationSchema::infinite(
-            "Supt",
-            &["eid", "cid"],
-        )])
-        .unwrap();
+        let schema =
+            Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "cid"])])
+                .unwrap();
         let supt = schema.rel_id("Supt").unwrap();
         let mschema =
             Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
@@ -244,8 +278,7 @@ mod tests {
             for (e, c) in &tuples {
                 db.insert(supt, Tuple::new([Value::str(e), Value::str(c)]));
             }
-            let exact =
-                bounded_database_cq(&setting, &q, &db, &SearchBudget::default()).unwrap();
+            let exact = bounded_database_cq(&setting, &q, &db, &SearchBudget::default()).unwrap();
             let brute = brute_force_complete(&setting, &query, &db, 1, 12).unwrap();
             assert_eq!(exact, brute, "disagreement on db {db}");
         }

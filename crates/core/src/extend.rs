@@ -14,6 +14,7 @@ use crate::query::Query;
 use crate::setting::Setting;
 use crate::verdict::{RcError, Verdict};
 use ric_data::Database;
+use ric_telemetry::Probe;
 
 /// Outcome of the greedy completion loop.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -46,31 +47,74 @@ pub fn complete_extension(
     db: &Database,
     budget: &SearchBudget,
 ) -> Result<CompletionOutcome, RcError> {
+    complete_extension_probed(setting, query, db, budget, Probe::disabled())
+}
+
+/// [`complete_extension`] with a telemetry probe attached: reports the
+/// number of completion rounds, the tuples collected, and the outcome.
+pub fn complete_extension_probed(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+) -> Result<CompletionOutcome, RcError> {
+    let span = probe.span("extend.completion");
     let mut current = db.clone();
     let mut added = Database::with_relations(setting.schema.len());
     let mut first = true;
-    loop {
+    let mut rounds: u64 = 0;
+    let outcome = loop {
+        rounds += 1;
+        // The per-round decisions run unprobed: an unbounded query can take
+        // hundreds of rounds, and each round's counters would swamp the
+        // sink; rounds and collected tuples summarise the loop.
         match crate::rcdp(setting, query, &current, budget)? {
             Verdict::Complete => {
-                return Ok(if first {
+                break if first {
                     CompletionOutcome::AlreadyComplete
                 } else {
-                    CompletionOutcome::Completed { added, result: current }
-                });
+                    CompletionOutcome::Completed {
+                        added,
+                        result: current,
+                    }
+                };
             }
             Verdict::Incomplete(ce) => {
                 first = false;
                 added.union_with(&ce.delta).expect("same schema");
                 current.union_with(&ce.delta).expect("same schema");
                 if added.tuple_count() > budget.max_witness_tuples {
-                    return Ok(CompletionOutcome::Budget { added, partial: current });
+                    break CompletionOutcome::Budget {
+                        added,
+                        partial: current,
+                    };
                 }
             }
             Verdict::Unknown { .. } => {
-                return Ok(CompletionOutcome::Budget { added, partial: current });
+                break CompletionOutcome::Budget {
+                    added,
+                    partial: current,
+                };
             }
         }
+    };
+    drop(span);
+    probe.count("extend.rounds", rounds);
+    match &outcome {
+        CompletionOutcome::AlreadyComplete => {
+            probe.note("extend.outcome", || "already_complete".into());
+        }
+        CompletionOutcome::Completed { added, .. } => {
+            probe.count("extend.added_tuples", added.tuple_count() as u64);
+            probe.note("extend.outcome", || "completed".into());
+        }
+        CompletionOutcome::Budget { added, .. } => {
+            probe.count("extend.added_tuples", added.tuple_count() as u64);
+            probe.note("extend.outcome", || "budget".into());
+        }
     }
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -123,8 +167,7 @@ mod tests {
 
     #[test]
     fn already_complete_detected() {
-        let schema =
-            Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
+        let schema = Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
         let setting = Setting::open_world(schema.clone());
         let q: Query = parse_cq(&schema, "Q(X) :- R(X), X != X.").unwrap().into();
         let db = Database::empty(&schema);
@@ -138,12 +181,14 @@ mod tests {
     fn unbounded_query_hits_budget() {
         // Open world, no constraints: Q can never be completed; the loop must
         // stop at the budget rather than diverge.
-        let schema =
-            Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
+        let schema = Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
         let setting = Setting::open_world(schema.clone());
         let q: Query = parse_cq(&schema, "Q(X) :- R(X).").unwrap().into();
         let db = Database::empty(&schema);
-        let budget = SearchBudget { max_witness_tuples: 5, ..SearchBudget::default() };
+        let budget = SearchBudget {
+            max_witness_tuples: 5,
+            ..SearchBudget::default()
+        };
         match complete_extension(&setting, &q, &db, &budget).unwrap() {
             CompletionOutcome::Budget { added, .. } => {
                 assert!(added.tuple_count() > 5);

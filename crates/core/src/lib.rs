@@ -25,6 +25,17 @@
 //! Every positive verdict carries a checkable certificate: `Incomplete` holds
 //! a violating extension Δ with `(D ∪ Δ, D_m) |= V` and `Q(D ∪ Δ) ≠ Q(D)`;
 //! `Nonempty` holds a database that the RCDP decider certifies complete.
+//!
+//! ## Observability
+//!
+//! Every `Unknown` verdict carries a [`SearchStats`] naming the specific
+//! [`BudgetLimit`] that ended the search. For live insight into a running
+//! decision, the `*_probed` entry points ([`rcdp::rcdp_probed`],
+//! [`rcqp::rcqp_probed`], …) accept a [`ric_telemetry::Probe`]: attach a
+//! [`ric_telemetry::Collector`] to get counters (valuations enumerated,
+//! candidates built, CC checks, query evaluations), gauges (active-domain
+//! size, pool size), and per-phase span timings. The plain entry points
+//! delegate with a disabled probe, which costs one branch per emission site.
 
 pub mod adom;
 pub mod budget;
@@ -41,7 +52,7 @@ pub mod verdict;
 pub use adom::Adom;
 pub use budget::SearchBudget;
 pub use query::Query;
-pub use rcdp::rcdp;
-pub use rcqp::rcqp;
+pub use rcdp::{rcdp, rcdp_probed};
+pub use rcqp::{rcqp, rcqp_probed};
 pub use setting::Setting;
-pub use verdict::{CounterExample, QueryVerdict, RcError, Verdict};
+pub use verdict::{BudgetLimit, CounterExample, QueryVerdict, RcError, SearchStats, Verdict};

@@ -25,9 +25,11 @@ use crate::budget::{Meter, SearchBudget};
 use crate::query::Query;
 use crate::setting::Setting;
 use crate::valuations::{EnumOutcome, ValuationSpace};
-use crate::verdict::{CounterExample, RcError, Verdict};
-use ric_query::QueryLanguage;
+use crate::verdict::{BudgetLimit, CounterExample, RcError, SearchStats, Verdict};
 use ric_data::{Database, Tuple};
+use ric_query::QueryLanguage;
+use ric_telemetry::Probe;
+use std::cell::Cell;
 use std::collections::BTreeSet;
 
 /// Is the language exactly decidable by the Σᵖ₂ procedure?
@@ -50,14 +52,30 @@ pub fn rcdp(
     db: &Database,
     budget: &SearchBudget,
 ) -> Result<Verdict, RcError> {
+    rcdp_probed(setting, query, db, budget, Probe::disabled())
+}
+
+/// [`rcdp`] with a telemetry probe attached: reports the dispatch strategy,
+/// active-domain size, valuations enumerated, CC checks, query evaluations,
+/// per-phase wall time, and the outcome (see the crate-level Observability
+/// notes).
+pub fn rcdp_probed(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+) -> Result<Verdict, RcError> {
     validate_fp_bodies(setting, query)?;
     if !setting.partially_closed(db)? {
         return Err(RcError::NotPartiallyClosed);
     }
     if exactly_decidable(query.language()) && exactly_decidable(setting.v.language()) {
-        rcdp_exact(setting, query, db, budget)
+        probe.note("rcdp.strategy", || "exact".into());
+        rcdp_exact_probed(setting, query, db, budget, probe)
     } else {
-        crate::semidecide::rcdp_bounded(setting, query, db, budget)
+        probe.note("rcdp.strategy", || "bounded".into());
+        crate::semidecide::rcdp_bounded_probed(setting, query, db, budget, probe)
     }
 }
 
@@ -69,20 +87,42 @@ pub fn rcdp_exact(
     db: &Database,
     budget: &SearchBudget,
 ) -> Result<Verdict, RcError> {
+    rcdp_exact_probed(setting, query, db, budget, Probe::disabled())
+}
+
+/// [`rcdp_exact`] with a telemetry probe attached.
+pub fn rcdp_exact_probed(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+) -> Result<Verdict, RcError> {
     let ucq = query
         .as_ucq()
         .expect("exact RCDP requires a UCQ-expressible query");
     let tableaux = ucq.tableaux()?;
     if tableaux.is_empty() {
         // Unsatisfiable query: every partially closed database is complete.
+        probe.note("rcdp.outcome", || "complete".into());
         return Ok(Verdict::Complete);
     }
     let q_d: BTreeSet<Tuple> = query.eval(db)?;
-    let n_fresh = tableaux.iter().map(|t| t.n_vars as usize).max().unwrap_or(0).max(1);
+    probe.count("rcdp.query_evals", 1);
+    let n_fresh = tableaux
+        .iter()
+        .map(|t| t.n_vars as usize)
+        .max()
+        .unwrap_or(0)
+        .max(1);
     let adom = Adom::build(db, setting, query, n_fresh);
+    probe.gauge("rcdp.adom_size", adom.len() as u64);
     let is_ind = setting.v.is_ind_set();
     let mut meter = Meter::new(budget.max_valuations);
+    let cc_checks = Cell::new(0u64);
 
+    let span = probe.span("rcdp.enumerate");
+    let mut verdict = Verdict::Complete;
     for t in &tableaux {
         if !t.domain_consistent(&setting.schema) {
             // Constants outside finite domains: this disjunct matches no
@@ -92,7 +132,8 @@ pub fn rcdp_exact(
         let space = ValuationSpace::new(t, &setting.schema, &adom);
         let mut found: Option<CounterExample> = None;
         let head_terms = t.head.clone();
-        let outcome = space.for_each_valid_pruned(
+        let outcome = space.for_each_valid_pruned_probed(
+            probe,
             &mut meter,
             |binding| {
                 // Prune: if the candidate output tuple is already answered,
@@ -124,6 +165,7 @@ pub fn rcdp_exact(
                 };
                 // Upper bounds only: lower bounds hold on D and are
                 // preserved by extension (monotone bodies).
+                cc_checks.set(cc_checks.get() + 1);
                 setting
                     .v
                     .upper_satisfied(&candidate, &setting.dm)
@@ -131,6 +173,7 @@ pub fn rcdp_exact(
             },
             |mu| {
                 let delta = mu.instantiate(t, setting.schema.len());
+                cc_checks.set(cc_checks.get() + 1);
                 let closed = if is_ind {
                     // C3: INDs distribute over union, and D is partially
                     // closed, so checking Δ alone is equivalent and cheaper.
@@ -143,7 +186,10 @@ pub fn rcdp_exact(
                 if closed {
                     let new_answer = mu.head_tuple(t);
                     let added = delta.difference(db).expect("same schema");
-                    found = Some(CounterExample { delta: added, new_answer });
+                    found = Some(CounterExample {
+                        delta: added,
+                        new_answer,
+                    });
                     return std::ops::ControlFlow::Break(());
                 }
                 std::ops::ControlFlow::Continue(())
@@ -151,20 +197,40 @@ pub fn rcdp_exact(
         );
         match outcome {
             EnumOutcome::Stopped => {
-                return Ok(Verdict::Incomplete(found.expect("set before break")));
+                verdict = Verdict::Incomplete(found.expect("set before break"));
+                break;
             }
             EnumOutcome::BudgetExceeded => {
-                return Ok(Verdict::Unknown {
-                    searched: format!(
-                        "valuation budget of {} exhausted",
-                        budget.max_valuations
-                    ),
-                });
+                verdict = Verdict::unknown(
+                    SearchStats::new(
+                        BudgetLimit::MaxValuations,
+                        format!("valuation budget of {} exhausted", budget.max_valuations),
+                    )
+                    .with_valuations(meter.used()),
+                );
+                break;
             }
             EnumOutcome::Exhausted => {}
         }
     }
-    Ok(Verdict::Complete)
+    drop(span);
+    probe.count("rcdp.valuations", meter.used());
+    probe.count("rcdp.cc_checks", cc_checks.get());
+    emit_verdict(probe, &verdict);
+    Ok(verdict)
+}
+
+/// Emit the outcome note (and the exhausted limit, for `Unknown`) for an
+/// RCDP verdict.
+pub(crate) fn emit_verdict(probe: Probe<'_>, verdict: &Verdict) {
+    match verdict {
+        Verdict::Complete => probe.note("rcdp.outcome", || "complete".into()),
+        Verdict::Incomplete(_) => probe.note("rcdp.outcome", || "incomplete".into()),
+        Verdict::Unknown { stats } => {
+            probe.note("rcdp.outcome", || "unknown".into());
+            probe.note("rcdp.limit", || stats.limit.name().into());
+        }
+    }
 }
 
 /// Check a claimed counterexample: `(D ∪ Δ, D_m) |= V` and
@@ -176,7 +242,9 @@ pub fn certify_counterexample(
     db: &Database,
     ce: &CounterExample,
 ) -> Result<bool, RcError> {
-    let extended = db.union(&ce.delta).map_err(|_| RcError::NotPartiallyClosed)?;
+    let extended = db
+        .union(&ce.delta)
+        .map_err(|_| RcError::NotPartiallyClosed)?;
     if !setting.partially_closed(&extended)? {
         return Ok(false);
     }
@@ -235,8 +303,7 @@ mod tests {
 
     #[test]
     fn open_world_database_is_incomplete() {
-        let schema =
-            Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
+        let schema = Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
         let setting = Setting::open_world(schema.clone());
         let q: Query = parse_cq(&schema, "Q(X) :- R(X).").unwrap().into();
         let db = Database::empty(&schema);
@@ -297,8 +364,7 @@ mod tests {
 
     #[test]
     fn unsatisfiable_query_trivially_complete() {
-        let schema =
-            Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
+        let schema = Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
         let setting = Setting::open_world(schema.clone());
         let q: Query = parse_cq(&schema, "Q(X) :- R(X), X != X.").unwrap().into();
         let db = Database::empty(&schema);
@@ -313,7 +379,9 @@ mod tests {
         let schema =
             Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b", "c"])]).unwrap();
         let setting = Setting::open_world(schema.clone());
-        let q: Query = parse_cq(&schema, "Q(X, Y, Z) :- R(X, Y, Z).").unwrap().into();
+        let q: Query = parse_cq(&schema, "Q(X, Y, Z) :- R(X, Y, Z).")
+            .unwrap()
+            .into();
         let db = Database::empty(&schema);
         let tiny = SearchBudget {
             max_valuations: 0,
@@ -343,7 +411,9 @@ mod tests {
             Database::with_relations(0),
             v,
         );
-        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).")
+            .unwrap()
+            .into();
         // k = 2 customers already supported: complete.
         let mut db = Database::empty(&schema);
         db.insert(supt, t3("e0", "d", "c1"));
@@ -378,7 +448,9 @@ mod tests {
             Database::with_relations(0),
             v,
         );
-        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).")
+            .unwrap()
+            .into();
 
         let empty = Database::empty(&schema);
         let verdict = rcdp(&setting, &q, &empty, &SearchBudget::default()).unwrap();

@@ -40,10 +40,12 @@ use crate::extend::{complete_extension, CompletionOutcome};
 use crate::query::Query;
 use crate::setting::Setting;
 use crate::valuations::{EnumOutcome, ValuationSpace};
-use crate::verdict::{QueryVerdict, RcError, Verdict};
+use crate::verdict::{BudgetLimit, QueryVerdict, RcError, SearchStats, Verdict};
 use ric_data::{Database, RelId, Tuple, Value};
 use ric_query::tableau::Tableau;
 use ric_query::{QueryLanguage, Term};
+use ric_telemetry::Probe;
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::ControlFlow;
 
@@ -64,18 +66,62 @@ pub fn rcqp(
     query: &Query,
     budget: &SearchBudget,
 ) -> Result<QueryVerdict, RcError> {
+    rcqp_probed(setting, query, budget, Probe::disabled())
+}
+
+/// [`rcqp`] with a telemetry probe attached: reports the dispatch strategy,
+/// candidate-pool sizes, valuations and candidates examined, per-phase wall
+/// time, and the outcome (see the crate-level Observability notes).
+pub fn rcqp_probed(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+) -> Result<QueryVerdict, RcError> {
+    let verdict = rcqp_inner(setting, query, budget, probe)?;
+    emit_query_verdict(probe, &verdict);
+    Ok(verdict)
+}
+
+/// Emit the outcome note (and the exhausted limit, for `Unknown`) for an
+/// RCQP verdict.
+pub(crate) fn emit_query_verdict(probe: Probe<'_>, verdict: &QueryVerdict) {
+    match verdict {
+        QueryVerdict::Nonempty { witness } => {
+            probe.note("rcqp.outcome", || "nonempty".into());
+            if let Some(w) = witness {
+                probe.gauge("rcqp.witness_tuples", w.tuple_count() as u64);
+            }
+        }
+        QueryVerdict::Empty => probe.note("rcqp.outcome", || "empty".into()),
+        QueryVerdict::Unknown { stats } => {
+            probe.note("rcqp.outcome", || "unknown".into());
+            probe.note("rcqp.limit", || stats.limit.name().into());
+        }
+    }
+}
+
+fn rcqp_inner(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+) -> Result<QueryVerdict, RcError> {
     if !(exactly_decidable(query.language()) && exactly_decidable(setting.v.language())) {
-        return crate::semidecide::rcqp_bounded(setting, query, budget);
+        probe.note("rcqp.strategy", || "bounded".into());
+        // The caller (rcqp_probed) emits the outcome note, so route through
+        // the note-free inner variant of the bounded search.
+        return crate::semidecide::rcqp_bounded_inner(setting, query, budget, probe);
     }
     // Lower-bound constraints (the Section 5 extension) force minimal
     // content into every candidate database; build that seed first. With no
     // lower bounds the seed is the empty database.
     let Some(seed) = lower_bound_seed(setting) else {
-        return Ok(QueryVerdict::Unknown {
-            searched: "lower-bound constraints with non-projection bodies are not \
-                       supported by the RCQP search"
-                .to_string(),
-        });
+        return Ok(QueryVerdict::unknown(SearchStats::new(
+            BudgetLimit::Unsupported,
+            "lower-bound constraints with non-projection bodies are not \
+             supported by the RCQP search",
+        )));
     };
     if !setting.partially_closed(&seed)? {
         // With no lower bounds the seed is empty and, by monotonicity of the
@@ -85,27 +131,34 @@ pub fn rcqp(
         return Ok(if setting.v.lower_bounds.is_empty() {
             QueryVerdict::Empty
         } else {
-            QueryVerdict::Unknown {
-                searched: "the lower-bound seed database violates the upper bounds"
-                    .to_string(),
-            }
+            QueryVerdict::unknown(SearchStats::new(
+                BudgetLimit::Unsupported,
+                "the lower-bound seed database violates the upper bounds",
+            ))
         });
     }
-    let ucq = query.as_ucq().expect("decidable languages are UCQ-expressible");
+    let ucq = query
+        .as_ucq()
+        .expect("decidable languages are UCQ-expressible");
     let tableaux = ucq.tableaux()?;
     if tableaux.is_empty() {
         // Unsatisfiable query: the seed database is complete.
-        return Ok(QueryVerdict::Nonempty { witness: Some(seed) });
+        return Ok(QueryVerdict::Nonempty {
+            witness: Some(seed),
+        });
     }
     // E1/E5: all head variables finite — trivially relatively complete.
     if crate::characterize::finite_head(&ucq, &setting.schema)? {
+        probe.note("rcqp.strategy", || "finite_head".into());
         let witness = greedy_witness(setting, query, &seed, budget, budget.max_witness_tuples)?;
         return Ok(QueryVerdict::Nonempty { witness });
     }
     if setting.v.is_ind_set() {
-        rcqp_ind(setting, query, &seed, &tableaux, budget)
+        probe.note("rcqp.strategy", || "ind".into());
+        rcqp_ind(setting, query, &seed, &tableaux, budget, probe)
     } else {
-        rcqp_general(setting, query, &seed, &tableaux, budget)
+        probe.note("rcqp.strategy", || "general".into());
+        rcqp_general(setting, query, &seed, &tableaux, budget, probe)
     }
 }
 
@@ -126,14 +179,20 @@ fn lower_bound_seed(setting: &Setting) -> Option<Database> {
         fresh.observe(&v);
     }
     for lb in &setting.v.lower_bounds {
-        let ric_constraints::CcBody::Proj(proj) = &lb.body else { return None };
+        let ric_constraints::CcBody::Proj(proj) = &lb.body else {
+            return None;
+        };
         let arity = setting.schema.arity(proj.rel).ok()?;
         for m in lb.master.eval(&setting.dm) {
             let mut fields: Vec<Option<Value>> = vec![None; arity];
             for (i, &col) in proj.cols.iter().enumerate() {
                 fields[col] = Some(m.get(i).clone());
             }
-            let tuple = Tuple::new(fields.into_iter().map(|f| f.unwrap_or_else(|| fresh.fresh())));
+            let tuple = Tuple::new(
+                fields
+                    .into_iter()
+                    .map(|f| f.unwrap_or_else(|| fresh.fresh())),
+            );
             db.insert(proj.rel, tuple);
         }
     }
@@ -149,7 +208,10 @@ fn greedy_witness(
     budget: &SearchBudget,
     max_tuples: usize,
 ) -> Result<Option<Database>, RcError> {
-    let capped = SearchBudget { max_witness_tuples: max_tuples, ..*budget };
+    let capped = SearchBudget {
+        max_witness_tuples: max_tuples,
+        ..*budget
+    };
     Ok(match complete_extension(setting, query, seed, &capped)? {
         CompletionOutcome::AlreadyComplete => Some(seed.clone()),
         CompletionOutcome::Completed { result, .. } => Some(result),
@@ -164,11 +226,19 @@ fn rcqp_ind(
     seed: &Database,
     tableaux: &[Tableau],
     budget: &SearchBudget,
+    probe: Probe<'_>,
 ) -> Result<QueryVerdict, RcError> {
-    let n_fresh = tableaux.iter().map(|t| t.n_vars as usize).max().unwrap_or(0).max(1);
+    let n_fresh = tableaux
+        .iter()
+        .map(|t| t.n_vars as usize)
+        .max()
+        .unwrap_or(0)
+        .max(1);
     let empty = Database::empty(&setting.schema);
     let adom = Adom::build(&empty, setting, query, n_fresh);
+    probe.gauge("rcqp.adom_size", adom.len() as u64);
     let mut meter = Meter::new(budget.max_valuations);
+    let span = probe.span("rcqp.blockedness");
     for t in tableaux {
         if !t.domain_consistent(&setting.schema) {
             continue; // blocked: matches no valid tuple at all
@@ -176,7 +246,8 @@ fn rcqp_ind(
         // Is the disjunct blocked — no valid valuation with (μ(T), D_m) |= V?
         let space = ValuationSpace::new(t, &setting.schema, &adom);
         let mut has_valid = false;
-        let outcome = space.for_each_valid_pruned(
+        let outcome = space.for_each_valid_pruned_probed(
+            probe,
             &mut meter,
             |_| true,
             |binding| {
@@ -190,7 +261,10 @@ fn rcqp_ind(
                 for (rel, tuple) in bound {
                     delta.insert(rel, tuple);
                 }
-                setting.v.upper_satisfied(&delta, &setting.dm).expect("IND bodies never error")
+                setting
+                    .v
+                    .upper_satisfied(&delta, &setting.dm)
+                    .expect("IND bodies never error")
             },
             |_mu| {
                 // The partial filter already validated the full instantiation.
@@ -199,9 +273,15 @@ fn rcqp_ind(
             },
         );
         if outcome == EnumOutcome::BudgetExceeded {
-            return Ok(QueryVerdict::Unknown {
-                searched: format!("valuation budget of {} exhausted", budget.max_valuations),
-            });
+            drop(span);
+            probe.count("rcqp.valuations", meter.used());
+            return Ok(QueryVerdict::unknown(
+                SearchStats::new(
+                    BudgetLimit::MaxValuations,
+                    format!("valuation budget of {} exhausted", budget.max_valuations),
+                )
+                .with_valuations(meter.used()),
+            ));
         }
         if !has_valid {
             continue; // blocked
@@ -209,10 +289,16 @@ fn rcqp_ind(
         if !crate::characterize::ind_bounded(t, &setting.schema, setting) {
             // An unblocked, unbounded disjunct: fresh head values can always
             // be injected, so no database is ever complete.
+            drop(span);
+            probe.count("rcqp.valuations", meter.used());
             return Ok(QueryVerdict::Empty);
         }
     }
+    drop(span);
+    probe.count("rcqp.valuations", meter.used());
+    let greedy_span = probe.span("rcqp.greedy_witness");
     let witness = greedy_witness(setting, query, seed, budget, budget.max_witness_tuples)?;
+    drop(greedy_span);
     Ok(QueryVerdict::Nonempty { witness })
 }
 
@@ -236,20 +322,29 @@ fn candidate_pool(
 ) -> Result<Vec<PoolEntry>, RcError> {
     let mut pool: BTreeMap<(RelId, Tuple), BTreeSet<Value>> = BTreeMap::new();
     for cc in &setting.v.ccs {
-        let Some(ucq) = cc.body.as_ucq(&setting.schema) else { continue };
+        let Some(ucq) = cc.body.as_ucq(&setting.schema) else {
+            continue;
+        };
         for t in ucq.tableaux()? {
             let doms = t.var_domains(&setting.schema);
             let head_vars = t.head_vars();
             for atom in &t.atoms {
                 let mut binding: BTreeMap<u32, Value> = BTreeMap::new();
-                instantiate_atom(atom, &doms, values, 0, &mut binding, &mut |tuple, binding| {
-                    let bound: BTreeSet<Value> = atom
-                        .vars()
-                        .filter(|v| head_vars.contains(v))
-                        .map(|v| binding[&v.0].clone())
-                        .collect();
-                    pool.entry((atom.rel, tuple)).or_default().extend(bound);
-                });
+                instantiate_atom(
+                    atom,
+                    &doms,
+                    values,
+                    0,
+                    &mut binding,
+                    &mut |tuple, binding| {
+                        let bound: BTreeSet<Value> = atom
+                            .vars()
+                            .filter(|v| head_vars.contains(v))
+                            .map(|v| binding[&v.0].clone())
+                            .collect();
+                        pool.entry((atom.rel, tuple)).or_default().extend(bound);
+                    },
+                );
             }
         }
     }
@@ -364,7 +459,9 @@ fn fresh_escape(setting: &Setting, t: &Tableau) -> Result<bool, RcError> {
 
     // Can any CC body match the generic tuples?
     for cc in &setting.v.ccs {
-        let Some(ucq) = cc.body.as_ucq(&setting.schema) else { return Ok(false) };
+        let Some(ucq) = cc.body.as_ucq(&setting.schema) else {
+            return Ok(false);
+        };
         let rhs: BTreeSet<Tuple> = match &cc.rhs {
             ric_constraints::CcRhs::Empty => BTreeSet::new(),
             ric_constraints::CcRhs::Master(p) => p.eval(&setting.dm),
@@ -373,7 +470,15 @@ fn fresh_escape(setting: &Setting, t: &Tableau) -> Result<bool, RcError> {
             let mut binding: Vec<Option<Value>> = vec![None; body.n_vars as usize];
             let mut d_tainted: Vec<bool> = vec![false; body.n_vars as usize];
             if hybrid_match(
-                &body, 0, &mu, &fresh_vals, &rhs, false, false, &mut binding, &mut d_tainted,
+                &body,
+                0,
+                &mu,
+                &fresh_vals,
+                &rhs,
+                false,
+                false,
+                &mut binding,
+                &mut d_tainted,
             ) {
                 return Ok(false);
             }
@@ -394,7 +499,10 @@ fn assign_finite(
     if assignment[var].is_some() {
         return assign_finite(t, doms, var + 1, assignment);
     }
-    let dom = doms[var].as_ref().expect("only finite vars unassigned").clone();
+    let dom = doms[var]
+        .as_ref()
+        .expect("only finite vars unassigned")
+        .clone();
     for val in dom {
         assignment[var] = Some(val);
         if neqs_ok(t, assignment, false) && assign_finite(t, doms, var + 1, assignment) {
@@ -499,7 +607,15 @@ fn hybrid_match(
         let matched = ok
             && neqs_ok(body, binding, false)
             && hybrid_match(
-                body, atom_idx + 1, generic, fresh, rhs, any_d_atom, true, binding, d_tainted,
+                body,
+                atom_idx + 1,
+                generic,
+                fresh,
+                rhs,
+                any_d_atom,
+                true,
+                binding,
+                d_tainted,
             );
         for i in newly {
             binding[i] = None;
@@ -529,7 +645,15 @@ fn hybrid_match(
             }
         }
         let matched = hybrid_match(
-            body, atom_idx + 1, generic, fresh, rhs, true, used_generic, binding, d_tainted,
+            body,
+            atom_idx + 1,
+            generic,
+            fresh,
+            rhs,
+            true,
+            used_generic,
+            binding,
+            d_tainted,
         );
         for i in newly_tainted {
             d_tainted[i] = false;
@@ -548,24 +672,33 @@ fn rcqp_general(
     seed: &Database,
     tableaux: &[Tableau],
     budget: &SearchBudget,
+    probe: Probe<'_>,
 ) -> Result<QueryVerdict, RcError> {
     // Sound emptiness fast path: a disjunct whose generic instantiation
     // escapes every constraint dooms all candidate databases.
-    for t in tableaux {
-        if fresh_escape(setting, t)? {
-            return Ok(QueryVerdict::Empty);
+    {
+        let _span = probe.span("rcqp.fresh_escape");
+        for t in tableaux {
+            if fresh_escape(setting, t)? {
+                return Ok(QueryVerdict::Empty);
+            }
         }
     }
     // Fast path: a greedy completion from the seed often succeeds for
     // queries whose witnesses answer the query (e.g. full-key FDs).
-    if let Some(witness) = greedy_witness(
-        setting,
-        query,
-        seed,
-        budget,
-        GREEDY_PROBE_TUPLES.min(budget.max_witness_tuples),
-    )? {
-        return Ok(QueryVerdict::Nonempty { witness: Some(witness) });
+    {
+        let _span = probe.span("rcqp.greedy_witness");
+        if let Some(witness) = greedy_witness(
+            setting,
+            query,
+            seed,
+            budget,
+            GREEDY_PROBE_TUPLES.min(budget.max_witness_tuples),
+        )? {
+            return Ok(QueryVerdict::Nonempty {
+                witness: Some(witness),
+            });
+        }
     }
     // Fresh pool for candidate tuples. The paper's small-model bound may
     // need as many fresh values as the largest constraint tableau has
@@ -582,6 +715,7 @@ fn rcqp_general(
     let n_fresh = budget.fresh_values.max(1);
     let pool_is_exact = n_fresh >= needed_fresh;
     let adom = Adom::build(seed, setting, query, n_fresh);
+    probe.gauge("rcqp.adom_size", adom.len() as u64);
     let mut values = adom.constants.clone();
     values.extend(adom.fresh.iter().cloned());
     // Estimate the pool before materialising it: Σ |values|^{vars per atom}.
@@ -599,12 +733,13 @@ fn rcqp_general(
         }
     }
     if estimate > MAX_POOL {
-        return Ok(QueryVerdict::Unknown {
-            searched: format!(
+        return Ok(QueryVerdict::unknown(SearchStats::new(
+            BudgetLimit::PoolBound,
+            format!(
                 "estimated candidate pool of {estimate} tuples exceeds the searchable bound \
                  of {MAX_POOL}"
             ),
-        });
+        )));
     }
     let mut pool = candidate_pool(setting, tableaux, &values)?;
 
@@ -637,12 +772,17 @@ fn rcqp_general(
             }
         }
     }
-    let inert: Vec<bool> = pool.iter().map(|e| !multi_atom_rels.contains(&e.rel)).collect();
+    let inert: Vec<bool> = pool
+        .iter()
+        .map(|e| !multi_atom_rels.contains(&e.rel))
+        .collect();
 
+    probe.gauge("rcqp.pool_size", pool.len() as u64);
 
     // Enumerate maximal V-consistent subsets of the pool; E2 is monotone in
     // D_𝒱, so checking maximal subsets decides ∃𝒱.E2.
     let mut meter = Meter::new(budget.max_candidates);
+    let e2_checks = Cell::new(0u64);
     let q_cqs = match query.as_ucq() {
         Some(u) => u.disjuncts,
         None => unreachable!("dispatch guarantees UCQ-expressible"),
@@ -650,6 +790,7 @@ fn rcqp_general(
     let mut chosen: Vec<usize> = Vec::new();
     let mut current = seed.clone();
     let mut result: Option<Database> = None;
+    let span = probe.span("rcqp.e2_search");
     let outcome = maximal_subsets(
         setting,
         &pool,
@@ -666,6 +807,7 @@ fn rcqp_general(
                 .flat_map(|&i| pool[i].bound.iter().cloned())
                 .collect();
             for cq in &q_cqs {
+                e2_checks.set(e2_checks.get() + 1);
                 match crate::characterize::e2_check(setting, cq, db, &bound, budget)? {
                     Some(true) => {}
                     _ => return Ok(false),
@@ -675,31 +817,45 @@ fn rcqp_general(
         },
         &mut result,
     )?;
+    drop(span);
+    probe.count("rcqp.candidates", meter.used());
+    probe.count("rcqp.e2_checks", e2_checks.get());
     match outcome {
         MaxOutcome::Found => {
             let witness = result.expect("Found sets the result");
             // Certify the witness with the RCDP decider; E2 guarantees
             // nonemptiness (Proposition 4.2), the certificate is a bonus.
+            let _span = probe.span("rcqp.certify_witness");
             let certified = matches!(
                 crate::rcdp::rcdp_exact(setting, query, &witness, budget)?,
                 Verdict::Complete
             );
-            Ok(QueryVerdict::Nonempty { witness: certified.then_some(witness) })
+            Ok(QueryVerdict::Nonempty {
+                witness: certified.then_some(witness),
+            })
         }
         MaxOutcome::Exhausted if pool_is_exact => Ok(QueryVerdict::Empty),
-        MaxOutcome::Exhausted => Ok(QueryVerdict::Unknown {
-            searched: format!(
-                "no E2 witness over a fresh pool of {n_fresh} value(s); emptiness would need \
-                 {needed_fresh} (raise SearchBudget::fresh_values for an exact verdict)"
-            ),
-        }),
-        MaxOutcome::Budget => Ok(QueryVerdict::Unknown {
-            searched: format!(
-                "candidate budget of {} exhausted over a pool of {} tuples",
-                budget.max_candidates,
-                pool.len()
-            ),
-        }),
+        MaxOutcome::Exhausted => Ok(QueryVerdict::unknown(
+            SearchStats::new(
+                BudgetLimit::FreshValues,
+                format!(
+                    "no E2 witness over a fresh pool of {n_fresh} value(s); emptiness would \
+                     need {needed_fresh} (raise SearchBudget::fresh_values for an exact verdict)"
+                ),
+            )
+            .with_candidates(meter.used()),
+        )),
+        MaxOutcome::Budget => Ok(QueryVerdict::unknown(
+            SearchStats::new(
+                BudgetLimit::MaxCandidates,
+                format!(
+                    "candidate budget of {} exhausted over a pool of {} tuples",
+                    budget.max_candidates,
+                    pool.len()
+                ),
+            )
+            .with_candidates(meter.used()),
+        )),
     }
 }
 
@@ -756,7 +912,15 @@ fn maximal_subsets(
     if setting.partially_closed(&extended)? {
         chosen.push(idx);
         let out = maximal_subsets(
-            setting, pool, inert, idx + 1, chosen, &mut extended, meter, check, result,
+            setting,
+            pool,
+            inert,
+            idx + 1,
+            chosen,
+            &mut extended,
+            meter,
+            check,
+            result,
         )?;
         chosen.pop();
         if out != MaxOutcome::Exhausted {
@@ -772,7 +936,17 @@ fn maximal_subsets(
     if already {
         return Ok(MaxOutcome::Exhausted);
     }
-    maximal_subsets(setting, pool, inert, idx + 1, chosen, current, meter, check, result)
+    maximal_subsets(
+        setting,
+        pool,
+        inert,
+        idx + 1,
+        chosen,
+        current,
+        meter,
+        check,
+        result,
+    )
 }
 
 #[cfg(test)]
@@ -783,8 +957,11 @@ mod tests {
     use ric_query::parse_cq;
 
     fn supt_schema() -> Schema {
-        Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "dept", "cid"])])
-            .unwrap()
+        Schema::from_relations(vec![RelationSchema::infinite(
+            "Supt",
+            &["eid", "dept", "cid"],
+        )])
+        .unwrap()
     }
 
     /// A query over a completely open-world database can never be complete.
@@ -792,7 +969,9 @@ mod tests {
     fn open_world_query_is_not_relatively_complete() {
         let schema = supt_schema();
         let setting = Setting::open_world(schema.clone());
-        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).")
+            .unwrap()
+            .into();
         assert_eq!(
             rcqp(&setting, &q, &SearchBudget::default()).unwrap(),
             QueryVerdict::Empty
@@ -818,7 +997,9 @@ mod tests {
             vec![0],
         )]);
         let setting = Setting::new(schema.clone(), mschema, dm, v);
-        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).")
+            .unwrap()
+            .into();
         match rcqp(&setting, &q, &SearchBudget::default()).unwrap() {
             QueryVerdict::Nonempty { witness: Some(w) } => {
                 assert_eq!(
@@ -842,10 +1023,20 @@ mod tests {
         let supt = schema.rel_id("Supt").unwrap();
         let fd = ric_constraints::Fd::new(supt, vec![0], vec![1]); // eid → dept
         let v = ConstraintSet::new(ric_constraints::compile::fd_to_ccs(&fd, &schema));
-        let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
+        let setting = Setting::new(
+            schema.clone(),
+            Schema::new(),
+            Database::with_relations(0),
+            v,
+        );
         // Q4 (projected): employees paired with dept d0, for eid = e0.
-        let q: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.").unwrap().into();
-        let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
+        let q: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.")
+            .unwrap()
+            .into();
+        let budget = SearchBudget {
+            fresh_values: 3,
+            ..SearchBudget::default()
+        };
         match rcqp(&setting, &q, &budget).unwrap() {
             QueryVerdict::Nonempty { witness } => {
                 if let Some(w) = witness {
@@ -871,11 +1062,19 @@ mod tests {
         let supt = schema.rel_id("Supt").unwrap();
         let fd = ric_constraints::Fd::new(supt, vec![0], vec![1]); // eid → dept
         let v = ConstraintSet::new(ric_constraints::compile::fd_to_ccs(&fd, &schema));
-        let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
+        let setting = Setting::new(
+            schema.clone(),
+            Schema::new(),
+            Database::with_relations(0),
+            v,
+        );
         let q: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0').").unwrap().into();
         // The FD tableau has 3 variables; give the pool that many fresh
         // values so the exhausted search is paper-exact (Empty, not Unknown).
-        let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
+        let budget = SearchBudget {
+            fresh_values: 3,
+            ..SearchBudget::default()
+        };
         assert_eq!(rcqp(&setting, &q, &budget).unwrap(), QueryVerdict::Empty);
     }
 
@@ -888,8 +1087,15 @@ mod tests {
         let supt = schema.rel_id("Supt").unwrap();
         let fd = ric_constraints::Fd::new(supt, vec![0], vec![1, 2]);
         let v = ConstraintSet::new(ric_constraints::compile::fd_to_ccs(&fd, &schema));
-        let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
-        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+        let setting = Setting::new(
+            schema.clone(),
+            Schema::new(),
+            Database::with_relations(0),
+            v,
+        );
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).")
+            .unwrap()
+            .into();
         match rcqp(&setting, &q, &SearchBudget::default()).unwrap() {
             QueryVerdict::Nonempty { witness: Some(w) } => {
                 assert_eq!(
@@ -906,7 +1112,10 @@ mod tests {
     fn finite_head_is_relatively_complete() {
         let schema = Schema::from_relations(vec![RelationSchema::new(
             "B",
-            vec![ric_data::Attribute::boolean("x"), ric_data::Attribute::new("y")],
+            vec![
+                ric_data::Attribute::boolean("x"),
+                ric_data::Attribute::new("y"),
+            ],
         )])
         .unwrap();
         let setting = Setting::open_world(schema.clone());
@@ -929,7 +1138,9 @@ mod tests {
     fn unsatisfiable_query_nonempty() {
         let schema = supt_schema();
         let setting = Setting::open_world(schema.clone());
-        let q: Query = parse_cq(&schema, "Q(C) :- Supt(E, D, C), C != C.").unwrap().into();
+        let q: Query = parse_cq(&schema, "Q(C) :- Supt(E, D, C), C != C.")
+            .unwrap()
+            .into();
         match rcqp(&setting, &q, &SearchBudget::default()).unwrap() {
             QueryVerdict::Nonempty { witness: Some(w) } => assert!(w.is_all_empty()),
             other => panic!("expected nonempty with empty witness, got {other:?}"),
@@ -946,13 +1157,24 @@ mod tests {
         let supt = schema.rel_id("Supt").unwrap();
         let denial = ric_constraints::classical::at_most_k_per_key(supt, 0, 1, 2, 2);
         let v = ConstraintSet::new(vec![ric_constraints::compile::denial_to_cc(&denial)]);
-        let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
+        let setting = Setting::new(
+            schema.clone(),
+            Schema::new(),
+            Database::with_relations(0),
+            v,
+        );
         let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', C).").unwrap().into();
-        let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
+        let budget = SearchBudget {
+            fresh_values: 3,
+            ..SearchBudget::default()
+        };
         match rcqp(&setting, &q, &budget).unwrap() {
             QueryVerdict::Nonempty { witness } => {
                 if let Some(w) = witness {
-                    assert_eq!(crate::rcdp(&setting, &q, &w, &budget).unwrap(), Verdict::Complete);
+                    assert_eq!(
+                        crate::rcdp(&setting, &q, &w, &budget).unwrap(),
+                        Verdict::Complete
+                    );
                 }
             }
             other => panic!("expected nonempty, got {other:?}"),

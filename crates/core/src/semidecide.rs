@@ -19,8 +19,10 @@ use crate::adom::Adom;
 use crate::budget::{Meter, SearchBudget};
 use crate::query::Query;
 use crate::setting::Setting;
-use crate::verdict::{CounterExample, QueryVerdict, RcError, Verdict};
+use crate::verdict::{BudgetLimit, CounterExample, QueryVerdict, RcError, SearchStats, Verdict};
 use ric_data::{Database, RelId, Tuple, Value};
+use ric_telemetry::Probe;
+use std::cell::Cell;
 
 /// Upper bound on the materialised candidate pool; beyond it the bounded
 /// searches report `Unknown` instead of exhausting memory.
@@ -100,22 +102,53 @@ pub fn rcdp_bounded(
     db: &Database,
     budget: &SearchBudget,
 ) -> Result<Verdict, RcError> {
+    rcdp_bounded_probed(setting, query, db, budget, Probe::disabled())
+}
+
+/// [`rcdp_bounded`] with a telemetry probe attached.
+pub fn rcdp_bounded_probed(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+) -> Result<Verdict, RcError> {
+    let verdict = rcdp_bounded_inner(setting, query, db, budget, probe)?;
+    crate::rcdp::emit_verdict(probe, &verdict);
+    Ok(verdict)
+}
+
+fn rcdp_bounded_inner(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+) -> Result<Verdict, RcError> {
     let q_d = query.eval(db)?;
+    let query_evals = Cell::new(1u64);
+    let cc_checks = Cell::new(0u64);
     let adom = Adom::build(db, setting, query, budget.fresh_values);
     let mut values = adom.constants.clone();
     values.extend(adom.fresh.iter().cloned());
+    probe.gauge("semidecide.adom_size", values.len() as u64);
     if pool_estimate(setting, values.len()) > MAX_POOL {
-        return Ok(Verdict::Unknown {
-            searched: format!(
+        probe.count("semidecide.query_evals", query_evals.get());
+        return Ok(Verdict::unknown(SearchStats::new(
+            BudgetLimit::PoolBound,
+            format!(
                 "candidate tuple space exceeds {MAX_POOL} over {} values; \
                  narrow the schema or shrink the database",
                 values.len()
             ),
-        });
+        )));
     }
     let pool = tuple_pool(setting, db, &values);
+    probe.gauge("semidecide.pool_size", pool.len() as u64);
     let mut meter = Meter::new(budget.max_candidates);
 
+    let span = probe.span("semidecide.extension_search");
+    let mut verdict = None;
     for size in 1..=budget.max_delta_tuples.min(pool.len()) {
         let mut chosen: Vec<usize> = Vec::with_capacity(size);
         let found = choose(
@@ -131,10 +164,12 @@ pub fn rcdp_bounded(
                     delta.insert(*rel, t.clone());
                 }
                 let extended = db.union(&delta).expect("same schema");
+                cc_checks.set(cc_checks.get() + 1);
                 if !setting.partially_closed(&extended)? {
                     return Ok(None);
                 }
                 let q_after = query.eval(&extended)?;
+                query_evals.set(query_evals.get() + 1);
                 if q_after != q_d {
                     // For non-monotone L_Q an addition can also *remove*
                     // answers; report any distinguishing tuple.
@@ -149,27 +184,46 @@ pub fn rcdp_bounded(
             },
         )?;
         match found {
-            ChooseOutcome::Found(ce) => return Ok(Verdict::Incomplete(ce)),
+            ChooseOutcome::Found(ce) => {
+                verdict = Some(Verdict::Incomplete(ce));
+                break;
+            }
             ChooseOutcome::Budget => {
-                return Ok(Verdict::Unknown {
-                    searched: format!(
-                        "bounded search: candidate budget {} exhausted at extension size {size}",
-                        budget.max_candidates
-                    ),
-                })
+                verdict = Some(Verdict::unknown(
+                    SearchStats::new(
+                        BudgetLimit::MaxCandidates,
+                        format!(
+                            "bounded search: candidate budget {} exhausted at extension \
+                             size {size}",
+                            budget.max_candidates
+                        ),
+                    )
+                    .with_candidates(meter.used()),
+                ));
+                break;
             }
             ChooseOutcome::Exhausted => {}
         }
     }
-    Ok(Verdict::Unknown {
-        searched: format!(
-            "bounded search: no violating extension with ≤ {} tuple(s) over {} candidate tuple(s) \
-             ({} fresh value(s))",
-            budget.max_delta_tuples.min(pool.len()),
-            pool.len(),
-            budget.fresh_values
-        ),
-    })
+    drop(span);
+    probe.count("semidecide.candidates", meter.used());
+    probe.count("semidecide.cc_checks", cc_checks.get());
+    probe.count("semidecide.query_evals", query_evals.get());
+    Ok(verdict.unwrap_or_else(|| {
+        Verdict::unknown(
+            SearchStats::new(
+                BudgetLimit::MaxDeltaTuples,
+                format!(
+                    "bounded search: no violating extension with ≤ {} tuple(s) over {} \
+                     candidate tuple(s) ({} fresh value(s))",
+                    budget.max_delta_tuples.min(pool.len()),
+                    pool.len(),
+                    budget.fresh_values
+                ),
+            )
+            .with_candidates(meter.used()),
+        )
+    }))
 }
 
 enum ChooseOutcome {
@@ -217,20 +271,47 @@ pub fn rcqp_bounded(
     query: &Query,
     budget: &SearchBudget,
 ) -> Result<QueryVerdict, RcError> {
+    rcqp_bounded_probed(setting, query, budget, Probe::disabled())
+}
+
+/// [`rcqp_bounded`] with a telemetry probe attached.
+pub fn rcqp_bounded_probed(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+) -> Result<QueryVerdict, RcError> {
+    let verdict = rcqp_bounded_inner(setting, query, budget, probe)?;
+    crate::rcqp::emit_query_verdict(probe, &verdict);
+    Ok(verdict)
+}
+
+pub(crate) fn rcqp_bounded_inner(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+) -> Result<QueryVerdict, RcError> {
     let empty = Database::empty(&setting.schema);
     let adom = Adom::build(&empty, setting, query, budget.fresh_values);
     let mut values = adom.constants.clone();
     values.extend(adom.fresh.iter().cloned());
+    probe.gauge("semidecide.adom_size", values.len() as u64);
     if pool_estimate(setting, values.len()) > MAX_POOL {
-        return Ok(QueryVerdict::Unknown {
-            searched: format!("candidate tuple space exceeds {MAX_POOL}"),
-        });
+        return Ok(QueryVerdict::unknown(SearchStats::new(
+            BudgetLimit::PoolBound,
+            format!("candidate tuple space exceeds {MAX_POOL}"),
+        )));
     }
     let pool = tuple_pool(setting, &empty, &values);
+    probe.gauge("semidecide.pool_size", pool.len() as u64);
     let mut meter = Meter::new(budget.max_candidates);
+    let cc_checks = Cell::new(0u64);
 
+    let span = probe.span("semidecide.candidate_search");
+    let mut verdict = None;
     let max_size = budget.max_delta_tuples.min(pool.len());
-    for size in 0..=max_size {
+    'sizes: for size in 0..=max_size {
         let mut chosen: Vec<usize> = Vec::with_capacity(size);
         let mut survivor: Option<Database> = None;
         let outcome = choose(
@@ -245,9 +326,13 @@ pub fn rcqp_bounded(
                     let (rel, t) = &pool[i];
                     db.insert(*rel, t.clone());
                 }
+                cc_checks.set(cc_checks.get() + 1);
                 if !setting.partially_closed(&db)? {
                     return Ok(None);
                 }
+                // The per-candidate refutation runs unprobed: thousands of
+                // candidates would flood the sink with inner-search events;
+                // the outer meter already accounts for the work.
                 if let Verdict::Unknown { .. } = rcdp_bounded(setting, query, &db, budget)? {
                     // No refutation within bound: treat as a survivor and
                     // abuse the Found channel to stop the search.
@@ -263,29 +348,45 @@ pub fn rcqp_bounded(
         match outcome {
             ChooseOutcome::Found(_) => {
                 let db = survivor.expect("set before found");
-                return Ok(QueryVerdict::Unknown {
-                    searched: format!(
-                        "undecidable combination: candidate with {} tuple(s) not refuted within \
-                         extension bound {} (evidence only)",
-                        db.tuple_count(),
-                        budget.max_delta_tuples
-                    ),
-                });
+                verdict = Some(QueryVerdict::unknown(
+                    SearchStats::new(
+                        BudgetLimit::MaxDeltaTuples,
+                        format!(
+                            "undecidable combination: candidate with {} tuple(s) not refuted \
+                             within extension bound {} (evidence only)",
+                            db.tuple_count(),
+                            budget.max_delta_tuples
+                        ),
+                    )
+                    .with_candidates(meter.used()),
+                ));
+                break 'sizes;
             }
             ChooseOutcome::Budget => {
-                return Ok(QueryVerdict::Unknown {
-                    searched: "candidate budget exhausted".to_string(),
-                })
+                verdict = Some(QueryVerdict::unknown(
+                    SearchStats::new(BudgetLimit::MaxCandidates, "candidate budget exhausted")
+                        .with_candidates(meter.used()),
+                ));
+                break 'sizes;
             }
             ChooseOutcome::Exhausted => {}
         }
     }
-    Ok(QueryVerdict::Unknown {
-        searched: format!(
-            "undecidable combination: every candidate database with ≤ {max_size} tuple(s) was \
-             refuted within the extension bound"
-        ),
-    })
+    drop(span);
+    probe.count("semidecide.candidates", meter.used());
+    probe.count("semidecide.cc_checks", cc_checks.get());
+    Ok(verdict.unwrap_or_else(|| {
+        QueryVerdict::unknown(
+            SearchStats::new(
+                BudgetLimit::MaxDeltaTuples,
+                format!(
+                    "undecidable combination: every candidate database with ≤ {max_size} \
+                     tuple(s) was refuted within the extension bound"
+                ),
+            )
+            .with_candidates(meter.used()),
+        )
+    }))
 }
 
 #[cfg(test)]
@@ -306,8 +407,12 @@ mod tests {
         // bounded search certifies this.
         let schema = edge_schema();
         let setting = Setting::open_world(schema.clone());
-        let p = parse_program(&schema, "Tc(X,Y) :- E(X,Y). Tc(X,Y) :- E(X,Z), Tc(Z,Y).", "Tc")
-            .unwrap();
+        let p = parse_program(
+            &schema,
+            "Tc(X,Y) :- E(X,Y). Tc(X,Y) :- E(X,Z), Tc(Z,Y).",
+            "Tc",
+        )
+        .unwrap();
         let q: Query = p.into();
         let db = Database::empty(&schema);
         let verdict = crate::rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap();
@@ -342,7 +447,12 @@ mod tests {
         let v = ConstraintSet::new(vec![ric_constraints::ContainmentConstraint::into_empty(
             ric_constraints::CcBody::Cq(block),
         )]);
-        let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
+        let setting = Setting::new(
+            schema.clone(),
+            Schema::new(),
+            Database::with_relations(0),
+            v,
+        );
         let db = Database::empty(&schema);
         let verdict = crate::rcdp(&setting, &Query::Fo(fo), &db, &SearchBudget::small()).unwrap();
         match verdict {
@@ -372,8 +482,13 @@ mod tests {
         let setting = Setting::open_world(schema.clone());
         let mut db = Database::empty(&schema);
         db.insert(e, Tuple::new([Value::int(1), Value::int(2)]));
-        let verdict =
-            crate::rcdp(&setting, &Query::Fo(fo.clone()), &db, &SearchBudget::default()).unwrap();
+        let verdict = crate::rcdp(
+            &setting,
+            &Query::Fo(fo.clone()),
+            &db,
+            &SearchBudget::default(),
+        )
+        .unwrap();
         match verdict {
             Verdict::Incomplete(ce) => {
                 // The distinguishing tuple is the unit tuple leaving the
@@ -405,8 +520,12 @@ mod tests {
     fn rcqp_bounded_reports_unknown_with_evidence() {
         let schema = edge_schema();
         let setting = Setting::open_world(schema.clone());
-        let p = parse_program(&schema, "Tc(X,Y) :- E(X,Y). Tc(X,Y) :- E(X,Z), Tc(Z,Y).", "Tc")
-            .unwrap();
+        let p = parse_program(
+            &schema,
+            "Tc(X,Y) :- E(X,Y). Tc(X,Y) :- E(X,Z), Tc(Z,Y).",
+            "Tc",
+        )
+        .unwrap();
         let verdict = rcqp_bounded(&setting, &Query::Fp(p), &SearchBudget::small()).unwrap();
         match verdict {
             QueryVerdict::Unknown { .. } => {}

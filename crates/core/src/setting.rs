@@ -30,7 +30,12 @@ impl Setting {
             master_schema.len(),
             "master data must have one instance per master relation"
         );
-        Setting { schema, master_schema, dm, v }
+        Setting {
+            schema,
+            master_schema,
+            dm,
+            v,
+        }
     }
 
     /// A setting with no master data and no constraints: the pure open-world
@@ -57,8 +62,7 @@ mod tests {
 
     #[test]
     fn open_world_accepts_everything() {
-        let schema =
-            Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
+        let schema = Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
         let setting = Setting::open_world(schema.clone());
         let mut db = Database::empty(&schema);
         db.insert(schema.rel_id("R").unwrap(), Tuple::new([Value::int(1)]));
@@ -70,6 +74,11 @@ mod tests {
     fn master_mismatch_panics() {
         let schema = Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
         let m = Schema::from_relations(vec![RelationSchema::infinite("M", &["a"])]).unwrap();
-        let _ = Setting::new(schema, m, Database::with_relations(2), ConstraintSet::empty());
+        let _ = Setting::new(
+            schema,
+            m,
+            Database::with_relations(2),
+            ConstraintSet::empty(),
+        );
     }
 }

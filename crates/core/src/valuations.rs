@@ -19,6 +19,7 @@ use crate::budget::Meter;
 use ric_data::{Schema, Value};
 use ric_query::tableau::{Tableau, Valuation};
 use ric_query::Term;
+use ric_telemetry::Probe;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
@@ -75,7 +76,13 @@ impl<'a> ValuationSpace<'a> {
             }
         }
         let head_prefix = head.len();
-        ValuationSpace { tableau, adom, cands, order, head_prefix }
+        ValuationSpace {
+            tableau,
+            adom,
+            cands,
+            order,
+            head_prefix,
+        }
     }
 
     /// Number of variables.
@@ -98,7 +105,15 @@ impl<'a> ValuationSpace<'a> {
         let mut binding: Vec<Option<Value>> = vec![None; self.n_vars()];
         let mut no_prune = |_: &[Option<Value>]| true;
         // Special case: no variables at all — one (empty) valuation.
-        self.rec(0, 0, &mut binding, meter, &mut head_filter, &mut no_prune, &mut visit)
+        self.rec(
+            0,
+            0,
+            &mut binding,
+            meter,
+            &mut head_filter,
+            &mut no_prune,
+            &mut visit,
+        )
     }
 
     /// Like [`Self::for_each_valid`], with an additional `partial_filter`
@@ -116,12 +131,42 @@ impl<'a> ValuationSpace<'a> {
         mut visit: impl FnMut(&Valuation) -> ControlFlow<()>,
     ) -> EnumOutcome {
         let mut binding: Vec<Option<Value>> = vec![None; self.n_vars()];
-        self.rec(0, 0, &mut binding, meter, &mut head_filter, &mut partial_filter, &mut visit)
+        self.rec(
+            0,
+            0,
+            &mut binding,
+            meter,
+            &mut head_filter,
+            &mut partial_filter,
+            &mut visit,
+        )
+    }
+
+    /// Like [`Self::for_each_valid_pruned`], reporting the run to `probe`:
+    /// the assignments tried (metered ticks) as `valuations.assignments` and
+    /// the wall time as the `valuations.enumerate` span.
+    pub fn for_each_valid_pruned_probed(
+        &self,
+        probe: Probe<'_>,
+        meter: &mut Meter,
+        head_filter: impl FnMut(&[Option<Value>]) -> bool,
+        partial_filter: impl FnMut(&[Option<Value>]) -> bool,
+        visit: impl FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> EnumOutcome {
+        let before = meter.used();
+        let span = probe.span("valuations.enumerate");
+        let outcome = self.for_each_valid_pruned(meter, head_filter, partial_filter, visit);
+        drop(span);
+        probe.count("valuations.assignments", meter.used() - before);
+        outcome
     }
 
     /// The tuples of `μ(T_Q)` whose atoms are fully bound under a partial
     /// binding (constants-only atoms always qualify).
-    pub fn bound_atoms(&self, binding: &[Option<Value>]) -> Vec<(ric_data::RelId, ric_data::Tuple)> {
+    pub fn bound_atoms(
+        &self,
+        binding: &[Option<Value>],
+    ) -> Vec<(ric_data::RelId, ric_data::Tuple)> {
         let mut out = Vec::new();
         'atoms: for atom in &self.tableau.atoms {
             let mut fields = Vec::with_capacity(atom.args.len());
@@ -177,7 +222,11 @@ impl<'a> ValuationSpace<'a> {
                 // use, or introduce exactly the next unused one.
                 let limit = (fresh_used + 1).min(self.adom.fresh.len());
                 for (i, v) in self.adom.fresh[..limit].iter().enumerate() {
-                    let next = if i == fresh_used { fresh_used + 1 } else { fresh_used };
+                    let next = if i == fresh_used {
+                        fresh_used + 1
+                    } else {
+                        fresh_used
+                    };
                     out.push((v.clone(), next));
                 }
                 out
@@ -189,7 +238,15 @@ impl<'a> ValuationSpace<'a> {
             }
             binding[var] = Some(value);
             let outcome = if self.neqs_consistent(binding) && partial_filter(binding) {
-                self.rec(depth + 1, next_fresh, binding, meter, head_filter, partial_filter, visit)
+                self.rec(
+                    depth + 1,
+                    next_fresh,
+                    binding,
+                    meter,
+                    head_filter,
+                    partial_filter,
+                    visit,
+                )
             } else {
                 EnumOutcome::Exhausted
             };
@@ -204,12 +261,12 @@ impl<'a> ValuationSpace<'a> {
 
     /// Are the tableau inequalities consistent with the partial binding?
     fn neqs_consistent(&self, binding: &[Option<Value>]) -> bool {
-        self.tableau.neqs.iter().all(|(l, r)| {
-            match (term_val(l, binding), term_val(r, binding)) {
+        self.tableau.neqs.iter().all(
+            |(l, r)| match (term_val(l, binding), term_val(r, binding)) {
                 (Some(a), Some(b)) => a != b,
                 _ => true,
-            }
-        })
+            },
+        )
     }
 }
 
@@ -283,8 +340,7 @@ mod tests {
 
     #[test]
     fn symmetry_breaking_collapses_fresh_permutations() {
-        let s =
-            Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+        let s = Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
         let q = parse_cq(&s, "Q(X, Y) :- R(X, Y), X != Y.").unwrap();
         let t = ric_query::Tableau::of(&q).unwrap();
         let adom = adom_for(&s, &q, 3);
@@ -307,8 +363,7 @@ mod tests {
 
     #[test]
     fn head_filter_prunes() {
-        let s =
-            Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+        let s = Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
         let q = parse_cq(&s, "Q(X) :- R(X, Y).").unwrap();
         let t = ric_query::Tableau::of(&q).unwrap();
         let adom = adom_for(&s, &q, 2);
@@ -329,8 +384,7 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_reported() {
-        let s =
-            Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+        let s = Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
         let q = parse_cq(&s, "Q(X, Y) :- R(X, Y).").unwrap();
         let t = ric_query::Tableau::of(&q).unwrap();
         let adom = adom_for(&s, &q, 3);
@@ -342,8 +396,7 @@ mod tests {
 
     #[test]
     fn early_stop_reported() {
-        let s =
-            Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+        let s = Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
         let q = parse_cq(&s, "Q(X, Y) :- R(X, Y).").unwrap();
         let t = ric_query::Tableau::of(&q).unwrap();
         let adom = adom_for(&s, &q, 3);

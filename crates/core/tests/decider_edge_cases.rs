@@ -51,12 +51,9 @@ fn boolean_query_lifecycle() {
 fn ucq_with_unsatisfiable_disjunct() {
     let schema = open_schema();
     let setting = Setting::open_world(schema.clone());
-    let u: Query = parse_ucq(
-        &schema,
-        "Q(X) :- R(X, Y), X != X. Q(X) :- R(X, 1).",
-    )
-    .unwrap()
-    .into();
+    let u: Query = parse_ucq(&schema, "Q(X) :- R(X, Y), X != X. Q(X) :- R(X, 1).")
+        .unwrap()
+        .into();
     let db = Database::empty(&schema);
     let verdict = rcdp(&setting, &u, &db, &SearchBudget::default()).unwrap();
     assert!(verdict.is_incomplete(), "the live disjunct is open world");
@@ -111,13 +108,20 @@ fn efo_query_exact_dispatch() {
 /// wrong `Empty`.
 #[test]
 fn rcqp_budget_exhaustion_is_honest() {
-    let schema = Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "dept"])])
-        .unwrap();
+    let schema =
+        Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "dept"])]).unwrap();
     let supt = schema.rel_id("Supt").unwrap();
     let fd = ric_constraints::Fd::new(supt, vec![0], vec![1]);
     let v = ConstraintSet::new(ric_constraints::compile::fd_to_ccs(&fd, &schema));
-    let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
-    let q: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.").unwrap().into();
+    let setting = Setting::new(
+        schema.clone(),
+        Schema::new(),
+        Database::with_relations(0),
+        v,
+    );
+    let q: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.")
+        .unwrap()
+        .into();
     let tiny = SearchBudget {
         fresh_values: 3,
         max_candidates: 1,
@@ -137,7 +141,8 @@ fn completion_path_stays_partially_closed() {
     let schema =
         Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "cid"])]).unwrap();
     let supt = schema.rel_id("Supt").unwrap();
-    let mschema = Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
+    let mschema =
+        Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
     let dcust = mschema.rel_id("DCust").unwrap();
     let mut dm = Database::empty(&mschema);
     for c in 0..4 {
@@ -180,8 +185,14 @@ fn master_projection_subset_columns() {
         Schema::from_relations(vec![RelationSchema::infinite("Wide", &["k", "x", "y"])]).unwrap();
     let wide = mschema.rel_id("Wide").unwrap();
     let mut dm = Database::empty(&mschema);
-    dm.insert(wide, Tuple::new([Value::int(1), Value::int(10), Value::int(20)]));
-    dm.insert(wide, Tuple::new([Value::int(2), Value::int(30), Value::int(40)]));
+    dm.insert(
+        wide,
+        Tuple::new([Value::int(1), Value::int(10), Value::int(20)]),
+    );
+    dm.insert(
+        wide,
+        Tuple::new([Value::int(2), Value::int(30), Value::int(40)]),
+    );
     let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
         CcBody::Proj(Projection::new(t, vec![0])),
         wide,

@@ -51,7 +51,9 @@ fn hierarchy_setting() -> Setting {
 fn databases_missing_master_edges_are_not_partially_closed() {
     let setting = hierarchy_setting();
     let manage = setting.schema.rel_id("Manage").unwrap();
-    let q: Query = parse_cq(&setting.schema, "Q(X) :- Manage(X, 'e0').").unwrap().into();
+    let q: Query = parse_cq(&setting.schema, "Q(X) :- Manage(X, 'e0').")
+        .unwrap()
+        .into();
 
     // Missing the master hierarchy: rejected as input.
     let empty = Database::empty(&setting.schema);
@@ -70,9 +72,7 @@ fn databases_missing_master_edges_are_not_partially_closed() {
     // e3 (a master employee not yet in Manage) could still manage e0.
     match verdict {
         Verdict::Incomplete(ce) => {
-            assert!(
-                ric_complete::rcdp::certify_counterexample(&setting, &q, &db, &ce).unwrap()
-            );
+            assert!(ric_complete::rcdp::certify_counterexample(&setting, &q, &db, &ce).unwrap());
         }
         other => panic!("expected incomplete, got {other:?}"),
     }
@@ -90,7 +90,9 @@ fn databases_missing_master_edges_are_not_partially_closed() {
 #[test]
 fn rcqp_seeds_candidates_with_the_forced_content() {
     let setting = hierarchy_setting();
-    let q: Query = parse_cq(&setting.schema, "Q(X) :- Manage(X, 'e0').").unwrap().into();
+    let q: Query = parse_cq(&setting.schema, "Q(X) :- Manage(X, 'e0').")
+        .unwrap()
+        .into();
     match rcqp(&setting, &q, &SearchBudget::default()).unwrap() {
         QueryVerdict::Nonempty { witness: Some(w) } => {
             // The witness contains the forced master hierarchy…
@@ -124,8 +126,7 @@ fn lower_bound_satisfaction_is_preserved_under_extension() {
 
 #[test]
 fn non_projection_lower_bound_reports_unknown_for_rcqp() {
-    let schema =
-        Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+    let schema = Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
     let r = schema.rel_id("R").unwrap();
     let mschema = Schema::from_relations(vec![RelationSchema::infinite("M", &["a"])]).unwrap();
     let m = mschema.rel_id("M").unwrap();

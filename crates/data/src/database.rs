@@ -92,7 +92,9 @@ impl Instance {
 
     /// Build from tuples.
     pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Self {
-        Instance { tuples: tuples.into_iter().collect() }
+        Instance {
+            tuples: tuples.into_iter().collect(),
+        }
     }
 
     /// Insert a tuple; returns whether it was new.
@@ -158,12 +160,16 @@ pub struct Database {
 impl Database {
     /// The empty database over a schema with `n` relations.
     pub fn empty(schema: &Schema) -> Self {
-        Database { instances: vec![Instance::new(); schema.len()] }
+        Database {
+            instances: vec![Instance::new(); schema.len()],
+        }
     }
 
     /// The empty database over `n` relations (schema-free construction).
     pub fn with_relations(n: usize) -> Self {
-        Database { instances: vec![Instance::new(); n] }
+        Database {
+            instances: vec![Instance::new(); n],
+        }
     }
 
     /// Number of relations.
@@ -206,11 +212,19 @@ impl Database {
     ) -> Result<bool, DataError> {
         let rel = schema.relation(id)?;
         if t.arity() != rel.arity() {
-            return Err(DataError::ArityMismatch { rel: id, expected: rel.arity(), got: t.arity() });
+            return Err(DataError::ArityMismatch {
+                rel: id,
+                expected: rel.arity(),
+                got: t.arity(),
+            });
         }
         for (col, (v, a)) in t.iter().zip(rel.attributes.iter()).enumerate() {
             if !a.domain.admits(v) {
-                return Err(DataError::DomainViolation { rel: id, col, value: v.to_string() });
+                return Err(DataError::DomainViolation {
+                    rel: id,
+                    col,
+                    value: v.to_string(),
+                });
             }
         }
         Ok(self.instances[id.0].insert(t))
@@ -261,7 +275,12 @@ impl Database {
             return Err(DataError::SchemaMismatch);
         }
         let mut out = Database::with_relations(self.instances.len());
-        for (i, (mine, theirs)) in self.instances.iter().zip(other.instances.iter()).enumerate() {
+        for (i, (mine, theirs)) in self
+            .instances
+            .iter()
+            .zip(other.instances.iter())
+            .enumerate()
+        {
             for t in mine.iter() {
                 if !theirs.contains(t) {
                     out.instances[i].insert(t.clone());
@@ -286,7 +305,10 @@ impl Database {
 
     /// Iterate `(RelId, &Instance)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (RelId, &Instance)> {
-        self.instances.iter().enumerate().map(|(i, inst)| (RelId(i), inst))
+        self.instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (RelId(i), inst))
     }
 }
 

@@ -50,10 +50,16 @@ impl fmt::Display for DataError {
                 write!(f, "column {col} out of range for {rel} (arity {arity})")
             }
             DataError::ArityMismatch { rel, expected, got } => {
-                write!(f, "arity mismatch for {rel}: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "arity mismatch for {rel}: expected {expected}, got {got}"
+                )
             }
             DataError::DomainViolation { rel, col, value } => {
-                write!(f, "value {value} outside the finite domain of {rel} column {col}")
+                write!(
+                    f,
+                    "value {value} outside the finite domain of {rel} column {col}"
+                )
             }
             DataError::SchemaMismatch => write!(f, "databases are over different schemas"),
         }

@@ -11,7 +11,9 @@
 //! * [`Tuple`], [`Instance`], [`Database`] — instances with set semantics,
 //!   the containment order `D ⊆ D′`, and extension construction;
 //! * [`FreshValues`] — allocation of values guaranteed not to occur in any of
-//!   the inputs, used to build the `New` part of `Adom` (Section 3.2).
+//!   the inputs, used to build the `New` part of `Adom` (Section 3.2);
+//! * [`SplitMix64`] — a small deterministic PRNG for workload generation
+//!   (the workspace builds offline, so there is no `rand` dependency).
 //!
 //! Everything here is deliberately simple and allocation-conscious: tuples are
 //! boxed slices, instances are ordered sets (deterministic iteration makes the
@@ -20,11 +22,13 @@
 pub mod database;
 pub mod error;
 pub mod fresh;
+pub mod rng;
 pub mod schema;
 pub mod value;
 
 pub use database::{Database, Instance, Tuple};
 pub use error::DataError;
 pub use fresh::FreshValues;
+pub use rng::SplitMix64;
 pub use schema::{Attribute, DomainKind, RelId, RelationSchema, Schema};
 pub use value::Value;

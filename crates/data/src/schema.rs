@@ -75,17 +75,26 @@ pub struct Attribute {
 impl Attribute {
     /// An attribute over the infinite domain.
     pub fn new(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), domain: DomainKind::Infinite }
+        Attribute {
+            name: name.into(),
+            domain: DomainKind::Infinite,
+        }
     }
 
     /// An attribute over an explicit finite domain.
     pub fn finite(name: impl Into<String>, values: impl IntoIterator<Item = Value>) -> Self {
-        Attribute { name: name.into(), domain: DomainKind::finite(values) }
+        Attribute {
+            name: name.into(),
+            domain: DomainKind::finite(values),
+        }
     }
 
     /// A Boolean attribute.
     pub fn boolean(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), domain: DomainKind::boolean() }
+        Attribute {
+            name: name.into(),
+            domain: DomainKind::boolean(),
+        }
     }
 }
 
@@ -101,7 +110,10 @@ pub struct RelationSchema {
 impl RelationSchema {
     /// Build a relation schema.
     pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Self {
-        RelationSchema { name: name.into(), attributes }
+        RelationSchema {
+            name: name.into(),
+            attributes,
+        }
     }
 
     /// Convenience: all attributes over the infinite domain.
@@ -165,17 +177,25 @@ impl Schema {
 
     /// Look up a relation schema by id.
     pub fn relation(&self, id: RelId) -> Result<&RelationSchema, DataError> {
-        self.relations.get(id.0).ok_or(DataError::UnknownRelation(id))
+        self.relations
+            .get(id.0)
+            .ok_or(DataError::UnknownRelation(id))
     }
 
     /// Look up a relation id by name.
     pub fn rel_id(&self, name: &str) -> Option<RelId> {
-        self.relations.iter().position(|r| r.name == name).map(RelId)
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .map(RelId)
     }
 
     /// Iterate `(RelId, &RelationSchema)` pairs in declaration order.
     pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationSchema)> {
-        self.relations.iter().enumerate().map(|(i, r)| (RelId(i), r))
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i), r))
     }
 
     /// Arity of a relation.
@@ -189,7 +209,11 @@ impl Schema {
         rel.attributes
             .get(col)
             .map(|a| &a.domain)
-            .ok_or(DataError::ColumnOutOfRange { rel: id, col, arity: rel.arity() })
+            .ok_or(DataError::ColumnOutOfRange {
+                rel: id,
+                col,
+                arity: rel.arity(),
+            })
     }
 }
 
@@ -200,10 +224,7 @@ mod tests {
     fn sample() -> Schema {
         Schema::from_relations(vec![
             RelationSchema::infinite("Supt", &["eid", "dept", "cid"]),
-            RelationSchema::new(
-                "Flag",
-                vec![Attribute::boolean("b"), Attribute::new("x")],
-            ),
+            RelationSchema::new("Flag", vec![Attribute::boolean("b"), Attribute::new("x")]),
         ])
         .unwrap()
     }

@@ -96,11 +96,21 @@ mod tests {
 
     #[test]
     fn values_order_deterministically() {
-        let mut v = vec![Value::str("b"), Value::int(2), Value::str("a"), Value::int(1)];
+        let mut v = vec![
+            Value::str("b"),
+            Value::int(2),
+            Value::str("a"),
+            Value::int(1),
+        ];
         v.sort();
         assert_eq!(
             v,
-            vec![Value::int(1), Value::int(2), Value::str("a"), Value::str("b")]
+            vec![
+                Value::int(1),
+                Value::int(2),
+                Value::str("a"),
+                Value::str("b")
+            ]
         );
     }
 

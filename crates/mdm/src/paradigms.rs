@@ -10,7 +10,10 @@
 //!    bottleneck ([`needs_master_expansion`]).
 
 use ric_complete::extend::{complete_extension, CompletionOutcome};
-use ric_complete::{rcdp, rcqp, Query, QueryVerdict, RcError, SearchBudget, Setting, Verdict};
+use ric_complete::{
+    rcdp, rcqp, BudgetLimit, Query, QueryVerdict, RcError, SearchBudget, SearchStats, Setting,
+    Verdict,
+};
 use ric_data::Database;
 
 /// Outcome of paradigm 1: can the answer to the query be trusted?
@@ -26,8 +29,8 @@ pub enum Assessment {
     },
     /// The decision procedure ran out of budget.
     Inconclusive {
-        /// What was searched.
-        searched: String,
+        /// Which budget limit stopped the search, and how far it got.
+        stats: SearchStats,
     },
 }
 
@@ -41,7 +44,7 @@ pub fn assess(
     Ok(match rcdp(setting, query, db, budget)? {
         Verdict::Complete => Assessment::Trustworthy,
         Verdict::Incomplete(ce) => Assessment::Untrustworthy { example_gap: ce },
-        Verdict::Unknown { searched } => Assessment::Inconclusive { searched },
+        Verdict::Unknown { stats } => Assessment::Inconclusive { stats },
     })
 }
 
@@ -60,8 +63,8 @@ pub enum Guidance {
     ExpandMasterData,
     /// Budget exhausted before a decision.
     Inconclusive {
-        /// What was searched.
-        searched: String,
+        /// Which budget limit stopped the search, and how far it got.
+        stats: SearchStats,
     },
 }
 
@@ -75,8 +78,8 @@ pub fn guide_collection(
     // Is completion possible at all?
     match rcqp(setting, query, budget)? {
         QueryVerdict::Empty => return Ok(Guidance::ExpandMasterData),
-        QueryVerdict::Unknown { searched } => {
-            return Ok(Guidance::Inconclusive { searched });
+        QueryVerdict::Unknown { stats } => {
+            return Ok(Guidance::Inconclusive { stats });
         }
         QueryVerdict::Nonempty { .. } => {}
     }
@@ -84,7 +87,7 @@ pub fn guide_collection(
         CompletionOutcome::AlreadyComplete => Guidance::AlreadyComplete,
         CompletionOutcome::Completed { added, .. } => Guidance::Collect { missing: added },
         CompletionOutcome::Budget { .. } => Guidance::Inconclusive {
-            searched: "completion budget exhausted".to_string(),
+            stats: SearchStats::new(BudgetLimit::MaxWitnessTuples, "completion budget exhausted"),
         },
     })
 }
@@ -107,11 +110,10 @@ pub fn needs_master_expansion(
 mod tests {
     use super::*;
     use crate::scenario::{CrmScenario, ScenarioParams};
-    use rand::SeedableRng;
-    use ric_data::{Tuple, Value};
+    use ric_data::{SplitMix64, Tuple, Value};
 
     fn scenario() -> CrmScenario {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::seed_from_u64(9);
         CrmScenario::generate(
             ScenarioParams {
                 n_domestic: 4,
@@ -182,7 +184,7 @@ mod tests {
         // then "customers of e0" is completable and guidance lists the
         // missing master customers.
         use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint, Projection};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut rng = SplitMix64::seed_from_u64(13);
         let sc = CrmScenario::generate(
             ScenarioParams {
                 n_domestic: 3,

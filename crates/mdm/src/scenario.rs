@@ -21,11 +21,9 @@
 //!   also materialises the master edges so the database starts partially
 //!   closed.
 
-use rand::prelude::IndexedRandom;
-use rand::Rng;
 use ric_complete::{Query, Setting};
 use ric_constraints::{classical, compile, CcBody, ConstraintSet, ContainmentConstraint};
-use ric_data::{Database, RelationSchema, Schema, Tuple, Value};
+use ric_data::{Database, RelationSchema, Schema, SplitMix64, Tuple, Value};
 use ric_query::{parse_cq, parse_program};
 
 /// Shape of a generated CRM scenario.
@@ -94,7 +92,7 @@ impl CrmScenario {
     /// Build a randomized scenario. The generated database is partially
     /// closed by construction (assignments for the `e0` focus employee are
     /// drawn from master customers only).
-    pub fn generate(params: ScenarioParams, rng: &mut impl Rng) -> CrmScenario {
+    pub fn generate(params: ScenarioParams, rng: &mut SplitMix64) -> CrmScenario {
         let schema = Self::schema();
         let mschema = Self::master_schema();
         let cust = schema.rel_id("Cust").unwrap();
@@ -122,7 +120,10 @@ impl CrmScenario {
             edges.push((e, e + 1));
             dm.insert(
                 manage_m,
-                Tuple::new([Value::str(format!("e{e}")), Value::str(format!("e{}", e + 1))]),
+                Tuple::new([
+                    Value::str(format!("e{e}")),
+                    Value::str(format!("e{}", e + 1)),
+                ]),
             );
         }
 
@@ -153,8 +154,9 @@ impl CrmScenario {
         // Operational database.
         let mut db = Database::empty(&schema);
         let domestic: Vec<String> = (0..params.n_domestic).map(|c| format!("c{c}")).collect();
-        let international: Vec<String> =
-            (0..params.n_international).map(|c| format!("i{c}")).collect();
+        let international: Vec<String> = (0..params.n_international)
+            .map(|c| format!("i{c}"))
+            .collect();
         for (i, c) in domestic.iter().chain(international.iter()).enumerate() {
             let is_domestic = i < domestic.len();
             db.insert(
@@ -176,9 +178,9 @@ impl CrmScenario {
                 continue;
             }
             let c = if rng.random_bool(0.7) {
-                domestic.choose(rng).cloned()
+                rng.choose(&domestic).cloned()
             } else {
-                international.choose(rng).cloned()
+                rng.choose(&international).cloned()
             };
             let Some(c) = c else { continue };
             per_emp[e].insert(c.clone());
@@ -199,14 +201,21 @@ impl CrmScenario {
                 Tuple::new([Value::str(format!("e{a}")), Value::str(format!("e{b}"))]),
             );
         }
-        CrmScenario { setting, db, params }
+        CrmScenario {
+            setting,
+            db,
+            params,
+        }
     }
 
     /// `Q0`: all customers based in area code 908 (Section 2.3 paradigm 1).
     pub fn q0(&self) -> Query {
-        parse_cq(&self.setting.schema, "Q(C) :- Cust(C, N, Cc, A, P), A = 908.")
-            .expect("fixed query")
-            .into()
+        parse_cq(
+            &self.setting.schema,
+            "Q(C) :- Cust(C, N, Cc, A, P), A = 908.",
+        )
+        .expect("fixed query")
+        .into()
     }
 
     /// `Q0′`: all customers, domestic or international (paradigm 3 — no
@@ -261,13 +270,15 @@ impl CrmScenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn generated_scenarios_are_partially_closed() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         for at_most_k in [None, Some(2)] {
-            let params = ScenarioParams { at_most_k, ..ScenarioParams::default() };
+            let params = ScenarioParams {
+                at_most_k,
+                ..ScenarioParams::default()
+            };
             let sc = CrmScenario::generate(params, &mut rng);
             assert!(sc.setting.partially_closed(&sc.db).unwrap());
         }
@@ -275,9 +286,16 @@ mod tests {
 
     #[test]
     fn queries_evaluate() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::seed_from_u64(2);
         let sc = CrmScenario::generate(ScenarioParams::default(), &mut rng);
-        for q in [sc.q0(), sc.q0_prime(), sc.q1(), sc.q2(), sc.q3_datalog(), sc.q3_cq_two_hops()] {
+        for q in [
+            sc.q0(),
+            sc.q0_prime(),
+            sc.q1(),
+            sc.q2(),
+            sc.q3_datalog(),
+            sc.q3_cq_two_hops(),
+        ] {
             let _ = q.eval(&sc.db).unwrap();
         }
         // Q0' sees every customer.
@@ -287,8 +305,12 @@ mod tests {
 
     #[test]
     fn at_most_k_caps_support_lists() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let params = ScenarioParams { at_most_k: Some(1), n_support: 30, ..Default::default() };
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let params = ScenarioParams {
+            at_most_k: Some(1),
+            n_support: 30,
+            ..Default::default()
+        };
         let sc = CrmScenario::generate(params, &mut rng);
         let supt = sc.setting.schema.rel_id("Supt").unwrap();
         let mut per_emp: std::collections::BTreeMap<Value, usize> = Default::default();

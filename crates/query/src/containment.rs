@@ -153,10 +153,16 @@ mod tests {
         let e = s.rel_id("E").unwrap();
         let mut b1 = Cq::builder();
         let y = b1.var("y");
-        let q1 = b1.atom(e, vec![T::from(1), T::Var(y)]).head_vars(vec![y]).build();
+        let q1 = b1
+            .atom(e, vec![T::from(1), T::Var(y)])
+            .head_vars(vec![y])
+            .build();
         let mut b2 = Cq::builder();
         let y2 = b2.var("y");
-        let q2 = b2.atom(e, vec![T::from(2), T::Var(y2)]).head_vars(vec![y2]).build();
+        let q2 = b2
+            .atom(e, vec![T::from(2), T::Var(y2)])
+            .head_vars(vec![y2])
+            .build();
         assert!(!contained_in(&q1, &q2, s.len()).unwrap());
         let mut b3 = Cq::builder();
         let (x3, y3) = (b3.var("x"), b3.var("y"));

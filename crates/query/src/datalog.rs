@@ -86,7 +86,10 @@ impl Program {
         for (ri, rule) in self.rules.iter().enumerate() {
             // Arities of IDB literals and the head.
             if rule.head_args.len() != self.arities[rule.head.0] {
-                return Err(ProgramError::ArityMismatch { rule: ri, pred: rule.head });
+                return Err(ProgramError::ArityMismatch {
+                    rule: ri,
+                    pred: rule.head,
+                });
             }
             for lit in &rule.body {
                 if let Literal::Idb(p, args) = lit {
@@ -102,9 +105,7 @@ impl Program {
             for lit in &rule.body {
                 match lit {
                     Literal::Edb(a) => positive.extend(a.vars()),
-                    Literal::Idb(_, args) => {
-                        positive.extend(args.iter().filter_map(Term::as_var))
-                    }
+                    Literal::Idb(_, args) => positive.extend(args.iter().filter_map(Term::as_var)),
                     _ => {}
                 }
             }
@@ -163,10 +164,7 @@ impl Program {
     /// Evaluate the program on a database with a semi-naive fixpoint; returns
     /// the output predicate's tuples.
     pub fn eval(&self, db: &Database) -> BTreeSet<Tuple> {
-        self.eval_all(db)[self.output.0]
-            .iter()
-            .cloned()
-            .collect()
+        self.eval_all(db)[self.output.0].iter().cloned().collect()
     }
 
     /// Evaluate and return every IDB instance (useful for debugging and for
@@ -197,7 +195,9 @@ impl Program {
                     .filter_map(|(i, l)| matches!(l, Literal::Idb(..)).then_some(i))
                     .collect();
                 for &pos in &idb_positions {
-                    let Literal::Idb(p, _) = &rule.body[pos] else { unreachable!() };
+                    let Literal::Idb(p, _) = &rule.body[pos] else {
+                        unreachable!()
+                    };
                     if delta[p.0].is_empty() {
                         continue;
                     }
@@ -499,7 +499,10 @@ mod tests {
             }],
             output: out,
         };
-        assert!(matches!(p.validate(), Err(ProgramError::ArityMismatch { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::ArityMismatch { .. })
+        ));
     }
 
     #[test]

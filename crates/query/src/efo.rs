@@ -95,7 +95,12 @@ impl EfoQuery {
                 max = max.max(v.0 + 1);
             }
         }
-        EfoQuery { n_vars: max, head, body, var_names }
+        EfoQuery {
+            n_vars: max,
+            head,
+            body,
+            var_names,
+        }
     }
 
     /// Expand to the equivalent UCQ (DNF). Exponential in the worst case —

@@ -258,10 +258,8 @@ mod tests {
     use ric_data::{RelationSchema, Schema};
 
     fn setup() -> (Schema, Database) {
-        let s = Schema::from_relations(vec![
-            RelationSchema::infinite("E", &["src", "dst"]),
-        ])
-        .unwrap();
+        let s =
+            Schema::from_relations(vec![RelationSchema::infinite("E", &["src", "dst"])]).unwrap();
         let e = s.rel_id("E").unwrap();
         let mut db = Database::empty(&s);
         for (a, b) in [(1, 2), (2, 3), (3, 1), (1, 1)] {
@@ -362,10 +360,16 @@ mod tests {
         let e = s.rel_id("E").unwrap();
         let mut b1 = Cq::builder();
         let y1 = b1.var("y");
-        let q1 = b1.atom(e, vec![Term::from(1), Term::Var(y1)]).head_vars(vec![y1]).build();
+        let q1 = b1
+            .atom(e, vec![Term::from(1), Term::Var(y1)])
+            .head_vars(vec![y1])
+            .build();
         let mut b2 = Cq::builder();
         let y2 = b2.var("y");
-        let q2 = b2.atom(e, vec![Term::from(2), Term::Var(y2)]).head_vars(vec![y2]).build();
+        let q2 = b2
+            .atom(e, vec![Term::from(2), Term::Var(y2)])
+            .head_vars(vec![y2])
+            .build();
         let u = Ucq::new(vec![q1, q2]);
         let res = eval_ucq(&u, &db).unwrap();
         assert_eq!(res.len(), 3); // {1,2} from 1->*, {3} from 2->3

@@ -115,7 +115,12 @@ impl FoQuery {
             max = max.max(v.0 + 1);
         }
         scan(&body, &mut max);
-        FoQuery { n_vars: max, head, body, var_names }
+        FoQuery {
+            n_vars: max,
+            head,
+            body,
+            var_names,
+        }
     }
 
     /// The active domain used for evaluation on `db`.

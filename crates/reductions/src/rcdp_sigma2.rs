@@ -20,7 +20,10 @@ use ric_query::{Cq, Term, Var};
 /// Build the RCDP(CQ, INDs) instance: `(Setting, Q, D)` with `D` partially
 /// closed and `D ∈ RCQ(Q, D_m, V)` iff `phi` evaluates to true.
 pub fn to_rcdp_instance(phi: &ForallExists) -> (Setting, Query, Database) {
-    assert!(!phi.matrix.clauses.is_empty(), "reduction expects at least one clause");
+    assert!(
+        !phi.matrix.clauses.is_empty(),
+        "reduction expects at least one clause"
+    );
     let schema = Schema::from_relations(vec![
         RelationSchema::infinite("R1", &["x"]),
         RelationSchema::infinite("R2", &["a", "b", "c"]), // OR
@@ -43,11 +46,19 @@ pub fn to_rcdp_instance(phi: &ForallExists) -> (Setting, Query, Database) {
     let bools = [0i64, 1];
     let or_rows: Vec<[i64; 3]> = bools
         .iter()
-        .flat_map(|&a| bools.iter().map(move |&b| [a, b, (a != 0 || b != 0) as i64]))
+        .flat_map(|&a| {
+            bools
+                .iter()
+                .map(move |&b| [a, b, (a != 0 || b != 0) as i64])
+        })
         .collect();
     let and_rows: Vec<[i64; 3]> = bools
         .iter()
-        .flat_map(|&a| bools.iter().map(move |&b| [a, b, (a != 0 && b != 0) as i64]))
+        .flat_map(|&a| {
+            bools
+                .iter()
+                .map(move |&b| [a, b, (a != 0 && b != 0) as i64])
+        })
         .collect();
     let not_rows: Vec<[i64; 2]> = vec![[0, 1], [1, 0]];
     // I_c(z′, z, 1) holds iff z′ = 0, or z′ = 1 ∧ z = 1.
@@ -114,12 +125,15 @@ fn build_query(schema: &Schema, phi: &ForallExists) -> Cq {
     let neg: Vec<Var> = (0..n_all).map(|i| b.var(&format!("nv{i}"))).collect();
     let zp = b.var("zp");
     // Per-clause outputs and the conjunction chain.
-    let clause_out: Vec<Var> =
-        (0..phi.matrix.clauses.len()).map(|i| b.var(&format!("c{i}"))).collect();
-    let or_tmp: Vec<Var> =
-        (0..phi.matrix.clauses.len()).map(|i| b.var(&format!("o{i}"))).collect();
-    let chain: Vec<Var> =
-        (1..phi.matrix.clauses.len()).map(|i| b.var(&format!("g{i}"))).collect();
+    let clause_out: Vec<Var> = (0..phi.matrix.clauses.len())
+        .map(|i| b.var(&format!("c{i}")))
+        .collect();
+    let or_tmp: Vec<Var> = (0..phi.matrix.clauses.len())
+        .map(|i| b.var(&format!("o{i}")))
+        .collect();
+    let chain: Vec<Var> = (1..phi.matrix.clauses.len())
+        .map(|i| b.var(&format!("g{i}")))
+        .collect();
 
     let mut builder = b;
     // Variable typing and negation wiring.
@@ -141,9 +155,20 @@ fn build_query(schema: &Schema, phi: &ForallExists) -> Cq {
         builder = builder
             .atom(
                 r2,
-                vec![lit_term(&clause.0[0]), lit_term(&clause.0[1]), Term::Var(or_tmp[i])],
+                vec![
+                    lit_term(&clause.0[0]),
+                    lit_term(&clause.0[1]),
+                    Term::Var(or_tmp[i]),
+                ],
             )
-            .atom(r2, vec![Term::Var(or_tmp[i]), lit_term(&clause.0[2]), Term::Var(clause_out[i])]);
+            .atom(
+                r2,
+                vec![
+                    Term::Var(or_tmp[i]),
+                    lit_term(&clause.0[2]),
+                    Term::Var(clause_out[i]),
+                ],
+            );
     }
     // Conjunction chain: g_1 = c_0 ∧ c_1; g_i = g_{i-1} ∧ c_i; z = last.
     let z: Term = if clause_out.len() == 1 {
@@ -169,6 +194,7 @@ mod tests {
     use super::*;
     use crate::sat::{Clause, Cnf};
     use ric_complete::{rcdp, SearchBudget, Verdict};
+    use ric_data::SplitMix64;
 
     fn decide(phi: &ForallExists) -> Verdict {
         let (setting, q, db) = to_rcdp_instance(phi);
@@ -205,8 +231,9 @@ mod tests {
         let (setting, q, db) = to_rcdp_instance(&phi);
         match rcdp(&setting, &q, &db, &SearchBudget::default()).unwrap() {
             Verdict::Incomplete(ce) => {
-                assert!(ric_complete::rcdp::certify_counterexample(&setting, &q, &db, &ce)
-                    .unwrap());
+                assert!(
+                    ric_complete::rcdp::certify_counterexample(&setting, &q, &db, &ce).unwrap()
+                );
             }
             other => panic!("expected incomplete, got {other:?}"),
         }
@@ -214,8 +241,7 @@ mod tests {
 
     #[test]
     fn reduction_agrees_with_oracle_on_random_instances() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::seed_from_u64(42);
         let mut seen = [0usize; 2];
         for _ in 0..8 {
             let phi = ForallExists::random(2, 2, 3, &mut rng);

@@ -32,7 +32,10 @@ pub fn to_rcqp_instance(phi: &Cnf) -> (Setting, Query) {
         RelationSchema::infinite("Ror", &["l1", "l2", "l3"]),
         RelationSchema::new(
             "R",
-            r_attrs.iter().map(|a| ric_data::Attribute::new(a.clone())).collect(),
+            r_attrs
+                .iter()
+                .map(|a| ric_data::Attribute::new(a.clone()))
+                .collect(),
         ),
     ])
     .expect("fixed schema");
@@ -50,7 +53,10 @@ pub fn to_rcqp_instance(phi: &Cnf) -> (Setting, Query) {
         for b in [0i64, 1] {
             for c in [0i64, 1] {
                 if a != 0 || b != 0 || c != 0 {
-                    dm.insert(rmor, Tuple::new([Value::int(a), Value::int(b), Value::int(c)]));
+                    dm.insert(
+                        rmor,
+                        Tuple::new([Value::int(a), Value::int(b), Value::int(c)]),
+                    );
                 }
             }
         }
@@ -98,7 +104,11 @@ pub fn to_rcqp_instance(phi: &Cnf) -> (Setting, Query) {
         assert_eq!(clause.0.len(), 3, "3SAT clauses");
         builder = builder.atom(
             ror,
-            vec![lit_term(&clause.0[0]), lit_term(&clause.0[1]), lit_term(&clause.0[2])],
+            vec![
+                lit_term(&clause.0[0]),
+                lit_term(&clause.0[1]),
+                lit_term(&clause.0[2]),
+            ],
         );
     }
     let q = builder.head_vars(vec![z]).build();
@@ -110,6 +120,7 @@ mod tests {
     use super::*;
     use crate::sat::Clause;
     use ric_complete::{rcqp, QueryVerdict, SearchBudget};
+    use ric_data::SplitMix64;
 
     fn decide(phi: &Cnf) -> QueryVerdict {
         let (setting, q) = to_rcqp_instance(phi);
@@ -146,8 +157,7 @@ mod tests {
 
     #[test]
     fn reduction_agrees_with_dpll_on_random_instances() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let mut rng = SplitMix64::seed_from_u64(19);
         let mut seen = [0usize; 2];
         // Sweep the clause/variable ratio across the SAT/UNSAT transition so
         // both outcomes occur.

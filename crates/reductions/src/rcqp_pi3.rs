@@ -77,11 +77,15 @@ pub fn unbounded_query(setting: &Setting, k: usize) -> Query {
 mod tests {
     use super::*;
     use ric_complete::{rcqp, QueryVerdict, SearchBudget, Verdict};
+    use ric_data::SplitMix64;
 
     #[test]
     fn bounded_family_members_are_nonempty() {
         let setting = fixed_setting();
-        let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
+        let budget = SearchBudget {
+            fresh_values: 3,
+            ..SearchBudget::default()
+        };
         for k in 0..3 {
             let q = bounded_query(&setting, k);
             match rcqp(&setting, &q, &budget).unwrap() {
@@ -103,7 +107,10 @@ mod tests {
         let setting = fixed_setting();
         // The FD tableau has 3 variables and the IND none; 3 fresh values
         // make the exhausted search paper-exact.
-        let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
+        let budget = SearchBudget {
+            fresh_values: 3,
+            ..SearchBudget::default()
+        };
         let q = unbounded_query(&setting, 0);
         assert_eq!(rcqp(&setting, &q, &budget).unwrap(), QueryVerdict::Empty);
     }
@@ -113,8 +120,7 @@ mod tests {
         // The Πᵖ₃ source problem itself: keep the oracle wired to this module
         // so benches can report the source-problem cost alongside.
         use crate::qbf::ExistsForallExists;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let phi = ExistsForallExists::random(2, 2, 2, 5, &mut rng);
         let _ = phi.eval();
     }

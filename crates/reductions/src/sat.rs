@@ -3,8 +3,7 @@
 //! The ground-truth oracle for the coNP reduction of Theorem 4.5(1) and the
 //! building block of the quantified variants in [`crate::qbf`].
 
-use rand::prelude::IndexedRandom;
-use rand::Rng;
+use ric_data::SplitMix64;
 
 /// A literal: variable index with sign.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -18,12 +17,18 @@ pub struct Lit {
 impl Lit {
     /// Positive literal of `var`.
     pub fn pos(var: usize) -> Lit {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal of `var`.
     pub fn neg(var: usize) -> Lit {
-        Lit { var, positive: false }
+        Lit {
+            var,
+            positive: false,
+        }
     }
 
     /// Evaluate under an assignment.
@@ -150,7 +155,7 @@ impl Cnf {
 
     /// A random 3SAT instance with `n_vars` variables and `n_clauses`
     /// clauses (clauses may repeat variables, as in the paper's definition).
-    pub fn random_3sat(n_vars: usize, n_clauses: usize, rng: &mut impl Rng) -> Cnf {
+    pub fn random_3sat(n_vars: usize, n_clauses: usize, rng: &mut SplitMix64) -> Cnf {
         assert!(n_vars >= 1);
         let vars: Vec<usize> = (0..n_vars).collect();
         let clauses = (0..n_clauses)
@@ -158,7 +163,7 @@ impl Cnf {
                 Clause(
                     (0..3)
                         .map(|_| {
-                            let var = *vars.choose(rng).expect("nonempty");
+                            let var = *rng.choose(&vars).expect("nonempty");
                             if rng.random_bool(0.5) {
                                 Lit::pos(var)
                             } else {
@@ -176,7 +181,6 @@ impl Cnf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn cnf(n: usize, clauses: &[&[i64]]) -> Cnf {
         Cnf {
@@ -220,7 +224,7 @@ mod tests {
 
     #[test]
     fn dpll_agrees_with_brute_force_on_random_instances() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         for _ in 0..60 {
             let f = Cnf::random_3sat(5, 12, &mut rng);
             assert_eq!(f.satisfiable(), f.satisfiable_brute(), "formula {f:?}");
@@ -229,13 +233,19 @@ mod tests {
 
     #[test]
     fn empty_cnf_is_satisfiable() {
-        let f = Cnf { n_vars: 1, clauses: vec![] };
+        let f = Cnf {
+            n_vars: 1,
+            clauses: vec![],
+        };
         assert!(f.satisfiable());
     }
 
     #[test]
     fn empty_clause_is_unsatisfiable() {
-        let f = Cnf { n_vars: 1, clauses: vec![Clause(vec![])] };
+        let f = Cnf {
+            n_vars: 1,
+            clauses: vec![Clause(vec![])],
+        };
         assert!(!f.satisfiable());
     }
 }

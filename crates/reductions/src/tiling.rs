@@ -92,8 +92,11 @@ impl TilingInstance {
             return true;
         }
         let (r, c) = (idx / s, idx % s);
-        let candidates: Vec<usize> =
-            if idx == 0 { vec![self.t0] } else { (0..self.n_tiles).collect() };
+        let candidates: Vec<usize> = if idx == 0 {
+            vec![self.t0]
+        } else {
+            (0..self.n_tiles).collect()
+        };
         for t in candidates {
             let left_ok = c == 0 || self.horiz.contains(&(grid[r * s + c - 1], t));
             let up_ok = r == 0 || self.vert.contains(&(grid[(r - 1) * s + c], t));
@@ -148,7 +151,9 @@ pub fn reduction_schema(n: u32) -> Schema {
         let attrs: Vec<&str> = if i == 1 {
             vec!["id", "x1", "x2", "x3", "x4", "z"]
         } else {
-            vec!["id", "id1", "id2", "id3", "id4", "id12", "id13", "id24", "id34", "id1234", "z"]
+            vec![
+                "id", "id1", "id2", "id3", "id4", "id12", "id13", "id24", "id34", "id1234", "z",
+            ]
         };
         rels.push(RelationSchema::infinite(format!("R{i}"), &attrs));
     }
@@ -178,10 +183,16 @@ pub fn to_rcqp_instance(inst: &TilingInstance) -> (Setting, Query) {
         dm.insert(rmt, Tuple::new([Value::int(t as i64)]));
     }
     for &(a, b) in &inst.vert {
-        dm.insert(rmv, Tuple::new([Value::int(a as i64), Value::int(b as i64)]));
+        dm.insert(
+            rmv,
+            Tuple::new([Value::int(a as i64), Value::int(b as i64)]),
+        );
     }
     for &(a, b) in &inst.horiz {
-        dm.insert(rmh, Tuple::new([Value::int(a as i64), Value::int(b as i64)]));
+        dm.insert(
+            rmh,
+            Tuple::new([Value::int(a as i64), Value::int(b as i64)]),
+        );
     }
     dm.insert(rmb, Tuple::new([Value::int(0)]));
 
@@ -236,19 +247,26 @@ pub fn to_rcqp_instance(inst: &TilingInstance) -> (Setting, Query) {
             // where a..d are the tuples referenced by id1..id4 and the field
             // index selects their quadrant columns 1..4.
             let patterns: [(usize, [(usize, usize); 4]); 5] = [
-                (5, [(1, 2), (2, 1), (1, 4), (2, 3)]),   // id12
-                (6, [(1, 3), (1, 4), (3, 1), (3, 2)]),   // id13
-                (7, [(2, 3), (2, 4), (4, 1), (4, 2)]),   // id24
-                (8, [(3, 2), (4, 1), (3, 4), (4, 3)]),   // id34
-                (9, [(1, 4), (2, 3), (3, 2), (4, 1)]),   // id1234
+                (5, [(1, 2), (2, 1), (1, 4), (2, 3)]), // id12
+                (6, [(1, 3), (1, 4), (3, 1), (3, 2)]), // id13
+                (7, [(2, 3), (2, 4), (4, 1), (4, 2)]), // id24
+                (8, [(3, 2), (4, 1), (3, 4), (4, 3)]), // id34
+                (9, [(1, 4), (2, 3), (3, 2), (4, 1)]), // id1234
             ];
             let prev = schema.rel_id(&format!("R{}", i - 1)).unwrap();
             let prev_arity = rank_arity(i - 1);
             for (aux_col, fields) in patterns {
                 for (aux_field, (quadrant, quad_field)) in fields.iter().enumerate() {
                     v.push(seam_mismatch_cc(
-                        &schema, ri, arity, prev, prev_arity, aux_col,
-                        aux_field + 1, *quadrant, *quad_field,
+                        &schema,
+                        ri,
+                        arity,
+                        prev,
+                        prev_arity,
+                        aux_col,
+                        aux_field + 1,
+                        *quadrant,
+                        *quad_field,
                     ));
                 }
             }
@@ -410,11 +428,11 @@ pub fn tiling_witness(schema: &Schema, inst: &TilingInstance, grid: &[usize]) ->
                         id(i - 1, r, c + h),
                         id(i - 1, r + h, c),
                         id(i - 1, r + h, c + h),
-                        id(i - 1, r, c + half),          // id12 (top middle)
-                        id(i - 1, r + half, c),          // id13 (left middle)
-                        id(i - 1, r + half, c + h),      // id24 (right middle)
-                        id(i - 1, r + h, c + half),      // id34 (bottom middle)
-                        id(i - 1, r + half, c + half),   // id1234 (centre)
+                        id(i - 1, r, c + half),        // id12 (top middle)
+                        id(i - 1, r + half, c),        // id13 (left middle)
+                        id(i - 1, r + half, c + h),    // id24 (right middle)
+                        id(i - 1, r + h, c + half),    // id34 (bottom middle)
+                        id(i - 1, r + half, c + half), // id1234 (centre)
                         z,
                     ])
                 };
@@ -480,7 +498,10 @@ mod tests {
 
     #[test]
     fn empty_database_is_incomplete_for_solvable_and_unsolvable() {
-        for inst in [TilingInstance::solvable_example(1), TilingInstance::unsolvable_example(1)] {
+        for inst in [
+            TilingInstance::solvable_example(1),
+            TilingInstance::unsolvable_example(1),
+        ] {
             let (setting, q) = to_rcqp_instance(&inst);
             let db = Database::empty(&setting.schema);
             let verdict =

@@ -194,7 +194,10 @@ pub fn encode_word(schema: &Schema, word: &[bool]) -> Database {
     for (i, &bit) in word.iter().enumerate() {
         let rel = if bit { p } else { pbar };
         db.insert(rel, Tuple::new([Value::int(i as i64)]));
-        db.insert(f, Tuple::new([Value::int(i as i64), Value::int(i as i64 + 1)]));
+        db.insert(
+            f,
+            Tuple::new([Value::int(i as i64), Value::int(i as i64 + 1)]),
+        );
     }
     let n = word.len() as i64;
     db.insert(f, Tuple::new([Value::int(n), Value::int(n)]));
@@ -245,7 +248,10 @@ pub fn reachability_program(schema: &Schema, dfa: &TwoHeadDfa) -> Program {
     rules.push(Rule {
         head: reach,
         head_args: vec![Term::from(0i64), Term::from(0i64), Term::from(0i64)],
-        body: vec![Literal::Edb(Atom::new(f_rel, vec![Term::from(0i64), Term::Var(x)]))],
+        body: vec![Literal::Edb(Atom::new(
+            f_rel,
+            vec![Term::from(0i64), Term::Var(x)],
+        ))],
         n_vars: 1,
     });
 
@@ -272,7 +278,11 @@ pub fn reachability_program(schema: &Schema, dfa: &TwoHeadDfa) -> Program {
                         vec![Term::Var(pos), Term::Var(w)],
                     )));
                     body.push(Literal::Neq(Term::Var(pos), Term::Var(w)));
-                    let rel = if input == HeadInput::One { p_rel } else { pbar_rel };
+                    let rel = if input == HeadInput::One {
+                        p_rel
+                    } else {
+                        pbar_rel
+                    };
                     body.push(Literal::Edb(Atom::new(rel, vec![Term::Var(pos)])));
                 }
                 HeadInput::Eps => {
@@ -327,7 +337,9 @@ pub fn reachability_program(schema: &Schema, dfa: &TwoHeadDfa) -> Program {
         rules,
         output: out,
     };
-    program.validate().expect("reduction program is range-restricted");
+    program
+        .validate()
+        .expect("reduction program is range-restricted");
     program
 }
 
@@ -356,7 +368,13 @@ mod tests {
         let dfa = TwoHeadDfa::ones();
         let schema = reduction_schema();
         let program = reachability_program(&schema, &dfa);
-        for word in [vec![], vec![true], vec![false], vec![true, true], vec![true, false]] {
+        for word in [
+            vec![],
+            vec![true],
+            vec![false],
+            vec![true, true],
+            vec![true, false],
+        ] {
             let db = encode_word(&schema, &word);
             let fp_accepts = !program.eval(&db).is_empty();
             assert_eq!(
@@ -389,8 +407,9 @@ mod tests {
         let verdict = ric_complete::rcdp(&setting, &q, &db, &budget).unwrap();
         match verdict {
             ric_complete::Verdict::Incomplete(ce) => {
-                assert!(ric_complete::rcdp::certify_counterexample(&setting, &q, &db, &ce)
-                    .unwrap());
+                assert!(
+                    ric_complete::rcdp::certify_counterexample(&setting, &q, &db, &ce).unwrap()
+                );
             }
             other => panic!("expected incomplete, got {other:?}"),
         }

@@ -6,11 +6,9 @@
 //! tables IND-bounded by it) and databases that are complete or incomplete
 //! by construction.
 
-use rand::prelude::IndexedRandom;
-use rand::Rng;
 use ric_complete::{Query, Setting};
 use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint, Projection};
-use ric_data::{Database, RelationSchema, Schema, Tuple, Value};
+use ric_data::{Database, RelationSchema, Schema, SplitMix64, Tuple, Value};
 use ric_query::parse_cq;
 
 /// Tunable workload shape.
@@ -26,7 +24,11 @@ pub struct WorkloadParams {
 
 impl Default for WorkloadParams {
     fn default() -> Self {
-        WorkloadParams { n_customers: 20, n_employees: 5, n_support: 40 }
+        WorkloadParams {
+            n_customers: 20,
+            n_employees: 5,
+            n_support: 40,
+        }
     }
 }
 
@@ -71,7 +73,11 @@ pub fn crm_setting(n_customers: usize) -> Setting {
 /// Generate an RCDP instance. The query asks for the customers of employee
 /// `e0`; a complete instance saturates `e0` against the master list, an
 /// incomplete one leaves a random subset missing.
-pub fn planted_rcdp(params: &WorkloadParams, complete: bool, rng: &mut impl Rng) -> PlantedInstance {
+pub fn planted_rcdp(
+    params: &WorkloadParams,
+    complete: bool,
+    rng: &mut SplitMix64,
+) -> PlantedInstance {
     let setting = crm_setting(params.n_customers);
     let supt = setting.schema.rel_id("Supt").unwrap();
     let query: Query = parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).")
@@ -95,7 +101,7 @@ pub fn planted_rcdp(params: &WorkloadParams, complete: bool, rng: &mut impl Rng)
     // the e0 query: their cids are master customers).
     for _ in 0..params.n_support {
         let e = rng.random_range(1..params.n_employees.max(2));
-        let c = customers.choose(rng).expect("nonempty");
+        let c = rng.choose(&customers).expect("nonempty");
         db.insert(
             supt,
             Tuple::new([
@@ -105,7 +111,12 @@ pub fn planted_rcdp(params: &WorkloadParams, complete: bool, rng: &mut impl Rng)
             ]),
         );
     }
-    PlantedInstance { setting, query, db, complete }
+    PlantedInstance {
+        setting,
+        query,
+        db,
+        complete,
+    }
 }
 
 /// Generate an RCQP instance over the CRM setting: queries on IND-covered
@@ -114,9 +125,13 @@ pub fn planted_rcdp(params: &WorkloadParams, complete: bool, rng: &mut impl Rng)
 pub fn planted_rcqp(n_customers: usize, nonempty: bool) -> (Setting, Query, bool) {
     let setting = crm_setting(n_customers);
     let query: Query = if nonempty {
-        parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).").expect("fixed").into()
+        parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).")
+            .expect("fixed")
+            .into()
     } else {
-        parse_cq(&setting.schema, "Q(E) :- Supt(E, D, C).").expect("fixed").into()
+        parse_cq(&setting.schema, "Q(E) :- Supt(E, D, C).")
+            .expect("fixed")
+            .into()
     };
     (setting, query, nonempty)
 }
@@ -124,17 +139,25 @@ pub fn planted_rcqp(n_customers: usize, nonempty: bool) -> (Setting, Query, bool
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use ric_complete::{rcdp, rcqp, SearchBudget};
 
     #[test]
     fn planted_rcdp_truth_is_respected() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let params = WorkloadParams { n_customers: 6, n_employees: 3, n_support: 10 };
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let params = WorkloadParams {
+            n_customers: 6,
+            n_employees: 3,
+            n_support: 10,
+        };
         for complete in [true, false] {
             let inst = planted_rcdp(&params, complete, &mut rng);
-            let verdict =
-                rcdp(&inst.setting, &inst.query, &inst.db, &SearchBudget::default()).unwrap();
+            let verdict = rcdp(
+                &inst.setting,
+                &inst.query,
+                &inst.db,
+                &SearchBudget::default(),
+            )
+            .unwrap();
             assert_eq!(
                 verdict.is_complete(),
                 inst.complete,
@@ -154,7 +177,7 @@ mod tests {
 
     #[test]
     fn generated_databases_are_partially_closed() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = SplitMix64::seed_from_u64(6);
         let inst = planted_rcdp(&WorkloadParams::default(), false, &mut rng);
         assert!(inst.setting.partially_closed(&inst.db).unwrap());
     }

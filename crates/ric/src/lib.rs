@@ -47,7 +47,10 @@
 //! * [`complete`] — the RCDP/RCQP deciders, characterizations, witnesses;
 //! * [`reductions`] — the hardness constructions as instance generators;
 //! * [`mdm`] — master-data-management scenarios and the Section 2.3
-//!   paradigms.
+//!   paradigms;
+//! * [`telemetry`] — the [`Probe`]/[`Sink`] observability layer: attach a
+//!   [`Collector`] to `rcdp_probed`/`rcqp_probed` for counters, span
+//!   timings, and decision notes (see `examples/observe_search.rs`).
 
 pub use ric_complete as complete;
 pub use ric_constraints as constraints;
@@ -55,15 +58,20 @@ pub use ric_data as data;
 pub use ric_mdm as mdm;
 pub use ric_query as query;
 pub use ric_reductions as reductions;
+pub use ric_telemetry as telemetry;
 
 pub use ric_complete::{
-    rcdp, rcqp, Query, QueryVerdict, RcError, SearchBudget, Setting, Verdict,
+    rcdp, rcdp_probed, rcqp, rcqp_probed, BudgetLimit, Query, QueryVerdict, RcError, SearchBudget,
+    SearchStats, Setting, Verdict,
 };
+pub use ric_data::SplitMix64;
+pub use ric_telemetry::{Collector, JsonlSink, PrettySink, Probe, Report, Sink};
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use ric_complete::{
-        rcdp, rcqp, CounterExample, Query, QueryVerdict, RcError, SearchBudget, Setting, Verdict,
+        rcdp, rcdp_probed, rcqp, rcqp_probed, BudgetLimit, CounterExample, Query, QueryVerdict,
+        RcError, SearchBudget, SearchStats, Setting, Verdict,
     };
     pub use ric_constraints::{
         CcBody, CcRhs, Cfd, Cind, ConstraintSet, ContainmentConstraint, Denial, Fd, IndCc,
@@ -73,6 +81,7 @@ pub mod prelude {
         Attribute, Database, DomainKind, RelId, RelationSchema, Schema, Tuple, Value,
     };
     pub use ric_query::{parse_cq, parse_program, parse_ucq, Cq, Term, Ucq, Var};
+    pub use ric_telemetry::{Collector, Probe, Report, Sink};
 }
 
 #[cfg(test)]
@@ -80,8 +89,7 @@ mod tests {
     #[test]
     fn facade_reexports_compile() {
         use crate::prelude::*;
-        let schema =
-            Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
+        let schema = Schema::from_relations(vec![RelationSchema::infinite("R", &["a"])]).unwrap();
         let setting = Setting::open_world(schema.clone());
         let q: Query = parse_cq(&schema, "Q(X) :- R(X).").unwrap().into();
         let db = Database::empty(&schema);

@@ -1,0 +1,202 @@
+//! The [`Probe`] handle and the [`Event`] vocabulary.
+//!
+//! A probe is what the deciders actually hold: a `Copy` handle that is either
+//! disabled (the default — a `None` niche, so emissions cost one branch) or
+//! attached to a [`Sink`](crate::Sink). Instrumented code never pays for
+//! formatting, clocks, or allocation unless a sink is attached.
+
+use std::time::Instant;
+
+use crate::sink::Sink;
+
+/// One structured telemetry event.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Event {
+    /// A named counter increment. Emitted as aggregate deltas (e.g. once per
+    /// enumeration run), not per tick — hot loops stay hot.
+    Count {
+        /// Counter name, e.g. `"rcdp.valuations"`.
+        name: &'static str,
+        /// How much to add.
+        delta: u64,
+    },
+    /// A named point-in-time measurement, e.g. the active-domain size.
+    Gauge {
+        /// Gauge name, e.g. `"rcdp.adom_size"`.
+        name: &'static str,
+        /// The observed value.
+        value: u64,
+    },
+    /// Wall time of a named phase, in microseconds.
+    Span {
+        /// Span name, e.g. `"rcdp.enumerate"`.
+        name: &'static str,
+        /// Elapsed wall time in microseconds.
+        micros: u128,
+    },
+    /// A free-form annotation, e.g. which budget limit cut a search short.
+    Note {
+        /// Note name, e.g. `"rcdp.outcome"`.
+        name: &'static str,
+        /// The annotation body.
+        detail: String,
+    },
+}
+
+impl Event {
+    /// The event's name, whatever its kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Count { name, .. }
+            | Event::Gauge { name, .. }
+            | Event::Span { name, .. }
+            | Event::Note { name, .. } => name,
+        }
+    }
+}
+
+/// A telemetry handle threaded through the decision stack.
+///
+/// `Probe` is `Copy` and 16 bytes; pass it by value. The disabled probe is
+/// the default everywhere — the public `rcdp`/`rcqp` entry points delegate to
+/// their `*_probed` variants with `Probe::disabled()`.
+#[derive(Clone, Copy, Default)]
+pub struct Probe<'a> {
+    sink: Option<&'a dyn Sink>,
+}
+
+impl<'a> Probe<'a> {
+    /// A probe that records nothing. All emission methods reduce to a single
+    /// branch on a `None`.
+    pub fn disabled() -> Self {
+        Probe { sink: None }
+    }
+
+    /// A probe that forwards every event to `sink`.
+    pub fn attached(sink: &'a dyn Sink) -> Self {
+        Probe { sink: Some(sink) }
+    }
+
+    /// Whether a sink is attached. Use this to skip *preparing* expensive
+    /// event payloads (the emission methods already check internally).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Add `delta` to the counter `name`.
+    #[inline]
+    pub fn count(&self, name: &'static str, delta: u64) {
+        if let Some(sink) = self.sink {
+            if delta > 0 {
+                sink.record(Event::Count { name, delta });
+            }
+        }
+    }
+
+    /// Record the gauge `name` at `value`.
+    #[inline]
+    pub fn gauge(&self, name: &'static str, value: u64) {
+        if let Some(sink) = self.sink {
+            sink.record(Event::Gauge { name, value });
+        }
+    }
+
+    /// Record a note. The `detail` closure only runs when a sink is attached,
+    /// so callers can format lazily.
+    #[inline]
+    pub fn note(&self, name: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(sink) = self.sink {
+            sink.record(Event::Note {
+                name,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Start timing the phase `name`. The returned guard emits a
+    /// [`Event::Span`] when dropped; on a disabled probe it never reads the
+    /// clock.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'a> {
+        SpanGuard {
+            sink: self.sink,
+            name,
+            started: self.sink.map(|_| Instant::now()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Probe<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Probe")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// Times a phase; emits a [`Event::Span`] on drop.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard<'a> {
+    sink: Option<&'a dyn Sink>,
+    name: &'static str,
+    started: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let (Some(sink), Some(started)) = (self.sink, self.started) {
+            sink.record(Event::Span {
+                name: self.name,
+                micros: started.elapsed().as_micros(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Collector;
+
+    #[test]
+    fn disabled_probe_records_nothing() {
+        let probe = Probe::disabled();
+        assert!(!probe.enabled());
+        probe.count("x", 3);
+        probe.gauge("y", 7);
+        probe.note("z", || panic!("detail closure must not run when disabled"));
+        drop(probe.span("w"));
+    }
+
+    #[test]
+    fn attached_probe_forwards_events() {
+        let collector = Collector::new();
+        let probe = Probe::attached(&collector);
+        assert!(probe.enabled());
+        probe.count("search.valuations", 5);
+        probe.count("search.valuations", 2);
+        probe.count("search.valuations", 0); // zero deltas are dropped
+        probe.gauge("adom.size", 11);
+        probe.note("outcome", || "complete".to_string());
+        drop(probe.span("phase"));
+
+        let report = collector.report();
+        assert_eq!(report.counter("search.valuations"), 7);
+        assert_eq!(report.gauge("adom.size"), Some(11));
+        assert_eq!(report.notes("outcome"), vec!["complete".to_string()]);
+        assert!(report.span_micros("phase").is_some());
+        // 2 counts + 1 gauge + 1 note + 1 span
+        assert_eq!(collector.events().len(), 5);
+    }
+
+    #[test]
+    fn probe_is_copy() {
+        let collector = Collector::new();
+        let probe = Probe::attached(&collector);
+        let copy = probe;
+        probe.count("a", 1);
+        copy.count("a", 1);
+        assert_eq!(collector.report().counter("a"), 2);
+    }
+}

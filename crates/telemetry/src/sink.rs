@@ -1,0 +1,383 @@
+//! Event sinks: where probe emissions go.
+//!
+//! * [`Collector`] aggregates in memory and also keeps the raw event stream;
+//!   use [`Collector::report`] for programmatic inspection.
+//! * [`PrettySink`] streams human-readable lines to any `io::Write`.
+//! * [`JsonlSink`] streams one hand-rolled JSON object per event (the
+//!   workspace builds offline; there is no serde).
+//!
+//! All sinks take `&self` — the deciders are single-threaded, so interior
+//! mutability via `RefCell` is enough and keeps [`Probe`](crate::Probe)
+//! freely copyable.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+
+use crate::json::Json;
+use crate::probe::Event;
+
+/// A destination for probe events.
+pub trait Sink {
+    /// Record one event. Must not panic on I/O trouble — sinks that write
+    /// swallow errors (telemetry must never take down a decision).
+    fn record(&self, event: Event);
+}
+
+/// In-memory aggregation plus the raw event stream.
+#[derive(Default)]
+pub struct Collector {
+    events: RefCell<Vec<Event>>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// The raw events, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.borrow().clone()
+    }
+
+    /// Drop everything collected so far (for reusing one collector across
+    /// cells in a sweep).
+    pub fn reset(&self) {
+        self.events.borrow_mut().clear();
+    }
+
+    /// Aggregate the stream into a [`Report`].
+    pub fn report(&self) -> Report {
+        let mut report = Report::default();
+        for event in self.events.borrow().iter() {
+            match event {
+                Event::Count { name, delta } => {
+                    *report.counters.entry(name).or_insert(0) += delta;
+                }
+                Event::Gauge { name, value } => {
+                    report.gauges.insert(name, *value);
+                }
+                Event::Span { name, micros } => {
+                    *report.spans.entry(name).or_insert(0) += micros;
+                }
+                Event::Note { name, detail } => {
+                    report.notes.entry(name).or_default().push(detail.clone());
+                }
+            }
+        }
+        report
+    }
+}
+
+impl Sink for Collector {
+    fn record(&self, event: Event) {
+        self.events.borrow_mut().push(event);
+    }
+}
+
+/// Aggregated view of a collected event stream.
+#[derive(Clone, Default, Debug)]
+pub struct Report {
+    /// Summed counter deltas by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last-observed gauge values by name.
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Summed span times (µs) by name.
+    pub spans: BTreeMap<&'static str, u128>,
+    /// Notes by name, in emission order.
+    pub notes: BTreeMap<&'static str, Vec<String>>,
+}
+
+impl Report {
+    /// The summed value of counter `name` (0 when never emitted).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The last value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Total microseconds recorded under span `name`.
+    pub fn span_micros(&self, name: &str) -> Option<u128> {
+        self.spans.get(name).copied()
+    }
+
+    /// All notes recorded under `name`.
+    pub fn notes(&self, name: &str) -> Vec<String> {
+        self.notes.get(name).cloned().unwrap_or_default()
+    }
+
+    /// The report as a JSON object (`counters` / `gauges` / `spans_micros` /
+    /// `notes` sub-objects), the shape embedded per cell in
+    /// `BENCH_TABLE*.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::obj(self.counters.iter().map(|(k, v)| (*k, Json::from(*v)))),
+            ),
+            (
+                "gauges",
+                Json::obj(self.gauges.iter().map(|(k, v)| (*k, Json::from(*v)))),
+            ),
+            (
+                "spans_micros",
+                Json::obj(self.spans.iter().map(|(k, v)| (*k, Json::from(*v)))),
+            ),
+            (
+                "notes",
+                Json::obj(
+                    self.notes
+                        .iter()
+                        .map(|(k, vs)| (*k, Json::arr(vs.iter().map(|v| Json::from(v.as_str()))))),
+                ),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for Report {
+    /// An aligned, human-readable decision report.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.spans.keys())
+            .chain(self.notes.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name:<width$}  {value}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (name, value) in &self.gauges {
+                writeln!(f, "  {name:<width$}  {value}")?;
+            }
+        }
+        if !self.spans.is_empty() {
+            writeln!(f, "spans:")?;
+            for (name, micros) in &self.spans {
+                writeln!(f, "  {name:<width$}  {micros} µs")?;
+            }
+        }
+        if !self.notes.is_empty() {
+            writeln!(f, "notes:")?;
+            for (name, details) in &self.notes {
+                for detail in details {
+                    writeln!(f, "  {name:<width$}  {detail}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Streams one human-readable line per event to a writer.
+pub struct PrettySink<W: io::Write> {
+    writer: RefCell<W>,
+}
+
+impl<W: io::Write> PrettySink<W> {
+    /// A sink writing to `writer` (e.g. `std::io::stderr()`).
+    pub fn new(writer: W) -> Self {
+        PrettySink {
+            writer: RefCell::new(writer),
+        }
+    }
+
+    /// Recover the writer.
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner()
+    }
+}
+
+impl<W: io::Write> Sink for PrettySink<W> {
+    fn record(&self, event: Event) {
+        let mut w = self.writer.borrow_mut();
+        // Telemetry never takes down a decision: ignore I/O errors.
+        let _ = match event {
+            Event::Count { name, delta } => writeln!(w, "count {name} +{delta}"),
+            Event::Gauge { name, value } => writeln!(w, "gauge {name} = {value}"),
+            Event::Span { name, micros } => writeln!(w, "span  {name} {micros} µs"),
+            Event::Note { name, detail } => writeln!(w, "note  {name}: {detail}"),
+        };
+    }
+}
+
+/// Streams one JSON object per event, newline-delimited.
+///
+/// Each line is a complete JSON document with a `"kind"` discriminator:
+///
+/// ```json
+/// {"kind":"count","name":"rcdp.valuations","delta":128}
+/// {"kind":"span","name":"rcdp.enumerate","micros":412}
+/// ```
+pub struct JsonlSink<W: io::Write> {
+    writer: RefCell<W>,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// A sink writing one JSON line per event to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: RefCell::new(writer),
+        }
+    }
+
+    /// Recover the writer (e.g. to inspect an in-memory `Vec<u8>`).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner()
+    }
+
+    /// The JSON line for one event (without the trailing newline).
+    pub fn line_for(event: &Event) -> Json {
+        match event {
+            Event::Count { name, delta } => Json::obj([
+                ("kind", Json::from("count")),
+                ("name", Json::from(*name)),
+                ("delta", Json::from(*delta)),
+            ]),
+            Event::Gauge { name, value } => Json::obj([
+                ("kind", Json::from("gauge")),
+                ("name", Json::from(*name)),
+                ("value", Json::from(*value)),
+            ]),
+            Event::Span { name, micros } => Json::obj([
+                ("kind", Json::from("span")),
+                ("name", Json::from(*name)),
+                ("micros", Json::from(*micros)),
+            ]),
+            Event::Note { name, detail } => Json::obj([
+                ("kind", Json::from("note")),
+                ("name", Json::from(*name)),
+                ("detail", Json::from(detail.as_str())),
+            ]),
+        }
+    }
+}
+
+impl<W: io::Write> Sink for JsonlSink<W> {
+    fn record(&self, event: Event) {
+        let mut w = self.writer.borrow_mut();
+        let _ = writeln!(w, "{}", Self::line_for(&event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::probe::Probe;
+
+    #[test]
+    fn collector_aggregates_exactly() {
+        let collector = Collector::new();
+        let probe = Probe::attached(&collector);
+        probe.count("valuations", 10);
+        probe.count("valuations", 32);
+        probe.count("cc_checks", 4);
+        probe.gauge("adom", 6);
+        probe.gauge("adom", 9); // last write wins
+        probe.note("limit", || "max_valuations".into());
+        probe.note("limit", || "max_candidates".into());
+
+        let report = collector.report();
+        assert_eq!(report.counter("valuations"), 42);
+        assert_eq!(report.counter("cc_checks"), 4);
+        assert_eq!(report.counter("never_emitted"), 0);
+        assert_eq!(report.gauge("adom"), Some(9));
+        assert_eq!(
+            report.notes("limit"),
+            vec!["max_valuations".to_string(), "max_candidates".to_string()]
+        );
+
+        collector.reset();
+        assert!(collector.events().is_empty());
+    }
+
+    #[test]
+    fn report_display_is_aligned_and_nonempty() {
+        let collector = Collector::new();
+        let probe = Probe::attached(&collector);
+        probe.count("search.valuations", 7);
+        probe.gauge("adom.size", 3);
+        let text = collector.report().to_string();
+        assert!(text.contains("counters:"));
+        assert!(text.contains("search.valuations"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("adom.size"));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let sink = JsonlSink::new(Vec::new());
+        let probe = Probe::attached(&sink);
+        probe.count("v", 3);
+        probe.gauge("g", 5);
+        probe.note("n", || "detail with \"quotes\" and\nnewline".into());
+        drop(probe.span("s"));
+
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            json::parse(line).expect("every JSONL line is valid JSON");
+        }
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("kind").and_then(Json::as_str), Some("count"));
+        assert_eq!(first.get("name").and_then(Json::as_str), Some("v"));
+        assert_eq!(first.get("delta").and_then(Json::as_int), Some(3));
+        let note = json::parse(lines[2]).unwrap();
+        assert_eq!(
+            note.get("detail").and_then(Json::as_str),
+            Some("detail with \"quotes\" and\nnewline")
+        );
+    }
+
+    #[test]
+    fn pretty_sink_writes_lines() {
+        let sink = PrettySink::new(Vec::new());
+        let probe = Probe::attached(&sink);
+        probe.count("v", 3);
+        probe.note("outcome", || "complete".into());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.contains("count v +3"));
+        assert!(text.contains("note  outcome: complete"));
+    }
+
+    #[test]
+    fn report_to_json_roundtrips() {
+        let collector = Collector::new();
+        let probe = Probe::attached(&collector);
+        probe.count("v", 3);
+        probe.gauge("g", 5);
+        probe.note("n", || "x".into());
+        let doc = collector.report().to_json();
+        let parsed = json::parse(&doc.to_string()).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("v"))
+                .and_then(Json::as_int),
+            Some(3)
+        );
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .and_then(|c| c.get("g"))
+                .and_then(Json::as_int),
+            Some(5)
+        );
+    }
+}

@@ -30,7 +30,10 @@ fn main() {
         rhs_pattern: vec![],
     };
     let cfd_ccs = compile::cfd_to_ccs(&cfd, &schema);
-    println!("CFD 'dept=BU: eid → cid' compiles to {} containment constraint(s)", cfd_ccs.len());
+    println!(
+        "CFD 'dept=BU: eid → cid' compiles to {} containment constraint(s)",
+        cfd_ccs.len()
+    );
 
     // A denial constraint: nobody supports more than 2 customers.
     let denial = classical::at_most_k_per_key(supt, 0, 2, 2, 3);
@@ -53,18 +56,30 @@ fn main() {
     let mut scenarios: Vec<(&str, Database)> = Vec::new();
 
     let mut clean = Database::empty(&schema);
-    clean.insert(supt, Tuple::new([Value::str("e1"), Value::str("BU"), Value::str("c1")]));
-    clean.insert(supt, Tuple::new([Value::str("e2"), Value::str("premium"), Value::str("c2")]));
+    clean.insert(
+        supt,
+        Tuple::new([Value::str("e1"), Value::str("BU"), Value::str("c1")]),
+    );
+    clean.insert(
+        supt,
+        Tuple::new([Value::str("e2"), Value::str("premium"), Value::str("c2")]),
+    );
     clean.insert(cust, Tuple::new([Value::str("c2"), Value::str("gold")]));
     scenarios.push(("clean", clean.clone()));
 
     let mut cfd_dirty = clean.clone();
-    cfd_dirty.insert(supt, Tuple::new([Value::str("e1"), Value::str("BU"), Value::str("c9")]));
+    cfd_dirty.insert(
+        supt,
+        Tuple::new([Value::str("e1"), Value::str("BU"), Value::str("c9")]),
+    );
     scenarios.push(("CFD violation (e1 has two BU customers)", cfd_dirty));
 
     let mut denial_dirty = clean.clone();
     for c in ["x1", "x2", "x3"] {
-        denial_dirty.insert(supt, Tuple::new([Value::str("e3"), Value::str("d"), Value::str(c)]));
+        denial_dirty.insert(
+            supt,
+            Tuple::new([Value::str("e3"), Value::str("d"), Value::str(c)]),
+        );
     }
     scenarios.push(("denial violation (e3 supports three)", denial_dirty));
 
@@ -76,8 +91,7 @@ fn main() {
     scenarios.push(("CIND violation (premium without gold record)", cind_dirty));
 
     for (label, db) in scenarios {
-        let direct =
-            cfd.satisfied(&db) && denial.satisfied(&db) && cind.satisfied(&db);
+        let direct = cfd.satisfied(&db) && denial.satisfied(&db) && cind.satisfied(&db);
         let compiled = cfd_ccs
             .iter()
             .chain(std::iter::once(&denial_cc))
@@ -91,6 +105,8 @@ fn main() {
         );
     }
 
-    println!("\nthe direct checkers and the compiled containment constraints agree — \
-              consistency is enforced by the same partially-closed machinery");
+    println!(
+        "\nthe direct checkers and the compiled containment constraints agree — \
+              consistency is enforced by the same partially-closed machinery"
+    );
 }

@@ -8,13 +8,12 @@
 //! (domestic customers bounded by master data) and optionally `φ1` (support
 //! cardinality).
 
-use rand::SeedableRng;
 use ric::mdm::{assess, guide_collection, needs_master_expansion, Assessment, Guidance};
 use ric::mdm::{CrmScenario, ScenarioParams};
 use ric::prelude::*;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+    let mut rng = ric::SplitMix64::seed_from_u64(2026);
     let sc = CrmScenario::generate(
         ScenarioParams {
             n_domestic: 5,
@@ -39,7 +38,7 @@ fn main() {
             println!("  NOT complete — e.g. this could still be added:");
             println!("    {}", example_gap.delta);
         }
-        Assessment::Inconclusive { searched } => println!("  inconclusive: {searched}"),
+        Assessment::Inconclusive { stats } => println!("  inconclusive: {stats}"),
     }
 
     // ── Paradigm 2: what to collect ─────────────────────────────────────
@@ -52,12 +51,14 @@ fn main() {
         Guidance::ExpandMasterData => {
             println!("  no amount of collection helps — master data is the bottleneck")
         }
-        Guidance::Inconclusive { searched } => println!("  inconclusive: {searched}"),
+        Guidance::Inconclusive { stats } => println!("  inconclusive: {stats}"),
     }
 
     // ── Paradigm 3: which queries need more master data ────────────────
-    for (name, q) in [("Q0 (ac=908 customers)", sc.q0()), ("Q0' (all customers)", sc.q0_prime())]
-    {
+    for (name, q) in [
+        ("Q0 (ac=908 customers)", sc.q0()),
+        ("Q0' (all customers)", sc.q0_prime()),
+    ] {
         match needs_master_expansion(&sc.setting, &q, &budget).expect("rcqp") {
             Some(true) => println!("{name}: needs master-data expansion"),
             Some(false) => println!("{name}: answerable completely with the right data"),

@@ -24,18 +24,14 @@ fn main() {
             "Skill",
             vec![
                 Attribute::new("emp"),
-                Attribute::finite(
-                    "level",
-                    [Value::str("junior"), Value::str("senior")],
-                ),
+                Attribute::finite("level", [Value::str("junior"), Value::str("senior")]),
             ],
         ),
     ])
     .expect("schema");
     let assign = schema.rel_id("Assign").unwrap();
-    let master =
-        Schema::from_relations(vec![RelationSchema::infinite("Projects", &["proj"])])
-            .expect("schema");
+    let master = Schema::from_relations(vec![RelationSchema::infinite("Projects", &["proj"])])
+        .expect("schema");
     let projects = master.rel_id("Projects").unwrap();
     let mut dm = Database::empty(&master);
     for p in ["apollo", "gemini"] {
@@ -53,24 +49,35 @@ fn main() {
         v.push(cc);
     }
     let setting = Setting::new(schema.clone(), master, dm, v);
-    let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
+    let budget = SearchBudget {
+        fresh_values: 3,
+        ..SearchBudget::default()
+    };
 
     let candidates: Vec<(&str, Query)> = vec![
         (
             "projects of employee 'ada' (master-bounded head)",
-            parse_cq(&schema, "Q(P) :- Assign('ada', P).").unwrap().into(),
+            parse_cq(&schema, "Q(P) :- Assign('ada', P).")
+                .unwrap()
+                .into(),
         ),
         (
             "skill level of 'ada' (finite-domain head, E1)",
-            parse_cq(&schema, "Q(L) :- Skill('ada', L).").unwrap().into(),
+            parse_cq(&schema, "Q(L) :- Skill('ada', L).")
+                .unwrap()
+                .into(),
         ),
         (
             "is 'ada' on apollo? (blockable via the FD)",
-            parse_cq(&schema, "Q(E) :- Assign(E, 'apollo'), E = 'ada'.").unwrap().into(),
+            parse_cq(&schema, "Q(E) :- Assign(E, 'apollo'), E = 'ada'.")
+                .unwrap()
+                .into(),
         ),
         (
             "everyone on apollo (unbounded head)",
-            parse_cq(&schema, "Q(E) :- Assign(E, 'apollo').").unwrap().into(),
+            parse_cq(&schema, "Q(E) :- Assign(E, 'apollo').")
+                .unwrap()
+                .into(),
         ),
     ];
 
@@ -88,7 +95,7 @@ fn main() {
                 println!("answerable (witness construction exceeded budget)")
             }
             QueryVerdict::Empty => println!("NOT answerable — redesign or expand master data"),
-            QueryVerdict::Unknown { searched } => println!("undetermined ({searched})"),
+            QueryVerdict::Unknown { stats } => println!("undetermined ({stats})"),
         }
     }
 }

@@ -61,7 +61,7 @@ fn main() {
             println!("  a legal extension would add: {}", ce.delta);
             println!("  yielding the new answer tuple {}", ce.new_answer);
         }
-        Verdict::Unknown { searched } => println!("verdict: unknown ({searched})"),
+        Verdict::Unknown { stats } => println!("verdict: unknown ({stats})"),
     }
 
     // 6. Paradigm 2 (Section 2.3): what must be collected?

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full offline CI gate for the ric workspace.
+#
+# Runs the same checks the repository expects before every merge:
+#   1. release build          (cargo build --release)
+#   2. test suite             (cargo test -q)
+#   3. formatting             (cargo fmt --check)
+#   4. lints                  (cargo clippy --all-targets -D warnings)
+#
+# Everything runs with --offline: the default build has zero third-party
+# dependencies, so no network access is ever required. The proptest suites
+# are feature-gated (`cargo test --features proptest`) and are NOT part of
+# this gate — they need an environment that can fetch crates.
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "build (release, offline)"
+cargo build --release --offline
+
+step "tests"
+cargo test -q --offline
+
+step "formatting"
+cargo fmt --all -- --check
+
+step "clippy (all targets, warnings are errors)"
+cargo clippy --all-targets --offline -- -D warnings
+
+printf '\nci.sh: all checks passed\n'

@@ -1,5 +1,10 @@
 //! Property-based cross-validation of the framework's load-bearing
 //! invariants, using randomly generated databases, queries, and constraints.
+//!
+//! These suites need the external `proptest` crate, which is unavailable in
+//! the offline build; enable the off-by-default `proptest` cargo feature to
+//! run them (`cargo test --features proptest`).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use ric::prelude::*;

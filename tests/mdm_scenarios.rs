@@ -1,12 +1,11 @@
 //! The Section 2.3 walkthrough, end to end on generated CRM scenarios.
 
-use rand::SeedableRng;
 use ric::mdm::{assess, guide_collection, needs_master_expansion, Assessment, Guidance};
 use ric::mdm::{CrmScenario, ScenarioParams};
 use ric::prelude::*;
 
 fn small_scenario(at_most_k: Option<usize>) -> CrmScenario {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let mut rng = ric::SplitMix64::seed_from_u64(77);
     CrmScenario::generate(
         ScenarioParams {
             n_domestic: 4,
@@ -31,8 +30,8 @@ fn paradigm_1_assessment_lifecycle() {
     // whichever it is, the assessment must be decisive (never inconclusive
     // on instances this small).
     match assess(&sc.setting, &sc.q1(), &sc.db, &budget).unwrap() {
-        Assessment::Inconclusive { searched } => {
-            panic!("assessment must be decisive on small instances: {searched}")
+        Assessment::Inconclusive { stats } => {
+            panic!("assessment must be decisive on small instances: {stats}")
         }
         Assessment::Untrustworthy { example_gap } => {
             assert!(example_gap.delta.tuple_count() >= 1);
@@ -110,7 +109,7 @@ fn q3_cq_vs_datalog() {
 #[test]
 fn scenario_generation_is_robust() {
     for seed in 0..5 {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = ric::SplitMix64::seed_from_u64(seed);
         for at_most_k in [None, Some(1), Some(3)] {
             let sc = CrmScenario::generate(
                 ScenarioParams {

@@ -15,8 +15,7 @@ fn example_2_2_q1_complete_when_master_covered() {
     )])
     .unwrap();
     let supt = schema.rel_id("Supt").unwrap();
-    let master =
-        Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
+    let master = Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
     let dcust = master.rel_id("DCust").unwrap();
     let mut dm = Database::empty(&master);
     for c in ["c1", "c2", "c3"] {
@@ -28,7 +27,9 @@ fn example_2_2_q1_complete_when_master_covered() {
         vec![0],
     )]);
     let setting = Setting::new(schema.clone(), master, dm, v);
-    let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+    let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).")
+        .unwrap()
+        .into();
 
     let mut db = Database::empty(&schema);
     for c in ["c1", "c2", "c3"] {
@@ -49,15 +50,24 @@ fn example_2_2_q1_complete_when_master_covered() {
 /// completion distance is `k - k′` (the paper's final remark in Ex. 1.1).
 #[test]
 fn example_2_2_phi1_completion_distance() {
-    let schema =
-        Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "dept", "cid"])])
-            .unwrap();
+    let schema = Schema::from_relations(vec![RelationSchema::infinite(
+        "Supt",
+        &["eid", "dept", "cid"],
+    )])
+    .unwrap();
     let supt = schema.rel_id("Supt").unwrap();
     let k = 3;
     let denial = ric::constraints::classical::at_most_k_per_key(supt, 0, 2, k, 3);
     let v = ConstraintSet::new(vec![ric::constraints::compile::denial_to_cc(&denial)]);
-    let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
-    let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+    let setting = Setting::new(
+        schema.clone(),
+        Schema::new(),
+        Database::with_relations(0),
+        v,
+    );
+    let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).")
+        .unwrap()
+        .into();
 
     // k′ = 1 answers so far.
     let mut db = Database::empty(&schema);
@@ -69,7 +79,11 @@ fn example_2_2_phi1_completion_distance() {
         .unwrap()
     {
         ric::complete::extend::CompletionOutcome::Completed { added, result } => {
-            assert_eq!(added.tuple_count(), k - 1, "at most k - k′ additions needed");
+            assert_eq!(
+                added.tuple_count(),
+                k - 1,
+                "at most k - k′ additions needed"
+            );
             assert_eq!(
                 rcdp(&setting, &q, &result, &SearchBudget::default()).unwrap(),
                 Verdict::Complete
@@ -83,14 +97,23 @@ fn example_2_2_phi1_completion_distance() {
 /// incomplete for `Q2` but any nonempty answer makes it complete.
 #[test]
 fn example_3_1_fd_nonempty_answer_is_complete() {
-    let schema =
-        Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "dept", "cid"])])
-            .unwrap();
+    let schema = Schema::from_relations(vec![RelationSchema::infinite(
+        "Supt",
+        &["eid", "dept", "cid"],
+    )])
+    .unwrap();
     let supt = schema.rel_id("Supt").unwrap();
     let fd = Fd::new(supt, vec![0], vec![1, 2]);
     let v = ConstraintSet::new(ric::constraints::compile::fd_to_ccs(&fd, &schema));
-    let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
-    let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+    let setting = Setting::new(
+        schema.clone(),
+        Schema::new(),
+        Database::with_relations(0),
+        v,
+    );
+    let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).")
+        .unwrap()
+        .into();
 
     let empty = Database::empty(&schema);
     let verdict = rcdp(&setting, &q, &empty, &SearchBudget::default()).unwrap();
@@ -117,8 +140,7 @@ fn example_3_1_fd_nonempty_answer_is_complete() {
 #[test]
 fn example_1_1_q3_language_relativity() {
     let schema =
-        Schema::from_relations(vec![RelationSchema::infinite("Manage", &["up", "down"])])
-            .unwrap();
+        Schema::from_relations(vec![RelationSchema::infinite("Manage", &["up", "down"])]).unwrap();
     let manage = schema.rel_id("Manage").unwrap();
     let setting = Setting::open_world(schema.clone());
     let mut db = Database::empty(&schema);
@@ -162,10 +184,20 @@ fn example_4_1_contrast() {
     let supt = schema.rel_id("Supt").unwrap();
     let fd = Fd::new(supt, vec![0], vec![1]);
     let v = ConstraintSet::new(ric::constraints::compile::fd_to_ccs(&fd, &schema));
-    let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
-    let budget = SearchBudget { fresh_values: 3, ..SearchBudget::default() };
+    let setting = Setting::new(
+        schema.clone(),
+        Schema::new(),
+        Database::with_relations(0),
+        v,
+    );
+    let budget = SearchBudget {
+        fresh_values: 3,
+        ..SearchBudget::default()
+    };
 
-    let q4: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.").unwrap().into();
+    let q4: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.")
+        .unwrap()
+        .into();
     assert!(
         rcqp(&setting, &q4, &budget).unwrap().is_nonempty(),
         "a blocking tuple (e0, d′) makes a complete database"
@@ -193,9 +225,11 @@ fn example_4_1_contrast() {
 /// one framework.
 #[test]
 fn consistency_and_completeness_in_one_framework() {
-    let schema =
-        Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "dept", "cid"])])
-            .unwrap();
+    let schema = Schema::from_relations(vec![RelationSchema::infinite(
+        "Supt",
+        &["eid", "dept", "cid"],
+    )])
+    .unwrap();
     let supt = schema.rel_id("Supt").unwrap();
     let cfd = Cfd {
         rel: supt,
@@ -205,12 +239,25 @@ fn consistency_and_completeness_in_one_framework() {
         rhs_pattern: vec![],
     };
     let v = ConstraintSet::new(ric::constraints::compile::cfd_to_ccs(&cfd, &schema));
-    let setting = Setting::new(schema.clone(), Schema::new(), Database::with_relations(0), v);
-    let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).").unwrap().into();
+    let setting = Setting::new(
+        schema.clone(),
+        Schema::new(),
+        Database::with_relations(0),
+        v,
+    );
+    let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).")
+        .unwrap()
+        .into();
 
     let mut dirty = Database::empty(&schema);
-    dirty.insert(supt, Tuple::new([Value::str("e1"), Value::str("BU"), Value::str("c1")]));
-    dirty.insert(supt, Tuple::new([Value::str("e1"), Value::str("BU"), Value::str("c2")]));
+    dirty.insert(
+        supt,
+        Tuple::new([Value::str("e1"), Value::str("BU"), Value::str("c1")]),
+    );
+    dirty.insert(
+        supt,
+        Tuple::new([Value::str("e1"), Value::str("BU"), Value::str("c2")]),
+    );
     assert_eq!(
         rcdp(&setting, &q, &dirty, &SearchBudget::default()),
         Err(RcError::NotPartiallyClosed),

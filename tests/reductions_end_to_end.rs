@@ -2,7 +2,6 @@
 //! source problems, decide them with the `ric-complete` deciders, and check
 //! against the independent oracles.
 
-use rand::SeedableRng;
 use ric::prelude::*;
 use ric::reductions::{qbf, rcdp_sigma2, rcqp_conp, sat, tiling, two_head_dfa};
 
@@ -10,7 +9,7 @@ use ric::reductions::{qbf, rcdp_sigma2, rcqp_conp, sat, tiling, two_head_dfa};
 /// brute-force QBF oracle.
 #[test]
 fn sigma2_reduction_matches_oracle() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+    let mut rng = ric::SplitMix64::seed_from_u64(100);
     for _ in 0..6 {
         let phi = qbf::ForallExists::random(2, 2, 3, &mut rng);
         let truth = phi.eval();
@@ -29,7 +28,7 @@ fn sigma2_reduction_matches_oracle() {
 /// Theorem 4.5(1): the 3SAT reduction to RCQP(CQ, INDs) complements DPLL.
 #[test]
 fn conp_reduction_matches_dpll() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+    let mut rng = ric::SplitMix64::seed_from_u64(101);
     for n_clauses in [2, 5, 9, 14] {
         let phi = sat::Cnf::random_3sat(3, n_clauses, &mut rng);
         let (setting, q) = rcqp_conp::to_rcqp_instance(&phi);
@@ -61,7 +60,9 @@ fn tiling_reduction_witness_roundtrip() {
             "checkerboard 4x4",
         ),
     ] {
-        let grid = inst.solve().unwrap_or_else(|| panic!("{label} should tile"));
+        let grid = inst
+            .solve()
+            .unwrap_or_else(|| panic!("{label} should tile"));
         assert!(inst.check(&grid));
         let (setting, q) = tiling::to_rcqp_instance(&inst);
         let witness = tiling::tiling_witness(&setting.schema, &inst, &grid);
@@ -74,7 +75,9 @@ fn tiling_reduction_witness_roundtrip() {
         // Tamper: remove the Rb release and the database turns incomplete.
         let rb = setting.schema.rel_id("Rb").unwrap();
         let mut tampered = witness.clone();
-        tampered.instance_mut(rb).remove(&Tuple::new([Value::int(0)]));
+        tampered
+            .instance_mut(rb)
+            .remove(&Tuple::new([Value::int(0)]));
         let verdict = rcdp(&setting, &q, &tampered, &SearchBudget::default()).unwrap();
         assert!(verdict.is_incomplete(), "{label}: Rb can still grow");
     }
@@ -144,7 +147,7 @@ fn dfa_fp_query_equals_automaton_on_words() {
 /// the same `(D_m, V)` serves every formula of a given size.
 #[test]
 fn sigma2_master_and_constraints_are_fixed() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(102);
+    let mut rng = ric::SplitMix64::seed_from_u64(102);
     let phi1 = qbf::ForallExists::random(2, 2, 3, &mut rng);
     let phi2 = qbf::ForallExists::random(2, 2, 3, &mut rng);
     let (s1, _, d1) = rcdp_sigma2::to_rcdp_instance(&phi1);

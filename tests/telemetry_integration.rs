@@ -1,0 +1,290 @@
+//! Integration tests for the telemetry layer: exact counters on
+//! hand-computed instances, structured `SearchStats` on every `Unknown`
+//! verdict, JSONL output that parses back, and `Display`-string stability
+//! for the verdict types (log output must not change across revisions).
+
+use ric::prelude::*;
+use ric::telemetry::{json, JsonlSink};
+use ric::{rcdp_probed, rcqp_probed, BudgetLimit, SearchStats};
+
+/// Example 2.1 in miniature: Supt(eid, cid) with cid bounded by the master
+/// customer list {c1, c2}; the database only knows e0 supports c1.
+fn master_bounded_instance() -> (Setting, Query, Database) {
+    let schema =
+        Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "cid"])]).unwrap();
+    let supt = schema.rel_id("Supt").unwrap();
+    let mschema =
+        Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
+    let dcust = mschema.rel_id("DCust").unwrap();
+    let mut dm = Database::empty(&mschema);
+    dm.insert(dcust, Tuple::new([Value::str("c1")]));
+    dm.insert(dcust, Tuple::new([Value::str("c2")]));
+    let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+        CcBody::Proj(Projection::new(supt, vec![1])),
+        dcust,
+        vec![0],
+    )]);
+    let setting = Setting::new(schema.clone(), mschema, dm, v);
+    let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', C).").unwrap().into();
+    let mut db = Database::empty(&schema);
+    db.insert(supt, Tuple::new([Value::str("e0"), Value::str("c1")]));
+    (setting, q, db)
+}
+
+#[test]
+fn rcdp_counters_match_hand_computation() {
+    let (setting, q, db) = master_bounded_instance();
+    let collector = Collector::new();
+    let v = rcdp_probed(
+        &setting,
+        &q,
+        &db,
+        &SearchBudget::default(),
+        Probe::attached(&collector),
+    )
+    .unwrap();
+    assert!(v.is_incomplete(), "c2 can still be collected");
+
+    let report = collector.report();
+    // The exact decider evaluates Q(D) once up front.
+    assert_eq!(report.counter("rcdp.query_evals"), 1);
+    // The delta tableau has one atom Supt('e0', C) with one variable; the
+    // enumeration tries candidate values for C from the active domain and
+    // stops at the first violating valuation. The valuation count equals
+    // what the shared enumeration space reports.
+    let valuations = report.counter("rcdp.valuations");
+    assert!(valuations >= 1, "at least one valuation must be examined");
+    assert_eq!(report.counter("valuations.assignments"), valuations);
+    // Each examined valuation is checked against the constraints at most
+    // twice (partial filter + final visit).
+    let cc_checks = report.counter("rcdp.cc_checks");
+    assert!(
+        cc_checks >= 1 && cc_checks <= 2 * valuations,
+        "cc_checks: {cc_checks}"
+    );
+
+    // Structured decision notes: one strategy, one outcome, emitted once.
+    assert_eq!(report.notes("rcdp.strategy"), vec!["exact".to_string()]);
+    assert_eq!(report.notes("rcdp.outcome"), vec!["incomplete".to_string()]);
+    // The active domain: e0, c1 (db) + c2 (master) + the query constant e0
+    // + fresh padding; the gauge must cover at least those three values.
+    assert!(report.gauge("rcdp.adom_size").unwrap() >= 3);
+    // Span timings exist for the enumeration phase.
+    assert!(report.span_micros("rcdp.enumerate").is_some());
+}
+
+#[test]
+fn rcdp_unknown_names_the_exhausted_limit() {
+    let (setting, q, db) = master_bounded_instance();
+    let budget = SearchBudget {
+        max_valuations: 0,
+        ..SearchBudget::default()
+    };
+    let collector = Collector::new();
+    let v = rcdp_probed(&setting, &q, &db, &budget, Probe::attached(&collector)).unwrap();
+    match &v {
+        Verdict::Unknown { stats } => {
+            assert_eq!(stats.limit, BudgetLimit::MaxValuations);
+            // Meter counts accepted work only: never more than the limit.
+            assert_eq!(stats.valuations, 0);
+            assert_eq!(stats.detail, "valuation budget of 0 exhausted");
+        }
+        other => panic!("expected unknown, got {other:?}"),
+    }
+    let report = collector.report();
+    assert_eq!(report.notes("rcdp.outcome"), vec!["unknown".to_string()]);
+    assert_eq!(
+        report.notes("rcdp.limit"),
+        vec!["max_valuations".to_string()]
+    );
+    assert_eq!(report.counter("rcdp.valuations"), 0);
+}
+
+#[test]
+fn rcqp_counters_and_outcome_notes() {
+    // Example 4.1: FD eid → dept blocks every extension mentioning e0, so a
+    // blocking witness exists and RCQ is nonempty.
+    let schema =
+        Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "dept"])]).unwrap();
+    let supt = schema.rel_id("Supt").unwrap();
+    let fd = Fd::new(supt, vec![0], vec![1]);
+    let v = ConstraintSet::new(ric::constraints::compile::fd_to_ccs(&fd, &schema));
+    let setting = Setting::new(
+        schema.clone(),
+        Schema::new(),
+        Database::with_relations(0),
+        v,
+    );
+    let q: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.")
+        .unwrap()
+        .into();
+    let budget = SearchBudget {
+        fresh_values: 3,
+        ..SearchBudget::default()
+    };
+
+    let collector = Collector::new();
+    let verdict = rcqp_probed(&setting, &q, &budget, Probe::attached(&collector)).unwrap();
+    assert!(verdict.is_nonempty());
+
+    let report = collector.report();
+    assert_eq!(report.notes("rcqp.outcome"), vec!["nonempty".to_string()]);
+    assert_eq!(
+        report.notes("rcqp.strategy").len(),
+        1,
+        "exactly one strategy note"
+    );
+    if let QueryVerdict::Nonempty { witness: Some(w) } = &verdict {
+        assert_eq!(
+            report.gauge("rcqp.witness_tuples"),
+            Some(w.tuple_count() as u64)
+        );
+    }
+}
+
+#[test]
+fn rcqp_unknown_carries_structured_stats() {
+    // An FP query forces the bounded semi-decision; with a candidate budget
+    // of zero the search cannot examine anything, and the verdict must say
+    // which knob ran out.
+    use ric::reductions::two_head_dfa::{to_rcdp_instance, TwoHeadDfa};
+    let (setting, q, _db) = to_rcdp_instance(&TwoHeadDfa::ones());
+    let budget = SearchBudget {
+        max_delta_tuples: 2,
+        fresh_values: 1,
+        max_candidates: 0,
+        ..SearchBudget::default()
+    };
+
+    let collector = Collector::new();
+    let verdict = rcqp_probed(&setting, &q, &budget, Probe::attached(&collector)).unwrap();
+    match &verdict {
+        QueryVerdict::Unknown { stats } => {
+            assert_eq!(stats.limit, BudgetLimit::MaxCandidates);
+            assert_eq!(stats.candidates, 0, "no candidate was actually examined");
+        }
+        other => panic!("expected unknown, got {other:?}"),
+    }
+    let report = collector.report();
+    assert_eq!(report.notes("rcqp.outcome"), vec!["unknown".to_string()]);
+    assert_eq!(
+        report.notes("rcqp.limit"),
+        vec!["max_candidates".to_string()]
+    );
+    assert_eq!(report.notes("rcqp.strategy"), vec!["bounded".to_string()]);
+}
+
+#[test]
+fn collector_reports_are_deterministic() {
+    let (setting, q, db) = master_bounded_instance();
+    let run = || {
+        let collector = Collector::new();
+        rcdp_probed(
+            &setting,
+            &q,
+            &db,
+            &SearchBudget::default(),
+            Probe::attached(&collector),
+        )
+        .unwrap();
+        collector.report()
+    };
+    let (a, b) = (run(), run());
+    // Wall-clock spans differ between runs; everything else is exact.
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.gauges, b.gauges);
+    assert_eq!(a.notes, b.notes);
+}
+
+#[test]
+fn jsonl_stream_is_parseable_line_delimited_json() {
+    let (setting, q, db) = master_bounded_instance();
+    let sink = JsonlSink::new(Vec::new());
+    rcdp_probed(
+        &setting,
+        &q,
+        &db,
+        &SearchBudget::default(),
+        Probe::attached(&sink),
+    )
+    .unwrap();
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    assert!(!text.is_empty());
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let doc = json::parse(line).expect("every line is a complete JSON document");
+        let kind = doc
+            .get("kind")
+            .and_then(ric::telemetry::Json::as_str)
+            .unwrap();
+        assert!(
+            ["count", "gauge", "span", "note"].contains(&kind),
+            "kind: {kind}"
+        );
+        assert!(doc
+            .get("name")
+            .and_then(ric::telemetry::Json::as_str)
+            .is_some());
+        kinds.insert(kind.to_string());
+    }
+    // A full decision emits at least counters, notes, and spans.
+    assert!(kinds.contains("count") && kinds.contains("note") && kinds.contains("span"));
+}
+
+#[test]
+fn verdict_display_strings_are_stable() {
+    // These strings are the crate's log/CLI surface; they predate the
+    // structured SearchStats and must not drift.
+    assert_eq!(Verdict::Complete.to_string(), "complete");
+
+    let schema =
+        Schema::from_relations(vec![RelationSchema::infinite("Supt", &["eid", "cid"])]).unwrap();
+    let supt = schema.rel_id("Supt").unwrap();
+    let mut delta = Database::empty(&schema);
+    delta.insert(supt, Tuple::new([Value::str("e0"), Value::str("c2")]));
+    let ce = CounterExample {
+        delta,
+        new_answer: Tuple::new([Value::str("c2")]),
+    };
+    assert_eq!(
+        Verdict::Incomplete(ce).to_string(),
+        "incomplete (adding 1 tuple(s) yields new answer (c2))"
+    );
+
+    assert_eq!(
+        Verdict::unknown(SearchStats::new(
+            BudgetLimit::MaxValuations,
+            "valuation budget of 100000 exhausted",
+        ))
+        .to_string(),
+        "unknown (valuation budget of 100000 exhausted)"
+    );
+
+    // End-to-end: the decider's own Unknown prints the legacy wording.
+    let (setting, q, db) = master_bounded_instance();
+    let budget = SearchBudget {
+        max_valuations: 0,
+        ..SearchBudget::default()
+    };
+    let v = rcdp(&setting, &q, &db, &budget).unwrap();
+    assert_eq!(v.to_string(), "unknown (valuation budget of 0 exhausted)");
+}
+
+#[test]
+fn budget_limit_names_are_stable() {
+    // The machine-readable names feed telemetry notes and BENCH_TABLE*.json;
+    // renaming one is a breaking change for downstream tooling.
+    let all = [
+        (BudgetLimit::MaxValuations, "max_valuations"),
+        (BudgetLimit::MaxCandidates, "max_candidates"),
+        (BudgetLimit::MaxDeltaTuples, "max_delta_tuples"),
+        (BudgetLimit::MaxWitnessTuples, "max_witness_tuples"),
+        (BudgetLimit::FreshValues, "fresh_values"),
+        (BudgetLimit::PoolBound, "pool_bound"),
+        (BudgetLimit::Unsupported, "unsupported"),
+    ];
+    for (limit, name) in all {
+        assert_eq!(limit.name(), name);
+        assert_eq!(limit.to_string(), name);
+    }
+}
