@@ -22,6 +22,15 @@
 //! schema.
 //!
 //! Run with `cargo run --release -p ric-bench --bin regen_tables`.
+//!
+//! Pass `--deadline-ms N` (or set `RIC_DEADLINE_MS=N`) to put a wall-clock
+//! deadline of `N` milliseconds on every decision. Cells that cannot finish
+//! inside the deadline degrade to an honest `Unknown` whose stats name the
+//! `deadline` limit — the regeneration still terminates and still writes
+//! well-formed artifacts, which is the point: the tables can be rebuilt on a
+//! time budget without ever reporting a wrong cell.
+
+use std::time::Duration;
 
 use ric::prelude::*;
 use ric::reductions::two_head_dfa::{to_rcdp_instance, TwoHeadDfa};
@@ -100,9 +109,42 @@ fn probed<T>(f: impl FnOnce(Probe<'_>) -> T) -> (T, u128, Report) {
     (out, start.elapsed().as_micros(), collector.report())
 }
 
-fn table1() -> Vec<Cell> {
+/// The per-decision deadline requested via `--deadline-ms` / `RIC_DEADLINE_MS`,
+/// if any. Invalid values are rejected loudly rather than silently ignored.
+fn deadline_from_invocation() -> Option<Duration> {
+    let mut args = std::env::args().skip(1);
+    let mut ms: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--deadline-ms" {
+            ms = Some(args.next().unwrap_or_default());
+        } else if let Some(v) = arg.strip_prefix("--deadline-ms=") {
+            ms = Some(v.to_string());
+        } else {
+            eprintln!("usage: regen_tables [--deadline-ms N]");
+            std::process::exit(2);
+        }
+    }
+    let ms = ms.or_else(|| std::env::var("RIC_DEADLINE_MS").ok())?;
+    match ms.parse::<u64>() {
+        Ok(n) => Some(Duration::from_millis(n)),
+        Err(_) => {
+            eprintln!("regen_tables: --deadline-ms expects a millisecond count, got {ms:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Apply the run-wide deadline, when one was requested, to a cell's budget.
+fn bounded(budget: SearchBudget, deadline: Option<Duration>) -> SearchBudget {
+    match deadline {
+        Some(d) => budget.with_deadline(d),
+        None => budget,
+    }
+}
+
+fn table1(deadline: Option<Duration>) -> Vec<Cell> {
     let mut cells = Vec::new();
-    let budget = SearchBudget::default();
+    let budget = bounded(SearchBudget::default(), deadline);
     let mut rng = SplitMix64::seed_from_u64(1);
 
     // (CQ, INDs): Σᵖ₂-complete — typical workload + hardness reduction.
@@ -200,12 +242,15 @@ fn table1() -> Vec<Cell> {
     }
     // (FO, CQ) and (FP, CQ): undecidable — bounded semi-decision.
     {
-        let budget_fp = SearchBudget {
-            max_delta_tuples: 3,
-            fresh_values: 2,
-            max_candidates: 500_000,
-            ..SearchBudget::default()
-        };
+        let budget_fp = bounded(
+            SearchBudget {
+                max_delta_tuples: 3,
+                fresh_values: 2,
+                max_candidates: 500_000,
+                ..SearchBudget::default()
+            },
+            deadline,
+        );
         let (setting, q, db) = to_rcdp_instance(&TwoHeadDfa::ones());
         let (v, us, report) = probed(|p| rcdp_probed(&setting, &q, &db, &budget_fp, p).unwrap());
         cells.push(Cell {
@@ -230,9 +275,9 @@ fn table1() -> Vec<Cell> {
     cells
 }
 
-fn table2() -> Vec<Cell> {
+fn table2(deadline: Option<Duration>) -> Vec<Cell> {
     let mut cells = Vec::new();
-    let budget = SearchBudget::default();
+    let budget = bounded(SearchBudget::default(), deadline);
     let mut rng = SplitMix64::seed_from_u64(2);
 
     // (CQ, INDs): coNP-complete via 3SAT.
@@ -305,10 +350,13 @@ fn table2() -> Vec<Cell> {
             Database::with_relations(0),
             v,
         );
-        let bqt = SearchBudget {
-            fresh_values: 3,
-            ..SearchBudget::default()
-        };
+        let bqt = bounded(
+            SearchBudget {
+                fresh_values: 3,
+                ..SearchBudget::default()
+            },
+            deadline,
+        );
         let q4: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.")
             .unwrap()
             .into();
@@ -349,10 +397,13 @@ fn table2() -> Vec<Cell> {
     // Fixed (D_m, V): Πᵖ₃ regime.
     {
         let setting = rcqp_pi3::fixed_setting();
-        let bqt = SearchBudget {
-            fresh_values: 3,
-            ..SearchBudget::default()
-        };
+        let bqt = bounded(
+            SearchBudget {
+                fresh_values: 3,
+                ..SearchBudget::default()
+            },
+            deadline,
+        );
         let q = rcqp_pi3::bounded_query(&setting, 0);
         let (v, us, report) = probed(|p| rcqp_probed(&setting, &q, &bqt, p).unwrap());
         cells.push(Cell {
@@ -386,12 +437,15 @@ fn table2() -> Vec<Cell> {
     // this cell name the exhausted budget limit (`rcqp.limit`).
     {
         let (setting, q, _) = to_rcdp_instance(&TwoHeadDfa::ones());
-        let bqt = SearchBudget {
-            max_delta_tuples: 2,
-            fresh_values: 1,
-            max_candidates: 50_000,
-            ..SearchBudget::default()
-        };
+        let bqt = bounded(
+            SearchBudget {
+                max_delta_tuples: 2,
+                fresh_values: 1,
+                max_candidates: 50_000,
+                ..SearchBudget::default()
+            },
+            deadline,
+        );
         let (v, us, report) = probed(|p| rcqp_probed(&setting, &q, &bqt, p).unwrap());
         cells.push(Cell {
             cell: "(FP, CQ) DFA reduction",
@@ -413,9 +467,16 @@ fn table2() -> Vec<Cell> {
 fn main() {
     println!("Relative Information Completeness: empirical Tables I and II");
     println!("(Fan & Geerts, PODS 2009 / TODS 2010; see EXPERIMENTS.md)");
-    let t1 = table1();
+    let deadline = deadline_from_invocation();
+    if let Some(d) = deadline {
+        println!(
+            "per-decision wall-clock deadline: {} ms (slow cells degrade to Unknown)",
+            d.as_millis()
+        );
+    }
+    let t1 = table1(deadline);
     print_table("Table I - RCDP(L_Q, L_C)", &t1);
-    let t2 = table2();
+    let t2 = table2(deadline);
     print_table("Table II - RCQP(L_Q, L_C)", &t2);
     println!();
     write_table("BENCH_TABLE1.json", "I", "RCDP(L_Q, L_C)", &t1);

@@ -13,7 +13,8 @@
 //!   queries, and **E2** for an explicitly supplied candidate `D_𝒱`.
 
 use crate::adom::Adom;
-use crate::budget::{Meter, SearchBudget};
+use crate::budget::{Meter, MeterKind, SearchBudget};
+use crate::guard::Guard;
 use crate::query::Query;
 use crate::setting::Setting;
 use crate::valuations::{EnumOutcome, ValuationSpace};
@@ -182,18 +183,64 @@ pub fn e2_check_probed(
     budget: &SearchBudget,
     probe: Probe<'_>,
 ) -> Result<Option<bool>, RcError> {
+    e2_check_guarded_probed(
+        setting,
+        q,
+        dv,
+        bound_values,
+        budget,
+        &Guard::new(budget),
+        probe,
+    )
+}
+
+/// [`e2_check`] under an externally shared [`Guard`]: a deadline or
+/// cancellation observed mid-enumeration makes the check inconclusive
+/// (`Ok(None)`), and the *caller* must consult [`Guard::tripped`] before
+/// treating an inconclusive check as plain budget exhaustion.
+pub fn e2_check_guarded(
+    setting: &Setting,
+    q: &Cq,
+    dv: &Database,
+    bound_values: &BTreeSet<Value>,
+    budget: &SearchBudget,
+    guard: &Guard,
+) -> Result<Option<bool>, RcError> {
+    e2_check_guarded_probed(
+        setting,
+        q,
+        dv,
+        bound_values,
+        budget,
+        guard,
+        Probe::disabled(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn e2_check_guarded_probed(
+    setting: &Setting,
+    q: &Cq,
+    dv: &Database,
+    bound_values: &BTreeSet<Value>,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+) -> Result<Option<bool>, RcError> {
     let span = probe.span("characterize.e2_check");
-    let result = e2_check_inner(setting, q, dv, bound_values, budget, probe);
+    let result = e2_check_inner(setting, q, dv, bound_values, budget, guard, probe);
     drop(span);
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn e2_check_inner(
     setting: &Setting,
     q: &Cq,
     dv: &Database,
     bound_values: &BTreeSet<Value>,
     budget: &SearchBudget,
+    guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<Option<bool>, RcError> {
     if !setting.partially_closed(dv)? {
@@ -213,7 +260,7 @@ fn e2_check_inner(
         .filter(|v| doms[v.idx()].is_none())
         .collect();
     let space = ValuationSpace::new(&t, &setting.schema, &adom);
-    let mut meter = Meter::new(budget.max_valuations);
+    let mut meter = Meter::guarded(MeterKind::Valuations, budget.max_valuations, guard);
     let mut ok = true;
     let outcome = space.for_each_valid(
         &mut meter,

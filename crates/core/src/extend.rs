@@ -10,6 +10,7 @@
 //! the (stable) extended active domain.
 
 use crate::budget::SearchBudget;
+use crate::guard::Guard;
 use crate::query::Query;
 use crate::setting::Setting;
 use crate::verdict::{RcError, Verdict};
@@ -59,6 +60,20 @@ pub fn complete_extension_probed(
     budget: &SearchBudget,
     probe: Probe<'_>,
 ) -> Result<CompletionOutcome, RcError> {
+    complete_extension_guarded(setting, query, db, budget, &Guard::new(budget), probe)
+}
+
+/// [`complete_extension`] under an externally shared [`Guard`]: the deadline
+/// spans the *whole* loop (every round's RCDP decision polls the same clock),
+/// and a trip breaks to `CompletionOutcome::Budget` with the progress so far.
+pub fn complete_extension_guarded(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+) -> Result<CompletionOutcome, RcError> {
     let span = probe.span("extend.completion");
     let mut current = db.clone();
     let mut added = Database::with_relations(setting.schema.len());
@@ -66,10 +81,20 @@ pub fn complete_extension_probed(
     let mut rounds: u64 = 0;
     let outcome = loop {
         rounds += 1;
+        // Poll the guard once per round so a trip is observed even when the
+        // per-round decision is too cheap to reach its own meter check.
+        if let Some(interrupt) = guard.check_now() {
+            probe.interrupt("extend.interrupt", interrupt.name(), guard.ticks());
+            break CompletionOutcome::Budget {
+                added,
+                partial: current,
+            };
+        }
         // The per-round decisions run unprobed: an unbounded query can take
         // hundreds of rounds, and each round's counters would swamp the
         // sink; rounds and collected tuples summarise the loop.
-        match crate::rcdp(setting, query, &current, budget)? {
+        match crate::rcdp::rcdp_guarded(setting, query, &current, budget, guard, Probe::disabled())?
+        {
             Verdict::Complete => {
                 break if first {
                     CompletionOutcome::AlreadyComplete

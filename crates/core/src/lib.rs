@@ -41,6 +41,7 @@ pub mod adom;
 pub mod budget;
 pub mod characterize;
 pub mod extend;
+pub mod guard;
 pub mod query;
 pub mod rcdp;
 pub mod rcqp;
@@ -50,9 +51,10 @@ pub mod valuations;
 pub mod verdict;
 
 pub use adom::Adom;
-pub use budget::SearchBudget;
+pub use budget::{Meter, MeterKind, SearchBudget};
+pub use guard::{CancelToken, FaultPlan, Guard, Interrupt};
 pub use query::Query;
-pub use rcdp::{rcdp, rcdp_probed};
-pub use rcqp::{rcqp, rcqp_probed};
+pub use rcdp::{rcdp, rcdp_guarded, rcdp_probed};
+pub use rcqp::{rcqp, rcqp_guarded, rcqp_probed};
 pub use setting::Setting;
 pub use verdict::{BudgetLimit, CounterExample, QueryVerdict, RcError, SearchStats, Verdict};

@@ -38,7 +38,7 @@ impl Query {
             Query::Cq(q) => ric_query::eval::eval_cq(q, db),
             Query::Ucq(q) => ric_query::eval::eval_ucq(q, db),
             Query::Efo(q) => q.eval(db),
-            Query::Fo(q) => Ok(q.eval(db)),
+            Query::Fo(q) => q.try_eval(db),
             Query::Fp(p) => Ok(p.eval(db)),
         }
     }

@@ -21,7 +21,8 @@
 //! `Unknown` otherwise.
 
 use crate::adom::Adom;
-use crate::budget::{Meter, SearchBudget};
+use crate::budget::{Meter, MeterKind, SearchBudget};
+use crate::guard::Guard;
 use crate::query::Query;
 use crate::setting::Setting;
 use crate::valuations::{EnumOutcome, ValuationSpace};
@@ -66,16 +67,32 @@ pub fn rcdp_probed(
     budget: &SearchBudget,
     probe: Probe<'_>,
 ) -> Result<Verdict, RcError> {
+    rcdp_guarded(setting, query, db, budget, &Guard::new(budget), probe)
+}
+
+/// [`rcdp_probed`] under a caller-supplied [`Guard`], so one deadline and one
+/// [`CancelToken`](crate::CancelToken) span this decision (and any nested
+/// decider calls). This is the entry point the facade's cancellable API uses;
+/// `rcdp`/`rcdp_probed` delegate here with a fresh guard built from the
+/// budget.
+pub fn rcdp_guarded(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+) -> Result<Verdict, RcError> {
     validate_fp_bodies(setting, query)?;
     if !setting.partially_closed(db)? {
         return Err(RcError::NotPartiallyClosed);
     }
     if exactly_decidable(query.language()) && exactly_decidable(setting.v.language()) {
         probe.note("rcdp.strategy", || "exact".into());
-        rcdp_exact_probed(setting, query, db, budget, probe)
+        rcdp_exact_guarded(setting, query, db, budget, guard, probe)
     } else {
         probe.note("rcdp.strategy", || "bounded".into());
-        crate::semidecide::rcdp_bounded_probed(setting, query, db, budget, probe)
+        crate::semidecide::rcdp_bounded_guarded(setting, query, db, budget, guard, probe)
     }
 }
 
@@ -98,9 +115,24 @@ pub fn rcdp_exact_probed(
     budget: &SearchBudget,
     probe: Probe<'_>,
 ) -> Result<Verdict, RcError> {
-    let ucq = query
-        .as_ucq()
-        .expect("exact RCDP requires a UCQ-expressible query");
+    rcdp_exact_guarded(setting, query, db, budget, &Guard::new(budget), probe)
+}
+
+/// [`rcdp_exact`] under a caller-supplied [`Guard`].
+pub fn rcdp_exact_guarded(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+) -> Result<Verdict, RcError> {
+    let Some(ucq) = query.as_ucq() else {
+        return Err(RcError::Unsupported(format!(
+            "exact RCDP requires a UCQ-expressible query, got {:?}",
+            query.language()
+        )));
+    };
     let tableaux = ucq.tableaux()?;
     if tableaux.is_empty() {
         // Unsatisfiable query: every partially closed database is complete.
@@ -118,7 +150,7 @@ pub fn rcdp_exact_probed(
     let adom = Adom::build(db, setting, query, n_fresh);
     probe.gauge("rcdp.adom_size", adom.len() as u64);
     let is_ind = setting.v.is_ind_set();
-    let mut meter = Meter::new(budget.max_valuations);
+    let mut meter = Meter::guarded(MeterKind::Valuations, budget.max_valuations, guard);
     let cc_checks = Cell::new(0u64);
 
     let span = probe.span("rcdp.enumerate");
@@ -203,11 +235,14 @@ pub fn rcdp_exact_probed(
             EnumOutcome::BudgetExceeded => {
                 verdict = Verdict::unknown(
                     SearchStats::new(
-                        BudgetLimit::MaxValuations,
-                        format!("valuation budget of {} exhausted", budget.max_valuations),
+                        meter.stop_limit(BudgetLimit::MaxValuations),
+                        meter.stop_detail("valuation"),
                     )
                     .with_valuations(meter.used()),
                 );
+                if let Some(interrupt) = meter.interrupt() {
+                    probe.interrupt("rcdp.interrupt", interrupt.name(), guard.ticks());
+                }
                 break;
             }
             EnumOutcome::Exhausted => {}

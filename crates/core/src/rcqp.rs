@@ -35,8 +35,9 @@
 //! benches exercise exactly that regime.
 
 use crate::adom::Adom;
-use crate::budget::{Meter, SearchBudget};
-use crate::extend::{complete_extension, CompletionOutcome};
+use crate::budget::{Meter, MeterKind, SearchBudget};
+use crate::extend::{complete_extension_guarded, CompletionOutcome};
+use crate::guard::Guard;
 use crate::query::Query;
 use crate::setting::Setting;
 use crate::valuations::{EnumOutcome, ValuationSpace};
@@ -78,7 +79,20 @@ pub fn rcqp_probed(
     budget: &SearchBudget,
     probe: Probe<'_>,
 ) -> Result<QueryVerdict, RcError> {
-    let verdict = rcqp_inner(setting, query, budget, probe)?;
+    rcqp_guarded(setting, query, budget, &Guard::new(budget), probe)
+}
+
+/// [`rcqp_probed`] under a caller-supplied [`Guard`], so one deadline and one
+/// [`CancelToken`](crate::CancelToken) span the whole decision, including the
+/// nested RCDP certifications.
+pub fn rcqp_guarded(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+) -> Result<QueryVerdict, RcError> {
+    let verdict = rcqp_inner(setting, query, budget, guard, probe)?;
     emit_query_verdict(probe, &verdict);
     Ok(verdict)
 }
@@ -105,13 +119,14 @@ fn rcqp_inner(
     setting: &Setting,
     query: &Query,
     budget: &SearchBudget,
+    guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<QueryVerdict, RcError> {
     if !(exactly_decidable(query.language()) && exactly_decidable(setting.v.language())) {
         probe.note("rcqp.strategy", || "bounded".into());
         // The caller (rcqp_probed) emits the outcome note, so route through
         // the note-free inner variant of the bounded search.
-        return crate::semidecide::rcqp_bounded_inner(setting, query, budget, probe);
+        return crate::semidecide::rcqp_bounded_inner(setting, query, budget, guard, probe);
     }
     // Lower-bound constraints (the Section 5 extension) force minimal
     // content into every candidate database; build that seed first. With no
@@ -137,9 +152,12 @@ fn rcqp_inner(
             ))
         });
     }
-    let ucq = query
-        .as_ucq()
-        .expect("decidable languages are UCQ-expressible");
+    let Some(ucq) = query.as_ucq() else {
+        return Err(RcError::Unsupported(format!(
+            "decidable languages are UCQ-expressible, got {:?}",
+            query.language()
+        )));
+    };
     let tableaux = ucq.tableaux()?;
     if tableaux.is_empty() {
         // Unsatisfiable query: the seed database is complete.
@@ -150,15 +168,22 @@ fn rcqp_inner(
     // E1/E5: all head variables finite — trivially relatively complete.
     if crate::characterize::finite_head(&ucq, &setting.schema)? {
         probe.note("rcqp.strategy", || "finite_head".into());
-        let witness = greedy_witness(setting, query, &seed, budget, budget.max_witness_tuples)?;
+        let witness = greedy_witness(
+            setting,
+            query,
+            &seed,
+            budget,
+            guard,
+            budget.max_witness_tuples,
+        )?;
         return Ok(QueryVerdict::Nonempty { witness });
     }
     if setting.v.is_ind_set() {
         probe.note("rcqp.strategy", || "ind".into());
-        rcqp_ind(setting, query, &seed, &tableaux, budget, probe)
+        rcqp_ind(setting, query, &seed, &tableaux, budget, guard, probe)
     } else {
         probe.note("rcqp.strategy", || "general".into());
-        rcqp_general(setting, query, &seed, &tableaux, budget, probe)
+        rcqp_general(setting, query, &seed, &tableaux, budget, guard, probe)
     }
 }
 
@@ -206,13 +231,16 @@ fn greedy_witness(
     query: &Query,
     seed: &Database,
     budget: &SearchBudget,
+    guard: &Guard,
     max_tuples: usize,
 ) -> Result<Option<Database>, RcError> {
     let capped = SearchBudget {
         max_witness_tuples: max_tuples,
         ..*budget
     };
-    Ok(match complete_extension(setting, query, seed, &capped)? {
+    let outcome =
+        complete_extension_guarded(setting, query, seed, &capped, guard, Probe::disabled())?;
+    Ok(match outcome {
         CompletionOutcome::AlreadyComplete => Some(seed.clone()),
         CompletionOutcome::Completed { result, .. } => Some(result),
         CompletionOutcome::Budget { .. } => None,
@@ -220,12 +248,14 @@ fn greedy_witness(
 }
 
 /// Proposition 4.3: the coNP decision for `L_C` = INDs.
+#[allow(clippy::too_many_arguments)]
 fn rcqp_ind(
     setting: &Setting,
     query: &Query,
     seed: &Database,
     tableaux: &[Tableau],
     budget: &SearchBudget,
+    guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<QueryVerdict, RcError> {
     let n_fresh = tableaux
@@ -237,7 +267,7 @@ fn rcqp_ind(
     let empty = Database::empty(&setting.schema);
     let adom = Adom::build(&empty, setting, query, n_fresh);
     probe.gauge("rcqp.adom_size", adom.len() as u64);
-    let mut meter = Meter::new(budget.max_valuations);
+    let mut meter = Meter::guarded(MeterKind::Valuations, budget.max_valuations, guard);
     let span = probe.span("rcqp.blockedness");
     for t in tableaux {
         if !t.domain_consistent(&setting.schema) {
@@ -275,10 +305,13 @@ fn rcqp_ind(
         if outcome == EnumOutcome::BudgetExceeded {
             drop(span);
             probe.count("rcqp.valuations", meter.used());
+            if let Some(interrupt) = meter.interrupt() {
+                probe.interrupt("rcqp.interrupt", interrupt.name(), guard.ticks());
+            }
             return Ok(QueryVerdict::unknown(
                 SearchStats::new(
-                    BudgetLimit::MaxValuations,
-                    format!("valuation budget of {} exhausted", budget.max_valuations),
+                    meter.stop_limit(BudgetLimit::MaxValuations),
+                    meter.stop_detail("valuation"),
                 )
                 .with_valuations(meter.used()),
             ));
@@ -297,7 +330,14 @@ fn rcqp_ind(
     drop(span);
     probe.count("rcqp.valuations", meter.used());
     let greedy_span = probe.span("rcqp.greedy_witness");
-    let witness = greedy_witness(setting, query, seed, budget, budget.max_witness_tuples)?;
+    let witness = greedy_witness(
+        setting,
+        query,
+        seed,
+        budget,
+        guard,
+        budget.max_witness_tuples,
+    )?;
     drop(greedy_span);
     Ok(QueryVerdict::Nonempty { witness })
 }
@@ -666,12 +706,14 @@ fn hybrid_match(
 }
 
 /// The E2-driven search (Proposition 4.2) for `L_C` among CQ/UCQ/∃FO⁺.
+#[allow(clippy::too_many_arguments)]
 fn rcqp_general(
     setting: &Setting,
     query: &Query,
     seed: &Database,
     tableaux: &[Tableau],
     budget: &SearchBudget,
+    guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<QueryVerdict, RcError> {
     // Sound emptiness fast path: a disjunct whose generic instantiation
@@ -693,6 +735,7 @@ fn rcqp_general(
             query,
             seed,
             budget,
+            guard,
             GREEDY_PROBE_TUPLES.min(budget.max_witness_tuples),
         )? {
             return Ok(QueryVerdict::Nonempty {
@@ -781,11 +824,15 @@ fn rcqp_general(
 
     // Enumerate maximal V-consistent subsets of the pool; E2 is monotone in
     // D_𝒱, so checking maximal subsets decides ∃𝒱.E2.
-    let mut meter = Meter::new(budget.max_candidates);
+    let mut meter = Meter::guarded(MeterKind::Candidates, budget.max_candidates, guard);
     let e2_checks = Cell::new(0u64);
     let q_cqs = match query.as_ucq() {
         Some(u) => u.disjuncts,
-        None => unreachable!("dispatch guarantees UCQ-expressible"),
+        None => {
+            return Err(RcError::Unsupported(
+                "dispatch guarantees UCQ-expressible".into(),
+            ))
+        }
     };
     let mut chosen: Vec<usize> = Vec::new();
     let mut current = seed.clone();
@@ -808,7 +855,8 @@ fn rcqp_general(
                 .collect();
             for cq in &q_cqs {
                 e2_checks.set(e2_checks.get() + 1);
-                match crate::characterize::e2_check(setting, cq, db, &bound, budget)? {
+                match crate::characterize::e2_check_guarded(setting, cq, db, &bound, budget, guard)?
+                {
                     Some(true) => {}
                     _ => return Ok(false),
                 }
@@ -820,6 +868,29 @@ fn rcqp_general(
     drop(span);
     probe.count("rcqp.candidates", meter.used());
     probe.count("rcqp.e2_checks", e2_checks.get());
+    // A guard trip anywhere in the search (including inside an E2 check,
+    // where it surfaces as an inconclusive check) forfeits the Empty
+    // reading: the enumeration did not run to genuine exhaustion.
+    if outcome != MaxOutcome::Found {
+        if let Some(interrupt) = guard.tripped() {
+            probe.interrupt("rcqp.interrupt", interrupt.name(), guard.ticks());
+            return Ok(QueryVerdict::unknown(
+                SearchStats::new(
+                    interrupt.limit(),
+                    match interrupt {
+                        crate::guard::Interrupt::Deadline => format!(
+                            "wall-clock deadline expired after {} candidate(s)",
+                            meter.used()
+                        ),
+                        crate::guard::Interrupt::Cancelled => {
+                            format!("cancelled after {} candidate(s)", meter.used())
+                        }
+                    },
+                )
+                .with_candidates(meter.used()),
+            ));
+        }
+    }
     match outcome {
         MaxOutcome::Found => {
             let witness = result.expect("Found sets the result");
@@ -827,7 +898,14 @@ fn rcqp_general(
             // nonemptiness (Proposition 4.2), the certificate is a bonus.
             let _span = probe.span("rcqp.certify_witness");
             let certified = matches!(
-                crate::rcdp::rcdp_exact(setting, query, &witness, budget)?,
+                crate::rcdp::rcdp_exact_guarded(
+                    setting,
+                    query,
+                    &witness,
+                    budget,
+                    guard,
+                    Probe::disabled()
+                )?,
                 Verdict::Complete
             );
             Ok(QueryVerdict::Nonempty {
@@ -850,7 +928,7 @@ fn rcqp_general(
                 BudgetLimit::MaxCandidates,
                 format!(
                     "candidate budget of {} exhausted over a pool of {} tuples",
-                    budget.max_candidates,
+                    meter.limit(),
                     pool.len()
                 ),
             )

@@ -16,7 +16,8 @@
 //!   exactly the epistemic state the undecidability theorems force.
 
 use crate::adom::Adom;
-use crate::budget::{Meter, SearchBudget};
+use crate::budget::{Meter, MeterKind, SearchBudget};
+use crate::guard::Guard;
 use crate::query::Query;
 use crate::setting::Setting;
 use crate::verdict::{BudgetLimit, CounterExample, QueryVerdict, RcError, SearchStats, Verdict};
@@ -113,7 +114,20 @@ pub fn rcdp_bounded_probed(
     budget: &SearchBudget,
     probe: Probe<'_>,
 ) -> Result<Verdict, RcError> {
-    let verdict = rcdp_bounded_inner(setting, query, db, budget, probe)?;
+    rcdp_bounded_guarded(setting, query, db, budget, &Guard::new(budget), probe)
+}
+
+/// [`rcdp_bounded`] with an explicit [`Guard`] (deadline / cancellation /
+/// fault plan) and a telemetry probe attached.
+pub fn rcdp_bounded_guarded(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+) -> Result<Verdict, RcError> {
+    let verdict = rcdp_bounded_inner(setting, query, db, budget, guard, probe)?;
     crate::rcdp::emit_verdict(probe, &verdict);
     Ok(verdict)
 }
@@ -123,6 +137,7 @@ fn rcdp_bounded_inner(
     query: &Query,
     db: &Database,
     budget: &SearchBudget,
+    guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<Verdict, RcError> {
     let q_d = query.eval(db)?;
@@ -145,7 +160,7 @@ fn rcdp_bounded_inner(
     }
     let pool = tuple_pool(setting, db, &values);
     probe.gauge("semidecide.pool_size", pool.len() as u64);
-    let mut meter = Meter::new(budget.max_candidates);
+    let mut meter = Meter::guarded(MeterKind::Candidates, budget.max_candidates, guard);
 
     let span = probe.span("semidecide.extension_search");
     let mut verdict = None;
@@ -189,16 +204,20 @@ fn rcdp_bounded_inner(
                 break;
             }
             ChooseOutcome::Budget => {
+                let detail = match meter.interrupt() {
+                    Some(interrupt) => {
+                        probe.interrupt("semidecide.interrupt", interrupt.name(), guard.ticks());
+                        meter.stop_detail("candidate")
+                    }
+                    None => format!(
+                        "bounded search: candidate budget {} exhausted at extension \
+                         size {size}",
+                        meter.limit()
+                    ),
+                };
                 verdict = Some(Verdict::unknown(
-                    SearchStats::new(
-                        BudgetLimit::MaxCandidates,
-                        format!(
-                            "bounded search: candidate budget {} exhausted at extension \
-                             size {size}",
-                            budget.max_candidates
-                        ),
-                    )
-                    .with_candidates(meter.used()),
+                    SearchStats::new(meter.stop_limit(BudgetLimit::MaxCandidates), detail)
+                        .with_candidates(meter.used()),
                 ));
                 break;
             }
@@ -237,7 +256,7 @@ fn choose(
     start: usize,
     remaining: usize,
     chosen: &mut Vec<usize>,
-    meter: &mut Meter,
+    meter: &mut Meter<'_>,
     check: &mut impl FnMut(&[usize]) -> Result<Option<CounterExample>, RcError>,
 ) -> Result<ChooseOutcome, RcError> {
     if remaining == 0 {
@@ -281,7 +300,18 @@ pub fn rcqp_bounded_probed(
     budget: &SearchBudget,
     probe: Probe<'_>,
 ) -> Result<QueryVerdict, RcError> {
-    let verdict = rcqp_bounded_inner(setting, query, budget, probe)?;
+    rcqp_bounded_guarded(setting, query, budget, &Guard::new(budget), probe)
+}
+
+/// [`rcqp_bounded`] with an explicit [`Guard`] and a telemetry probe.
+pub fn rcqp_bounded_guarded(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+) -> Result<QueryVerdict, RcError> {
+    let verdict = rcqp_bounded_inner(setting, query, budget, guard, probe)?;
     crate::rcqp::emit_query_verdict(probe, &verdict);
     Ok(verdict)
 }
@@ -290,6 +320,7 @@ pub(crate) fn rcqp_bounded_inner(
     setting: &Setting,
     query: &Query,
     budget: &SearchBudget,
+    guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<QueryVerdict, RcError> {
     let empty = Database::empty(&setting.schema);
@@ -305,7 +336,7 @@ pub(crate) fn rcqp_bounded_inner(
     }
     let pool = tuple_pool(setting, &empty, &values);
     probe.gauge("semidecide.pool_size", pool.len() as u64);
-    let mut meter = Meter::new(budget.max_candidates);
+    let mut meter = Meter::guarded(MeterKind::Candidates, budget.max_candidates, guard);
     let cc_checks = Cell::new(0u64);
 
     let span = probe.span("semidecide.candidate_search");
@@ -332,8 +363,18 @@ pub(crate) fn rcqp_bounded_inner(
                 }
                 // The per-candidate refutation runs unprobed: thousands of
                 // candidates would flood the sink with inner-search events;
-                // the outer meter already accounts for the work.
-                if let Verdict::Unknown { .. } = rcdp_bounded(setting, query, &db, budget)? {
+                // the outer meter already accounts for the work. The guard is
+                // shared so a deadline covers the inner searches too.
+                if let Verdict::Unknown { .. } =
+                    rcdp_bounded_inner(setting, query, &db, budget, guard, Probe::disabled())?
+                {
+                    // An Unknown caused by a guard trip is not evidence that
+                    // the candidate survived — the refutation search was cut
+                    // short. Report nothing; the tripped guard ends the outer
+                    // enumeration at its next tick.
+                    if guard.tripped().is_some() {
+                        return Ok(None);
+                    }
                     // No refutation within bound: treat as a survivor and
                     // abuse the Found channel to stop the search.
                     survivor = Some(db);
@@ -363,8 +404,15 @@ pub(crate) fn rcqp_bounded_inner(
                 break 'sizes;
             }
             ChooseOutcome::Budget => {
+                let detail = match meter.interrupt() {
+                    Some(interrupt) => {
+                        probe.interrupt("semidecide.interrupt", interrupt.name(), guard.ticks());
+                        meter.stop_detail("candidate")
+                    }
+                    None => "candidate budget exhausted".to_string(),
+                };
                 verdict = Some(QueryVerdict::unknown(
-                    SearchStats::new(BudgetLimit::MaxCandidates, "candidate budget exhausted")
+                    SearchStats::new(meter.stop_limit(BudgetLimit::MaxCandidates), detail)
                         .with_candidates(meter.used()),
                 ));
                 break 'sizes;
@@ -375,6 +423,29 @@ pub(crate) fn rcqp_bounded_inner(
     drop(span);
     probe.count("semidecide.candidates", meter.used());
     probe.count("semidecide.cc_checks", cc_checks.get());
+    // A trip inside the very last candidate's inner refutation leaves the
+    // outer loop "exhausted" without another tick to observe it; the blanket
+    // claim below would then overstate coverage.
+    if verdict.is_none() {
+        if let Some(interrupt) = guard.tripped() {
+            probe.interrupt("semidecide.interrupt", interrupt.name(), guard.ticks());
+            verdict = Some(QueryVerdict::unknown(
+                SearchStats::new(
+                    interrupt.limit(),
+                    match interrupt {
+                        crate::guard::Interrupt::Deadline => format!(
+                            "wall-clock deadline expired after {} candidate(s)",
+                            meter.used()
+                        ),
+                        crate::guard::Interrupt::Cancelled => {
+                            format!("cancelled after {} candidate(s)", meter.used())
+                        }
+                    },
+                )
+                .with_candidates(meter.used()),
+            ));
+        }
+    }
     Ok(verdict.unwrap_or_else(|| {
         QueryVerdict::unknown(
             SearchStats::new(

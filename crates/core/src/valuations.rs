@@ -98,7 +98,7 @@ impl<'a> ValuationSpace<'a> {
     /// * `visit` — called for each valid valuation; `Break` stops the run.
     pub fn for_each_valid(
         &self,
-        meter: &mut Meter,
+        meter: &mut Meter<'_>,
         mut head_filter: impl FnMut(&[Option<Value>]) -> bool,
         mut visit: impl FnMut(&Valuation) -> ControlFlow<()>,
     ) -> EnumOutcome {
@@ -125,7 +125,7 @@ impl<'a> ValuationSpace<'a> {
     /// reduction instances of Theorem 3.6 rely on to stay tractable).
     pub fn for_each_valid_pruned(
         &self,
-        meter: &mut Meter,
+        meter: &mut Meter<'_>,
         mut head_filter: impl FnMut(&[Option<Value>]) -> bool,
         mut partial_filter: impl FnMut(&[Option<Value>]) -> bool,
         mut visit: impl FnMut(&Valuation) -> ControlFlow<()>,
@@ -148,7 +148,7 @@ impl<'a> ValuationSpace<'a> {
     pub fn for_each_valid_pruned_probed(
         &self,
         probe: Probe<'_>,
-        meter: &mut Meter,
+        meter: &mut Meter<'_>,
         head_filter: impl FnMut(&[Option<Value>]) -> bool,
         partial_filter: impl FnMut(&[Option<Value>]) -> bool,
         visit: impl FnMut(&Valuation) -> ControlFlow<()>,
@@ -187,7 +187,7 @@ impl<'a> ValuationSpace<'a> {
         depth: usize,
         fresh_used: usize,
         binding: &mut Vec<Option<Value>>,
-        meter: &mut Meter,
+        meter: &mut Meter<'_>,
         head_filter: &mut dyn FnMut(&[Option<Value>]) -> bool,
         partial_filter: &mut dyn FnMut(&[Option<Value>]) -> bool,
         visit: &mut dyn FnMut(&Valuation) -> ControlFlow<()>,

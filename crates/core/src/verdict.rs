@@ -52,6 +52,14 @@ pub enum BudgetLimit {
     /// A structural limitation of the search strategy, not a budget (e.g.
     /// lower-bound constraints whose bodies are not projections).
     Unsupported,
+    /// The wall-clock deadline ([`SearchBudget::deadline`]) expired before a
+    /// decision was reached.
+    ///
+    /// [`SearchBudget::deadline`]: crate::SearchBudget::deadline
+    Deadline,
+    /// A [`CancelToken`](crate::CancelToken) fired and the decision was
+    /// aborted cooperatively.
+    Cancelled,
 }
 
 impl BudgetLimit {
@@ -66,6 +74,8 @@ impl BudgetLimit {
             BudgetLimit::FreshValues => "fresh_values",
             BudgetLimit::PoolBound => "pool_bound",
             BudgetLimit::Unsupported => "unsupported",
+            BudgetLimit::Deadline => "deadline",
+            BudgetLimit::Cancelled => "cancelled",
         }
     }
 }
@@ -235,6 +245,9 @@ pub enum RcError {
     Query(TableauError),
     /// A datalog constraint or query failed validation.
     Program(String),
+    /// An entry point was invoked outside its supported language combination
+    /// (e.g. the exact Σᵖ₂ decider on an FO query). Formerly a panic.
+    Unsupported(String),
 }
 
 impl From<TableauError> for RcError {
@@ -251,6 +264,7 @@ impl fmt::Display for RcError {
             }
             RcError::Query(e) => write!(f, "malformed query: {e}"),
             RcError::Program(e) => write!(f, "malformed datalog program: {e}"),
+            RcError::Unsupported(e) => write!(f, "unsupported invocation: {e}"),
         }
     }
 }

@@ -42,6 +42,11 @@ pub struct Rule {
     pub n_vars: u32,
 }
 
+/// Hard cap on body literals per rule; beyond it [`Program::validate`]
+/// rejects the rule instead of letting the recursive evaluator chew through
+/// an adversarial body (each literal adds a recursion frame in `fire_inner`).
+pub const MAX_RULE_BODY: usize = 4096;
+
 /// Why a program is ill-formed.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ProgramError {
@@ -50,6 +55,8 @@ pub enum ProgramError {
     NotRangeRestricted { rule: usize, var: Var },
     /// An IDB atom whose arity disagrees with the predicate declaration.
     ArityMismatch { rule: usize, pred: PredId },
+    /// A rule body with more than [`MAX_RULE_BODY`] literals.
+    BodyTooLong { rule: usize, len: usize },
 }
 
 impl fmt::Display for ProgramError {
@@ -60,6 +67,12 @@ impl fmt::Display for ProgramError {
             }
             ProgramError::ArityMismatch { rule, pred } => {
                 write!(f, "rule {rule}: arity mismatch for predicate P{}", pred.0)
+            }
+            ProgramError::BodyTooLong { rule, len } => {
+                write!(
+                    f,
+                    "rule {rule}: body has {len} literals (limit {MAX_RULE_BODY})"
+                )
             }
         }
     }
@@ -84,6 +97,12 @@ impl Program {
     /// Validate range restriction and arities.
     pub fn validate(&self) -> Result<(), ProgramError> {
         for (ri, rule) in self.rules.iter().enumerate() {
+            if rule.body.len() > MAX_RULE_BODY {
+                return Err(ProgramError::BodyTooLong {
+                    rule: ri,
+                    len: rule.body.len(),
+                });
+            }
             // Arities of IDB literals and the head.
             if rule.head_args.len() != self.arities[rule.head.0] {
                 return Err(ProgramError::ArityMismatch {
@@ -241,77 +260,140 @@ fn fire(
     // the bulk of the saving on the fixpoints we run (transitive closures,
     // reachability). A position-precise delta join is a straightforward
     // refinement.
+    let Some(order) = schedule_body(rule) else {
+        // No evaluable ordering (a comparison never gets its variables
+        // bound); such a rule cannot derive anything.
+        return Vec::new();
+    };
     let mut out = Vec::new();
     let mut binding: Vec<Option<Value>> = vec![None; rule.n_vars as usize];
-    fire_inner(rule, db, idb, 0, &mut binding, &mut out);
+    fire_inner(rule, &order, db, idb, 0, &mut binding, &mut out);
     out
 }
 
+/// Greedily order the body so every comparison sees the bindings it needs:
+/// relational literals are always schedulable (they bind their variables),
+/// `l = r` needs at least one side bound (it then binds the other), and
+/// `l ≠ r` needs both sides bound. The scan restarts from the front after
+/// each pick, so the original literal order is preserved wherever legal.
+/// `None` when some comparison can never be scheduled.
+#[allow(clippy::needless_range_loop)] // `i` indexes three parallel structures
+fn schedule_body(rule: &Rule) -> Option<Vec<usize>> {
+    let n = rule.body.len();
+    let mut order = Vec::with_capacity(n);
+    let mut scheduled = vec![false; n];
+    let mut bound = vec![false; rule.n_vars as usize];
+    let is_bound = |t: &Term, bound: &[bool]| match t {
+        Term::Const(_) => true,
+        Term::Var(v) => bound[v.idx()],
+    };
+    while order.len() < n {
+        let mut progressed = false;
+        for i in 0..n {
+            if scheduled[i] {
+                continue;
+            }
+            let ready = match &rule.body[i] {
+                Literal::Edb(_) | Literal::Idb(..) => true,
+                Literal::Eq(l, r) => is_bound(l, &bound) || is_bound(r, &bound),
+                Literal::Neq(l, r) => is_bound(l, &bound) && is_bound(r, &bound),
+            };
+            if !ready {
+                continue;
+            }
+            scheduled[i] = true;
+            order.push(i);
+            match &rule.body[i] {
+                Literal::Edb(a) => {
+                    for v in a.vars() {
+                        bound[v.idx()] = true;
+                    }
+                }
+                Literal::Idb(_, args) => {
+                    for v in args.iter().filter_map(Term::as_var) {
+                        bound[v.idx()] = true;
+                    }
+                }
+                Literal::Eq(l, r) => {
+                    for t in [l, r] {
+                        if let Term::Var(v) = t {
+                            bound[v.idx()] = true;
+                        }
+                    }
+                }
+                Literal::Neq(..) => {}
+            }
+            progressed = true;
+            break;
+        }
+        if !progressed {
+            return None;
+        }
+    }
+    Some(order)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn fire_inner(
     rule: &Rule,
+    order: &[usize],
     db: &Database,
     idb: &[Instance],
     depth: usize,
     binding: &mut Vec<Option<Value>>,
     out: &mut Vec<Tuple>,
 ) {
-    if depth == rule.body.len() {
+    if depth == order.len() {
         out.push(Tuple::new(rule.head_args.iter().map(|t| match t {
             Term::Var(v) => binding[v.idx()].clone().expect("range-restricted"),
             Term::Const(c) => c.clone(),
         })));
         return;
     }
-    match &rule.body[depth] {
+    match &rule.body[order[depth]] {
         Literal::Eq(l, r) => {
             match (term_val(l, binding), term_val(r, binding)) {
                 (Some(a), Some(b)) => {
                     if a == b {
-                        fire_inner(rule, db, idb, depth + 1, binding, out);
+                        fire_inner(rule, order, db, idb, depth + 1, binding, out);
                     }
                 }
                 (Some(a), None) => {
                     if let Term::Var(v) = r {
                         binding[v.idx()] = Some(a);
-                        fire_inner(rule, db, idb, depth + 1, binding, out);
+                        fire_inner(rule, order, db, idb, depth + 1, binding, out);
                         binding[v.idx()] = None;
                     }
                 }
                 (None, Some(b)) => {
                     if let Term::Var(v) = l {
                         binding[v.idx()] = Some(b);
-                        fire_inner(rule, db, idb, depth + 1, binding, out);
+                        fire_inner(rule, order, db, idb, depth + 1, binding, out);
                         binding[v.idx()] = None;
                     }
                 }
-                (None, None) => {
-                    // Both sides unbound: defer by rotating the literal to the
-                    // end would be cleaner; with range restriction this can
-                    // only happen if a later literal binds them, so we try the
-                    // remaining literals first and re-check at the head. For
-                    // simplicity, panic — validated programs order their
-                    // comparisons after binding literals.
-                    panic!("Eq literal with two unbound variables; reorder rule body");
-                }
+                // The schedule guarantees one side is bound; an unscheduled
+                // body never reaches here. Derive nothing rather than panic.
+                (None, None) => {}
             }
         }
-        Literal::Neq(l, r) => match (term_val(l, binding), term_val(r, binding)) {
-            (Some(a), Some(b)) => {
-                if a != b {
-                    fire_inner(rule, db, idb, depth + 1, binding, out);
-                }
+        Literal::Neq(l, r) => {
+            // A half-bound `≠` is unreachable under a valid schedule; the
+            // `is_some` guards derive nothing rather than panic.
+            let (a, b) = (term_val(l, binding), term_val(r, binding));
+            if a.is_some() && b.is_some() && a != b {
+                fire_inner(rule, order, db, idb, depth + 1, binding, out);
             }
-            _ => panic!("Neq literal with an unbound variable; reorder rule body"),
-        },
+        }
         Literal::Edb(atom) => {
             for tuple in db.instance(atom.rel).iter() {
-                try_match(&atom.args, tuple, rule, db, idb, depth, binding, out);
+                try_match(&atom.args, tuple, rule, order, db, idb, depth, binding, out);
             }
         }
         Literal::Idb(p, args) => {
             let tuples: Vec<Tuple> = idb[p.0].iter().cloned().collect();
             for tuple in &tuples {
-                try_match(args, tuple, rule, db, idb, depth, binding, out);
+                try_match(args, tuple, rule, order, db, idb, depth, binding, out);
             }
         }
     }
@@ -322,6 +404,7 @@ fn try_match(
     args: &[Term],
     tuple: &Tuple,
     rule: &Rule,
+    order: &[usize],
     db: &Database,
     idb: &[Instance],
     depth: usize,
@@ -358,7 +441,7 @@ fn try_match(
             },
         }
     }
-    fire_inner(rule, db, idb, depth + 1, binding, out);
+    fire_inner(rule, order, db, idb, depth + 1, binding, out);
     for &i in &newly {
         binding[i] = None;
     }
@@ -502,6 +585,85 @@ mod tests {
         assert!(matches!(
             p.validate(),
             Err(ProgramError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn comparison_before_binding_literal_is_reordered_not_panicked() {
+        // `Q(X) :- X = Y, E(X, Y).` is range-restricted (equality
+        // propagation) but lists the comparison first; the evaluator used to
+        // panic here and now schedules E(X,Y) before the equality.
+        let (s, mut db) = setup();
+        let e = s.rel_id("E").unwrap();
+        db.insert(e, Tuple::new([Value::int(7), Value::int(7)]));
+        let out = PredId(0);
+        let (x, y) = (Var(0), Var(1));
+        let p = Program {
+            pred_names: vec!["Loop".into()],
+            arities: vec![1],
+            rules: vec![Rule {
+                head: out,
+                head_args: vec![Term::Var(x)],
+                body: vec![
+                    Literal::Eq(Term::Var(x), Term::Var(y)),
+                    Literal::Edb(Atom::new(e, vec![Term::Var(x), Term::Var(y)])),
+                ],
+                n_vars: 2,
+            }],
+            output: out,
+        };
+        p.validate().unwrap();
+        let res = p.eval(&db);
+        assert_eq!(res.len(), 1);
+        assert!(res.contains(&Tuple::new([Value::int(7)])));
+    }
+
+    #[test]
+    fn neq_before_binding_literal_is_reordered() {
+        let (s, mut db) = setup();
+        let e = s.rel_id("E").unwrap();
+        db.insert(e, Tuple::new([Value::int(5), Value::int(5)]));
+        let out = PredId(0);
+        let (x, y) = (Var(0), Var(1));
+        let p = Program {
+            pred_names: vec!["NoLoop".into()],
+            arities: vec![2],
+            rules: vec![Rule {
+                head: out,
+                head_args: vec![Term::Var(x), Term::Var(y)],
+                body: vec![
+                    Literal::Neq(Term::Var(x), Term::Var(y)),
+                    Literal::Edb(Atom::new(e, vec![Term::Var(x), Term::Var(y)])),
+                ],
+                n_vars: 2,
+            }],
+            output: out,
+        };
+        p.validate().unwrap();
+        assert_eq!(p.eval(&db).len(), 3, "the 5-5 loop is filtered");
+    }
+
+    #[test]
+    fn validation_rejects_oversized_body() {
+        let (s, _) = setup();
+        let e = s.rel_id("E").unwrap();
+        let out = PredId(0);
+        let (x, y) = (Var(0), Var(1));
+        let lit = Literal::Edb(Atom::new(e, vec![Term::Var(x), Term::Var(y)]));
+        let p = Program {
+            pred_names: vec!["Big".into()],
+            arities: vec![1],
+            rules: vec![Rule {
+                head: out,
+                head_args: vec![Term::Var(x)],
+                body: vec![lit; MAX_RULE_BODY + 1],
+                n_vars: 2,
+            }],
+            output: out,
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::BodyTooLong { rule: 0, .. })
         ));
     }
 

@@ -45,11 +45,23 @@ impl std::fmt::Display for QueryLanguage {
     }
 }
 
+/// Hard cap on tableau atoms per query: the backtracking join recurses one
+/// frame per atom, so an adversarially long body would otherwise overflow
+/// the stack instead of failing cleanly.
+pub const MAX_EVAL_ATOMS: usize = 10_000;
+
 /// Evaluate a CQ on a database. Unsatisfiable queries return the empty set;
 /// unsafe queries surface their error.
 pub fn eval_cq(cq: &Cq, db: &Database) -> Result<BTreeSet<Tuple>, TableauError> {
     match Tableau::of(cq) {
-        Ok(t) => Ok(eval_tableau(&t, db)),
+        Ok(t) => {
+            if t.atoms.len() > MAX_EVAL_ATOMS {
+                return Err(TableauError::TooDeep {
+                    limit: MAX_EVAL_ATOMS,
+                });
+            }
+            Ok(eval_tableau(&t, db))
+        }
         Err(TableauError::Unsatisfiable) => Ok(BTreeSet::new()),
         Err(e) => Err(e),
     }

@@ -12,9 +12,15 @@
 //! reading and matches how the paper's reductions use FO.
 
 use crate::cq::Atom;
+use crate::tableau::TableauError;
 use crate::term::{Term, Var};
 use ric_data::{Database, Tuple, Value};
 use std::collections::BTreeSet;
+
+/// Hard cap on formula nesting depth during evaluation: `sat` recurses once
+/// per connective and once per quantified variable, so an adversarially deep
+/// formula would otherwise overflow the stack instead of failing cleanly.
+pub const MAX_FO_DEPTH: usize = 512;
 
 /// An FO formula.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -131,15 +137,29 @@ impl FoQuery {
     }
 
     /// Evaluate under active-domain semantics.
+    ///
+    /// Panics when the formula is malformed (a free variable outside the
+    /// head, or nesting beyond [`MAX_FO_DEPTH`]); use [`FoQuery::try_eval`]
+    /// for a typed error instead.
     pub fn eval(&self, db: &Database) -> BTreeSet<Tuple> {
+        self.try_eval(db)
+            .expect("FO evaluation failed; use try_eval for a typed error")
+    }
+
+    /// Evaluate under active-domain semantics, with typed errors: a variable
+    /// that is neither in the head nor quantified surfaces as
+    /// [`TableauError::UnsafeVariable`], and nesting beyond [`MAX_FO_DEPTH`]
+    /// as [`TableauError::TooDeep`] (instead of a stack overflow).
+    pub fn try_eval(&self, db: &Database) -> Result<BTreeSet<Tuple>, TableauError> {
         let dom = self.active_domain(db);
         let mut out = BTreeSet::new();
         let mut binding: Vec<Option<Value>> = vec![None; self.n_vars as usize];
-        self.enumerate_head(db, &dom, 0, &mut binding, &mut out);
-        out
+        self.enumerate_head(db, &dom, 0, &mut binding, &mut out)?;
+        Ok(out)
     }
 
-    /// Boolean evaluation (query with empty head).
+    /// Boolean evaluation (query with empty head). Panics like
+    /// [`FoQuery::eval`] on malformed formulas.
     pub fn holds(&self, db: &Database) -> bool {
         !self.eval(db).is_empty()
     }
@@ -151,46 +171,85 @@ impl FoQuery {
         i: usize,
         binding: &mut Vec<Option<Value>>,
         out: &mut BTreeSet<Tuple>,
-    ) {
+    ) -> Result<(), TableauError> {
         if i == self.head.len() {
-            if sat(&self.body, db, dom, binding) {
-                out.insert(Tuple::new(
-                    self.head.iter().map(|v| binding[v.idx()].clone().unwrap()),
-                ));
+            if sat(&self.body, db, dom, binding, 0)? {
+                let mut head = Vec::with_capacity(self.head.len());
+                for v in &self.head {
+                    head.push(
+                        binding[v.idx()]
+                            .clone()
+                            .ok_or(TableauError::UnsafeVariable(*v))?,
+                    );
+                }
+                out.insert(Tuple::new(head));
             }
-            return;
+            return Ok(());
         }
         let v = self.head[i];
         for val in dom {
             binding[v.idx()] = Some(val.clone());
-            self.enumerate_head(db, dom, i + 1, binding, out);
+            self.enumerate_head(db, dom, i + 1, binding, out)?;
         }
         binding[v.idx()] = None;
+        Ok(())
     }
 }
 
-fn term_val(t: &Term, binding: &[Option<Value>]) -> Value {
+fn term_val(t: &Term, binding: &[Option<Value>]) -> Result<Value, TableauError> {
     match t {
-        Term::Const(c) => c.clone(),
+        Term::Const(c) => Ok(c.clone()),
         Term::Var(v) => binding[v.idx()]
             .clone()
-            .expect("FO evaluation reached an unbound variable; formula is not closed"),
+            .ok_or(TableauError::UnsafeVariable(*v)),
     }
 }
 
-fn sat(e: &FoExpr, db: &Database, dom: &[Value], binding: &mut Vec<Option<Value>>) -> bool {
-    match e {
-        FoExpr::Atom(a) => {
-            let t = Tuple::new(a.args.iter().map(|x| term_val(x, binding)));
-            db.instance(a.rel).contains(&t)
-        }
-        FoExpr::Eq(l, r) => term_val(l, binding) == term_val(r, binding),
-        FoExpr::Not(x) => !sat(x, db, dom, binding),
-        FoExpr::And(ps) => ps.iter().all(|p| sat(p, db, dom, binding)),
-        FoExpr::Or(ps) => ps.iter().any(|p| sat(p, db, dom, binding)),
-        FoExpr::Exists(vs, x) => quantify(vs, x, db, dom, binding, true),
-        FoExpr::Forall(vs, x) => !quantify(vs, x, db, dom, binding, false),
+fn sat(
+    e: &FoExpr,
+    db: &Database,
+    dom: &[Value],
+    binding: &mut Vec<Option<Value>>,
+    depth: usize,
+) -> Result<bool, TableauError> {
+    if depth > MAX_FO_DEPTH {
+        return Err(TableauError::TooDeep {
+            limit: MAX_FO_DEPTH,
+        });
     }
+    Ok(match e {
+        FoExpr::Atom(a) => {
+            let mut args = Vec::with_capacity(a.args.len());
+            for x in &a.args {
+                args.push(term_val(x, binding)?);
+            }
+            db.instance(a.rel).contains(&Tuple::new(args))
+        }
+        FoExpr::Eq(l, r) => term_val(l, binding)? == term_val(r, binding)?,
+        FoExpr::Not(x) => !sat(x, db, dom, binding, depth + 1)?,
+        FoExpr::And(ps) => {
+            let mut all = true;
+            for p in ps {
+                if !sat(p, db, dom, binding, depth + 1)? {
+                    all = false;
+                    break;
+                }
+            }
+            all
+        }
+        FoExpr::Or(ps) => {
+            let mut any = false;
+            for p in ps {
+                if sat(p, db, dom, binding, depth + 1)? {
+                    any = true;
+                    break;
+                }
+            }
+            any
+        }
+        FoExpr::Exists(vs, x) => quantify(vs, x, db, dom, binding, true, depth)?,
+        FoExpr::Forall(vs, x) => !quantify(vs, x, db, dom, binding, false, depth)?,
+    })
 }
 
 /// Enumerate assignments for `vs`; with `want = true` search for a satisfying
@@ -203,7 +262,9 @@ fn quantify(
     dom: &[Value],
     binding: &mut Vec<Option<Value>>,
     want: bool,
-) -> bool {
+    depth: usize,
+) -> Result<bool, TableauError> {
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         vs: &[Var],
         i: usize,
@@ -212,23 +273,36 @@ fn quantify(
         dom: &[Value],
         binding: &mut Vec<Option<Value>>,
         want: bool,
-    ) -> bool {
+        depth: usize,
+    ) -> Result<bool, TableauError> {
+        if depth + i > MAX_FO_DEPTH {
+            return Err(TableauError::TooDeep {
+                limit: MAX_FO_DEPTH,
+            });
+        }
         if i == vs.len() {
-            return sat(body, db, dom, binding) == want;
+            return Ok(sat(body, db, dom, binding, depth + i + 1)? == want);
         }
         let v = vs[i];
         let saved = binding[v.idx()].take();
         for val in dom {
             binding[v.idx()] = Some(val.clone());
-            if rec(vs, i + 1, body, db, dom, binding, want) {
-                binding[v.idx()] = saved;
-                return true;
+            match rec(vs, i + 1, body, db, dom, binding, want, depth) {
+                Ok(true) => {
+                    binding[v.idx()] = saved;
+                    return Ok(true);
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    binding[v.idx()] = saved;
+                    return Err(e);
+                }
             }
         }
         binding[v.idx()] = saved;
-        false
+        Ok(false)
     }
-    rec(vs, 0, body, db, dom, binding, want)
+    rec(vs, 0, body, db, dom, binding, want, depth)
 }
 
 #[cfg(test)]
@@ -306,6 +380,51 @@ mod tests {
         let mut db2 = db.clone();
         db2.insert(e, Tuple::new([Value::int(7), Value::int(7)]));
         assert!(!q.holds(&db2));
+    }
+
+    #[test]
+    fn deeply_nested_formula_errors_instead_of_overflowing() {
+        let (s, db) = setup();
+        let e = s.rel_id("E").unwrap();
+        let x = Var(0);
+        let mut body = FoExpr::Atom(Atom::new(e, vec![Term::Var(x), Term::Var(x)]));
+        for _ in 0..(MAX_FO_DEPTH + 10) {
+            body = FoExpr::Not(Box::new(FoExpr::Not(Box::new(body))));
+        }
+        let q = FoQuery::new(vec![x], body, vec!["x".into()]);
+        assert_eq!(
+            q.try_eval(&db),
+            Err(TableauError::TooDeep {
+                limit: MAX_FO_DEPTH
+            })
+        );
+    }
+
+    #[test]
+    fn unbound_variable_errors_instead_of_panicking() {
+        let (s, db) = setup();
+        let e = s.rel_id("E").unwrap();
+        let (x, y) = (Var(0), Var(1));
+        // y is neither in the head nor quantified: the formula is not closed.
+        let q = FoQuery::new(
+            vec![x],
+            FoExpr::Atom(Atom::new(e, vec![Term::Var(x), Term::Var(y)])),
+            vec!["x".into(), "y".into()],
+        );
+        assert_eq!(q.try_eval(&db), Err(TableauError::UnsafeVariable(y)));
+    }
+
+    #[test]
+    fn try_eval_agrees_with_eval_on_well_formed_queries() {
+        let (s, db) = setup();
+        let e = s.rel_id("E").unwrap();
+        let (x, y) = (Var(0), Var(1));
+        let q = FoQuery::new(
+            vec![x, y],
+            FoExpr::not(FoExpr::Atom(Atom::new(e, vec![Term::Var(x), Term::Var(y)]))),
+            vec!["x".into(), "y".into()],
+        );
+        assert_eq!(q.try_eval(&db).unwrap(), q.eval(&db));
     }
 
     #[test]

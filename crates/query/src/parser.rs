@@ -293,6 +293,12 @@ impl<'a> Parser<'a> {
                 self.comparison()?
             };
             body.push(item);
+            if body.len() > crate::datalog::MAX_RULE_BODY {
+                return Err(self.err(format!(
+                    "rule body exceeds {} literals",
+                    crate::datalog::MAX_RULE_BODY
+                )));
+            }
             match self.bump() {
                 Some(Tok::Comma) => continue,
                 Some(Tok::Dot) => break,

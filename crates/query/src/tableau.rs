@@ -23,6 +23,13 @@ pub enum TableauError {
     /// Some variable of the head or an inequality occurs in no relation atom,
     /// so the query is not domain-independent.
     UnsafeVariable(Var),
+    /// The query nests (or joins) beyond the evaluator's recursion limit;
+    /// evaluating it would risk a stack overflow, so it is rejected with a
+    /// typed error instead.
+    TooDeep {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for TableauError {
@@ -31,6 +38,9 @@ impl fmt::Display for TableauError {
             TableauError::Unsatisfiable => write!(f, "query is unsatisfiable"),
             TableauError::UnsafeVariable(v) => {
                 write!(f, "variable {v} occurs in no relation atom (unsafe query)")
+            }
+            TableauError::TooDeep { limit } => {
+                write!(f, "query exceeds the evaluation depth limit of {limit}")
             }
         }
     }

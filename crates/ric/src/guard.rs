@@ -1,0 +1,175 @@
+//! Panic-isolated decision entry points.
+//!
+//! The deciders promise "sound or `Unknown`" for every *anticipated* limit —
+//! budgets, deadlines, cancellation. A defect (ours or in a user-supplied
+//! [`Sink`]) is not anticipated: it panics. The `try_*` functions here wrap
+//! each decision in [`std::panic::catch_unwind`] so a panic surfaces as a
+//! typed [`DecisionError::Panic`] instead of unwinding through the caller —
+//! the contract an embedding service (one decision per request) needs.
+//!
+//! To aid post-mortems, each `try_*` call tees telemetry into a private
+//! [`Collector`] *before* the caller's sink, and a `Panic` error carries the
+//! decision-path notes recorded up to the point of the panic — even when the
+//! caller's own sink is the component that panicked.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ric_complete::{
+    rcdp_guarded, rcqp_guarded, Guard, Query, QueryVerdict, RcError, SearchBudget, Setting, Verdict,
+};
+use ric_data::Database;
+use ric_telemetry::{Collector, Probe, TeeSink};
+
+/// Everything that can stop a `try_*` decision from returning a verdict.
+///
+/// A verdict of `Unknown` is *not* an error — budgets, deadlines, and
+/// cancellation all degrade to `Unknown` inside the `Ok` channel. This type
+/// covers the two genuinely exceptional cases: a typed decider error
+/// ([`RcError`]) and a panic caught at the facade boundary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecisionError {
+    /// The decider returned a typed error (bad program, schema mismatch, …).
+    Rc(RcError),
+    /// The decision panicked; the panic did not cross the facade.
+    Panic {
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+        /// Telemetry decision-path notes recorded before the panic.
+        notes: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for DecisionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecisionError::Rc(e) => write!(f, "{e}"),
+            DecisionError::Panic { message, .. } => {
+                write!(f, "decision panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecisionError {}
+
+impl From<RcError> for DecisionError {
+    fn from(e: RcError) -> Self {
+        DecisionError::Rc(e)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn isolate<T>(
+    probe: Probe<'_>,
+    run: impl FnOnce(Probe<'_>) -> Result<T, RcError>,
+) -> Result<T, DecisionError> {
+    // The collector records first so the decision path survives even when
+    // the caller's sink is the panicking component.
+    let collector = Collector::new();
+    let tee = TeeSink::new(Some(&collector), probe.sink());
+    let result = catch_unwind(AssertUnwindSafe(|| run(Probe::attached(&tee))));
+    match result {
+        Ok(inner) => inner.map_err(DecisionError::Rc),
+        Err(payload) => Err(DecisionError::Panic {
+            message: panic_message(payload),
+            notes: collector
+                .report()
+                .notes
+                .iter()
+                .flat_map(|(name, texts)| texts.iter().map(move |text| format!("{name}: {text}")))
+                .collect(),
+        }),
+    }
+}
+
+/// [`rcdp`](ric_complete::rcdp), panic-isolated. Never panics: a panic
+/// anywhere inside the decision (or an attached sink) becomes
+/// [`DecisionError::Panic`].
+pub fn try_rcdp(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+) -> Result<Verdict, DecisionError> {
+    try_rcdp_guarded(
+        setting,
+        query,
+        db,
+        budget,
+        &Guard::new(budget),
+        Probe::disabled(),
+    )
+}
+
+/// [`try_rcdp`] with a telemetry probe attached.
+pub fn try_rcdp_probed(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+) -> Result<Verdict, DecisionError> {
+    try_rcdp_guarded(setting, query, db, budget, &Guard::new(budget), probe)
+}
+
+/// [`try_rcdp`] with an explicit [`Guard`] (deadline, [`CancelToken`],
+/// fault plan) and a telemetry probe.
+///
+/// [`CancelToken`]: ric_complete::CancelToken
+pub fn try_rcdp_guarded(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+) -> Result<Verdict, DecisionError> {
+    isolate(probe, |p| {
+        rcdp_guarded(setting, query, db, budget, guard, p)
+    })
+}
+
+/// [`rcqp`](ric_complete::rcqp), panic-isolated. Never panics.
+pub fn try_rcqp(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+) -> Result<QueryVerdict, DecisionError> {
+    try_rcqp_guarded(
+        setting,
+        query,
+        budget,
+        &Guard::new(budget),
+        Probe::disabled(),
+    )
+}
+
+/// [`try_rcqp`] with a telemetry probe attached.
+pub fn try_rcqp_probed(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+) -> Result<QueryVerdict, DecisionError> {
+    try_rcqp_guarded(setting, query, budget, &Guard::new(budget), probe)
+}
+
+/// [`try_rcqp`] with an explicit [`Guard`] and a telemetry probe.
+pub fn try_rcqp_guarded(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+) -> Result<QueryVerdict, DecisionError> {
+    isolate(probe, |p| rcqp_guarded(setting, query, budget, guard, p))
+}

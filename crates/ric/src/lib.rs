@@ -51,6 +51,24 @@
 //! * [`telemetry`] — the [`Probe`]/[`Sink`] observability layer: attach a
 //!   [`Collector`] to `rcdp_probed`/`rcqp_probed` for counters, span
 //!   timings, and decision notes (see `examples/observe_search.rs`).
+//!
+//! ## Robustness
+//!
+//! Decisions can run for a long time (the decidable cells are Σᵖ₂ /
+//! NEXPTIME-complete). Beyond the count budgets, [`SearchBudget::deadline`]
+//! adds a wall-clock limit, a [`CancelToken`] aborts an in-flight decision
+//! from another thread, and the [`try_rcdp`] / [`try_rcqp`] entry points
+//! convert panics into a typed [`DecisionError`] instead of unwinding. All
+//! of these degrade to `Unknown` (or a typed error) — never a wrong answer.
+//! See `examples/guarded_decisions.rs` and the "Robustness & degradation
+//! semantics" section of `DESIGN.md`.
+
+mod guard;
+
+pub use guard::{
+    try_rcdp, try_rcdp_guarded, try_rcdp_probed, try_rcqp, try_rcqp_guarded, try_rcqp_probed,
+    DecisionError,
+};
 
 pub use ric_complete as complete;
 pub use ric_constraints as constraints;
@@ -61,17 +79,25 @@ pub use ric_reductions as reductions;
 pub use ric_telemetry as telemetry;
 
 pub use ric_complete::{
-    rcdp, rcdp_probed, rcqp, rcqp_probed, BudgetLimit, Query, QueryVerdict, RcError, SearchBudget,
+    rcdp, rcdp_guarded, rcdp_probed, rcqp, rcqp_guarded, rcqp_probed, BudgetLimit, CancelToken,
+    FaultPlan, Guard, Interrupt, MeterKind, Query, QueryVerdict, RcError, SearchBudget,
     SearchStats, Setting, Verdict,
 };
 pub use ric_data::SplitMix64;
-pub use ric_telemetry::{Collector, JsonlSink, PrettySink, Probe, Report, Sink};
+pub use ric_telemetry::{
+    Collector, Event, FaultSink, JsonlSink, PrettySink, Probe, Report, Sink, TeeSink,
+};
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::guard::{
+        try_rcdp, try_rcdp_guarded, try_rcdp_probed, try_rcqp, try_rcqp_guarded, try_rcqp_probed,
+        DecisionError,
+    };
     pub use ric_complete::{
-        rcdp, rcdp_probed, rcqp, rcqp_probed, BudgetLimit, CounterExample, Query, QueryVerdict,
-        RcError, SearchBudget, SearchStats, Setting, Verdict,
+        rcdp, rcdp_guarded, rcdp_probed, rcqp, rcqp_guarded, rcqp_probed, BudgetLimit, CancelToken,
+        CounterExample, FaultPlan, Guard, Interrupt, MeterKind, Query, QueryVerdict, RcError,
+        SearchBudget, SearchStats, Setting, Verdict,
     };
     pub use ric_constraints::{
         CcBody, CcRhs, Cfd, Cind, ConstraintSet, ContainmentConstraint, Denial, Fd, IndCc,

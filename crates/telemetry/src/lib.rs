@@ -28,4 +28,6 @@ pub mod sink;
 
 pub use json::Json;
 pub use probe::{Event, Probe, SpanGuard};
-pub use sink::{Collector, JsonlSink, PrettySink, Report, Sink};
+pub use sink::{
+    Collector, FaultSink, InterruptRecord, JsonlSink, PrettySink, Report, Sink, TeeSink,
+};

@@ -41,6 +41,18 @@ pub enum Event {
         /// The annotation body.
         detail: String,
     },
+    /// A cooperative interruption: a deadline expired or a cancel token
+    /// fired inside an enumeration loop. `at_tick` is the guard's global
+    /// tick count when the interrupt was observed, so traces show exactly
+    /// how much work a degraded decision performed.
+    Interrupt {
+        /// Interrupt site, e.g. `"rcdp.interrupt"`.
+        name: &'static str,
+        /// Stable reason name: `"deadline"` or `"cancelled"`.
+        reason: &'static str,
+        /// Guard ticks observed when the interrupt fired.
+        at_tick: u64,
+    },
 }
 
 impl Event {
@@ -50,7 +62,8 @@ impl Event {
             Event::Count { name, .. }
             | Event::Gauge { name, .. }
             | Event::Span { name, .. }
-            | Event::Note { name, .. } => name,
+            | Event::Note { name, .. }
+            | Event::Interrupt { name, .. } => name,
         }
     }
 }
@@ -82,6 +95,26 @@ impl<'a> Probe<'a> {
     #[inline]
     pub fn enabled(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// The attached sink, if any. Lets adapters (e.g. the facade's `try_`
+    /// wrappers) tee this probe's stream into another sink.
+    #[inline]
+    pub fn sink(&self) -> Option<&'a dyn Sink> {
+        self.sink
+    }
+
+    /// Record a cooperative interruption (deadline expiry or cancellation)
+    /// observed `at_tick` guard ticks into the search.
+    #[inline]
+    pub fn interrupt(&self, name: &'static str, reason: &'static str, at_tick: u64) {
+        if let Some(sink) = self.sink {
+            sink.record(Event::Interrupt {
+                name,
+                reason,
+                at_tick,
+            });
+        }
     }
 
     /// Add `delta` to the counter `name`.

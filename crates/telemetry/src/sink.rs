@@ -65,6 +65,17 @@ impl Collector {
                 Event::Note { name, detail } => {
                     report.notes.entry(name).or_default().push(detail.clone());
                 }
+                Event::Interrupt {
+                    name,
+                    reason,
+                    at_tick,
+                } => {
+                    report.interrupts.push(InterruptRecord {
+                        name,
+                        reason,
+                        at_tick: *at_tick,
+                    });
+                }
             }
         }
         report
@@ -88,6 +99,19 @@ pub struct Report {
     pub spans: BTreeMap<&'static str, u128>,
     /// Notes by name, in emission order.
     pub notes: BTreeMap<&'static str, Vec<String>>,
+    /// Cooperative interruptions (deadline/cancellation), in emission order.
+    pub interrupts: Vec<InterruptRecord>,
+}
+
+/// One recorded [`Event::Interrupt`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InterruptRecord {
+    /// Interrupt site, e.g. `"rcdp.interrupt"`.
+    pub name: &'static str,
+    /// Stable reason name: `"deadline"` or `"cancelled"`.
+    pub reason: &'static str,
+    /// Guard ticks observed when the interrupt fired.
+    pub at_tick: u64,
 }
 
 impl Report {
@@ -136,6 +160,16 @@ impl Report {
                         .map(|(k, vs)| (*k, Json::arr(vs.iter().map(|v| Json::from(v.as_str()))))),
                 ),
             ),
+            (
+                "interrupts",
+                Json::arr(self.interrupts.iter().map(|i| {
+                    Json::obj([
+                        ("name", Json::from(i.name)),
+                        ("reason", Json::from(i.reason)),
+                        ("at_tick", Json::from(i.at_tick)),
+                    ])
+                })),
+            ),
         ])
     }
 }
@@ -178,6 +212,12 @@ impl fmt::Display for Report {
                 }
             }
         }
+        if !self.interrupts.is_empty() {
+            writeln!(f, "interrupts:")?;
+            for i in &self.interrupts {
+                writeln!(f, "  {:<width$}  {} @ tick {}", i.name, i.reason, i.at_tick)?;
+            }
+        }
         Ok(())
     }
 }
@@ -210,6 +250,11 @@ impl<W: io::Write> Sink for PrettySink<W> {
             Event::Gauge { name, value } => writeln!(w, "gauge {name} = {value}"),
             Event::Span { name, micros } => writeln!(w, "span  {name} {micros} µs"),
             Event::Note { name, detail } => writeln!(w, "note  {name}: {detail}"),
+            Event::Interrupt {
+                name,
+                reason,
+                at_tick,
+            } => writeln!(w, "intr  {name}: {reason} @ tick {at_tick}"),
         };
     }
 }
@@ -262,6 +307,16 @@ impl<W: io::Write> JsonlSink<W> {
                 ("name", Json::from(*name)),
                 ("detail", Json::from(detail.as_str())),
             ]),
+            Event::Interrupt {
+                name,
+                reason,
+                at_tick,
+            } => Json::obj([
+                ("kind", Json::from("interrupt")),
+                ("name", Json::from(*name)),
+                ("reason", Json::from(*reason)),
+                ("at_tick", Json::from(*at_tick)),
+            ]),
         }
     }
 }
@@ -270,6 +325,67 @@ impl<W: io::Write> Sink for JsonlSink<W> {
     fn record(&self, event: Event) {
         let mut w = self.writer.borrow_mut();
         let _ = writeln!(w, "{}", Self::line_for(&event));
+    }
+}
+
+/// Fans each event out to two sinks, `first` before `second`.
+///
+/// The `try_` facade entry points use a tee to keep an internal [`Collector`]
+/// for panic diagnostics while still forwarding events to the caller's sink.
+/// Either slot may be empty, so a tee over `Probe::sink()` works whether or
+/// not the caller attached telemetry.
+pub struct TeeSink<'a> {
+    first: Option<&'a dyn Sink>,
+    second: Option<&'a dyn Sink>,
+}
+
+impl<'a> TeeSink<'a> {
+    /// A tee forwarding to `first` then `second`; `None` slots are skipped.
+    pub fn new(first: Option<&'a dyn Sink>, second: Option<&'a dyn Sink>) -> Self {
+        TeeSink { first, second }
+    }
+}
+
+impl Sink for TeeSink<'_> {
+    fn record(&self, event: Event) {
+        if let Some(sink) = self.first {
+            sink.record(event.clone());
+        }
+        if let Some(sink) = self.second {
+            sink.record(event);
+        }
+    }
+}
+
+/// Deterministic fault injection through the probe seam: panics the first
+/// time an event named `trigger` is recorded, forwarding everything else to
+/// an optional inner sink.
+///
+/// This sink deliberately violates the "must not panic" contract of [`Sink`]
+/// — that is its entire purpose. It exists so tests can simulate a fault
+/// *inside* a named decision stage (e.g. panic when the `"rcdp.strategy"`
+/// note fires) and assert that the `try_` facade entry points convert the
+/// unwind into a typed error. Never attach it outside tests.
+pub struct FaultSink<'a> {
+    trigger: &'static str,
+    inner: Option<&'a dyn Sink>,
+}
+
+impl<'a> FaultSink<'a> {
+    /// A sink that panics when an event named `trigger` is recorded.
+    pub fn new(trigger: &'static str, inner: Option<&'a dyn Sink>) -> Self {
+        FaultSink { trigger, inner }
+    }
+}
+
+impl Sink for FaultSink<'_> {
+    fn record(&self, event: Event) {
+        if event.name() == self.trigger {
+            panic!("fault injection: stage {} panicked", self.trigger);
+        }
+        if let Some(sink) = self.inner {
+            sink.record(event);
+        }
     }
 }
 

@@ -4,8 +4,10 @@
 # Runs the same checks the repository expects before every merge:
 #   1. release build          (cargo build --release)
 #   2. test suite             (cargo test -q)
-#   3. formatting             (cargo fmt --check)
-#   4. lints                  (cargo clippy --all-targets -D warnings)
+#   3. fault injection        (cargo test --test guard_robustness)
+#   4. formatting             (cargo fmt --check)
+#   5. lints                  (cargo clippy --all-targets -D warnings)
+#   6. panic-surface audit    (clippy unwrap_used/expect_used, advisory)
 #
 # Everything runs with --offline: the default build has zero third-party
 # dependencies, so no network access is ever required. The proptest suites
@@ -25,10 +27,21 @@ cargo build --release --offline
 step "tests"
 cargo test -q --offline
 
+step "fault injection (deadline / cancel / panic degradation paths)"
+cargo test -q --offline --test guard_robustness
+
 step "formatting"
 cargo fmt --all -- --check
 
 step "clippy (all targets, warnings are errors)"
 cargo clippy --all-targets --offline -- -D warnings
+
+# Advisory only: the decision stack (ric-complete, ric) is panic-isolated at
+# the facade, but new unwrap()/expect() sites in library code there should be
+# deliberate. Warnings are reported, not fatal — tests and examples are
+# expected to use them freely.
+step "panic-surface audit (ric-complete, ric; advisory)"
+cargo clippy -p ric-complete -p ric --no-deps --offline -- \
+  -W clippy::unwrap_used -W clippy::expect_used || true
 
 printf '\nci.sh: all checks passed\n'

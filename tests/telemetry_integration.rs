@@ -282,9 +282,83 @@ fn budget_limit_names_are_stable() {
         (BudgetLimit::FreshValues, "fresh_values"),
         (BudgetLimit::PoolBound, "pool_bound"),
         (BudgetLimit::Unsupported, "unsupported"),
+        (BudgetLimit::Deadline, "deadline"),
+        (BudgetLimit::Cancelled, "cancelled"),
     ];
     for (limit, name) in all {
         assert_eq!(limit.name(), name);
         assert_eq!(limit.to_string(), name);
     }
+}
+
+#[test]
+fn interrupt_events_round_trip_through_jsonl() {
+    // A fault-injected deadline produces an `interrupt` event alongside the
+    // normal stream, and the whole stream still parses line-by-line.
+    use ric::{FaultPlan, Guard};
+    let (setting, q, db) = master_bounded_instance();
+    let budget = SearchBudget::default();
+    let guard = Guard::new(&budget).with_fault_plan(FaultPlan::new().deadline_at_tick(0));
+    let sink = JsonlSink::new(Vec::new());
+    let v = ric::rcdp_guarded(&setting, &q, &db, &budget, &guard, Probe::attached(&sink)).unwrap();
+    match &v {
+        Verdict::Unknown { stats } => assert_eq!(stats.limit, BudgetLimit::Deadline),
+        other => panic!("expected unknown, got {other:?}"),
+    }
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    let mut saw_interrupt = false;
+    for line in text.lines() {
+        let doc = json::parse(line).expect("every line is a complete JSON document");
+        let kind = doc
+            .get("kind")
+            .and_then(ric::telemetry::Json::as_str)
+            .unwrap();
+        assert!(
+            ["count", "gauge", "span", "note", "interrupt"].contains(&kind),
+            "kind: {kind}"
+        );
+        if kind == "interrupt" {
+            saw_interrupt = true;
+            assert_eq!(
+                doc.get("reason").and_then(ric::telemetry::Json::as_str),
+                Some("deadline")
+            );
+        }
+    }
+    assert!(saw_interrupt, "the interrupt event must reach the sink");
+}
+
+#[test]
+fn interrupted_reports_serialize_the_interrupt_records() {
+    use ric::{FaultPlan, Guard};
+    let (setting, q, db) = master_bounded_instance();
+    let budget = SearchBudget::default();
+    let guard = Guard::new(&budget).with_fault_plan(FaultPlan::new().cancel_at_tick(0));
+    let collector = Collector::new();
+    let v = ric::rcdp_guarded(
+        &setting,
+        &q,
+        &db,
+        &budget,
+        &guard,
+        Probe::attached(&collector),
+    )
+    .unwrap();
+    match &v {
+        Verdict::Unknown { stats } => {
+            assert_eq!(stats.limit, BudgetLimit::Cancelled);
+            assert_eq!(stats.detail, "cancelled after 0 valuation(s)");
+        }
+        other => panic!("expected unknown, got {other:?}"),
+    }
+    let report = collector.report();
+    assert_eq!(report.interrupts.len(), 1);
+    assert_eq!(report.interrupts[0].reason, "cancelled");
+    // The JSON artifact includes the interrupts array.
+    let doc = json::parse(&report.to_json().to_string()).unwrap();
+    let interrupts = doc.get("interrupts").expect("interrupts key is present");
+    assert_eq!(
+        interrupts.as_arr().map(<[ric::telemetry::Json]>::len),
+        Some(1)
+    );
 }
