@@ -9,11 +9,14 @@
 //! an honest `Unknown`, and the hardness reductions blow up where the
 //! bounds say they must.
 //!
-//! Beyond the human-readable tables on stdout, the run writes two
+//! Beyond the human-readable tables on stdout, the run writes three
 //! machine-readable artifacts to the current directory:
 //!
 //! * `BENCH_TABLE1.json` — one object per Table I (RCDP) cell;
-//! * `BENCH_TABLE2.json` — one object per Table II (RCQP) cell.
+//! * `BENCH_TABLE2.json` — one object per Table II (RCQP) cell;
+//! * `BENCH_ENGINE.json` — the naive/indexed engine A/B comparison: every
+//!   cell of a scaling suite of CQ/UCQ decisions timed under both engines,
+//!   with the per-cell speedup and the median speedup at the largest size.
 //!
 //! Each cell object carries `cell`, `paper_bound`, `outcome`, an `oracle`
 //! sub-object (`checked`, and `agrees` when a ground-truth oracle exists),
@@ -29,6 +32,11 @@
 //! `deadline` limit — the regeneration still terminates and still writes
 //! well-formed artifacts, which is the point: the tables can be rebuilt on a
 //! time budget without ever reporting a wrong cell.
+//!
+//! Pass `--engine naive|indexed` to pick the evaluation engine used for the
+//! Table I/II cells (default `indexed`; both engines are exact, so the
+//! verdicts must not differ). The A/B suite behind `BENCH_ENGINE.json`
+//! always runs both engines regardless of the flag.
 
 use std::time::Duration;
 
@@ -109,42 +117,67 @@ fn probed<T>(f: impl FnOnce(Probe<'_>) -> T) -> (T, u128, Report) {
     (out, start.elapsed().as_micros(), collector.report())
 }
 
-/// The per-decision deadline requested via `--deadline-ms` / `RIC_DEADLINE_MS`,
-/// if any. Invalid values are rejected loudly rather than silently ignored.
-fn deadline_from_invocation() -> Option<Duration> {
+/// The run-wide knobs requested on the command line (or the environment).
+struct Invocation {
+    /// Per-decision wall-clock deadline, if any.
+    deadline: Option<Duration>,
+    /// Engine used for the Table I/II cells. The A/B suite ignores this and
+    /// always runs both.
+    engine: Engine,
+}
+
+/// Parse the invocation. Invalid values are rejected loudly rather than
+/// silently ignored.
+fn parse_invocation() -> Invocation {
     let mut args = std::env::args().skip(1);
     let mut ms: Option<String> = None;
+    let mut engine_arg: Option<String> = None;
     while let Some(arg) = args.next() {
         if arg == "--deadline-ms" {
             ms = Some(args.next().unwrap_or_default());
         } else if let Some(v) = arg.strip_prefix("--deadline-ms=") {
             ms = Some(v.to_string());
+        } else if arg == "--engine" {
+            engine_arg = Some(args.next().unwrap_or_default());
+        } else if let Some(v) = arg.strip_prefix("--engine=") {
+            engine_arg = Some(v.to_string());
         } else {
-            eprintln!("usage: regen_tables [--deadline-ms N]");
+            eprintln!("usage: regen_tables [--deadline-ms N] [--engine naive|indexed]");
             std::process::exit(2);
         }
     }
-    let ms = ms.or_else(|| std::env::var("RIC_DEADLINE_MS").ok())?;
-    match ms.parse::<u64>() {
-        Ok(n) => Some(Duration::from_millis(n)),
-        Err(_) => {
-            eprintln!("regen_tables: --deadline-ms expects a millisecond count, got {ms:?}");
+    let engine = match engine_arg.as_deref() {
+        None | Some("indexed") => Engine::Indexed,
+        Some("naive") => Engine::Naive,
+        Some(other) => {
+            eprintln!("regen_tables: --engine expects `naive` or `indexed`, got {other:?}");
             std::process::exit(2);
         }
-    }
+    };
+    let deadline = ms
+        .or_else(|| std::env::var("RIC_DEADLINE_MS").ok())
+        .map(|ms| match ms.parse::<u64>() {
+            Ok(n) => Duration::from_millis(n),
+            Err(_) => {
+                eprintln!("regen_tables: --deadline-ms expects a millisecond count, got {ms:?}");
+                std::process::exit(2);
+            }
+        });
+    Invocation { deadline, engine }
 }
 
-/// Apply the run-wide deadline, when one was requested, to a cell's budget.
-fn bounded(budget: SearchBudget, deadline: Option<Duration>) -> SearchBudget {
-    match deadline {
+/// Apply the run-wide deadline and engine choice to a cell's budget.
+fn bounded(budget: SearchBudget, inv: &Invocation) -> SearchBudget {
+    let budget = budget.with_engine(inv.engine);
+    match inv.deadline {
         Some(d) => budget.with_deadline(d),
         None => budget,
     }
 }
 
-fn table1(deadline: Option<Duration>) -> Vec<Cell> {
+fn table1(inv: &Invocation) -> Vec<Cell> {
     let mut cells = Vec::new();
-    let budget = bounded(SearchBudget::default(), deadline);
+    let budget = bounded(SearchBudget::default(), inv);
     let mut rng = SplitMix64::seed_from_u64(1);
 
     // (CQ, INDs): Σᵖ₂-complete — typical workload + hardness reduction.
@@ -249,7 +282,7 @@ fn table1(deadline: Option<Duration>) -> Vec<Cell> {
                 max_candidates: 500_000,
                 ..SearchBudget::default()
             },
-            deadline,
+            inv,
         );
         let (setting, q, db) = to_rcdp_instance(&TwoHeadDfa::ones());
         let (v, us, report) = probed(|p| rcdp_probed(&setting, &q, &db, &budget_fp, p).unwrap());
@@ -275,9 +308,9 @@ fn table1(deadline: Option<Duration>) -> Vec<Cell> {
     cells
 }
 
-fn table2(deadline: Option<Duration>) -> Vec<Cell> {
+fn table2(inv: &Invocation) -> Vec<Cell> {
     let mut cells = Vec::new();
-    let budget = bounded(SearchBudget::default(), deadline);
+    let budget = bounded(SearchBudget::default(), inv);
     let mut rng = SplitMix64::seed_from_u64(2);
 
     // (CQ, INDs): coNP-complete via 3SAT.
@@ -355,7 +388,7 @@ fn table2(deadline: Option<Duration>) -> Vec<Cell> {
                 fresh_values: 3,
                 ..SearchBudget::default()
             },
-            deadline,
+            inv,
         );
         let q4: Query = parse_cq(&schema, "Q(E) :- Supt(E, 'd0'), E = 'e0'.")
             .unwrap()
@@ -402,7 +435,7 @@ fn table2(deadline: Option<Duration>) -> Vec<Cell> {
                 fresh_values: 3,
                 ..SearchBudget::default()
             },
-            deadline,
+            inv,
         );
         let q = rcqp_pi3::bounded_query(&setting, 0);
         let (v, us, report) = probed(|p| rcqp_probed(&setting, &q, &bqt, p).unwrap());
@@ -444,7 +477,7 @@ fn table2(deadline: Option<Duration>) -> Vec<Cell> {
                 max_candidates: 50_000,
                 ..SearchBudget::default()
             },
-            deadline,
+            inv,
         );
         let (v, us, report) = probed(|p| rcqp_probed(&setting, &q, &bqt, p).unwrap());
         cells.push(Cell {
@@ -464,21 +497,220 @@ fn table2(deadline: Option<Duration>) -> Vec<Cell> {
     cells
 }
 
+/// One cell of the engine A/B suite: the same decision timed under the
+/// naive and the indexed engine.
+struct EngineCell {
+    cell: String,
+    /// Instance-size parameter of the scaling family this cell belongs to.
+    size: usize,
+    /// Whether `size` is the largest in its family (these cells feed the
+    /// median-speedup headline number).
+    largest: bool,
+    naive_us: u128,
+    indexed_us: u128,
+    /// Both engines are exact, so the verdicts must agree; recorded so a
+    /// regression shows up in the artifact, not just in the test suite.
+    agree: bool,
+}
+
+impl EngineCell {
+    fn speedup(&self) -> f64 {
+        self.naive_us as f64 / self.indexed_us.max(1) as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cell", Json::from(self.cell.as_str())),
+            ("size", Json::from(self.size)),
+            ("largest_size", Json::from(self.largest)),
+            ("naive_micros", Json::from(self.naive_us)),
+            ("indexed_micros", Json::from(self.indexed_us)),
+            ("speedup", Json::from(self.speedup())),
+            ("verdicts_agree", Json::from(self.agree)),
+        ])
+    }
+}
+
+/// Time one RCDP decision under both engines. Returns the naive and indexed
+/// wall times plus whether the verdicts agree (same variant — witness deltas
+/// may legitimately differ between enumeration orders).
+fn ab_rcdp(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    inv: &Invocation,
+) -> (u128, u128, bool) {
+    let run = |engine: Engine| {
+        // `bounded` pins the table-cell engine; the A/B arms override it.
+        let budget = bounded(SearchBudget::default(), inv).with_engine(engine);
+        let start = Instant::now();
+        let v = rcdp(setting, query, db, &budget).expect("A/B instances are well-formed");
+        (start.elapsed().as_micros(), v)
+    };
+    let (naive_us, vn) = run(Engine::Naive);
+    let (indexed_us, vi) = run(Engine::Indexed);
+    (
+        naive_us,
+        indexed_us,
+        std::mem::discriminant(&vn) == std::mem::discriminant(&vi),
+    )
+}
+
+/// The FD-constrained Example 3.1 setting at size `n`: `Supt(eid, dept,
+/// cid)` under the FD `eid → dept, cid` (compiled to CQ-bodied CCs), with
+/// one tuple per employee so the FD pins every employee's row.
+fn fd_instance(n: usize) -> (Setting, Database) {
+    let schema = Schema::from_relations(vec![RelationSchema::infinite(
+        "Supt",
+        &["eid", "dept", "cid"],
+    )])
+    .expect("fixed schema");
+    let supt = schema.rel_id("Supt").unwrap();
+    let fd = Fd::new(supt, vec![0], vec![1, 2]);
+    let v = ConstraintSet::new(ric::constraints::compile::fd_to_ccs(&fd, &schema));
+    let setting = Setting::new(
+        schema.clone(),
+        Schema::new(),
+        Database::with_relations(0),
+        v,
+    );
+    let mut db = Database::empty(&schema);
+    for i in 0..n {
+        db.insert(
+            supt,
+            Tuple::new([
+                Value::str(format!("e{i}")),
+                Value::str(format!("d{i}")),
+                Value::str(format!("c{i}")),
+            ]),
+        );
+    }
+    (setting, db)
+}
+
+/// The engine A/B suite: CQ and UCQ decisions over the Example 3.1 FD
+/// setting at growing instance sizes. CQ-bodied constraints are where the
+/// engines genuinely diverge — pure IND sets take the C3 shortcut (check `Δ`
+/// alone) in *both* engines, so there is nothing to compare there. Every
+/// database is *complete* by construction (the FD pins each employee's
+/// single row), so both engines must exhaust the full Σᵖ₂ candidate space —
+/// the timing measures the engines, not an early counterexample exit.
+fn engine_suite(inv: &Invocation) -> Vec<EngineCell> {
+    let mut cells = Vec::new();
+    let sizes = [8usize, 20, 48];
+    let largest = *sizes.last().unwrap();
+
+    // (CQ, CQ): per candidate, the naive arm materializes D ∪ Δ and
+    // re-evaluates every FD-join body over it; the delta arm overlays Δ and
+    // joins the novel tuples through the column indexes.
+    for &n in &sizes {
+        let (setting, db) = fd_instance(n);
+        let query: Query = parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).")
+            .expect("fixed query")
+            .into();
+        let (naive_us, indexed_us, agree) = ab_rcdp(&setting, &query, &db, inv);
+        cells.push(EngineCell {
+            cell: format!("(CQ, CQ) FD-pinned n={n}"),
+            size: n,
+            largest: n == largest,
+            naive_us,
+            indexed_us,
+            agree,
+        });
+    }
+
+    // (UCQ, CQ): two-disjunct query over the same setting; both disjuncts
+    // are FD-pinned, so the per-disjunct enumeration runs to exhaustion.
+    for &n in &sizes {
+        let (setting, db) = fd_instance(n);
+        let query: Query = parse_ucq(
+            &setting.schema,
+            "Q(C) :- Supt('e0', D, C). Q(C) :- Supt('e1', D, C).",
+        )
+        .expect("fixed query")
+        .into();
+        let (naive_us, indexed_us, agree) = ab_rcdp(&setting, &query, &db, inv);
+        cells.push(EngineCell {
+            cell: format!("(UCQ, CQ) FD-pinned two-disjunct n={n}"),
+            size: n,
+            largest: n == largest,
+            naive_us,
+            indexed_us,
+            agree,
+        });
+    }
+    cells
+}
+
+/// Median of the per-cell speedups at the largest instance size.
+fn median_speedup_at_largest(cells: &[EngineCell]) -> f64 {
+    let mut s: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.largest)
+        .map(EngineCell::speedup)
+        .collect();
+    s.sort_by(|a, b| a.total_cmp(b));
+    match s.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => s[n / 2],
+        n => (s[n / 2 - 1] + s[n / 2]) / 2.0,
+    }
+}
+
+fn print_engine_suite(cells: &[EngineCell], median: f64) {
+    println!("\nEngine A/B - naive vs indexed");
+    println!("=============================");
+    println!(
+        "{:<42} {:>12} {:>12} {:>9} {:>7}",
+        "cell", "naive", "indexed", "speedup", "agree"
+    );
+    println!("{}", "-".repeat(88));
+    for c in cells {
+        println!(
+            "{:<42} {:>9} µs {:>9} µs {:>8.1}x {:>7}",
+            c.cell,
+            c.naive_us,
+            c.indexed_us,
+            c.speedup(),
+            c.agree
+        );
+    }
+    println!("median speedup at largest size: {median:.1}x");
+}
+
+fn write_engine_suite(path: &str, cells: &[EngineCell], median: f64) {
+    let doc = Json::obj([
+        ("source", Json::from("regen_tables")),
+        ("engines", Json::arr(["naive", "indexed"].map(Json::from))),
+        ("cells", Json::arr(cells.iter().map(EngineCell::to_json))),
+        ("median_speedup_at_largest", Json::from(median)),
+    ]);
+    match std::fs::write(path, format!("{}\n", doc.pretty())) {
+        Ok(()) => println!("wrote {path} ({} cells)", cells.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     println!("Relative Information Completeness: empirical Tables I and II");
     println!("(Fan & Geerts, PODS 2009 / TODS 2010; see EXPERIMENTS.md)");
-    let deadline = deadline_from_invocation();
-    if let Some(d) = deadline {
+    let inv = parse_invocation();
+    println!("evaluation engine for the table cells: {}", inv.engine);
+    if let Some(d) = inv.deadline {
         println!(
             "per-decision wall-clock deadline: {} ms (slow cells degrade to Unknown)",
             d.as_millis()
         );
     }
-    let t1 = table1(deadline);
+    let t1 = table1(&inv);
     print_table("Table I - RCDP(L_Q, L_C)", &t1);
-    let t2 = table2(deadline);
+    let t2 = table2(&inv);
     print_table("Table II - RCQP(L_Q, L_C)", &t2);
+    let engine_cells = engine_suite(&inv);
+    let median = median_speedup_at_largest(&engine_cells);
+    print_engine_suite(&engine_cells, median);
     println!();
     write_table("BENCH_TABLE1.json", "I", "RCDP(L_Q, L_C)", &t1);
     write_table("BENCH_TABLE2.json", "II", "RCQP(L_Q, L_C)", &t2);
+    write_engine_suite("BENCH_ENGINE.json", &engine_cells, median);
 }

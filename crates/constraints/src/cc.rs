@@ -150,6 +150,68 @@ impl CcBody {
             CcBody::Fo(_) | CcBody::Fp(_) => None,
         }
     }
+
+    /// The database relations this body reads. Incremental checking skips a
+    /// constraint when a delta touches none of them.
+    pub fn rels(&self) -> BTreeSet<RelId> {
+        let mut out = BTreeSet::new();
+        match self {
+            CcBody::Proj(p) => {
+                out.insert(p.rel);
+            }
+            CcBody::Cq(q) => out.extend(q.atoms.iter().map(|a| a.rel)),
+            CcBody::Ucq(u) => {
+                out.extend(
+                    u.disjuncts
+                        .iter()
+                        .flat_map(|d| d.atoms.iter())
+                        .map(|a| a.rel),
+                );
+            }
+            CcBody::Efo(q) => {
+                fn scan(e: &ric_query::EfoExpr, out: &mut BTreeSet<RelId>) {
+                    match e {
+                        ric_query::EfoExpr::Atom(a) => {
+                            out.insert(a.rel);
+                        }
+                        ric_query::EfoExpr::Eq(..) | ric_query::EfoExpr::Neq(..) => {}
+                        ric_query::EfoExpr::And(ps) | ric_query::EfoExpr::Or(ps) => {
+                            ps.iter().for_each(|p| scan(p, out));
+                        }
+                    }
+                }
+                scan(&q.body, &mut out);
+            }
+            CcBody::Fo(q) => {
+                fn scan(e: &ric_query::FoExpr, out: &mut BTreeSet<RelId>) {
+                    match e {
+                        ric_query::FoExpr::Atom(a) => {
+                            out.insert(a.rel);
+                        }
+                        ric_query::FoExpr::Eq(..) => {}
+                        ric_query::FoExpr::Not(x) => scan(x, out),
+                        ric_query::FoExpr::And(ps) | ric_query::FoExpr::Or(ps) => {
+                            ps.iter().for_each(|p| scan(p, out));
+                        }
+                        ric_query::FoExpr::Exists(_, x) | ric_query::FoExpr::Forall(_, x) => {
+                            scan(x, out);
+                        }
+                    }
+                }
+                scan(&q.body, &mut out);
+            }
+            CcBody::Fp(p) => {
+                for rule in &p.rules {
+                    for lit in &rule.body {
+                        if let ric_query::Literal::Edb(a) = lit {
+                            out.insert(a.rel);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 /// The right-hand side `p` of a containment constraint.

@@ -1,0 +1,315 @@
+//! Incremental (delta-aware) satisfaction of upper-bound constraints.
+//!
+//! The deciders' hot loop asks, for a candidate extension `D ∪ Δ` of a base
+//! `D` already known to satisfy the upper bounds, whether the bounds still
+//! hold. Because every CC body in `L_C ⊆ ∃FO⁺` is monotone,
+//!
+//! ```text
+//! q(D ∪ Δ) = q(D) ∪ { answers whose derivation uses a novel Δ-tuple }
+//! ```
+//!
+//! so with `q(D) ⊆ rhs` given, the union satisfies the constraint iff the
+//! *delta answers* do — computed by
+//! [`eval_tableau_delta`](ric_query::eval::eval_tableau_delta) without ever
+//! materializing the union. Constraints whose body reads no relation with a
+//! novel delta tuple are skipped outright (reported as
+//! [`DeltaCheck::skipped`], the deciders' `cc.skipped_by_delta` counter).
+//!
+//! FO and FP bodies are not monotone (negation); for those the overlay is
+//! materialized once and the body re-evaluated in full — correct, just not
+//! incremental.
+
+use crate::cc::{CcBody, ConstraintSet};
+use ric_data::{Database, Overlay, RelId, Tuple};
+use ric_query::eval::eval_tableau_delta;
+use ric_query::tableau::{Tableau, TableauError};
+use std::collections::BTreeSet;
+
+/// Outcome of one incremental upper-bound check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeltaCheck {
+    /// Do the upper bounds hold on `base ∪ delta` (given they hold on the
+    /// base)?
+    pub satisfied: bool,
+    /// Constraints actually (re-)evaluated.
+    pub checked: usize,
+    /// Constraints skipped because the delta touches none of their body
+    /// relations.
+    pub skipped: usize,
+}
+
+/// One upper-bound constraint, prepared for repeated incremental checks.
+struct PreparedCc {
+    /// Relations the body reads.
+    rels: BTreeSet<RelId>,
+    /// The body's tableaux (`None` for FO/FP bodies, which re-evaluate in
+    /// full on the materialized union).
+    tableaux: Option<Vec<Tableau>>,
+    /// The right-hand side evaluated on the master data, fixed per decision.
+    rhs: BTreeSet<Tuple>,
+}
+
+/// A constraint set compiled against fixed master data, ready to answer
+/// "does `base ∪ delta` still satisfy the upper bounds?" many times.
+///
+/// Preparation happens once per decision — tableau normalization and the
+/// right-hand-side projections move out of the per-candidate loop.
+pub struct PreparedUpper {
+    ccs: Vec<PreparedCc>,
+    /// Body of some constraint is FO/FP (forces materialization when its
+    /// relations are touched).
+    fo_bodies: Vec<usize>,
+}
+
+impl PreparedUpper {
+    /// Prepare the upper bounds of `v` against master data `dm`.
+    pub fn new(
+        v: &ConstraintSet,
+        schema: &ric_data::Schema,
+        dm: &Database,
+    ) -> Result<Self, TableauError> {
+        let mut ccs = Vec::with_capacity(v.ccs.len());
+        let mut fo_bodies = Vec::new();
+        for (i, cc) in v.ccs.iter().enumerate() {
+            let tableaux = match cc.body.as_ucq(schema) {
+                Some(ucq) => Some(ucq.tableaux()?),
+                None => {
+                    fo_bodies.push(i);
+                    None
+                }
+            };
+            ccs.push(PreparedCc {
+                rels: cc.body.rels(),
+                tableaux,
+                rhs: cc.rhs.eval(dm),
+            });
+        }
+        Ok(PreparedUpper { ccs, fo_bodies })
+    }
+
+    /// Any FO/FP bodies among the prepared constraints?
+    pub fn has_nonmonotone_bodies(&self) -> bool {
+        !self.fo_bodies.is_empty()
+    }
+
+    /// Given that the upper bounds hold on `ov.base()`, do they hold on the
+    /// union `ov.base() ∪ ov.delta()`?
+    ///
+    /// The caller owns the precondition; this method only examines what the
+    /// novel delta tuples add. `original` must be the constraint set this
+    /// was prepared from (needed to re-evaluate FO/FP bodies).
+    pub fn satisfied_delta(
+        &self,
+        original: &ConstraintSet,
+        ov: &Overlay<'_>,
+    ) -> Result<DeltaCheck, TableauError> {
+        let novel: BTreeSet<RelId> = ov.novel_rels().collect();
+        let mut checked = 0usize;
+        let mut skipped = 0usize;
+        // Lazily materialized union, shared by every FO/FP body.
+        let mut materialized: Option<Database> = None;
+        for (prep, cc) in self.ccs.iter().zip(original.ccs.iter()) {
+            if prep.rels.is_disjoint(&novel) {
+                skipped += 1;
+                continue;
+            }
+            checked += 1;
+            match &prep.tableaux {
+                Some(ts) => {
+                    for t in ts {
+                        let added = eval_tableau_delta(t, ov);
+                        if !added.iter().all(|a| prep.rhs.contains(a)) {
+                            return Ok(DeltaCheck {
+                                satisfied: false,
+                                checked,
+                                skipped,
+                            });
+                        }
+                    }
+                }
+                None => {
+                    let union = materialized.get_or_insert_with(|| ov.materialize());
+                    let lhs = match &cc.body {
+                        CcBody::Fo(q) => q.try_eval(union)?,
+                        CcBody::Fp(p) => p.eval(union),
+                        // as_ucq only fails on FO/FP bodies.
+                        _ => unreachable!("monotone bodies are prepared as tableaux"),
+                    };
+                    if !lhs.iter().all(|a| prep.rhs.contains(a)) {
+                        return Ok(DeltaCheck {
+                            satisfied: false,
+                            checked,
+                            skipped,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(DeltaCheck {
+            satisfied: true,
+            checked,
+            skipped,
+        })
+    }
+}
+
+impl ConstraintSet {
+    /// One-shot incremental upper-bound check: prepare against `dm`, then
+    /// verify what `ov`'s delta adds. For repeated checks against the same
+    /// `(V, dm)` (the deciders' loops), build a [`PreparedUpper`] once
+    /// instead.
+    pub fn upper_satisfied_delta(
+        &self,
+        schema: &ric_data::Schema,
+        dm: &Database,
+        ov: &Overlay<'_>,
+    ) -> Result<DeltaCheck, TableauError> {
+        PreparedUpper::new(self, schema, dm)?.satisfied_delta(self, ov)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{ContainmentConstraint, Projection};
+    use ric_data::{RelationSchema, Schema, Value};
+    use ric_query::parse_cq;
+
+    fn schemas() -> (Schema, Schema) {
+        let r = Schema::from_relations(vec![
+            RelationSchema::infinite("Cust", &["cid", "cc"]),
+            RelationSchema::infinite("Ord", &["oid"]),
+        ])
+        .unwrap();
+        let m = Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
+        (r, m)
+    }
+
+    fn t1(v: i64) -> Tuple {
+        Tuple::new([Value::int(v)])
+    }
+
+    fn t2(a: i64, b: i64) -> Tuple {
+        Tuple::new([Value::int(a), Value::int(b)])
+    }
+
+    #[test]
+    fn delta_check_agrees_with_full_check() {
+        let (r, m) = schemas();
+        let cust = r.rel_id("Cust").unwrap();
+        let dcust = m.rel_id("DCust").unwrap();
+        let q = parse_cq(&r, "Q(C) :- Cust(C, Cc), Cc = 1.").unwrap();
+        let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+            CcBody::Cq(q),
+            dcust,
+            vec![0],
+        )]);
+        let mut dm = Database::empty(&m);
+        dm.insert(dcust, t1(10));
+        dm.insert(dcust, t1(11));
+        let mut db = Database::empty(&r);
+        db.insert(cust, t2(10, 1));
+        assert!(v.upper_satisfied(&db, &dm).unwrap());
+
+        // A delta that stays within the master bound.
+        let mut ok_delta = Database::empty(&r);
+        ok_delta.insert(cust, t2(11, 1));
+        let ov = Overlay::new(&db, &ok_delta).unwrap();
+        let res = v.upper_satisfied_delta(&r, &dm, &ov).unwrap();
+        assert!(res.satisfied);
+        assert_eq!(res.checked, 1);
+        assert!(v.upper_satisfied(&ov.materialize(), &dm).unwrap());
+
+        // A delta that violates it.
+        let mut bad_delta = Database::empty(&r);
+        bad_delta.insert(cust, t2(99, 1));
+        let ov = Overlay::new(&db, &bad_delta).unwrap();
+        assert!(!v.upper_satisfied_delta(&r, &dm, &ov).unwrap().satisfied);
+        assert!(!v.upper_satisfied(&ov.materialize(), &dm).unwrap());
+    }
+
+    #[test]
+    fn untouched_constraints_are_skipped() {
+        let (r, m) = schemas();
+        let cust = r.rel_id("Cust").unwrap();
+        let ord = r.rel_id("Ord").unwrap();
+        let dcust = m.rel_id("DCust").unwrap();
+        let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(cust, vec![0])),
+            dcust,
+            vec![0],
+        )]);
+        let dm = Database::empty(&m);
+        let db = Database::empty(&r);
+        // Delta touches only Ord; the Cust constraint must be skipped.
+        let mut delta = Database::empty(&r);
+        delta.insert(ord, t1(5));
+        let ov = Overlay::new(&db, &delta).unwrap();
+        let res = v.upper_satisfied_delta(&r, &dm, &ov).unwrap();
+        assert!(res.satisfied);
+        assert_eq!(res.checked, 0);
+        assert_eq!(res.skipped, 1);
+    }
+
+    #[test]
+    fn non_novel_delta_tuples_trigger_nothing() {
+        let (r, m) = schemas();
+        let cust = r.rel_id("Cust").unwrap();
+        let dcust = m.rel_id("DCust").unwrap();
+        let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(cust, vec![0])),
+            dcust,
+            vec![0],
+        )]);
+        // Base violates nothing vacuously (bound 10 present in master).
+        let mut dm = Database::empty(&m);
+        dm.insert(dcust, t1(10));
+        let mut db = Database::empty(&r);
+        db.insert(cust, t2(10, 1));
+        // Delta repeats a base tuple: nothing novel, constraint skipped.
+        let mut delta = Database::empty(&r);
+        delta.insert(cust, t2(10, 1));
+        let ov = Overlay::new(&db, &delta).unwrap();
+        let res = v.upper_satisfied_delta(&r, &dm, &ov).unwrap();
+        assert!(res.satisfied);
+        assert_eq!(res.checked, 0);
+        assert_eq!(res.skipped, 1);
+    }
+
+    #[test]
+    fn fo_bodies_fall_back_to_materialization() {
+        let (r, m) = schemas();
+        let cust = r.rel_id("Cust").unwrap();
+        use ric_query::{FoExpr, FoQuery, Term, Var};
+        // Q(x) := ∃c Cust(x, c) ∧ ¬Cust(x, x) — not monotone.
+        let (x, c) = (Var(0), Var(1));
+        let q = FoQuery::new(
+            vec![x],
+            FoExpr::And(vec![
+                FoExpr::Exists(
+                    vec![c],
+                    Box::new(FoExpr::Atom(ric_query::Atom::new(
+                        cust,
+                        vec![Term::Var(x), Term::Var(c)],
+                    ))),
+                ),
+                FoExpr::not(FoExpr::Atom(ric_query::Atom::new(
+                    cust,
+                    vec![Term::Var(x), Term::Var(x)],
+                ))),
+            ]),
+            vec!["x".into(), "c".into()],
+        );
+        let v = ConstraintSet::new(vec![ContainmentConstraint::into_empty(CcBody::Fo(q))]);
+        let dm = Database::empty(&m);
+        let mut db = Database::empty(&r);
+        db.insert(cust, t2(7, 7)); // Q(D) = ∅: satisfied
+        assert!(v.upper_satisfied(&db, &dm).unwrap());
+        let mut delta = Database::empty(&r);
+        delta.insert(cust, t2(8, 9)); // Q now returns {8}: ⊆ ∅ fails
+        let ov = Overlay::new(&db, &delta).unwrap();
+        let res = v.upper_satisfied_delta(&r, &dm, &ov).unwrap();
+        assert!(!res.satisfied);
+        assert_eq!(res.checked, 1);
+    }
+}

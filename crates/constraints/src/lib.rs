@@ -15,6 +15,8 @@
 pub mod cc;
 pub mod classical;
 pub mod compile;
+pub mod delta;
 
 pub use cc::{CcBody, CcRhs, ConstraintSet, ContainmentConstraint, LowerBound, Projection};
 pub use classical::{Cfd, Cind, Denial, Fd, IndCc};
+pub use delta::{DeltaCheck, PreparedUpper};

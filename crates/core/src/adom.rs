@@ -27,8 +27,8 @@ impl Adom {
     /// Build the active domain for a decision about `(db, setting, query)`,
     /// with a fresh pool of `n_fresh` values.
     pub fn build(db: &Database, setting: &Setting, query: &Query, n_fresh: usize) -> Adom {
-        let mut consts: BTreeSet<Value> = db.active_domain();
-        consts.extend(setting.dm.active_domain());
+        let mut consts: BTreeSet<Value> = db.active_domain().clone();
+        consts.extend(setting.dm.active_domain().iter().cloned());
         consts.extend(query.constants());
         consts.extend(setting.v.constants());
         let mut gen = FreshValues::new();

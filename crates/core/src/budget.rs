@@ -11,6 +11,31 @@ use std::time::Duration;
 use crate::guard::{Guard, Interrupt};
 use crate::verdict::BudgetLimit;
 
+/// Which evaluation engine the deciders use for their inner loops.
+///
+/// Both engines are exact — `Naive` materializes each candidate extension
+/// `D ∪ Δ` and re-checks every constraint from scratch, `Indexed` works
+/// through overlays, per-column indexes, and delta-aware constraint checks.
+/// `Naive` exists as the differential-testing oracle and the baseline arm of
+/// the engine benchmark.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// Materialize unions, re-check all constraints per candidate.
+    Naive,
+    /// Overlay views, index joins, delta-restricted constraint checks.
+    #[default]
+    Indexed,
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Naive => write!(f, "naive"),
+            Engine::Indexed => write!(f, "indexed"),
+        }
+    }
+}
+
 /// Limits on decider work.
 #[derive(Clone, Copy, Debug)]
 pub struct SearchBudget {
@@ -30,6 +55,9 @@ pub struct SearchBudget {
     /// with [`BudgetLimit::Deadline`], never a wrong answer. `None` (the
     /// default) disables the clock entirely.
     pub deadline: Option<Duration>,
+    /// Which evaluation engine drives the enumeration loops. Exactness is
+    /// engine-independent; `Naive` is the cross-checking oracle.
+    pub engine: Engine,
 }
 
 impl Default for SearchBudget {
@@ -41,6 +69,7 @@ impl Default for SearchBudget {
             max_witness_tuples: 10_000,
             fresh_values: 2,
             deadline: None,
+            engine: Engine::default(),
         }
     }
 }
@@ -55,6 +84,7 @@ impl SearchBudget {
             max_witness_tuples: 1_000,
             fresh_values: 1,
             deadline: None,
+            engine: Engine::default(),
         }
     }
 
@@ -68,12 +98,19 @@ impl SearchBudget {
             max_witness_tuples: usize::MAX,
             fresh_values: 4,
             deadline: None,
+            engine: Engine::default(),
         }
     }
 
     /// This budget with a wall-clock deadline per decision.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// This budget with the given evaluation engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }

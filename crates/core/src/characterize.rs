@@ -261,16 +261,18 @@ fn e2_check_inner(
         .collect();
     let space = ValuationSpace::new(&t, &setting.schema, &adom);
     let mut meter = Meter::guarded(MeterKind::Valuations, budget.max_valuations, guard);
+    // `D_𝒱` is partially closed (checked above) and lower bounds are
+    // preserved under extension, so `(D_𝒱 ∪ Δ, D_m) |= V` reduces to the
+    // upper bounds — exactly what the engine's check mode answers.
+    let mode = crate::rcdp::CheckMode::select(setting, budget.engine)?;
+    let cc_skipped = std::cell::Cell::new(0u64);
     let mut ok = true;
     let outcome = space.for_each_valid(
         &mut meter,
         |_| true,
         |mu| {
             let delta = mu.instantiate(&t, setting.schema.len());
-            let extended = dv.union(&delta).expect("same schema");
-            let closed = setting
-                .partially_closed(&extended)
-                .expect("validated bodies");
+            let closed = mode.upper_satisfied(setting, dv, &delta, &cc_skipped);
             if closed {
                 for v in &infinite_head {
                     if !bound_values.contains(&mu.0[v.idx()]) {
@@ -283,6 +285,7 @@ fn e2_check_inner(
         },
     );
     probe.count("characterize.e2_valuations", meter.used());
+    probe.count("cc.skipped_by_delta", cc_skipped.get());
     match outcome {
         EnumOutcome::BudgetExceeded => Ok(None),
         _ => Ok(Some(ok)),

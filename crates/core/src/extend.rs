@@ -74,6 +74,17 @@ pub fn complete_extension_guarded(
     guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<CompletionOutcome, RcError> {
+    // Validate the input once; the loop preserves partial closure by
+    // construction (every round's delta comes from a counterexample whose
+    // extended database satisfied `V`), so the per-round decisions can skip
+    // straight to the dispatch target instead of re-checking the whole
+    // growing database each time.
+    crate::rcdp::validate_fp_bodies(setting, query)?;
+    if !setting.partially_closed(db)? {
+        return Err(RcError::NotPartiallyClosed);
+    }
+    let exact = crate::rcdp::exactly_decidable(query.language())
+        && crate::rcdp::exactly_decidable(setting.v.language());
     let span = probe.span("extend.completion");
     let mut current = db.clone();
     let mut added = Database::with_relations(setting.schema.len());
@@ -93,8 +104,26 @@ pub fn complete_extension_guarded(
         // The per-round decisions run unprobed: an unbounded query can take
         // hundreds of rounds, and each round's counters would swamp the
         // sink; rounds and collected tuples summarise the loop.
-        match crate::rcdp::rcdp_guarded(setting, query, &current, budget, guard, Probe::disabled())?
-        {
+        let verdict = if exact {
+            crate::rcdp::rcdp_exact_guarded(
+                setting,
+                query,
+                &current,
+                budget,
+                guard,
+                Probe::disabled(),
+            )?
+        } else {
+            crate::semidecide::rcdp_bounded_guarded(
+                setting,
+                query,
+                &current,
+                budget,
+                guard,
+                Probe::disabled(),
+            )?
+        };
+        match verdict {
             Verdict::Complete => {
                 break if first {
                     CompletionOutcome::AlreadyComplete

@@ -51,7 +51,7 @@ pub mod valuations;
 pub mod verdict;
 
 pub use adom::Adom;
-pub use budget::{Meter, MeterKind, SearchBudget};
+pub use budget::{Engine, Meter, MeterKind, SearchBudget};
 pub use guard::{CancelToken, FaultPlan, Guard, Interrupt};
 pub use query::Query;
 pub use rcdp::{rcdp, rcdp_guarded, rcdp_probed};

@@ -21,20 +21,83 @@
 //! `Unknown` otherwise.
 
 use crate::adom::Adom;
-use crate::budget::{Meter, MeterKind, SearchBudget};
+use crate::budget::{Engine, Meter, MeterKind, SearchBudget};
 use crate::guard::Guard;
 use crate::query::Query;
 use crate::setting::Setting;
 use crate::valuations::{EnumOutcome, ValuationSpace};
 use crate::verdict::{BudgetLimit, CounterExample, RcError, SearchStats, Verdict};
-use ric_data::{Database, Tuple};
+use ric_constraints::PreparedUpper;
+use ric_data::{index::probe_count, Database, Overlay, Tuple};
 use ric_query::QueryLanguage;
 use ric_telemetry::Probe;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeSet;
 
+/// How the inner loop checks `(D ∪ Δ, D_m) |= V` per candidate.
+pub(crate) enum CheckMode {
+    /// IND constraint sets: projections distribute over unions and `D` is
+    /// partially closed, so checking `Δ` alone is equivalent (C3).
+    IndOnly,
+    /// Materialize `D ∪ Δ` and re-check every constraint (naive engine).
+    Union,
+    /// Overlay `D ∪ Δ` and re-check only what the novel tuples can break.
+    Delta(PreparedUpper),
+}
+
+impl CheckMode {
+    /// Pick the mode for this decision. The delta mode's precondition —
+    /// upper bounds hold on the base — is the partial-closure input
+    /// requirement, verified by the callers.
+    pub(crate) fn select(setting: &Setting, engine: Engine) -> Result<CheckMode, RcError> {
+        if setting.v.is_ind_set() {
+            Ok(CheckMode::IndOnly)
+        } else if engine == Engine::Indexed {
+            Ok(CheckMode::Delta(PreparedUpper::new(
+                &setting.v,
+                &setting.schema,
+                &setting.dm,
+            )?))
+        } else {
+            Ok(CheckMode::Union)
+        }
+    }
+
+    /// Is `(D ∪ Δ, D_m) |= V` for the delta overlaid on `db`? Counts skipped
+    /// constraints into `cc_skipped`.
+    pub(crate) fn upper_satisfied(
+        &self,
+        setting: &Setting,
+        db: &Database,
+        delta: &Database,
+        cc_skipped: &Cell<u64>,
+    ) -> bool {
+        match self {
+            CheckMode::IndOnly => setting
+                .v
+                .upper_satisfied(delta, &setting.dm)
+                .expect("constraint bodies validated by the precondition check"),
+            CheckMode::Union => {
+                let extended = db.union(delta).expect("same schema");
+                setting
+                    .v
+                    .upper_satisfied(&extended, &setting.dm)
+                    .expect("constraint bodies validated by the precondition check")
+            }
+            CheckMode::Delta(prepared) => {
+                let ov = Overlay::new(db, delta).expect("same schema");
+                let res = prepared
+                    .satisfied_delta(&setting.v, &ov)
+                    .expect("constraint bodies validated by the precondition check");
+                cc_skipped.set(cc_skipped.get() + res.skipped as u64);
+                res.satisfied
+            }
+        }
+    }
+}
+
 /// Is the language exactly decidable by the Σᵖ₂ procedure?
-fn exactly_decidable(l: QueryLanguage) -> bool {
+pub(crate) fn exactly_decidable(l: QueryLanguage) -> bool {
     matches!(
         l,
         QueryLanguage::Inds | QueryLanguage::Cq | QueryLanguage::Ucq | QueryLanguage::EfoPlus
@@ -149,9 +212,14 @@ pub fn rcdp_exact_guarded(
         .max(1);
     let adom = Adom::build(db, setting, query, n_fresh);
     probe.gauge("rcdp.adom_size", adom.len() as u64);
-    let is_ind = setting.v.is_ind_set();
+    let mode = CheckMode::select(setting, budget.engine)?;
     let mut meter = Meter::guarded(MeterKind::Valuations, budget.max_valuations, guard);
     let cc_checks = Cell::new(0u64);
+    let cc_skipped = Cell::new(0u64);
+    let probes_before = probe_count();
+    // Scratch delta reused across candidates: steady-state, a candidate
+    // costs index probes and a few inserts, never a clone of `db`.
+    let scratch = RefCell::new(Database::with_relations(setting.schema.len()));
 
     let span = probe.span("rcdp.enumerate");
     let mut verdict = Verdict::Complete;
@@ -186,35 +254,20 @@ pub fn rcdp_exact_guarded(
                 if bound.is_empty() {
                     return true;
                 }
-                let mut delta = Database::with_relations(setting.schema.len());
+                let mut delta = scratch.borrow_mut();
+                delta.clear_tuples();
                 for (rel, tuple) in bound {
                     delta.insert(rel, tuple);
                 }
-                let candidate = if is_ind {
-                    delta
-                } else {
-                    db.union(&delta).expect("same schema")
-                };
                 // Upper bounds only: lower bounds hold on D and are
                 // preserved by extension (monotone bodies).
                 cc_checks.set(cc_checks.get() + 1);
-                setting
-                    .v
-                    .upper_satisfied(&candidate, &setting.dm)
-                    .expect("constraint bodies validated by the precondition check")
+                mode.upper_satisfied(setting, db, &delta, &cc_skipped)
             },
             |mu| {
                 let delta = mu.instantiate(t, setting.schema.len());
                 cc_checks.set(cc_checks.get() + 1);
-                let closed = if is_ind {
-                    // C3: INDs distribute over union, and D is partially
-                    // closed, so checking Δ alone is equivalent and cheaper.
-                    setting.v.upper_satisfied(&delta, &setting.dm)
-                } else {
-                    let extended = db.union(&delta).expect("same schema");
-                    setting.v.upper_satisfied(&extended, &setting.dm)
-                }
-                .expect("constraint bodies validated by the precondition check");
+                let closed = mode.upper_satisfied(setting, db, &delta, &cc_skipped);
                 if closed {
                     let new_answer = mu.head_tuple(t);
                     let added = delta.difference(db).expect("same schema");
@@ -251,6 +304,10 @@ pub fn rcdp_exact_guarded(
     drop(span);
     probe.count("rcdp.valuations", meter.used());
     probe.count("rcdp.cc_checks", cc_checks.get());
+    probe.count("cc.skipped_by_delta", cc_skipped.get());
+    // Process-global counter: other threads' probes inflate it, so this is
+    // an upper bound on the decision's own probes (exact single-threaded).
+    probe.count("index.probe", probe_count().saturating_sub(probes_before));
     emit_verdict(probe, &verdict);
     Ok(verdict)
 }
@@ -288,7 +345,7 @@ pub fn certify_counterexample(
     Ok(before != after && (after.contains(&ce.new_answer) != before.contains(&ce.new_answer)))
 }
 
-fn validate_fp_bodies(setting: &Setting, query: &Query) -> Result<(), RcError> {
+pub(crate) fn validate_fp_bodies(setting: &Setting, query: &Query) -> Result<(), RcError> {
     if let Query::Fp(p) = query {
         p.validate().map_err(|e| RcError::Program(e.to_string()))?;
     }

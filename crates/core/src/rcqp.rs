@@ -35,18 +35,20 @@
 //! benches exercise exactly that regime.
 
 use crate::adom::Adom;
-use crate::budget::{Meter, MeterKind, SearchBudget};
+use crate::budget::{Engine, Meter, MeterKind, SearchBudget};
 use crate::extend::{complete_extension_guarded, CompletionOutcome};
 use crate::guard::Guard;
 use crate::query::Query;
+use crate::rcdp::exactly_decidable;
 use crate::setting::Setting;
 use crate::valuations::{EnumOutcome, ValuationSpace};
 use crate::verdict::{BudgetLimit, QueryVerdict, RcError, SearchStats, Verdict};
-use ric_data::{Database, RelId, Tuple, Value};
+use ric_constraints::PreparedUpper;
+use ric_data::{index::probe_count, Database, Overlay, RelId, Tuple, Value};
 use ric_query::tableau::Tableau;
-use ric_query::{QueryLanguage, Term};
+use ric_query::Term;
 use ric_telemetry::Probe;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::ControlFlow;
 
@@ -54,11 +56,59 @@ use std::ops::ControlFlow;
 /// characterization-driven search.
 const GREEDY_PROBE_TUPLES: usize = 8;
 
-fn exactly_decidable(l: QueryLanguage) -> bool {
-    matches!(
-        l,
-        QueryLanguage::Inds | QueryLanguage::Cq | QueryLanguage::Ucq | QueryLanguage::EfoPlus
-    )
+/// Per-candidate consistency test for the maximal-subset enumeration:
+/// "is `current ∪ {tuple}` still partially closed?", asked once per include
+/// branch and once per maximality probe.
+enum ConsistencyCheck {
+    /// Clone the candidate database, insert, re-check `V` in full.
+    Full,
+    /// Check only what the one new tuple can break, on an overlay. Sound
+    /// because every `current` in the search is partially closed by
+    /// construction (the seed is checked up front, and only admitted tuples
+    /// are ever inserted) and `L_C` is UCQ-expressible here, so lower-bound
+    /// bodies are monotone and stay satisfied under extension.
+    Delta(PreparedUpper),
+}
+
+impl ConsistencyCheck {
+    fn select(setting: &Setting, engine: Engine) -> Result<Self, RcError> {
+        if engine == Engine::Indexed {
+            Ok(ConsistencyCheck::Delta(PreparedUpper::new(
+                &setting.v,
+                &setting.schema,
+                &setting.dm,
+            )?))
+        } else {
+            Ok(ConsistencyCheck::Full)
+        }
+    }
+
+    fn admits(
+        &self,
+        setting: &Setting,
+        current: &Database,
+        rel: RelId,
+        tuple: &Tuple,
+        scratch: &RefCell<Database>,
+        cc_skipped: &Cell<u64>,
+    ) -> Result<bool, RcError> {
+        match self {
+            ConsistencyCheck::Full => {
+                let mut extended = current.clone();
+                extended.insert(rel, tuple.clone());
+                Ok(setting.partially_closed(&extended)?)
+            }
+            ConsistencyCheck::Delta(prepared) => {
+                let mut delta = scratch.borrow_mut();
+                delta.clear_tuples();
+                delta.insert(rel, tuple.clone());
+                let ov = Overlay::new(current, &delta).expect("same schema");
+                let res = prepared.satisfied_delta(&setting.v, &ov)?;
+                cc_skipped.set(cc_skipped.get() + res.skipped as u64);
+                Ok(res.satisfied)
+            }
+        }
+    }
 }
 
 /// Decide RCQP, dispatching on the language combination.
@@ -198,7 +248,7 @@ fn lower_bound_seed(setting: &Setting) -> Option<Database> {
     }
     let mut fresh = ric_data::FreshValues::new();
     for v in setting.dm.active_domain() {
-        fresh.observe(&v);
+        fresh.observe(v);
     }
     for v in setting.v.constants() {
         fresh.observe(&v);
@@ -477,7 +527,7 @@ fn fresh_escape(setting: &Setting, t: &Tableau) -> Result<bool, RcError> {
         gen.observe(&c);
     }
     for c in setting.dm.active_domain() {
-        gen.observe(&c);
+        gen.observe(c);
     }
     for c in setting.v.constants() {
         gen.observe(&c);
@@ -837,6 +887,10 @@ fn rcqp_general(
     let mut chosen: Vec<usize> = Vec::new();
     let mut current = seed.clone();
     let mut result: Option<Database> = None;
+    let check_mode = ConsistencyCheck::select(setting, budget.engine)?;
+    let cc_skipped = Cell::new(0u64);
+    let probes_before = probe_count();
+    let scratch = RefCell::new(Database::with_relations(setting.schema.len()));
     let span = probe.span("rcqp.e2_search");
     let outcome = maximal_subsets(
         setting,
@@ -845,6 +899,11 @@ fn rcqp_general(
         0,
         &mut chosen,
         &mut current,
+        &SearchCtx {
+            check_mode,
+            scratch,
+            cc_skipped: &cc_skipped,
+        },
         &mut meter,
         &mut |db: &Database, entries: &[usize]| -> Result<bool, RcError> {
             // E2 over this maximal D_𝒱: bound values are the pinned
@@ -868,6 +927,9 @@ fn rcqp_general(
     drop(span);
     probe.count("rcqp.candidates", meter.used());
     probe.count("rcqp.e2_checks", e2_checks.get());
+    probe.count("cc.skipped_by_delta", cc_skipped.get());
+    // Process-global counter: an upper bound when other threads probe too.
+    probe.count("index.probe", probe_count().saturating_sub(probes_before));
     // A guard trip anywhere in the search (including inside an E2 check,
     // where it surfaces as an inconclusive check) forfeits the Empty
     // reading: the enumeration did not run to genuine exhaustion.
@@ -944,8 +1006,36 @@ enum MaxOutcome {
     Budget,
 }
 
+/// Shared, read-mostly state of one maximal-subset enumeration.
+struct SearchCtx<'a> {
+    check_mode: ConsistencyCheck,
+    scratch: RefCell<Database>,
+    cc_skipped: &'a Cell<u64>,
+}
+
+impl SearchCtx<'_> {
+    fn admits(
+        &self,
+        setting: &Setting,
+        current: &Database,
+        entry: &PoolEntry,
+    ) -> Result<bool, RcError> {
+        self.check_mode.admits(
+            setting,
+            current,
+            entry.rel,
+            &entry.tuple,
+            &self.scratch,
+            self.cc_skipped,
+        )
+    }
+}
+
 /// Enumerate the maximal `V`-consistent subsets of the pool, invoking
 /// `check` on each; a `true` check stores the subset in `result` and stops.
+///
+/// `current` is mutated by backtracking (insert on include, remove on the way
+/// out) — no per-branch clone of the candidate database.
 #[allow(clippy::too_many_arguments)]
 fn maximal_subsets(
     setting: &Setting,
@@ -954,6 +1044,7 @@ fn maximal_subsets(
     idx: usize,
     chosen: &mut Vec<usize>,
     current: &mut Database,
+    ctx: &SearchCtx<'_>,
     meter: &mut Meter,
     check: &mut impl FnMut(&Database, &[usize]) -> Result<bool, RcError>,
     result: &mut Option<Database>,
@@ -970,9 +1061,7 @@ fn maximal_subsets(
             if current.instance(entry.rel).contains(&entry.tuple) {
                 continue; // same tuple contributed by another template
             }
-            let mut extended = current.clone();
-            extended.insert(entry.rel, entry.tuple.clone());
-            if setting.partially_closed(&extended)? {
+            if ctx.admits(setting, current, entry)? {
                 return Ok(MaxOutcome::Exhausted); // not maximal; skip
             }
         }
@@ -985,9 +1074,10 @@ fn maximal_subsets(
     let entry = &pool[idx];
     // Include branch (only if consistent).
     let already = current.instance(entry.rel).contains(&entry.tuple);
-    let mut extended = current.clone();
-    extended.insert(entry.rel, entry.tuple.clone());
-    if setting.partially_closed(&extended)? {
+    if already || ctx.admits(setting, current, entry)? {
+        if !already {
+            current.insert(entry.rel, entry.tuple.clone());
+        }
         chosen.push(idx);
         let out = maximal_subsets(
             setting,
@@ -995,12 +1085,16 @@ fn maximal_subsets(
             inert,
             idx + 1,
             chosen,
-            &mut extended,
+            current,
+            ctx,
             meter,
             check,
             result,
         )?;
         chosen.pop();
+        if !already {
+            current.instance_mut(entry.rel).remove(&entry.tuple);
+        }
         if out != MaxOutcome::Exhausted {
             return Ok(out);
         }
@@ -1021,6 +1115,7 @@ fn maximal_subsets(
         idx + 1,
         chosen,
         current,
+        ctx,
         meter,
         check,
         result,

@@ -16,12 +16,13 @@
 //!   exactly the epistemic state the undecidability theorems force.
 
 use crate::adom::Adom;
-use crate::budget::{Meter, MeterKind, SearchBudget};
+use crate::budget::{Engine, Meter, MeterKind, SearchBudget};
 use crate::guard::Guard;
 use crate::query::Query;
 use crate::setting::Setting;
 use crate::verdict::{BudgetLimit, CounterExample, QueryVerdict, RcError, SearchStats, Verdict};
-use ric_data::{Database, RelId, Tuple, Value};
+use ric_constraints::PreparedUpper;
+use ric_data::{index::probe_count, Database, Overlay, RelId, Tuple, Value};
 use ric_telemetry::Probe;
 use std::cell::Cell;
 
@@ -64,6 +65,90 @@ pub(crate) fn tuple_pool(
         });
     }
     pool
+}
+
+/// Per-candidate closure check for the bounded search. Unlike the exact
+/// decider's [`CheckMode`](crate::rcdp::CheckMode), this one must hand back a
+/// materialized union for the surviving candidates: `L_Q` here may be FO/FP,
+/// which the query evaluator wants as a concrete [`Database`].
+enum BoundedCheck {
+    /// Materialize every candidate union and check `V` in full.
+    Full,
+    /// Check upper bounds incrementally on the overlay and materialize only
+    /// the survivors. Requires the upper bounds to hold on the base.
+    Delta {
+        prepared: PreparedUpper,
+        /// Lower bounds must be re-checked on each surviving union — some
+        /// body is FO/FP (not monotone) or the base does not satisfy them
+        /// yet (an extension can repair a missing lower bound).
+        recheck_lower: bool,
+    },
+}
+
+impl BoundedCheck {
+    fn select(setting: &Setting, db: &Database, engine: Engine) -> Result<Self, RcError> {
+        // The incremental identity for monotone upper bodies needs the upper
+        // bounds to hold on the base; when they do not (possible here —
+        // `rcdp_bounded` is a public entry that does not demand partial
+        // closure), the naive path keeps the original semantics.
+        if engine != Engine::Indexed || !setting.v.upper_satisfied(db, &setting.dm)? {
+            return Ok(BoundedCheck::Full);
+        }
+        let mut recheck_lower = false;
+        for lb in &setting.v.lower_bounds {
+            if !crate::rcdp::exactly_decidable(lb.body.language())
+                || !lb.satisfied(db, &setting.dm)?
+            {
+                recheck_lower = true;
+                break;
+            }
+        }
+        Ok(BoundedCheck::Delta {
+            prepared: PreparedUpper::new(&setting.v, &setting.schema, &setting.dm)?,
+            recheck_lower,
+        })
+    }
+
+    /// `(D ∪ Δ, D_m) |= V`? Returns the materialized union for survivors so
+    /// the caller can evaluate the query on it, `None` for rejects.
+    fn closed_union(
+        &self,
+        setting: &Setting,
+        db: &Database,
+        delta: &Database,
+        cc_skipped: &Cell<u64>,
+    ) -> Result<Option<Database>, RcError> {
+        match self {
+            BoundedCheck::Full => {
+                let extended = db.union(delta).expect("same schema");
+                if setting.partially_closed(&extended)? {
+                    Ok(Some(extended))
+                } else {
+                    Ok(None)
+                }
+            }
+            BoundedCheck::Delta {
+                prepared,
+                recheck_lower,
+            } => {
+                let ov = Overlay::new(db, delta).expect("same schema");
+                let res = prepared.satisfied_delta(&setting.v, &ov)?;
+                cc_skipped.set(cc_skipped.get() + res.skipped as u64);
+                if !res.satisfied {
+                    return Ok(None);
+                }
+                let extended = ov.materialize();
+                if *recheck_lower {
+                    for lb in &setting.v.lower_bounds {
+                        if !lb.satisfied(&extended, &setting.dm)? {
+                            return Ok(None);
+                        }
+                    }
+                }
+                Ok(Some(extended))
+            }
+        }
+    }
 }
 
 fn fill(
@@ -143,6 +228,9 @@ fn rcdp_bounded_inner(
     let q_d = query.eval(db)?;
     let query_evals = Cell::new(1u64);
     let cc_checks = Cell::new(0u64);
+    let cc_skipped = Cell::new(0u64);
+    let probes_before = probe_count();
+    let check = BoundedCheck::select(setting, db, budget.engine)?;
     let adom = Adom::build(db, setting, query, budget.fresh_values);
     let mut values = adom.constants.clone();
     values.extend(adom.fresh.iter().cloned());
@@ -178,11 +266,10 @@ fn rcdp_bounded_inner(
                     let (rel, t) = &pool[i];
                     delta.insert(*rel, t.clone());
                 }
-                let extended = db.union(&delta).expect("same schema");
                 cc_checks.set(cc_checks.get() + 1);
-                if !setting.partially_closed(&extended)? {
+                let Some(extended) = check.closed_union(setting, db, &delta, &cc_skipped)? else {
                     return Ok(None);
-                }
+                };
                 let q_after = query.eval(&extended)?;
                 query_evals.set(query_evals.get() + 1);
                 if q_after != q_d {
@@ -228,6 +315,9 @@ fn rcdp_bounded_inner(
     probe.count("semidecide.candidates", meter.used());
     probe.count("semidecide.cc_checks", cc_checks.get());
     probe.count("semidecide.query_evals", query_evals.get());
+    probe.count("cc.skipped_by_delta", cc_skipped.get());
+    // Process-global counter: an upper bound when other threads probe too.
+    probe.count("index.probe", probe_count().saturating_sub(probes_before));
     Ok(verdict.unwrap_or_else(|| {
         Verdict::unknown(
             SearchStats::new(

@@ -6,10 +6,12 @@
 //! (`D ∪ Δ`) are the operations the completeness definitions are built on.
 
 use crate::error::DataError;
+use crate::index::ColumnIndex;
 use crate::schema::{RelId, Schema};
 use crate::value::Value;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A tuple: an ordered list of constants.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -79,10 +81,33 @@ impl fmt::Display for Tuple {
 }
 
 /// An instance of a single relation: a set of tuples.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+///
+/// Carries a lazily built per-column hash index ([`Instance::index`]) for the
+/// evaluators' joins; the cache is dropped on every mutation and excluded
+/// from equality, ordering, and cloning.
+#[derive(Debug, Default)]
 pub struct Instance {
     tuples: BTreeSet<Tuple>,
+    index: OnceLock<ColumnIndex>,
 }
+
+impl Clone for Instance {
+    fn clone(&self) -> Self {
+        // The index is derived data; a clone starts without one.
+        Instance {
+            tuples: self.tuples.clone(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples == other.tuples
+    }
+}
+
+impl Eq for Instance {}
 
 impl Instance {
     /// The empty instance.
@@ -94,17 +119,33 @@ impl Instance {
     pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Self {
         Instance {
             tuples: tuples.into_iter().collect(),
+            index: OnceLock::new(),
         }
+    }
+
+    /// The per-column hash index over the current tuples, built on first use
+    /// and invalidated by any mutation.
+    pub fn index(&self) -> &ColumnIndex {
+        self.index
+            .get_or_init(|| ColumnIndex::build(self.tuples.iter()))
     }
 
     /// Insert a tuple; returns whether it was new.
     pub fn insert(&mut self, t: Tuple) -> bool {
+        self.index.take();
         self.tuples.insert(t)
     }
 
     /// Remove a tuple; returns whether it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.index.take();
         self.tuples.remove(t)
+    }
+
+    /// Remove every tuple.
+    pub fn clear(&mut self) {
+        self.index.take();
+        self.tuples.clear();
     }
 
     /// Membership test.
@@ -134,6 +175,10 @@ impl Instance {
 
     /// In-place union.
     pub fn union_with(&mut self, other: &Instance) {
+        if other.is_empty() {
+            return;
+        }
+        self.index.take();
         for t in other.iter() {
             self.tuples.insert(t.clone());
         }
@@ -150,25 +195,46 @@ impl FromIterator<Tuple> for Instance {
 ///
 /// The schema itself is *not* owned by the database; all operations that need
 /// schema information take it as a parameter. This keeps `Database` a plain
-/// value type that is cheap to clone and compare — the deciders clone
-/// candidate extensions constantly.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// value type that is cheap to clone and compare. The deciders' hot loops no
+/// longer clone candidate extensions — they layer an
+/// [`Overlay`](crate::Overlay) over a shared base instead — but cloning
+/// remains cheap for the places that still materialize.
+#[derive(Debug)]
 pub struct Database {
     instances: Vec<Instance>,
+    /// Cached active domain; dropped on mutation (see
+    /// [`Database::active_domain`]).
+    adom: OnceLock<BTreeSet<Value>>,
 }
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            instances: self.instances.clone(),
+            adom: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.instances == other.instances
+    }
+}
+
+impl Eq for Database {}
 
 impl Database {
     /// The empty database over a schema with `n` relations.
     pub fn empty(schema: &Schema) -> Self {
-        Database {
-            instances: vec![Instance::new(); schema.len()],
-        }
+        Database::with_relations(schema.len())
     }
 
     /// The empty database over `n` relations (schema-free construction).
     pub fn with_relations(n: usize) -> Self {
         Database {
             instances: vec![Instance::new(); n],
+            adom: OnceLock::new(),
         }
     }
 
@@ -197,8 +263,10 @@ impl Database {
         &self.instances[id.0]
     }
 
-    /// Mutable access to the instance of a relation.
+    /// Mutable access to the instance of a relation. Conservatively drops the
+    /// cached active domain (the caller may mutate through the reference).
     pub fn instance_mut(&mut self, id: RelId) -> &mut Instance {
+        self.adom.take();
         &mut self.instances[id.0]
     }
 
@@ -227,13 +295,25 @@ impl Database {
                 });
             }
         }
+        self.adom.take();
         Ok(self.instances[id.0].insert(t))
     }
 
     /// Insert a tuple without schema checks (used by internal algorithms that
     /// construct tuples from schema-derived templates).
     pub fn insert(&mut self, id: RelId, t: Tuple) -> bool {
+        self.adom.take();
         self.instances[id.0].insert(t)
+    }
+
+    /// Remove every tuple from every relation (the relations themselves
+    /// remain). Used by the deciders to recycle scratch deltas without
+    /// reallocating per candidate.
+    pub fn clear_tuples(&mut self) {
+        self.adom.take();
+        for inst in &mut self.instances {
+            inst.clear();
+        }
     }
 
     /// `self ⊆ other` component-wise (Section 2.1).
@@ -263,6 +343,7 @@ impl Database {
         if self.instances.len() != other.instances.len() {
             return Err(DataError::SchemaMismatch);
         }
+        self.adom.take();
         for (mine, theirs) in self.instances.iter_mut().zip(other.instances.iter()) {
             mine.union_with(theirs);
         }
@@ -290,17 +371,22 @@ impl Database {
         Ok(out)
     }
 
-    /// All constants appearing anywhere in the database (the *active domain*).
-    pub fn active_domain(&self) -> BTreeSet<Value> {
-        let mut out = BTreeSet::new();
-        for inst in &self.instances {
-            for t in inst.iter() {
-                for v in t.iter() {
-                    out.insert(v.clone());
+    /// All constants appearing anywhere in the database (the *active
+    /// domain*). Computed once and cached; mutation drops the cache. Repeat
+    /// callers (`Adom::build`, the FO evaluator) previously rebuilt this set
+    /// on every call.
+    pub fn active_domain(&self) -> &BTreeSet<Value> {
+        self.adom.get_or_init(|| {
+            let mut out = BTreeSet::new();
+            for inst in &self.instances {
+                for t in inst.iter() {
+                    for v in t.iter() {
+                        out.insert(v.clone());
+                    }
                 }
             }
-        }
-        out
+            out
+        })
     }
 
     /// Iterate `(RelId, &Instance)` pairs.

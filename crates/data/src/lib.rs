@@ -22,13 +22,21 @@
 pub mod database;
 pub mod error;
 pub mod fresh;
+pub mod index;
+pub mod intern;
+pub mod overlay;
 pub mod rng;
 pub mod schema;
+pub mod store;
 pub mod value;
 
 pub use database::{Database, Instance, Tuple};
 pub use error::DataError;
 pub use fresh::FreshValues;
+pub use index::ColumnIndex;
+pub use intern::{Interner, Sym};
+pub use overlay::Overlay;
 pub use rng::SplitMix64;
 pub use schema::{Attribute, DomainKind, RelId, RelationSchema, Schema};
+pub use store::TupleStore;
 pub use value::Value;

@@ -1,0 +1,181 @@
+//! Overlays: the extension `D ∪ Δ` as a *view*, without copying `D`.
+//!
+//! The deciders' innermost loops ask, per candidate valuation, whether a
+//! small delta `Δ` (the instantiated tableau atoms, at most a handful of
+//! tuples) keeps the constraints satisfied. Materializing `D ∪ Δ` clones the
+//! whole base per candidate; an [`Overlay`] borrows both sides and answers
+//! membership, scans, and index probes against their union directly.
+//!
+//! A delta tuple already present in the base is *not novel*: it changes
+//! nothing about the union. The novel tuples are what incremental constraint
+//! checking ([`ric-constraints`]'s delta mode) evaluates against.
+
+use crate::database::{Database, Tuple};
+use crate::error::DataError;
+use crate::schema::RelId;
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// A borrowed view of `base ∪ delta`.
+#[derive(Clone, Copy, Debug)]
+pub struct Overlay<'a> {
+    base: &'a Database,
+    delta: &'a Database,
+}
+
+impl<'a> Overlay<'a> {
+    /// View `base ∪ delta`. Errors when the two sides disagree on the number
+    /// of relations.
+    pub fn new(base: &'a Database, delta: &'a Database) -> Result<Self, DataError> {
+        if base.len() != delta.len() {
+            return Err(DataError::SchemaMismatch);
+        }
+        Ok(Overlay { base, delta })
+    }
+
+    /// The base database `D`.
+    pub fn base(&self) -> &'a Database {
+        self.base
+    }
+
+    /// The delta database `Δ` (possibly overlapping the base).
+    pub fn delta(&self) -> &'a Database {
+        self.delta
+    }
+
+    /// Number of relations.
+    pub fn rel_count(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Union membership.
+    pub fn contains(&self, rel: RelId, t: &Tuple) -> bool {
+        self.base.instance(rel).contains(t) || self.delta.instance(rel).contains(t)
+    }
+
+    /// Union cardinality of one relation (novel delta tuples counted once).
+    pub fn rel_len(&self, rel: RelId) -> usize {
+        let base = self.base.instance(rel);
+        base.len()
+            + self
+                .delta
+                .instance(rel)
+                .iter()
+                .filter(|t| !base.contains(t))
+                .count()
+    }
+
+    /// Relations with at least one *novel* delta tuple (a tuple of `Δ` not
+    /// already in `D`).
+    pub fn novel_rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.delta.iter().filter_map(|(rel, inst)| {
+            let base = self.base.instance(rel);
+            inst.iter().any(|t| !base.contains(t)).then_some(rel)
+        })
+    }
+
+    /// Visit the novel delta tuples of `rel`; stop early when `f` returns
+    /// `false`. Returns `false` iff stopped early.
+    pub fn for_each_novel(&self, rel: RelId, f: &mut dyn FnMut(&Tuple) -> bool) -> bool {
+        let base = self.base.instance(rel);
+        for t in self.delta.instance(rel).iter() {
+            if !base.contains(t) && !f(t) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Collect the union's active domain into `out`.
+    pub fn active_domain_into(&self, out: &mut BTreeSet<Value>) {
+        out.extend(self.base.active_domain().iter().cloned());
+        for (_, inst) in self.delta.iter() {
+            for t in inst.iter() {
+                for v in t.iter() {
+                    out.insert(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Materialize the union as an owned database — the escape hatch for
+    /// code paths without an overlay-aware evaluator (FO/FP constraint
+    /// bodies).
+    pub fn materialize(&self) -> Database {
+        self.base
+            .union(self.delta)
+            .expect("overlay sides agree on relation count by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vs: &[i64]) -> Tuple {
+        Tuple::new(vs.iter().map(|&v| Value::int(v)))
+    }
+
+    fn two_rel() -> (Database, Database) {
+        let mut base = Database::with_relations(2);
+        base.insert(RelId(0), t(&[1, 2]));
+        base.insert(RelId(0), t(&[2, 3]));
+        let mut delta = Database::with_relations(2);
+        delta.insert(RelId(0), t(&[2, 3])); // already in base: not novel
+        delta.insert(RelId(1), t(&[9]));
+        (base, delta)
+    }
+
+    #[test]
+    fn membership_and_lengths_cover_the_union() {
+        let (base, delta) = two_rel();
+        let ov = Overlay::new(&base, &delta).unwrap();
+        assert!(ov.contains(RelId(0), &t(&[1, 2])));
+        assert!(ov.contains(RelId(1), &t(&[9])));
+        assert!(!ov.contains(RelId(0), &t(&[9, 9])));
+        assert_eq!(ov.rel_len(RelId(0)), 2);
+        assert_eq!(ov.rel_len(RelId(1)), 1);
+        assert_eq!(ov.materialize(), base.union(&delta).unwrap());
+    }
+
+    #[test]
+    fn novelty_ignores_delta_tuples_already_in_base() {
+        let (base, delta) = two_rel();
+        let ov = Overlay::new(&base, &delta).unwrap();
+        let novel: Vec<RelId> = ov.novel_rels().collect();
+        assert_eq!(novel, vec![RelId(1)]);
+        let mut seen = Vec::new();
+        ov.for_each_novel(RelId(0), &mut |t| {
+            seen.push(t.clone());
+            true
+        });
+        assert!(seen.is_empty(), "(2,3) is already in the base");
+        ov.for_each_novel(RelId(1), &mut |t| {
+            seen.push(t.clone());
+            true
+        });
+        assert_eq!(seen, vec![t(&[9])]);
+    }
+
+    #[test]
+    fn mismatched_relation_counts_rejected() {
+        let base = Database::with_relations(1);
+        let delta = Database::with_relations(2);
+        assert!(Overlay::new(&base, &delta).is_err());
+    }
+
+    #[test]
+    fn active_domain_unions_both_sides() {
+        let (base, delta) = two_rel();
+        let ov = Overlay::new(&base, &delta).unwrap();
+        let mut dom = BTreeSet::new();
+        ov.active_domain_into(&mut dom);
+        assert_eq!(
+            dom,
+            [1, 2, 3, 9]
+                .into_iter()
+                .map(Value::int)
+                .collect::<BTreeSet<_>>()
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! [`TupleStore`] — the access-path abstraction the evaluators join through.
+//!
+//! A store is anything that can answer "scan relation `r`", "probe relation
+//! `r` for tuples with value `v` in column `c`", and membership. Both a plain
+//! [`Database`] and an [`Overlay`] (`D ∪ Δ` without copying `D`) implement
+//! it, so one generic evaluator serves the deciders' base-database queries
+//! *and* their per-candidate extension checks.
+//!
+//! Visitors return `bool` (`false` = stop) so Boolean queries can exit on the
+//! first witness; the scan/probe methods mirror that, returning `false` iff
+//! they stopped early. Probes go through each instance's lazily built
+//! [`ColumnIndex`](crate::index::ColumnIndex) and are counted process-wide
+//! ([`crate::index::probe_count`]).
+
+use crate::database::{Database, Tuple};
+use crate::overlay::Overlay;
+use crate::schema::RelId;
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// Read access to a set of relation instances, with index-probe support.
+pub trait TupleStore {
+    /// Number of relations.
+    fn rel_count(&self) -> usize;
+
+    /// Number of tuples in `rel`.
+    fn rel_len(&self, rel: RelId) -> usize;
+
+    /// Membership.
+    fn contains(&self, rel: RelId, t: &Tuple) -> bool;
+
+    /// Visit every tuple of `rel` in deterministic order; stop when `f`
+    /// returns `false`. Returns `false` iff stopped early.
+    fn scan(&self, rel: RelId, f: &mut dyn FnMut(&Tuple) -> bool) -> bool;
+
+    /// Visit the tuples of `rel` with value `v` at column `col`
+    /// (index-accelerated), in the same relative order as [`Self::scan`];
+    /// stop when `f` returns `false`. Returns `false` iff stopped early.
+    fn probe(&self, rel: RelId, col: usize, v: &Value, f: &mut dyn FnMut(&Tuple) -> bool) -> bool;
+
+    /// Collect every constant appearing in the store into `out`.
+    fn active_domain_into(&self, out: &mut BTreeSet<Value>);
+}
+
+impl TupleStore for Database {
+    fn rel_count(&self) -> usize {
+        self.len()
+    }
+
+    fn rel_len(&self, rel: RelId) -> usize {
+        self.instance(rel).len()
+    }
+
+    fn contains(&self, rel: RelId, t: &Tuple) -> bool {
+        self.instance(rel).contains(t)
+    }
+
+    fn scan(&self, rel: RelId, f: &mut dyn FnMut(&Tuple) -> bool) -> bool {
+        for t in self.instance(rel).iter() {
+            if !f(t) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn probe(&self, rel: RelId, col: usize, v: &Value, f: &mut dyn FnMut(&Tuple) -> bool) -> bool {
+        let idx = self.instance(rel).index();
+        for &id in idx.probe(col, v) {
+            if !f(idx.tuple(id)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn active_domain_into(&self, out: &mut BTreeSet<Value>) {
+        out.extend(self.active_domain().iter().cloned());
+    }
+}
+
+impl TupleStore for Overlay<'_> {
+    fn rel_count(&self) -> usize {
+        Overlay::rel_count(self)
+    }
+
+    fn rel_len(&self, rel: RelId) -> usize {
+        Overlay::rel_len(self, rel)
+    }
+
+    fn contains(&self, rel: RelId, t: &Tuple) -> bool {
+        Overlay::contains(self, rel, t)
+    }
+
+    fn scan(&self, rel: RelId, f: &mut dyn FnMut(&Tuple) -> bool) -> bool {
+        if !self.base().scan(rel, f) {
+            return false;
+        }
+        self.for_each_novel(rel, f)
+    }
+
+    fn probe(&self, rel: RelId, col: usize, v: &Value, f: &mut dyn FnMut(&Tuple) -> bool) -> bool {
+        if !self.base().probe(rel, col, v, f) {
+            return false;
+        }
+        let base = self.base();
+        let idx = self.delta().instance(rel).index();
+        for &id in idx.probe(col, v) {
+            let t = idx.tuple(id);
+            // Skip delta tuples already in the base: the union yields each
+            // tuple once.
+            if !base.instance(rel).contains(t) && !f(t) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn active_domain_into(&self, out: &mut BTreeSet<Value>) {
+        Overlay::active_domain_into(self, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vs: &[i64]) -> Tuple {
+        Tuple::new(vs.iter().map(|&v| Value::int(v)))
+    }
+
+    fn collect_scan<S: TupleStore>(s: &S, rel: RelId) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        s.scan(rel, &mut |t| {
+            out.push(t.clone());
+            true
+        });
+        out
+    }
+
+    fn collect_probe<S: TupleStore>(s: &S, rel: RelId, col: usize, v: &Value) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        s.probe(rel, col, v, &mut |t| {
+            out.push(t.clone());
+            true
+        });
+        out
+    }
+
+    #[test]
+    fn database_scan_and_probe_agree() {
+        let mut db = Database::with_relations(1);
+        for pair in [[1, 2], [1, 3], [2, 3]] {
+            db.insert(RelId(0), t(&pair.map(i64::from)));
+        }
+        assert_eq!(collect_scan(&db, RelId(0)).len(), 3);
+        assert_eq!(
+            collect_probe(&db, RelId(0), 0, &Value::int(1)),
+            vec![t(&[1, 2]), t(&[1, 3])]
+        );
+    }
+
+    #[test]
+    fn overlay_probe_deduplicates_and_scans_union() {
+        let mut base = Database::with_relations(1);
+        base.insert(RelId(0), t(&[1, 2]));
+        let mut delta = Database::with_relations(1);
+        delta.insert(RelId(0), t(&[1, 2])); // duplicate of base
+        delta.insert(RelId(0), t(&[1, 9])); // novel
+        let ov = Overlay::new(&base, &delta).unwrap();
+        assert_eq!(
+            collect_probe(&ov, RelId(0), 0, &Value::int(1)),
+            vec![t(&[1, 2]), t(&[1, 9])]
+        );
+        assert_eq!(collect_scan(&ov, RelId(0)).len(), 2);
+        assert_eq!(TupleStore::rel_len(&ov, RelId(0)), 2);
+    }
+
+    #[test]
+    fn early_exit_propagates() {
+        let mut db = Database::with_relations(1);
+        db.insert(RelId(0), t(&[1]));
+        db.insert(RelId(0), t(&[2]));
+        let mut seen = 0;
+        let completed = db.scan(RelId(0), &mut |_| {
+            seen += 1;
+            false
+        });
+        assert!(!completed);
+        assert_eq!(seen, 1);
+    }
+}

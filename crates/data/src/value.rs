@@ -13,7 +13,15 @@ use std::sync::Arc;
 /// `Int` covers the countably infinite domain; `Str` exists so that examples
 /// and scenario data can use readable constants (`"e0"`, `"NJ"`, …). The two
 /// variants never compare equal.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// String payloads built through [`Value::str`] (and the `From` impls) are
+/// interned in the process-wide pool ([`crate::intern`]), so equal strings
+/// share one allocation and equality usually resolves by pointer.
+// The manual `PartialEq` below only short-circuits on pointer identity —
+// ptr-equal Arcs hold equal bytes — so it decides exactly what the derived
+// impl would, and the derived `Hash` stays consistent with it.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// An integer constant.
     Int(i64),
@@ -21,10 +29,22 @@ pub enum Value {
     Str(Arc<str>),
 }
 
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            // Interned strings share an allocation, so the pointer comparison
+            // settles the common case without touching the bytes.
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
+    }
+}
+
 impl Value {
-    /// Build a string value.
+    /// Build a string value (interned).
     pub fn str(s: impl AsRef<str>) -> Self {
-        Value::Str(Arc::from(s.as_ref()))
+        Value::Str(crate::intern::intern_str(s.as_ref()))
     }
 
     /// Build an integer value.
@@ -63,7 +83,7 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(Arc::from(s.as_str()))
+        Value::str(s)
     }
 }
 
@@ -122,6 +142,17 @@ mod tests {
         assert_eq!(Value::str("y").as_str(), Some("y"));
         assert_eq!(Value::int(3).as_str(), None);
         assert_eq!(Value::str("y").as_int(), None);
+    }
+
+    #[test]
+    fn equal_strings_share_one_allocation() {
+        let a = Value::str("interned-constant");
+        let b = Value::from(String::from("interned-constant"));
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => unreachable!(),
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

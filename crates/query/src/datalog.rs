@@ -195,7 +195,7 @@ impl Program {
 
         // First round: every rule against the (empty) IDB.
         for rule in &self.rules {
-            for t in fire(rule, db, &idb, None, PredId(0)) {
+            for t in fire(rule, db, &idb, &delta, None) {
                 if idb[rule.head.0].insert(t.clone()) {
                     delta[rule.head.0].insert(t);
                 }
@@ -220,7 +220,7 @@ impl Program {
                     if delta[p.0].is_empty() {
                         continue;
                     }
-                    for t in fire(rule, db, &idb, Some(pos), *p) {
+                    for t in fire(rule, db, &idb, &delta, Some(pos)) {
                         if !idb[rule.head.0].contains(&t) {
                             new_delta[rule.head.0].insert(t);
                             grew = true;
@@ -244,30 +244,44 @@ impl Program {
     }
 }
 
+/// Evaluation context for one rule firing, threaded through the recursion.
+struct FireCtx<'a> {
+    rule: &'a Rule,
+    order: &'a [usize],
+    db: &'a Database,
+    idb: &'a [Instance],
+    delta: &'a [Instance],
+    /// Body position whose IDB literal joins against `delta` instead of the
+    /// full `idb` — the position-precise semi-naive restriction.
+    delta_pos: Option<usize>,
+}
+
 /// Evaluate one rule body; if `delta_pos` is set, the IDB literal at that
-/// position additionally filters against the current delta of `delta_pred`
-/// (the caller provides the delta via closure-free indexing: we re-derive it
-/// by checking membership order — see `fire_inner`).
+/// position ranges over the previous round's delta only, so every derived
+/// tuple genuinely uses a last-round fact at that position.
 fn fire(
     rule: &Rule,
     db: &Database,
     idb: &[Instance],
-    _delta_pos: Option<usize>,
-    _delta_pred: PredId,
+    delta: &[Instance],
+    delta_pos: Option<usize>,
 ) -> Vec<Tuple> {
-    // For clarity we evaluate against the full IDB; the semi-naive driver
-    // already skips rules whose delta predicates are empty, which captures
-    // the bulk of the saving on the fixpoints we run (transitive closures,
-    // reachability). A position-precise delta join is a straightforward
-    // refinement.
     let Some(order) = schedule_body(rule) else {
         // No evaluable ordering (a comparison never gets its variables
         // bound); such a rule cannot derive anything.
         return Vec::new();
     };
+    let ctx = FireCtx {
+        rule,
+        order: &order,
+        db,
+        idb,
+        delta,
+        delta_pos,
+    };
     let mut out = Vec::new();
     let mut binding: Vec<Option<Value>> = vec![None; rule.n_vars as usize];
-    fire_inner(rule, &order, db, idb, 0, &mut binding, &mut out);
+    fire_inner(&ctx, 0, &mut binding, &mut out);
     out
 }
 
@@ -333,42 +347,39 @@ fn schedule_body(rule: &Rule) -> Option<Vec<usize>> {
     Some(order)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn fire_inner(
-    rule: &Rule,
-    order: &[usize],
-    db: &Database,
-    idb: &[Instance],
+    ctx: &FireCtx<'_>,
     depth: usize,
     binding: &mut Vec<Option<Value>>,
     out: &mut Vec<Tuple>,
 ) {
-    if depth == order.len() {
-        out.push(Tuple::new(rule.head_args.iter().map(|t| match t {
+    if depth == ctx.order.len() {
+        out.push(Tuple::new(ctx.rule.head_args.iter().map(|t| match t {
             Term::Var(v) => binding[v.idx()].clone().expect("range-restricted"),
             Term::Const(c) => c.clone(),
         })));
         return;
     }
-    match &rule.body[order[depth]] {
+    let pos = ctx.order[depth];
+    match &ctx.rule.body[pos] {
         Literal::Eq(l, r) => {
             match (term_val(l, binding), term_val(r, binding)) {
                 (Some(a), Some(b)) => {
                     if a == b {
-                        fire_inner(rule, order, db, idb, depth + 1, binding, out);
+                        fire_inner(ctx, depth + 1, binding, out);
                     }
                 }
                 (Some(a), None) => {
                     if let Term::Var(v) = r {
                         binding[v.idx()] = Some(a);
-                        fire_inner(rule, order, db, idb, depth + 1, binding, out);
+                        fire_inner(ctx, depth + 1, binding, out);
                         binding[v.idx()] = None;
                     }
                 }
                 (None, Some(b)) => {
                     if let Term::Var(v) = l {
                         binding[v.idx()] = Some(b);
-                        fire_inner(rule, order, db, idb, depth + 1, binding, out);
+                        fire_inner(ctx, depth + 1, binding, out);
                         binding[v.idx()] = None;
                     }
                 }
@@ -382,31 +393,64 @@ fn fire_inner(
             // `is_some` guards derive nothing rather than panic.
             let (a, b) = (term_val(l, binding), term_val(r, binding));
             if a.is_some() && b.is_some() && a != b {
-                fire_inner(rule, order, db, idb, depth + 1, binding, out);
+                fire_inner(ctx, depth + 1, binding, out);
             }
         }
         Literal::Edb(atom) => {
-            for tuple in db.instance(atom.rel).iter() {
-                try_match(&atom.args, tuple, rule, order, db, idb, depth, binding, out);
-            }
+            join_literal(
+                ctx,
+                ctx.db.instance(atom.rel),
+                &atom.args,
+                depth,
+                binding,
+                out,
+            );
         }
         Literal::Idb(p, args) => {
-            let tuples: Vec<Tuple> = idb[p.0].iter().cloned().collect();
-            for tuple in &tuples {
-                try_match(args, tuple, rule, order, db, idb, depth, binding, out);
+            // The delta position ranges over last round's new facts only.
+            let inst = if ctx.delta_pos == Some(pos) {
+                &ctx.delta[p.0]
+            } else {
+                &ctx.idb[p.0]
+            };
+            join_literal(ctx, inst, args, depth, binding, out);
+        }
+    }
+}
+
+/// Match a relational literal against an instance: probe the per-column
+/// index when some argument is already bound, scan otherwise.
+fn join_literal(
+    ctx: &FireCtx<'_>,
+    inst: &Instance,
+    args: &[Term],
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+    out: &mut Vec<Tuple>,
+) {
+    let probe_key = args
+        .iter()
+        .enumerate()
+        .find_map(|(col, t)| term_val(t, binding).map(|v| (col, v)));
+    match probe_key {
+        Some((col, v)) => {
+            let idx = inst.index();
+            for &id in idx.probe(col, &v) {
+                try_match(ctx, args, idx.tuple(id), depth, binding, out);
+            }
+        }
+        None => {
+            for tuple in inst.iter() {
+                try_match(ctx, args, tuple, depth, binding, out);
             }
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn try_match(
+    ctx: &FireCtx<'_>,
     args: &[Term],
     tuple: &Tuple,
-    rule: &Rule,
-    order: &[usize],
-    db: &Database,
-    idb: &[Instance],
     depth: usize,
     binding: &mut Vec<Option<Value>>,
     out: &mut Vec<Tuple>,
@@ -441,7 +485,7 @@ fn try_match(
             },
         }
     }
-    fire_inner(rule, order, db, idb, depth + 1, binding, out);
+    fire_inner(ctx, depth + 1, binding, out);
     for &i in &newly {
         binding[i] = None;
     }

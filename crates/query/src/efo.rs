@@ -9,7 +9,7 @@
 use crate::cq::{Atom, Cq};
 use crate::term::Term;
 use crate::ucq::Ucq;
-use ric_data::{Database, Tuple, Value};
+use ric_data::{Tuple, Value};
 use std::collections::BTreeSet;
 
 /// Body of an ∃FO⁺ query. Existential quantification is implicit: every
@@ -135,7 +135,10 @@ impl EfoQuery {
     }
 
     /// Evaluate via the UCQ expansion.
-    pub fn eval(&self, db: &Database) -> Result<BTreeSet<Tuple>, crate::tableau::TableauError> {
+    pub fn eval<S: ric_data::TupleStore>(
+        &self,
+        db: &S,
+    ) -> Result<BTreeSet<Tuple>, crate::tableau::TableauError> {
         crate::eval::eval_ucq(&self.to_ucq(), db)
     }
 
@@ -196,7 +199,7 @@ fn dnf(e: &EfoExpr) -> Vec<Vec<Leaf>> {
 mod tests {
     use super::*;
     use crate::term::Var;
-    use ric_data::{RelationSchema, Schema};
+    use ric_data::{Database, RelationSchema, Schema};
 
     fn setup() -> (Schema, Database) {
         let s = Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();

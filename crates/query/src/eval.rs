@@ -5,12 +5,20 @@
 //! both sides are bound. Results are ordered sets of output tuples, so
 //! `Q(D) = Q(D′)` is a plain comparison — exactly the equality the
 //! completeness definition (Section 2.1) is stated in.
+//!
+//! The join is generic over [`TupleStore`], so the same code evaluates
+//! against a plain [`Database`] and against an [`Overlay`] (`D ∪ Δ` without
+//! copying `D`). At each step it picks the *most-bound* remaining atom and,
+//! when at least one of that atom's columns is already bound, fetches
+//! candidate tuples through the store's per-column index instead of
+//! scanning. [`eval_tableau_delta`] is the incremental variant: it returns
+//! only the answers whose derivation uses at least one novel delta tuple.
 
 use crate::cq::{Atom, Cq};
 use crate::tableau::{Tableau, TableauError};
 use crate::term::Term;
 use crate::ucq::Ucq;
-use ric_data::{Database, Tuple, Value};
+use ric_data::{Database, Overlay, Tuple, TupleStore, Value};
 use std::collections::BTreeSet;
 
 /// The query languages considered by the paper, used to label instances and
@@ -50,9 +58,9 @@ impl std::fmt::Display for QueryLanguage {
 /// the stack instead of failing cleanly.
 pub const MAX_EVAL_ATOMS: usize = 10_000;
 
-/// Evaluate a CQ on a database. Unsatisfiable queries return the empty set;
+/// Evaluate a CQ on a store. Unsatisfiable queries return the empty set;
 /// unsafe queries surface their error.
-pub fn eval_cq(cq: &Cq, db: &Database) -> Result<BTreeSet<Tuple>, TableauError> {
+pub fn eval_cq<S: TupleStore>(cq: &Cq, db: &S) -> Result<BTreeSet<Tuple>, TableauError> {
     match Tableau::of(cq) {
         Ok(t) => {
             if t.atoms.len() > MAX_EVAL_ATOMS {
@@ -68,7 +76,7 @@ pub fn eval_cq(cq: &Cq, db: &Database) -> Result<BTreeSet<Tuple>, TableauError> 
 }
 
 /// Evaluate a UCQ: the union of its disjuncts' answers.
-pub fn eval_ucq(q: &Ucq, db: &Database) -> Result<BTreeSet<Tuple>, TableauError> {
+pub fn eval_ucq<S: TupleStore>(q: &Ucq, db: &S) -> Result<BTreeSet<Tuple>, TableauError> {
     let mut out = BTreeSet::new();
     for cq in &q.disjuncts {
         out.extend(eval_cq(cq, db)?);
@@ -76,102 +84,184 @@ pub fn eval_ucq(q: &Ucq, db: &Database) -> Result<BTreeSet<Tuple>, TableauError>
     Ok(out)
 }
 
-/// Evaluate a normalised tableau query on a database.
-pub fn eval_tableau(t: &Tableau, db: &Database) -> BTreeSet<Tuple> {
+/// Evaluate a normalised tableau query on a store.
+pub fn eval_tableau<S: TupleStore>(t: &Tableau, db: &S) -> BTreeSet<Tuple> {
     let mut out = BTreeSet::new();
-    let order = atom_order(t);
+    let join = Join {
+        t,
+        store: db,
+        early_exit: false,
+    };
+    let mut used = vec![false; t.atoms.len()];
     let mut binding: Vec<Option<Value>> = vec![None; t.n_vars as usize];
-    search(t, db, &order, 0, &mut binding, &mut out);
+    join.rec(&mut used, 0, &mut binding, &mut out);
     out
 }
 
-/// Boolean convenience: is `Q(D)` nonempty?
-pub fn holds(t: &Tableau, db: &Database) -> bool {
-    // A dedicated early-exit search would be faster; the deciders only call
-    // this on tiny tableaux, so reuse the full evaluator.
-    !eval_tableau(t, db).is_empty()
+/// Boolean convenience: is `Q(D)` nonempty? Stops at the first witness.
+pub fn holds<S: TupleStore>(t: &Tableau, db: &S) -> bool {
+    let mut out = BTreeSet::new();
+    let join = Join {
+        t,
+        store: db,
+        early_exit: true,
+    };
+    let mut used = vec![false; t.atoms.len()];
+    let mut binding: Vec<Option<Value>> = vec![None; t.n_vars as usize];
+    join.rec(&mut used, 0, &mut binding, &mut out);
+    !out.is_empty()
 }
 
-/// Choose an atom processing order: greedily prefer atoms sharing variables
-/// with already-scheduled atoms (keeps intermediate bindings selective).
-fn atom_order(t: &Tableau) -> Vec<usize> {
-    let n = t.atoms.len();
-    let mut order = Vec::with_capacity(n);
-    let mut used = vec![false; n];
-    let mut bound: BTreeSet<u32> = BTreeSet::new();
-    for _ in 0..n {
+/// The incremental answers of `t` on `base ∪ delta`: exactly those whose
+/// derivation uses at least one *novel* delta tuple (a tuple of `Δ` absent
+/// from the base). When the base answers are already known, the full answer
+/// set is their union with this one — the identity incremental constraint
+/// checking rests on.
+pub fn eval_tableau_delta(t: &Tableau, ov: &Overlay<'_>) -> BTreeSet<Tuple> {
+    let mut out = BTreeSet::new();
+    // A derivation of an atomless tableau uses no tuples at all, so nothing
+    // about it is novel.
+    if t.atoms.is_empty() {
+        return out;
+    }
+    let join = Join {
+        t,
+        store: ov,
+        early_exit: false,
+    };
+    let mut used = vec![false; t.atoms.len()];
+    let mut binding: Vec<Option<Value>> = vec![None; t.n_vars as usize];
+    for pin in 0..t.atoms.len() {
+        // Pin atom `pin` to a novel tuple; the remaining atoms join over the
+        // whole overlay. The union over pins covers every derivation with a
+        // novel tuple somewhere (duplicates collapse in the output set).
+        let atom = &t.atoms[pin];
+        used[pin] = true;
+        ov.for_each_novel(atom.rel, &mut |tuple| {
+            if let Some(newly) = match_atom(atom, tuple, &mut binding) {
+                if partial_neqs_hold(t, &binding) {
+                    join.rec(&mut used, 1, &mut binding, &mut out);
+                }
+                undo(&mut binding, &newly);
+            }
+            true
+        });
+        used[pin] = false;
+    }
+    out
+}
+
+/// Backtracking join state: at each step the most-bound remaining atom is
+/// matched next, through an index probe when any of its columns is bound.
+struct Join<'a, S: TupleStore> {
+    t: &'a Tableau,
+    store: &'a S,
+    /// Stop the whole search at the first answer (Boolean evaluation).
+    early_exit: bool,
+}
+
+impl<S: TupleStore> Join<'_, S> {
+    /// Recurse over the unmatched atoms. Returns `false` iff the search was
+    /// aborted by `early_exit`.
+    fn rec(
+        &self,
+        used: &mut [bool],
+        n_used: usize,
+        binding: &mut Vec<Option<Value>>,
+        out: &mut BTreeSet<Tuple>,
+    ) -> bool {
+        if n_used == self.t.atoms.len() {
+            // All atoms matched; all variables are bound (tableau invariant).
+            if neqs_hold(self.t, binding) {
+                let head = Tuple::new(self.t.head.iter().map(|term| match term {
+                    Term::Var(v) => binding[v.idx()].clone().expect("head var bound"),
+                    Term::Const(c) => c.clone(),
+                }));
+                out.insert(head);
+            }
+            // Keep going unless early-exit mode has its first answer.
+            return !self.early_exit || out.is_empty();
+        }
+        let i = self.pick(used, binding);
+        let atom = &self.t.atoms[i];
+        // Probe on the first bound column, if any; clone the key out of the
+        // binding before the visitor borrows it mutably.
+        let probe_key: Option<(usize, Value)> = atom
+            .args
+            .iter()
+            .enumerate()
+            .find_map(|(col, term)| term_value(term, binding).map(|v| (col, v.clone())));
+        used[i] = true;
+        let t = self.t;
+        let mut visit = |tuple: &Tuple| -> bool {
+            let Some(newly) = match_atom(atom, tuple, binding) else {
+                return true;
+            };
+            // Eagerly prune with inequalities whose sides are both bound.
+            let keep_going = if partial_neqs_hold(t, binding) {
+                self.rec(used, n_used + 1, binding, out)
+            } else {
+                true
+            };
+            undo(binding, &newly);
+            keep_going
+        };
+        let completed = match &probe_key {
+            Some((col, v)) => self.store.probe(atom.rel, *col, v, &mut visit),
+            None => self.store.scan(atom.rel, &mut visit),
+        };
+        used[i] = false;
+        completed
+    }
+
+    /// The unmatched atom with the most bound terms (constants count), ties
+    /// broken by position for determinism.
+    fn pick(&self, used: &[bool], binding: &[Option<Value>]) -> usize {
         let mut best: Option<(usize, usize)> = None; // (score, index)
-        for (i, a) in t.atoms.iter().enumerate() {
+        for (i, a) in self.t.atoms.iter().enumerate() {
             if used[i] {
                 continue;
             }
-            let score = a.vars().filter(|v| bound.contains(&v.0)).count();
+            let score = a
+                .args
+                .iter()
+                .filter(|term| term_value(term, binding).is_some())
+                .count();
             if best.map(|(s, _)| score > s).unwrap_or(true) {
                 best = Some((score, i));
             }
         }
-        let (_, i) = best.expect("atom count invariant");
-        used[i] = true;
-        bound.extend(t.atoms[i].vars().map(|v| v.0));
-        order.push(i);
+        best.expect("rec only recurses while atoms remain unmatched")
+            .1
     }
-    order
 }
 
-fn search(
-    t: &Tableau,
-    db: &Database,
-    order: &[usize],
-    depth: usize,
-    binding: &mut Vec<Option<Value>>,
-    out: &mut BTreeSet<Tuple>,
-) {
-    if depth == order.len() {
-        // All atoms matched; all variables are bound (tableau invariant).
-        if neqs_hold(t, binding) {
-            let head = Tuple::new(t.head.iter().map(|term| match term {
-                Term::Var(v) => binding[v.idx()].clone().expect("head var bound"),
-                Term::Const(c) => c.clone(),
-            }));
-            out.insert(head);
-        }
-        return;
+/// Try to match `tuple` against `atom` under the current binding, extending
+/// it. Returns the newly bound variable slots on success (the caller undoes
+/// them after recursing), `None` on mismatch (already undone).
+fn match_atom(atom: &Atom, tuple: &Tuple, binding: &mut [Option<Value>]) -> Option<Vec<usize>> {
+    if tuple.arity() != atom.args.len() {
+        return None;
     }
-    let atom = &t.atoms[order[depth]];
-    let inst = db.instance(atom.rel);
-    'tuples: for tuple in inst.iter() {
-        if tuple.arity() != atom.args.len() {
-            continue;
-        }
-        let mut newly_bound: Vec<usize> = Vec::new();
-        for (term, value) in atom.args.iter().zip(tuple.iter()) {
-            match term {
-                Term::Const(c) => {
-                    if c != value {
-                        undo(binding, &newly_bound);
-                        continue 'tuples;
-                    }
+    let mut newly: Vec<usize> = Vec::new();
+    for (term, value) in atom.args.iter().zip(tuple.iter()) {
+        let ok = match term {
+            Term::Const(c) => c == value,
+            Term::Var(v) => match &binding[v.idx()] {
+                Some(b) => b == value,
+                None => {
+                    binding[v.idx()] = Some(value.clone());
+                    newly.push(v.idx());
+                    true
                 }
-                Term::Var(v) => match &binding[v.idx()] {
-                    Some(b) => {
-                        if b != value {
-                            undo(binding, &newly_bound);
-                            continue 'tuples;
-                        }
-                    }
-                    None => {
-                        binding[v.idx()] = Some(value.clone());
-                        newly_bound.push(v.idx());
-                    }
-                },
-            }
+            },
+        };
+        if !ok {
+            undo(binding, &newly);
+            return None;
         }
-        // Eagerly prune with inequalities whose sides are both bound.
-        if partial_neqs_hold(t, binding) {
-            search(t, db, order, depth + 1, binding, out);
-        }
-        undo(binding, &newly_bound);
     }
+    Some(newly)
 }
 
 fn undo(binding: &mut [Option<Value>], newly: &[usize]) {
@@ -364,6 +454,62 @@ mod tests {
             .build();
         let t = Tableau::of(&q).unwrap();
         assert_eq!(eval_tableau(&t, &db), eval_tableau_naive(&t, &db));
+    }
+
+    #[test]
+    fn overlay_eval_matches_materialized_union() {
+        let (s, db) = setup();
+        let e = s.rel_id("E").unwrap();
+        let mut delta = Database::empty(&s);
+        delta.insert(e, Tuple::new([Value::int(3), Value::int(4)]));
+        delta.insert(e, Tuple::new([Value::int(1), Value::int(2)])); // not novel
+        let ov = Overlay::new(&db, &delta).unwrap();
+        let mut b = Cq::builder();
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        let q = b
+            .atom(e, vec![Term::Var(x), Term::Var(y)])
+            .atom(e, vec![Term::Var(y), Term::Var(z)])
+            .head_vars(vec![x, z])
+            .build();
+        let t = Tableau::of(&q).unwrap();
+        let on_union = eval_tableau(&t, &ov.materialize());
+        assert_eq!(eval_tableau(&t, &ov), on_union);
+        // Delta answers ∪ base answers = union answers.
+        let mut combined = eval_tableau(&t, &db);
+        combined.extend(eval_tableau_delta(&t, &ov));
+        assert_eq!(combined, on_union);
+        // And the delta answers genuinely need the novel tuple.
+        assert!(eval_tableau_delta(&t, &ov).contains(&Tuple::new([Value::int(2), Value::int(4)])));
+    }
+
+    #[test]
+    fn delta_eval_of_atomless_tableau_is_empty() {
+        let (s, db) = setup();
+        let mut delta = Database::empty(&s);
+        delta.insert(
+            s.rel_id("E").unwrap(),
+            Tuple::new([Value::int(8), Value::int(9)]),
+        );
+        let ov = Overlay::new(&db, &delta).unwrap();
+        let q = Cq::builder().head(vec![]).build();
+        let t = Tableau::of(&q).unwrap();
+        assert!(eval_tableau_delta(&t, &ov).is_empty());
+    }
+
+    #[test]
+    fn holds_stops_at_first_witness() {
+        let (s, db) = setup();
+        let e = s.rel_id("E").unwrap();
+        let mut b = Cq::builder();
+        let (x, y) = (b.var("x"), b.var("y"));
+        let q = b
+            .atom(e, vec![Term::Var(x), Term::Var(y)])
+            .head_vars(vec![x])
+            .build();
+        let t = Tableau::of(&q).unwrap();
+        assert!(holds(&t, &db));
+        let empty = Database::empty(&s);
+        assert!(!holds(&t, &empty));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::cq::Atom;
 use crate::tableau::TableauError;
 use crate::term::{Term, Var};
-use ric_data::{Database, Tuple, Value};
+use ric_data::{Tuple, TupleStore, Value};
 use std::collections::BTreeSet;
 
 /// Hard cap on formula nesting depth during evaluation: `sat` recurses once
@@ -130,8 +130,9 @@ impl FoQuery {
     }
 
     /// The active domain used for evaluation on `db`.
-    pub fn active_domain(&self, db: &Database) -> Vec<Value> {
-        let mut dom = db.active_domain();
+    pub fn active_domain<S: TupleStore>(&self, db: &S) -> Vec<Value> {
+        let mut dom = BTreeSet::new();
+        db.active_domain_into(&mut dom);
         self.body.constants(&mut dom);
         dom.into_iter().collect()
     }
@@ -141,7 +142,7 @@ impl FoQuery {
     /// Panics when the formula is malformed (a free variable outside the
     /// head, or nesting beyond [`MAX_FO_DEPTH`]); use [`FoQuery::try_eval`]
     /// for a typed error instead.
-    pub fn eval(&self, db: &Database) -> BTreeSet<Tuple> {
+    pub fn eval<S: TupleStore>(&self, db: &S) -> BTreeSet<Tuple> {
         self.try_eval(db)
             .expect("FO evaluation failed; use try_eval for a typed error")
     }
@@ -150,7 +151,7 @@ impl FoQuery {
     /// that is neither in the head nor quantified surfaces as
     /// [`TableauError::UnsafeVariable`], and nesting beyond [`MAX_FO_DEPTH`]
     /// as [`TableauError::TooDeep`] (instead of a stack overflow).
-    pub fn try_eval(&self, db: &Database) -> Result<BTreeSet<Tuple>, TableauError> {
+    pub fn try_eval<S: TupleStore>(&self, db: &S) -> Result<BTreeSet<Tuple>, TableauError> {
         let dom = self.active_domain(db);
         let mut out = BTreeSet::new();
         let mut binding: Vec<Option<Value>> = vec![None; self.n_vars as usize];
@@ -160,13 +161,13 @@ impl FoQuery {
 
     /// Boolean evaluation (query with empty head). Panics like
     /// [`FoQuery::eval`] on malformed formulas.
-    pub fn holds(&self, db: &Database) -> bool {
+    pub fn holds<S: TupleStore>(&self, db: &S) -> bool {
         !self.eval(db).is_empty()
     }
 
-    fn enumerate_head(
+    fn enumerate_head<S: TupleStore>(
         &self,
-        db: &Database,
+        db: &S,
         dom: &[Value],
         i: usize,
         binding: &mut Vec<Option<Value>>,
@@ -205,9 +206,9 @@ fn term_val(t: &Term, binding: &[Option<Value>]) -> Result<Value, TableauError> 
     }
 }
 
-fn sat(
+fn sat<S: TupleStore>(
     e: &FoExpr,
-    db: &Database,
+    db: &S,
     dom: &[Value],
     binding: &mut Vec<Option<Value>>,
     depth: usize,
@@ -223,7 +224,7 @@ fn sat(
             for x in &a.args {
                 args.push(term_val(x, binding)?);
             }
-            db.instance(a.rel).contains(&Tuple::new(args))
+            db.contains(a.rel, &Tuple::new(args))
         }
         FoExpr::Eq(l, r) => term_val(l, binding)? == term_val(r, binding)?,
         FoExpr::Not(x) => !sat(x, db, dom, binding, depth + 1)?,
@@ -255,21 +256,21 @@ fn sat(
 /// Enumerate assignments for `vs`; with `want = true` search for a satisfying
 /// one (∃), with `want = false` search for a falsifying one (∀, caller
 /// negates).
-fn quantify(
+fn quantify<S: TupleStore>(
     vs: &[Var],
     body: &FoExpr,
-    db: &Database,
+    db: &S,
     dom: &[Value],
     binding: &mut Vec<Option<Value>>,
     want: bool,
     depth: usize,
 ) -> Result<bool, TableauError> {
     #[allow(clippy::too_many_arguments)]
-    fn rec(
+    fn rec<S: TupleStore>(
         vs: &[Var],
         i: usize,
         body: &FoExpr,
-        db: &Database,
+        db: &S,
         dom: &[Value],
         binding: &mut Vec<Option<Value>>,
         want: bool,
@@ -308,7 +309,7 @@ fn quantify(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ric_data::{RelationSchema, Schema};
+    use ric_data::{Database, RelationSchema, Schema};
 
     fn setup() -> (Schema, Database) {
         let s = Schema::from_relations(vec![RelationSchema::infinite("E", &["a", "b"])]).unwrap();

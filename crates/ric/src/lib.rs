@@ -80,7 +80,7 @@ pub use ric_telemetry as telemetry;
 
 pub use ric_complete::{
     rcdp, rcdp_guarded, rcdp_probed, rcqp, rcqp_guarded, rcqp_probed, BudgetLimit, CancelToken,
-    FaultPlan, Guard, Interrupt, MeterKind, Query, QueryVerdict, RcError, SearchBudget,
+    Engine, FaultPlan, Guard, Interrupt, MeterKind, Query, QueryVerdict, RcError, SearchBudget,
     SearchStats, Setting, Verdict,
 };
 pub use ric_data::SplitMix64;
@@ -96,8 +96,8 @@ pub mod prelude {
     };
     pub use ric_complete::{
         rcdp, rcdp_guarded, rcdp_probed, rcqp, rcqp_guarded, rcqp_probed, BudgetLimit, CancelToken,
-        CounterExample, FaultPlan, Guard, Interrupt, MeterKind, Query, QueryVerdict, RcError,
-        SearchBudget, SearchStats, Setting, Verdict,
+        CounterExample, Engine, FaultPlan, Guard, Interrupt, MeterKind, Query, QueryVerdict,
+        RcError, SearchBudget, SearchStats, Setting, Verdict,
     };
     pub use ric_constraints::{
         CcBody, CcRhs, Cfd, Cind, ConstraintSet, ContainmentConstraint, Denial, Fd, IndCc,
