@@ -9,14 +9,18 @@
 //! an honest `Unknown`, and the hardness reductions blow up where the
 //! bounds say they must.
 //!
-//! Beyond the human-readable tables on stdout, the run writes three
+//! Beyond the human-readable tables on stdout, the run writes four
 //! machine-readable artifacts to the current directory:
 //!
 //! * `BENCH_TABLE1.json` — one object per Table I (RCDP) cell;
 //! * `BENCH_TABLE2.json` — one object per Table II (RCQP) cell;
 //! * `BENCH_ENGINE.json` — the naive/indexed engine A/B comparison: every
 //!   cell of a scaling suite of CQ/UCQ decisions timed under both engines,
-//!   with the per-cell speedup and the median speedup at the largest size.
+//!   with the per-cell speedup and the median speedup at the largest size;
+//! * `BENCH_PAR.json` — the indexed/parallel scaling suite: the same
+//!   decisions timed under `Engine::Indexed` and `Engine::Parallel`, with
+//!   per-cell speedups, verdict-identity checks, and the median speedup at
+//!   the largest size.
 //!
 //! Each cell object carries `cell`, `paper_bound`, `outcome`, an `oracle`
 //! sub-object (`checked`, and `agrees` when a ground-truth oracle exists),
@@ -33,10 +37,17 @@
 //! well-formed artifacts, which is the point: the tables can be rebuilt on a
 //! time budget without ever reporting a wrong cell.
 //!
-//! Pass `--engine naive|indexed` to pick the evaluation engine used for the
-//! Table I/II cells (default `indexed`; both engines are exact, so the
+//! Pass `--engine naive|indexed|parallel` to pick the evaluation engine used
+//! for the Table I/II cells (default `indexed`; every engine is exact, so the
 //! verdicts must not differ). The A/B suite behind `BENCH_ENGINE.json`
-//! always runs both engines regardless of the flag.
+//! always runs both sequential engines regardless of the flag.
+//!
+//! Pass `--workers N` to size the worker pool of the parallel engine
+//! (default 4). The parallel scaling suite behind `BENCH_PAR.json` times the
+//! same decision under `Engine::Indexed` and `Engine::Parallel` at growing
+//! instance sizes and reports the per-cell and median wall-clock speedups;
+//! the two engines must return identical verdicts (the scheduler's
+//! deterministic-merge guarantee), and the artifact records that too.
 
 use std::time::Duration;
 
@@ -124,6 +135,8 @@ struct Invocation {
     /// Engine used for the Table I/II cells. The A/B suite ignores this and
     /// always runs both.
     engine: Engine,
+    /// Worker-pool size for the parallel engine and the scaling suite.
+    workers: usize,
 }
 
 /// Parse the invocation. Invalid values are rejected loudly rather than
@@ -132,6 +145,7 @@ fn parse_invocation() -> Invocation {
     let mut args = std::env::args().skip(1);
     let mut ms: Option<String> = None;
     let mut engine_arg: Option<String> = None;
+    let mut workers_arg: Option<String> = None;
     while let Some(arg) = args.next() {
         if arg == "--deadline-ms" {
             ms = Some(args.next().unwrap_or_default());
@@ -141,16 +155,34 @@ fn parse_invocation() -> Invocation {
             engine_arg = Some(args.next().unwrap_or_default());
         } else if let Some(v) = arg.strip_prefix("--engine=") {
             engine_arg = Some(v.to_string());
+        } else if arg == "--workers" {
+            workers_arg = Some(args.next().unwrap_or_default());
+        } else if let Some(v) = arg.strip_prefix("--workers=") {
+            workers_arg = Some(v.to_string());
         } else {
-            eprintln!("usage: regen_tables [--deadline-ms N] [--engine naive|indexed]");
+            eprintln!(
+                "usage: regen_tables [--deadline-ms N] \
+                 [--engine naive|indexed|parallel] [--workers N]"
+            );
             std::process::exit(2);
         }
     }
+    let workers = match workers_arg.as_deref().map(str::parse::<usize>) {
+        None => 4,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("regen_tables: --workers expects a positive worker count");
+            std::process::exit(2);
+        }
+    };
     let engine = match engine_arg.as_deref() {
         None | Some("indexed") => Engine::Indexed,
         Some("naive") => Engine::Naive,
+        Some("parallel") => Engine::parallel(workers),
         Some(other) => {
-            eprintln!("regen_tables: --engine expects `naive` or `indexed`, got {other:?}");
+            eprintln!(
+                "regen_tables: --engine expects `naive`, `indexed`, or `parallel`, got {other:?}"
+            );
             std::process::exit(2);
         }
     };
@@ -163,7 +195,11 @@ fn parse_invocation() -> Invocation {
                 std::process::exit(2);
             }
         });
-    Invocation { deadline, engine }
+    Invocation {
+        deadline,
+        engine,
+        workers,
+    }
 }
 
 /// Apply the run-wide deadline and engine choice to a cell's budget.
@@ -644,16 +680,137 @@ fn engine_suite(inv: &Invocation) -> Vec<EngineCell> {
 
 /// Median of the per-cell speedups at the largest instance size.
 fn median_speedup_at_largest(cells: &[EngineCell]) -> f64 {
-    let mut s: Vec<f64> = cells
-        .iter()
-        .filter(|c| c.largest)
-        .map(EngineCell::speedup)
-        .collect();
+    median(
+        cells
+            .iter()
+            .filter(|c| c.largest)
+            .map(EngineCell::speedup)
+            .collect(),
+    )
+}
+
+fn median(mut s: Vec<f64>) -> f64 {
     s.sort_by(|a, b| a.total_cmp(b));
     match s.len() {
         0 => 0.0,
         n if n % 2 == 1 => s[n / 2],
         n => (s[n / 2 - 1] + s[n / 2]) / 2.0,
+    }
+}
+
+/// One cell of the parallel scaling suite: the same decision timed under the
+/// indexed engine and the parallel engine at `workers` workers.
+struct ParCell {
+    cell: String,
+    size: usize,
+    /// Whether `size` is the largest in its family (these cells feed the
+    /// median-speedup headline number).
+    largest: bool,
+    indexed_us: u128,
+    parallel_us: u128,
+    /// The scheduler's deterministic merge makes parallel verdicts
+    /// *bit-identical* to the indexed ones — counterexamples included —
+    /// so this records full equality, not just variant agreement.
+    identical: bool,
+}
+
+impl ParCell {
+    fn speedup(&self) -> f64 {
+        self.indexed_us as f64 / self.parallel_us.max(1) as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cell", Json::from(self.cell.as_str())),
+            ("size", Json::from(self.size)),
+            ("largest_size", Json::from(self.largest)),
+            ("indexed_micros", Json::from(self.indexed_us)),
+            ("parallel_micros", Json::from(self.parallel_us)),
+            ("speedup", Json::from(self.speedup())),
+            ("verdicts_identical", Json::from(self.identical)),
+        ])
+    }
+}
+
+/// The parallel scaling suite: the engine A/B instance families at larger
+/// sizes, timed under `Engine::Indexed` versus `Engine::Parallel`. The
+/// instances are complete by construction, so both engines sweep the whole
+/// valuation space — exactly the regime the chunked fan-out is built for.
+fn par_suite(inv: &Invocation) -> Vec<ParCell> {
+    let mut cells = Vec::new();
+    let sizes = [20usize, 48, 96];
+    let largest = *sizes.last().unwrap();
+    let queries: [(&str, &str); 2] = [
+        ("(CQ, CQ) FD-pinned", "Q(C) :- Supt('e0', D, C)."),
+        (
+            "(UCQ, CQ) FD-pinned two-disjunct",
+            "Q(C) :- Supt('e0', D, C). Q(C) :- Supt('e1', D, C).",
+        ),
+    ];
+    for (name, src) in queries {
+        for &n in &sizes {
+            let (setting, db) = fd_instance(n);
+            let query: Query = if src.matches(":-").count() > 1 {
+                parse_ucq(&setting.schema, src).expect("fixed query").into()
+            } else {
+                parse_cq(&setting.schema, src).expect("fixed query").into()
+            };
+            let run = |engine: Engine| {
+                let budget = bounded(SearchBudget::default(), inv).with_engine(engine);
+                let start = Instant::now();
+                let v = rcdp(&setting, &query, &db, &budget).expect("well-formed instance");
+                (start.elapsed().as_micros(), v)
+            };
+            let (indexed_us, vi) = run(Engine::Indexed);
+            let (parallel_us, vp) = run(Engine::parallel(inv.workers));
+            cells.push(ParCell {
+                cell: format!("{name} n={n}"),
+                size: n,
+                largest: n == largest,
+                indexed_us,
+                parallel_us,
+                identical: vi == vp,
+            });
+        }
+    }
+    cells
+}
+
+fn print_par_suite(cells: &[ParCell], workers: usize, median: f64) {
+    println!("\nParallel scaling - indexed vs parallel({workers})");
+    println!("==========================================");
+    println!(
+        "{:<42} {:>12} {:>12} {:>9} {:>10}",
+        "cell", "indexed", "parallel", "speedup", "identical"
+    );
+    println!("{}", "-".repeat(90));
+    for c in cells {
+        println!(
+            "{:<42} {:>9} µs {:>9} µs {:>8.1}x {:>10}",
+            c.cell,
+            c.indexed_us,
+            c.parallel_us,
+            c.speedup(),
+            c.identical
+        );
+    }
+    println!("median speedup at largest size: {median:.1}x");
+}
+
+fn write_par_suite(path: &str, cells: &[ParCell], workers: usize, median: f64) {
+    let doc = Json::obj([
+        ("source", Json::from("regen_tables")),
+        (
+            "engines",
+            Json::arr(["indexed", "parallel"].map(Json::from)),
+        ),
+        ("workers", Json::from(workers)),
+        ("cells", Json::arr(cells.iter().map(ParCell::to_json))),
+        ("median_speedup_at_largest", Json::from(median)),
+    ]);
+    match std::fs::write(path, format!("{}\n", doc.pretty())) {
+        Ok(()) => println!("wrote {path} ({} cells)", cells.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
 
@@ -709,8 +866,18 @@ fn main() {
     let engine_cells = engine_suite(&inv);
     let median = median_speedup_at_largest(&engine_cells);
     print_engine_suite(&engine_cells, median);
+    let par_cells = par_suite(&inv);
+    let par_median = self::median(
+        par_cells
+            .iter()
+            .filter(|c| c.largest)
+            .map(ParCell::speedup)
+            .collect(),
+    );
+    print_par_suite(&par_cells, inv.workers, par_median);
     println!();
     write_table("BENCH_TABLE1.json", "I", "RCDP(L_Q, L_C)", &t1);
     write_table("BENCH_TABLE2.json", "II", "RCQP(L_Q, L_C)", &t2);
     write_engine_suite("BENCH_ENGINE.json", &engine_cells, median);
+    write_par_suite("BENCH_PAR.json", &par_cells, inv.workers, par_median);
 }

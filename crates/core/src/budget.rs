@@ -13,11 +13,14 @@ use crate::verdict::BudgetLimit;
 
 /// Which evaluation engine the deciders use for their inner loops.
 ///
-/// Both engines are exact — `Naive` materializes each candidate extension
+/// All engines are exact — `Naive` materializes each candidate extension
 /// `D ∪ Δ` and re-checks every constraint from scratch, `Indexed` works
-/// through overlays, per-column indexes, and delta-aware constraint checks.
-/// `Naive` exists as the differential-testing oracle and the baseline arm of
-/// the engine benchmark.
+/// through overlays, per-column indexes, and delta-aware constraint checks,
+/// and `Parallel` shards the `Indexed` enumeration loops across a hand-rolled
+/// thread pool with a deterministic merge (same verdict and witness as the
+/// sequential engines, regardless of thread count or interleaving — see
+/// `DESIGN.md` §8). `Naive` exists as the differential-testing oracle and the
+/// baseline arm of the engine benchmark.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Engine {
     /// Materialize unions, re-check all constraints per candidate.
@@ -25,6 +28,38 @@ pub enum Engine {
     /// Overlay views, index joins, delta-restricted constraint checks.
     #[default]
     Indexed,
+    /// The indexed engine with its hot enumeration loops sharded across
+    /// `workers` threads (clamped to at least 1; `workers: 1` runs the
+    /// parallel code path on the calling thread only).
+    Parallel {
+        /// Worker thread count for the chunked enumeration pool.
+        workers: usize,
+    },
+}
+
+impl Engine {
+    /// A parallel engine with `workers` threads (clamped to at least 1).
+    pub fn parallel(workers: usize) -> Self {
+        Engine::Parallel {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Does this engine use the indexed data path (overlays, per-column
+    /// indexes, delta-restricted constraint checks)? `Parallel` shards the
+    /// indexed loops, so it does.
+    pub fn indexed(&self) -> bool {
+        matches!(self, Engine::Indexed | Engine::Parallel { .. })
+    }
+
+    /// The number of worker threads this engine fans enumeration out to
+    /// (1 for the sequential engines).
+    pub fn workers(&self) -> usize {
+        match self {
+            Engine::Parallel { workers } => (*workers).max(1),
+            _ => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for Engine {
@@ -32,6 +67,7 @@ impl std::fmt::Display for Engine {
         match self {
             Engine::Naive => write!(f, "naive"),
             Engine::Indexed => write!(f, "indexed"),
+            Engine::Parallel { workers } => write!(f, "parallel:{workers}"),
         }
     }
 }
@@ -272,6 +308,17 @@ mod tests {
         assert!(!m.tick());
         assert!(m.exhausted());
         assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn engine_helpers_classify_parallel_as_indexed() {
+        assert!(Engine::Indexed.indexed());
+        assert!(!Engine::Naive.indexed());
+        assert!(Engine::parallel(4).indexed());
+        assert_eq!(Engine::parallel(0).workers(), 1);
+        assert_eq!(Engine::parallel(4).workers(), 4);
+        assert_eq!(Engine::Naive.workers(), 1);
+        assert_eq!(Engine::parallel(4).to_string(), "parallel:4");
     }
 
     #[test]

@@ -155,14 +155,21 @@ impl FaultPlan {
 /// Per-decision interruption state, polled cooperatively by every guarded
 /// [`Meter`](crate::budget::Meter).
 ///
-/// A guard is cheap to create and not thread-safe by design (the deciders are
-/// single-threaded); the cross-thread handle is the [`CancelToken`]. Public
-/// `*_guarded` entry points take `&Guard` so one guard — one deadline, one
-/// token — spans an entire decision, including nested decider calls.
+/// A guard is cheap to create and not thread-safe by design (each decider
+/// thread polls its own guard); the cross-thread handle is the
+/// [`CancelToken`]. Public `*_guarded` entry points take `&Guard` so one
+/// guard — one deadline, one token — spans an entire decision, including
+/// nested decider calls. The parallel scheduler derives one [`Guard::worker`]
+/// per pool thread from the decision guard: workers observe the same deadline
+/// and tokens plus a pool-local token, and any worker trip broadcasts through
+/// that pool token so every other worker stops at its next poll.
 #[derive(Debug)]
 pub struct Guard {
     deadline: Option<Instant>,
-    cancel: Option<CancelToken>,
+    cancels: Vec<CancelToken>,
+    /// Fired (cancelled) whenever this guard trips, so sibling worker guards
+    /// observing the same token stop too. `None` outside worker pools.
+    broadcast: Option<CancelToken>,
     fault: FaultPlan,
     check_interval: u32,
     ticks: Cell<u64>,
@@ -183,7 +190,8 @@ impl Guard {
             // `checked_add` rather than `+`: a pathological `Duration::MAX`
             // deadline must mean "never", not overflow.
             deadline: budget.deadline.and_then(|d| Instant::now().checked_add(d)),
-            cancel: None,
+            cancels: Vec::new(),
+            broadcast: None,
             fault: FaultPlan::default(),
             check_interval: Self::DEFAULT_CHECK_INTERVAL,
             ticks: Cell::new(0),
@@ -192,10 +200,33 @@ impl Guard {
         }
     }
 
-    /// This guard, also observing `token`.
+    /// This guard, also observing `token` (in addition to any tokens already
+    /// attached).
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
-        self.cancel = Some(token);
+        self.cancels.push(token);
         self
+    }
+
+    /// A worker guard for one pool thread: same deadline instant, same fault
+    /// plan and check interval, observing every token this guard observes
+    /// *plus* the pool token, and broadcasting its own trips to the pool
+    /// token so sibling workers stop at their next poll. Tick state is fresh
+    /// (ticks are counted per worker).
+    pub(crate) fn worker(&self, pool: &CancelToken) -> Guard {
+        let mut cancels = self.cancels.clone();
+        cancels.push(pool.clone());
+        Guard {
+            deadline: self.deadline,
+            cancels,
+            broadcast: Some(pool.clone()),
+            fault: self.fault,
+            check_interval: self.check_interval,
+            ticks: Cell::new(0),
+            countdown: Cell::new(0),
+            // A decision guard that already tripped stays tripped in its
+            // workers — nested fan-out after an interrupt must fail fast.
+            tripped: Cell::new(self.tripped.get()),
+        }
     }
 
     /// This guard, also executing `plan`.
@@ -248,10 +279,8 @@ impl Guard {
         if let Some(interrupt) = self.tripped.get() {
             return Some(interrupt);
         }
-        if let Some(token) = &self.cancel {
-            if token.is_cancelled() {
-                return self.trip(Interrupt::Cancelled);
-            }
+        if self.cancels.iter().any(CancelToken::is_cancelled) {
+            return self.trip(Interrupt::Cancelled);
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -283,6 +312,9 @@ impl Guard {
 
     fn trip(&self, interrupt: Interrupt) -> Option<Interrupt> {
         self.tripped.set(Some(interrupt));
+        if let Some(pool) = &self.broadcast {
+            pool.cancel();
+        }
         Some(interrupt)
     }
 }
@@ -377,6 +409,50 @@ mod tests {
         assert_eq!(v.interrupt(), None, "exhaustion, not an interrupt");
         let c = Meter::guarded(MeterKind::Candidates, budget.max_candidates, &guard);
         assert_eq!(c.limit(), budget.max_candidates, "other meters unaffected");
+    }
+
+    #[test]
+    fn worker_guards_observe_parent_tokens_and_broadcast_trips() {
+        let plan = FaultPlan::new().deadline_at_tick(0);
+        let parent = Guard::new(&SearchBudget::default()).with_fault_plan(plan);
+        let pool = CancelToken::new();
+        let a = parent.worker(&pool);
+        let b = parent.worker(&pool);
+        assert_eq!(b.check_now(), None, "pool token starts clean");
+        assert_eq!(
+            a.check(),
+            Some(Interrupt::Deadline),
+            "per-worker fault tick"
+        );
+        assert!(pool.is_cancelled(), "trip broadcasts to the pool token");
+        assert_eq!(
+            b.check_now(),
+            Some(Interrupt::Cancelled),
+            "sibling observes the broadcast as a cancellation"
+        );
+    }
+
+    #[test]
+    fn worker_guard_inherits_a_parent_trip() {
+        let token = CancelToken::new();
+        token.cancel();
+        let parent = Guard::new(&SearchBudget::default()).with_cancel(token);
+        assert_eq!(parent.check_now(), Some(Interrupt::Cancelled));
+        let pool = CancelToken::new();
+        let w = parent.worker(&pool);
+        assert_eq!(w.tripped(), Some(Interrupt::Cancelled), "fails fast");
+    }
+
+    #[test]
+    fn multiple_cancel_tokens_are_all_observed() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let guard = Guard::new(&SearchBudget::default())
+            .with_cancel(a)
+            .with_cancel(b.clone());
+        assert_eq!(guard.check_now(), None);
+        b.cancel();
+        assert_eq!(guard.check_now(), Some(Interrupt::Cancelled));
     }
 
     #[test]

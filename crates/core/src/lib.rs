@@ -42,6 +42,7 @@ pub mod budget;
 pub mod characterize;
 pub mod extend;
 pub mod guard;
+pub(crate) mod par;
 pub mod query;
 pub mod rcdp;
 pub mod rcqp;
@@ -53,6 +54,7 @@ pub mod verdict;
 pub use adom::Adom;
 pub use budget::{Engine, Meter, MeterKind, SearchBudget};
 pub use guard::{CancelToken, FaultPlan, Guard, Interrupt};
+pub use par::sched_test;
 pub use query::Query;
 pub use rcdp::{rcdp, rcdp_guarded, rcdp_probed};
 pub use rcqp::{rcqp, rcqp_guarded, rcqp_probed};

@@ -52,7 +52,7 @@ impl CheckMode {
     pub(crate) fn select(setting: &Setting, engine: Engine) -> Result<CheckMode, RcError> {
         if setting.v.is_ind_set() {
             Ok(CheckMode::IndOnly)
-        } else if engine == Engine::Indexed {
+        } else if engine.indexed() {
             Ok(CheckMode::Delta(PreparedUpper::new(
                 &setting.v,
                 &setting.schema,
@@ -213,6 +213,11 @@ pub fn rcdp_exact_guarded(
     let adom = Adom::build(db, setting, query, n_fresh);
     probe.gauge("rcdp.adom_size", adom.len() as u64);
     let mode = CheckMode::select(setting, budget.engine)?;
+    if matches!(budget.engine, Engine::Parallel { .. }) {
+        return rcdp_exact_parallel(
+            setting, db, budget, guard, probe, &tableaux, &q_d, &adom, &mode,
+        );
+    }
     let mut meter = Meter::guarded(MeterKind::Valuations, budget.max_valuations, guard);
     let cc_checks = Cell::new(0u64);
     let cc_skipped = Cell::new(0u64);
@@ -305,9 +310,171 @@ pub fn rcdp_exact_guarded(
     probe.count("rcdp.valuations", meter.used());
     probe.count("rcdp.cc_checks", cc_checks.get());
     probe.count("cc.skipped_by_delta", cc_skipped.get());
-    // Process-global counter: other threads' probes inflate it, so this is
-    // an upper bound on the decision's own probes (exact single-threaded).
+    // Thread-local counter: exact for this decision even when concurrent
+    // decisions probe on other threads.
     probe.count("index.probe", probe_count().saturating_sub(probes_before));
+    emit_verdict(probe, &verdict);
+    Ok(verdict)
+}
+
+/// The exact decider's enumeration, sharded across the worker pool: one
+/// chunk per (tableau, depth-0 candidate) pair, concatenating — in chunk
+/// index order — to exactly the sequence the sequential engine enumerates.
+/// The merge is first-terminal-by-index, so the verdict and witness are
+/// independent of thread count and interleaving; per-chunk stats summed up
+/// to the deciding chunk reproduce the sequential telemetry counters.
+#[allow(clippy::too_many_arguments)]
+fn rcdp_exact_parallel(
+    setting: &Setting,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    tableaux: &[ric_query::tableau::Tableau],
+    q_d: &BTreeSet<Tuple>,
+    adom: &Adom,
+    mode: &CheckMode,
+) -> Result<Verdict, RcError> {
+    use crate::par::{self, ChunkEvent, ChunkResult, ChunkStats, PoolOutcome};
+
+    let spaces: Vec<(usize, ValuationSpace)> = tableaux
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.domain_consistent(&setting.schema))
+        .map(|(i, t)| (i, ValuationSpace::new(t, &setting.schema, adom)))
+        .collect();
+    // One chunk per depth-0 candidate of each space; a zero-variable space
+    // is one unsplittable chunk. A space with no depth-0 candidates at all
+    // enumerates nothing and contributes no chunk (and no metered ticks),
+    // exactly like the sequential loop.
+    let mut chunks: Vec<(usize, Option<(ric_data::Value, usize)>)> = Vec::new();
+    for (si, (_, space)) in spaces.iter().enumerate() {
+        match space.split_points() {
+            Some(points) => chunks.extend(points.into_iter().map(|p| (si, Some(p)))),
+            None => chunks.push((si, None)),
+        }
+    }
+    if chunks.is_empty() {
+        let verdict = Verdict::Complete;
+        emit_verdict(probe, &verdict);
+        return Ok(verdict);
+    }
+    let n_chunks = chunks.len();
+    let total_valuations = budget.max_valuations;
+
+    let job = |idx: usize, wguard: &Guard| -> ChunkResult<CounterExample> {
+        let (si, point) = &chunks[idx];
+        let (ti, space) = &spaces[*si];
+        let t = &tableaux[*ti];
+        let probes_before = probe_count();
+        let mut meter = Meter::guarded(
+            MeterKind::Valuations,
+            par::chunk_budget(total_valuations, n_chunks, idx),
+            wguard,
+        );
+        let cc_checks = Cell::new(0u64);
+        let cc_skipped = Cell::new(0u64);
+        let scratch = RefCell::new(Database::with_relations(setting.schema.len()));
+        let mut found: Option<CounterExample> = None;
+        let head_terms = &t.head;
+        let head_filter = |binding: &[Option<ric_data::Value>]| {
+            let tuple = Tuple::new(head_terms.iter().map(|term| match term {
+                ric_query::Term::Var(v) => binding[v.idx()].clone().expect("head vars bound first"),
+                ric_query::Term::Const(c) => c.clone(),
+            }));
+            !q_d.contains(&tuple)
+        };
+        let partial_filter = |binding: &[Option<ric_data::Value>]| {
+            let bound = space.bound_atoms(binding);
+            if bound.is_empty() {
+                return true;
+            }
+            let mut delta = scratch.borrow_mut();
+            delta.clear_tuples();
+            for (rel, tuple) in bound {
+                delta.insert(rel, tuple);
+            }
+            cc_checks.set(cc_checks.get() + 1);
+            mode.upper_satisfied(setting, db, &delta, &cc_skipped)
+        };
+        let visit = |mu: &ric_query::tableau::Valuation| {
+            let delta = mu.instantiate(t, setting.schema.len());
+            cc_checks.set(cc_checks.get() + 1);
+            if mode.upper_satisfied(setting, db, &delta, &cc_skipped) {
+                let new_answer = mu.head_tuple(t);
+                let added = delta.difference(db).expect("same schema");
+                found = Some(CounterExample {
+                    delta: added,
+                    new_answer,
+                });
+                return std::ops::ControlFlow::Break(());
+            }
+            std::ops::ControlFlow::Continue(())
+        };
+        let outcome = match point {
+            Some(p) => space.for_each_valid_pruned_chunk(
+                p.clone(),
+                &mut meter,
+                head_filter,
+                partial_filter,
+                visit,
+            ),
+            None => space.for_each_valid_pruned(&mut meter, head_filter, partial_filter, visit),
+        };
+        let event = match outcome {
+            EnumOutcome::Stopped => ChunkEvent::Hit,
+            EnumOutcome::Exhausted => ChunkEvent::Clear,
+            EnumOutcome::BudgetExceeded => match meter.interrupt() {
+                Some(interrupt) => ChunkEvent::Interrupted(interrupt),
+                None => ChunkEvent::Exhausted,
+            },
+        };
+        ChunkResult {
+            event,
+            value: found,
+            stats: ChunkStats {
+                ticks: meter.used(),
+                cc_checks: cc_checks.get(),
+                cc_skipped: cc_skipped.get(),
+                probes: probe_count().saturating_sub(probes_before),
+                query_evals: 0,
+            },
+        }
+    };
+
+    let span = probe.span("rcdp.enumerate");
+    let run = par::run_chunks(budget.engine.workers(), n_chunks, guard, &job);
+    let merged = run.merge_search();
+    drop(span);
+
+    probe.count("par.chunk", merged.executed);
+    probe.count("par.steal", merged.steals);
+    probe.count("valuations.assignments", merged.stats.ticks);
+    probe.count("rcdp.valuations", merged.stats.ticks);
+    probe.count("rcdp.cc_checks", merged.stats.cc_checks);
+    probe.count("cc.skipped_by_delta", merged.stats.cc_skipped);
+    probe.count("index.probe", merged.stats.probes);
+    let verdict = match merged.outcome {
+        PoolOutcome::Clear => Verdict::Complete,
+        PoolOutcome::Hit(ce) => Verdict::Incomplete(ce),
+        PoolOutcome::Exhausted => Verdict::unknown(
+            SearchStats::new(
+                BudgetLimit::MaxValuations,
+                format!("valuation budget of {total_valuations} exhausted"),
+            )
+            .with_valuations(merged.stats.ticks),
+        ),
+        PoolOutcome::Interrupted(interrupt) => {
+            probe.interrupt("rcdp.interrupt", interrupt.name(), merged.stats.ticks);
+            Verdict::unknown(
+                SearchStats::new(
+                    interrupt.limit(),
+                    par::interrupt_detail(interrupt, merged.stats.ticks, "valuation"),
+                )
+                .with_valuations(merged.stats.ticks),
+            )
+        }
+    };
     emit_verdict(probe, &verdict);
     Ok(verdict)
 }

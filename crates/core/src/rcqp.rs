@@ -72,7 +72,7 @@ enum ConsistencyCheck {
 
 impl ConsistencyCheck {
     fn select(setting: &Setting, engine: Engine) -> Result<Self, RcError> {
-        if engine == Engine::Indexed {
+        if engine.indexed() {
             Ok(ConsistencyCheck::Delta(PreparedUpper::new(
                 &setting.v,
                 &setting.schema,
@@ -837,20 +837,21 @@ fn rcqp_general(
     let mut pool = candidate_pool(setting, tableaux, &values)?;
 
     // Pre-filter: a tuple that violates V on its own can never belong to a
-    // consistent subset.
-    {
+    // consistent subset. Upper bounds only: a lone tuple cannot be expected
+    // to satisfy lower bounds (the seed provides those).
+    pool = if matches!(budget.engine, Engine::Parallel { .. }) {
+        prefilter_parallel(setting, &pool, budget, guard, probe)?
+    } else {
         let mut kept = Vec::with_capacity(pool.len());
         for entry in pool {
             let mut single = Database::with_relations(setting.schema.len());
             single.insert(entry.rel, entry.tuple.clone());
-            // Upper bounds only: a lone tuple cannot be expected to satisfy
-            // lower bounds (the seed provides those).
             if setting.v.upper_satisfied(&single, &setting.dm)? {
                 kept.push(entry);
             }
         }
-        pool = kept;
-    }
+        kept
+    };
     // A tuple is *inert* when its relation occurs in no multi-atom
     // constraint tableau: having survived the single-tuple filter it can
     // never participate in a violation, so every maximal subset contains it
@@ -928,7 +929,7 @@ fn rcqp_general(
     probe.count("rcqp.candidates", meter.used());
     probe.count("rcqp.e2_checks", e2_checks.get());
     probe.count("cc.skipped_by_delta", cc_skipped.get());
-    // Process-global counter: an upper bound when other threads probe too.
+    // Thread-local counter: exact even when other threads probe concurrently.
     probe.count("index.probe", probe_count().saturating_sub(probes_before));
     // A guard trip anywhere in the search (including inside an E2 check,
     // where it surfaces as an inconclusive check) forfeits the Empty
@@ -997,6 +998,58 @@ fn rcqp_general(
             .with_candidates(meter.used()),
         )),
     }
+}
+
+/// The single-tuple pre-filter, sharded across the worker pool as a
+/// *gather* job: the pool is cut into fixed ranges, every chunk filters its
+/// range, and the kept entries are concatenated in chunk index order —
+/// bitwise the same filtered pool the sequential loop produces, independent
+/// of thread count. Errors ride the value channel; the earliest erroring
+/// entry (in pool order) is the one reported, matching where the sequential
+/// loop would have stopped.
+fn prefilter_parallel(
+    setting: &Setting,
+    pool: &[PoolEntry],
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+) -> Result<Vec<PoolEntry>, RcError> {
+    use crate::par::{self, ChunkEvent, ChunkResult, ChunkStats};
+
+    const PREFILTER_CHUNK: usize = 64;
+    let n_chunks = pool.len().div_ceil(PREFILTER_CHUNK).max(1);
+    let job = |idx: usize, _wguard: &Guard| -> ChunkResult<Result<Vec<PoolEntry>, RcError>> {
+        let lo = idx * PREFILTER_CHUNK;
+        let hi = (lo + PREFILTER_CHUNK).min(pool.len());
+        let mut kept = Vec::new();
+        let mut value = Ok(());
+        for entry in &pool[lo..hi] {
+            let mut single = Database::with_relations(setting.schema.len());
+            single.insert(entry.rel, entry.tuple.clone());
+            match setting.v.upper_satisfied(&single, &setting.dm) {
+                Ok(true) => kept.push(entry.clone()),
+                Ok(false) => {}
+                Err(e) => {
+                    value = Err(RcError::from(e));
+                    break;
+                }
+            }
+        }
+        ChunkResult {
+            event: ChunkEvent::Clear,
+            value: Some(value.map(|()| kept)),
+            stats: ChunkStats::default(),
+        }
+    };
+    let run = par::run_chunks(budget.engine.workers(), n_chunks, guard, &job);
+    let gather = run.merge_gather();
+    probe.count("par.chunk", gather.executed);
+    probe.count("par.steal", gather.steals);
+    let mut kept = Vec::with_capacity(pool.len());
+    for chunk in gather.values {
+        kept.extend(chunk?);
+    }
+    Ok(kept)
 }
 
 #[derive(PartialEq, Eq, Debug)]

@@ -91,7 +91,7 @@ impl BoundedCheck {
         // bounds to hold on the base; when they do not (possible here —
         // `rcdp_bounded` is a public entry that does not demand partial
         // closure), the naive path keeps the original semantics.
-        if engine != Engine::Indexed || !setting.v.upper_satisfied(db, &setting.dm)? {
+        if !engine.indexed() || !setting.v.upper_satisfied(db, &setting.dm)? {
             return Ok(BoundedCheck::Full);
         }
         let mut recheck_lower = false;
@@ -248,6 +248,20 @@ fn rcdp_bounded_inner(
     }
     let pool = tuple_pool(setting, db, &values);
     probe.gauge("semidecide.pool_size", pool.len() as u64);
+    if matches!(budget.engine, Engine::Parallel { .. }) {
+        return rcdp_bounded_parallel(
+            setting,
+            query,
+            db,
+            budget,
+            guard,
+            probe,
+            &q_d,
+            &check,
+            &pool,
+            probes_before,
+        );
+    }
     let mut meter = Meter::guarded(MeterKind::Candidates, budget.max_candidates, guard);
 
     let span = probe.span("semidecide.extension_search");
@@ -316,7 +330,7 @@ fn rcdp_bounded_inner(
     probe.count("semidecide.cc_checks", cc_checks.get());
     probe.count("semidecide.query_evals", query_evals.get());
     probe.count("cc.skipped_by_delta", cc_skipped.get());
-    // Process-global counter: an upper bound when other threads probe too.
+    // Thread-local counter: exact even when other threads probe concurrently.
     probe.count("index.probe", probe_count().saturating_sub(probes_before));
     Ok(verdict.unwrap_or_else(|| {
         Verdict::unknown(
@@ -331,6 +345,184 @@ fn rcdp_bounded_inner(
                 ),
             )
             .with_candidates(meter.used()),
+        )
+    }))
+}
+
+/// The bounded extension search, sharded across the worker pool: for each
+/// extension size, one chunk per choice of the subset's *first* pool index.
+/// Chunk `i`'s subtree enumerates exactly the subsets the sequential
+/// [`choose`] visits after pushing `i` first, so concatenating the chunks in
+/// index order reproduces the sequential candidate order and the
+/// first-terminal-by-index merge keeps the verdict schedule-independent. A
+/// decider error inside a chunk rides the `Hit` channel as `Err`, so the
+/// earliest erroring/finding chunk — the one the sequential engine would
+/// have reached first — decides.
+#[allow(clippy::too_many_arguments)]
+fn rcdp_bounded_parallel(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    q_d: &std::collections::BTreeSet<Tuple>,
+    check: &BoundedCheck,
+    pool: &[(RelId, Tuple)],
+    probes_before: u64,
+) -> Result<Verdict, RcError> {
+    use crate::par::{self, ChunkEvent, ChunkResult, ChunkStats, PoolOutcome};
+
+    // Probes issued while building the check mode, active domain, and pool —
+    // the sequential path counts them too, before its enumeration begins.
+    let setup_probes = probe_count().saturating_sub(probes_before);
+    let mut totals = ChunkStats::default();
+    let mut executed = 0u64;
+    let mut steals = 0u64;
+    let mut verdict = None;
+
+    let span = probe.span("semidecide.extension_search");
+    let max_size = budget.max_delta_tuples.min(pool.len());
+    for size in 1..=max_size {
+        let remaining = budget.max_candidates.saturating_sub(totals.ticks);
+        if remaining == 0 {
+            verdict = Some(Verdict::unknown(
+                SearchStats::new(
+                    BudgetLimit::MaxCandidates,
+                    format!(
+                        "bounded search: candidate budget {} exhausted at extension \
+                         size {size}",
+                        budget.max_candidates
+                    ),
+                )
+                .with_candidates(totals.ticks),
+            ));
+            break;
+        }
+        // Subsets of `size` tuples whose smallest pool index is `i` exist
+        // for i ≤ pool.len() - size.
+        let n_chunks = pool.len() - size + 1;
+        let job = |idx: usize, wguard: &Guard| -> ChunkResult<Result<CounterExample, RcError>> {
+            let worker_probes_before = probe_count();
+            let mut meter = Meter::guarded(
+                MeterKind::Candidates,
+                par::chunk_budget(remaining, n_chunks, idx),
+                wguard,
+            );
+            let cc_checks = Cell::new(0u64);
+            let cc_skipped = Cell::new(0u64);
+            let query_evals = Cell::new(0u64);
+            let mut chosen: Vec<usize> = Vec::with_capacity(size);
+            chosen.push(idx);
+            let found = choose(
+                pool,
+                idx + 1,
+                size - 1,
+                &mut chosen,
+                &mut meter,
+                &mut |subset: &[usize]| -> Result<Option<CounterExample>, RcError> {
+                    let mut delta = Database::with_relations(setting.schema.len());
+                    for &i in subset {
+                        let (rel, t) = &pool[i];
+                        delta.insert(*rel, t.clone());
+                    }
+                    cc_checks.set(cc_checks.get() + 1);
+                    let Some(extended) = check.closed_union(setting, db, &delta, &cc_skipped)?
+                    else {
+                        return Ok(None);
+                    };
+                    let q_after = query.eval(&extended)?;
+                    query_evals.set(query_evals.get() + 1);
+                    if q_after != *q_d {
+                        let new_answer = q_after
+                            .symmetric_difference(q_d)
+                            .next()
+                            .expect("answers differ")
+                            .clone();
+                        return Ok(Some(CounterExample { delta, new_answer }));
+                    }
+                    Ok(None)
+                },
+            );
+            let (event, value) = match found {
+                Ok(ChooseOutcome::Found(ce)) => (ChunkEvent::Hit, Some(Ok(ce))),
+                Ok(ChooseOutcome::Budget) => match meter.interrupt() {
+                    Some(interrupt) => (ChunkEvent::Interrupted(interrupt), None),
+                    None => (ChunkEvent::Exhausted, None),
+                },
+                Ok(ChooseOutcome::Exhausted) => (ChunkEvent::Clear, None),
+                Err(e) => (ChunkEvent::Hit, Some(Err(e))),
+            };
+            ChunkResult {
+                event,
+                value,
+                stats: ChunkStats {
+                    ticks: meter.used(),
+                    cc_checks: cc_checks.get(),
+                    cc_skipped: cc_skipped.get(),
+                    probes: probe_count().saturating_sub(worker_probes_before),
+                    query_evals: query_evals.get(),
+                },
+            }
+        };
+        let run = par::run_chunks(budget.engine.workers(), n_chunks, guard, &job);
+        let merged = run.merge_search();
+        totals.absorb(&merged.stats);
+        executed += merged.executed;
+        steals += merged.steals;
+        match merged.outcome {
+            PoolOutcome::Clear => continue,
+            PoolOutcome::Hit(Ok(ce)) => {
+                verdict = Some(Verdict::Incomplete(ce));
+            }
+            PoolOutcome::Hit(Err(e)) => return Err(e),
+            PoolOutcome::Exhausted => {
+                verdict = Some(Verdict::unknown(
+                    SearchStats::new(
+                        BudgetLimit::MaxCandidates,
+                        format!(
+                            "bounded search: candidate budget {} exhausted at extension \
+                             size {size}",
+                            budget.max_candidates
+                        ),
+                    )
+                    .with_candidates(totals.ticks),
+                ));
+            }
+            PoolOutcome::Interrupted(interrupt) => {
+                probe.interrupt("semidecide.interrupt", interrupt.name(), guard.ticks());
+                verdict = Some(Verdict::unknown(
+                    SearchStats::new(
+                        interrupt.limit(),
+                        par::interrupt_detail(interrupt, totals.ticks, "candidate"),
+                    )
+                    .with_candidates(totals.ticks),
+                ));
+            }
+        }
+        break;
+    }
+    drop(span);
+    probe.count("par.chunk", executed);
+    probe.count("par.steal", steals);
+    probe.count("semidecide.candidates", totals.ticks);
+    probe.count("semidecide.cc_checks", totals.cc_checks);
+    probe.count("semidecide.query_evals", 1 + totals.query_evals);
+    probe.count("cc.skipped_by_delta", totals.cc_skipped);
+    probe.count("index.probe", setup_probes + totals.probes);
+    Ok(verdict.unwrap_or_else(|| {
+        Verdict::unknown(
+            SearchStats::new(
+                BudgetLimit::MaxDeltaTuples,
+                format!(
+                    "bounded search: no violating extension with ≤ {} tuple(s) over {} \
+                     candidate tuple(s) ({} fresh value(s))",
+                    budget.max_delta_tuples.min(pool.len()),
+                    pool.len(),
+                    budget.fresh_values
+                ),
+            )
+            .with_candidates(totals.ticks),
         )
     }))
 }

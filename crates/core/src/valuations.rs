@@ -161,6 +161,73 @@ impl<'a> ValuationSpace<'a> {
         outcome
     }
 
+    /// The depth-0 candidates of this space — the chunk boundaries the
+    /// parallel scheduler shards on — paired with the fresh-pool usage after
+    /// choosing each. Replicates exactly the candidate list [`Self::rec`]
+    /// builds at depth 0 (constants first, then the single symmetry-broken
+    /// fresh representative), so concatenating the per-candidate subtrees in
+    /// this order reproduces the sequential enumeration. `None` when the
+    /// space has no variables: the single empty valuation is unsplittable.
+    pub fn split_points(&self) -> Option<Vec<(Value, usize)>> {
+        let var = *self.order.first()? as usize;
+        Some(match &self.cands[var] {
+            Cands::Finite(vals) => vals.iter().map(|v| (v.clone(), 0)).collect(),
+            Cands::Infinite => {
+                let mut out: Vec<(Value, usize)> =
+                    self.adom.constants.iter().map(|v| (v.clone(), 0)).collect();
+                // At depth 0 no fresh value is in use yet, so the symmetry
+                // break admits exactly the first pool value.
+                if let Some(v) = self.adom.fresh.first() {
+                    out.push((v.clone(), 1));
+                }
+                out
+            }
+        })
+    }
+
+    /// Enumerate the subtree of exactly one depth-0 candidate, as returned by
+    /// [`Self::split_points`]. Semantics match [`Self::for_each_valid_pruned`]
+    /// restricted to `order[0] = value`: the meter ticks once for the
+    /// candidate itself and once per deeper assignment, so summing the ticks
+    /// of every chunk equals the sequential run's tick count, and
+    /// concatenating the chunks in `split_points` order visits valuations in
+    /// exactly the sequential order.
+    pub fn for_each_valid_pruned_chunk(
+        &self,
+        (value, next_fresh): (Value, usize),
+        meter: &mut Meter<'_>,
+        mut head_filter: impl FnMut(&[Option<Value>]) -> bool,
+        mut partial_filter: impl FnMut(&[Option<Value>]) -> bool,
+        mut visit: impl FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> EnumOutcome {
+        let mut binding: Vec<Option<Value>> = vec![None; self.n_vars()];
+        // Mirror one iteration of `rec` at depth 0. With no head variables
+        // the head filter fires before the candidate loop; each chunk
+        // re-checks it, which is sound because the filter is pure in the
+        // (all-unbound) binding.
+        if self.head_prefix == 0 && !head_filter(&binding) {
+            return EnumOutcome::Exhausted;
+        }
+        if !meter.tick() {
+            return EnumOutcome::BudgetExceeded;
+        }
+        let var = self.order[0] as usize;
+        binding[var] = Some(value);
+        if self.neqs_consistent(&binding) && partial_filter(&binding) {
+            self.rec(
+                1,
+                next_fresh,
+                &mut binding,
+                meter,
+                &mut head_filter,
+                &mut partial_filter,
+                &mut visit,
+            )
+        } else {
+            EnumOutcome::Exhausted
+        }
+    }
+
     /// The tuples of `μ(T_Q)` whose atoms are fully bound under a partial
     /// binding (constants-only atoms always qualify).
     pub fn bound_atoms(
@@ -404,6 +471,55 @@ mod tests {
         let mut meter = Meter::new(1_000_000);
         let out = space.for_each_valid(&mut meter, |_| true, |_| ControlFlow::Break(()));
         assert_eq!(out, EnumOutcome::Stopped);
+    }
+
+    #[test]
+    fn chunk_concatenation_matches_sequential_enumeration() {
+        let s = Schema::from_relations(vec![RelationSchema::infinite("R", &["a", "b"])]).unwrap();
+        let q = parse_cq(&s, "Q(X) :- R(X, Y), X != Y.").unwrap();
+        let t = ric_query::Tableau::of(&q).unwrap();
+        let setting = crate::Setting::open_world(s.clone());
+        let mut db = Database::empty(&s);
+        let r = s.rel_id("R").unwrap();
+        db.insert(r, ric_data::Tuple::new([Value::int(1), Value::int(2)]));
+        let adom = Adom::build(&db, &setting, &crate::Query::Cq(q.clone()), 2);
+        let space = ValuationSpace::new(&t, &s, &adom);
+
+        let mut sequential = Vec::new();
+        let mut seq_meter = Meter::new(1_000_000);
+        let out = space.for_each_valid_pruned(
+            &mut seq_meter,
+            |_| true,
+            |_| true,
+            |mu| {
+                sequential.push(mu.clone());
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(out, EnumOutcome::Exhausted);
+        assert!(!sequential.is_empty());
+
+        let mut chunked = Vec::new();
+        let mut chunk_ticks = 0;
+        let points = space.split_points().expect("space has variables");
+        assert!(points.len() > 1, "multiple chunks exercise the split");
+        for point in points {
+            let mut meter = Meter::new(1_000_000);
+            let out = space.for_each_valid_pruned_chunk(
+                point,
+                &mut meter,
+                |_| true,
+                |_| true,
+                |mu| {
+                    chunked.push(mu.clone());
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(out, EnumOutcome::Exhausted);
+            chunk_ticks += meter.used();
+        }
+        assert_eq!(chunked, sequential, "same valuations in the same order");
+        assert_eq!(chunk_ticks, seq_meter.used(), "same metered work");
     }
 
     #[test]

@@ -8,21 +8,26 @@
 //! instance's deterministic (ordered) iteration order — index-joined
 //! evaluation visits tuples in the same order a scan would.
 //!
-//! Probes are counted process-wide ([`probe_count`]) so the deciders can
-//! report an `index.probe` telemetry counter without threading state through
-//! the storage layer.
+//! Probes are counted per thread ([`probe_count`]) so the deciders can
+//! report an exact `index.probe` telemetry counter without threading state
+//! through the storage layer: a decision snapshots its own thread's counter
+//! before and after, and concurrent decisions on other threads cannot inflate
+//! the figure. Parallel deciders snapshot on each worker thread and sum.
 
 use crate::database::Tuple;
 use crate::value::Value;
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-static PROBES: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static PROBES: Cell<u64> = const { Cell::new(0) };
+}
 
-/// Total number of index probes served by this process. Monotone; callers
-/// that want a per-decision figure snapshot it before and after.
+/// Total number of index probes served *by the calling thread*. Monotone per
+/// thread; callers that want a per-decision figure snapshot it before and
+/// after on the thread(s) doing the probing.
 pub fn probe_count() -> u64 {
-    PROBES.load(Ordering::Relaxed)
+    PROBES.with(Cell::get)
 }
 
 const NO_MATCHES: &[u32] = &[];
@@ -55,7 +60,7 @@ impl ColumnIndex {
     /// order. Empty when the column exceeds every arity or the value is
     /// absent. Each call counts one probe.
     pub fn probe(&self, col: usize, v: &Value) -> &[u32] {
-        PROBES.fetch_add(1, Ordering::Relaxed);
+        PROBES.with(|p| p.set(p.get() + 1));
         match self.by_col.get(col).and_then(|m| m.get(v)) {
             Some(ids) => ids,
             None => NO_MATCHES,
@@ -129,6 +134,24 @@ mod tests {
         let before = probe_count();
         inst.index().probe(0, &Value::int(1));
         inst.index().probe(1, &Value::int(2));
-        assert!(probe_count() >= before + 2);
+        assert_eq!(probe_count(), before + 2);
+    }
+
+    #[test]
+    fn probe_counts_are_per_thread() {
+        let inst = Instance::from_tuples([t(&[1, 2])]);
+        let before = probe_count();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let other_before = probe_count();
+                for _ in 0..100 {
+                    inst.index().probe(0, &Value::int(1));
+                }
+                assert_eq!(probe_count(), other_before + 100);
+            });
+        });
+        // The other thread's 100 probes must not leak into this thread's
+        // counter.
+        assert_eq!(probe_count(), before);
     }
 }

@@ -9,7 +9,7 @@
 //! Visitors return `bool` (`false` = stop) so Boolean queries can exit on the
 //! first witness; the scan/probe methods mirror that, returning `false` iff
 //! they stopped early. Probes go through each instance's lazily built
-//! [`ColumnIndex`](crate::index::ColumnIndex) and are counted process-wide
+//! [`ColumnIndex`](crate::index::ColumnIndex) and are counted per thread
 //! ([`crate::index::probe_count`]).
 
 use crate::database::{Database, Tuple};

@@ -115,6 +115,32 @@ pub struct InterruptRecord {
 }
 
 impl Report {
+    /// Fold `other` into `self`: counters and spans sum, gauges keep the
+    /// maximum (a merged report answers "how big did it get?"), notes and
+    /// interrupts append in `other`'s emission order. Used by the parallel
+    /// scheduler to aggregate per-worker reports into one coherent view —
+    /// merging the workers' reports in any order yields the same counters,
+    /// gauges, and spans.
+    pub fn merge(&mut self, other: &Report) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            let slot = self.gauges.entry(name).or_insert(0);
+            *slot = (*slot).max(*value);
+        }
+        for (name, micros) in &other.spans {
+            *self.spans.entry(name).or_insert(0) += micros;
+        }
+        for (name, details) in &other.notes {
+            self.notes
+                .entry(name)
+                .or_default()
+                .extend(details.iter().cloned());
+        }
+        self.interrupts.extend(other.interrupts.iter().copied());
+    }
+
     /// The summed value of counter `name` (0 when never emitted).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -419,6 +445,56 @@ mod tests {
 
         collector.reset();
         assert!(collector.events().is_empty());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_spans_maxes_gauges() {
+        let a = Collector::new();
+        let pa = Probe::attached(&a);
+        pa.count("index.probe", 10);
+        pa.count("par.chunk", 2);
+        pa.gauge("adom", 6);
+        pa.note("strategy", || "delta".into());
+
+        let b = Collector::new();
+        let pb = Probe::attached(&b);
+        pb.count("index.probe", 32);
+        pb.gauge("adom", 4);
+        pb.gauge("pool", 9);
+        pb.note("strategy", || "union".into());
+        pb.interrupt("rcdp.interrupt", "deadline", 7);
+
+        let mut merged = a.report();
+        merged.merge(&b.report());
+        assert_eq!(merged.counter("index.probe"), 42);
+        assert_eq!(merged.counter("par.chunk"), 2);
+        assert_eq!(merged.gauge("adom"), Some(6)); // max wins
+        assert_eq!(merged.gauge("pool"), Some(9));
+        assert_eq!(
+            merged.notes("strategy"),
+            vec!["delta".to_string(), "union".to_string()]
+        );
+        assert_eq!(merged.interrupts.len(), 1);
+        assert_eq!(merged.interrupts[0].reason, "deadline");
+
+        // Counter/gauge/span totals are order-independent.
+        let mut reversed = b.report();
+        reversed.merge(&a.report());
+        assert_eq!(reversed.counters, merged.counters);
+        assert_eq!(reversed.gauges, merged.gauges);
+        assert_eq!(reversed.spans, merged.spans);
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let a = Collector::new();
+        let pa = Probe::attached(&a);
+        pa.count("v", 3);
+        pa.gauge("g", 5);
+        let mut merged = Report::default();
+        merged.merge(&a.report());
+        assert_eq!(merged.counters, a.report().counters);
+        assert_eq!(merged.gauges, a.report().gauges);
     }
 
     #[test]

@@ -5,10 +5,13 @@
 #   1. release build          (cargo build --release)
 #   2. test suite, fast       (cargo test -q; heavy tests are #[ignore]d)
 #   3. fault injection        (cargo test --test guard_robustness)
-#   4. full test suite        (cargo test -q -- --include-ignored)
-#   5. formatting             (cargo fmt --check)
-#   6. lints                  (cargo clippy --all-targets -D warnings)
-#   7. lints, workspace       (cargo clippy --workspace -D warnings)
+#   4. parallel scheduler     (cargo test --test par_differential,
+#                              then a RIC_WORKERS=1 / RIC_WORKERS=4 matrix)
+#   5. paper properties       (cargo test --test paper_properties)
+#   6. full test suite        (cargo test -q -- --include-ignored)
+#   7. formatting             (cargo fmt --check)
+#   8. lints                  (cargo clippy --all-targets -D warnings)
+#   9. lints, workspace       (cargo clippy --workspace -D warnings)
 #
 # Everything runs with --offline: the default build has zero third-party
 # dependencies, so no network access is ever required. The proptest suites
@@ -30,6 +33,21 @@ cargo test -q --offline
 
 step "fault injection (deadline / cancel / panic degradation paths)"
 cargo test -q --offline --test guard_robustness
+
+step "parallel scheduler differential suite (default worker set {1,2,4,7})"
+cargo test -q --offline --test par_differential
+
+# Worker matrix: the differential suite honours RIC_WORKERS, so pin the
+# degenerate single-worker pool and the standard 4-worker pool explicitly —
+# the two configurations most likely to diverge if the deterministic merge
+# regresses.
+for workers in 1 4; do
+  step "parallel scheduler differential suite (RIC_WORKERS=${workers})"
+  RIC_WORKERS="${workers}" cargo test -q --offline --test par_differential
+done
+
+step "paper-property suite (monotonicity, C1-C4, witnesses, Prop 2.1)"
+cargo test -q --offline --test paper_properties
 
 step "tests (full: --include-ignored picks up the heavy instances)"
 cargo test -q --offline -- --include-ignored
