@@ -1,0 +1,556 @@
+//! Minimal-fragment classification with certified rewrite witnesses.
+//!
+//! Tables I and II of the paper assign a complexity cell to the *pair*
+//! `(L_Q, L_C)` — and the cell is determined by the smallest language the
+//! query (or constraint body) actually inhabits, not the syntax it happens
+//! to be written in. An FO-wrapped conjunctive query dispatched as FO lands
+//! in an undecidable cell and pays a bounded search; recognized as CQ it
+//! gets the exact Σᵖ₂ decider.
+//!
+//! The classifier is deliberately *sound-by-construction plus certified*:
+//! each structural rewrite (FO → ∃FO⁺ rectification, ∃FO⁺ → UCQ via DNF,
+//! FP → UCQ for non-recursive output-only programs, singleton UCQ → CQ,
+//! projection-shaped CQ → IND) is then validated by differential evaluation
+//! on randomized databases; a rewrite that cannot be certified is discarded
+//! and the declared fragment kept. The certified rewrite *is* the witness:
+//! callers can re-run the differential check themselves.
+
+use crate::diag::{Code, Diagnostic, Pointer};
+use ric_complete::Query;
+use ric_constraints::{CcBody, Projection};
+use ric_data::{Database, Schema, SplitMix64, Tuple, Value};
+use ric_query::{
+    Cq, EfoExpr, EfoQuery, FoExpr, FoQuery, Literal, Program, QueryLanguage, Term, Ucq, Var,
+};
+use std::collections::BTreeSet;
+
+/// Cap on the DNF expansion used for ∃FO⁺ → UCQ downgrades: the expansion is
+/// worst-case exponential, and a 64-disjunct UCQ already dominates whatever
+/// the FO cell would have cost.
+pub const MAX_DNF_DISJUNCTS: usize = 64;
+
+/// Differential-certification rounds per rewrite.
+pub const CERTIFY_ROUNDS: usize = 24;
+
+/// The minimal-fragment verdict for one query or constraint body.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Classification<T> {
+    /// The language the object is syntactically written in.
+    pub declared: QueryLanguage,
+    /// The smallest language the analyzer could certify.
+    pub minimal: QueryLanguage,
+    /// The rewrite witness in the smaller language (`None` when no downgrade
+    /// was found — then `minimal == declared`).
+    pub rewritten: Option<T>,
+    /// Whether the rewrite passed differential certification. Always `true`
+    /// when `rewritten` is `Some`; uncertifiable rewrites are discarded.
+    pub certified: bool,
+}
+
+impl<T> Classification<T> {
+    fn unchanged(declared: QueryLanguage) -> Self {
+        Classification {
+            declared,
+            minimal: declared,
+            rewritten: None,
+            certified: false,
+        }
+    }
+
+    /// Did the analyzer find a strictly smaller fragment?
+    pub fn downgraded(&self) -> bool {
+        self.minimal < self.declared
+    }
+}
+
+/// A random database over `schema` for differential certification, honouring
+/// finite attribute domains. Also used by the downgrade property-test suite.
+pub fn random_database(
+    schema: &Schema,
+    rng: &mut SplitMix64,
+    max_tuples: usize,
+    values: i64,
+) -> Database {
+    let mut db = Database::empty(schema);
+    for (rel, rs) in schema.iter() {
+        let n = rng.random_range(0..max_tuples + 1);
+        'tuples: for _ in 0..n {
+            let mut vals = Vec::with_capacity(rs.arity());
+            for col in 0..rs.arity() {
+                let v = match schema.domain(rel, col) {
+                    Ok(d) if !d.is_infinite() => {
+                        let Some(choices) = d.finite_values() else {
+                            continue 'tuples;
+                        };
+                        if choices.is_empty() {
+                            continue 'tuples;
+                        }
+                        choices[rng.random_range(0..choices.len())].clone()
+                    }
+                    _ => Value::int(rng.random_range(0..values as usize) as i64),
+                };
+                vals.push(v);
+            }
+            db.insert(rel, Tuple::new(vals));
+        }
+    }
+    db
+}
+
+/// Differential certification: `original` and `rewritten` must produce the
+/// same answer set on every randomized instance. Evaluation errors on either
+/// side fail certification.
+fn certify<T, F>(schema: &Schema, seed: u64, original: &T, rewritten: &T, eval: F) -> bool
+where
+    F: Fn(&T, &Database) -> Option<BTreeSet<Tuple>>,
+{
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    for _ in 0..CERTIFY_ROUNDS {
+        let db = random_database(schema, &mut rng, 8, 6);
+        match (eval(original, &db), eval(rewritten, &db)) {
+            (Some(a), Some(b)) if a == b => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Rectify an FO body into ∃FO⁺ when it is positive-existential in disguise:
+/// `∃`, `∧`, `∨`, atoms, `=`, `¬(t = t′)` (as `≠`), and double negation.
+/// Requires the formula to be *rectified*: every quantified variable is bound
+/// exactly once, never shadows the head, and is only used inside its
+/// binder's scope — exactly the discipline that makes pulling all `∃` to the
+/// front (the implicit quantification of [`EfoQuery`]) an equivalence.
+fn fo_body_to_efo(q: &FoQuery) -> Option<EfoExpr> {
+    // Pass 1: binders are globally unique and disjoint from the head.
+    fn binders(e: &FoExpr, seen: &mut BTreeSet<Var>, head: &BTreeSet<Var>) -> bool {
+        match e {
+            FoExpr::Atom(_) | FoExpr::Eq(..) => true,
+            FoExpr::Not(x) => binders(x, seen, head),
+            FoExpr::And(ps) | FoExpr::Or(ps) => ps.iter().all(|p| binders(p, seen, head)),
+            FoExpr::Exists(vs, x) => {
+                vs.iter().all(|v| !head.contains(v) && seen.insert(*v)) && binders(x, seen, head)
+            }
+            FoExpr::Forall(vs, x) => vs.is_empty() && binders(x, seen, head),
+        }
+    }
+    // Pass 2: translate, checking every variable is used in scope.
+    fn go(e: &FoExpr, head: &BTreeSet<Var>, scope: &mut BTreeSet<Var>) -> Option<EfoExpr> {
+        let term_ok = |t: &Term, scope: &BTreeSet<Var>| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => head.contains(v) || scope.contains(v),
+        };
+        match e {
+            FoExpr::Atom(a) => a
+                .args
+                .iter()
+                .all(|t| term_ok(t, scope))
+                .then(|| EfoExpr::Atom(a.clone())),
+            FoExpr::Eq(l, r) => {
+                (term_ok(l, scope) && term_ok(r, scope)).then(|| EfoExpr::Eq(l.clone(), r.clone()))
+            }
+            FoExpr::Not(x) => match &**x {
+                FoExpr::Eq(l, r) => (term_ok(l, scope) && term_ok(r, scope))
+                    .then(|| EfoExpr::Neq(l.clone(), r.clone())),
+                FoExpr::Not(y) => go(y, head, scope),
+                _ => None,
+            },
+            FoExpr::And(ps) => ps
+                .iter()
+                .map(|p| go(p, head, scope))
+                .collect::<Option<Vec<_>>>()
+                .map(EfoExpr::And),
+            FoExpr::Or(ps) => ps
+                .iter()
+                .map(|p| go(p, head, scope))
+                .collect::<Option<Vec<_>>>()
+                .map(EfoExpr::Or),
+            FoExpr::Exists(vs, x) => {
+                scope.extend(vs.iter().copied());
+                let out = go(x, head, scope);
+                for v in vs {
+                    scope.remove(v);
+                }
+                out
+            }
+            FoExpr::Forall(vs, x) if vs.is_empty() => go(x, head, scope),
+            FoExpr::Forall(..) => None,
+        }
+    }
+    let head: BTreeSet<Var> = q.head.iter().copied().collect();
+    if !binders(&q.body, &mut BTreeSet::new(), &head) {
+        return None;
+    }
+    go(&q.body, &head, &mut BTreeSet::new())
+}
+
+/// FP → UCQ for the degenerate (but common in generated settings) shape:
+/// every rule defines the output predicate directly from EDB relations — no
+/// IDB literals, hence no recursion. The inflationary fixpoint of such a
+/// program is exactly the union of its rules read as CQs.
+fn fp_to_ucq(p: &Program) -> Option<Ucq> {
+    if p.rules.is_empty() || p.validate().is_err() {
+        return None;
+    }
+    let mut disjuncts = Vec::with_capacity(p.rules.len());
+    for rule in &p.rules {
+        if rule.head != p.output {
+            return None;
+        }
+        let mut atoms = Vec::new();
+        let mut eqs = Vec::new();
+        let mut neqs = Vec::new();
+        for lit in &rule.body {
+            match lit {
+                Literal::Edb(a) => atoms.push(a.clone()),
+                Literal::Eq(l, r) => eqs.push((l.clone(), r.clone())),
+                Literal::Neq(l, r) => neqs.push((l.clone(), r.clone())),
+                Literal::Idb(..) => return None,
+            }
+        }
+        disjuncts.push(Cq {
+            n_vars: rule.n_vars,
+            head: rule.head_args.clone(),
+            atoms,
+            eqs,
+            neqs,
+            var_names: (0..rule.n_vars).map(|i| format!("V{i}")).collect(),
+        });
+    }
+    Some(Ucq::new(disjuncts))
+}
+
+/// CQ → IND for projection-shaped bodies: one atom over pairwise-distinct
+/// variables, no comparisons, and a head consisting solely of atom
+/// variables. Exactly the `π_cols(R)` form of an inclusion dependency — the
+/// downgrade that unlocks the C3/E3-E4 fast paths.
+fn cq_to_projection(q: &Cq) -> Option<Projection> {
+    if q.atoms.len() != 1 || !q.eqs.is_empty() || !q.neqs.is_empty() {
+        return None;
+    }
+    let atom = &q.atoms[0];
+    let mut vars = Vec::with_capacity(atom.args.len());
+    for t in &atom.args {
+        match t {
+            Term::Var(v) if !vars.contains(v) => vars.push(*v),
+            _ => return None,
+        }
+    }
+    let mut cols = Vec::with_capacity(q.head.len());
+    for t in &q.head {
+        let Term::Var(v) = t else { return None };
+        cols.push(vars.iter().position(|w| w == v)?);
+    }
+    Some(Projection::new(atom.rel, cols))
+}
+
+/// Shrink a UCQ one more step when possible (singleton → CQ).
+fn shrink_ucq(u: Ucq) -> Query {
+    if u.disjuncts.len() == 1 {
+        Query::Cq(
+            u.disjuncts
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| unreachable!("singleton UCQ has one disjunct")),
+        )
+    } else {
+        Query::Ucq(u)
+    }
+}
+
+/// The candidate rewrite for a query, without certification.
+fn query_candidate(q: &Query) -> Option<Query> {
+    match q {
+        Query::Cq(_) => None,
+        Query::Ucq(u) => (u.disjuncts.len() == 1).then(|| shrink_ucq(u.clone())),
+        Query::Efo(e) => (e.body.dnf_size() <= MAX_DNF_DISJUNCTS).then(|| shrink_ucq(e.to_ucq())),
+        Query::Fo(f) => fo_body_to_efo(f).map(|body| {
+            let efo = EfoQuery::new(
+                f.head.iter().map(|v| Term::Var(*v)).collect(),
+                body,
+                f.var_names.clone(),
+            );
+            if efo.body.dnf_size() <= MAX_DNF_DISJUNCTS {
+                shrink_ucq(efo.to_ucq())
+            } else {
+                Query::Efo(efo)
+            }
+        }),
+        Query::Fp(p) => fp_to_ucq(p).map(shrink_ucq),
+    }
+}
+
+/// Classify a query against `schema`, emitting the downgrade /
+/// uncertified-rewrite diagnostics for `pointer`.
+pub fn classify_query(
+    schema: &Schema,
+    query: &Query,
+    seed: u64,
+) -> (Classification<Query>, Vec<Diagnostic>) {
+    let declared = query.language();
+    let Some(candidate) = query_candidate(query) else {
+        return (Classification::unchanged(declared), Vec::new());
+    };
+    let minimal = candidate.language();
+    if minimal >= declared {
+        return (Classification::unchanged(declared), Vec::new());
+    }
+    if certify(schema, seed, query, &candidate, |q, db| q.eval(db).ok()) {
+        let diag = Diagnostic::new(
+            Code::Downgrade,
+            Pointer::Query,
+            format!("query is {declared:?}-syntax but certified {minimal:?}: dispatching to the smaller cell"),
+        );
+        (
+            Classification {
+                declared,
+                minimal,
+                rewritten: Some(candidate),
+                certified: true,
+            },
+            vec![diag],
+        )
+    } else {
+        let diag = Diagnostic::new(
+            Code::UncertifiedRewrite,
+            Pointer::Query,
+            format!("candidate {minimal:?} rewrite failed differential certification; keeping {declared:?}"),
+        );
+        (Classification::unchanged(declared), vec![diag])
+    }
+}
+
+/// Classify one constraint body, emitting diagnostics for `pointer`.
+pub fn classify_body(
+    schema: &Schema,
+    body: &CcBody,
+    pointer: Pointer,
+    seed: u64,
+) -> (Classification<CcBody>, Vec<Diagnostic>) {
+    let declared = body.language();
+    let candidate: Option<CcBody> = match body {
+        CcBody::Proj(_) => None,
+        CcBody::Cq(q) => cq_to_projection(q).map(CcBody::Proj),
+        CcBody::Ucq(u) => {
+            if u.disjuncts.len() == 1 {
+                let cq = u.disjuncts[0].clone();
+                Some(match cq_to_projection(&cq) {
+                    Some(p) => CcBody::Proj(p),
+                    None => CcBody::Cq(cq),
+                })
+            } else {
+                None
+            }
+        }
+        CcBody::Efo(e) => {
+            (e.body.dnf_size() <= MAX_DNF_DISJUNCTS).then(|| match shrink_ucq(e.to_ucq()) {
+                Query::Cq(cq) => match cq_to_projection(&cq) {
+                    Some(p) => CcBody::Proj(p),
+                    None => CcBody::Cq(cq),
+                },
+                Query::Ucq(u) => CcBody::Ucq(u),
+                _ => unreachable!("shrink_ucq only yields CQ/UCQ"),
+            })
+        }
+        CcBody::Fo(f) => fo_body_to_efo(f).map(|b| {
+            let efo = EfoQuery::new(
+                f.head.iter().map(|v| Term::Var(*v)).collect(),
+                b,
+                f.var_names.clone(),
+            );
+            CcBody::Efo(efo)
+        }),
+        CcBody::Fp(p) => fp_to_ucq(p).map(|u| match shrink_ucq(u) {
+            Query::Cq(cq) => CcBody::Cq(cq),
+            Query::Ucq(u) => CcBody::Ucq(u),
+            _ => unreachable!("shrink_ucq only yields CQ/UCQ"),
+        }),
+    };
+    let Some(candidate) = candidate else {
+        return (Classification::unchanged(declared), Vec::new());
+    };
+    let minimal = candidate.language();
+    if minimal >= declared {
+        return (Classification::unchanged(declared), Vec::new());
+    }
+    if certify(schema, seed, body, &candidate, |b, db| b.eval(db).ok()) {
+        let diag = Diagnostic::new(
+            Code::Downgrade,
+            pointer,
+            format!("constraint body is {declared:?}-syntax but certified {minimal:?}"),
+        );
+        (
+            Classification {
+                declared,
+                minimal,
+                rewritten: Some(candidate),
+                certified: true,
+            },
+            vec![diag],
+        )
+    } else {
+        let diag = Diagnostic::new(
+            Code::UncertifiedRewrite,
+            pointer,
+            format!("candidate {minimal:?} rewrite failed differential certification; keeping {declared:?}"),
+        );
+        (Classification::unchanged(declared), vec![diag])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ric_data::RelationSchema;
+    use ric_query::{parse_cq, parse_ucq, Atom};
+
+    fn schema() -> Schema {
+        Schema::from_relations(vec![
+            RelationSchema::infinite("R", &["a", "b"]),
+            RelationSchema::infinite("S", &["a"]),
+        ])
+        .unwrap()
+    }
+
+    /// `Q(x) := ∃y (R(x,y) ∧ ¬¬S(y))` — FO syntax, CQ at heart.
+    fn fo_wrapped_cq(s: &Schema) -> FoQuery {
+        let r = s.rel_id("R").unwrap();
+        let srel = s.rel_id("S").unwrap();
+        let (x, y) = (Var(0), Var(1));
+        FoQuery::new(
+            vec![x],
+            FoExpr::Exists(
+                vec![y],
+                Box::new(FoExpr::And(vec![
+                    FoExpr::Atom(Atom::new(r, vec![Term::Var(x), Term::Var(y)])),
+                    FoExpr::not(FoExpr::not(FoExpr::Atom(Atom::new(
+                        srel,
+                        vec![Term::Var(y)],
+                    )))),
+                ])),
+            ),
+            vec!["x".into(), "y".into()],
+        )
+    }
+
+    #[test]
+    fn fo_wrapped_cq_downgrades_to_cq() {
+        let s = schema();
+        let q = Query::Fo(fo_wrapped_cq(&s));
+        let (c, diags) = classify_query(&s, &q, 0xA11CE);
+        assert_eq!(c.declared, QueryLanguage::Fo);
+        assert_eq!(c.minimal, QueryLanguage::Cq);
+        assert!(c.certified);
+        assert!(matches!(c.rewritten, Some(Query::Cq(_))));
+        assert!(diags.iter().any(|d| d.code == Code::Downgrade));
+    }
+
+    #[test]
+    fn genuine_fo_stays_fo() {
+        let s = schema();
+        let r = s.rel_id("R").unwrap();
+        let (x, y) = (Var(0), Var(1));
+        // ∀y ¬R(x,y): real negation, no ∃FO⁺ equivalent syntactically.
+        let q = Query::Fo(FoQuery::new(
+            vec![x],
+            FoExpr::Forall(
+                vec![y],
+                Box::new(FoExpr::not(FoExpr::Atom(Atom::new(
+                    r,
+                    vec![Term::Var(x), Term::Var(y)],
+                )))),
+            ),
+            vec!["x".into(), "y".into()],
+        ));
+        let (c, diags) = classify_query(&s, &q, 1);
+        assert!(!c.downgraded());
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn shared_binder_is_not_rectifiable() {
+        let s = schema();
+        let srel = s.rel_id("S").unwrap();
+        let y = Var(0);
+        // (∃y S(y)) ∧ (∃y S(y)) reuses the binder: flattening would conflate
+        // the two scopes, so the classifier must refuse.
+        let part = FoExpr::Exists(
+            vec![y],
+            Box::new(FoExpr::Atom(Atom::new(srel, vec![Term::Var(y)]))),
+        );
+        let q = FoQuery::new(
+            vec![],
+            FoExpr::And(vec![part.clone(), part]),
+            vec!["y".into()],
+        );
+        let (c, _) = classify_query(&s, &Query::Fo(q), 2);
+        assert!(!c.downgraded());
+    }
+
+    #[test]
+    fn singleton_ucq_downgrades_to_cq() {
+        let s = schema();
+        let u = parse_ucq(&s, "Q(X) :- R(X, Y), S(Y).").unwrap();
+        let (c, _) = classify_query(&s, &Query::Ucq(u), 3);
+        assert_eq!(c.minimal, QueryLanguage::Cq);
+        assert!(c.certified);
+    }
+
+    #[test]
+    fn nonrecursive_output_only_fp_downgrades() {
+        let s = schema();
+        let p = ric_query::parse_program(&s, "Out(X) :- R(X, Y). Out(X) :- S(X).", "Out").unwrap();
+        let (c, _) = classify_query(&s, &Query::Fp(p), 4);
+        assert_eq!(c.declared, QueryLanguage::Fp);
+        assert_eq!(c.minimal, QueryLanguage::Ucq);
+        assert!(c.certified);
+    }
+
+    #[test]
+    fn recursive_fp_stays_fp() {
+        let s = schema();
+        let p = ric_query::parse_program(
+            &s,
+            "Tc(X, Y) :- R(X, Y). Tc(X, Y) :- R(X, Z), Tc(Z, Y).",
+            "Tc",
+        )
+        .unwrap();
+        let (c, _) = classify_query(&s, &Query::Fp(p), 5);
+        assert!(!c.downgraded());
+    }
+
+    #[test]
+    fn projection_shaped_cq_body_downgrades_to_ind() {
+        let s = schema();
+        let q = parse_cq(&s, "Q(B, A) :- R(A, B).").unwrap();
+        let (c, diags) = classify_body(&s, &CcBody::Cq(q), Pointer::Constraint(0), 6);
+        assert_eq!(c.declared, QueryLanguage::Cq);
+        assert_eq!(c.minimal, QueryLanguage::Inds);
+        assert!(matches!(c.rewritten, Some(CcBody::Proj(_))));
+        assert!(diags.iter().any(|d| d.code == Code::Downgrade));
+    }
+
+    #[test]
+    fn selective_cq_body_is_not_a_projection() {
+        let s = schema();
+        let q = parse_cq(&s, "Q(A) :- R(A, B), B = 1.").unwrap();
+        let (c, _) = classify_body(&s, &CcBody::Cq(q), Pointer::Constraint(0), 7);
+        assert!(!c.downgraded());
+    }
+
+    #[test]
+    fn random_database_respects_finite_domains() {
+        let s = Schema::from_relations(vec![RelationSchema::new(
+            "B",
+            vec![ric_data::Attribute::boolean("f")],
+        )])
+        .unwrap();
+        let mut rng = SplitMix64::seed_from_u64(9);
+        for _ in 0..10 {
+            let db = random_database(&s, &mut rng, 6, 6);
+            for t in db.instance(s.rel_id("B").unwrap()).iter() {
+                assert!(t.get(0) == &Value::int(0) || t.get(0) == &Value::int(1));
+            }
+        }
+    }
+}

@@ -20,7 +20,13 @@
 //! * `BENCH_PAR.json` — the indexed/parallel scaling suite: the same
 //!   decisions timed under `Engine::Indexed` and `Engine::Parallel`, with
 //!   per-cell speedups, verdict-identity checks, and the median speedup at
-//!   the largest size.
+//!   the largest size;
+//! * `BENCH_ANALYSIS.json` — the static-analysis A/B suite: FO-*syntax*
+//!   queries that `ric::analyze` certifies down to CQ, decided through the
+//!   naive FO-cell dispatch versus the analyzer-gated `try_rcdp_analyzed`
+//!   dispatch, with per-cell speedups, verdict identity, and downgrade
+//!   counts. Any Error-level diagnostic on a shipped workload aborts the
+//!   run with a nonzero exit (the CI gate).
 //!
 //! Each cell object carries `cell`, `paper_bound`, `outcome`, an `oracle`
 //! sub-object (`checked`, and `agrees` when a ground-truth oracle exists),
@@ -52,6 +58,7 @@
 use std::time::Duration;
 
 use ric::prelude::*;
+use ric::query::{Atom as QueryAtom, FoExpr, FoQuery};
 use ric::reductions::two_head_dfa::{to_rcdp_instance, TwoHeadDfa};
 use ric::reductions::workload::{planted_rcdp, WorkloadParams};
 use ric::reductions::{qbf, rcdp_sigma2, rcqp_conp, rcqp_pi3, sat, tiling};
@@ -848,6 +855,205 @@ fn write_engine_suite(path: &str, cells: &[EngineCell], median: f64) {
     }
 }
 
+/// One cell of the analysis A/B suite: an FO-*syntax* query that the static
+/// analyzer certifies down to CQ, decided once through the naive FO-cell
+/// dispatch and once through the analysis gate.
+struct AnalysisCell {
+    cell: String,
+    size: usize,
+    /// Whether `size` is the largest in its family (these cells feed the
+    /// median-speedup headline number).
+    largest: bool,
+    fo_us: u128,
+    analyzed_us: u128,
+    /// Verdict identity: both dispatches must return the same verdict
+    /// variant (the instances are incomplete by construction, so both sides
+    /// land on `Incomplete`, which the FO semi-decision can certify).
+    agree: bool,
+    /// `analysis.downgrade` counter emitted by the gate.
+    downgrades: u64,
+}
+
+impl AnalysisCell {
+    fn speedup(&self) -> f64 {
+        self.fo_us as f64 / self.analyzed_us.max(1) as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cell", Json::from(self.cell.as_str())),
+            ("size", Json::from(self.size)),
+            ("largest_size", Json::from(self.largest)),
+            ("fo_micros", Json::from(self.fo_us)),
+            ("analyzed_micros", Json::from(self.analyzed_us)),
+            ("speedup", Json::from(self.speedup())),
+            ("verdicts_agree", Json::from(self.agree)),
+            ("downgrades", Json::from(self.downgrades)),
+        ])
+    }
+}
+
+/// The analysis A/B instance at master size `n`: `Supt(eid, cid)` bounded by
+/// the `DCust` master list, `Pref` unconstrained, and an FO-written query
+/// `Q(c) := exists e (Supt(e, c) and not not Pref(c))` that is semantically
+/// the CQ `Q(C) :- Supt(E, C), Pref(C).`. The database supports every master
+/// customer but the last, so the instance is *incomplete* by construction —
+/// a ground truth both the FO semi-decision and the CQ cell can certify.
+fn analysis_instance(n: usize) -> (Setting, Query, Database) {
+    let schema = Schema::from_relations(vec![
+        RelationSchema::infinite("Supt", &["eid", "cid"]),
+        RelationSchema::infinite("Pref", &["cid"]),
+    ])
+    .expect("fixed schema");
+    let supt = schema.rel_id("Supt").unwrap();
+    let pref = schema.rel_id("Pref").unwrap();
+    let master = Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])])
+        .expect("fixed master schema");
+    let dcust = master.rel_id("DCust").unwrap();
+    let mut dm = Database::empty(&master);
+    for c in 0..n {
+        dm.insert(dcust, Tuple::new([Value::str(format!("c{c}"))]));
+    }
+    let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+        CcBody::Proj(Projection::new(supt, vec![1])),
+        dcust,
+        vec![0],
+    )]);
+    let setting = Setting::new(schema.clone(), master, dm, v);
+
+    let mut db = Database::empty(&schema);
+    for c in 0..n {
+        db.insert(pref, Tuple::new([Value::str(format!("c{c}"))]));
+    }
+    for c in 0..n.saturating_sub(1) {
+        db.insert(
+            supt,
+            Tuple::new([Value::str("e0"), Value::str(format!("c{c}"))]),
+        );
+    }
+
+    let (c, e) = (Var(0), Var(1));
+    let fo = FoQuery::new(
+        vec![c],
+        FoExpr::Exists(
+            vec![e],
+            Box::new(FoExpr::And(vec![
+                FoExpr::Atom(QueryAtom::new(supt, vec![Term::Var(e), Term::Var(c)])),
+                FoExpr::not(FoExpr::not(FoExpr::Atom(QueryAtom::new(
+                    pref,
+                    vec![Term::Var(c)],
+                )))),
+            ])),
+        ),
+        vec!["c".into(), "e".into()],
+    );
+    (setting, Query::Fo(fo), db)
+}
+
+/// The analysis A/B suite. Every shipped workload must pass the analyzer
+/// with no Error-level diagnostics — a broken bench instance fails the run
+/// (and therefore CI) instead of silently benchmarking garbage.
+fn analysis_suite(inv: &Invocation) -> Vec<AnalysisCell> {
+    let mut cells = Vec::new();
+    let sizes = [8usize, 16, 32];
+    let largest = *sizes.last().unwrap();
+    for &n in &sizes {
+        let (setting, query, db) = analysis_instance(n);
+        let report = ric::analyze(&setting, &query);
+        fail_on_error_diagnostics("analysis A/B workload", &report);
+        let budget = bounded(SearchBudget::default(), inv);
+
+        let start = Instant::now();
+        let vf = rcdp(&setting, &query, &db, &budget).expect("well-formed instance");
+        let fo_us = start.elapsed().as_micros();
+
+        let collector = Collector::new();
+        let start = Instant::now();
+        let va =
+            try_rcdp_analyzed_probed(&setting, &query, &db, &budget, Probe::attached(&collector))
+                .expect("analyzer-gated decision");
+        let analyzed_us = start.elapsed().as_micros();
+
+        cells.push(AnalysisCell {
+            cell: format!("(FO syntax, CQ fragment) master n={n}"),
+            size: n,
+            largest: n == largest,
+            fo_us,
+            analyzed_us,
+            agree: std::mem::discriminant(&vf) == std::mem::discriminant(&va),
+            downgrades: collector.report().counter("analysis.downgrade"),
+        });
+    }
+    cells
+}
+
+/// CI gate: any Error-level diagnostic in a shipped workload aborts the run.
+fn fail_on_error_diagnostics(what: &str, report: &ric::AnalysisReport) {
+    if report.has_errors() {
+        eprintln!("regen_tables: {what} fails static analysis:");
+        for d in report.errors() {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Run the shipped engine/par-suite workloads through the analyzer too — the
+/// artifacts must never be regenerated from settings the gate would reject.
+fn lint_shipped_workloads() {
+    let (setting, db) = fd_instance(8);
+    let _ = db;
+    let cq: Query = parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).")
+        .expect("fixed query")
+        .into();
+    fail_on_error_diagnostics("engine A/B CQ workload", &ric::analyze(&setting, &cq));
+    let ucq: Query = parse_ucq(
+        &setting.schema,
+        "Q(C) :- Supt('e0', D, C). Q(C) :- Supt('e1', D, C).",
+    )
+    .expect("fixed query")
+    .into();
+    fail_on_error_diagnostics("engine A/B UCQ workload", &ric::analyze(&setting, &ucq));
+}
+
+fn print_analysis_suite(cells: &[AnalysisCell], median: f64) {
+    println!("\nAnalysis A/B - naive FO dispatch vs analyzer-gated dispatch");
+    println!("===========================================================");
+    println!(
+        "{:<42} {:>12} {:>12} {:>9} {:>7} {:>6}",
+        "cell", "fo", "analyzed", "speedup", "agree", "downgr"
+    );
+    println!("{}", "-".repeat(95));
+    for c in cells {
+        println!(
+            "{:<42} {:>9} us {:>9} us {:>8.1}x {:>7} {:>6}",
+            c.cell,
+            c.fo_us,
+            c.analyzed_us,
+            c.speedup(),
+            c.agree,
+            c.downgrades
+        );
+    }
+    println!("median speedup at largest size: {median:.1}x");
+}
+
+fn write_analysis_suite(path: &str, cells: &[AnalysisCell], median: f64) {
+    let doc = Json::obj([
+        ("source", Json::from("regen_tables")),
+        (
+            "dispatches",
+            Json::arr(["fo_cell", "analyzed"].map(Json::from)),
+        ),
+        ("cells", Json::arr(cells.iter().map(AnalysisCell::to_json))),
+        ("median_speedup_at_largest", Json::from(median)),
+    ]);
+    match std::fs::write(path, format!("{}\n", doc.pretty())) {
+        Ok(()) => println!("wrote {path} ({} cells)", cells.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     println!("Relative Information Completeness: empirical Tables I and II");
     println!("(Fan & Geerts, PODS 2009 / TODS 2010; see EXPERIMENTS.md)");
@@ -866,6 +1072,16 @@ fn main() {
     let engine_cells = engine_suite(&inv);
     let median = median_speedup_at_largest(&engine_cells);
     print_engine_suite(&engine_cells, median);
+    lint_shipped_workloads();
+    let analysis_cells = analysis_suite(&inv);
+    let analysis_median = self::median(
+        analysis_cells
+            .iter()
+            .filter(|c| c.largest)
+            .map(AnalysisCell::speedup)
+            .collect(),
+    );
+    print_analysis_suite(&analysis_cells, analysis_median);
     let par_cells = par_suite(&inv);
     let par_median = self::median(
         par_cells
@@ -880,4 +1096,5 @@ fn main() {
     write_table("BENCH_TABLE2.json", "II", "RCQP(L_Q, L_C)", &t2);
     write_engine_suite("BENCH_ENGINE.json", &engine_cells, median);
     write_par_suite("BENCH_PAR.json", &par_cells, inv.workers, par_median);
+    write_analysis_suite("BENCH_ANALYSIS.json", &analysis_cells, analysis_median);
 }

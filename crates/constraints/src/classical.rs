@@ -238,7 +238,9 @@ pub fn at_most_k_per_key(
             } else if c == value_col {
                 args.push(Term::Var(cs[i]));
             } else {
-                args.push(Term::Var(*pad_it.next().expect("pad count")));
+                args.push(Term::Var(*pad_it.next().unwrap_or_else(|| {
+                    unreachable!("pad vars sized to fill every column")
+                })));
             }
         }
         builder = builder.atom(rel, args);

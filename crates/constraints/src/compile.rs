@@ -31,7 +31,7 @@ pub fn denial_to_cc(d: &Denial) -> ContainmentConstraint {
 pub fn cfd_to_ccs(cfd: &Cfd, schema: &Schema) -> Vec<ContainmentConstraint> {
     let arity = schema
         .arity(cfd.rel)
-        .expect("CFD relation must exist in the schema");
+        .unwrap_or_else(|e| panic!("CFD relation must exist in the schema: {e}"));
     let mut out = Vec::new();
 
     // First family: two selected tuples agreeing on X but differing on one
@@ -93,8 +93,12 @@ pub fn ind_to_cc(ind: &IndCc) -> ContainmentConstraint {
 /// `q ⊆ ∅` with
 /// `q(v̄_1) = R_1(v̄_1) ∧ φ(v̄_1) ∧ ∀v̄_2 ¬(R_2(v̄_2) ∧ x̄-match ∧ ψ(v̄_2))`.
 pub fn cind_to_cc(cind: &Cind, schema: &Schema) -> ContainmentConstraint {
-    let a1 = schema.arity(cind.lhs_rel).expect("CIND lhs relation");
-    let a2 = schema.arity(cind.rhs_rel).expect("CIND rhs relation");
+    let a1 = schema
+        .arity(cind.lhs_rel)
+        .unwrap_or_else(|e| panic!("CIND lhs relation must exist in the schema: {e}"));
+    let a2 = schema
+        .arity(cind.rhs_rel)
+        .unwrap_or_else(|e| panic!("CIND rhs relation must exist in the schema: {e}"));
     let vars1: Vec<Var> = (0..a1).map(|i| Var(i as u32)).collect();
     let vars2: Vec<Var> = (0..a2).map(|i| Var((a1 + i) as u32)).collect();
     let mut names: Vec<String> = (0..a1).map(|i| format!("a{i}")).collect();

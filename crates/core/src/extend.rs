@@ -136,8 +136,12 @@ pub fn complete_extension_guarded(
             }
             Verdict::Incomplete(ce) => {
                 first = false;
-                added.union_with(&ce.delta).expect("same schema");
-                current.union_with(&ce.delta).expect("same schema");
+                added.union_with(&ce.delta).unwrap_or_else(|e| {
+                    unreachable!("counterexample shares the setting schema: {e:?}")
+                });
+                current.union_with(&ce.delta).unwrap_or_else(|e| {
+                    unreachable!("counterexample shares the setting schema: {e:?}")
+                });
                 if added.tuple_count() > budget.max_witness_tuples {
                     break CompletionOutcome::Budget {
                         added,

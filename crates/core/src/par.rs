@@ -169,10 +169,15 @@ impl<R> PoolRun<R> {
     pub(crate) fn merge_gather(self) -> PoolGather<R> {
         let mut values = Vec::with_capacity(self.slots.len());
         for slot in self.slots {
-            match slot.expect("gather jobs have no terminal events, so no skipped chunks") {
+            let filled = slot.unwrap_or_else(|| unreachable!("gather jobs never skip chunks"));
+            match filled {
                 ChunkSlot::Panicked(payload) => resume_unwind(payload),
                 ChunkSlot::Done(result) => {
-                    values.push(result.value.expect("gather chunks always produce a value"));
+                    values.push(
+                        result.value.unwrap_or_else(|| {
+                            unreachable!("gather chunks always produce a value")
+                        }),
+                    );
                 }
             }
         }
@@ -220,9 +225,9 @@ impl<R> PoolRun<R> {
                     match result.event {
                         ChunkEvent::Clear => continue,
                         ChunkEvent::Hit => {
-                            outcome = PoolOutcome::Hit(
-                                result.value.expect("a Hit chunk carries its witness"),
-                            );
+                            outcome = PoolOutcome::Hit(result.value.unwrap_or_else(|| {
+                                unreachable!("a Hit chunk carries its witness")
+                            }));
                         }
                         ChunkEvent::Exhausted => outcome = PoolOutcome::Exhausted,
                         ChunkEvent::Interrupted(Interrupt::Cancelled) if saw_deadline => {
@@ -319,7 +324,9 @@ pub(crate) fn run_chunks<R: Send>(
             let run = &run_worker;
             s.spawn(move || run(i + 1, guard));
         }
-        let g0 = guards.pop().expect("worker 0 guard");
+        let g0 = guards
+            .pop()
+            .unwrap_or_else(|| unreachable!("guards starts with one entry per worker"));
         run_worker(0, g0);
     });
 

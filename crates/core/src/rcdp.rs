@@ -76,19 +76,28 @@ impl CheckMode {
             CheckMode::IndOnly => setting
                 .v
                 .upper_satisfied(delta, &setting.dm)
-                .expect("constraint bodies validated by the precondition check"),
+                .unwrap_or_else(|e| {
+                    unreachable!("constraint bodies validated by the precondition check: {e:?}")
+                }),
             CheckMode::Union => {
-                let extended = db.union(delta).expect("same schema");
+                let extended = db
+                    .union(delta)
+                    .unwrap_or_else(|e| unreachable!("delta shares the setting schema: {e:?}"));
                 setting
                     .v
                     .upper_satisfied(&extended, &setting.dm)
-                    .expect("constraint bodies validated by the precondition check")
+                    .unwrap_or_else(|e| {
+                        unreachable!("constraint bodies validated by the precondition check: {e:?}")
+                    })
             }
             CheckMode::Delta(prepared) => {
-                let ov = Overlay::new(db, delta).expect("same schema");
+                let ov = Overlay::new(db, delta)
+                    .unwrap_or_else(|e| unreachable!("delta shares the setting schema: {e:?}"));
                 let res = prepared
                     .satisfied_delta(&setting.v, &ov)
-                    .expect("constraint bodies validated by the precondition check");
+                    .unwrap_or_else(|e| {
+                        unreachable!("constraint bodies validated by the precondition check: {e:?}")
+                    });
                 cc_skipped.set(cc_skipped.get() + res.skipped as u64);
                 res.satisfied
             }
@@ -243,11 +252,13 @@ pub fn rcdp_exact_guarded(
             |binding| {
                 // Prune: if the candidate output tuple is already answered,
                 // no valuation with these head values is a counterexample.
-                let tuple = Tuple::new(head_terms.iter().map(|term| match term {
-                    ric_query::Term::Var(v) => {
-                        binding[v.idx()].clone().expect("head vars bound first")
+                let tuple = Tuple::new(head_terms.iter().map(|term| {
+                    match term {
+                        ric_query::Term::Var(v) => binding[v.idx()]
+                            .clone()
+                            .unwrap_or_else(|| unreachable!("head vars bound first")),
+                        ric_query::Term::Const(c) => c.clone(),
                     }
-                    ric_query::Term::Const(c) => c.clone(),
                 }));
                 !q_d.contains(&tuple)
             },
@@ -275,7 +286,9 @@ pub fn rcdp_exact_guarded(
                 let closed = mode.upper_satisfied(setting, db, &delta, &cc_skipped);
                 if closed {
                     let new_answer = mu.head_tuple(t);
-                    let added = delta.difference(db).expect("same schema");
+                    let added = delta
+                        .difference(db)
+                        .unwrap_or_else(|e| unreachable!("delta shares the setting schema: {e:?}"));
                     found = Some(CounterExample {
                         delta: added,
                         new_answer,
@@ -287,7 +300,10 @@ pub fn rcdp_exact_guarded(
         );
         match outcome {
             EnumOutcome::Stopped => {
-                verdict = Verdict::Incomplete(found.expect("set before break"));
+                verdict =
+                    Verdict::Incomplete(found.unwrap_or_else(|| {
+                        unreachable!("found is set before the enumeration breaks")
+                    }));
                 break;
             }
             EnumOutcome::BudgetExceeded => {
@@ -378,9 +394,13 @@ fn rcdp_exact_parallel(
         let mut found: Option<CounterExample> = None;
         let head_terms = &t.head;
         let head_filter = |binding: &[Option<ric_data::Value>]| {
-            let tuple = Tuple::new(head_terms.iter().map(|term| match term {
-                ric_query::Term::Var(v) => binding[v.idx()].clone().expect("head vars bound first"),
-                ric_query::Term::Const(c) => c.clone(),
+            let tuple = Tuple::new(head_terms.iter().map(|term| {
+                match term {
+                    ric_query::Term::Var(v) => binding[v.idx()]
+                        .clone()
+                        .unwrap_or_else(|| unreachable!("head vars bound first")),
+                    ric_query::Term::Const(c) => c.clone(),
+                }
             }));
             !q_d.contains(&tuple)
         };
@@ -402,7 +422,9 @@ fn rcdp_exact_parallel(
             cc_checks.set(cc_checks.get() + 1);
             if mode.upper_satisfied(setting, db, &delta, &cc_skipped) {
                 let new_answer = mu.head_tuple(t);
-                let added = delta.difference(db).expect("same schema");
+                let added = delta
+                    .difference(db)
+                    .unwrap_or_else(|e| unreachable!("delta shares the setting schema: {e:?}"));
                 found = Some(CounterExample {
                     delta: added,
                     new_answer,

@@ -102,7 +102,8 @@ impl ConsistencyCheck {
                 let mut delta = scratch.borrow_mut();
                 delta.clear_tuples();
                 delta.insert(rel, tuple.clone());
-                let ov = Overlay::new(current, &delta).expect("same schema");
+                let ov = Overlay::new(current, &delta)
+                    .unwrap_or_else(|e| unreachable!("delta shares the setting schema: {e:?}"));
                 let res = prepared.satisfied_delta(&setting.v, &ov)?;
                 cc_skipped.set(cc_skipped.get() + res.skipped as u64);
                 Ok(res.satisfied)
@@ -344,7 +345,7 @@ fn rcqp_ind(
                 setting
                     .v
                     .upper_satisfied(&delta, &setting.dm)
-                    .expect("IND bodies never error")
+                    .unwrap_or_else(|e| unreachable!("IND bodies never error: {e:?}"))
             },
             |_mu| {
                 // The partial filter already validated the full instantiation.
@@ -591,7 +592,7 @@ fn assign_finite(
     }
     let dom = doms[var]
         .as_ref()
-        .expect("only finite vars unassigned")
+        .unwrap_or_else(|| unreachable!("only finite vars unassigned"))
         .clone();
     for val in dom {
         assignment[var] = Some(val);
@@ -653,9 +654,13 @@ fn hybrid_match(
             return true;
         }
         // Fully generic: the output is determined; harmless iff inside rhs.
-        let out = Tuple::new(body.head.iter().map(|term| match term {
-            Term::Const(c) => c.clone(),
-            Term::Var(v) => binding[v.idx()].clone().expect("all vars bound"),
+        let out = Tuple::new(body.head.iter().map(|term| {
+            match term {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => binding[v.idx()]
+                    .clone()
+                    .unwrap_or_else(|| unreachable!("all vars bound")),
+            }
         }));
         return !rhs.contains(&out);
     }
@@ -956,7 +961,7 @@ fn rcqp_general(
     }
     match outcome {
         MaxOutcome::Found => {
-            let witness = result.expect("Found sets the result");
+            let witness = result.unwrap_or_else(|| unreachable!("Found sets the result"));
             // Certify the witness with the RCDP decider; E2 guarantees
             // nonemptiness (Proposition 4.2), the certificate is a bonus.
             let _span = probe.span("rcqp.certify_witness");

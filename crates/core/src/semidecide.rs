@@ -120,7 +120,9 @@ impl BoundedCheck {
     ) -> Result<Option<Database>, RcError> {
         match self {
             BoundedCheck::Full => {
-                let extended = db.union(delta).expect("same schema");
+                let extended = db
+                    .union(delta)
+                    .unwrap_or_else(|e| unreachable!("delta shares the setting schema: {e:?}"));
                 if setting.partially_closed(&extended)? {
                     Ok(Some(extended))
                 } else {
@@ -131,7 +133,8 @@ impl BoundedCheck {
                 prepared,
                 recheck_lower,
             } => {
-                let ov = Overlay::new(db, delta).expect("same schema");
+                let ov = Overlay::new(db, delta)
+                    .unwrap_or_else(|e| unreachable!("delta shares the setting schema: {e:?}"));
                 let res = prepared.satisfied_delta(&setting.v, &ov)?;
                 cc_skipped.set(cc_skipped.get() + res.skipped as u64);
                 if !res.satisfied {
@@ -292,7 +295,7 @@ fn rcdp_bounded_inner(
                     let new_answer = q_after
                         .symmetric_difference(&q_d)
                         .next()
-                        .expect("answers differ")
+                        .unwrap_or_else(|| unreachable!("answers differ"))
                         .clone();
                     return Ok(Some(CounterExample { delta, new_answer }));
                 }
@@ -437,7 +440,7 @@ fn rcdp_bounded_parallel(
                         let new_answer = q_after
                             .symmetric_difference(q_d)
                             .next()
-                            .expect("answers differ")
+                            .unwrap_or_else(|| unreachable!("answers differ"))
                             .clone();
                         return Ok(Some(CounterExample { delta, new_answer }));
                     }
@@ -670,7 +673,7 @@ pub(crate) fn rcqp_bounded_inner(
         )?;
         match outcome {
             ChooseOutcome::Found(_) => {
-                let db = survivor.expect("set before found");
+                let db = survivor.unwrap_or_else(|| unreachable!("survivor is set before Found"));
                 verdict = Some(QueryVerdict::unknown(
                     SearchStats::new(
                         BudgetLimit::MaxDeltaTuples,

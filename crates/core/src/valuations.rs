@@ -266,7 +266,10 @@ impl<'a> ValuationSpace<'a> {
             let mu = Valuation(
                 binding
                     .iter()
-                    .map(|b| b.clone().expect("all variables bound"))
+                    .map(|b| {
+                        b.clone()
+                            .unwrap_or_else(|| unreachable!("all variables bound at full depth"))
+                    })
                     .collect(),
             );
             return match visit(&mu) {
@@ -346,9 +349,13 @@ pub fn materialize(
     t.atoms
         .iter()
         .map(|atom| {
-            let tuple = ric_data::Tuple::new(atom.args.iter().map(|term| match term {
-                Term::Const(c) => c.clone(),
-                Term::Var(v) => assignment[v.idx()].clone().expect("total assignment"),
+            let tuple = ric_data::Tuple::new(atom.args.iter().map(|term| {
+                match term {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => assignment[v.idx()]
+                        .clone()
+                        .unwrap_or_else(|| unreachable!("total assignment")),
+                }
             }));
             (atom.rel, tuple)
         })

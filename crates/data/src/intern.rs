@@ -94,33 +94,30 @@ impl Interner {
     }
 }
 
-fn global() -> &'static Mutex<Interner> {
+fn global() -> std::sync::MutexGuard<'static, Interner> {
     static POOL: OnceLock<Mutex<Interner>> = OnceLock::new();
+    // The interner is append-only, so a panic mid-insert cannot leave it in
+    // a state a later caller would misread — recover from poison.
     POOL.get_or_init(|| Mutex::new(Interner::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Intern `s` in the global pool, returning the shared allocation. Equal
 /// strings interned anywhere in the process return clones of the same `Arc`,
 /// so equality checks between them can short-circuit on pointer identity.
 pub fn intern_str(s: &str) -> Arc<str> {
-    global()
-        .lock()
-        .expect("interner mutex poisoned")
-        .intern_arc(s)
+    global().intern_arc(s)
 }
 
 /// Intern `s` in the global pool, returning its [`Sym`].
 pub fn intern(s: &str) -> Sym {
-    global().lock().expect("interner mutex poisoned").intern(s)
+    global().intern(s)
 }
 
 /// The global-pool string behind `sym`.
 pub fn resolve(sym: Sym) -> Option<Arc<str>> {
-    global()
-        .lock()
-        .expect("interner mutex poisoned")
-        .resolve(sym)
-        .cloned()
+    global().resolve(sym).cloned()
 }
 
 #[cfg(test)]

@@ -102,9 +102,10 @@ impl<'a> Overlay<'a> {
     /// code paths without an overlay-aware evaluator (FO/FP constraint
     /// bodies).
     pub fn materialize(&self) -> Database {
-        self.base
-            .union(self.delta)
-            .expect("overlay sides agree on relation count by construction")
+        self.base.union(self.delta).unwrap_or_else(|e| {
+            // Both sides come from the same schema, so arities always agree.
+            unreachable!("overlay sides agree on relation count by construction: {e:?}")
+        })
     }
 }
 

@@ -57,6 +57,11 @@ impl Default for ScenarioParams {
     }
 }
 
+/// Unwrap a result that can only fail if a compiled-in literal is wrong.
+fn fixed<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    r.unwrap_or_else(|e| unreachable!("{what} is a fixed literal: {e}"))
+}
+
 /// A fully built scenario: schemas, master data, constraints, and a
 /// populated operational database.
 #[derive(Clone, Debug)]
@@ -72,21 +77,25 @@ pub struct CrmScenario {
 impl CrmScenario {
     /// The database schema shared by all scenarios.
     pub fn schema() -> Schema {
-        Schema::from_relations(vec![
-            RelationSchema::infinite("Cust", &["cid", "name", "cc", "ac", "phn"]),
-            RelationSchema::infinite("Supt", &["eid", "dept", "cid"]),
-            RelationSchema::infinite("Manage", &["eid1", "eid2"]),
-        ])
-        .expect("fixed schema")
+        fixed(
+            Schema::from_relations(vec![
+                RelationSchema::infinite("Cust", &["cid", "name", "cc", "ac", "phn"]),
+                RelationSchema::infinite("Supt", &["eid", "dept", "cid"]),
+                RelationSchema::infinite("Manage", &["eid1", "eid2"]),
+            ]),
+            "the CRM schema",
+        )
     }
 
     /// The master schema.
     pub fn master_schema() -> Schema {
-        Schema::from_relations(vec![
-            RelationSchema::infinite("DCust", &["cid", "name", "ac", "phn"]),
-            RelationSchema::infinite("ManageM", &["eid1", "eid2"]),
-        ])
-        .expect("fixed master schema")
+        fixed(
+            Schema::from_relations(vec![
+                RelationSchema::infinite("DCust", &["cid", "name", "ac", "phn"]),
+                RelationSchema::infinite("ManageM", &["eid1", "eid2"]),
+            ]),
+            "the CRM master schema",
+        )
     }
 
     /// Build a randomized scenario. The generated database is partially
@@ -95,11 +104,21 @@ impl CrmScenario {
     pub fn generate(params: ScenarioParams, rng: &mut SplitMix64) -> CrmScenario {
         let schema = Self::schema();
         let mschema = Self::master_schema();
-        let cust = schema.rel_id("Cust").unwrap();
-        let supt = schema.rel_id("Supt").unwrap();
-        let manage = schema.rel_id("Manage").unwrap();
-        let dcust = mschema.rel_id("DCust").unwrap();
-        let manage_m = mschema.rel_id("ManageM").unwrap();
+        let cust = schema
+            .rel_id("Cust")
+            .unwrap_or_else(|| unreachable!("fixed schema relation"));
+        let supt = schema
+            .rel_id("Supt")
+            .unwrap_or_else(|| unreachable!("fixed schema relation"));
+        let manage = schema
+            .rel_id("Manage")
+            .unwrap_or_else(|| unreachable!("fixed schema relation"));
+        let dcust = mschema
+            .rel_id("DCust")
+            .unwrap_or_else(|| unreachable!("fixed schema relation"));
+        let manage_m = mschema
+            .rel_id("ManageM")
+            .unwrap_or_else(|| unreachable!("fixed schema relation"));
 
         // Master data.
         let mut dm = Database::empty(&mschema);
@@ -128,11 +147,13 @@ impl CrmScenario {
         }
 
         // Constraints: φ0 — domestic customers of Cust⋈Supt bounded by DCust.
-        let phi0 = parse_cq(
-            &schema,
-            "Q(C) :- Cust(C, N, Cc, A, P), Supt(E, D2, C), Cc = 1.",
-        )
-        .expect("φ0");
+        let phi0 = fixed(
+            parse_cq(
+                &schema,
+                "Q(C) :- Cust(C, N, Cc, A, P), Supt(E, D2, C), Cc = 1.",
+            ),
+            "φ0",
+        );
         let mut v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
             CcBody::Cq(phi0),
             dcust,
@@ -210,59 +231,71 @@ impl CrmScenario {
 
     /// `Q0`: all customers based in area code 908 (Section 2.3 paradigm 1).
     pub fn q0(&self) -> Query {
-        parse_cq(
-            &self.setting.schema,
-            "Q(C) :- Cust(C, N, Cc, A, P), A = 908.",
+        fixed(
+            parse_cq(
+                &self.setting.schema,
+                "Q(C) :- Cust(C, N, Cc, A, P), A = 908.",
+            ),
+            "Q0",
         )
-        .expect("fixed query")
         .into()
     }
 
     /// `Q0′`: all customers, domestic or international (paradigm 3 — no
     /// relatively complete database exists under the current master data).
     pub fn q0_prime(&self) -> Query {
-        parse_cq(&self.setting.schema, "Q(C) :- Cust(C, N, Cc, A, P).")
-            .expect("fixed query")
-            .into()
+        fixed(
+            parse_cq(&self.setting.schema, "Q(C) :- Cust(C, N, Cc, A, P)."),
+            "Q0'",
+        )
+        .into()
     }
 
     /// `Q1`: the NJ customers (area code 908) supported by employee `e0`.
     pub fn q1(&self) -> Query {
-        parse_cq(
-            &self.setting.schema,
-            "Q(C) :- Supt('e0', D, C), Cust(C, N, Cc, A, P), Cc = 1, A = 908.",
+        fixed(
+            parse_cq(
+                &self.setting.schema,
+                "Q(C) :- Supt('e0', D, C), Cust(C, N, Cc, A, P), Cc = 1, A = 908.",
+            ),
+            "Q1",
         )
-        .expect("fixed query")
         .into()
     }
 
     /// `Q2`: all customers supported by employee `e0`.
     pub fn q2(&self) -> Query {
-        parse_cq(&self.setting.schema, "Q(C) :- Supt('e0', D, C).")
-            .expect("fixed query")
-            .into()
+        fixed(
+            parse_cq(&self.setting.schema, "Q(C) :- Supt('e0', D, C)."),
+            "Q2",
+        )
+        .into()
     }
 
     /// `Q3` in FP: everyone above `e0` in the management hierarchy.
     pub fn q3_datalog(&self) -> Query {
-        parse_program(
-            &self.setting.schema,
-            "Above(X, Y) :- Manage(X, Y). Above(X, Y) :- Manage(X, Z), Above(Z, Y). \
-             Boss(X) :- Above(X, Y), Y = 'e0'.",
-            "Boss",
+        fixed(
+            parse_program(
+                &self.setting.schema,
+                "Above(X, Y) :- Manage(X, Y). Above(X, Y) :- Manage(X, Z), Above(Z, Y). \
+                 Boss(X) :- Above(X, Y), Y = 'e0'.",
+                "Boss",
+            ),
+            "Q3",
         )
-        .expect("fixed program")
         .into()
     }
 
     /// `Q3` as a CQ limited to two management hops — the paper's point that
     /// completeness is relative to the query language.
     pub fn q3_cq_two_hops(&self) -> Query {
-        parse_cq(
-            &self.setting.schema,
-            "Q(X) :- Manage(X, Z), Manage(Z, 'e0').",
+        fixed(
+            parse_cq(
+                &self.setting.schema,
+                "Q(X) :- Manage(X, Z), Manage(Z, 'e0').",
+            ),
+            "Q3 (two hops)",
         )
-        .expect("fixed query")
         .into()
     }
 }

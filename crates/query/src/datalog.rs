@@ -354,9 +354,13 @@ fn fire_inner(
     out: &mut Vec<Tuple>,
 ) {
     if depth == ctx.order.len() {
-        out.push(Tuple::new(ctx.rule.head_args.iter().map(|t| match t {
-            Term::Var(v) => binding[v.idx()].clone().expect("range-restricted"),
-            Term::Const(c) => c.clone(),
+        out.push(Tuple::new(ctx.rule.head_args.iter().map(|t| {
+            match t {
+                Term::Var(v) => binding[v.idx()]
+                    .clone()
+                    .unwrap_or_else(|| unreachable!("head vars are range-restricted")),
+                Term::Const(c) => c.clone(),
+            }
         })));
         return;
     }

@@ -173,9 +173,13 @@ impl<S: TupleStore> Join<'_, S> {
         if n_used == self.t.atoms.len() {
             // All atoms matched; all variables are bound (tableau invariant).
             if neqs_hold(self.t, binding) {
-                let head = Tuple::new(self.t.head.iter().map(|term| match term {
-                    Term::Var(v) => binding[v.idx()].clone().expect("head var bound"),
-                    Term::Const(c) => c.clone(),
+                let head = Tuple::new(self.t.head.iter().map(|term| {
+                    match term {
+                        Term::Var(v) => binding[v.idx()]
+                            .clone()
+                            .unwrap_or_else(|| unreachable!("head var bound")),
+                        Term::Const(c) => c.clone(),
+                    }
                 }));
                 out.insert(head);
             }
@@ -231,7 +235,7 @@ impl<S: TupleStore> Join<'_, S> {
                 best = Some((score, i));
             }
         }
-        best.expect("rec only recurses while atoms remain unmatched")
+        best.unwrap_or_else(|| unreachable!("rec only recurses while atoms remain unmatched"))
             .1
     }
 }
@@ -287,11 +291,12 @@ fn partial_neqs_hold(t: &Tableau, binding: &[Option<Value>]) -> bool {
 }
 
 fn neqs_hold(t: &Tableau, binding: &[Option<Value>]) -> bool {
-    t.neqs.iter().all(|(l, r)| {
-        let a = term_value(l, binding).expect("all vars bound");
-        let b = term_value(r, binding).expect("all vars bound");
-        a != b
-    })
+    t.neqs.iter().all(
+        |(l, r)| match (term_value(l, binding), term_value(r, binding)) {
+            (Some(a), Some(b)) => a != b,
+            _ => unreachable!("all vars bound when neqs_hold runs"),
+        },
+    )
 }
 
 /// Reference evaluator used by property tests: enumerate *every* assignment
@@ -312,9 +317,13 @@ fn naive(
 ) {
     if depth == t.atoms.len() {
         if neqs_hold(t, binding) {
-            let head = Tuple::new(t.head.iter().map(|term| match term {
-                Term::Var(v) => binding[v.idx()].clone().unwrap(),
-                Term::Const(c) => c.clone(),
+            let head = Tuple::new(t.head.iter().map(|term| {
+                match term {
+                    Term::Var(v) => binding[v.idx()]
+                        .clone()
+                        .unwrap_or_else(|| unreachable!("all vars bound at full depth")),
+                    Term::Const(c) => c.clone(),
+                }
             }));
             out.insert(head);
         }

@@ -143,8 +143,9 @@ impl FoQuery {
     /// head, or nesting beyond [`MAX_FO_DEPTH`]); use [`FoQuery::try_eval`]
     /// for a typed error instead.
     pub fn eval<S: TupleStore>(&self, db: &S) -> BTreeSet<Tuple> {
-        self.try_eval(db)
-            .expect("FO evaluation failed; use try_eval for a typed error")
+        self.try_eval(db).unwrap_or_else(|e| {
+            panic!("FO evaluation failed ({e}); use try_eval for a typed error")
+        })
     }
 
     /// Evaluate under active-domain semantics, with typed errors: a variable

@@ -19,18 +19,57 @@ use ric_data::{Schema, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A parse failure, with a human-readable message and byte offset.
+/// A parse failure, locating the problem by byte offset *and* 1-based
+/// line/column in the source handed to the `parse_*` function.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
     /// What went wrong.
     pub message: String,
-    /// Byte offset in the source.
+    /// Byte offset in the source (clamped to the source length; errors at
+    /// end-of-input point just past the last byte).
     pub offset: usize,
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column (byte-based) of the offending byte within its line.
+    pub column: usize,
+}
+
+impl ParseError {
+    /// An error at a byte offset, line/column not yet resolved. The public
+    /// `parse_*` entry points resolve them against the full source before
+    /// returning (internal sites use `usize::MAX` for "end of input").
+    fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+            line: 0,
+            column: 0,
+        }
+    }
+
+    /// Resolve `offset` to a 1-based line/column against `src` (clamping
+    /// end-of-input markers to just past the last byte).
+    fn locate_in(mut self, src: &str) -> Self {
+        self.offset = self.offset.min(src.len());
+        let before = &src.as_bytes()[..self.offset];
+        self.line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+        let line_start = before
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        self.column = self.offset - line_start + 1;
+        self
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "parse error at line {}, column {} (byte {}): {}",
+            self.line, self.column, self.offset, self.message
+        )
     }
 }
 
@@ -89,10 +128,7 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     toks.push((Tok::Neq, i));
                     i += 2;
                 } else {
-                    return Err(ParseError {
-                        message: "expected `!=`".into(),
-                        offset: i,
-                    });
+                    return Err(ParseError::new("expected `!=`", i));
                 }
             }
             ':' => {
@@ -100,10 +136,7 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     toks.push((Tok::Implies, i));
                     i += 2;
                 } else {
-                    return Err(ParseError {
-                        message: "expected `:-`".into(),
-                        offset: i,
-                    });
+                    return Err(ParseError::new("expected `:-`", i));
                 }
             }
             '\'' => {
@@ -113,10 +146,7 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     j += 1;
                 }
                 if j == bytes.len() {
-                    return Err(ParseError {
-                        message: "unterminated string".into(),
-                        offset: i,
-                    });
+                    return Err(ParseError::new("unterminated string", i));
                 }
                 toks.push((Tok::Str(src[start..j].to_string()), i));
                 i = j + 1;
@@ -128,10 +158,9 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     i += 1;
                 }
                 let text = &src[start..i];
-                let n: i64 = text.parse().map_err(|_| ParseError {
-                    message: format!("bad integer `{text}`"),
-                    offset: start,
-                })?;
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(format!("bad integer `{text}`"), start))?;
                 toks.push((Tok::Int(n), start));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -142,10 +171,10 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 toks.push((Tok::Ident(src[start..i].to_string()), start));
             }
             other => {
-                return Err(ParseError {
-                    message: format!("unexpected character `{other}`"),
-                    offset: i,
-                })
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    i,
+                ))
             }
         }
     }
@@ -163,6 +192,8 @@ struct RawRule {
     head_name: String,
     head_args: Vec<RawTerm>,
     body: Vec<RawItem>,
+    /// Byte offset of the head predicate token.
+    offset: usize,
 }
 
 enum RawTerm {
@@ -171,7 +202,8 @@ enum RawTerm {
 }
 
 enum RawItem {
-    Atom(String, Vec<RawTerm>),
+    /// Relation name, arguments, byte offset of the relation-name token.
+    Atom(String, Vec<RawTerm>, usize),
     Eq(RawTerm, RawTerm),
     Neq(RawTerm, RawTerm),
 }
@@ -189,10 +221,7 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            message: message.into(),
-            offset: self.offset(),
-        }
+        ParseError::new(message, self.offset())
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -216,7 +245,7 @@ impl<'a> Parser<'a> {
             Some(Tok::Int(n)) => Ok(RawTerm::Const(Value::int(n))),
             Some(Tok::Str(s)) => Ok(RawTerm::Const(Value::str(s))),
             Some(Tok::Ident(name)) => {
-                let first = name.chars().next().unwrap();
+                let first = name.chars().next().unwrap_or('?');
                 if first.is_ascii_uppercase() || first == '_' {
                     Ok(RawTerm::Var(name))
                 } else {
@@ -252,6 +281,7 @@ impl<'a> Parser<'a> {
     }
 
     fn rule(&mut self) -> Result<RawRule, ParseError> {
+        let offset = self.offset();
         let head_name = match self.bump() {
             Some(Tok::Ident(n)) => n,
             _ => {
@@ -267,6 +297,7 @@ impl<'a> Parser<'a> {
                     head_name,
                     head_args,
                     body,
+                    offset,
                 })
             }
             Some(Tok::Implies) => {}
@@ -281,11 +312,12 @@ impl<'a> Parser<'a> {
                 // Lookahead: IDENT followed by `(` is an atom.
                 let is_atom = matches!(self.toks.get(self.pos + 1), Some((Tok::LParen, _)));
                 if is_atom {
+                    let at = self.offset();
                     let Some(Tok::Ident(name)) = self.bump() else {
                         unreachable!()
                     };
                     let args = self.term_list()?;
-                    RawItem::Atom(name, args)
+                    RawItem::Atom(name, args, at)
                 } else {
                     self.comparison()?
                 }
@@ -312,6 +344,7 @@ impl<'a> Parser<'a> {
             head_name,
             head_args,
             body,
+            offset,
         })
     }
 
@@ -374,20 +407,22 @@ fn rule_to_cq(rule: &RawRule, schema: &Schema) -> Result<Cq, ParseError> {
     let mut neqs = Vec::new();
     for item in &rule.body {
         match item {
-            RawItem::Atom(name, args) => {
-                let rel = schema.rel_id(name).ok_or_else(|| ParseError {
-                    message: format!("unknown relation `{name}`"),
-                    offset: 0,
-                })?;
-                let arity = schema.relation(rel).expect("validated").arity();
+            RawItem::Atom(name, args, at) => {
+                let rel = schema
+                    .rel_id(name)
+                    .ok_or_else(|| ParseError::new(format!("unknown relation `{name}`"), *at))?;
+                let arity = schema
+                    .relation(rel)
+                    .map(|r| r.arity())
+                    .unwrap_or_else(|_| unreachable!("rel_id resolved above"));
                 if args.len() != arity {
-                    return Err(ParseError {
-                        message: format!(
+                    return Err(ParseError::new(
+                        format!(
                             "relation `{name}` expects {arity} arguments, got {}",
                             args.len()
                         ),
-                        offset: 0,
-                    });
+                        *at,
+                    ));
                 }
                 atoms.push(Atom::new(rel, args.iter().map(|t| scope.term(t)).collect()));
             }
@@ -407,6 +442,10 @@ fn rule_to_cq(rule: &RawRule, schema: &Schema) -> Result<Cq, ParseError> {
 
 /// Parse a single CQ rule.
 pub fn parse_cq(schema: &Schema, src: &str) -> Result<Cq, ParseError> {
+    parse_cq_inner(schema, src).map_err(|e| e.locate_in(src))
+}
+
+fn parse_cq_inner(schema: &Schema, src: &str) -> Result<Cq, ParseError> {
     let toks = tokenize(src)?;
     let mut p = Parser {
         toks,
@@ -415,16 +454,20 @@ pub fn parse_cq(schema: &Schema, src: &str) -> Result<Cq, ParseError> {
     };
     let rules = p.rules()?;
     if rules.len() != 1 {
-        return Err(ParseError {
-            message: format!("expected exactly one rule, found {}", rules.len()),
-            offset: 0,
-        });
+        return Err(ParseError::new(
+            format!("expected exactly one rule, found {}", rules.len()),
+            rules[1].offset,
+        ));
     }
     rule_to_cq(&rules[0], p.schema)
 }
 
 /// Parse a UCQ: one or more rules sharing one head predicate.
 pub fn parse_ucq(schema: &Schema, src: &str) -> Result<Ucq, ParseError> {
+    parse_ucq_inner(schema, src).map_err(|e| e.locate_in(src))
+}
+
+fn parse_ucq_inner(schema: &Schema, src: &str) -> Result<Ucq, ParseError> {
     let toks = tokenize(src)?;
     let mut p = Parser {
         toks,
@@ -433,22 +476,25 @@ pub fn parse_ucq(schema: &Schema, src: &str) -> Result<Ucq, ParseError> {
     };
     let rules = p.rules()?;
     let head = rules[0].head_name.clone();
-    if rules.iter().any(|r| r.head_name != head) {
-        return Err(ParseError {
-            message: "all UCQ rules must share one head predicate".into(),
-            offset: 0,
-        });
+    if let Some(odd) = rules.iter().find(|r| r.head_name != head) {
+        return Err(ParseError::new(
+            format!(
+                "all UCQ rules must share one head predicate (`{head}` vs `{}`)",
+                odd.head_name
+            ),
+            odd.offset,
+        ));
     }
     let disjuncts = rules
         .iter()
         .map(|r| rule_to_cq(r, schema))
         .collect::<Result<Vec<_>, _>>()?;
     let arity = disjuncts[0].head_arity();
-    if disjuncts.iter().any(|d| d.head_arity() != arity) {
-        return Err(ParseError {
-            message: "UCQ disjunct head arities differ".into(),
-            offset: 0,
-        });
+    if let Some(i) = disjuncts.iter().position(|d| d.head_arity() != arity) {
+        return Err(ParseError::new(
+            "UCQ disjunct head arities differ",
+            rules[i].offset,
+        ));
     }
     Ok(Ucq::new(disjuncts))
 }
@@ -456,6 +502,10 @@ pub fn parse_ucq(schema: &Schema, src: &str) -> Result<Ucq, ParseError> {
 /// Parse an FP (datalog) program. Head predicates and body predicates not in
 /// the schema become IDB predicates; `output` names the result predicate.
 pub fn parse_program(schema: &Schema, src: &str, output: &str) -> Result<Program, ParseError> {
+    parse_program_inner(schema, src, output).map_err(|e| e.locate_in(src))
+}
+
+fn parse_program_inner(schema: &Schema, src: &str, output: &str) -> Result<Program, ParseError> {
     let toks = tokenize(src)?;
     let mut p = Parser {
         toks,
@@ -469,14 +519,15 @@ pub fn parse_program(schema: &Schema, src: &str, output: &str) -> Result<Program
     let mut idb: BTreeMap<String, (PredId, usize)> = BTreeMap::new();
     let declare = |name: &str,
                    arity: usize,
+                   at: usize,
                    idb: &mut BTreeMap<String, (PredId, usize)>|
      -> Result<PredId, ParseError> {
         if let Some((id, a)) = idb.get(name) {
             if *a != arity {
-                return Err(ParseError {
-                    message: format!("predicate `{name}` used with arities {a} and {arity}"),
-                    offset: 0,
-                });
+                return Err(ParseError::new(
+                    format!("predicate `{name}` used with arities {a} and {arity}"),
+                    at,
+                ));
             }
             return Ok(*id);
         }
@@ -486,18 +537,18 @@ pub fn parse_program(schema: &Schema, src: &str, output: &str) -> Result<Program
     };
     for r in &raw {
         if schema.rel_id(&r.head_name).is_some() {
-            return Err(ParseError {
-                message: format!("head predicate `{}` is an EDB relation", r.head_name),
-                offset: 0,
-            });
+            return Err(ParseError::new(
+                format!("head predicate `{}` is an EDB relation", r.head_name),
+                r.offset,
+            ));
         }
-        declare(&r.head_name, r.head_args.len(), &mut idb)?;
+        declare(&r.head_name, r.head_args.len(), r.offset, &mut idb)?;
     }
     for r in &raw {
         for item in &r.body {
-            if let RawItem::Atom(name, args) = item {
+            if let RawItem::Atom(name, args, at) = item {
                 if schema.rel_id(name).is_none() {
-                    declare(name, args.len(), &mut idb)?;
+                    declare(name, args.len(), *at, &mut idb)?;
                 }
             }
         }
@@ -511,7 +562,7 @@ pub fn parse_program(schema: &Schema, src: &str, output: &str) -> Result<Program
         let mut body = Vec::new();
         for item in &r.body {
             match item {
-                RawItem::Atom(name, args) => {
+                RawItem::Atom(name, args, _) => {
                     let terms: Vec<Term> = args.iter().map(|t| scope.term(t)).collect();
                     if let Some(rel) = schema.rel_id(name) {
                         body.push(Literal::Edb(Atom::new(rel, terms)));
@@ -537,22 +588,29 @@ pub fn parse_program(schema: &Schema, src: &str, output: &str) -> Result<Program
         pred_names[id.0] = name.clone();
         arities[id.0] = *arity;
     }
-    let out_id = idb
-        .get(output)
-        .map(|(id, _)| *id)
-        .ok_or_else(|| ParseError {
-            message: format!("output predicate `{output}` not defined"),
-            offset: 0,
-        })?;
+    let out_id = idb.get(output).map(|(id, _)| *id).ok_or_else(|| {
+        ParseError::new(
+            format!("output predicate `{output}` not defined"),
+            usize::MAX,
+        )
+    })?;
     let program = Program {
         pred_names,
         arities,
         rules,
         output: out_id,
     };
-    program.validate().map_err(|e| ParseError {
-        message: e.to_string(),
-        offset: 0,
+    program.validate().map_err(|e| {
+        use crate::datalog::ProgramError as PE;
+        let rule = match &e {
+            PE::NotRangeRestricted { rule, .. }
+            | PE::ArityMismatch { rule, .. }
+            | PE::BodyTooLong { rule, .. } => *rule,
+        };
+        ParseError::new(
+            e.to_string(),
+            raw.get(rule).map_or(usize::MAX, |r| r.offset),
+        )
     })?;
     Ok(program)
 }
@@ -615,11 +673,61 @@ mod tests {
     #[test]
     fn errors_are_located() {
         let (s, _) = setup();
-        assert!(parse_cq(&s, "Q(X) :- Nope(X).").is_err());
-        assert!(parse_cq(&s, "Q(X) :- E(X).").is_err()); // arity
-        assert!(parse_cq(&s, "Q(X) :- E(X, Y)").is_err()); // missing dot
-        assert!(parse_cq(&s, "Q(X) :- E(X, 'unterminated.").is_err());
-        assert!(parse_ucq(&s, "Q(X) :- E(X, Y). P(X) :- E(X, Y).").is_err());
+        // Unknown relation: points at the `Nope` token.
+        let e = parse_cq(&s, "Q(X) :- Nope(X).").unwrap_err();
+        assert_eq!((e.offset, e.line, e.column), (8, 1, 9));
+        assert!(e.message.contains("Nope"), "{e}");
+        // Arity mismatch: points at the atom, not the start of the source.
+        let e = parse_cq(&s, "Q(X) :- E(X).").unwrap_err();
+        assert_eq!((e.offset, e.line, e.column), (8, 1, 9));
+        // Missing dot: end-of-input clamps to just past the last byte.
+        let src = "Q(X) :- E(X, Y)";
+        let e = parse_cq(&s, src).unwrap_err();
+        assert_eq!((e.offset, e.line, e.column), (src.len(), 1, src.len() + 1));
+        // Unterminated string: points at the opening quote.
+        let e = parse_cq(&s, "Q(X) :- E(X, 'unterminated.").unwrap_err();
+        assert_eq!((e.offset, e.line, e.column), (13, 1, 14));
+        // Lexer errors carry their token offset too.
+        let e = parse_cq(&s, "Q(X) :- E(X, Y), X ! Y.").unwrap_err();
+        assert_eq!((e.offset, e.line, e.column), (19, 1, 20));
+    }
+
+    #[test]
+    fn multiline_errors_report_line_and_column() {
+        let (s, _) = setup();
+        // Malformed CQ: the bad atom sits on line 3.
+        let src = "% a comment line\nQ(X) :-\n    E(X, Y), Nope(Y).";
+        let e = parse_cq(&s, src).unwrap_err();
+        assert_eq!((e.line, e.column), (3, 14));
+        assert_eq!(&src[e.offset..e.offset + 4], "Nope");
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 3, column 14 (byte 38): unknown relation `Nope`"
+        );
+        // Malformed UCQ: second rule changes the head predicate; the error
+        // points at that rule's head on line 2.
+        let src = "Q(X) :- E(X, Y).\nP(X) :- E(X, Y).";
+        let e = parse_ucq(&s, src).unwrap_err();
+        assert_eq!((e.line, e.column), (2, 1));
+        assert!(e.message.contains("head predicate"), "{e}");
+        // UCQ disjunct arity mismatch points at the offending rule.
+        let src = "Q(X) :- E(X, Y).\nQ(X, Y) :- E(X, Y).";
+        let e = parse_ucq(&s, src).unwrap_err();
+        assert_eq!((e.line, e.column), (2, 1));
+        // Malformed FP: a head predicate that is an EDB relation, on line 2.
+        let src = "Tc(X, Y) :- E(X, Y).\nE(X, Y) :- Tc(X, Y).";
+        let e = parse_program(&s, src, "Tc").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 1));
+        assert!(e.message.contains("EDB"), "{e}");
+        // FP validation errors (range restriction) map back to the rule.
+        let src = "Tc(X, Y) :- E(X, Y).\nTc(X, Z) :- E(X, Y).";
+        let e = parse_program(&s, src, "Tc").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("range-restricted"), "{e}");
+        // Undefined output predicate: no token to blame, clamps to EOF.
+        let src = "Tc(X, Y) :- E(X, Y).";
+        let e = parse_program(&s, src, "Missing").unwrap_err();
+        assert_eq!(e.offset, src.len());
     }
 
     #[test]

@@ -34,7 +34,7 @@ impl SingleRelTransform {
             .collect();
         attrs.push(Attribute::new("tag"));
         let target = Schema::from_relations(vec![RelationSchema::new("Rhat", attrs)])
-            .expect("single fresh relation");
+            .unwrap_or_else(|e| unreachable!("one fresh relation never collides: {e:?}"));
         SingleRelTransform {
             source: source.clone(),
             target,
@@ -46,7 +46,10 @@ impl SingleRelTransform {
     /// `f_D`: map an instance of the source schema to an instance of `R̂`.
     pub fn map_database(&self, db: &Database) -> Database {
         let mut out = Database::empty(&self.target);
-        let rhat = self.target.rel_id("Rhat").expect("target relation");
+        let rhat = self
+            .target
+            .rel_id("Rhat")
+            .unwrap_or_else(|| unreachable!("target schema has Rhat by construction"));
         for (rel, inst) in db.iter() {
             let tag = Value::int(rel.0 as i64 + 1);
             for t in inst.iter() {
@@ -62,7 +65,10 @@ impl SingleRelTransform {
     /// `f_Q`: rewrite a CQ over the source schema into one over `R̂`. Each
     /// source atom's missing columns become fresh existential variables.
     pub fn map_query(&self, q: &Cq) -> Cq {
-        let rhat = self.target.rel_id("Rhat").expect("target relation");
+        let rhat = self
+            .target
+            .rel_id("Rhat")
+            .unwrap_or_else(|| unreachable!("target schema has Rhat by construction"));
         let mut next = q.n_vars;
         let mut names = q.var_names.clone();
         names.resize(q.n_vars as usize, String::new());

@@ -32,7 +32,7 @@ pub fn to_rcdp_instance(phi: &ForallExists) -> (Setting, Query, Database) {
         RelationSchema::infinite("R5", &["zp", "z", "s"]), // selector I_c
         RelationSchema::infinite("R6", &["x"]),           // switch
     ])
-    .expect("fixed schema");
+    .unwrap_or_else(|e| unreachable!("fixed schema (compiled-in literal): {e:?}"));
     let mschema = Schema::from_relations(vec![
         RelationSchema::infinite("Rm1", &["x"]),
         RelationSchema::infinite("Rm2", &["a", "b", "c"]),
@@ -41,7 +41,7 @@ pub fn to_rcdp_instance(phi: &ForallExists) -> (Setting, Query, Database) {
         RelationSchema::infinite("Rm5", &["zp", "z", "s"]),
         RelationSchema::infinite("Rm6", &["x"]),
     ])
-    .expect("fixed master schema");
+    .unwrap_or_else(|e| unreachable!("fixed master schema (compiled-in literal): {e:?}"));
 
     let bools = [0i64, 1];
     let or_rows: Vec<[i64; 3]> = bools
@@ -65,7 +65,11 @@ pub fn to_rcdp_instance(phi: &ForallExists) -> (Setting, Query, Database) {
     let ic_rows: Vec<[i64; 3]> = vec![[0, 0, 1], [0, 1, 1], [1, 0, 0], [1, 1, 1]];
 
     let fill = |db: &mut Database, schema: &Schema, prefix: &str, switch: &[i64]| {
-        let rel = |n: &str| schema.rel_id(&format!("{prefix}{n}")).unwrap();
+        let rel = |n: &str| {
+            schema
+                .rel_id(&format!("{prefix}{n}"))
+                .unwrap_or_else(|| unreachable!("fixed relation"))
+        };
         for &b in &bools {
             db.insert(rel("1"), Tuple::new([Value::int(b)]));
         }
@@ -93,9 +97,15 @@ pub fn to_rcdp_instance(phi: &ForallExists) -> (Setting, Query, Database) {
     // V: R_i ⊆ R^m_i, full width — a fixed set of INDs.
     let mut v = ConstraintSet::empty();
     for i in 1..=6u32 {
-        let r = schema.rel_id(&format!("R{i}")).unwrap();
-        let rm = mschema.rel_id(&format!("Rm{i}")).unwrap();
-        let width = schema.arity(r).unwrap();
+        let r = schema
+            .rel_id(&format!("R{i}"))
+            .unwrap_or_else(|| unreachable!("fixed relation"));
+        let rm = mschema
+            .rel_id(&format!("Rm{i}"))
+            .unwrap_or_else(|| unreachable!("fixed relation"));
+        let width = schema
+            .arity(r)
+            .unwrap_or_else(|e| unreachable!("fixed relation: {e:?}"));
         let cols: Vec<usize> = (0..width).collect();
         v.push(ContainmentConstraint::into_master(
             CcBody::Proj(Projection::new(r, cols.clone())),
@@ -111,12 +121,24 @@ pub fn to_rcdp_instance(phi: &ForallExists) -> (Setting, Query, Database) {
 /// `Q(x̄) = π_x̄ ( R6(z′) × T(x̄, ȳ, z) × R5(z′, z, 1) )` with `T` the circuit
 /// evaluating the 3SAT matrix.
 fn build_query(schema: &Schema, phi: &ForallExists) -> Cq {
-    let r1 = schema.rel_id("R1").unwrap();
-    let r2 = schema.rel_id("R2").unwrap();
-    let r3 = schema.rel_id("R3").unwrap();
-    let r4 = schema.rel_id("R4").unwrap();
-    let r5 = schema.rel_id("R5").unwrap();
-    let r6 = schema.rel_id("R6").unwrap();
+    let r1 = schema
+        .rel_id("R1")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let r2 = schema
+        .rel_id("R2")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let r3 = schema
+        .rel_id("R3")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let r4 = schema
+        .rel_id("R4")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let r5 = schema
+        .rel_id("R5")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let r6 = schema
+        .rel_id("R6")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
     let n_all = phi.n_forall + phi.n_exists;
 
     let mut b = Cq::builder();

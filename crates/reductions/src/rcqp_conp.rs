@@ -38,14 +38,18 @@ pub fn to_rcqp_instance(phi: &Cnf) -> (Setting, Query) {
                 .collect(),
         ),
     ])
-    .expect("fixed schema");
+    .unwrap_or_else(|e| unreachable!("fixed schema (compiled-in literal): {e:?}"));
     let mschema = Schema::from_relations(vec![
         RelationSchema::infinite("Rmt", &["x", "nx"]),
         RelationSchema::infinite("Rmor", &["l1", "l2", "l3"]),
     ])
-    .expect("fixed master schema");
-    let rmt = mschema.rel_id("Rmt").unwrap();
-    let rmor = mschema.rel_id("Rmor").unwrap();
+    .unwrap_or_else(|e| unreachable!("fixed master schema (compiled-in literal): {e:?}"));
+    let rmt = mschema
+        .rel_id("Rmt")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let rmor = mschema
+        .rel_id("Rmor")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
     let mut dm = Database::empty(&mschema);
     dm.insert(rmt, Tuple::new([Value::int(0), Value::int(1)]));
     dm.insert(rmt, Tuple::new([Value::int(1), Value::int(0)]));
@@ -61,9 +65,15 @@ pub fn to_rcqp_instance(phi: &Cnf) -> (Setting, Query) {
             }
         }
     }
-    let rt = schema.rel_id("Rt").unwrap();
-    let ror = schema.rel_id("Ror").unwrap();
-    let r = schema.rel_id("R").unwrap();
+    let rt = schema
+        .rel_id("Rt")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let ror = schema
+        .rel_id("Ror")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let r = schema
+        .rel_id("R")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
     let v = ConstraintSet::new(vec![
         ContainmentConstraint::into_master(
             CcBody::Proj(Projection::new(rt, vec![0, 1])),

@@ -32,12 +32,18 @@ pub fn fixed_setting() -> Setting {
         RelationSchema::infinite("Work", &["emp", "task"]),
         RelationSchema::infinite("Cert", &["emp", "lvl"]),
     ])
-    .expect("fixed schema");
-    let work = schema.rel_id("Work").unwrap();
-    let cert = schema.rel_id("Cert").unwrap();
-    let mschema =
-        Schema::from_relations(vec![RelationSchema::infinite("Lvl", &["lvl"])]).expect("fixed");
-    let lvl = mschema.rel_id("Lvl").unwrap();
+    .unwrap_or_else(|e| unreachable!("fixed schema (compiled-in literal): {e:?}"));
+    let work = schema
+        .rel_id("Work")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let cert = schema
+        .rel_id("Cert")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let mschema = Schema::from_relations(vec![RelationSchema::infinite("Lvl", &["lvl"])])
+        .unwrap_or_else(|e| unreachable!("fixed (compiled-in literal): {e:?}"));
+    let lvl = mschema
+        .rel_id("Lvl")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
     let mut dm = Database::empty(&mschema);
     dm.insert(lvl, Tuple::new([Value::int(0)]));
     dm.insert(lvl, Tuple::new([Value::int(1)]));
@@ -59,7 +65,7 @@ pub fn fixed_setting() -> Setting {
 /// A relatively complete query of the family: everything about one employee.
 pub fn bounded_query(setting: &Setting, k: usize) -> Query {
     parse_cq(&setting.schema, &format!("Q(T) :- Work('e{k}', T)."))
-        .expect("well-formed query")
+        .unwrap_or_else(|e| unreachable!("well-formed query (compiled-in literal): {e:?}"))
         .into()
 }
 
@@ -69,7 +75,7 @@ pub fn unbounded_query(setting: &Setting, k: usize) -> Query {
         &setting.schema,
         &format!("Q(E, T) :- Work(E, T), Cert(E, L), L = {}.", k % 2),
     )
-    .expect("well-formed query")
+    .unwrap_or_else(|e| unreachable!("well-formed query (compiled-in literal): {e:?}"))
     .into()
 }
 

@@ -112,7 +112,8 @@ impl Cnf {
                         return false;
                     }
                     1 => {
-                        let l = unassigned.expect("counted one");
+                        let l = unassigned
+                            .unwrap_or_else(|| unreachable!("exactly one literal was unassigned"));
                         assignment[l.var] = Some(l.positive);
                         trail.push(l.var);
                         changed = true;
@@ -163,7 +164,9 @@ impl Cnf {
                 Clause(
                     (0..3)
                         .map(|_| {
-                            let var = *rng.choose(&vars).expect("nonempty");
+                            let var = *rng
+                                .choose(&vars)
+                                .unwrap_or_else(|| unreachable!("var pool is nonempty"));
                             if rng.random_bool(0.5) {
                                 Lit::pos(var)
                             } else {

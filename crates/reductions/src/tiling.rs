@@ -158,7 +158,8 @@ pub fn reduction_schema(n: u32) -> Schema {
         rels.push(RelationSchema::infinite(format!("R{i}"), &attrs));
     }
     rels.push(RelationSchema::infinite("Rb", &["b"]));
-    Schema::from_relations(rels).expect("fixed schema")
+    Schema::from_relations(rels)
+        .unwrap_or_else(|e| unreachable!("fixed schema (compiled-in literal): {e:?}"))
 }
 
 /// Build the full RCQP(CQ, CQ) instance of Theorem 4.5(2):
@@ -173,12 +174,20 @@ pub fn to_rcqp_instance(inst: &TilingInstance) -> (Setting, Query) {
         RelationSchema::infinite("RmH", &["left", "right"]),
         RelationSchema::infinite("Rmb", &["b"]),
     ])
-    .expect("fixed master schema");
+    .unwrap_or_else(|e| unreachable!("fixed master schema (compiled-in literal): {e:?}"));
     let mut dm = Database::empty(&mschema);
-    let rmt = mschema.rel_id("RmT").unwrap();
-    let rmv = mschema.rel_id("RmV").unwrap();
-    let rmh = mschema.rel_id("RmH").unwrap();
-    let rmb = mschema.rel_id("Rmb").unwrap();
+    let rmt = mschema
+        .rel_id("RmT")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let rmv = mschema
+        .rel_id("RmV")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let rmh = mschema
+        .rel_id("RmH")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let rmb = mschema
+        .rel_id("Rmb")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
     for t in 0..inst.n_tiles {
         dm.insert(rmt, Tuple::new([Value::int(t as i64)]));
     }
@@ -198,7 +207,9 @@ pub fn to_rcqp_instance(inst: &TilingInstance) -> (Setting, Query) {
 
     let mut v = ConstraintSet::empty();
     for i in 1..=n {
-        let ri = schema.rel_id(&format!("R{i}")).unwrap();
+        let ri = schema
+            .rel_id(&format!("R{i}"))
+            .unwrap_or_else(|| unreachable!("fixed relation"));
         let arity = rank_arity(i);
         // id is a key.
         let fd = ric_constraints::Fd::new(ri, vec![0], (1..arity).collect());
@@ -235,7 +246,7 @@ pub fn to_rcqp_instance(inst: &TilingInstance) -> (Setting, Query) {
                 &schema,
                 &format!("Q(I, A, B, C, D, Z) :- {name}(I, A, B, C, D, Z), A != Z."),
             )
-            .expect("topl CC");
+            .unwrap_or_else(|e| unreachable!("topl CC is a compiled-in literal: {e:?}"));
             v.push(ContainmentConstraint::into_empty(CcBody::Cq(topl)));
         } else {
             // Geometric consistency of the seams. For each auxiliary id and
@@ -253,7 +264,9 @@ pub fn to_rcqp_instance(inst: &TilingInstance) -> (Setting, Query) {
                 (8, [(3, 2), (4, 1), (3, 4), (4, 3)]), // id34
                 (9, [(1, 4), (2, 3), (3, 2), (4, 1)]), // id1234
             ];
-            let prev = schema.rel_id(&format!("R{}", i - 1)).unwrap();
+            let prev = schema
+                .rel_id(&format!("R{}", i - 1))
+                .unwrap_or_else(|| unreachable!("fixed relation"));
             let prev_arity = rank_arity(i - 1);
             for (aux_col, fields) in patterns {
                 for (aux_field, (quadrant, quad_field)) in fields.iter().enumerate() {
@@ -279,7 +292,9 @@ pub fn to_rcqp_instance(inst: &TilingInstance) -> (Setting, Query) {
     v.push(releasing_cc(&schema, inst, rmb));
 
     let setting = Setting::new(schema.clone(), mschema, dm, v);
-    let rb = schema.rel_id("Rb").unwrap();
+    let rb = schema
+        .rel_id("Rb")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
     let mut b = Cq::builder();
     let w = b.var("w");
     let q = b.atom(rb, vec![Term::Var(w)]).head_vars(vec![w]).build();
@@ -350,7 +365,9 @@ fn releasing_cc(
 ) -> ContainmentConstraint {
     let mut b = Cq::builder();
     let w = b.var("w");
-    let rb = schema.rel_id("Rb").unwrap();
+    let rb = schema
+        .rel_id("Rb")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
     // Recursively collect the trace atoms: a rank-i tuple whose nine sub-ids
     // (four quadrants + five seams for i ≥ 2) all resolve to traced
     // rank-(i-1) tuples; `eqs` wires each child's id field to the parent's
@@ -363,7 +380,9 @@ fn releasing_cc(
         i: u32,
         tag: &str,
     ) -> Vec<ric_query::Var> {
-        let ri = schema.rel_id(&format!("R{i}")).unwrap();
+        let ri = schema
+            .rel_id(&format!("R{i}"))
+            .unwrap_or_else(|| unreachable!("fixed relation"));
         let arity = rank_arity(i);
         let vars: Vec<_> = (0..arity).map(|c| b.var(&format!("{tag}_{c}"))).collect();
         atoms.push((ri, vars.clone()));
@@ -402,7 +421,9 @@ pub fn tiling_witness(schema: &Schema, inst: &TilingInstance, grid: &[usize]) ->
     let mut db = Database::empty(schema);
     let id = |i: u32, r: usize, c: usize| Value::str(format!("h{i}_{r}_{c}"));
     for i in 1..=inst.n {
-        let ri = schema.rel_id(&format!("R{i}")).unwrap();
+        let ri = schema
+            .rel_id(&format!("R{i}"))
+            .unwrap_or_else(|| unreachable!("fixed relation"));
         let size = 1usize << i;
         let step = size / 2;
         let mut r = 0;
@@ -442,7 +463,9 @@ pub fn tiling_witness(schema: &Schema, inst: &TilingInstance, grid: &[usize]) ->
             r += step;
         }
     }
-    let rb = schema.rel_id("Rb").unwrap();
+    let rb = schema
+        .rel_id("Rb")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
     db.insert(rb, Tuple::new([Value::int(0)]));
     db
 }

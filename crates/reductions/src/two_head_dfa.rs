@@ -181,15 +181,21 @@ pub fn reduction_schema() -> Schema {
         RelationSchema::infinite("Pbar", &["pos"]),
         RelationSchema::infinite("F", &["pos", "succ"]),
     ])
-    .expect("fixed schema")
+    .unwrap_or_else(|e| unreachable!("fixed schema (compiled-in literal): {e:?}"))
 }
 
 /// Encode a word as a well-formed `(P, P̄, F)` database: positions `0..n`,
 /// `F` the successor with the final self-loop `(n, n)`.
 pub fn encode_word(schema: &Schema, word: &[bool]) -> Database {
-    let p = schema.rel_id("P").expect("P");
-    let pbar = schema.rel_id("Pbar").expect("Pbar");
-    let f = schema.rel_id("F").expect("F");
+    let p = schema
+        .rel_id("P")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let pbar = schema
+        .rel_id("Pbar")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let f = schema
+        .rel_id("F")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
     let mut db = Database::empty(schema);
     for (i, &bit) in word.iter().enumerate() {
         let rel = if bit { p } else { pbar };
@@ -210,16 +216,19 @@ pub fn encode_word(schema: &Schema, word: &[bool]) -> Database {
 /// the automaton.
 pub fn to_rcdp_instance(dfa: &TwoHeadDfa) -> (Setting, Query, Database) {
     let schema = reduction_schema();
-    let mschema =
-        Schema::from_relations(vec![RelationSchema::infinite("Rm1", &["x"])]).expect("fixed");
+    let mschema = Schema::from_relations(vec![RelationSchema::infinite("Rm1", &["x"])])
+        .unwrap_or_else(|e| unreachable!("fixed (compiled-in literal): {e:?}"));
     let dm = Database::empty(&mschema);
 
     // V1: P and P̄ are disjoint.
-    let v1 = parse_cq(&schema, "Q(X) :- P(X), Pbar(X).").expect("V1");
+    let v1 = parse_cq(&schema, "Q(X) :- P(X), Pbar(X).")
+        .unwrap_or_else(|e| unreachable!("V1 is a compiled-in literal: {e:?}"));
     // V2: F is a function.
-    let v2 = parse_cq(&schema, "Q(X, Y, Z) :- F(X, Y), F(X, Z), Y != Z.").expect("V2");
+    let v2 = parse_cq(&schema, "Q(X, Y, Z) :- F(X, Y), F(X, Z), Y != Z.")
+        .unwrap_or_else(|e| unreachable!("V2 is a compiled-in literal: {e:?}"));
     // V3: at most one final self-loop.
-    let v3 = parse_cq(&schema, "Q(X, Y) :- F(X, X), F(Y, Y), X != Y.").expect("V3");
+    let v3 = parse_cq(&schema, "Q(X, Y) :- F(X, X), F(Y, Y), X != Y.")
+        .unwrap_or_else(|e| unreachable!("V3 is a compiled-in literal: {e:?}"));
     let v = ConstraintSet::new(vec![
         ContainmentConstraint::into_empty(CcBody::Cq(v1)),
         ContainmentConstraint::into_empty(CcBody::Cq(v2)),
@@ -235,9 +244,15 @@ pub fn to_rcdp_instance(dfa: &TwoHeadDfa) -> (Setting, Query, Database) {
 /// over configurations `(state, pos1, pos2)`; `Q() ← Reach(qacc, ·, ·),
 /// F(0, ·), F(w, w)` adds the `Q_ini ∧ Q_fin` well-formedness checks.
 pub fn reachability_program(schema: &Schema, dfa: &TwoHeadDfa) -> Program {
-    let p_rel = schema.rel_id("P").expect("P");
-    let pbar_rel = schema.rel_id("Pbar").expect("Pbar");
-    let f_rel = schema.rel_id("F").expect("F");
+    let p_rel = schema
+        .rel_id("P")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let pbar_rel = schema
+        .rel_id("Pbar")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let f_rel = schema
+        .rel_id("F")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
     let reach = PredId(0);
     let out = PredId(1);
     let mut rules = Vec::new();
@@ -339,7 +354,7 @@ pub fn reachability_program(schema: &Schema, dfa: &TwoHeadDfa) -> Program {
     };
     program
         .validate()
-        .expect("reduction program is range-restricted");
+        .unwrap_or_else(|e| unreachable!("reduction program is range-restricted: {e:?}"));
     program
 }
 

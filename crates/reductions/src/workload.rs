@@ -53,11 +53,15 @@ pub fn crm_setting(n_customers: usize) -> Setting {
         "Supt",
         &["eid", "dept", "cid"],
     )])
-    .expect("fixed schema");
-    let supt = schema.rel_id("Supt").unwrap();
-    let mschema =
-        Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).expect("fixed");
-    let dcust = mschema.rel_id("DCust").unwrap();
+    .unwrap_or_else(|e| unreachable!("fixed schema (compiled-in literal): {e:?}"));
+    let supt = schema
+        .rel_id("Supt")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
+    let mschema = Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])])
+        .unwrap_or_else(|e| unreachable!("fixed (compiled-in literal): {e:?}"));
+    let dcust = mschema
+        .rel_id("DCust")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
     let mut dm = Database::empty(&mschema);
     for c in 0..n_customers {
         dm.insert(dcust, Tuple::new([Value::str(format!("c{c}"))]));
@@ -79,9 +83,12 @@ pub fn planted_rcdp(
     rng: &mut SplitMix64,
 ) -> PlantedInstance {
     let setting = crm_setting(params.n_customers);
-    let supt = setting.schema.rel_id("Supt").unwrap();
+    let supt = setting
+        .schema
+        .rel_id("Supt")
+        .unwrap_or_else(|| unreachable!("fixed relation"));
     let query: Query = parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).")
-        .expect("fixed query")
+        .unwrap_or_else(|e| unreachable!("fixed query (compiled-in literal): {e:?}"))
         .into();
     let mut db = Database::empty(&setting.schema);
     let customers: Vec<String> = (0..params.n_customers).map(|c| format!("c{c}")).collect();
@@ -101,7 +108,9 @@ pub fn planted_rcdp(
     // the e0 query: their cids are master customers).
     for _ in 0..params.n_support {
         let e = rng.random_range(1..params.n_employees.max(2));
-        let c = rng.choose(&customers).expect("nonempty");
+        let c = rng
+            .choose(&customers)
+            .unwrap_or_else(|| unreachable!("var pool is nonempty"));
         db.insert(
             supt,
             Tuple::new([
@@ -126,11 +135,11 @@ pub fn planted_rcqp(n_customers: usize, nonempty: bool) -> (Setting, Query, bool
     let setting = crm_setting(n_customers);
     let query: Query = if nonempty {
         parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).")
-            .expect("fixed")
+            .unwrap_or_else(|e| unreachable!("fixed (compiled-in literal): {e:?}"))
             .into()
     } else {
         parse_cq(&setting.schema, "Q(E) :- Supt(E, D, C).")
-            .expect("fixed")
+            .unwrap_or_else(|e| unreachable!("fixed (compiled-in literal): {e:?}"))
             .into()
     };
     (setting, query, nonempty)

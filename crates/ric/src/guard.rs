@@ -26,7 +26,7 @@ use ric_telemetry::{Collector, Probe, TeeSink};
 /// cancellation all degrade to `Unknown` inside the `Ok` channel. This type
 /// covers the two genuinely exceptional cases: a typed decider error
 /// ([`RcError`]) and a panic caught at the facade boundary.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum DecisionError {
     /// The decider returned a typed error (bad program, schema mismatch, …).
     Rc(RcError),
@@ -37,6 +37,10 @@ pub enum DecisionError {
         /// Telemetry decision-path notes recorded before the panic.
         notes: Vec<String>,
     },
+    /// Static analysis found Error-level diagnostics; the decision never
+    /// started. The full [`AnalysisReport`](ric_analysis::AnalysisReport)
+    /// is attached — `report.errors()` lists what must be fixed.
+    Rejected(Box<ric_analysis::AnalysisReport>),
 }
 
 impl std::fmt::Display for DecisionError {
@@ -45,6 +49,13 @@ impl std::fmt::Display for DecisionError {
             DecisionError::Rc(e) => write!(f, "{e}"),
             DecisionError::Panic { message, .. } => {
                 write!(f, "decision panicked: {message}")
+            }
+            DecisionError::Rejected(report) => {
+                write!(f, "setting rejected by static analysis:")?;
+                for d in report.errors() {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
         }
     }

@@ -50,7 +50,13 @@
 //!   paradigms;
 //! * [`telemetry`] — the [`Probe`]/[`Sink`] observability layer: attach a
 //!   [`Collector`] to `rcdp_probed`/`rcqp_probed` for counters, span
-//!   timings, and decision notes (see `examples/observe_search.rs`).
+//!   timings, and decision notes (see `examples/observe_search.rs`);
+//! * [`analysis`] — the static pass in front of the deciders: typed
+//!   diagnostics (`RIC001`…) and certified minimal-fragment classification.
+//!   [`analyze`] produces the [`AnalysisReport`]; [`try_rcdp_analyzed`] /
+//!   [`try_rcqp_analyzed`] reject Error-level settings and dispatch
+//!   certified downgrades to the cheapest Table I/II cell (see
+//!   `examples/analyze_setting.rs` and DESIGN.md §9).
 //!
 //! ## Robustness
 //!
@@ -63,13 +69,19 @@
 //! See `examples/guarded_decisions.rs` and the "Robustness & degradation
 //! semantics" section of `DESIGN.md`.
 
+mod analyzed;
 mod guard;
 
+pub use analyzed::{
+    analyze, try_rcdp_analyzed, try_rcdp_analyzed_probed, try_rcqp_analyzed,
+    try_rcqp_analyzed_probed,
+};
 pub use guard::{
     try_rcdp, try_rcdp_guarded, try_rcdp_probed, try_rcqp, try_rcqp_guarded, try_rcqp_probed,
     DecisionError,
 };
 
+pub use ric_analysis as analysis;
 pub use ric_complete as complete;
 pub use ric_constraints as constraints;
 pub use ric_data as data;
@@ -78,6 +90,7 @@ pub use ric_query as query;
 pub use ric_reductions as reductions;
 pub use ric_telemetry as telemetry;
 
+pub use ric_analysis::{AnalysisReport, Classification, Code, Diagnostic, Pointer, Severity};
 pub use ric_complete::{
     rcdp, rcdp_guarded, rcdp_probed, rcqp, rcqp_guarded, rcqp_probed, BudgetLimit, CancelToken,
     Engine, FaultPlan, Guard, Interrupt, MeterKind, Query, QueryVerdict, RcError, SearchBudget,
@@ -90,10 +103,15 @@ pub use ric_telemetry::{
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::analyzed::{
+        analyze, try_rcdp_analyzed, try_rcdp_analyzed_probed, try_rcqp_analyzed,
+        try_rcqp_analyzed_probed,
+    };
     pub use crate::guard::{
         try_rcdp, try_rcdp_guarded, try_rcdp_probed, try_rcqp, try_rcqp_guarded, try_rcqp_probed,
         DecisionError,
     };
+    pub use ric_analysis::{AnalysisReport, Code, Diagnostic, Pointer, Severity};
     pub use ric_complete::{
         rcdp, rcdp_guarded, rcdp_probed, rcqp, rcqp_guarded, rcqp_probed, BudgetLimit, CancelToken,
         CounterExample, Engine, FaultPlan, Guard, Interrupt, MeterKind, Query, QueryVerdict,

@@ -8,10 +8,17 @@
 #   4. parallel scheduler     (cargo test --test par_differential,
 #                              then a RIC_WORKERS=1 / RIC_WORKERS=4 matrix)
 #   5. paper properties       (cargo test --test paper_properties)
-#   6. full test suite        (cargo test -q -- --include-ignored)
-#   7. formatting             (cargo fmt --check)
-#   8. lints                  (cargo clippy --all-targets -D warnings)
-#   9. lints, workspace       (cargo clippy --workspace -D warnings)
+#   6. static analysis        (cargo test -p ric-analysis,
+#                              cargo test --test analysis_properties)
+#   7. bench artifacts        (regen_tables --deadline-ms guard; the run
+#                              fails if any shipped workload draws an
+#                              Error-level analyzer diagnostic)
+#   8. full test suite        (cargo test -q -- --include-ignored)
+#   9. formatting             (cargo fmt --check)
+#  10. lints                  (cargo clippy --all-targets -D warnings)
+#  11. lints, workspace       (cargo clippy --workspace -D warnings)
+#  12. lints, unwrap ban      (clippy -D clippy::unwrap_used/expect_used on
+#                              library code; tests are exempt via clippy.toml)
 #
 # Everything runs with --offline: the default build has zero third-party
 # dependencies, so no network access is ever required. The proptest suites
@@ -49,6 +56,18 @@ done
 step "paper-property suite (monotonicity, C1-C4, witnesses, Prop 2.1)"
 cargo test -q --offline --test paper_properties
 
+step "static analysis suite (diagnostics, certified downgrades, gated dispatch)"
+cargo test -q --offline -p ric-analysis
+cargo test -q --offline --test analysis_properties
+
+# Regenerate the bench artifacts under a wall-clock guard. regen_tables runs
+# every shipped workload through the analyzer first and exits nonzero on any
+# Error-level diagnostic, so a broken bench setting fails CI here rather than
+# silently producing garbage artifacts.
+step "bench artifact regeneration (BENCH_*.json, deadline-guarded)"
+cargo run -q --release --offline -p ric-bench --bin regen_tables -- --deadline-ms 15000 \
+  > /dev/null
+
 step "tests (full: --include-ignored picks up the heavy instances)"
 cargo test -q --offline -- --include-ignored
 
@@ -64,5 +83,12 @@ cargo clippy --all-targets --offline -- -D warnings
 # fails CI even if target filtering above changes).
 step "clippy (workspace libraries, warnings are errors)"
 cargo clippy --workspace --offline -- -D warnings
+
+# Library code must not unwrap/expect: every invariant is either a typed
+# error or an explicit unreachable!() with its justification. Tests keep
+# unwrap ergonomics via clippy.toml (allow-unwrap-in-tests/expect-in-tests).
+step "clippy (unwrap/expect ban on library code)"
+cargo clippy --offline -p ric-complete -p ric -- \
+  -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 printf '\nci.sh: all checks passed\n'

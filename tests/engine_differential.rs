@@ -366,6 +366,103 @@ fn rcqp_verdicts_agree_across_engines() {
     }
 }
 
+/// Two schemas using the *same relation names* must stay fully independent
+/// inside one process. The string interner is process-global (equal names
+/// share one allocation) and `Database::active_domain()` is cached — this
+/// pins down that neither mechanism leaks state across schemas: `RelId`s are
+/// per-schema, active domains are per-database, and the `index.probe`
+/// telemetry counter of a decision is unchanged by interleaved decisions
+/// over the colliding schema (the counter is a per-thread snapshot delta,
+/// not a shared total).
+#[test]
+fn colliding_relation_names_do_not_cross_contaminate() {
+    // Schema 1: the suite's R(a,b), S(a). Schema 2 reuses both names with
+    // different arities and positions.
+    let s1 = schema();
+    let s2 = Schema::from_relations(vec![
+        RelationSchema::infinite("S", &["x", "y", "z"]),
+        RelationSchema::infinite("R", &["x"]),
+    ])
+    .unwrap();
+    assert_ne!(s1.rel_id("R"), s2.rel_id("R"), "RelIds must be per-schema");
+
+    let mut db1 = Database::empty(&s1);
+    db1.insert(
+        s1.rel_id("R").unwrap(),
+        Tuple::new([Value::str("shared"), Value::str("only-one")]),
+    );
+    let mut db2 = Database::empty(&s2);
+    db2.insert(
+        s2.rel_id("R").unwrap(),
+        Tuple::new([Value::str("only-two")]),
+    );
+    db2.insert(
+        s2.rel_id("S").unwrap(),
+        Tuple::new([
+            Value::str("shared"),
+            Value::str("only-two"),
+            Value::str("only-two"),
+        ]),
+    );
+
+    // Interleave cache fills: each database sees exactly its own constants,
+    // even though "shared" is one process-global interned allocation.
+    assert!(db1.active_domain().contains(&Value::str("shared")));
+    assert!(db2.active_domain().contains(&Value::str("shared")));
+    assert!(db1.active_domain().contains(&Value::str("only-one")));
+    assert!(!db1.active_domain().contains(&Value::str("only-two")));
+    assert!(db2.active_domain().contains(&Value::str("only-two")));
+    assert!(!db2.active_domain().contains(&Value::str("only-one")));
+    // Mutation drops the cache instead of serving stale contents.
+    db1.insert(s1.rel_id("S").unwrap(), Tuple::new([Value::str("late")]));
+    assert!(db1.active_domain().contains(&Value::str("late")));
+    assert!(!db2.active_domain().contains(&Value::str("late")));
+
+    // Index/probe telemetry isolation: measure a decision on setting 1,
+    // then run a decision over the colliding schema, then re-measure. The
+    // per-decision `index.probe` figure must be identical.
+    let mut rng = SplitMix64::seed_from_u64(0xC011);
+    let setting1 = random_setting(&mut rng);
+    let db = random_db(&mut rng, 4, 6, 4);
+    let q: Query = parse_cq(&schema(), "Q(X) :- R(X, Y), S(Y).")
+        .unwrap()
+        .into();
+    let budget = SearchBudget::default().with_engine(Engine::Indexed);
+    let measure = || {
+        let collector = Collector::new();
+        rcdp_probed(&setting1, &q, &db, &budget, Probe::attached(&collector)).unwrap();
+        collector.report().counter("index.probe")
+    };
+    let before = measure();
+
+    // Noise: a full decision over the colliding schema, probing db2 indexes.
+    let m2 = Schema::from_relations(vec![RelationSchema::infinite("M", &["x"])]).unwrap();
+    let mut dm2 = Database::empty(&m2);
+    dm2.insert(
+        m2.rel_id("M").unwrap(),
+        Tuple::new([Value::str("only-two")]),
+    );
+    let setting2 = Setting::new(
+        s2.clone(),
+        m2.clone(),
+        dm2,
+        ConstraintSet::new(vec![ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(s2.rel_id("R").unwrap(), vec![0])),
+            m2.rel_id("M").unwrap(),
+            vec![0],
+        )]),
+    );
+    let q2: Query = parse_cq(&s2, "Q(A) :- S(A, B, C), R(A).").unwrap().into();
+    let collector = Collector::new();
+    rcdp_probed(&setting2, &q2, &db2, &budget, Probe::attached(&collector)).unwrap();
+
+    let after = measure();
+    assert_eq!(
+        before, after,
+        "index.probe telemetry leaked across colliding schemas"
+    );
+}
+
 /// FO/FP settings route through the bounded semi-decision; its verdicts must
 /// also be engine-independent.
 #[test]
