@@ -113,11 +113,12 @@ fn print_table(title: &str, cells: &[Cell]) {
     }
 }
 
-fn write_table(path: &str, table: &str, title: &str, cells: &[Cell]) {
+fn write_table(path: &str, table: &str, title: &str, cells: &[Cell], meta: &Json) {
     let doc = Json::obj([
         ("table", Json::from(table)),
         ("title", Json::from(title)),
         ("source", Json::from("regen_tables")),
+        ("meta", meta.clone()),
         ("cells", Json::arr(cells.iter().map(Cell::to_json))),
     ]);
     match std::fs::write(path, format!("{}\n", doc.pretty())) {
@@ -144,6 +145,9 @@ struct Invocation {
     engine: Engine,
     /// Worker-pool size for the parallel engine and the scaling suite.
     workers: usize,
+    /// Stream a JSONL decision trace of representative decisions to this
+    /// path (`--trace FILE`), for `ric-trace` to render offline.
+    trace: Option<String>,
 }
 
 /// Parse the invocation. Invalid values are rejected loudly rather than
@@ -153,6 +157,7 @@ fn parse_invocation() -> Invocation {
     let mut ms: Option<String> = None;
     let mut engine_arg: Option<String> = None;
     let mut workers_arg: Option<String> = None;
+    let mut trace: Option<String> = None;
     while let Some(arg) = args.next() {
         if arg == "--deadline-ms" {
             ms = Some(args.next().unwrap_or_default());
@@ -166,13 +171,21 @@ fn parse_invocation() -> Invocation {
             workers_arg = Some(args.next().unwrap_or_default());
         } else if let Some(v) = arg.strip_prefix("--workers=") {
             workers_arg = Some(v.to_string());
+        } else if arg == "--trace" {
+            trace = Some(args.next().unwrap_or_default());
+        } else if let Some(v) = arg.strip_prefix("--trace=") {
+            trace = Some(v.to_string());
         } else {
             eprintln!(
                 "usage: regen_tables [--deadline-ms N] \
-                 [--engine naive|indexed|parallel] [--workers N]"
+                 [--engine naive|indexed|parallel] [--workers N] [--trace FILE]"
             );
             std::process::exit(2);
         }
+    }
+    if trace.as_deref() == Some("") {
+        eprintln!("regen_tables: --trace expects an output path");
+        std::process::exit(2);
     }
     let workers = match workers_arg.as_deref().map(str::parse::<usize>) {
         None => 4,
@@ -206,7 +219,40 @@ fn parse_invocation() -> Invocation {
         deadline,
         engine,
         workers,
+        trace,
     }
+}
+
+/// Version of the artifact layout. Bump when a key is renamed or removed;
+/// additions are backwards-compatible and do not bump it.
+const ARTIFACT_SCHEMA_VERSION: u64 = 1;
+
+/// The provenance block stamped into every `BENCH_*.json` artifact: how the
+/// run was invoked and which tree produced it, so two artifacts can be
+/// compared (`ric-trace diff`) without guessing at their origins. `git`
+/// degrades to `"unknown"` outside a checkout.
+fn meta_json(inv: &Invocation) -> Json {
+    let git = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .filter(|describe| !describe.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    Json::obj([
+        ("schema_version", Json::from(ARTIFACT_SCHEMA_VERSION)),
+        ("engine", Json::from(inv.engine.to_string())),
+        ("workers", Json::from(inv.workers)),
+        (
+            "deadline_ms",
+            match inv.deadline {
+                Some(d) => Json::from(d.as_millis()),
+                None => Json::Null,
+            },
+        ),
+        ("git", Json::from(git)),
+    ])
 }
 
 /// Apply the run-wide deadline and engine choice to a cell's budget.
@@ -804,9 +850,10 @@ fn print_par_suite(cells: &[ParCell], workers: usize, median: f64) {
     println!("median speedup at largest size: {median:.1}x");
 }
 
-fn write_par_suite(path: &str, cells: &[ParCell], workers: usize, median: f64) {
+fn write_par_suite(path: &str, cells: &[ParCell], workers: usize, median: f64, meta: &Json) {
     let doc = Json::obj([
         ("source", Json::from("regen_tables")),
+        ("meta", meta.clone()),
         (
             "engines",
             Json::arr(["indexed", "parallel"].map(Json::from)),
@@ -842,9 +889,10 @@ fn print_engine_suite(cells: &[EngineCell], median: f64) {
     println!("median speedup at largest size: {median:.1}x");
 }
 
-fn write_engine_suite(path: &str, cells: &[EngineCell], median: f64) {
+fn write_engine_suite(path: &str, cells: &[EngineCell], median: f64, meta: &Json) {
     let doc = Json::obj([
         ("source", Json::from("regen_tables")),
+        ("meta", meta.clone()),
         ("engines", Json::arr(["naive", "indexed"].map(Json::from))),
         ("cells", Json::arr(cells.iter().map(EngineCell::to_json))),
         ("median_speedup_at_largest", Json::from(median)),
@@ -971,7 +1019,8 @@ fn analysis_suite(inv: &Invocation) -> Vec<AnalysisCell> {
         let start = Instant::now();
         let va =
             try_rcdp_analyzed_probed(&setting, &query, &db, &budget, Probe::attached(&collector))
-                .expect("analyzer-gated decision");
+                .expect("analyzer-gated decision")
+                .verdict;
         let analyzed_us = start.elapsed().as_micros();
 
         cells.push(AnalysisCell {
@@ -1038,9 +1087,10 @@ fn print_analysis_suite(cells: &[AnalysisCell], median: f64) {
     println!("median speedup at largest size: {median:.1}x");
 }
 
-fn write_analysis_suite(path: &str, cells: &[AnalysisCell], median: f64) {
+fn write_analysis_suite(path: &str, cells: &[AnalysisCell], median: f64, meta: &Json) {
     let doc = Json::obj([
         ("source", Json::from("regen_tables")),
+        ("meta", meta.clone()),
         (
             "dispatches",
             Json::arr(["fo_cell", "analyzed"].map(Json::from)),
@@ -1092,9 +1142,98 @@ fn main() {
     );
     print_par_suite(&par_cells, inv.workers, par_median);
     println!();
-    write_table("BENCH_TABLE1.json", "I", "RCDP(L_Q, L_C)", &t1);
-    write_table("BENCH_TABLE2.json", "II", "RCQP(L_Q, L_C)", &t2);
-    write_engine_suite("BENCH_ENGINE.json", &engine_cells, median);
-    write_par_suite("BENCH_PAR.json", &par_cells, inv.workers, par_median);
-    write_analysis_suite("BENCH_ANALYSIS.json", &analysis_cells, analysis_median);
+    let meta = meta_json(&inv);
+    write_table("BENCH_TABLE1.json", "I", "RCDP(L_Q, L_C)", &t1, &meta);
+    write_table("BENCH_TABLE2.json", "II", "RCQP(L_Q, L_C)", &t2, &meta);
+    write_engine_suite("BENCH_ENGINE.json", &engine_cells, median, &meta);
+    write_par_suite("BENCH_PAR.json", &par_cells, inv.workers, par_median, &meta);
+    write_analysis_suite(
+        "BENCH_ANALYSIS.json",
+        &analysis_cells,
+        analysis_median,
+        &meta,
+    );
+    if let Some(path) = &inv.trace {
+        write_trace(path, &inv);
+    }
+}
+
+/// Stream a JSONL decision trace to `path`: a handful of representative
+/// decisions run through the `try_` facade with one shared [`TraceState`]
+/// attached, so each decision appears as one root `decision` span with
+/// monotonically increasing span ids. This is the input format of the
+/// `ric-trace` CLI (`tree` / `prune` / `diff`).
+fn write_trace(path: &str, inv: &Invocation) {
+    use ric::{JsonlSink, TraceState};
+
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("could not create {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let sink = JsonlSink::new(file);
+    let trace = TraceState::new();
+    let budget = bounded(SearchBudget::default(), inv);
+    let mut rng = SplitMix64::seed_from_u64(7);
+    let params = WorkloadParams {
+        n_customers: 12,
+        n_employees: 3,
+        n_support: 24,
+    };
+    let inst = planted_rcdp(&params, false, &mut rng);
+    let mut decisions = 0usize;
+    let mut run = |what: &str, outcome: Result<(), String>| match outcome {
+        Ok(()) => decisions += 1,
+        Err(e) => eprintln!("regen_tables: traced {what} failed: {e}"),
+    };
+
+    // Decision 1: the planted RCDP workload under the invocation's engine —
+    // the typical sequential trace with depth profile and cc attribution.
+    run(
+        "rcdp",
+        try_rcdp_probed(
+            &inst.setting,
+            &inst.query,
+            &inst.db,
+            &budget,
+            Probe::attached(&sink).with_trace(&trace),
+        )
+        .map(drop)
+        .map_err(|e| e.to_string()),
+    );
+
+    // Decision 2: the same decision under the parallel engine — adds the
+    // per-worker chunk timeline notes and the merged chunk profile.
+    let par_budget = budget.with_engine(Engine::parallel(inv.workers));
+    run(
+        "parallel rcdp",
+        try_rcdp_probed(
+            &inst.setting,
+            &inst.query,
+            &inst.db,
+            &par_budget,
+            Probe::attached(&sink).with_trace(&trace),
+        )
+        .map(drop)
+        .map_err(|e| e.to_string()),
+    );
+
+    // Decision 3: RCQP on the same setting — the candidate-search span
+    // family, and on tight budgets an `explain.frontier` narration.
+    run(
+        "rcqp",
+        try_rcqp_probed(
+            &inst.setting,
+            &inst.query,
+            &budget,
+            Probe::attached(&sink).with_trace(&trace),
+        )
+        .map(drop)
+        .map_err(|e| e.to_string()),
+    );
+
+    sink.flush();
+    println!("wrote {path} ({decisions} traced decisions)");
 }

@@ -1,0 +1,488 @@
+//! `ric-trace` — render, summarize, and diff decision trace files.
+//!
+//! The `try_` facade entry points and `regen_tables --trace FILE` stream
+//! decision telemetry as JSONL (one [`ric::Event`] per line, the
+//! [`ric::JsonlSink`] schema). This CLI rebuilds those streams offline:
+//!
+//! * `ric-trace tree FILE` — render every decision in the file as a
+//!   flamegraph-style text tree (one root `decision` span per decision,
+//!   children indented, both timebases per span), followed by the decision's
+//!   outcome/limit notes. The stream is segmented on root `span_open` lines,
+//!   and every segment must satisfy the decision-trace contract (exactly one
+//!   root, every span closed) — a malformed trace exits nonzero.
+//! * `ric-trace prune FILE [K]` — the top-K pruning report: which pruning
+//!   counters (`prune.cc.NN` constraint attribution, `prune.head` head
+//!   filter, `depth.pruned.NN` per-depth families) did the work, per
+//!   decision and totalled over the file.
+//! * `ric-trace diff A B` — compare two trace files (summed counters, span
+//!   wall/tick totals, decision counts) or two `BENCH_*.json` artifacts
+//!   (per-cell micros and outcome drift, keyed by the `cell` string). The
+//!   artifact mode is detected by the top-level `cells` array.
+//!
+//! Exit codes: 0 on success, 1 on malformed input, 2 on usage errors.
+//!
+//! Everything here re-parses what the workspace itself wrote — the JSON
+//! model, the tree builder, and the top-K helper are the same code the
+//! in-process [`ric::Explain`] path uses, so the CLI cannot drift from the
+//! sink schema without a test noticing.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use ric::telemetry::json::{self, Json};
+use ric::telemetry::{top_k_counters, SpanTree, TreeBuilder};
+
+const USAGE: &str = "usage: ric-trace <command> [args]\n\
+  tree  FILE       render each decision's span tree from a JSONL trace\n\
+  prune FILE [K]   top-K pruning report (default K=10)\n\
+  diff  A B        diff two JSONL traces, or two BENCH_*.json artifacts";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["tree", path] => cmd_tree(path),
+        ["prune", path] => cmd_prune(path, 10),
+        ["prune", path, k] => match k.parse::<usize>() {
+            Ok(k) if k >= 1 => cmd_prune(path, k),
+            _ => {
+                eprintln!("ric-trace: prune expects a positive K, got {k:?}");
+                return ExitCode::from(2);
+            }
+        },
+        ["diff", a, b] => cmd_diff(a, b),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ric-trace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ── JSONL ingestion ─────────────────────────────────────────────────────
+
+/// One decision's worth of events, cut from the stream at root span opens.
+#[derive(Default)]
+struct Segment {
+    tree: TreeBuilder,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    notes: Vec<(String, String)>,
+    interrupts: Vec<(String, String)>,
+}
+
+impl Segment {
+    /// The decider outcome note, if one fired.
+    fn outcome(&self) -> Option<&str> {
+        self.notes
+            .iter()
+            .find(|(name, _)| name.ends_with(".outcome"))
+            .map(|(_, detail)| detail.as_str())
+    }
+
+    /// The budget-limit note, if the decision ended `Unknown`.
+    fn limit(&self) -> Option<&str> {
+        self.notes
+            .iter()
+            .find(|(name, _)| name.ends_with(".limit"))
+            .map(|(_, detail)| detail.as_str())
+    }
+
+    /// The `explain.*` narration notes (frontier descriptions and friends).
+    fn explains(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.notes
+            .iter()
+            .filter(|(name, _)| name.starts_with("explain."))
+            .map(|(n, d)| (n.as_str(), d.as_str()))
+    }
+}
+
+/// Pull a required field out of a JSONL line, with the line number in every
+/// error message.
+fn field<'a>(line: &'a Json, key: &str, lineno: usize) -> Result<&'a Json, String> {
+    line.get(key)
+        .ok_or_else(|| format!("line {lineno}: missing field {key:?}"))
+}
+
+fn str_field(line: &Json, key: &str, lineno: usize) -> Result<String, String> {
+    Ok(field(line, key, lineno)?
+        .as_str()
+        .ok_or_else(|| format!("line {lineno}: field {key:?} is not a string"))?
+        .to_string())
+}
+
+fn u64_field(line: &Json, key: &str, lineno: usize) -> Result<u64, String> {
+    field(line, key, lineno)?
+        .as_int()
+        .and_then(|i| u64::try_from(i).ok())
+        .ok_or_else(|| format!("line {lineno}: field {key:?} is not a non-negative integer"))
+}
+
+fn u128_field(line: &Json, key: &str, lineno: usize) -> Result<u128, String> {
+    field(line, key, lineno)?
+        .as_int()
+        .and_then(|i| u128::try_from(i).ok())
+        .ok_or_else(|| format!("line {lineno}: field {key:?} is not a non-negative integer"))
+}
+
+/// Parse a JSONL trace file into decision segments. Lines are routed to the
+/// current segment; a `span_open` with parent 0 starts the next decision.
+fn load_trace(path: &str) -> Result<Vec<Segment>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    let mut segments: Vec<Segment> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = json::parse(raw).map_err(|e| format!("line {lineno}: {e}"))?;
+        let kind = str_field(&line, "kind", lineno)?;
+        match kind.as_str() {
+            "span_open" => {
+                let parent = u64_field(&line, "parent", lineno)?;
+                if parent == 0 {
+                    segments.push(Segment::default());
+                }
+                let seg = segments
+                    .last_mut()
+                    .ok_or_else(|| format!("line {lineno}: span before any root decision span"))?;
+                seg.tree
+                    .open(
+                        &str_field(&line, "name", lineno)?,
+                        u64_field(&line, "id", lineno)?,
+                        parent,
+                        u64_field(&line, "at_tick", lineno)?,
+                    )
+                    .map_err(|e| format!("line {lineno}: {e}"))?;
+            }
+            "span" => {
+                // Untraced span lines (no id) carry a duration but no tree
+                // position — a traced decision stream never produces them.
+                let seg = segments
+                    .last_mut()
+                    .ok_or_else(|| format!("line {lineno}: span before any root decision span"))?;
+                if line.get("id").is_none() {
+                    return Err(format!(
+                        "line {lineno}: span without an id (untraced stream?) — \
+                         ric-trace needs traces recorded with a TraceState attached"
+                    ));
+                }
+                seg.tree
+                    .close(
+                        &str_field(&line, "name", lineno)?,
+                        u64_field(&line, "id", lineno)?,
+                        u128_field(&line, "micros", lineno)?,
+                        u64_field(&line, "ticks", lineno)?,
+                    )
+                    .map_err(|e| format!("line {lineno}: {e}"))?;
+            }
+            "count" => {
+                let seg = segments.last_mut().ok_or_else(|| {
+                    format!("line {lineno}: counter before any root decision span")
+                })?;
+                let name = str_field(&line, "name", lineno)?;
+                let delta = u64_field(&line, "delta", lineno)?;
+                *seg.counters.entry(name).or_insert(0) += delta;
+            }
+            "gauge" => {
+                let seg = segments
+                    .last_mut()
+                    .ok_or_else(|| format!("line {lineno}: gauge before any root decision span"))?;
+                let name = str_field(&line, "name", lineno)?;
+                let value = u64_field(&line, "value", lineno)?;
+                let slot = seg.gauges.entry(name).or_insert(0);
+                *slot = (*slot).max(value);
+            }
+            "note" => {
+                let seg = segments
+                    .last_mut()
+                    .ok_or_else(|| format!("line {lineno}: note before any root decision span"))?;
+                seg.notes.push((
+                    str_field(&line, "name", lineno)?,
+                    str_field(&line, "detail", lineno)?,
+                ));
+            }
+            "interrupt" => {
+                let seg = segments.last_mut().ok_or_else(|| {
+                    format!("line {lineno}: interrupt before any root decision span")
+                })?;
+                seg.interrupts.push((
+                    str_field(&line, "name", lineno)?,
+                    str_field(&line, "reason", lineno)?,
+                ));
+            }
+            other => return Err(format!("line {lineno}: unknown event kind {other:?}")),
+        }
+    }
+    if segments.is_empty() {
+        return Err(format!("{path}: no decision spans found"));
+    }
+    Ok(segments)
+}
+
+// ── tree ────────────────────────────────────────────────────────────────
+
+fn cmd_tree(path: &str) -> Result<(), String> {
+    let segments = load_trace(path)?;
+    let n = segments.len();
+    for (i, mut seg) in segments.into_iter().enumerate() {
+        let tree = seg_tree_checked(std::mem::take(&mut seg.tree), i + 1)?;
+        println!("decision {}/{n}", i + 1);
+        for line in tree.render().lines() {
+            println!("  {line}");
+        }
+        if let Some(outcome) = seg.outcome() {
+            println!("  outcome: {outcome}");
+        }
+        if let Some(limit) = seg.limit() {
+            println!("  limit:   {limit}");
+        }
+        for (name, detail) in seg.explains() {
+            println!("  {name}: {detail}");
+        }
+        for (name, reason) in &seg.interrupts {
+            println!("  interrupt: {name} ({reason})");
+        }
+        println!();
+    }
+    Ok(())
+}
+
+/// Finish a segment's tree and hold it to the decision-trace contract.
+fn seg_tree_checked(builder: TreeBuilder, decision: usize) -> Result<SpanTree, String> {
+    let tree = builder.finish();
+    tree.require_decision()
+        .map_err(|e| format!("decision {decision}: {e}"))?;
+    Ok(tree)
+}
+
+// ── prune ───────────────────────────────────────────────────────────────
+
+/// The counter families that record pruning work.
+const PRUNE_PREFIXES: [&str; 2] = ["prune.", "depth.pruned."];
+
+fn prune_counters(counters: &BTreeMap<String, u64>, k: usize) -> Vec<(String, u64)> {
+    let mut hits: Vec<(String, u64)> = PRUNE_PREFIXES
+        .iter()
+        .flat_map(|prefix| top_k_counters(counters, prefix, k))
+        .collect();
+    // Re-rank the union of both families: descending by count, name-stable.
+    hits.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    hits.truncate(k);
+    hits
+}
+
+fn print_prune_block(counters: &BTreeMap<String, u64>, k: usize) {
+    let hits = prune_counters(counters, k);
+    if hits.is_empty() {
+        println!("  (no pruning counters)");
+        return;
+    }
+    let candidates: u64 = counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("depth.candidates."))
+        .map(|(_, v)| v)
+        .sum();
+    for (name, count) in hits {
+        println!("  {name:<24} {count:>12}");
+    }
+    if candidates > 0 {
+        println!("  {:<24} {candidates:>12}", "candidates (all depths)");
+    }
+}
+
+fn cmd_prune(path: &str, k: usize) -> Result<(), String> {
+    let segments = load_trace(path)?;
+    let n = segments.len();
+    let mut total: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, seg) in segments.iter().enumerate() {
+        let label = seg.outcome().unwrap_or("?");
+        println!("decision {}/{n} (outcome: {label})", i + 1);
+        print_prune_block(&seg.counters, k);
+        println!();
+        for (name, v) in &seg.counters {
+            *total.entry(name.clone()).or_insert(0) += v;
+        }
+    }
+    println!("total over {n} decision(s)");
+    print_prune_block(&total, k);
+    Ok(())
+}
+
+// ── diff ────────────────────────────────────────────────────────────────
+
+fn cmd_diff(a: &str, b: &str) -> Result<(), String> {
+    let bench_a = load_bench(a)?;
+    let bench_b = load_bench(b)?;
+    match (bench_a, bench_b) {
+        (Some(da), Some(db)) => diff_bench(a, &da, b, &db),
+        (None, None) => diff_traces(a, b),
+        _ => Err(format!(
+            "{a} and {b} are different kinds of files (one BENCH artifact, one trace)"
+        )),
+    }
+}
+
+/// Try to read `path` as a `BENCH_*.json` artifact: a single JSON document
+/// with a top-level `cells` array. Returns `Ok(None)` for JSONL traces.
+fn load_bench(path: &str) -> Result<Option<Json>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    match json::parse(&text) {
+        Ok(doc) if doc.get("cells").is_some() => Ok(Some(doc)),
+        Ok(_) | Err(_) => Ok(None),
+    }
+}
+
+fn diff_bench(name_a: &str, a: &Json, name_b: &str, b: &Json) -> Result<(), String> {
+    let cells = |doc: &Json, name: &str| -> Result<Vec<(String, u128, String)>, String> {
+        let arr = doc
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{name}: `cells` is not an array"))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                let key = cell
+                    .get("cell")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{name}: cell {i} has no `cell` string"))?
+                    .to_string();
+                // Table cells time one decision (`micros`); the A/B suites
+                // time two arms — fall back to the second arm's column.
+                let micros = ["micros", "indexed_micros", "analyzed_micros"]
+                    .iter()
+                    .find_map(|k| cell.get(k).and_then(Json::as_int))
+                    .and_then(|i| u128::try_from(i).ok())
+                    .ok_or_else(|| format!("{name}: cell {key:?} has no timing field"))?;
+                let outcome = cell
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .unwrap_or("-")
+                    .to_string();
+                Ok((key, micros, outcome))
+            })
+            .collect()
+    };
+    let ca = cells(a, name_a)?;
+    let cb = cells(b, name_b)?;
+    let index_b: BTreeMap<&str, (u128, &str)> = cb
+        .iter()
+        .map(|(k, us, out)| (k.as_str(), (*us, out.as_str())))
+        .collect();
+    println!(
+        "{:<42} {:>12} {:>12} {:>9}",
+        "cell", "A µs", "B µs", "ratio"
+    );
+    println!("{}", "-".repeat(80));
+    let mut only_a = 0usize;
+    for (key, us_a, out_a) in &ca {
+        match index_b.get(key.as_str()) {
+            Some((us_b, out_b)) => {
+                let ratio = *us_b as f64 / (*us_a).max(1) as f64;
+                let drift = if out_a != out_b {
+                    "  OUTCOME DRIFT"
+                } else {
+                    ""
+                };
+                println!("{key:<42} {us_a:>12} {us_b:>12} {ratio:>8.2}x{drift}");
+                if out_a != out_b {
+                    println!("    A: {out_a}");
+                    println!("    B: {out_b}");
+                }
+            }
+            None => {
+                only_a += 1;
+                println!("{key:<42} {us_a:>12} {:>12} {:>9}", "-", "-");
+            }
+        }
+    }
+    let keys_a: std::collections::BTreeSet<&str> = ca.iter().map(|(k, ..)| k.as_str()).collect();
+    let only_b: Vec<&str> = cb
+        .iter()
+        .map(|(k, ..)| k.as_str())
+        .filter(|k| !keys_a.contains(k))
+        .collect();
+    for key in &only_b {
+        println!("{key:<42} {:>12} {:>12} {:>9}", "-", "?", "-");
+    }
+    if only_a > 0 || !only_b.is_empty() {
+        println!("(cells only in A: {only_a}, only in B: {})", only_b.len());
+    }
+    Ok(())
+}
+
+/// File-wide aggregate of a trace: summed counters, per-name span totals.
+struct TraceTotals {
+    decisions: usize,
+    counters: BTreeMap<String, u64>,
+    span_micros: BTreeMap<String, u128>,
+    span_ticks: BTreeMap<String, u64>,
+}
+
+fn trace_totals(path: &str) -> Result<TraceTotals, String> {
+    let segments = load_trace(path)?;
+    let mut totals = TraceTotals {
+        decisions: segments.len(),
+        counters: BTreeMap::new(),
+        span_micros: BTreeMap::new(),
+        span_ticks: BTreeMap::new(),
+    };
+    for (i, seg) in segments.into_iter().enumerate() {
+        let tree = seg_tree_checked(seg.tree, i + 1)?;
+        for record in tree.records() {
+            *totals.span_micros.entry(record.name.clone()).or_insert(0) += record.micros;
+            *totals.span_ticks.entry(record.name.clone()).or_insert(0) += record.ticks;
+        }
+        for (name, v) in seg.counters {
+            *totals.counters.entry(name).or_insert(0) += v;
+        }
+    }
+    Ok(totals)
+}
+
+fn diff_traces(a: &str, b: &str) -> Result<(), String> {
+    let ta = trace_totals(a)?;
+    let tb = trace_totals(b)?;
+    println!("decisions: A={} B={}", ta.decisions, tb.decisions);
+
+    println!("\ncounters (summed over all decisions; only differing names)");
+    println!("{:<28} {:>14} {:>14} {:>14}", "counter", "A", "B", "delta");
+    println!("{}", "-".repeat(74));
+    let names: std::collections::BTreeSet<&String> =
+        ta.counters.keys().chain(tb.counters.keys()).collect();
+    let mut differing = 0usize;
+    for name in names {
+        let va = ta.counters.get(name).copied().unwrap_or(0);
+        let vb = tb.counters.get(name).copied().unwrap_or(0);
+        if va != vb {
+            differing += 1;
+            let delta = vb as i128 - va as i128;
+            println!("{name:<28} {va:>14} {vb:>14} {delta:>+14}");
+        }
+    }
+    if differing == 0 {
+        println!("(all counters identical)");
+    }
+
+    println!("\nspans (wall µs summed per name; deterministic ticks alongside)");
+    println!(
+        "{:<28} {:>12} {:>12} {:>9} {:>9}",
+        "span", "A µs", "B µs", "A ticks", "B ticks"
+    );
+    println!("{}", "-".repeat(76));
+    let names: std::collections::BTreeSet<&String> =
+        ta.span_micros.keys().chain(tb.span_micros.keys()).collect();
+    for name in names {
+        let ua = ta.span_micros.get(name).copied().unwrap_or(0);
+        let ub = tb.span_micros.get(name).copied().unwrap_or(0);
+        let ka = ta.span_ticks.get(name).copied().unwrap_or(0);
+        let kb = tb.span_ticks.get(name).copied().unwrap_or(0);
+        println!("{name:<28} {ua:>12} {ub:>12} {ka:>9} {kb:>9}");
+    }
+    Ok(())
+}

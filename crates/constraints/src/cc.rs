@@ -348,12 +348,25 @@ impl ConstraintSet {
     /// candidate extensions (lower bounds are preserved under extension by
     /// monotonicity and are validated once, on the input).
     pub fn upper_satisfied(&self, db: &Database, dm: &Database) -> Result<bool, TableauError> {
-        for cc in &self.ccs {
+        Ok(self.first_violated_upper(db, dm)?.is_none())
+    }
+
+    /// Like [`Self::upper_satisfied`], reporting *which* constraint failed:
+    /// the index (into [`Self::ccs`]) of the first violated upper bound, or
+    /// `None` when all hold. Same evaluation order and short-circuit as the
+    /// boolean check, so instrumented and uninstrumented runs do identical
+    /// work — the deciders' pruning-attribution counters key on this index.
+    pub fn first_violated_upper(
+        &self,
+        db: &Database,
+        dm: &Database,
+    ) -> Result<Option<usize>, TableauError> {
+        for (i, cc) in self.ccs.iter().enumerate() {
             if !cc.satisfied(db, dm)? {
-                return Ok(false);
+                return Ok(Some(i));
             }
         }
-        Ok(true)
+        Ok(None)
     }
 
     /// The most expressive language used by any constraint body, which

@@ -36,6 +36,12 @@ pub struct DeltaCheck {
     /// Constraints skipped because the delta touches none of their body
     /// relations.
     pub skipped: usize,
+    /// Index (into the original [`ConstraintSet::ccs`]) of the violated
+    /// constraint when `satisfied` is `false`; always `None` otherwise.
+    /// Evaluation short-circuits on the first violation, so this matches
+    /// [`ConstraintSet::first_violated_upper`] over the materialized union —
+    /// the deciders' pruning-attribution counters key on it.
+    pub violated: Option<usize>,
 }
 
 /// One upper-bound constraint, prepared for repeated incremental checks.
@@ -108,7 +114,7 @@ impl PreparedUpper {
         let mut skipped = 0usize;
         // Lazily materialized union, shared by every FO/FP body.
         let mut materialized: Option<Database> = None;
-        for (prep, cc) in self.ccs.iter().zip(original.ccs.iter()) {
+        for (i, (prep, cc)) in self.ccs.iter().zip(original.ccs.iter()).enumerate() {
             if prep.rels.is_disjoint(&novel) {
                 skipped += 1;
                 continue;
@@ -123,6 +129,7 @@ impl PreparedUpper {
                                 satisfied: false,
                                 checked,
                                 skipped,
+                                violated: Some(i),
                             });
                         }
                     }
@@ -140,6 +147,7 @@ impl PreparedUpper {
                             satisfied: false,
                             checked,
                             skipped,
+                            violated: Some(i),
                         });
                     }
                 }
@@ -149,6 +157,7 @@ impl PreparedUpper {
             satisfied: true,
             checked,
             skipped,
+            violated: None,
         })
     }
 }

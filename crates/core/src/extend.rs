@@ -74,6 +74,7 @@ pub fn complete_extension_guarded(
     guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<CompletionOutcome, RcError> {
+    let probe = probe.with_ticks(guard);
     // Validate the input once; the loop preserves partial closure by
     // construction (every round's delta comes from a counterexample whose
     // extended database satisfied `V`), so the per-round decisions can skip

@@ -319,6 +319,16 @@ impl Guard {
     }
 }
 
+/// The guard is the deciders' deterministic timebase: one tick per meter
+/// request anywhere in the decision. Probes carrying a guard as their tick
+/// source stamp every span with tick deltas alongside wall-clock micros, so
+/// traces replay identically under test while still showing real latency.
+impl ric_telemetry::TickSource for Guard {
+    fn ticks(&self) -> u64 {
+        self.ticks.get()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,10 +32,16 @@
 //! the facade's `try_` entry points convert it to `DecisionError::Panic`.
 
 use crate::guard::{CancelToken, Guard, Interrupt};
+use crate::valuations::PROFILE_DEPTH;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Number of per-constraint pruning-attribution slots carried through the
+/// chunk stats; constraint indexes past the last slot clamp into it.
+pub(crate) const CC_ATTR: usize = 16;
 
 /// How one chunk ended.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -61,6 +67,10 @@ impl ChunkEvent {
 }
 
 /// Per-chunk work counters, summed by the merge into decision telemetry.
+///
+/// Worker threads never emit probe events directly (sinks are not `Sync`);
+/// everything a chunk wants to report rides home through this struct and is
+/// emitted by the coordinating thread after the merge.
 #[derive(Clone, Copy, Default, Debug)]
 pub(crate) struct ChunkStats {
     /// Meter ticks the chunk consumed (valuations / candidates examined).
@@ -74,6 +84,16 @@ pub(crate) struct ChunkStats {
     pub probes: u64,
     /// Query evaluations performed.
     pub query_evals: u64,
+    /// Candidates tried per assignment depth (profiler data; see
+    /// [`crate::valuations::DepthProfile`]).
+    pub depth_candidates: [u64; PROFILE_DEPTH],
+    /// Subtrees pruned per assignment depth.
+    pub depth_pruned: [u64; PROFILE_DEPTH],
+    /// Subtrees pruned by the head filter.
+    pub head_prunes: u64,
+    /// Candidate rejections attributed to the index of the first violated
+    /// containment constraint (clamped at [`CC_ATTR`] slots).
+    pub cc_viol: [u64; CC_ATTR],
 }
 
 impl ChunkStats {
@@ -84,6 +104,20 @@ impl ChunkStats {
         self.cc_skipped += other.cc_skipped;
         self.probes += other.probes;
         self.query_evals += other.query_evals;
+        for (a, b) in self
+            .depth_candidates
+            .iter_mut()
+            .zip(&other.depth_candidates)
+        {
+            *a += b;
+        }
+        for (a, b) in self.depth_pruned.iter_mut().zip(&other.depth_pruned) {
+            *a += b;
+        }
+        self.head_prunes += other.head_prunes;
+        for (a, b) in self.cc_viol.iter_mut().zip(&other.cc_viol) {
+            *a += b;
+        }
     }
 }
 
@@ -102,10 +136,27 @@ pub(crate) struct ChunkResult<R> {
 /// One chunk's slot in the pool output.
 #[derive(Debug)]
 pub(crate) enum ChunkSlot<R> {
-    /// The chunk ran (possibly ending on a terminal event).
-    Done(ChunkResult<R>),
+    /// The chunk ran (possibly ending on a terminal event). Boxed: the
+    /// result carries a full [`ChunkStats`], which dwarfs the panic payload.
+    Done(Box<ChunkResult<R>>),
     /// The chunk panicked; the payload is re-thrown during the merge.
     Panicked(Box<dyn Any + Send>),
+}
+
+/// One chunk execution on the pool's wall-clock timeline: which worker ran
+/// which chunk, and when, in microseconds since the pool started. Profiler
+/// data only — inherently schedule-dependent, so it must never feed a
+/// counter; the deciders surface it as trace notes.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TimelineEntry {
+    /// Worker id (0 = the calling thread).
+    pub worker: usize,
+    /// Chunk index.
+    pub chunk: usize,
+    /// Microseconds from pool start to chunk start.
+    pub start_micros: u128,
+    /// Microseconds from pool start to chunk end.
+    pub end_micros: u128,
 }
 
 /// Raw pool output: one slot per chunk (`None` = skipped past a terminal
@@ -119,6 +170,9 @@ pub(crate) struct PoolRun<R> {
     pub steals: u64,
     /// Chunks actually executed — the `par.chunk` telemetry counter.
     pub executed: u64,
+    /// Per-worker chunk timeline, sorted by chunk index (the content — which
+    /// worker, what wall time — remains schedule-dependent).
+    pub timeline: Vec<TimelineEntry>,
 }
 
 /// The merged, schedule-independent outcome of a search-style pool run.
@@ -147,6 +201,10 @@ pub(crate) struct PoolMerge<R> {
     /// Chunks executed in total (may exceed the deciding index: in-flight
     /// higher chunks run to completion, their stats are not merged).
     pub executed: u64,
+    /// Index of the chunk whose terminal event decided the outcome (`None`
+    /// when every chunk ran clear). Schedule-independent, like the outcome:
+    /// it is the index at which the sequential engine would have stopped.
+    pub deciding: Option<usize>,
 }
 
 /// A merged gather-style pool run: every chunk's value, in chunk index order.
@@ -205,15 +263,14 @@ impl<R> PoolRun<R> {
         let saw_deadline = self.slots.iter().any(|slot| {
             matches!(
                 slot,
-                Some(ChunkSlot::Done(ChunkResult {
-                    event: ChunkEvent::Interrupted(Interrupt::Deadline),
-                    ..
-                }))
+                Some(ChunkSlot::Done(result))
+                    if matches!(result.event, ChunkEvent::Interrupted(Interrupt::Deadline))
             )
         });
         let mut stats = ChunkStats::default();
         let mut outcome = PoolOutcome::Clear;
-        for slot in self.slots {
+        let mut deciding = None;
+        for (idx, slot) in self.slots.into_iter().enumerate() {
             match slot {
                 // Skipped: a lower-index chunk posted a terminal event first,
                 // so the merge must already have returned by the time a
@@ -237,6 +294,7 @@ impl<R> PoolRun<R> {
                             outcome = PoolOutcome::Interrupted(interrupt);
                         }
                     }
+                    deciding = Some(idx);
                     break;
                 }
             }
@@ -246,6 +304,7 @@ impl<R> PoolRun<R> {
             stats,
             steals: self.steals,
             executed: self.executed,
+            deciding,
         }
     }
 }
@@ -284,6 +343,8 @@ pub(crate) fn run_chunks<R: Send>(
     let steals = AtomicU64::new(0);
     let executed = AtomicU64::new(0);
     let slots: Mutex<Vec<Option<ChunkSlot<R>>>> = Mutex::new((0..n_chunks).map(|_| None).collect());
+    let pool_start = Instant::now();
+    let timeline: Mutex<Vec<TimelineEntry>> = Mutex::new(Vec::with_capacity(n_chunks));
 
     let run_worker = |wid: usize, guard: Guard| loop {
         let pos = next.fetch_add(1, Ordering::Relaxed);
@@ -301,18 +362,28 @@ pub(crate) fn run_chunks<R: Send>(
             steals.fetch_add(1, Ordering::Relaxed);
         }
         executed.fetch_add(1, Ordering::Relaxed);
+        let start_micros = pool_start.elapsed().as_micros();
         let slot = match catch_unwind(AssertUnwindSafe(|| job(chunk, &guard))) {
             Ok(result) => {
                 if result.event.is_terminal() {
                     first_terminal.fetch_min(chunk, Ordering::AcqRel);
                 }
-                ChunkSlot::Done(result)
+                ChunkSlot::Done(Box::new(result))
             }
             Err(payload) => {
                 first_terminal.fetch_min(chunk, Ordering::AcqRel);
                 ChunkSlot::Panicked(payload)
             }
         };
+        timeline
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(TimelineEntry {
+                worker: wid,
+                chunk,
+                start_micros,
+                end_micros: pool_start.elapsed().as_micros(),
+            });
         // Job panics are caught above, so the lock cannot be poisoned by a
         // chunk; recover defensively anyway.
         slots.lock().unwrap_or_else(PoisonError::into_inner)[chunk] = Some(slot);
@@ -330,10 +401,15 @@ pub(crate) fn run_chunks<R: Send>(
         run_worker(0, g0);
     });
 
+    let mut timeline = timeline
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    timeline.sort_by_key(|e| e.chunk);
     PoolRun {
         slots: slots.into_inner().unwrap_or_else(PoisonError::into_inner),
         steals: steals.into_inner(),
         executed: executed.into_inner(),
+        timeline,
     }
 }
 
@@ -565,11 +641,11 @@ mod tests {
         // must report Deadline — what the sequential engine, observing the
         // deadline directly, would report.
         let interrupted = |i: Interrupt| {
-            Some(ChunkSlot::Done(ChunkResult::<u32> {
+            Some(ChunkSlot::Done(Box::new(ChunkResult::<u32> {
                 event: ChunkEvent::Interrupted(i),
                 value: None,
                 stats: ChunkStats::default(),
-            }))
+            })))
         };
         let run = PoolRun {
             slots: vec![
@@ -578,6 +654,7 @@ mod tests {
             ],
             steals: 0,
             executed: 2,
+            timeline: Vec::new(),
         };
         match run.merge_search().outcome {
             PoolOutcome::Interrupted(Interrupt::Deadline) => {}

@@ -72,10 +72,26 @@ impl CheckMode {
         delta: &Database,
         cc_skipped: &Cell<u64>,
     ) -> bool {
+        self.upper_check(setting, db, delta, cc_skipped).is_none()
+    }
+
+    /// Like [`Self::upper_satisfied`], reporting the index of the first
+    /// violated constraint (`None` = satisfied). Every strategy evaluates the
+    /// constraints in set order and short-circuits on the first violation, so
+    /// this does exactly the work of the boolean check — the search profiler
+    /// keys its `prune.cc.NN` attribution counters on the result without
+    /// perturbing any other counter.
+    pub(crate) fn upper_check(
+        &self,
+        setting: &Setting,
+        db: &Database,
+        delta: &Database,
+        cc_skipped: &Cell<u64>,
+    ) -> Option<usize> {
         match self {
             CheckMode::IndOnly => setting
                 .v
-                .upper_satisfied(delta, &setting.dm)
+                .first_violated_upper(delta, &setting.dm)
                 .unwrap_or_else(|e| {
                     unreachable!("constraint bodies validated by the precondition check: {e:?}")
                 }),
@@ -85,7 +101,7 @@ impl CheckMode {
                     .unwrap_or_else(|e| unreachable!("delta shares the setting schema: {e:?}"));
                 setting
                     .v
-                    .upper_satisfied(&extended, &setting.dm)
+                    .first_violated_upper(&extended, &setting.dm)
                     .unwrap_or_else(|e| {
                         unreachable!("constraint bodies validated by the precondition check: {e:?}")
                     })
@@ -99,10 +115,45 @@ impl CheckMode {
                         unreachable!("constraint bodies validated by the precondition check: {e:?}")
                     });
                 cc_skipped.set(cc_skipped.get() + res.skipped as u64);
-                res.satisfied
+                res.violated
             }
         }
     }
+}
+
+/// Stable counter names for pruning attribution by containment-constraint
+/// index: `prune.cc.NN` counts candidate rejections whose first violated
+/// constraint was `V[NN]` (slot 15 absorbs larger sets).
+pub(crate) const PRUNE_CC: [&str; crate::par::CC_ATTR] = [
+    "prune.cc.00",
+    "prune.cc.01",
+    "prune.cc.02",
+    "prune.cc.03",
+    "prune.cc.04",
+    "prune.cc.05",
+    "prune.cc.06",
+    "prune.cc.07",
+    "prune.cc.08",
+    "prune.cc.09",
+    "prune.cc.10",
+    "prune.cc.11",
+    "prune.cc.12",
+    "prune.cc.13",
+    "prune.cc.14",
+    "prune.cc.15",
+];
+
+/// Emit nonzero `prune.cc.NN` attribution counters.
+pub(crate) fn emit_cc_attribution(probe: Probe<'_>, viol: &[u64; crate::par::CC_ATTR]) {
+    for (name, &v) in PRUNE_CC.iter().zip(viol) {
+        probe.count(name, v);
+    }
+}
+
+/// Bump the attribution slot for constraint index `i` (clamped).
+fn bump_viol(viol: &[Cell<u64>; crate::par::CC_ATTR], i: usize) {
+    let c = &viol[i.min(crate::par::CC_ATTR - 1)];
+    c.set(c.get() + 1);
 }
 
 /// Is the language exactly decidable by the Σᵖ₂ procedure?
@@ -155,6 +206,9 @@ pub fn rcdp_guarded(
     guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<Verdict, RcError> {
+    // The guard is the decision's deterministic timebase: spans opened below
+    // carry tick deltas alongside wall-clock micros.
+    let probe = probe.with_ticks(guard);
     validate_fp_bodies(setting, query)?;
     if !setting.partially_closed(db)? {
         return Err(RcError::NotPartiallyClosed);
@@ -199,6 +253,7 @@ pub fn rcdp_exact_guarded(
     guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<Verdict, RcError> {
+    let probe = probe.with_ticks(guard);
     let Some(ucq) = query.as_ucq() else {
         return Err(RcError::Unsupported(format!(
             "exact RCDP requires a UCQ-expressible query, got {:?}",
@@ -230,6 +285,7 @@ pub fn rcdp_exact_guarded(
     let mut meter = Meter::guarded(MeterKind::Valuations, budget.max_valuations, guard);
     let cc_checks = Cell::new(0u64);
     let cc_skipped = Cell::new(0u64);
+    let cc_viol: [Cell<u64>; crate::par::CC_ATTR] = Default::default();
     let probes_before = probe_count();
     // Scratch delta reused across candidates: steady-state, a candidate
     // costs index probes and a few inserts, never a clone of `db`.
@@ -237,7 +293,7 @@ pub fn rcdp_exact_guarded(
 
     let span = probe.span("rcdp.enumerate");
     let mut verdict = Verdict::Complete;
-    for t in &tableaux {
+    for (ti, t) in tableaux.iter().enumerate() {
         if !t.domain_consistent(&setting.schema) {
             // Constants outside finite domains: this disjunct matches no
             // valid tuple and cannot witness incompleteness.
@@ -278,13 +334,22 @@ pub fn rcdp_exact_guarded(
                 // Upper bounds only: lower bounds hold on D and are
                 // preserved by extension (monotone bodies).
                 cc_checks.set(cc_checks.get() + 1);
-                mode.upper_satisfied(setting, db, &delta, &cc_skipped)
+                match mode.upper_check(setting, db, &delta, &cc_skipped) {
+                    None => true,
+                    Some(i) => {
+                        bump_viol(&cc_viol, i);
+                        false
+                    }
+                }
             },
             |mu| {
                 let delta = mu.instantiate(t, setting.schema.len());
                 cc_checks.set(cc_checks.get() + 1);
-                let closed = mode.upper_satisfied(setting, db, &delta, &cc_skipped);
-                if closed {
+                let violated = mode.upper_check(setting, db, &delta, &cc_skipped);
+                if let Some(i) = violated {
+                    bump_viol(&cc_viol, i);
+                }
+                if violated.is_none() {
                     let new_answer = mu.head_tuple(t);
                     let added = delta
                         .difference(db)
@@ -317,6 +382,15 @@ pub fn rcdp_exact_guarded(
                 if let Some(interrupt) = meter.interrupt() {
                     probe.interrupt("rcdp.interrupt", interrupt.name(), guard.ticks());
                 }
+                probe.note("explain.frontier", || {
+                    format!(
+                        "stopped in disjunct {}/{} after {} assignment(s); \
+                         later disjuncts unexplored",
+                        ti + 1,
+                        tableaux.len(),
+                        meter.used()
+                    )
+                });
                 break;
             }
             EnumOutcome::Exhausted => {}
@@ -329,6 +403,7 @@ pub fn rcdp_exact_guarded(
     // Thread-local counter: exact for this decision even when concurrent
     // decisions probe on other threads.
     probe.count("index.probe", probe_count().saturating_sub(probes_before));
+    emit_cc_attribution(probe, &std::array::from_fn(|i| cc_viol[i].get()));
     emit_verdict(probe, &verdict);
     Ok(verdict)
 }
@@ -390,6 +465,8 @@ fn rcdp_exact_parallel(
         );
         let cc_checks = Cell::new(0u64);
         let cc_skipped = Cell::new(0u64);
+        let cc_viol: [Cell<u64>; par::CC_ATTR] = Default::default();
+        let profile = crate::valuations::DepthProfile::new();
         let scratch = RefCell::new(Database::with_relations(setting.schema.len()));
         let mut found: Option<CounterExample> = None;
         let head_terms = &t.head;
@@ -415,12 +492,22 @@ fn rcdp_exact_parallel(
                 delta.insert(rel, tuple);
             }
             cc_checks.set(cc_checks.get() + 1);
-            mode.upper_satisfied(setting, db, &delta, &cc_skipped)
+            match mode.upper_check(setting, db, &delta, &cc_skipped) {
+                None => true,
+                Some(i) => {
+                    bump_viol(&cc_viol, i);
+                    false
+                }
+            }
         };
         let visit = |mu: &ric_query::tableau::Valuation| {
             let delta = mu.instantiate(t, setting.schema.len());
             cc_checks.set(cc_checks.get() + 1);
-            if mode.upper_satisfied(setting, db, &delta, &cc_skipped) {
+            let violated = mode.upper_check(setting, db, &delta, &cc_skipped);
+            if let Some(i) = violated {
+                bump_viol(&cc_viol, i);
+            }
+            if violated.is_none() {
                 let new_answer = mu.head_tuple(t);
                 let added = delta
                     .difference(db)
@@ -434,14 +521,21 @@ fn rcdp_exact_parallel(
             std::ops::ControlFlow::Continue(())
         };
         let outcome = match point {
-            Some(p) => space.for_each_valid_pruned_chunk(
+            Some(p) => space.for_each_valid_pruned_chunk_profiled(
+                &profile,
                 p.clone(),
                 &mut meter,
                 head_filter,
                 partial_filter,
                 visit,
             ),
-            None => space.for_each_valid_pruned(&mut meter, head_filter, partial_filter, visit),
+            None => space.for_each_valid_pruned_profiled(
+                &profile,
+                &mut meter,
+                head_filter,
+                partial_filter,
+                visit,
+            ),
         };
         let event = match outcome {
             EnumOutcome::Stopped => ChunkEvent::Hit,
@@ -460,12 +554,27 @@ fn rcdp_exact_parallel(
                 cc_skipped: cc_skipped.get(),
                 probes: probe_count().saturating_sub(probes_before),
                 query_evals: 0,
+                depth_candidates: profile.candidates(),
+                depth_pruned: profile.pruned(),
+                head_prunes: profile.head_prunes(),
+                cc_viol: std::array::from_fn(|i| cc_viol[i].get()),
             },
         }
     };
 
     let span = probe.span("rcdp.enumerate");
     let run = par::run_chunks(budget.engine.workers(), n_chunks, guard, &job);
+    if probe.trace().is_some() {
+        for entry in &run.timeline {
+            let e = *entry;
+            probe.note("par.timeline", || {
+                format!(
+                    "worker {} chunk {} {}..{}us",
+                    e.worker, e.chunk, e.start_micros, e.end_micros
+                )
+            });
+        }
+    }
     let merged = run.merge_search();
     drop(span);
 
@@ -476,6 +585,25 @@ fn rcdp_exact_parallel(
     probe.count("rcdp.cc_checks", merged.stats.cc_checks);
     probe.count("cc.skipped_by_delta", merged.stats.cc_skipped);
     probe.count("index.probe", merged.stats.probes);
+    crate::valuations::emit_profile(
+        probe,
+        &merged.stats.depth_candidates,
+        &merged.stats.depth_pruned,
+        merged.stats.head_prunes,
+    );
+    emit_cc_attribution(probe, &merged.stats.cc_viol);
+    let deciding = merged.deciding;
+    if matches!(
+        merged.outcome,
+        PoolOutcome::Exhausted | PoolOutcome::Interrupted(_)
+    ) {
+        probe.note("explain.frontier", || {
+            let at = deciding.map_or(n_chunks, |k| k + 1);
+            format!(
+                "parallel fan-out stopped at chunk {at}/{n_chunks}; higher-index chunks unexplored"
+            )
+        });
+    }
     let verdict = match merged.outcome {
         PoolOutcome::Clear => Verdict::Complete,
         PoolOutcome::Hit(ce) => Verdict::Incomplete(ce),

@@ -143,6 +143,7 @@ pub fn rcqp_guarded(
     guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<QueryVerdict, RcError> {
+    let probe = probe.with_ticks(guard);
     let verdict = rcqp_inner(setting, query, budget, guard, probe)?;
     emit_query_verdict(probe, &verdict);
     Ok(verdict)
@@ -320,7 +321,7 @@ fn rcqp_ind(
     probe.gauge("rcqp.adom_size", adom.len() as u64);
     let mut meter = Meter::guarded(MeterKind::Valuations, budget.max_valuations, guard);
     let span = probe.span("rcqp.blockedness");
-    for t in tableaux {
+    for (ti, t) in tableaux.iter().enumerate() {
         if !t.domain_consistent(&setting.schema) {
             continue; // blocked: matches no valid tuple at all
         }
@@ -359,6 +360,15 @@ fn rcqp_ind(
             if let Some(interrupt) = meter.interrupt() {
                 probe.interrupt("rcqp.interrupt", interrupt.name(), guard.ticks());
             }
+            probe.note("explain.frontier", || {
+                format!(
+                    "blockedness check stopped in disjunct {}/{} after {} valuation(s); \
+                     later disjuncts unexplored",
+                    ti + 1,
+                    tableaux.len(),
+                    meter.used()
+                )
+            });
             return Ok(QueryVerdict::unknown(
                 SearchStats::new(
                     meter.stop_limit(BudgetLimit::MaxValuations),
@@ -942,6 +952,14 @@ fn rcqp_general(
     if outcome != MaxOutcome::Found {
         if let Some(interrupt) = guard.tripped() {
             probe.interrupt("rcqp.interrupt", interrupt.name(), guard.ticks());
+            probe.note("explain.frontier", || {
+                format!(
+                    "E2 subset search interrupted after {} candidate(s) over a pool of {} \
+                     tuple(s); remaining subsets unexplored",
+                    meter.used(),
+                    pool.len()
+                )
+            });
             return Ok(QueryVerdict::unknown(
                 SearchStats::new(
                     interrupt.limit(),
@@ -991,17 +1009,27 @@ fn rcqp_general(
             )
             .with_candidates(meter.used()),
         )),
-        MaxOutcome::Budget => Ok(QueryVerdict::unknown(
-            SearchStats::new(
-                BudgetLimit::MaxCandidates,
+        MaxOutcome::Budget => {
+            probe.note("explain.frontier", || {
                 format!(
-                    "candidate budget of {} exhausted over a pool of {} tuples",
-                    meter.limit(),
+                    "E2 subset search stopped after {} candidate(s) over a pool of {} \
+                     tuple(s); remaining subsets unexplored",
+                    meter.used(),
                     pool.len()
-                ),
-            )
-            .with_candidates(meter.used()),
-        )),
+                )
+            });
+            Ok(QueryVerdict::unknown(
+                SearchStats::new(
+                    BudgetLimit::MaxCandidates,
+                    format!(
+                        "candidate budget of {} exhausted over a pool of {} tuples",
+                        meter.limit(),
+                        pool.len()
+                    ),
+                )
+                .with_candidates(meter.used()),
+            ))
+        }
     }
 }
 
@@ -1047,6 +1075,17 @@ fn prefilter_parallel(
         }
     };
     let run = par::run_chunks(budget.engine.workers(), n_chunks, guard, &job);
+    if probe.trace().is_some() {
+        for entry in &run.timeline {
+            let e = *entry;
+            probe.note("par.timeline", || {
+                format!(
+                    "worker {} chunk {} {}..{}us",
+                    e.worker, e.chunk, e.start_micros, e.end_micros
+                )
+            });
+        }
+    }
     let gather = run.merge_gather();
     probe.count("par.chunk", gather.executed);
     probe.count("par.steal", gather.steals);

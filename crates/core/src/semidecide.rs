@@ -215,6 +215,7 @@ pub fn rcdp_bounded_guarded(
     guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<Verdict, RcError> {
+    let probe = probe.with_ticks(guard);
     let verdict = rcdp_bounded_inner(setting, query, db, budget, guard, probe)?;
     crate::rcdp::emit_verdict(probe, &verdict);
     Ok(verdict)
@@ -319,6 +320,13 @@ fn rcdp_bounded_inner(
                         meter.limit()
                     ),
                 };
+                let max = budget.max_delta_tuples.min(pool.len());
+                probe.note("explain.frontier", || {
+                    format!(
+                        "bounded search stopped at extension size {size}/{max}; \
+                         remaining subsets of size {size} and all larger sizes unexplored"
+                    )
+                });
                 verdict = Some(Verdict::unknown(
                     SearchStats::new(meter.stop_limit(BudgetLimit::MaxCandidates), detail)
                         .with_candidates(meter.used()),
@@ -465,10 +473,24 @@ fn rcdp_bounded_parallel(
                     cc_skipped: cc_skipped.get(),
                     probes: probe_count().saturating_sub(worker_probes_before),
                     query_evals: query_evals.get(),
+                    // The bounded search enumerates tuple subsets, not
+                    // valuation trees — no depth profile applies.
+                    ..ChunkStats::default()
                 },
             }
         };
         let run = par::run_chunks(budget.engine.workers(), n_chunks, guard, &job);
+        if probe.trace().is_some() {
+            for entry in &run.timeline {
+                let e = *entry;
+                probe.note("par.timeline", || {
+                    format!(
+                        "worker {} chunk {} {}..{}us",
+                        e.worker, e.chunk, e.start_micros, e.end_micros
+                    )
+                });
+            }
+        }
         let merged = run.merge_search();
         totals.absorb(&merged.stats);
         executed += merged.executed;
@@ -480,6 +502,14 @@ fn rcdp_bounded_parallel(
             }
             PoolOutcome::Hit(Err(e)) => return Err(e),
             PoolOutcome::Exhausted => {
+                let deciding = merged.deciding;
+                probe.note("explain.frontier", || {
+                    let at = deciding.map_or(n_chunks, |k| k + 1);
+                    format!(
+                        "bounded search stopped at extension size {size}/{max_size} \
+                         (chunk {at}/{n_chunks}); larger sizes unexplored"
+                    )
+                });
                 verdict = Some(Verdict::unknown(
                     SearchStats::new(
                         BudgetLimit::MaxCandidates,
@@ -494,6 +524,14 @@ fn rcdp_bounded_parallel(
             }
             PoolOutcome::Interrupted(interrupt) => {
                 probe.interrupt("semidecide.interrupt", interrupt.name(), guard.ticks());
+                let deciding = merged.deciding;
+                probe.note("explain.frontier", || {
+                    let at = deciding.map_or(n_chunks, |k| k + 1);
+                    format!(
+                        "bounded search interrupted at extension size {size}/{max_size} \
+                         (chunk {at}/{n_chunks}); larger sizes unexplored"
+                    )
+                });
                 verdict = Some(Verdict::unknown(
                     SearchStats::new(
                         interrupt.limit(),
@@ -596,6 +634,7 @@ pub fn rcqp_bounded_guarded(
     guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<QueryVerdict, RcError> {
+    let probe = probe.with_ticks(guard);
     let verdict = rcqp_bounded_inner(setting, query, budget, guard, probe)?;
     crate::rcqp::emit_query_verdict(probe, &verdict);
     Ok(verdict)
@@ -696,6 +735,12 @@ pub(crate) fn rcqp_bounded_inner(
                     }
                     None => "candidate budget exhausted".to_string(),
                 };
+                probe.note("explain.frontier", || {
+                    format!(
+                        "candidate search stopped at database size {size}/{max_size}; \
+                         remaining candidates of size {size} and all larger sizes unexplored"
+                    )
+                });
                 verdict = Some(QueryVerdict::unknown(
                     SearchStats::new(meter.stop_limit(BudgetLimit::MaxCandidates), detail)
                         .with_candidates(meter.used()),

@@ -20,8 +20,128 @@ use ric_data::{Schema, Value};
 use ric_query::tableau::{Tableau, Valuation};
 use ric_query::Term;
 use ric_telemetry::Probe;
+use std::cell::Cell;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
+
+/// Number of per-depth profile slots; work at deeper assignment depths is
+/// clamped into the last slot.
+pub const PROFILE_DEPTH: usize = 16;
+
+/// Stable counter names for candidates tried per assignment depth (slot 15
+/// absorbs all deeper work). Telemetry names are `&'static str`, so the
+/// depth-indexed families are spelled out once here.
+pub const DEPTH_CANDIDATES: [&str; PROFILE_DEPTH] = [
+    "depth.candidates.00",
+    "depth.candidates.01",
+    "depth.candidates.02",
+    "depth.candidates.03",
+    "depth.candidates.04",
+    "depth.candidates.05",
+    "depth.candidates.06",
+    "depth.candidates.07",
+    "depth.candidates.08",
+    "depth.candidates.09",
+    "depth.candidates.10",
+    "depth.candidates.11",
+    "depth.candidates.12",
+    "depth.candidates.13",
+    "depth.candidates.14",
+    "depth.candidates.15",
+];
+
+/// Stable counter names for subtrees pruned per assignment depth (inequality
+/// inconsistency or a failed partial filter at that depth).
+pub const DEPTH_PRUNED: [&str; PROFILE_DEPTH] = [
+    "depth.pruned.00",
+    "depth.pruned.01",
+    "depth.pruned.02",
+    "depth.pruned.03",
+    "depth.pruned.04",
+    "depth.pruned.05",
+    "depth.pruned.06",
+    "depth.pruned.07",
+    "depth.pruned.08",
+    "depth.pruned.09",
+    "depth.pruned.10",
+    "depth.pruned.11",
+    "depth.pruned.12",
+    "depth.pruned.13",
+    "depth.pruned.14",
+    "depth.pruned.15",
+];
+
+/// A per-run search profile: candidates tried and subtrees pruned at each
+/// assignment depth, plus whole-subtree head-filter prunes. `Cell`-based so
+/// the recursive enumerator and the caller's closures can share one profile
+/// without threading `&mut` through the recursion.
+#[derive(Default, Debug)]
+pub struct DepthProfile {
+    candidates: [Cell<u64>; PROFILE_DEPTH],
+    pruned: [Cell<u64>; PROFILE_DEPTH],
+    head_prunes: Cell<u64>,
+}
+
+impl DepthProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        DepthProfile::default()
+    }
+
+    fn candidate(&self, depth: usize) {
+        let c = &self.candidates[depth.min(PROFILE_DEPTH - 1)];
+        c.set(c.get() + 1);
+    }
+
+    fn prune(&self, depth: usize) {
+        let c = &self.pruned[depth.min(PROFILE_DEPTH - 1)];
+        c.set(c.get() + 1);
+    }
+
+    fn head_prune(&self) {
+        self.head_prunes.set(self.head_prunes.get() + 1);
+    }
+
+    /// Candidates tried per depth slot.
+    pub fn candidates(&self) -> [u64; PROFILE_DEPTH] {
+        std::array::from_fn(|i| self.candidates[i].get())
+    }
+
+    /// Subtrees pruned per depth slot.
+    pub fn pruned(&self) -> [u64; PROFILE_DEPTH] {
+        std::array::from_fn(|i| self.pruned[i].get())
+    }
+
+    /// Subtrees pruned by the head filter (candidate answer already present).
+    pub fn head_prunes(&self) -> u64 {
+        self.head_prunes.get()
+    }
+
+    /// The deepest slot at which any candidate was tried, if any.
+    pub fn max_depth(&self) -> Option<usize> {
+        (0..PROFILE_DEPTH)
+            .rev()
+            .find(|&i| self.candidates[i].get() > 0)
+    }
+}
+
+/// Emit a per-depth profile to `probe` under the stable
+/// [`DEPTH_CANDIDATES`] / [`DEPTH_PRUNED`] / `prune.head` names. Zero deltas
+/// are dropped by the probe, so quiet depths add no events.
+pub fn emit_profile(
+    probe: Probe<'_>,
+    candidates: &[u64; PROFILE_DEPTH],
+    pruned: &[u64; PROFILE_DEPTH],
+    head_prunes: u64,
+) {
+    for (name, &v) in DEPTH_CANDIDATES.iter().zip(candidates) {
+        probe.count(name, v);
+    }
+    for (name, &v) in DEPTH_PRUNED.iter().zip(pruned) {
+        probe.count(name, v);
+    }
+    probe.count("prune.head", head_prunes);
+}
 
 /// How an enumeration run ended.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -109,6 +229,7 @@ impl<'a> ValuationSpace<'a> {
             0,
             0,
             &mut binding,
+            &DepthProfile::default(),
             meter,
             &mut head_filter,
             &mut no_prune,
@@ -126,6 +247,27 @@ impl<'a> ValuationSpace<'a> {
     pub fn for_each_valid_pruned(
         &self,
         meter: &mut Meter<'_>,
+        head_filter: impl FnMut(&[Option<Value>]) -> bool,
+        partial_filter: impl FnMut(&[Option<Value>]) -> bool,
+        visit: impl FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> EnumOutcome {
+        self.for_each_valid_pruned_profiled(
+            &DepthProfile::default(),
+            meter,
+            head_filter,
+            partial_filter,
+            visit,
+        )
+    }
+
+    /// Like [`Self::for_each_valid_pruned`], accumulating per-depth search
+    /// statistics into `profile` (the parallel engine's chunk jobs hand the
+    /// profile back through their chunk stats; the sequential probed path
+    /// emits it directly).
+    pub fn for_each_valid_pruned_profiled(
+        &self,
+        profile: &DepthProfile,
+        meter: &mut Meter<'_>,
         mut head_filter: impl FnMut(&[Option<Value>]) -> bool,
         mut partial_filter: impl FnMut(&[Option<Value>]) -> bool,
         mut visit: impl FnMut(&Valuation) -> ControlFlow<()>,
@@ -135,6 +277,7 @@ impl<'a> ValuationSpace<'a> {
             0,
             0,
             &mut binding,
+            profile,
             meter,
             &mut head_filter,
             &mut partial_filter,
@@ -143,8 +286,11 @@ impl<'a> ValuationSpace<'a> {
     }
 
     /// Like [`Self::for_each_valid_pruned`], reporting the run to `probe`:
-    /// the assignments tried (metered ticks) as `valuations.assignments` and
-    /// the wall time as the `valuations.enumerate` span.
+    /// the assignments tried (metered ticks) as `valuations.assignments`, the
+    /// wall time as the `valuations.enumerate` span, per-depth candidate and
+    /// prune counters under the [`DEPTH_CANDIDATES`] / [`DEPTH_PRUNED`]
+    /// families, head-filter prunes as `prune.head`, and the deepest depth
+    /// reached as the `valuations.max_depth` gauge.
     pub fn for_each_valid_pruned_probed(
         &self,
         probe: Probe<'_>,
@@ -154,10 +300,26 @@ impl<'a> ValuationSpace<'a> {
         visit: impl FnMut(&Valuation) -> ControlFlow<()>,
     ) -> EnumOutcome {
         let before = meter.used();
+        let profile = DepthProfile::default();
         let span = probe.span("valuations.enumerate");
-        let outcome = self.for_each_valid_pruned(meter, head_filter, partial_filter, visit);
+        let outcome = self.for_each_valid_pruned_profiled(
+            &profile,
+            meter,
+            head_filter,
+            partial_filter,
+            visit,
+        );
         drop(span);
         probe.count("valuations.assignments", meter.used() - before);
+        emit_profile(
+            probe,
+            &profile.candidates(),
+            &profile.pruned(),
+            profile.head_prunes(),
+        );
+        if let Some(d) = profile.max_depth() {
+            probe.gauge("valuations.max_depth", d as u64 + 1);
+        }
         outcome
     }
 
@@ -194,6 +356,31 @@ impl<'a> ValuationSpace<'a> {
     /// exactly the sequential order.
     pub fn for_each_valid_pruned_chunk(
         &self,
+        point: (Value, usize),
+        meter: &mut Meter<'_>,
+        head_filter: impl FnMut(&[Option<Value>]) -> bool,
+        partial_filter: impl FnMut(&[Option<Value>]) -> bool,
+        visit: impl FnMut(&Valuation) -> ControlFlow<()>,
+    ) -> EnumOutcome {
+        self.for_each_valid_pruned_chunk_profiled(
+            &DepthProfile::default(),
+            point,
+            meter,
+            head_filter,
+            partial_filter,
+            visit,
+        )
+    }
+
+    /// [`Self::for_each_valid_pruned_chunk`] with per-depth profiling. The
+    /// per-chunk profiles sum to the sequential run's profile, with one
+    /// deliberate exception: the zero-head-variable re-check of the head
+    /// filter (see above) is not counted as a head prune, so a head prune at
+    /// depth 0 of a headless space is attributed once by the sequential
+    /// engine and not at all by the chunked one.
+    pub fn for_each_valid_pruned_chunk_profiled(
+        &self,
+        profile: &DepthProfile,
         (value, next_fresh): (Value, usize),
         meter: &mut Meter<'_>,
         mut head_filter: impl FnMut(&[Option<Value>]) -> bool,
@@ -211,6 +398,7 @@ impl<'a> ValuationSpace<'a> {
         if !meter.tick() {
             return EnumOutcome::BudgetExceeded;
         }
+        profile.candidate(0);
         let var = self.order[0] as usize;
         binding[var] = Some(value);
         if self.neqs_consistent(&binding) && partial_filter(&binding) {
@@ -218,12 +406,14 @@ impl<'a> ValuationSpace<'a> {
                 1,
                 next_fresh,
                 &mut binding,
+                profile,
                 meter,
                 &mut head_filter,
                 &mut partial_filter,
                 &mut visit,
             )
         } else {
+            profile.prune(0);
             EnumOutcome::Exhausted
         }
     }
@@ -254,12 +444,14 @@ impl<'a> ValuationSpace<'a> {
         depth: usize,
         fresh_used: usize,
         binding: &mut Vec<Option<Value>>,
+        profile: &DepthProfile,
         meter: &mut Meter<'_>,
         head_filter: &mut dyn FnMut(&[Option<Value>]) -> bool,
         partial_filter: &mut dyn FnMut(&[Option<Value>]) -> bool,
         visit: &mut dyn FnMut(&Valuation) -> ControlFlow<()>,
     ) -> EnumOutcome {
         if depth == self.head_prefix && !head_filter(binding) {
+            profile.head_prune();
             return EnumOutcome::Exhausted; // pruned subtree, not a stop
         }
         if depth == self.order.len() {
@@ -306,18 +498,21 @@ impl<'a> ValuationSpace<'a> {
             if !meter.tick() {
                 return EnumOutcome::BudgetExceeded;
             }
+            profile.candidate(depth);
             binding[var] = Some(value);
             let outcome = if self.neqs_consistent(binding) && partial_filter(binding) {
                 self.rec(
                     depth + 1,
                     next_fresh,
                     binding,
+                    profile,
                     meter,
                     head_filter,
                     partial_filter,
                     visit,
                 )
             } else {
+                profile.prune(depth);
                 EnumOutcome::Exhausted
             };
             binding[var] = None;

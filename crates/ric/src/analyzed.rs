@@ -19,7 +19,7 @@
 //! only cheaper. `BENCH_ANALYSIS.json` (see EXPERIMENTS.md) measures the
 //! effect.
 
-use crate::guard::{try_rcdp_guarded, try_rcqp_guarded, DecisionError};
+use crate::guard::{try_rcdp_guarded, try_rcqp_guarded, Decision, DecisionError};
 pub use ric_analysis::analyze;
 use ric_analysis::AnalysisReport;
 use ric_complete::{Guard, Query, QueryVerdict, SearchBudget, Setting, Verdict};
@@ -56,7 +56,7 @@ pub fn try_rcdp_analyzed(
     db: &Database,
     budget: &SearchBudget,
 ) -> Result<Verdict, DecisionError> {
-    try_rcdp_analyzed_probed(setting, query, db, budget, Probe::disabled())
+    try_rcdp_analyzed_probed(setting, query, db, budget, Probe::disabled()).map(|d| d.verdict)
 }
 
 /// [`try_rcdp_analyzed`] with a telemetry probe attached. The probe sees the
@@ -68,7 +68,7 @@ pub fn try_rcdp_analyzed_probed(
     db: &Database,
     budget: &SearchBudget,
     probe: Probe<'_>,
-) -> Result<Verdict, DecisionError> {
+) -> Result<Decision<Verdict>, DecisionError> {
     let (s, q, _report) = gate(setting, query, probe)?;
     try_rcdp_guarded(&s, &q, db, budget, &Guard::new(budget), probe)
 }
@@ -79,7 +79,7 @@ pub fn try_rcqp_analyzed(
     query: &Query,
     budget: &SearchBudget,
 ) -> Result<QueryVerdict, DecisionError> {
-    try_rcqp_analyzed_probed(setting, query, budget, Probe::disabled())
+    try_rcqp_analyzed_probed(setting, query, budget, Probe::disabled()).map(|d| d.verdict)
 }
 
 /// [`try_rcqp_analyzed`] with a telemetry probe attached.
@@ -88,7 +88,7 @@ pub fn try_rcqp_analyzed_probed(
     query: &Query,
     budget: &SearchBudget,
     probe: Probe<'_>,
-) -> Result<QueryVerdict, DecisionError> {
+) -> Result<Decision<QueryVerdict>, DecisionError> {
     let (s, q, _report) = gate(setting, query, probe)?;
     try_rcqp_guarded(&s, &q, budget, &Guard::new(budget), probe)
 }

@@ -18,7 +18,23 @@ use ric_complete::{
     rcdp_guarded, rcqp_guarded, Guard, Query, QueryVerdict, RcError, SearchBudget, Setting, Verdict,
 };
 use ric_data::Database;
-use ric_telemetry::{Collector, Probe, TeeSink};
+use ric_telemetry::{Collector, Explain, Probe, TeeSink, TraceState};
+
+/// A verdict together with the structured [`Explain`] artifact rebuilt from
+/// the decision's own trace: the span tree (single root, every span closed),
+/// summed counters, gauges, notes (including the `explain.*` frontier notes
+/// for `Unknown`), and any cooperative interrupts.
+///
+/// Every probed/guarded `try_*` entry point returns one of these; the plain
+/// [`try_rcdp`]/[`try_rcqp`] wrappers discard the explanation and hand back
+/// the bare verdict.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Decision<T> {
+    /// The decider's verdict, bit-identical to the unprobed run.
+    pub verdict: T,
+    /// What the search did and why it stopped.
+    pub explain: Explain,
+}
 
 /// Everything that can stop a `try_*` decision from returning a verdict.
 ///
@@ -82,14 +98,33 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 fn isolate<T>(
     probe: Probe<'_>,
     run: impl FnOnce(Probe<'_>) -> Result<T, RcError>,
-) -> Result<T, DecisionError> {
+) -> Result<Decision<T>, DecisionError> {
     // The collector records first so the decision path survives even when
     // the caller's sink is the panicking component.
     let collector = Collector::new();
     let tee = TeeSink::new(Some(&collector), probe.sink());
-    let result = catch_unwind(AssertUnwindSafe(|| run(Probe::attached(&tee))));
+    // The decision runs traced against the caller's trace state when one is
+    // attached (ids stay consistent in the caller's own stream) or a fresh
+    // one otherwise, so the collector always sees a rebuildable span tree.
+    let fresh = TraceState::new();
+    let trace = probe.trace().unwrap_or(&fresh);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let p = Probe::attached(&tee).with_trace(trace);
+        let root = p.span("decision");
+        let out = run(p);
+        drop(root);
+        out
+    }));
     match result {
-        Ok(inner) => inner.map_err(DecisionError::Rc),
+        Ok(inner) => {
+            let verdict = inner.map_err(DecisionError::Rc)?;
+            let explain = Explain::from_events(&collector.events()).unwrap_or_else(|e| {
+                unreachable!(
+                    "the root span wraps the whole decision, so the trace is well-formed: {e}"
+                )
+            });
+            Ok(Decision { verdict, explain })
+        }
         Err(payload) => Err(DecisionError::Panic {
             message: panic_message(payload),
             notes: collector
@@ -119,16 +154,18 @@ pub fn try_rcdp(
         &Guard::new(budget),
         Probe::disabled(),
     )
+    .map(|d| d.verdict)
 }
 
-/// [`try_rcdp`] with a telemetry probe attached.
+/// [`try_rcdp`] with a telemetry probe attached; the verdict arrives inside
+/// a [`Decision`] carrying the structured [`Explain`].
 pub fn try_rcdp_probed(
     setting: &Setting,
     query: &Query,
     db: &Database,
     budget: &SearchBudget,
     probe: Probe<'_>,
-) -> Result<Verdict, DecisionError> {
+) -> Result<Decision<Verdict>, DecisionError> {
     try_rcdp_guarded(setting, query, db, budget, &Guard::new(budget), probe)
 }
 
@@ -143,7 +180,7 @@ pub fn try_rcdp_guarded(
     budget: &SearchBudget,
     guard: &Guard,
     probe: Probe<'_>,
-) -> Result<Verdict, DecisionError> {
+) -> Result<Decision<Verdict>, DecisionError> {
     isolate(probe, |p| {
         rcdp_guarded(setting, query, db, budget, guard, p)
     })
@@ -162,15 +199,17 @@ pub fn try_rcqp(
         &Guard::new(budget),
         Probe::disabled(),
     )
+    .map(|d| d.verdict)
 }
 
-/// [`try_rcqp`] with a telemetry probe attached.
+/// [`try_rcqp`] with a telemetry probe attached; the verdict arrives inside
+/// a [`Decision`] carrying the structured [`Explain`].
 pub fn try_rcqp_probed(
     setting: &Setting,
     query: &Query,
     budget: &SearchBudget,
     probe: Probe<'_>,
-) -> Result<QueryVerdict, DecisionError> {
+) -> Result<Decision<QueryVerdict>, DecisionError> {
     try_rcqp_guarded(setting, query, budget, &Guard::new(budget), probe)
 }
 
@@ -181,6 +220,6 @@ pub fn try_rcqp_guarded(
     budget: &SearchBudget,
     guard: &Guard,
     probe: Probe<'_>,
-) -> Result<QueryVerdict, DecisionError> {
+) -> Result<Decision<QueryVerdict>, DecisionError> {
     isolate(probe, |p| rcqp_guarded(setting, query, budget, guard, p))
 }

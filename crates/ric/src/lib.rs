@@ -78,7 +78,7 @@ pub use analyzed::{
 };
 pub use guard::{
     try_rcdp, try_rcdp_guarded, try_rcdp_probed, try_rcqp, try_rcqp_guarded, try_rcqp_probed,
-    DecisionError,
+    Decision, DecisionError,
 };
 
 pub use ric_analysis as analysis;
@@ -98,7 +98,8 @@ pub use ric_complete::{
 };
 pub use ric_data::SplitMix64;
 pub use ric_telemetry::{
-    Collector, Event, FaultSink, JsonlSink, PrettySink, Probe, Report, Sink, TeeSink,
+    Collector, Event, Explain, FaultSink, JsonlSink, Metrics, PrettySink, Probe, Report, Sink,
+    SpanTree, TeeSink, TraceState,
 };
 
 /// One-stop imports for applications.
@@ -109,7 +110,7 @@ pub mod prelude {
     };
     pub use crate::guard::{
         try_rcdp, try_rcdp_guarded, try_rcdp_probed, try_rcqp, try_rcqp_guarded, try_rcqp_probed,
-        DecisionError,
+        Decision, DecisionError,
     };
     pub use ric_analysis::{AnalysisReport, Code, Diagnostic, Pointer, Severity};
     pub use ric_complete::{
@@ -125,7 +126,7 @@ pub mod prelude {
         Attribute, Database, DomainKind, RelId, RelationSchema, Schema, Tuple, Value,
     };
     pub use ric_query::{parse_cq, parse_program, parse_ucq, Cq, Term, Ucq, Var};
-    pub use ric_telemetry::{Collector, Probe, Report, Sink};
+    pub use ric_telemetry::{Collector, Explain, Probe, Report, Sink, TraceState};
 }
 
 #[cfg(test)]

@@ -19,15 +19,25 @@
 //!   fully offline, so there is no serde).
 //! * [`json`] — a tiny JSON value model with a writer and a parser, shared
 //!   by the JSONL sink and the `regen_tables` table artifacts.
+//! * [`trace`] — hierarchical span trees. Probes carrying a [`TraceState`]
+//!   assign parent/child ids to spans; [`Explain`] rebuilds the decision
+//!   tree from the event stream and rides on every facade verdict.
+//! * [`metrics`] — a [`Metrics`] registry with log-bucketed histograms and
+//!   Prometheus-text / JSON snapshot exporters, merged bit-identically
+//!   across workers.
 //!
 //! No external dependencies, std only.
 
 pub mod json;
+pub mod metrics;
 pub mod probe;
 pub mod sink;
+pub mod trace;
 
 pub use json::Json;
-pub use probe::{Event, Probe, SpanGuard};
+pub use metrics::{Histogram, Metrics};
+pub use probe::{Event, Probe, SpanGuard, TickSource, TraceState};
 pub use sink::{
     Collector, FaultSink, InterruptRecord, JsonlSink, PrettySink, Report, Sink, TeeSink,
 };
+pub use trace::{top_k_counters, Explain, SpanRecord, SpanTree, TraceError, TreeBuilder};

@@ -2,9 +2,16 @@
 //!
 //! * [`Collector`] aggregates in memory and also keeps the raw event stream;
 //!   use [`Collector::report`] for programmatic inspection.
-//! * [`PrettySink`] streams human-readable lines to any `io::Write`.
+//! * [`PrettySink`] streams human-readable lines to any `io::Write`,
+//!   indenting by span nesting when the probe carries a trace state.
 //! * [`JsonlSink`] streams one hand-rolled JSON object per event (the
 //!   workspace builds offline; there is no serde).
+//!
+//! Both streaming sinks buffer their writes (`io::BufWriter`): a traced
+//! decision can emit tens of thousands of events, and an unbuffered
+//! per-event `write!` to a file or stderr dominates the run. The buffer is
+//! flushed when the sink is recovered with `into_inner`, on an explicit
+//! [`PrettySink::flush`]/[`JsonlSink::flush`], and by `BufWriter`'s own drop.
 //!
 //! All sinks take `&self` — the deciders are single-threaded, so interior
 //! mutability via `RefCell` is enough and keeps [`Probe`](crate::Probe)
@@ -13,7 +20,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io;
+use std::io::{self, Write};
 
 use crate::json::Json;
 use crate::probe::Event;
@@ -59,7 +66,10 @@ impl Collector {
                 Event::Gauge { name, value } => {
                     report.gauges.insert(name, *value);
                 }
-                Event::Span { name, micros } => {
+                // Open markers only carry tree structure; the close event of
+                // the same id carries the measurements.
+                Event::SpanOpen { .. } => {}
+                Event::Span { name, micros, .. } => {
                     *report.spans.entry(name).or_insert(0) += micros;
                 }
                 Event::Note { name, detail } => {
@@ -95,7 +105,9 @@ pub struct Report {
     pub counters: BTreeMap<&'static str, u64>,
     /// Last-observed gauge values by name.
     pub gauges: BTreeMap<&'static str, u64>,
-    /// Summed span times (µs) by name.
+    /// Summed span times (µs) by name. Under `Engine::Parallel` a merged
+    /// report sums the per-worker spans too, so this reads as *total work
+    /// time*, not wall time — see [`Report::merge`].
     pub spans: BTreeMap<&'static str, u128>,
     /// Notes by name, in emission order.
     pub notes: BTreeMap<&'static str, Vec<String>>,
@@ -115,12 +127,23 @@ pub struct InterruptRecord {
 }
 
 impl Report {
-    /// Fold `other` into `self`: counters and spans sum, gauges keep the
-    /// maximum (a merged report answers "how big did it get?"), notes and
-    /// interrupts append in `other`'s emission order. Used by the parallel
-    /// scheduler to aggregate per-worker reports into one coherent view —
-    /// merging the workers' reports in any order yields the same counters,
-    /// gauges, and spans.
+    /// Fold `other` into `self`. Pinned merge semantics (the parallel
+    /// scheduler and the metrics exporter both rely on these):
+    ///
+    /// * **counters sum** — they count work, and work adds up;
+    /// * **spans sum** — a merged span total is *total work time across
+    ///   workers* (CPU-seconds), deliberately not wall time: wall time is
+    ///   what the caller's own clock around the decision measures, while the
+    ///   summed span answers "how much work did this phase cost?";
+    /// * **gauges max** — a merged report answers "how big did it get?";
+    /// * **notes append** in `other`'s emission order;
+    /// * **interrupts append, exact duplicates skipped** — one guard trip is
+    ///   broadcast to every worker of a parallel fan-out, so the same
+    ///   `(name, reason, at_tick)` record can surface once per worker report;
+    ///   a merged report keeps one.
+    ///
+    /// Merging per-worker reports in any order yields the same counters,
+    /// gauges, spans, and interrupt set.
     pub fn merge(&mut self, other: &Report) {
         for (name, delta) in &other.counters {
             *self.counters.entry(name).or_insert(0) += delta;
@@ -138,7 +161,11 @@ impl Report {
                 .or_default()
                 .extend(details.iter().cloned());
         }
-        self.interrupts.extend(other.interrupts.iter().copied());
+        for record in &other.interrupts {
+            if !self.interrupts.contains(record) {
+                self.interrupts.push(*record);
+            }
+        }
     }
 
     /// The summed value of counter `name` (0 when never emitted).
@@ -248,39 +275,94 @@ impl fmt::Display for Report {
     }
 }
 
-/// Streams one human-readable line per event to a writer.
+/// Streams one human-readable line per event to a writer, indented by the
+/// nesting depth of the currently open traced spans.
+///
+/// Nesting comes from the [`Event::SpanOpen`]/[`Event::Span`] id pairs that
+/// traced probes emit; the sink tracks the stack of open ids and tolerates
+/// spans closed out of order (a close removes exactly its own id, wherever
+/// it sits in the stack, so a sibling closed late can never corrupt the
+/// indentation of what follows). Untraced streams carry no `SpanOpen` events
+/// and print exactly as before, flush left.
 pub struct PrettySink<W: io::Write> {
-    writer: RefCell<W>,
+    writer: RefCell<io::BufWriter<W>>,
+    open: RefCell<Vec<u64>>,
 }
 
 impl<W: io::Write> PrettySink<W> {
     /// A sink writing to `writer` (e.g. `std::io::stderr()`).
     pub fn new(writer: W) -> Self {
         PrettySink {
-            writer: RefCell::new(writer),
+            writer: RefCell::new(io::BufWriter::new(writer)),
+            open: RefCell::new(Vec::new()),
         }
     }
 
-    /// Recover the writer.
+    /// Flush buffered lines through to the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.writer.borrow_mut().flush();
+    }
+
+    /// Recover the writer, flushing buffered lines first.
     pub fn into_inner(self) -> W {
-        self.writer.into_inner()
+        let mut buf = self.writer.into_inner();
+        let _ = buf.flush();
+        buf.into_parts().0
     }
 }
 
 impl<W: io::Write> Sink for PrettySink<W> {
     fn record(&self, event: Event) {
+        let mut open = self.open.borrow_mut();
         let mut w = self.writer.borrow_mut();
+        let pad = |depth: usize| "  ".repeat(depth);
         // Telemetry never takes down a decision: ignore I/O errors.
         let _ = match event {
-            Event::Count { name, delta } => writeln!(w, "count {name} +{delta}"),
-            Event::Gauge { name, value } => writeln!(w, "gauge {name} = {value}"),
-            Event::Span { name, micros } => writeln!(w, "span  {name} {micros} µs"),
-            Event::Note { name, detail } => writeln!(w, "note  {name}: {detail}"),
+            Event::Count { name, delta } => {
+                writeln!(w, "{}count {name} +{delta}", pad(open.len()))
+            }
+            Event::Gauge { name, value } => {
+                writeln!(w, "{}gauge {name} = {value}", pad(open.len()))
+            }
+            Event::SpanOpen { name, id, .. } => {
+                let line = writeln!(w, "{}open  {name}", pad(open.len()));
+                open.push(id);
+                line
+            }
+            Event::Span {
+                name,
+                micros,
+                id,
+                ticks,
+                ..
+            } => {
+                if id == 0 {
+                    writeln!(w, "{}span  {name} {micros} µs", pad(open.len()))
+                } else {
+                    // Close exactly this span's id; out-of-order closes leave
+                    // the rest of the stack intact.
+                    let depth = match open.iter().rposition(|&o| o == id) {
+                        Some(pos) => {
+                            open.remove(pos);
+                            pos
+                        }
+                        None => open.len(),
+                    };
+                    writeln!(w, "{}span  {name} {micros} µs ({ticks} ticks)", pad(depth))
+                }
+            }
+            Event::Note { name, detail } => {
+                writeln!(w, "{}note  {name}: {detail}", pad(open.len()))
+            }
             Event::Interrupt {
                 name,
                 reason,
                 at_tick,
-            } => writeln!(w, "intr  {name}: {reason} @ tick {at_tick}"),
+            } => writeln!(
+                w,
+                "{}intr  {name}: {reason} @ tick {at_tick}",
+                pad(open.len())
+            ),
         };
     }
 }
@@ -293,21 +375,33 @@ impl<W: io::Write> Sink for PrettySink<W> {
 /// {"kind":"count","name":"rcdp.valuations","delta":128}
 /// {"kind":"span","name":"rcdp.enumerate","micros":412}
 /// ```
+///
+/// Traced streams additionally carry `span_open` lines and `id`/`parent`/
+/// `ticks` fields on `span` lines (see EXPERIMENTS.md for the full trace
+/// schema); untraced streams keep the flat five-kind shape above.
 pub struct JsonlSink<W: io::Write> {
-    writer: RefCell<W>,
+    writer: RefCell<io::BufWriter<W>>,
 }
 
 impl<W: io::Write> JsonlSink<W> {
     /// A sink writing one JSON line per event to `writer`.
     pub fn new(writer: W) -> Self {
         JsonlSink {
-            writer: RefCell::new(writer),
+            writer: RefCell::new(io::BufWriter::new(writer)),
         }
     }
 
-    /// Recover the writer (e.g. to inspect an in-memory `Vec<u8>`).
+    /// Flush buffered lines through to the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.writer.borrow_mut().flush();
+    }
+
+    /// Recover the writer (e.g. to inspect an in-memory `Vec<u8>`),
+    /// flushing buffered lines first.
     pub fn into_inner(self) -> W {
-        self.writer.into_inner()
+        let mut buf = self.writer.into_inner();
+        let _ = buf.flush();
+        buf.into_parts().0
     }
 
     /// The JSON line for one event (without the trailing newline).
@@ -323,11 +417,42 @@ impl<W: io::Write> JsonlSink<W> {
                 ("name", Json::from(*name)),
                 ("value", Json::from(*value)),
             ]),
-            Event::Span { name, micros } => Json::obj([
-                ("kind", Json::from("span")),
+            Event::SpanOpen {
+                name,
+                id,
+                parent,
+                at_tick,
+            } => Json::obj([
+                ("kind", Json::from("span_open")),
                 ("name", Json::from(*name)),
-                ("micros", Json::from(*micros)),
+                ("id", Json::from(*id)),
+                ("parent", Json::from(*parent)),
+                ("at_tick", Json::from(*at_tick)),
             ]),
+            Event::Span {
+                name,
+                micros,
+                id,
+                parent,
+                ticks,
+            } => {
+                if *id == 0 {
+                    Json::obj([
+                        ("kind", Json::from("span")),
+                        ("name", Json::from(*name)),
+                        ("micros", Json::from(*micros)),
+                    ])
+                } else {
+                    Json::obj([
+                        ("kind", Json::from("span")),
+                        ("name", Json::from(*name)),
+                        ("micros", Json::from(*micros)),
+                        ("id", Json::from(*id)),
+                        ("parent", Json::from(*parent)),
+                        ("ticks", Json::from(*ticks)),
+                    ])
+                }
+            }
             Event::Note { name, detail } => Json::obj([
                 ("kind", Json::from("note")),
                 ("name", Json::from(*name)),
@@ -419,7 +544,7 @@ impl Sink for FaultSink<'_> {
 mod tests {
     use super::*;
     use crate::json;
-    use crate::probe::Probe;
+    use crate::probe::{Probe, TraceState};
 
     #[test]
     fn collector_aggregates_exactly() {
@@ -486,6 +611,30 @@ mod tests {
     }
 
     #[test]
+    fn merge_skips_duplicate_interrupt_records() {
+        // One guard trip is observed by every worker of a parallel fan-out;
+        // the merged report must keep a single record of it, while genuinely
+        // distinct interrupts (different tick or reason) all survive.
+        let a = Collector::new();
+        Probe::attached(&a).interrupt("rcdp.interrupt", "deadline", 7);
+        let b = Collector::new();
+        let pb = Probe::attached(&b);
+        pb.interrupt("rcdp.interrupt", "deadline", 7); // duplicate
+        pb.interrupt("rcdp.interrupt", "deadline", 9); // distinct tick
+
+        let mut merged = a.report();
+        merged.merge(&b.report());
+        assert_eq!(merged.interrupts.len(), 2);
+        assert_eq!(merged.interrupts[0].at_tick, 7);
+        assert_eq!(merged.interrupts[1].at_tick, 9);
+
+        // Self-merge is idempotent on the interrupt set.
+        let snapshot = merged.clone();
+        merged.merge(&snapshot);
+        assert_eq!(merged.interrupts.len(), 2);
+    }
+
+    #[test]
     fn merge_into_empty_is_identity() {
         let a = Collector::new();
         let pa = Probe::attached(&a);
@@ -535,6 +684,37 @@ mod tests {
             note.get("detail").and_then(Json::as_str),
             Some("detail with \"quotes\" and\nnewline")
         );
+        // Untraced span lines keep the flat legacy shape: no id field.
+        let span = json::parse(lines[3]).unwrap();
+        assert_eq!(span.get("kind").and_then(Json::as_str), Some("span"));
+        assert!(span.get("id").is_none());
+    }
+
+    #[test]
+    fn jsonl_traced_spans_carry_ids() {
+        let sink = JsonlSink::new(Vec::new());
+        let trace = TraceState::new();
+        let probe = Probe::attached(&sink).with_trace(&trace);
+        {
+            let _root = probe.span("root");
+            drop(probe.span("child"));
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let docs: Vec<Json> = text.lines().map(|l| json::parse(l).unwrap()).collect();
+        assert_eq!(docs.len(), 4); // 2 opens + 2 closes
+        assert_eq!(
+            docs[0].get("kind").and_then(Json::as_str),
+            Some("span_open")
+        );
+        assert_eq!(docs[0].get("id").and_then(Json::as_int), Some(1));
+        assert_eq!(docs[0].get("parent").and_then(Json::as_int), Some(0));
+        assert_eq!(docs[1].get("id").and_then(Json::as_int), Some(2));
+        assert_eq!(docs[1].get("parent").and_then(Json::as_int), Some(1));
+        // child closes before root.
+        assert_eq!(docs[2].get("kind").and_then(Json::as_str), Some("span"));
+        assert_eq!(docs[2].get("id").and_then(Json::as_int), Some(2));
+        assert_eq!(docs[3].get("id").and_then(Json::as_int), Some(1));
+        assert!(docs[3].get("ticks").is_some());
     }
 
     #[test]
@@ -546,6 +726,53 @@ mod tests {
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert!(text.contains("count v +3"));
         assert!(text.contains("note  outcome: complete"));
+    }
+
+    #[test]
+    fn pretty_sink_indents_traced_spans() {
+        let sink = PrettySink::new(Vec::new());
+        let trace = TraceState::new();
+        let probe = Probe::attached(&sink).with_trace(&trace);
+        {
+            let _root = probe.span("decision");
+            probe.count("v", 1);
+            {
+                let _inner = probe.span("enumerate");
+                probe.count("v", 2);
+            }
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "open  decision");
+        assert_eq!(lines[1], "  count v +1");
+        assert_eq!(lines[2], "  open  enumerate");
+        assert_eq!(lines[3], "    count v +2");
+        assert!(lines[4].starts_with("  span  enumerate"));
+        assert!(lines[5].starts_with("span  decision"));
+    }
+
+    #[test]
+    fn pretty_sink_tolerates_out_of_order_closes() {
+        // Close the outer guard before the inner one (possible when guards
+        // are moved into structs): each close removes its own id, so the
+        // indentation never underflows and later events print sanely.
+        let sink = PrettySink::new(Vec::new());
+        let trace = TraceState::new();
+        let probe = Probe::attached(&sink).with_trace(&trace);
+        let outer = probe.span("outer");
+        let inner = probe.span("inner");
+        drop(outer);
+        drop(inner);
+        probe.count("after", 1);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "open  outer");
+        assert_eq!(lines[1], "  open  inner");
+        // outer closes at its own depth (0), inner at its own depth (now 0
+        // after outer was removed below it — the stack held only inner).
+        assert!(lines[2].starts_with("span  outer"));
+        assert!(lines[3].starts_with("span  inner") || lines[3].starts_with("  span  inner"));
+        assert_eq!(*lines.last().unwrap(), "count after +1");
     }
 
     #[test]

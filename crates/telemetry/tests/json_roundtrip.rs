@@ -1,0 +1,179 @@
+//! Seeded round-trip property suite for the hand-rolled JSON layer:
+//! `parse ∘ print = id` over generated documents, plus the escape, unicode,
+//! and `i128`-range edge cases a fuzzer would find first.
+//!
+//! The generator is a local SplitMix64 — `ric-telemetry` sits below
+//! `ric-data` in the dependency order, so it cannot borrow the workspace's
+//! shared generator.
+
+use ric_telemetry::json::{parse, Json};
+
+/// SplitMix64 (Steele et al.): tiny, seedable, good enough to sweep the
+/// value space deterministically.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// A char drawn from ranges that stress the writer: ASCII, the escaped
+/// control/quote/backslash set, and multi-byte unicode (including a
+/// supplementary-plane scalar, which exercises UTF-8 4-byte handling).
+fn gen_char(rng: &mut SplitMix64) -> char {
+    match rng.below(8) {
+        0 => '"',
+        1 => '\\',
+        2 => char::from_u32(rng.below(0x20) as u32).unwrap_or('\u{1}'),
+        3 => 'é',
+        4 => '\u{6c49}',  // 汉, 3-byte UTF-8
+        5 => '\u{1f600}', // 😀, 4-byte UTF-8 (surrogate pair in \u escapes)
+        _ => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or('x'),
+    }
+}
+
+fn gen_string(rng: &mut SplitMix64) -> String {
+    (0..rng.below(12)).map(|_| gen_char(rng)).collect()
+}
+
+/// An i128 spanning the full width: small values, u64-sized, and values
+/// near the i128 extremes (which overflow any f64-based parser).
+fn gen_int(rng: &mut SplitMix64) -> i128 {
+    let base = match rng.below(4) {
+        0 => i128::from(rng.below(100)),
+        1 => i128::from(rng.next()),
+        2 => i128::MAX - i128::from(rng.below(1000)),
+        _ => i128::MIN + i128::from(rng.below(1000)),
+    };
+    if rng.below(2) == 0 {
+        base
+    } else {
+        base.checked_neg().unwrap_or(i128::MAX)
+    }
+}
+
+/// A random JSON value. `depth` bounds nesting so documents stay small.
+fn gen_value(rng: &mut SplitMix64, depth: u32) -> Json {
+    let choices = if depth == 0 { 4 } else { 6 };
+    match rng.below(choices) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.below(2) == 0),
+        2 => Json::Int(gen_int(rng)),
+        3 => Json::Str(gen_string(rng)),
+        4 => Json::arr((0..rng.below(4)).map(|_| gen_value(rng, depth - 1))),
+        _ => Json::Obj(
+            (0..rng.below(4))
+                .map(|i| {
+                    // Distinct keys: duplicate keys round-trip fine through
+                    // our parser but are poor JSON hygiene.
+                    let key = format!("{}#{i}", gen_string(rng));
+                    (key, gen_value(rng, depth - 1))
+                })
+                .collect(),
+        ),
+    }
+}
+
+#[test]
+fn parse_print_identity_over_seeded_documents() {
+    let mut rng = SplitMix64(0x5eed_0001);
+    for case in 0..500 {
+        let doc = gen_value(&mut rng, 3);
+        let compact = doc.to_string();
+        assert_eq!(
+            parse(&compact).unwrap_or_else(|e| panic!("case {case}: {e} in {compact}")),
+            doc,
+            "case {case}: compact round-trip"
+        );
+        let pretty = doc.pretty();
+        assert_eq!(
+            parse(&pretty).unwrap_or_else(|e| panic!("case {case}: {e} in {pretty}")),
+            doc,
+            "case {case}: pretty round-trip"
+        );
+    }
+}
+
+#[test]
+fn parse_print_identity_over_seeded_strings() {
+    // Strings alone, longer and denser in escapes than the document sweep.
+    let mut rng = SplitMix64(0x5eed_0002);
+    for _ in 0..2000 {
+        let s: String = (0..rng.below(40)).map(|_| gen_char(&mut rng)).collect();
+        let doc = Json::Str(s);
+        assert_eq!(parse(&doc.to_string()).unwrap(), doc);
+    }
+}
+
+#[test]
+fn i128_extremes_round_trip_exactly() {
+    for v in [
+        i128::MIN,
+        i128::MIN + 1,
+        i128::from(i64::MIN),
+        -1,
+        0,
+        1,
+        i128::from(u64::MAX),
+        i128::MAX - 1,
+        i128::MAX,
+    ] {
+        let doc = Json::Int(v);
+        assert_eq!(parse(&doc.to_string()).unwrap(), doc, "i128 {v}");
+    }
+}
+
+#[test]
+fn escape_edge_cases_round_trip() {
+    for s in [
+        "",
+        "\"",
+        "\\",
+        "\\\\\"",
+        "\n\r\t",
+        "\u{0}\u{1}\u{1f}",
+        "ends with backslash\\",
+        "\u{7f}", // DEL is not escaped, must survive raw
+        "é汉😀",  // 2-, 3-, 4-byte UTF-8 adjacent
+        "mixed \"q\\u\" \n 汉",
+    ] {
+        let doc = Json::Str(s.to_string());
+        assert_eq!(parse(&doc.to_string()).unwrap(), doc, "string {s:?}");
+    }
+}
+
+#[test]
+fn unicode_escape_forms_parse_to_scalars() {
+    // The writer never emits \u for printable chars, but the parser must
+    // accept them (standard JSON) — including unpaired surrogates, which
+    // map to U+FFFD rather than erroring.
+    assert_eq!(parse("\"\\u6c49\"").unwrap(), Json::Str("汉".into()));
+    assert_eq!(parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
+    assert_eq!(parse("\"\\ud800\"").unwrap(), Json::Str("\u{fffd}".into()));
+}
+
+#[test]
+fn floats_round_trip_within_reprint() {
+    // f64 display is shortest-round-trip in Rust, so print → parse → print
+    // is stable even where parse(print(x)) compares unequal bitwise (NaN is
+    // written as null and excluded).
+    // Magnitudes stay below 2^63: an integral float prints as a plain digit
+    // string, which must stay inside the parser's i128 fast path.
+    let mut rng = SplitMix64(0x5eed_0003);
+    for _ in 0..500 {
+        let x = (rng.next() as i64 as f64) / ((rng.below(1000) + 1) as f64);
+        let doc = Json::Num(x);
+        let printed = doc.to_string();
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(reparsed.to_string(), printed, "float {x}");
+    }
+}

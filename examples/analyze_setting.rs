@@ -79,7 +79,7 @@ fn main() {
     db.insert(pref, Tuple::new([Value::str("c1")]));
 
     let collector = Collector::new();
-    let verdict = try_rcdp_analyzed_probed(
+    let decision = try_rcdp_analyzed_probed(
         &setting,
         &query,
         &db,
@@ -88,8 +88,8 @@ fn main() {
     )
     .expect("analysis-gated rcdp");
     println!(
-        "\nverdict (dispatched to the {:?} cell): {verdict}",
-        report.query.minimal
+        "\nverdict (dispatched to the {:?} cell): {}",
+        report.query.minimal, decision.verdict
     );
     println!(
         "analysis.downgrade counter: {}",

@@ -12,12 +12,21 @@
 #                              cargo test --test analysis_properties)
 #   7. bench artifacts        (regen_tables --deadline-ms guard; the run
 #                              fails if any shipped workload draws an
-#                              Error-level analyzer diagnostic)
-#   8. full test suite        (cargo test -q -- --include-ignored)
-#   9. formatting             (cargo fmt --check)
-#  10. lints                  (cargo clippy --all-targets -D warnings)
-#  11. lints, workspace       (cargo clippy --workspace -D warnings)
-#  12. lints, unwrap ban      (clippy -D clippy::unwrap_used/expect_used on
+#                              Error-level analyzer diagnostic, and also
+#                              streams a JSONL decision trace)
+#   8. trace smoke            (the trace_decision example and the
+#                              regen_tables --trace stream must round-trip
+#                              through the ric-trace CLI: tree, prune, and
+#                              diff all parse and render; a malformed trace
+#                              is rejected with a nonzero exit)
+#   9. disabled probes        (cargo test -p ric-telemetry disabled_probe:
+#                              Probe::disabled adds zero events, traced or
+#                              not)
+#  10. full test suite        (cargo test -q -- --include-ignored)
+#  11. formatting             (cargo fmt --check)
+#  12. lints                  (cargo clippy --all-targets -D warnings)
+#  13. lints, workspace       (cargo clippy --workspace -D warnings)
+#  14. lints, unwrap ban      (clippy -D clippy::unwrap_used/expect_used on
 #                              library code; tests are exempt via clippy.toml)
 #
 # Everything runs with --offline: the default build has zero third-party
@@ -63,10 +72,38 @@ cargo test -q --offline --test analysis_properties
 # Regenerate the bench artifacts under a wall-clock guard. regen_tables runs
 # every shipped workload through the analyzer first and exits nonzero on any
 # Error-level diagnostic, so a broken bench setting fails CI here rather than
-# silently producing garbage artifacts.
-step "bench artifact regeneration (BENCH_*.json, deadline-guarded)"
+# silently producing garbage artifacts. The same run streams a JSONL decision
+# trace (into a temp dir — wall-clock micros would make a tracked trace file
+# churn on every run) for the smoke step below.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "${trace_dir}"' EXIT
+step "bench artifact regeneration (BENCH_*.json + decision trace, deadline-guarded)"
 cargo run -q --release --offline -p ric-bench --bin regen_tables -- --deadline-ms 15000 \
-  > /dev/null
+  --trace "${trace_dir}/regen.jsonl" > /dev/null
+
+# The observability round trip: every JSONL trace the workspace emits must
+# parse and render through the ric-trace CLI, and a malformed trace must be
+# rejected loudly (exit 1), not rendered as garbage.
+step "trace smoke (JSONL decision traces round-trip through ric-trace)"
+ric_trace() { cargo run -q --release --offline -p ric-bench --bin ric-trace -- "$@"; }
+cargo run -q --release --offline --example trace_decision \
+  > "${trace_dir}/example.jsonl" 2> /dev/null
+for trace in example regen; do
+  ric_trace tree  "${trace_dir}/${trace}.jsonl" > /dev/null
+  ric_trace prune "${trace_dir}/${trace}.jsonl" > /dev/null
+done
+ric_trace diff "${trace_dir}/example.jsonl" "${trace_dir}/regen.jsonl" > /dev/null
+ric_trace diff BENCH_TABLE1.json BENCH_TABLE1.json > /dev/null
+head -1 "${trace_dir}/example.jsonl" > "${trace_dir}/truncated.jsonl"
+if ric_trace tree "${trace_dir}/truncated.jsonl" > /dev/null 2>&1; then
+  echo "ci.sh: ric-trace accepted a malformed trace (unclosed decision span)" >&2
+  exit 1
+fi
+
+# Tracing must be free when off: a disabled probe records zero events and
+# never runs a note closure, with or without a TraceState attached.
+step "disabled probes add zero events"
+cargo test -q --offline -p ric-telemetry disabled_probe
 
 step "tests (full: --include-ignored picks up the heavy instances)"
 cargo test -q --offline -- --include-ignored

@@ -359,7 +359,7 @@ fn genuine_fo_passes_the_gate_undowngraded() {
     .unwrap();
     let direct = rcdp(&setting, &q, &db, &SearchBudget::small()).unwrap();
     assert_eq!(
-        std::mem::discriminant(&gated),
+        std::mem::discriminant(&gated.verdict),
         std::mem::discriminant(&direct)
     );
     assert_eq!(collector.report().counter("analysis.downgrade"), 0);

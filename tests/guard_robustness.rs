@@ -377,7 +377,11 @@ fn try_variants_still_tee_telemetry_to_the_caller_sink() {
         Probe::attached(&collector),
     )
     .unwrap();
-    assert!(v.is_incomplete());
+    assert!(v.verdict.is_incomplete());
+    // The facade attaches a structured explanation built from its own trace.
+    assert_eq!(v.explain.outcome.as_deref(), Some("incomplete"));
+    assert_eq!(v.explain.tree.roots().len(), 1);
+    assert_eq!(v.explain.tree.records()[0].name, "decision");
     let report = collector.report();
     assert_eq!(report.notes("rcdp.strategy"), vec!["exact".to_string()]);
     assert!(report.counter("rcdp.valuations") >= 1);

@@ -452,6 +452,116 @@ fn pre_cancelled_guard_stops_the_parallel_fanout() {
     }
 }
 
+/// Pins the `Report::merge` semantics the parallel scheduler and the metrics
+/// exporter both rely on, exercised with real `Engine::Parallel` event
+/// streams: counters and spans *sum* (a merged span column reads as total
+/// work time, not wall time), gauges keep the *max*, notes append, and
+/// re-merging the same interrupt stream does not duplicate it — only a
+/// genuinely distinct interrupt record appends.
+#[test]
+fn report_merge_semantics_are_pinned_under_parallel_runs() {
+    let (setting, q, db) = wide_complete_instance();
+    let supt = setting.schema.rel_id("Supt").unwrap();
+    let budget = SearchBudget::default().with_engine(Engine::parallel(4));
+    let run = |setting: &Setting, db: &Database| {
+        let collector = Collector::new();
+        rcdp_probed(setting, &q, db, &budget, Probe::attached(&collector)).unwrap();
+        collector.report()
+    };
+    // Two runs over different instance sizes — the small one gets its own
+    // one-customer master, so the adom gauge differs and the max rule is
+    // observable (equal inputs would pin nothing).
+    let big = run(&setting, &db);
+    let small = {
+        let mschema =
+            Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
+        let dcust = mschema.rel_id("DCust").unwrap();
+        let mut dm = Database::empty(&mschema);
+        dm.insert(dcust, Tuple::new([Value::str("c0")]));
+        let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+            CcBody::Proj(Projection::new(supt, vec![1])),
+            dcust,
+            vec![0],
+        )]);
+        let small_setting = Setting::new(setting.schema.clone(), mschema, dm, v);
+        let mut small_db = Database::empty(&small_setting.schema);
+        small_db.insert(supt, Tuple::new([Value::str("e0"), Value::str("c0")]));
+        run(&small_setting, &small_db)
+    };
+    let (gauge_big, gauge_small) = (
+        big.gauge("rcdp.adom_size").expect("gauge on the big run"),
+        small
+            .gauge("rcdp.adom_size")
+            .expect("gauge on the small run"),
+    );
+    assert!(
+        gauge_small < gauge_big,
+        "the two runs must disagree on the gauge for the max rule to show \
+         ({gauge_small} vs {gauge_big})"
+    );
+
+    let mut merged = big.clone();
+    merged.merge(&small);
+    for name in RCDP_COUNTERS {
+        assert_eq!(
+            merged.counter(name),
+            big.counter(name) + small.counter(name),
+            "counter {name} must sum under merge"
+        );
+    }
+    for (name, micros) in &merged.spans {
+        let expect = big.span_micros(name).unwrap_or(0) + small.span_micros(name).unwrap_or(0);
+        assert_eq!(*micros, expect, "span {name} must sum under merge");
+    }
+    assert_eq!(
+        merged.gauge("rcdp.adom_size"),
+        Some(gauge_big),
+        "gauges must keep the max under merge"
+    );
+    assert_eq!(
+        merged.notes("rcdp.outcome").len(),
+        big.notes("rcdp.outcome").len() + small.notes("rcdp.outcome").len(),
+        "notes must append under merge"
+    );
+
+    // Interrupt dedup: a cancelled parallel fan-out records the interrupt;
+    // folding the same report in again must not duplicate it, while a
+    // record differing in any field must append.
+    let guard = Guard::new(&budget)
+        .with_fault_plan(FaultPlan::new().cancel_at_tick(3))
+        .with_check_interval(0);
+    let collector = Collector::new();
+    rcdp_guarded(
+        &setting,
+        &q,
+        &db,
+        &budget,
+        &guard,
+        Probe::attached(&collector),
+    )
+    .unwrap();
+    let cancelled = collector.report();
+    let recorded = cancelled.interrupts.len();
+    assert!(recorded >= 1, "the cancellation must be recorded");
+    let mut remerged = cancelled.clone();
+    remerged.merge(&cancelled);
+    assert_eq!(
+        remerged.interrupts.len(),
+        recorded,
+        "exact-duplicate interrupts must dedup under merge"
+    );
+    let mut shifted = cancelled.clone();
+    for record in &mut shifted.interrupts {
+        record.at_tick += 1;
+    }
+    remerged.merge(&shifted);
+    assert_eq!(
+        remerged.interrupts.len(),
+        recorded + shifted.interrupts.len(),
+        "distinct interrupt records must append under merge"
+    );
+}
+
 /// The probe-isolation regression test: two decisions running concurrently
 /// on two threads must each report exactly the `index.probe` count they
 /// would report alone — the counter is per-thread, not process-global.
