@@ -31,6 +31,7 @@ use std::process::ExitCode;
 
 use ric::telemetry::json::{self, Json};
 use ric::telemetry::{top_k_counters, SpanTree, TreeBuilder};
+use ric_bench::trace_load::{load_trace as load_trace_typed, Segment};
 
 const USAGE: &str = "usage: ric-trace <command> [args]\n\
   tree  FILE       render each decision's span tree from a JSONL trace\n\
@@ -65,164 +66,14 @@ fn main() -> ExitCode {
 }
 
 // ── JSONL ingestion ─────────────────────────────────────────────────────
+//
+// The parser itself lives in `ric_bench::trace_load` so tests can drive it
+// against corrupt and truncated inputs without shelling out to this binary;
+// its typed, line-numbered [`TraceLoadError`] renders here as the CLI's
+// one-line failure message.
 
-/// One decision's worth of events, cut from the stream at root span opens.
-#[derive(Default)]
-struct Segment {
-    tree: TreeBuilder,
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, u64>,
-    notes: Vec<(String, String)>,
-    interrupts: Vec<(String, String)>,
-}
-
-impl Segment {
-    /// The decider outcome note, if one fired.
-    fn outcome(&self) -> Option<&str> {
-        self.notes
-            .iter()
-            .find(|(name, _)| name.ends_with(".outcome"))
-            .map(|(_, detail)| detail.as_str())
-    }
-
-    /// The budget-limit note, if the decision ended `Unknown`.
-    fn limit(&self) -> Option<&str> {
-        self.notes
-            .iter()
-            .find(|(name, _)| name.ends_with(".limit"))
-            .map(|(_, detail)| detail.as_str())
-    }
-
-    /// The `explain.*` narration notes (frontier descriptions and friends).
-    fn explains(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.notes
-            .iter()
-            .filter(|(name, _)| name.starts_with("explain."))
-            .map(|(n, d)| (n.as_str(), d.as_str()))
-    }
-}
-
-/// Pull a required field out of a JSONL line, with the line number in every
-/// error message.
-fn field<'a>(line: &'a Json, key: &str, lineno: usize) -> Result<&'a Json, String> {
-    line.get(key)
-        .ok_or_else(|| format!("line {lineno}: missing field {key:?}"))
-}
-
-fn str_field(line: &Json, key: &str, lineno: usize) -> Result<String, String> {
-    Ok(field(line, key, lineno)?
-        .as_str()
-        .ok_or_else(|| format!("line {lineno}: field {key:?} is not a string"))?
-        .to_string())
-}
-
-fn u64_field(line: &Json, key: &str, lineno: usize) -> Result<u64, String> {
-    field(line, key, lineno)?
-        .as_int()
-        .and_then(|i| u64::try_from(i).ok())
-        .ok_or_else(|| format!("line {lineno}: field {key:?} is not a non-negative integer"))
-}
-
-fn u128_field(line: &Json, key: &str, lineno: usize) -> Result<u128, String> {
-    field(line, key, lineno)?
-        .as_int()
-        .and_then(|i| u128::try_from(i).ok())
-        .ok_or_else(|| format!("line {lineno}: field {key:?} is not a non-negative integer"))
-}
-
-/// Parse a JSONL trace file into decision segments. Lines are routed to the
-/// current segment; a `span_open` with parent 0 starts the next decision.
 fn load_trace(path: &str) -> Result<Vec<Segment>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
-    let mut segments: Vec<Segment> = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        let lineno = i + 1;
-        if raw.trim().is_empty() {
-            continue;
-        }
-        let line = json::parse(raw).map_err(|e| format!("line {lineno}: {e}"))?;
-        let kind = str_field(&line, "kind", lineno)?;
-        match kind.as_str() {
-            "span_open" => {
-                let parent = u64_field(&line, "parent", lineno)?;
-                if parent == 0 {
-                    segments.push(Segment::default());
-                }
-                let seg = segments
-                    .last_mut()
-                    .ok_or_else(|| format!("line {lineno}: span before any root decision span"))?;
-                seg.tree
-                    .open(
-                        &str_field(&line, "name", lineno)?,
-                        u64_field(&line, "id", lineno)?,
-                        parent,
-                        u64_field(&line, "at_tick", lineno)?,
-                    )
-                    .map_err(|e| format!("line {lineno}: {e}"))?;
-            }
-            "span" => {
-                // Untraced span lines (no id) carry a duration but no tree
-                // position — a traced decision stream never produces them.
-                let seg = segments
-                    .last_mut()
-                    .ok_or_else(|| format!("line {lineno}: span before any root decision span"))?;
-                if line.get("id").is_none() {
-                    return Err(format!(
-                        "line {lineno}: span without an id (untraced stream?) — \
-                         ric-trace needs traces recorded with a TraceState attached"
-                    ));
-                }
-                seg.tree
-                    .close(
-                        &str_field(&line, "name", lineno)?,
-                        u64_field(&line, "id", lineno)?,
-                        u128_field(&line, "micros", lineno)?,
-                        u64_field(&line, "ticks", lineno)?,
-                    )
-                    .map_err(|e| format!("line {lineno}: {e}"))?;
-            }
-            "count" => {
-                let seg = segments.last_mut().ok_or_else(|| {
-                    format!("line {lineno}: counter before any root decision span")
-                })?;
-                let name = str_field(&line, "name", lineno)?;
-                let delta = u64_field(&line, "delta", lineno)?;
-                *seg.counters.entry(name).or_insert(0) += delta;
-            }
-            "gauge" => {
-                let seg = segments
-                    .last_mut()
-                    .ok_or_else(|| format!("line {lineno}: gauge before any root decision span"))?;
-                let name = str_field(&line, "name", lineno)?;
-                let value = u64_field(&line, "value", lineno)?;
-                let slot = seg.gauges.entry(name).or_insert(0);
-                *slot = (*slot).max(value);
-            }
-            "note" => {
-                let seg = segments
-                    .last_mut()
-                    .ok_or_else(|| format!("line {lineno}: note before any root decision span"))?;
-                seg.notes.push((
-                    str_field(&line, "name", lineno)?,
-                    str_field(&line, "detail", lineno)?,
-                ));
-            }
-            "interrupt" => {
-                let seg = segments.last_mut().ok_or_else(|| {
-                    format!("line {lineno}: interrupt before any root decision span")
-                })?;
-                seg.interrupts.push((
-                    str_field(&line, "name", lineno)?,
-                    str_field(&line, "reason", lineno)?,
-                ));
-            }
-            other => return Err(format!("line {lineno}: unknown event kind {other:?}")),
-        }
-    }
-    if segments.is_empty() {
-        return Err(format!("{path}: no decision spans found"));
-    }
-    Ok(segments)
+    load_trace_typed(path).map_err(|e| e.to_string())
 }
 
 // ── tree ────────────────────────────────────────────────────────────────

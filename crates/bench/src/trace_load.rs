@@ -1,0 +1,251 @@
+//! JSONL trace ingestion shared by the `ric-trace` CLI and its tests.
+//!
+//! The `try_` facade entry points and `regen_tables --trace FILE` stream
+//! decision telemetry as JSONL (one [`ric::Event`] per line, the
+//! [`ric::JsonlSink`] schema). [`parse_trace`] rebuilds that stream into
+//! per-decision [`Segment`]s; every way the input can be malformed —
+//! truncated mid-record, not JSON at all, missing or mistyped fields, events
+//! before any root span — surfaces as a typed [`TraceLoadError`] carrying the
+//! 1-based line number, never a panic. A trace file is often the only
+//! artifact left after the process that wrote it died mid-write, so the
+//! parser must hold up against exactly the torn tails that scenario
+//! produces.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ric::telemetry::json::{self, Json};
+use ric::telemetry::TreeBuilder;
+
+/// A malformed or unreadable trace, located to a specific input line.
+///
+/// `line` is 1-based; `0` means the problem is with the file as a whole
+/// (unreadable, or no decision spans at all) rather than any one line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceLoadError {
+    /// The 1-based line the error was detected on (0 = whole file).
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl TraceLoadError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        TraceLoadError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn whole_file(message: impl Into<String>) -> Self {
+        TraceLoadError::at(0, message)
+    }
+}
+
+impl fmt::Display for TraceLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for TraceLoadError {}
+
+/// One decision's worth of events, cut from the stream at root span opens.
+#[derive(Debug, Default)]
+pub struct Segment {
+    /// The decision's span stream, ready to `finish()` into a tree.
+    pub tree: TreeBuilder,
+    /// Counter deltas summed per name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge high-water marks per name.
+    pub gauges: BTreeMap<String, u64>,
+    /// `(name, detail)` notes in stream order.
+    pub notes: Vec<(String, String)>,
+    /// `(name, reason)` cooperative interrupts in stream order.
+    pub interrupts: Vec<(String, String)>,
+}
+
+impl Segment {
+    /// The decider outcome note, if one fired.
+    pub fn outcome(&self) -> Option<&str> {
+        self.notes
+            .iter()
+            .find(|(name, _)| name.ends_with(".outcome"))
+            .map(|(_, detail)| detail.as_str())
+    }
+
+    /// The budget-limit note, if the decision ended `Unknown`.
+    pub fn limit(&self) -> Option<&str> {
+        self.notes
+            .iter()
+            .find(|(name, _)| name.ends_with(".limit"))
+            .map(|(_, detail)| detail.as_str())
+    }
+
+    /// The `explain.*` narration notes (frontier descriptions and friends).
+    pub fn explains(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.notes
+            .iter()
+            .filter(|(name, _)| name.starts_with("explain."))
+            .map(|(n, d)| (n.as_str(), d.as_str()))
+    }
+}
+
+/// Pull a required field out of a JSONL line, with the line number in every
+/// error message.
+fn field<'a>(line: &'a Json, key: &str, lineno: usize) -> Result<&'a Json, TraceLoadError> {
+    line.get(key)
+        .ok_or_else(|| TraceLoadError::at(lineno, format!("missing field {key:?}")))
+}
+
+fn str_field(line: &Json, key: &str, lineno: usize) -> Result<String, TraceLoadError> {
+    Ok(field(line, key, lineno)?
+        .as_str()
+        .ok_or_else(|| TraceLoadError::at(lineno, format!("field {key:?} is not a string")))?
+        .to_string())
+}
+
+fn u64_field(line: &Json, key: &str, lineno: usize) -> Result<u64, TraceLoadError> {
+    field(line, key, lineno)?
+        .as_int()
+        .and_then(|i| u64::try_from(i).ok())
+        .ok_or_else(|| {
+            TraceLoadError::at(
+                lineno,
+                format!("field {key:?} is not a non-negative integer"),
+            )
+        })
+}
+
+fn u128_field(line: &Json, key: &str, lineno: usize) -> Result<u128, TraceLoadError> {
+    field(line, key, lineno)?
+        .as_int()
+        .and_then(|i| u128::try_from(i).ok())
+        .ok_or_else(|| {
+            TraceLoadError::at(
+                lineno,
+                format!("field {key:?} is not a non-negative integer"),
+            )
+        })
+}
+
+/// Parse JSONL trace text into decision segments. Lines are routed to the
+/// current segment; a `span_open` with parent 0 starts the next decision.
+///
+/// Any malformed line — including a record torn mid-write by a dying
+/// producer — is a [`TraceLoadError`] naming that line, not a panic.
+pub fn parse_trace(text: &str) -> Result<Vec<Segment>, TraceLoadError> {
+    let mut segments: Vec<Segment> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = json::parse(raw).map_err(|e| TraceLoadError::at(lineno, e.to_string()))?;
+        let kind = str_field(&line, "kind", lineno)?;
+        match kind.as_str() {
+            "span_open" => {
+                let parent = u64_field(&line, "parent", lineno)?;
+                if parent == 0 {
+                    segments.push(Segment::default());
+                }
+                let seg = segments.last_mut().ok_or_else(|| {
+                    TraceLoadError::at(lineno, "span before any root decision span")
+                })?;
+                seg.tree
+                    .open(
+                        &str_field(&line, "name", lineno)?,
+                        u64_field(&line, "id", lineno)?,
+                        parent,
+                        u64_field(&line, "at_tick", lineno)?,
+                    )
+                    .map_err(|e| TraceLoadError::at(lineno, e.to_string()))?;
+            }
+            "span" => {
+                // Untraced span lines (no id) carry a duration but no tree
+                // position — a traced decision stream never produces them.
+                let seg = segments.last_mut().ok_or_else(|| {
+                    TraceLoadError::at(lineno, "span before any root decision span")
+                })?;
+                if line.get("id").is_none() {
+                    return Err(TraceLoadError::at(
+                        lineno,
+                        "span without an id (untraced stream?) — \
+                         ric-trace needs traces recorded with a TraceState attached",
+                    ));
+                }
+                seg.tree
+                    .close(
+                        &str_field(&line, "name", lineno)?,
+                        u64_field(&line, "id", lineno)?,
+                        u128_field(&line, "micros", lineno)?,
+                        u64_field(&line, "ticks", lineno)?,
+                    )
+                    .map_err(|e| TraceLoadError::at(lineno, e.to_string()))?;
+            }
+            "count" => {
+                let seg = segments.last_mut().ok_or_else(|| {
+                    TraceLoadError::at(lineno, "counter before any root decision span")
+                })?;
+                let name = str_field(&line, "name", lineno)?;
+                let delta = u64_field(&line, "delta", lineno)?;
+                *seg.counters.entry(name).or_insert(0) += delta;
+            }
+            "gauge" => {
+                let seg = segments.last_mut().ok_or_else(|| {
+                    TraceLoadError::at(lineno, "gauge before any root decision span")
+                })?;
+                let name = str_field(&line, "name", lineno)?;
+                let value = u64_field(&line, "value", lineno)?;
+                let slot = seg.gauges.entry(name).or_insert(0);
+                *slot = (*slot).max(value);
+            }
+            "note" => {
+                let seg = segments.last_mut().ok_or_else(|| {
+                    TraceLoadError::at(lineno, "note before any root decision span")
+                })?;
+                seg.notes.push((
+                    str_field(&line, "name", lineno)?,
+                    str_field(&line, "detail", lineno)?,
+                ));
+            }
+            "interrupt" => {
+                let seg = segments.last_mut().ok_or_else(|| {
+                    TraceLoadError::at(lineno, "interrupt before any root decision span")
+                })?;
+                seg.interrupts.push((
+                    str_field(&line, "name", lineno)?,
+                    str_field(&line, "reason", lineno)?,
+                ));
+            }
+            other => {
+                return Err(TraceLoadError::at(
+                    lineno,
+                    format!("unknown event kind {other:?}"),
+                ))
+            }
+        }
+    }
+    if segments.is_empty() {
+        return Err(TraceLoadError::whole_file("no decision spans found"));
+    }
+    Ok(segments)
+}
+
+/// Read and parse a JSONL trace file. An unreadable file and an empty trace
+/// both report as whole-file errors (line 0) naming the path.
+pub fn load_trace(path: &str) -> Result<Vec<Segment>, TraceLoadError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| TraceLoadError::whole_file(format!("could not read {path}: {e}")))?;
+    parse_trace(&text).map_err(|e| {
+        if e.line == 0 {
+            TraceLoadError::whole_file(format!("{path}: {}", e.message))
+        } else {
+            e
+        }
+    })
+}

@@ -211,6 +211,23 @@ impl<'g> Meter<'g> {
         }
     }
 
+    /// A guarded meter that starts with `spent` units already consumed — the
+    /// resume primitive. A resumed installment re-runs only the uncommitted
+    /// tail of a search, but its meter must reject at exactly the same point
+    /// an uninterrupted run at the same limit would, so the committed prefix
+    /// is pre-charged here. `spent` is clamped to the effective limit (a
+    /// checkpoint taken under a larger budget never grants negative headroom).
+    pub fn guarded_primed(kind: MeterKind, limit: u64, spent: u64, guard: &'g Guard) -> Self {
+        let limit = guard.capped_limit(kind, limit);
+        Meter {
+            used: spent.min(limit),
+            limit,
+            exhausted: false,
+            guard: Some(guard),
+            interrupt: None,
+        }
+    }
+
     /// Request one unit of work; `false` when the budget is exhausted or the
     /// guard has tripped (the rejected request is not counted).
     #[inline]
@@ -398,6 +415,23 @@ mod tests {
             m.stop_limit(BudgetLimit::MaxValuations),
             BudgetLimit::MaxValuations
         );
+    }
+
+    #[test]
+    fn primed_meter_grants_only_the_remaining_headroom() {
+        let budget = SearchBudget::default();
+        let guard = Guard::new(&budget);
+        let mut m = Meter::guarded_primed(MeterKind::Valuations, 5, 3, &guard);
+        assert_eq!(m.used(), 3);
+        assert!(m.tick() && m.tick());
+        assert!(!m.tick(), "3 committed + 2 fresh = limit 5");
+        assert!(m.exhausted());
+        assert_eq!(m.used(), 5);
+        // Over-spent checkpoints clamp: no work granted, no underflow.
+        let mut over = Meter::guarded_primed(MeterKind::Valuations, 5, 9, &guard);
+        assert_eq!(over.used(), 5);
+        assert!(!over.tick());
+        assert!(over.exhausted());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! [`BudgetLimit`]: crate::BudgetLimit
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -104,12 +104,29 @@ impl Interrupt {
 ///   at which a panic should be injected. The plan only records the stage;
 ///   attach a [`FaultSink`](ric_telemetry::FaultSink) built from
 ///   [`FaultPlan::panic_stage`] to actually fire it through the probe seam.
-#[derive(Clone, Copy, Default, Debug)]
+/// * [`worker_panic_at_tick`](FaultPlan::worker_panic_at_tick) — panic
+///   *mid-chunk* inside a parallel worker at an exact per-worker tick, a
+///   bounded number of times. Unlike `panic_at_stage` (which fires through a
+///   sink, outside the fan-out), this dies inside the pool, exercising the
+///   chunk quarantine/re-enqueue recovery path deterministically.
+#[derive(Clone, Default, Debug)]
 pub struct FaultPlan {
     deadline_after: Option<u64>,
     cancel_after: Option<u64>,
     exhaust: Option<(MeterKind, u64)>,
     panic_stage: Option<&'static str>,
+    worker_panic: Option<WorkerPanic>,
+}
+
+/// A mid-chunk worker-death schedule: panic when a guard derived from this
+/// plan observes its `at_tick`-th tick, at most `fires` times across every
+/// guard sharing the plan (the counter is shared through an `Arc`, so a
+/// recovery retry of the same chunk survives once the budgeted deaths are
+/// spent).
+#[derive(Clone, Debug)]
+struct WorkerPanic {
+    at_tick: u64,
+    fires: Arc<AtomicU32>,
 }
 
 impl FaultPlan {
@@ -150,6 +167,20 @@ impl FaultPlan {
     pub fn panic_stage(&self) -> Option<&'static str> {
         self.panic_stage
     }
+
+    /// Panic inside the guard poll when `ticks` ticks have been observed on
+    /// one guard (the panic fires on tick `ticks + 1`, mirroring
+    /// [`FaultPlan::deadline_at_tick`]), at most `fires` times in total
+    /// across every guard built from this plan. With `fires = 1` a parallel
+    /// chunk dies once and its recovery retry succeeds; with a larger budget
+    /// the retry dies too, forcing the engine downgrade.
+    pub fn worker_panic_at_tick(mut self, ticks: u64, fires: u32) -> Self {
+        self.worker_panic = Some(WorkerPanic {
+            at_tick: ticks,
+            fires: Arc::new(AtomicU32::new(fires)),
+        });
+        self
+    }
 }
 
 /// Per-decision interruption state, polled cooperatively by every guarded
@@ -172,6 +203,10 @@ pub struct Guard {
     broadcast: Option<CancelToken>,
     fault: FaultPlan,
     check_interval: u32,
+    /// Was this guard derived via [`Guard::worker`]? The worker-panic fault
+    /// only fires on pool-thread guards — the decision guard (and any
+    /// sequential fallback running on it) must survive the injected deaths.
+    is_worker: bool,
     ticks: Cell<u64>,
     countdown: Cell<u32>,
     tripped: Cell<Option<Interrupt>>,
@@ -194,6 +229,7 @@ impl Guard {
             broadcast: None,
             fault: FaultPlan::default(),
             check_interval: Self::DEFAULT_CHECK_INTERVAL,
+            is_worker: false,
             ticks: Cell::new(0),
             countdown: Cell::new(0),
             tripped: Cell::new(None),
@@ -219,8 +255,9 @@ impl Guard {
             deadline: self.deadline,
             cancels,
             broadcast: Some(pool.clone()),
-            fault: self.fault,
+            fault: self.fault.clone(),
             check_interval: self.check_interval,
+            is_worker: true,
             ticks: Cell::new(0),
             countdown: Cell::new(0),
             // A decision guard that already tripped stays tripped in its
@@ -253,6 +290,18 @@ impl Guard {
         }
         let ticks = self.ticks.get().saturating_add(1);
         self.ticks.set(ticks);
+        if self.is_worker {
+            if let Some(wp) = &self.fault.worker_panic {
+                if ticks > wp.at_tick
+                    && wp
+                        .fires
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                        .is_ok()
+                {
+                    panic!("injected worker panic at tick {ticks}");
+                }
+            }
+        }
         if let Some(after) = self.fault.deadline_after {
             if ticks > after {
                 return self.trip(Interrupt::Deadline);
@@ -440,6 +489,26 @@ mod tests {
             Some(Interrupt::Cancelled),
             "sibling observes the broadcast as a cancellation"
         );
+    }
+
+    #[test]
+    fn worker_panic_fires_only_on_worker_guards_and_only_fires_times() {
+        let plan = FaultPlan::new().worker_panic_at_tick(1, 1);
+        let parent = Guard::new(&SearchBudget::default()).with_fault_plan(plan);
+        // The decision guard itself never fires the worker fault.
+        for _ in 0..4 {
+            assert_eq!(parent.check(), None);
+        }
+        let pool = CancelToken::new();
+        let w = parent.worker(&pool);
+        assert_eq!(w.check(), None, "tick 1 is at the threshold, not past it");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| w.check()));
+        assert!(caught.is_err(), "tick 2 dies");
+        // The fires budget is shared: a second worker guard (the recovery
+        // retry) survives the same tick.
+        let retry = parent.worker(&pool);
+        assert_eq!(retry.check(), None);
+        assert_eq!(retry.check(), None, "fires budget spent; no second death");
     }
 
     #[test]

@@ -40,6 +40,7 @@
 pub mod adom;
 pub mod budget;
 pub mod characterize;
+pub mod checkpoint;
 pub mod extend;
 pub mod guard;
 pub(crate) mod par;
@@ -53,6 +54,11 @@ pub mod verdict;
 
 pub use adom::Adom;
 pub use budget::{Engine, Meter, MeterKind, SearchBudget};
+pub use checkpoint::{
+    rcdp_fingerprint, rcdp_resumed_guarded, rcqp_fingerprint, rcqp_resumed_guarded, Checkpoint,
+    CheckpointError, DecisionKind, Frontier, Progress, QueryResumption, Resumption,
+    CHECKPOINT_VERSION,
+};
 pub use guard::{CancelToken, FaultPlan, Guard, Interrupt};
 pub use par::sched_test;
 pub use query::Query;

@@ -413,6 +413,89 @@ pub(crate) fn run_chunks<R: Send>(
     }
 }
 
+/// A pool run after chunk-loss recovery (see [`run_chunks_recovering`]).
+#[derive(Debug)]
+pub(crate) struct RecoveredRun<R> {
+    /// The pool output with every recoverable chunk resolved; merge-ready
+    /// when [`RecoveredRun::lost`] is empty.
+    pub run: PoolRun<R>,
+    /// Panicked chunks whose quarantine retry succeeded — the
+    /// `recover.chunk` telemetry counter.
+    pub recovered: u64,
+    /// Chunks that panicked again on retry, in index order. When non-empty
+    /// the run still holds their panic payloads (merging would re-raise);
+    /// callers degrade `Parallel → Indexed` instead of merging.
+    pub lost: Vec<usize>,
+}
+
+/// [`run_chunks`] with graceful chunk-loss recovery: a panicked chunk is
+/// quarantined and re-enqueued once on the calling thread instead of
+/// unconditionally re-raising at merge time, and chunks that were skipped
+/// solely because the panic posted a first-terminal index are filled in.
+///
+/// The walk is index-ordered with the same first-terminal-wins rule as
+/// [`PoolRun::merge_search`], so the recovered run is indistinguishable from
+/// a pool where the chunk never died: a genuine terminal event below a dead
+/// chunk still masks it, and a retried chunk re-runs against its original
+/// budget slice (chunk results are pure functions of the chunk and its
+/// slice). A chunk that dies twice is reported in [`RecoveredRun::lost`]
+/// rather than re-run forever — the caller's degradation ladder takes over.
+pub(crate) fn run_chunks_recovering<R: Send>(
+    workers: usize,
+    n_chunks: usize,
+    parent: &Guard,
+    job: &(dyn Fn(usize, &Guard) -> ChunkResult<R> + Sync),
+) -> RecoveredRun<R> {
+    let mut run = run_chunks(workers, n_chunks, parent, job);
+    let mut recovered = 0u64;
+    let mut lost = Vec::new();
+    let pool = CancelToken::new();
+    let mut idx = 0;
+    while idx < run.slots.len() {
+        let is_retry = match &run.slots[idx] {
+            Some(ChunkSlot::Done(result)) => {
+                if result.event.is_terminal() {
+                    // Higher-index chunks are legitimately skipped, exactly
+                    // as the sequential engine never reaches them.
+                    break;
+                }
+                idx += 1;
+                continue;
+            }
+            // A quarantined panic: retry the chunk once.
+            Some(ChunkSlot::Panicked(_)) => true,
+            // Skipped only because a panic posted a first-terminal index
+            // below it (any genuine terminal would have broken above).
+            None => false,
+        };
+        let guard = parent.worker(&pool);
+        match catch_unwind(AssertUnwindSafe(|| job(idx, &guard))) {
+            Ok(result) => {
+                if is_retry {
+                    recovered += 1;
+                }
+                run.executed += 1;
+                let terminal = result.event.is_terminal();
+                run.slots[idx] = Some(ChunkSlot::Done(Box::new(result)));
+                if terminal {
+                    break;
+                }
+            }
+            Err(payload) => {
+                run.slots[idx] = Some(ChunkSlot::Panicked(payload));
+                lost.push(idx);
+                break;
+            }
+        }
+        idx += 1;
+    }
+    RecoveredRun {
+        run,
+        recovered,
+        lost,
+    }
+}
+
 /// The stop-detail string for a merged pool interrupt, matching
 /// [`crate::budget::Meter::stop_detail`]'s wording exactly so the verdict
 /// surface does not depend on the engine.
@@ -659,6 +742,95 @@ mod tests {
         match run.merge_search().outcome {
             PoolOutcome::Interrupted(Interrupt::Deadline) => {}
             other => panic!("expected the deadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_retries_a_panicked_chunk_and_fills_skipped_slots() {
+        use std::sync::atomic::AtomicBool;
+        let died = AtomicBool::new(false);
+        let guard = Guard::new(&SearchBudget::default());
+        let rec = run_chunks_recovering(4, 8, &guard, &|chunk, _g| {
+            if chunk == 2 && !died.swap(true, Ordering::Relaxed) {
+                panic!("chunk 2 exploded once");
+            }
+            clear_chunk(1)
+        });
+        assert_eq!(rec.recovered, 1);
+        assert!(rec.lost.is_empty());
+        // Every slot resolved: chunks skipped past the panic were filled in.
+        assert!(rec
+            .run
+            .slots
+            .iter()
+            .all(|s| matches!(s, Some(ChunkSlot::Done(_)))));
+        let merge = rec.run.merge_search();
+        assert!(matches!(merge.outcome, PoolOutcome::Clear));
+        assert_eq!(merge.stats.ticks, 8, "full sequential-equivalent stats");
+    }
+
+    #[test]
+    fn recovery_reports_a_twice_dead_chunk_as_lost() {
+        let guard = Guard::new(&SearchBudget::default());
+        let rec = run_chunks_recovering(2, 6, &guard, &|chunk, _g| {
+            if chunk == 3 {
+                panic!("chunk 3 always explodes");
+            }
+            clear_chunk(1)
+        });
+        assert_eq!(rec.recovered, 0);
+        assert_eq!(rec.lost, vec![3]);
+    }
+
+    #[test]
+    fn recovery_keeps_a_hit_below_a_dead_chunk() {
+        // Sequential stops at chunk 1's hit; the dead chunk 6 is never
+        // retried (it sits above the deciding index).
+        let guard = Guard::new(&SearchBudget::default());
+        let rec = run_chunks_recovering(4, 8, &guard, &|chunk, _g| {
+            if chunk == 1 {
+                hit_chunk(1)
+            } else if chunk == 6 {
+                panic!("chunk 6 exploded");
+            } else {
+                clear_chunk(1)
+            }
+        });
+        assert!(rec.lost.is_empty(), "a masked panic is not a loss");
+        match rec.run.merge_search().outcome {
+            PoolOutcome::Hit(v) => assert_eq!(v, 1),
+            other => panic!("expected the hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_retry_observes_the_injected_worker_panic_budget() {
+        // fires = 1: the first death is injected mid-chunk by the guard, the
+        // retry survives. fires = 2: the retry dies too and the chunk is lost.
+        for (fires, expect_lost) in [(1u32, false), (2, true)] {
+            let plan = FaultPlan::new().worker_panic_at_tick(0, fires);
+            let guard = Guard::new(&SearchBudget::default())
+                .with_fault_plan(plan)
+                .with_check_interval(0);
+            let rec = run_chunks_recovering(1, 4, &guard, &|_chunk, g| {
+                if let Some(interrupt) = g.check() {
+                    return ChunkResult {
+                        event: ChunkEvent::Interrupted(interrupt),
+                        value: None,
+                        stats: ChunkStats::default(),
+                    };
+                }
+                clear_chunk(1)
+            });
+            assert_eq!(
+                !rec.lost.is_empty(),
+                expect_lost,
+                "fires={fires}: lost={:?}",
+                rec.lost
+            );
+            if !expect_lost {
+                assert_eq!(rec.recovered, 1);
+            }
         }
     }
 

@@ -32,7 +32,7 @@ use ric_data::{index::probe_count, Database, Overlay, Tuple};
 use ric_query::QueryLanguage;
 use ric_telemetry::Probe;
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How the inner loop checks `(D ∪ Δ, D_m) |= V` per candidate.
 pub(crate) enum CheckMode {
@@ -426,18 +426,58 @@ fn rcdp_exact_parallel(
     adom: &Adom,
     mode: &CheckMode,
 ) -> Result<Verdict, RcError> {
-    use crate::par::{self, ChunkEvent, ChunkResult, ChunkStats, PoolOutcome};
+    let (spaces, chunks) = exact_chunk_layout(tableaux, setting, adom);
+    if chunks.is_empty() {
+        let verdict = Verdict::Complete;
+        emit_verdict(probe, &verdict);
+        return Ok(verdict);
+    }
+    let (verdict, _) = exact_chunks_parallel(
+        setting,
+        db,
+        budget,
+        guard,
+        probe,
+        tableaux,
+        q_d,
+        mode,
+        &spaces,
+        &chunks,
+        BTreeMap::new(),
+    );
+    Ok(verdict)
+}
 
+/// The domain-consistent valuation spaces plus the `(space index, split
+/// point)` chunk list derived from them.
+type ExactChunkLayout<'a> = (
+    Vec<(usize, ValuationSpace<'a>)>,
+    Vec<(usize, Option<(ric_data::Value, usize)>)>,
+);
+
+/// A resumable exact run's committed ledger: the number of frontier chunks
+/// already settled and the per-chunk stats backing the checkpoint.
+pub(crate) type ExactLedger = (usize, Vec<(usize, crate::par::ChunkStats)>);
+
+/// The exact decider's canonical chunk decomposition: one chunk per depth-0
+/// candidate of each domain-consistent disjunct's valuation space; a
+/// zero-variable space is one unsplittable chunk. A space with no depth-0
+/// candidates at all enumerates nothing and contributes no chunk (and no
+/// metered ticks), exactly like the sequential loop. This list — and its
+/// order — is shared by the parallel scheduler, the resumable sequential
+/// driver, and the checkpoint frontier, so a chunk index means the same
+/// thing in all three.
+fn exact_chunk_layout<'a>(
+    tableaux: &'a [ric_query::tableau::Tableau],
+    setting: &'a Setting,
+    adom: &'a Adom,
+) -> ExactChunkLayout<'a> {
     let spaces: Vec<(usize, ValuationSpace)> = tableaux
         .iter()
         .enumerate()
         .filter(|(_, t)| t.domain_consistent(&setting.schema))
         .map(|(i, t)| (i, ValuationSpace::new(t, &setting.schema, adom)))
         .collect();
-    // One chunk per depth-0 candidate of each space; a zero-variable space
-    // is one unsplittable chunk. A space with no depth-0 candidates at all
-    // enumerates nothing and contributes no chunk (and no metered ticks),
-    // exactly like the sequential loop.
     let mut chunks: Vec<(usize, Option<(ric_data::Value, usize)>)> = Vec::new();
     for (si, (_, space)) in spaces.iter().enumerate() {
         match space.split_points() {
@@ -445,137 +485,360 @@ fn rcdp_exact_parallel(
             None => chunks.push((si, None)),
         }
     }
-    if chunks.is_empty() {
-        let verdict = Verdict::Complete;
-        emit_verdict(probe, &verdict);
-        return Ok(verdict);
+    (spaces, chunks)
+}
+
+/// Enumerate one chunk of the exact search against `meter`, producing the
+/// chunk-pool result shape. Used verbatim by the parallel job (per-chunk
+/// meter slice) and the resumable sequential driver (one shared meter), so
+/// the per-chunk work — and therefore the committed checkpoint stats — are
+/// engine-independent.
+#[allow(clippy::too_many_arguments)]
+fn run_exact_chunk(
+    setting: &Setting,
+    db: &Database,
+    mode: &CheckMode,
+    q_d: &BTreeSet<Tuple>,
+    t: &ric_query::tableau::Tableau,
+    space: &ValuationSpace<'_>,
+    point: Option<&(ric_data::Value, usize)>,
+    meter: &mut Meter<'_>,
+) -> crate::par::ChunkResult<CounterExample> {
+    use crate::par::{self, ChunkEvent, ChunkResult, ChunkStats};
+    let used_before = meter.used();
+    let probes_before = probe_count();
+    let cc_checks = Cell::new(0u64);
+    let cc_skipped = Cell::new(0u64);
+    let cc_viol: [Cell<u64>; par::CC_ATTR] = Default::default();
+    let profile = crate::valuations::DepthProfile::new();
+    let scratch = RefCell::new(Database::with_relations(setting.schema.len()));
+    let mut found: Option<CounterExample> = None;
+    let head_terms = &t.head;
+    let head_filter = |binding: &[Option<ric_data::Value>]| {
+        let tuple = Tuple::new(head_terms.iter().map(|term| {
+            match term {
+                ric_query::Term::Var(v) => binding[v.idx()]
+                    .clone()
+                    .unwrap_or_else(|| unreachable!("head vars bound first")),
+                ric_query::Term::Const(c) => c.clone(),
+            }
+        }));
+        !q_d.contains(&tuple)
+    };
+    let partial_filter = |binding: &[Option<ric_data::Value>]| {
+        let bound = space.bound_atoms(binding);
+        if bound.is_empty() {
+            return true;
+        }
+        let mut delta = scratch.borrow_mut();
+        delta.clear_tuples();
+        for (rel, tuple) in bound {
+            delta.insert(rel, tuple);
+        }
+        cc_checks.set(cc_checks.get() + 1);
+        match mode.upper_check(setting, db, &delta, &cc_skipped) {
+            None => true,
+            Some(i) => {
+                bump_viol(&cc_viol, i);
+                false
+            }
+        }
+    };
+    let visit = |mu: &ric_query::tableau::Valuation| {
+        let delta = mu.instantiate(t, setting.schema.len());
+        cc_checks.set(cc_checks.get() + 1);
+        let violated = mode.upper_check(setting, db, &delta, &cc_skipped);
+        if let Some(i) = violated {
+            bump_viol(&cc_viol, i);
+        }
+        if violated.is_none() {
+            let new_answer = mu.head_tuple(t);
+            let added = delta
+                .difference(db)
+                .unwrap_or_else(|e| unreachable!("delta shares the setting schema: {e:?}"));
+            found = Some(CounterExample {
+                delta: added,
+                new_answer,
+            });
+            return std::ops::ControlFlow::Break(());
+        }
+        std::ops::ControlFlow::Continue(())
+    };
+    let outcome = match point {
+        Some(p) => space.for_each_valid_pruned_chunk_profiled(
+            &profile,
+            p.clone(),
+            meter,
+            head_filter,
+            partial_filter,
+            visit,
+        ),
+        None => space.for_each_valid_pruned_profiled(
+            &profile,
+            meter,
+            head_filter,
+            partial_filter,
+            visit,
+        ),
+    };
+    let event = match outcome {
+        EnumOutcome::Stopped => ChunkEvent::Hit,
+        EnumOutcome::Exhausted => ChunkEvent::Clear,
+        EnumOutcome::BudgetExceeded => match meter.interrupt() {
+            Some(interrupt) => ChunkEvent::Interrupted(interrupt),
+            None => ChunkEvent::Exhausted,
+        },
+    };
+    ChunkResult {
+        event,
+        value: found,
+        stats: ChunkStats {
+            ticks: meter.used() - used_before,
+            cc_checks: cc_checks.get(),
+            cc_skipped: cc_skipped.get(),
+            probes: probe_count().saturating_sub(probes_before),
+            query_evals: 0,
+            depth_candidates: profile.candidates(),
+            depth_pruned: profile.pruned(),
+            head_prunes: profile.head_prunes(),
+            cc_viol: std::array::from_fn(|i| cc_viol[i].get()),
+        },
     }
+}
+
+/// The resumable sequential exact search: walk the canonical chunk list in
+/// index order under ONE meter primed with the committed ticks, skipping
+/// chunks already cleared by an earlier installment. Because chunk
+/// concatenation reproduces the sequential enumeration order and tick
+/// sequence exactly (pinned in `valuations.rs`), the verdict, witness, and
+/// scoped counters are identical to an uninterrupted sequential run at the
+/// same budget. Returns the cleared-chunk ledger when the search stopped on
+/// a budget-like limit.
+#[allow(clippy::too_many_arguments)]
+fn exact_chunks_sequential(
+    setting: &Setting,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    tableaux: &[ric_query::tableau::Tableau],
+    q_d: &BTreeSet<Tuple>,
+    mode: &CheckMode,
+    spaces: &[(usize, ValuationSpace<'_>)],
+    chunks: &[(usize, Option<(ric_data::Value, usize)>)],
+    committed: BTreeMap<usize, crate::par::ChunkStats>,
+) -> (Verdict, Option<Vec<(usize, crate::par::ChunkStats)>>) {
+    use crate::par::{ChunkEvent, ChunkStats};
+    let committed_ticks: u64 = committed.values().map(|s| s.ticks).sum();
+    let mut totals = ChunkStats::default();
+    for stats in committed.values() {
+        totals.absorb(stats);
+    }
+    let mut meter = Meter::guarded_primed(
+        MeterKind::Valuations,
+        budget.max_valuations,
+        committed_ticks,
+        guard,
+    );
+    let mut ledger: Vec<(usize, ChunkStats)> = committed.iter().map(|(&i, s)| (i, *s)).collect();
+    let mut frontier = None;
+    let n_chunks = chunks.len();
+
+    let span = probe.span("rcdp.enumerate");
+    let mut verdict = Verdict::Complete;
+    for (idx, (si, point)) in chunks.iter().enumerate() {
+        if committed.contains_key(&idx) {
+            continue;
+        }
+        let (ti, space) = &spaces[*si];
+        let result = run_exact_chunk(
+            setting,
+            db,
+            mode,
+            q_d,
+            &tableaux[*ti],
+            space,
+            point.as_ref(),
+            &mut meter,
+        );
+        totals.absorb(&result.stats);
+        match result.event {
+            ChunkEvent::Clear => ledger.push((idx, result.stats)),
+            ChunkEvent::Hit => {
+                verdict = Verdict::Incomplete(
+                    result
+                        .value
+                        .unwrap_or_else(|| unreachable!("hit chunks carry a counterexample")),
+                );
+                break;
+            }
+            ChunkEvent::Exhausted | ChunkEvent::Interrupted(_) => {
+                if let Some(interrupt) = meter.interrupt() {
+                    probe.interrupt("rcdp.interrupt", interrupt.name(), guard.ticks());
+                }
+                probe.note("explain.frontier", || {
+                    format!(
+                        "stopped in chunk {}/{} after {} assignment(s); \
+                         uncleared chunks unexplored",
+                        idx + 1,
+                        n_chunks,
+                        meter.used()
+                    )
+                });
+                verdict = Verdict::unknown(
+                    SearchStats::new(
+                        meter.stop_limit(BudgetLimit::MaxValuations),
+                        meter.stop_detail("valuation"),
+                    )
+                    .with_valuations(meter.used()),
+                );
+                ledger.sort_unstable_by_key(|&(i, _)| i);
+                frontier = Some(std::mem::take(&mut ledger));
+                break;
+            }
+        }
+    }
+    drop(span);
+    probe.count("valuations.assignments", totals.ticks);
+    probe.count("rcdp.valuations", totals.ticks);
+    probe.count("rcdp.cc_checks", totals.cc_checks);
+    probe.count("cc.skipped_by_delta", totals.cc_skipped);
+    probe.count("index.probe", totals.probes);
+    crate::valuations::emit_profile(
+        probe,
+        &totals.depth_candidates,
+        &totals.depth_pruned,
+        totals.head_prunes,
+    );
+    emit_cc_attribution(probe, &totals.cc_viol);
+    emit_verdict(probe, &verdict);
+    (verdict, frontier)
+}
+
+/// The parallel exact search over the canonical chunk list, resumable and
+/// loss-tolerant: chunks cleared by an earlier installment become
+/// synthesized cleared slots (a cleared chunk's stats are independent of its
+/// budget slice — clearing means the whole subtree fit), the remaining
+/// chunks run under their *current-budget* slices, and a chunk that dies
+/// twice (see [`crate::par::run_chunks_recovering`]) triggers the
+/// degradation ladder: commit every cleared chunk and finish on the indexed
+/// sequential driver, recording `degrade.engine`.
+#[allow(clippy::too_many_arguments)]
+fn exact_chunks_parallel(
+    setting: &Setting,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    tableaux: &[ric_query::tableau::Tableau],
+    q_d: &BTreeSet<Tuple>,
+    mode: &CheckMode,
+    spaces: &[(usize, ValuationSpace<'_>)],
+    chunks: &[(usize, Option<(ric_data::Value, usize)>)],
+    committed: BTreeMap<usize, crate::par::ChunkStats>,
+) -> (Verdict, Option<Vec<(usize, crate::par::ChunkStats)>>) {
+    use crate::par::{self, ChunkEvent, ChunkResult, ChunkSlot, ChunkStats, PoolOutcome, PoolRun};
+
     let n_chunks = chunks.len();
     let total_valuations = budget.max_valuations;
+    let todo: Vec<usize> = (0..n_chunks)
+        .filter(|i| !committed.contains_key(i))
+        .collect();
 
-    let job = |idx: usize, wguard: &Guard| -> ChunkResult<CounterExample> {
+    let job = |pos: usize, wguard: &Guard| -> ChunkResult<CounterExample> {
+        let idx = todo[pos];
         let (si, point) = &chunks[idx];
         let (ti, space) = &spaces[*si];
-        let t = &tableaux[*ti];
-        let probes_before = probe_count();
+        // The slice is computed from the *current* budget and the chunk's
+        // canonical index: an uninterrupted run at this budget hands the
+        // chunk exactly this slice, which is what the resume invariant pins.
         let mut meter = Meter::guarded(
             MeterKind::Valuations,
             par::chunk_budget(total_valuations, n_chunks, idx),
             wguard,
         );
-        let cc_checks = Cell::new(0u64);
-        let cc_skipped = Cell::new(0u64);
-        let cc_viol: [Cell<u64>; par::CC_ATTR] = Default::default();
-        let profile = crate::valuations::DepthProfile::new();
-        let scratch = RefCell::new(Database::with_relations(setting.schema.len()));
-        let mut found: Option<CounterExample> = None;
-        let head_terms = &t.head;
-        let head_filter = |binding: &[Option<ric_data::Value>]| {
-            let tuple = Tuple::new(head_terms.iter().map(|term| {
-                match term {
-                    ric_query::Term::Var(v) => binding[v.idx()]
-                        .clone()
-                        .unwrap_or_else(|| unreachable!("head vars bound first")),
-                    ric_query::Term::Const(c) => c.clone(),
-                }
-            }));
-            !q_d.contains(&tuple)
-        };
-        let partial_filter = |binding: &[Option<ric_data::Value>]| {
-            let bound = space.bound_atoms(binding);
-            if bound.is_empty() {
-                return true;
-            }
-            let mut delta = scratch.borrow_mut();
-            delta.clear_tuples();
-            for (rel, tuple) in bound {
-                delta.insert(rel, tuple);
-            }
-            cc_checks.set(cc_checks.get() + 1);
-            match mode.upper_check(setting, db, &delta, &cc_skipped) {
-                None => true,
-                Some(i) => {
-                    bump_viol(&cc_viol, i);
-                    false
-                }
-            }
-        };
-        let visit = |mu: &ric_query::tableau::Valuation| {
-            let delta = mu.instantiate(t, setting.schema.len());
-            cc_checks.set(cc_checks.get() + 1);
-            let violated = mode.upper_check(setting, db, &delta, &cc_skipped);
-            if let Some(i) = violated {
-                bump_viol(&cc_viol, i);
-            }
-            if violated.is_none() {
-                let new_answer = mu.head_tuple(t);
-                let added = delta
-                    .difference(db)
-                    .unwrap_or_else(|e| unreachable!("delta shares the setting schema: {e:?}"));
-                found = Some(CounterExample {
-                    delta: added,
-                    new_answer,
-                });
-                return std::ops::ControlFlow::Break(());
-            }
-            std::ops::ControlFlow::Continue(())
-        };
-        let outcome = match point {
-            Some(p) => space.for_each_valid_pruned_chunk_profiled(
-                &profile,
-                p.clone(),
-                &mut meter,
-                head_filter,
-                partial_filter,
-                visit,
-            ),
-            None => space.for_each_valid_pruned_profiled(
-                &profile,
-                &mut meter,
-                head_filter,
-                partial_filter,
-                visit,
-            ),
-        };
-        let event = match outcome {
-            EnumOutcome::Stopped => ChunkEvent::Hit,
-            EnumOutcome::Exhausted => ChunkEvent::Clear,
-            EnumOutcome::BudgetExceeded => match meter.interrupt() {
-                Some(interrupt) => ChunkEvent::Interrupted(interrupt),
-                None => ChunkEvent::Exhausted,
-            },
-        };
-        ChunkResult {
-            event,
-            value: found,
-            stats: ChunkStats {
-                ticks: meter.used(),
-                cc_checks: cc_checks.get(),
-                cc_skipped: cc_skipped.get(),
-                probes: probe_count().saturating_sub(probes_before),
-                query_evals: 0,
-                depth_candidates: profile.candidates(),
-                depth_pruned: profile.pruned(),
-                head_prunes: profile.head_prunes(),
-                cc_viol: std::array::from_fn(|i| cc_viol[i].get()),
-            },
-        }
+        run_exact_chunk(
+            setting,
+            db,
+            mode,
+            q_d,
+            &tableaux[*ti],
+            space,
+            point.as_ref(),
+            &mut meter,
+        )
     };
 
     let span = probe.span("rcdp.enumerate");
-    let run = par::run_chunks(budget.engine.workers(), n_chunks, guard, &job);
+    let recovered = par::run_chunks_recovering(budget.engine.workers(), todo.len(), guard, &job);
+    probe.count("recover.chunk", recovered.recovered);
+    if !recovered.lost.is_empty() {
+        probe.count("degrade.chunk", recovered.lost.len() as u64);
+        probe.note("degrade.engine", || {
+            format!(
+                "parallel engine lost {} chunk(s) after quarantine retry; \
+                 downgrading to the sequential indexed engine",
+                recovered.lost.len()
+            )
+        });
+        let mut ledger = committed;
+        for (pos, slot) in recovered.run.slots.iter().enumerate() {
+            if let Some(ChunkSlot::Done(result)) = slot {
+                if matches!(result.event, ChunkEvent::Clear) {
+                    ledger.insert(todo[pos], result.stats);
+                }
+            }
+        }
+        drop(span);
+        return exact_chunks_sequential(
+            setting, db, budget, guard, probe, tableaux, q_d, mode, spaces, chunks, ledger,
+        );
+    }
+
+    let run = recovered.run;
     if probe.trace().is_some() {
         for entry in &run.timeline {
             let e = *entry;
+            let chunk = todo.get(e.chunk).copied().unwrap_or(e.chunk);
             probe.note("par.timeline", || {
                 format!(
                     "worker {} chunk {} {}..{}us",
-                    e.worker, e.chunk, e.start_micros, e.end_micros
+                    e.worker, chunk, e.start_micros, e.end_micros
                 )
             });
         }
     }
-    let merged = run.merge_search();
+    // Compose the full canonical slot list: committed chunks appear as
+    // synthesized cleared slots, fresh chunks take their pool slot (both
+    // walks ascend, so the zip is positional).
+    let mut fresh = run.slots.into_iter();
+    let slots: Vec<Option<ChunkSlot<CounterExample>>> = (0..n_chunks)
+        .map(|idx| match committed.get(&idx) {
+            Some(stats) => Some(ChunkSlot::Done(Box::new(ChunkResult {
+                event: ChunkEvent::Clear,
+                value: None,
+                stats: *stats,
+            }))),
+            None => fresh
+                .next()
+                .unwrap_or_else(|| unreachable!("one pool slot per uncommitted chunk")),
+        })
+        .collect();
+    let mut ledger: Vec<(usize, ChunkStats)> = Vec::new();
+    for (idx, slot) in slots.iter().enumerate() {
+        if let Some(ChunkSlot::Done(result)) = slot {
+            if matches!(result.event, ChunkEvent::Clear) {
+                ledger.push((idx, result.stats));
+            }
+        }
+    }
+    let full = PoolRun {
+        slots,
+        steals: run.steals,
+        executed: run.executed,
+        timeline: Vec::new(),
+    };
+    let merged = full.merge_search();
     drop(span);
 
     probe.count("par.chunk", merged.executed);
@@ -593,10 +856,11 @@ fn rcdp_exact_parallel(
     );
     emit_cc_attribution(probe, &merged.stats.cc_viol);
     let deciding = merged.deciding;
-    if matches!(
+    let resumable = matches!(
         merged.outcome,
         PoolOutcome::Exhausted | PoolOutcome::Interrupted(_)
-    ) {
+    );
+    if resumable {
         probe.note("explain.frontier", || {
             let at = deciding.map_or(n_chunks, |k| k + 1);
             format!(
@@ -626,7 +890,78 @@ fn rcdp_exact_parallel(
         }
     };
     emit_verdict(probe, &verdict);
-    Ok(verdict)
+    (verdict, resumable.then_some(ledger))
+}
+
+/// The resumable exact decider: [`rcdp_exact_guarded`] with a cleared-chunk
+/// ledger in and out. `committed` is `(n_chunks, cleared)` from a prior
+/// installment's checkpoint; a ledger whose chunk count does not match this
+/// decision's canonical layout is discarded (with a `resume.discarded` note)
+/// rather than trusted. Setup (query evaluation, active domain, check-mode
+/// selection) re-runs every installment — it is deterministic, so the
+/// telemetry the facade compares stays installment-independent.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rcdp_exact_resumed(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    committed: Option<ExactLedger>,
+) -> Result<(Verdict, Option<ExactLedger>), RcError> {
+    let probe = probe.with_ticks(guard);
+    let Some(ucq) = query.as_ucq() else {
+        return Err(RcError::Unsupported(format!(
+            "exact RCDP requires a UCQ-expressible query, got {:?}",
+            query.language()
+        )));
+    };
+    let tableaux = ucq.tableaux()?;
+    if tableaux.is_empty() {
+        probe.note("rcdp.outcome", || "complete".into());
+        return Ok((Verdict::Complete, None));
+    }
+    let q_d: BTreeSet<Tuple> = query.eval(db)?;
+    probe.count("rcdp.query_evals", 1);
+    let n_fresh = tableaux
+        .iter()
+        .map(|t| t.n_vars as usize)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let adom = Adom::build(db, setting, query, n_fresh);
+    probe.gauge("rcdp.adom_size", adom.len() as u64);
+    let mode = CheckMode::select(setting, budget.engine)?;
+    let (spaces, chunks) = exact_chunk_layout(&tableaux, setting, &adom);
+    if chunks.is_empty() {
+        let verdict = Verdict::Complete;
+        emit_verdict(probe, &verdict);
+        return Ok((verdict, None));
+    }
+    let n_chunks = chunks.len();
+    let committed: BTreeMap<usize, crate::par::ChunkStats> = match committed {
+        Some((n, cleared)) if n == n_chunks && cleared.iter().all(|&(i, _)| i < n_chunks) => {
+            cleared.into_iter().collect()
+        }
+        Some(_) => {
+            probe.note("resume.discarded", || {
+                "checkpoint frontier does not match this decision's chunk layout; restarting".into()
+            });
+            BTreeMap::new()
+        }
+        None => BTreeMap::new(),
+    };
+    let (verdict, ledger) = if matches!(budget.engine, Engine::Parallel { .. }) {
+        exact_chunks_parallel(
+            setting, db, budget, guard, probe, &tableaux, &q_d, &mode, &spaces, &chunks, committed,
+        )
+    } else {
+        exact_chunks_sequential(
+            setting, db, budget, guard, probe, &tableaux, &q_d, &mode, &spaces, &chunks, committed,
+        )
+    };
+    Ok((verdict, ledger.map(|l| (n_chunks, l))))
 }
 
 /// Emit the outcome note (and the exhausted limit, for `Unknown`) for an

@@ -18,6 +18,7 @@
 use crate::adom::Adom;
 use crate::budget::{Engine, Meter, MeterKind, SearchBudget};
 use crate::guard::Guard;
+use crate::par::ChunkStats;
 use crate::query::Query;
 use crate::setting::Setting;
 use crate::verdict::{BudgetLimit, CounterExample, QueryVerdict, RcError, SearchStats, Verdict};
@@ -25,6 +26,7 @@ use ric_constraints::PreparedUpper;
 use ric_data::{index::probe_count, Database, Overlay, RelId, Tuple, Value};
 use ric_telemetry::Probe;
 use std::cell::Cell;
+use std::collections::BTreeSet;
 
 /// Upper bound on the materialised candidate pool; beyond it the bounded
 /// searches report `Unknown` instead of exhausting memory.
@@ -230,9 +232,6 @@ fn rcdp_bounded_inner(
     probe: Probe<'_>,
 ) -> Result<Verdict, RcError> {
     let q_d = query.eval(db)?;
-    let query_evals = Cell::new(1u64);
-    let cc_checks = Cell::new(0u64);
-    let cc_skipped = Cell::new(0u64);
     let probes_before = probe_count();
     let check = BoundedCheck::select(setting, db, budget.engine)?;
     let adom = Adom::build(db, setting, query, budget.fresh_values);
@@ -240,7 +239,7 @@ fn rcdp_bounded_inner(
     values.extend(adom.fresh.iter().cloned());
     probe.gauge("semidecide.adom_size", values.len() as u64);
     if pool_estimate(setting, values.len()) > MAX_POOL {
-        probe.count("semidecide.query_evals", query_evals.get());
+        probe.count("semidecide.query_evals", 1);
         return Ok(Verdict::unknown(SearchStats::new(
             BudgetLimit::PoolBound,
             format!(
@@ -253,7 +252,7 @@ fn rcdp_bounded_inner(
     let pool = tuple_pool(setting, db, &values);
     probe.gauge("semidecide.pool_size", pool.len() as u64);
     if matches!(budget.engine, Engine::Parallel { .. }) {
-        return rcdp_bounded_parallel(
+        let (verdict, _) = rcdp_bounded_parallel(
             setting,
             query,
             db,
@@ -264,16 +263,85 @@ fn rcdp_bounded_inner(
             &check,
             &pool,
             probes_before,
-        );
+            1,
+            &ChunkStats::default(),
+        )?;
+        return Ok(verdict);
     }
-    let mut meter = Meter::guarded(MeterKind::Candidates, budget.max_candidates, guard);
+    let probes_offset = probe_count().saturating_sub(probes_before);
+    let (verdict, _) = bounded_search_sequential(
+        setting,
+        query,
+        db,
+        budget,
+        guard,
+        probe,
+        &q_d,
+        &check,
+        &pool,
+        1,
+        &ChunkStats::default(),
+        probes_offset,
+    )?;
+    Ok(verdict)
+}
+
+/// A bounded-search resume point: every extension size below `next_size` is
+/// fully searched, with `stats` the cumulative committed work over those
+/// sizes. The public mirror is
+/// [`Frontier::BoundedSizes`](crate::checkpoint::Frontier).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BoundedResume {
+    /// First unexplored extension size.
+    pub next_size: usize,
+    /// Cumulative stats over the fully-searched smaller sizes.
+    pub stats: ChunkStats,
+}
+
+/// The (resumable) sequential bounded extension search. `start_size` and
+/// `committed` come from a prior installment's checkpoint (size 1 and empty
+/// stats for a fresh run): the meter is primed with the committed ticks and
+/// the counter cells with the committed totals, so the search rejects — and
+/// reports — at exactly the point an uninterrupted run at the same budget
+/// would. `probes_offset` is the caller's setup probe count plus any probes
+/// committed by earlier installments; the emitted `index.probe` counter is
+/// `probes_offset` + this call's own probes, keeping the counter
+/// installment-independent. Returns the resume point alongside the verdict
+/// when the search stopped on a budget-like limit.
+#[allow(clippy::too_many_arguments)]
+fn bounded_search_sequential(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    q_d: &BTreeSet<Tuple>,
+    check: &BoundedCheck,
+    pool: &[(RelId, Tuple)],
+    start_size: usize,
+    committed: &ChunkStats,
+    probes_offset: u64,
+) -> Result<(Verdict, Option<BoundedResume>), RcError> {
+    let entry_probes = probe_count();
+    let mut meter = Meter::guarded_primed(
+        MeterKind::Candidates,
+        budget.max_candidates,
+        committed.ticks,
+        guard,
+    );
+    let query_evals = Cell::new(1 + committed.query_evals);
+    let cc_checks = Cell::new(committed.cc_checks);
+    let cc_skipped = Cell::new(committed.cc_skipped);
+    let mut ledger = *committed;
+    let mut frontier = None;
 
     let span = probe.span("semidecide.extension_search");
     let mut verdict = None;
-    for size in 1..=budget.max_delta_tuples.min(pool.len()) {
+    for size in start_size..=budget.max_delta_tuples.min(pool.len()) {
         let mut chosen: Vec<usize> = Vec::with_capacity(size);
         let found = choose(
-            &pool,
+            pool,
             0,
             size,
             &mut chosen,
@@ -290,11 +358,11 @@ fn rcdp_bounded_inner(
                 };
                 let q_after = query.eval(&extended)?;
                 query_evals.set(query_evals.get() + 1);
-                if q_after != q_d {
+                if q_after != *q_d {
                     // For non-monotone L_Q an addition can also *remove*
                     // answers; report any distinguishing tuple.
                     let new_answer = q_after
-                        .symmetric_difference(&q_d)
+                        .symmetric_difference(q_d)
                         .next()
                         .unwrap_or_else(|| unreachable!("answers differ"))
                         .clone();
@@ -331,9 +399,24 @@ fn rcdp_bounded_inner(
                     SearchStats::new(meter.stop_limit(BudgetLimit::MaxCandidates), detail)
                         .with_candidates(meter.used()),
                 ));
+                frontier = Some(BoundedResume {
+                    next_size: size,
+                    stats: ledger,
+                });
                 break;
             }
-            ChooseOutcome::Exhausted => {}
+            ChooseOutcome::Exhausted => {
+                // Commit this fully-searched size: the cumulative totals are
+                // what a resumed installment primes its meter and cells with.
+                ledger = ChunkStats {
+                    ticks: meter.used(),
+                    cc_checks: cc_checks.get(),
+                    cc_skipped: cc_skipped.get(),
+                    query_evals: query_evals.get() - 1,
+                    probes: committed.probes + probe_count().saturating_sub(entry_probes),
+                    ..ChunkStats::default()
+                };
+            }
         }
     }
     drop(span);
@@ -342,8 +425,11 @@ fn rcdp_bounded_inner(
     probe.count("semidecide.query_evals", query_evals.get());
     probe.count("cc.skipped_by_delta", cc_skipped.get());
     // Thread-local counter: exact even when other threads probe concurrently.
-    probe.count("index.probe", probe_count().saturating_sub(probes_before));
-    Ok(verdict.unwrap_or_else(|| {
+    probe.count(
+        "index.probe",
+        probes_offset + probe_count().saturating_sub(entry_probes),
+    );
+    let verdict = verdict.unwrap_or_else(|| {
         Verdict::unknown(
             SearchStats::new(
                 BudgetLimit::MaxDeltaTuples,
@@ -357,7 +443,83 @@ fn rcdp_bounded_inner(
             )
             .with_candidates(meter.used()),
         )
-    }))
+    });
+    Ok((verdict, frontier))
+}
+
+/// The resumable bounded decider: [`rcdp_bounded_guarded`] with a size-level
+/// resume point in and out. Setup (query evaluation, check-mode selection,
+/// active domain, candidate pool) re-runs every installment — it is
+/// deterministic, so the emitted telemetry stays installment-independent.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rcdp_bounded_resumed(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    prior: Option<&BoundedResume>,
+) -> Result<(Verdict, Option<BoundedResume>), RcError> {
+    let probe = probe.with_ticks(guard);
+    let q_d = query.eval(db)?;
+    let probes_before = probe_count();
+    let check = BoundedCheck::select(setting, db, budget.engine)?;
+    let adom = Adom::build(db, setting, query, budget.fresh_values);
+    let mut values = adom.constants.clone();
+    values.extend(adom.fresh.iter().cloned());
+    probe.gauge("semidecide.adom_size", values.len() as u64);
+    if pool_estimate(setting, values.len()) > MAX_POOL {
+        probe.count("semidecide.query_evals", 1);
+        let verdict = Verdict::unknown(SearchStats::new(
+            BudgetLimit::PoolBound,
+            format!(
+                "candidate tuple space exceeds {MAX_POOL} over {} values; \
+                 narrow the schema or shrink the database",
+                values.len()
+            ),
+        ));
+        crate::rcdp::emit_verdict(probe, &verdict);
+        return Ok((verdict, None));
+    }
+    let pool = tuple_pool(setting, db, &values);
+    probe.gauge("semidecide.pool_size", pool.len() as u64);
+    let start_size = prior.map_or(1, |r| r.next_size);
+    let committed = prior.map_or_else(ChunkStats::default, |r| r.stats);
+    let (verdict, frontier) = if matches!(budget.engine, Engine::Parallel { .. }) {
+        rcdp_bounded_parallel(
+            setting,
+            query,
+            db,
+            budget,
+            guard,
+            probe,
+            &q_d,
+            &check,
+            &pool,
+            probes_before,
+            start_size,
+            &committed,
+        )?
+    } else {
+        let probes_offset = probe_count().saturating_sub(probes_before) + committed.probes;
+        bounded_search_sequential(
+            setting,
+            query,
+            db,
+            budget,
+            guard,
+            probe,
+            &q_d,
+            &check,
+            &pool,
+            start_size,
+            &committed,
+            probes_offset,
+        )?
+    };
+    crate::rcdp::emit_verdict(probe, &verdict);
+    Ok((verdict, frontier))
 }
 
 /// The bounded extension search, sharded across the worker pool: for each
@@ -369,6 +531,15 @@ fn rcdp_bounded_inner(
 /// decider error inside a chunk rides the `Hit` channel as `Err`, so the
 /// earliest erroring/finding chunk — the one the sequential engine would
 /// have reached first — decides.
+///
+/// Resumable at size granularity: `start_size`/`committed` skip the sizes an
+/// earlier installment fully searched, and the per-size `remaining` budget is
+/// derived from the committed ticks exactly as an uninterrupted run would. A
+/// chunk lost twice (panic plus failed quarantine retry, see
+/// [`par::run_chunks_recovering`]) downgrades the rest of the decision to
+/// the sequential driver, re-running the failed size from its start —
+/// verdict- and witness-sound, though the sequential meter's death point may
+/// differ from the parallel slicing's.
 #[allow(clippy::too_many_arguments)]
 fn rcdp_bounded_parallel(
     setting: &Setting,
@@ -377,24 +548,28 @@ fn rcdp_bounded_parallel(
     budget: &SearchBudget,
     guard: &Guard,
     probe: Probe<'_>,
-    q_d: &std::collections::BTreeSet<Tuple>,
+    q_d: &BTreeSet<Tuple>,
     check: &BoundedCheck,
     pool: &[(RelId, Tuple)],
     probes_before: u64,
-) -> Result<Verdict, RcError> {
-    use crate::par::{self, ChunkEvent, ChunkResult, ChunkStats, PoolOutcome};
+    start_size: usize,
+    committed: &ChunkStats,
+) -> Result<(Verdict, Option<BoundedResume>), RcError> {
+    use crate::par::{self, ChunkEvent, ChunkResult, PoolOutcome};
 
     // Probes issued while building the check mode, active domain, and pool —
     // the sequential path counts them too, before its enumeration begins.
     let setup_probes = probe_count().saturating_sub(probes_before);
-    let mut totals = ChunkStats::default();
+    let mut totals = *committed;
+    let mut ledger = *committed;
     let mut executed = 0u64;
     let mut steals = 0u64;
     let mut verdict = None;
+    let mut frontier = None;
 
     let span = probe.span("semidecide.extension_search");
     let max_size = budget.max_delta_tuples.min(pool.len());
-    for size in 1..=max_size {
+    for size in start_size..=max_size {
         let remaining = budget.max_candidates.saturating_sub(totals.ticks);
         if remaining == 0 {
             verdict = Some(Verdict::unknown(
@@ -408,6 +583,10 @@ fn rcdp_bounded_parallel(
                 )
                 .with_candidates(totals.ticks),
             ));
+            frontier = Some(BoundedResume {
+                next_size: size,
+                stats: ledger,
+            });
             break;
         }
         // Subsets of `size` tuples whose smallest pool index is `i` exist
@@ -479,7 +658,41 @@ fn rcdp_bounded_parallel(
                 },
             }
         };
-        let run = par::run_chunks(budget.engine.workers(), n_chunks, guard, &job);
+        let recovered = par::run_chunks_recovering(budget.engine.workers(), n_chunks, guard, &job);
+        probe.count("recover.chunk", recovered.recovered);
+        if !recovered.lost.is_empty() {
+            // Degradation ladder: quarantine retry failed too. Commit the
+            // fully-searched sizes and finish sequentially, re-running the
+            // failed size from its start.
+            probe.count("degrade.chunk", recovered.lost.len() as u64);
+            probe.note("degrade.engine", || {
+                format!(
+                    "parallel engine lost {} chunk(s) after quarantine retry; \
+                     downgrading to the sequential indexed engine",
+                    recovered.lost.len()
+                )
+            });
+            executed += recovered.run.executed;
+            steals += recovered.run.steals;
+            drop(span);
+            probe.count("par.chunk", executed);
+            probe.count("par.steal", steals);
+            return bounded_search_sequential(
+                setting,
+                query,
+                db,
+                budget,
+                guard,
+                probe,
+                q_d,
+                check,
+                pool,
+                size,
+                &ledger,
+                setup_probes + ledger.probes,
+            );
+        }
+        let run = recovered.run;
         if probe.trace().is_some() {
             for entry in &run.timeline {
                 let e = *entry;
@@ -496,7 +709,11 @@ fn rcdp_bounded_parallel(
         executed += merged.executed;
         steals += merged.steals;
         match merged.outcome {
-            PoolOutcome::Clear => continue,
+            PoolOutcome::Clear => {
+                // Commit this fully-searched size for the resume frontier.
+                ledger = totals;
+                continue;
+            }
             PoolOutcome::Hit(Ok(ce)) => {
                 verdict = Some(Verdict::Incomplete(ce));
             }
@@ -521,6 +738,10 @@ fn rcdp_bounded_parallel(
                     )
                     .with_candidates(totals.ticks),
                 ));
+                frontier = Some(BoundedResume {
+                    next_size: size,
+                    stats: ledger,
+                });
             }
             PoolOutcome::Interrupted(interrupt) => {
                 probe.interrupt("semidecide.interrupt", interrupt.name(), guard.ticks());
@@ -539,6 +760,10 @@ fn rcdp_bounded_parallel(
                     )
                     .with_candidates(totals.ticks),
                 ));
+                frontier = Some(BoundedResume {
+                    next_size: size,
+                    stats: ledger,
+                });
             }
         }
         break;
@@ -551,7 +776,7 @@ fn rcdp_bounded_parallel(
     probe.count("semidecide.query_evals", 1 + totals.query_evals);
     probe.count("cc.skipped_by_delta", totals.cc_skipped);
     probe.count("index.probe", setup_probes + totals.probes);
-    Ok(verdict.unwrap_or_else(|| {
+    let verdict = verdict.unwrap_or_else(|| {
         Verdict::unknown(
             SearchStats::new(
                 BudgetLimit::MaxDeltaTuples,
@@ -565,7 +790,8 @@ fn rcdp_bounded_parallel(
             )
             .with_candidates(totals.ticks),
         )
-    }))
+    });
+    Ok((verdict, frontier))
 }
 
 enum ChooseOutcome {

@@ -1,0 +1,181 @@
+//! Seeded round-trip property suite for [`Checkpoint`] serialization:
+//! `from_json ∘ to_json = id` over generated checkpoints (compact and pretty
+//! printings), typed rejection of unknown schema versions, and typed errors
+//! — never panics — for every malformed-document shape a torn write or a
+//! foreign tool could produce. Same pattern as the telemetry crate's
+//! `json_roundtrip.rs` suite.
+
+use ric_complete::{
+    Checkpoint, CheckpointError, DecisionKind, Frontier, Progress, CHECKPOINT_VERSION,
+};
+
+/// SplitMix64 (Steele et al.): tiny, seedable, deterministic.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+fn gen_progress(rng: &mut SplitMix64) -> Progress {
+    let vec = |rng: &mut SplitMix64| (0..rng.below(6)).map(|_| rng.below(10_000)).collect();
+    Progress {
+        ticks: rng.next(),
+        cc_checks: rng.below(1 << 40),
+        cc_skipped: rng.below(1 << 40),
+        probes: rng.below(1 << 40),
+        query_evals: rng.below(1 << 20),
+        head_prunes: rng.below(1 << 20),
+        depth_candidates: vec(rng),
+        depth_pruned: vec(rng),
+        cc_viol: vec(rng),
+    }
+}
+
+fn gen_frontier(rng: &mut SplitMix64) -> Frontier {
+    match rng.below(3) {
+        0 => {
+            let n_chunks = rng.below(12) + 1;
+            let cleared = (0..rng.below(n_chunks + 1))
+                .map(|i| (i, gen_progress(rng)))
+                .collect();
+            Frontier::RcdpChunks { n_chunks, cleared }
+        }
+        1 => Frontier::BoundedSizes {
+            next_size: rng.below(8) + 1,
+            progress: gen_progress(rng),
+        },
+        _ => Frontier::Restart,
+    }
+}
+
+fn gen_checkpoint(rng: &mut SplitMix64) -> Checkpoint {
+    Checkpoint {
+        version: CHECKPOINT_VERSION,
+        kind: if rng.below(2) == 0 {
+            DecisionKind::Rcdp
+        } else {
+            DecisionKind::Rcqp
+        },
+        fingerprint: rng.next(),
+        attempt: (rng.below(10) + 1) as u32,
+        spent_ticks: rng.next(),
+        frontier: gen_frontier(rng),
+    }
+}
+
+#[test]
+fn to_json_from_json_identity_over_seeded_checkpoints() {
+    let mut rng = SplitMix64(0xc0de_0001);
+    for case in 0..500 {
+        let cp = gen_checkpoint(&mut rng);
+        let compact = cp.to_json().to_string();
+        let back = Checkpoint::from_json_str(&compact)
+            .unwrap_or_else(|e| panic!("case {case}: {e} in {compact}"));
+        assert_eq!(back, cp, "case {case}: compact round-trip");
+        let pretty = cp.to_json().pretty();
+        let back = Checkpoint::from_json_str(&pretty)
+            .unwrap_or_else(|e| panic!("case {case}: {e} in {pretty}"));
+        assert_eq!(back, cp, "case {case}: pretty round-trip");
+    }
+}
+
+#[test]
+fn round_tripped_checkpoints_validate_like_the_original() {
+    // Serialization must not change what a checkpoint accepts: the same
+    // (kind, fingerprint) pair passes, every other pair fails, before and
+    // after a JSON round-trip — that is what "identical resume behavior"
+    // means at the facade boundary, where validate() gates the resume.
+    let mut rng = SplitMix64(0xc0de_0002);
+    for case in 0..200 {
+        let cp = gen_checkpoint(&mut rng);
+        let back = Checkpoint::from_json_str(&cp.to_json().to_string()).unwrap();
+        let other_kind = match cp.kind {
+            DecisionKind::Rcdp => DecisionKind::Rcqp,
+            DecisionKind::Rcqp => DecisionKind::Rcdp,
+        };
+        assert!(
+            back.validate(cp.kind, cp.fingerprint).is_ok(),
+            "case {case}"
+        );
+        assert_eq!(
+            back.validate(other_kind, cp.fingerprint).is_err(),
+            cp.validate(other_kind, cp.fingerprint).is_err(),
+            "case {case}: kind mismatch parity"
+        );
+        let wrong_fp = cp.fingerprint.wrapping_add(1);
+        assert_eq!(
+            back.validate(cp.kind, wrong_fp).is_err(),
+            cp.validate(cp.kind, wrong_fp).is_err(),
+            "case {case}: fingerprint mismatch parity"
+        );
+    }
+}
+
+#[test]
+fn unknown_schema_versions_are_typed_rejections() {
+    let mut rng = SplitMix64(0xc0de_0003);
+    for case in 0..100 {
+        let mut cp = gen_checkpoint(&mut rng);
+        cp.version = CHECKPOINT_VERSION + 1 + rng.below(1000);
+        let doc = cp.to_json().to_string();
+        match Checkpoint::from_json_str(&doc) {
+            Err(CheckpointError::UnsupportedVersion { found }) => {
+                assert_eq!(found, cp.version, "case {case}")
+            }
+            other => panic!("case {case}: expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncations_of_valid_documents_never_panic() {
+    // Every prefix of a valid serialized checkpoint is either valid (it
+    // cannot be, except the full document) or a typed error. This is the
+    // torn-write scenario: the process died mid-write.
+    let mut rng = SplitMix64(0xc0de_0004);
+    for _ in 0..25 {
+        let cp = gen_checkpoint(&mut rng);
+        let full = cp.to_json().to_string();
+        for cut in 0..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let torn = &full[..cut];
+            assert!(
+                Checkpoint::from_json_str(torn).is_err(),
+                "prefix of length {cut} of {full} parsed as a checkpoint"
+            );
+        }
+    }
+}
+
+#[test]
+fn malformed_documents_are_typed_errors() {
+    for doc in [
+        "",
+        "not json at all",
+        "42",
+        "[]",
+        "{}",
+        r#"{"version":1}"#,
+        r#"{"version":1,"kind":"nope","fingerprint":0,"attempt":1,"spent_ticks":0,"frontier":{"type":"restart"}}"#,
+        r#"{"version":1,"kind":"rcdp","fingerprint":0,"attempt":1,"spent_ticks":0,"frontier":{"type":"wat"}}"#,
+        r#"{"version":1,"kind":"rcdp","fingerprint":-3,"attempt":1,"spent_ticks":0,"frontier":{"type":"restart"}}"#,
+        r#"{"version":"one","kind":"rcdp","fingerprint":0,"attempt":1,"spent_ticks":0,"frontier":{"type":"restart"}}"#,
+    ] {
+        assert!(
+            Checkpoint::from_json_str(doc).is_err(),
+            "document {doc:?} should be rejected"
+        );
+    }
+}

@@ -15,10 +15,12 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ric_complete::{
-    rcdp_guarded, rcqp_guarded, Guard, Query, QueryVerdict, RcError, SearchBudget, Setting, Verdict,
+    rcdp_fingerprint, rcdp_guarded, rcdp_resumed_guarded, rcqp_fingerprint, rcqp_guarded,
+    rcqp_resumed_guarded, Checkpoint, CheckpointError, DecisionKind, Guard, Query, QueryVerdict,
+    RcError, SearchBudget, Setting, Verdict,
 };
 use ric_data::Database;
-use ric_telemetry::{Collector, Explain, Probe, TeeSink, TraceState};
+use ric_telemetry::{Collector, Explain, Probe, Sink, TeeSink, TraceState};
 
 /// A verdict together with the structured [`Explain`] artifact rebuilt from
 /// the decision's own trace: the span tree (single root, every span closed),
@@ -57,6 +59,10 @@ pub enum DecisionError {
     /// started. The full [`AnalysisReport`](ric_analysis::AnalysisReport)
     /// is attached — `report.errors()` lists what must be fixed.
     Rejected(Box<ric_analysis::AnalysisReport>),
+    /// A prior [`Checkpoint`] handed to a `try_*_resumed` entry point does
+    /// not belong to this decision (wrong schema version, wrong decision
+    /// kind, or a fingerprint mismatch); the decision never started.
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for DecisionError {
@@ -73,6 +79,7 @@ impl std::fmt::Display for DecisionError {
                 }
                 Ok(())
             }
+            DecisionError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
         }
     }
 }
@@ -82,6 +89,12 @@ impl std::error::Error for DecisionError {}
 impl From<RcError> for DecisionError {
     fn from(e: RcError) -> Self {
         DecisionError::Rc(e)
+    }
+}
+
+impl From<CheckpointError> for DecisionError {
+    fn from(e: CheckpointError) -> Self {
+        DecisionError::Checkpoint(e)
     }
 }
 
@@ -115,6 +128,11 @@ fn isolate<T>(
         drop(root);
         out
     }));
+    // Flush buffered sinks on every exit — including the panic path, where
+    // the buffered tail is exactly the evidence a post-mortem needs. The
+    // flush itself is isolated too: a sink that panics while flushing must
+    // not replace (or mask) the decision's own outcome.
+    let _ = catch_unwind(AssertUnwindSafe(|| Sink::flush(&tee)));
     match result {
         Ok(inner) => {
             let verdict = inner.map_err(DecisionError::Rc)?;
@@ -186,6 +204,95 @@ pub fn try_rcdp_guarded(
     })
 }
 
+/// A [`Decision`] plus the [`Checkpoint`] to resume from, when the decision
+/// stopped on a resumable budget limit (valuation/candidate budget, deadline,
+/// or cancellation). `checkpoint` is `None` when the verdict is conclusive or
+/// the stop is not resumable (pool bounds, unsupported fragments).
+///
+/// Feed the checkpoint back — serialized through [`Checkpoint::to_json`] and
+/// [`Checkpoint::from_json_str`] if it crossed a process boundary — as the
+/// `prior` of the next installment. The resume invariant (DESIGN.md §10): a
+/// decision completed in K installments with non-decreasing budgets returns
+/// the same verdict, witness, and search counters as one uninterrupted run
+/// at the final budget, on the same engine and worker count.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Resumed<T> {
+    /// The installment's verdict and explanation.
+    pub decision: Decision<T>,
+    /// Where to pick up, if the search was interrupted resumably.
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// [`try_rcdp`] that can pick up where a prior interrupted run left off.
+///
+/// Pass `None` for a fresh decision; pass the [`Checkpoint`] from a previous
+/// [`Resumed`] to skip the work that installment already committed. A prior
+/// checkpoint from a different decision (or an unknown schema version) is
+/// rejected up front with [`DecisionError::Checkpoint`].
+pub fn try_rcdp_resumed(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    prior: Option<&Checkpoint>,
+) -> Result<(Verdict, Option<Checkpoint>), DecisionError> {
+    try_rcdp_resumed_guarded(
+        setting,
+        query,
+        db,
+        budget,
+        &Guard::new(budget),
+        Probe::disabled(),
+        prior,
+    )
+    .map(|r| (r.decision.verdict, r.checkpoint))
+}
+
+/// [`try_rcdp_resumed`] with a telemetry probe attached.
+pub fn try_rcdp_resumed_probed(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+    prior: Option<&Checkpoint>,
+) -> Result<Resumed<Verdict>, DecisionError> {
+    try_rcdp_resumed_guarded(
+        setting,
+        query,
+        db,
+        budget,
+        &Guard::new(budget),
+        probe,
+        prior,
+    )
+}
+
+/// [`try_rcdp_resumed`] with an explicit [`Guard`] and a telemetry probe.
+pub fn try_rcdp_resumed_guarded(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    prior: Option<&Checkpoint>,
+) -> Result<Resumed<Verdict>, DecisionError> {
+    if let Some(cp) = prior {
+        cp.validate(DecisionKind::Rcdp, rcdp_fingerprint(setting, query, db))?;
+    }
+    let d = isolate(probe, |p| {
+        rcdp_resumed_guarded(setting, query, db, budget, guard, p, prior)
+    })?;
+    Ok(Resumed {
+        checkpoint: d.verdict.checkpoint,
+        decision: Decision {
+            verdict: d.verdict.verdict,
+            explain: d.explain,
+        },
+    })
+}
+
 /// [`rcqp`](ric_complete::rcqp), panic-isolated. Never panics.
 pub fn try_rcqp(
     setting: &Setting,
@@ -222,4 +329,64 @@ pub fn try_rcqp_guarded(
     probe: Probe<'_>,
 ) -> Result<Decision<QueryVerdict>, DecisionError> {
     isolate(probe, |p| rcqp_guarded(setting, query, budget, guard, p))
+}
+
+/// [`try_rcqp`] that accepts (and may return) a [`Checkpoint`].
+///
+/// The RCQP frontier is coarse — [`Frontier::Restart`] — so a resumed
+/// installment re-runs the search from the top at the new budget; the
+/// checkpoint still carries the attempt count, ticks spent, and the
+/// fingerprint binding it to this `(setting, query)` pair.
+///
+/// [`Frontier::Restart`]: ric_complete::Frontier::Restart
+pub fn try_rcqp_resumed(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+    prior: Option<&Checkpoint>,
+) -> Result<(QueryVerdict, Option<Checkpoint>), DecisionError> {
+    try_rcqp_resumed_guarded(
+        setting,
+        query,
+        budget,
+        &Guard::new(budget),
+        Probe::disabled(),
+        prior,
+    )
+    .map(|r| (r.decision.verdict, r.checkpoint))
+}
+
+/// [`try_rcqp_resumed`] with a telemetry probe attached.
+pub fn try_rcqp_resumed_probed(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+    probe: Probe<'_>,
+    prior: Option<&Checkpoint>,
+) -> Result<Resumed<QueryVerdict>, DecisionError> {
+    try_rcqp_resumed_guarded(setting, query, budget, &Guard::new(budget), probe, prior)
+}
+
+/// [`try_rcqp_resumed`] with an explicit [`Guard`] and a telemetry probe.
+pub fn try_rcqp_resumed_guarded(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    prior: Option<&Checkpoint>,
+) -> Result<Resumed<QueryVerdict>, DecisionError> {
+    if let Some(cp) = prior {
+        cp.validate(DecisionKind::Rcqp, rcqp_fingerprint(setting, query))?;
+    }
+    let d = isolate(probe, |p| {
+        rcqp_resumed_guarded(setting, query, budget, guard, p, prior)
+    })?;
+    Ok(Resumed {
+        checkpoint: d.verdict.checkpoint,
+        decision: Decision {
+            verdict: d.verdict.verdict,
+            explain: d.explain,
+        },
+    })
 }

@@ -71,15 +71,18 @@
 
 mod analyzed;
 mod guard;
+mod retry;
 
 pub use analyzed::{
     analyze, try_rcdp_analyzed, try_rcdp_analyzed_probed, try_rcqp_analyzed,
     try_rcqp_analyzed_probed,
 };
 pub use guard::{
-    try_rcdp, try_rcdp_guarded, try_rcdp_probed, try_rcqp, try_rcqp_guarded, try_rcqp_probed,
-    Decision, DecisionError,
+    try_rcdp, try_rcdp_guarded, try_rcdp_probed, try_rcdp_resumed, try_rcdp_resumed_guarded,
+    try_rcdp_resumed_probed, try_rcqp, try_rcqp_guarded, try_rcqp_probed, try_rcqp_resumed,
+    try_rcqp_resumed_guarded, try_rcqp_resumed_probed, Decision, DecisionError, Resumed,
 };
+pub use retry::{decide_query_with_retry, decide_with_retry, RetryOutcome, RetryPolicy};
 
 pub use ric_analysis as analysis;
 pub use ric_complete as complete;
@@ -92,9 +95,10 @@ pub use ric_telemetry as telemetry;
 
 pub use ric_analysis::{AnalysisReport, Classification, Code, Diagnostic, Pointer, Severity};
 pub use ric_complete::{
-    rcdp, rcdp_guarded, rcdp_probed, rcqp, rcqp_guarded, rcqp_probed, BudgetLimit, CancelToken,
-    Engine, FaultPlan, Guard, Interrupt, MeterKind, Query, QueryVerdict, RcError, SearchBudget,
-    SearchStats, Setting, Verdict,
+    rcdp, rcdp_fingerprint, rcdp_guarded, rcdp_probed, rcqp, rcqp_fingerprint, rcqp_guarded,
+    rcqp_probed, BudgetLimit, CancelToken, Checkpoint, CheckpointError, DecisionKind, Engine,
+    FaultPlan, Frontier, Guard, Interrupt, MeterKind, Progress, Query, QueryVerdict, RcError,
+    SearchBudget, SearchStats, Setting, Verdict, CHECKPOINT_VERSION,
 };
 pub use ric_data::SplitMix64;
 pub use ric_telemetry::{
@@ -109,14 +113,17 @@ pub mod prelude {
         try_rcqp_analyzed_probed,
     };
     pub use crate::guard::{
-        try_rcdp, try_rcdp_guarded, try_rcdp_probed, try_rcqp, try_rcqp_guarded, try_rcqp_probed,
-        Decision, DecisionError,
+        try_rcdp, try_rcdp_guarded, try_rcdp_probed, try_rcdp_resumed, try_rcdp_resumed_guarded,
+        try_rcdp_resumed_probed, try_rcqp, try_rcqp_guarded, try_rcqp_probed, try_rcqp_resumed,
+        try_rcqp_resumed_guarded, try_rcqp_resumed_probed, Decision, DecisionError, Resumed,
     };
+    pub use crate::retry::{decide_query_with_retry, decide_with_retry, RetryOutcome, RetryPolicy};
     pub use ric_analysis::{AnalysisReport, Code, Diagnostic, Pointer, Severity};
     pub use ric_complete::{
         rcdp, rcdp_guarded, rcdp_probed, rcqp, rcqp_guarded, rcqp_probed, BudgetLimit, CancelToken,
-        CounterExample, Engine, FaultPlan, Guard, Interrupt, MeterKind, Query, QueryVerdict,
-        RcError, SearchBudget, SearchStats, Setting, Verdict,
+        Checkpoint, CheckpointError, CounterExample, DecisionKind, Engine, FaultPlan, Guard,
+        Interrupt, MeterKind, Query, QueryVerdict, RcError, SearchBudget, SearchStats, Setting,
+        Verdict,
     };
     pub use ric_constraints::{
         CcBody, CcRhs, Cfd, Cind, ConstraintSet, ContainmentConstraint, Denial, Fd, IndCc,

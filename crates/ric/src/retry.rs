@@ -1,0 +1,192 @@
+//! Budget-escalation retry on top of the resumable entry points.
+//!
+//! A decision that dies on its valuation/candidate budget often just needs a
+//! bigger budget. [`decide_with_retry`] runs the decision through
+//! [`try_rcdp_resumed_guarded`], and when the verdict is `Unknown` on a
+//! *count* budget it escalates the budget by [`RetryPolicy::escalation_factor`]
+//! and resumes from the captured [`Checkpoint`] — so work committed by earlier
+//! attempts is never repeated. The policy is fully deterministic: escalation
+//! is a pure function of the attempt number and the backoff is counted in
+//! guard ticks, not wall-clock sleeps, so a retried decision replays
+//! identically under test.
+//!
+//! Deadline and cancellation stops are *not* retried here: more budget does
+//! not buy more wall-clock, and a cancelled decision was cancelled on
+//! purpose. Callers who want those resumed can feed the checkpoint back into
+//! [`try_rcdp_resumed_guarded`] themselves.
+
+use ric_complete::{
+    BudgetLimit, Checkpoint, Guard, Query, QueryVerdict, SearchBudget, Setting, Verdict,
+};
+use ric_data::Database;
+use ric_telemetry::Probe;
+
+use crate::guard::{try_rcdp_resumed_guarded, try_rcqp_resumed_guarded, Decision, DecisionError};
+
+/// When and how [`decide_with_retry`] escalates.
+///
+/// All three knobs are deterministic — attempt `i` always runs at
+/// `base * factor^(i-1)` (saturating), and the backoff between attempts is a
+/// fixed number of guard ticks, never a sleep.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` disables retry).
+    pub max_attempts: u32,
+    /// Multiplier applied to `max_valuations` and `max_candidates` on each
+    /// retry. A factor of `1` retries at the same budget (useful only to
+    /// re-drive a decision through checkpoint capture in tests).
+    pub escalation_factor: u32,
+    /// Deterministic pause between attempts, counted in guard-check ticks.
+    pub backoff_ticks: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            escalation_factor: 2,
+            backoff_ticks: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The budget attempt `attempt` (1-based) runs at: the count budgets of
+    /// `base` scaled by `escalation_factor^(attempt-1)`, saturating. The
+    /// non-count limits (delta tuples, fresh values, deadline, engine) are
+    /// left untouched — escalation buys a deeper search, not a different one.
+    pub fn budget_for(&self, base: &SearchBudget, attempt: u32) -> SearchBudget {
+        let factor = u64::from(self.escalation_factor).saturating_pow(attempt.saturating_sub(1));
+        let mut budget = *base;
+        budget.max_valuations = base.max_valuations.saturating_mul(factor);
+        budget.max_candidates = base.max_candidates.saturating_mul(factor);
+        budget
+    }
+
+    /// Is this `Unknown` stop worth another attempt? Only the count budgets
+    /// escalation can actually relieve.
+    fn retryable(limit: BudgetLimit) -> bool {
+        matches!(
+            limit,
+            BudgetLimit::MaxValuations | BudgetLimit::MaxCandidates
+        )
+    }
+
+    /// The deterministic inter-attempt pause: spin the guard's cooperative
+    /// check `backoff_ticks` times. No wall-clock sleeps anywhere.
+    fn backoff(&self, guard: &Guard) {
+        for _ in 0..self.backoff_ticks {
+            let _ = guard.check();
+        }
+    }
+}
+
+/// What [`decide_with_retry`] / [`decide_query_with_retry`] hand back.
+#[derive(Clone, Debug)]
+pub struct RetryOutcome<T> {
+    /// The final attempt's verdict and explanation.
+    pub decision: Decision<T>,
+    /// How many attempts ran (1 = no retry was needed).
+    pub attempts: u32,
+    /// The escalated budget the final attempt ran at.
+    pub budget_used: SearchBudget,
+    /// The final attempt's checkpoint, when even the escalated budget was
+    /// not enough — callers can persist it and come back later.
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// RCDP with deterministic budget-escalation retry.
+///
+/// Runs [`try_rcdp_resumed_guarded`] at `policy.budget_for(base, 1)`, and
+/// while the verdict is `Unknown` on a retryable count budget and attempts
+/// remain, escalates and resumes from the captured checkpoint. Each attempt
+/// gets a fresh [`Guard`] for its escalated budget; the attempt number and
+/// outcome are recorded as `retry.attempt` notes on `probe`.
+pub fn decide_with_retry(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    base: &SearchBudget,
+    policy: &RetryPolicy,
+    probe: Probe<'_>,
+) -> Result<RetryOutcome<Verdict>, DecisionError> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut prior: Option<Checkpoint> = None;
+    let mut attempt = 1u32;
+    loop {
+        let budget = policy.budget_for(base, attempt);
+        let guard = Guard::new(&budget);
+        if attempt > 1 {
+            policy.backoff(&guard);
+        }
+        probe.note("retry.attempt", || {
+            format!(
+                "attempt {attempt}/{max_attempts} at valuation budget {} / candidate budget {}",
+                budget.max_valuations, budget.max_candidates
+            )
+        });
+        let resumed =
+            try_rcdp_resumed_guarded(setting, query, db, &budget, &guard, probe, prior.as_ref())?;
+        let retry = attempt < max_attempts
+            && resumed.checkpoint.is_some()
+            && matches!(
+                &resumed.decision.verdict,
+                Verdict::Unknown { stats } if RetryPolicy::retryable(stats.limit)
+            );
+        if !retry {
+            return Ok(RetryOutcome {
+                decision: resumed.decision,
+                attempts: attempt,
+                budget_used: budget,
+                checkpoint: resumed.checkpoint,
+            });
+        }
+        prior = resumed.checkpoint;
+        attempt += 1;
+    }
+}
+
+/// RCQP with deterministic budget-escalation retry; the RCQP analogue of
+/// [`decide_with_retry`].
+pub fn decide_query_with_retry(
+    setting: &Setting,
+    query: &Query,
+    base: &SearchBudget,
+    policy: &RetryPolicy,
+    probe: Probe<'_>,
+) -> Result<RetryOutcome<QueryVerdict>, DecisionError> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut prior: Option<Checkpoint> = None;
+    let mut attempt = 1u32;
+    loop {
+        let budget = policy.budget_for(base, attempt);
+        let guard = Guard::new(&budget);
+        if attempt > 1 {
+            policy.backoff(&guard);
+        }
+        probe.note("retry.attempt", || {
+            format!(
+                "attempt {attempt}/{max_attempts} at valuation budget {} / candidate budget {}",
+                budget.max_valuations, budget.max_candidates
+            )
+        });
+        let resumed =
+            try_rcqp_resumed_guarded(setting, query, &budget, &guard, probe, prior.as_ref())?;
+        let retry = attempt < max_attempts
+            && resumed.checkpoint.is_some()
+            && matches!(
+                &resumed.decision.verdict,
+                QueryVerdict::Unknown { stats } if RetryPolicy::retryable(stats.limit)
+            );
+        if !retry {
+            return Ok(RetryOutcome {
+                decision: resumed.decision,
+                attempts: attempt,
+                budget_used: budget,
+                checkpoint: resumed.checkpoint,
+            });
+        }
+        prior = resumed.checkpoint;
+        attempt += 1;
+    }
+}

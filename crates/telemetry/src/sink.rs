@@ -30,6 +30,13 @@ pub trait Sink {
     /// Record one event. Must not panic on I/O trouble — sinks that write
     /// swallow errors (telemetry must never take down a decision).
     fn record(&self, event: Event);
+
+    /// Push buffered output through to the underlying destination. The
+    /// facade calls this on every decision exit — including the panic path —
+    /// so a crashing caller cannot lose the final checkpoint/interrupt
+    /// events still sitting in a write buffer. In-memory sinks need nothing,
+    /// hence the default no-op.
+    fn flush(&self) {}
 }
 
 /// In-memory aggregation plus the raw event stream.
@@ -312,6 +319,10 @@ impl<W: io::Write> PrettySink<W> {
 }
 
 impl<W: io::Write> Sink for PrettySink<W> {
+    fn flush(&self) {
+        PrettySink::flush(self);
+    }
+
     fn record(&self, event: Event) {
         let mut open = self.open.borrow_mut();
         let mut w = self.writer.borrow_mut();
@@ -473,6 +484,10 @@ impl<W: io::Write> JsonlSink<W> {
 }
 
 impl<W: io::Write> Sink for JsonlSink<W> {
+    fn flush(&self) {
+        JsonlSink::flush(self);
+    }
+
     fn record(&self, event: Event) {
         let mut w = self.writer.borrow_mut();
         let _ = writeln!(w, "{}", Self::line_for(&event));
@@ -498,6 +513,15 @@ impl<'a> TeeSink<'a> {
 }
 
 impl Sink for TeeSink<'_> {
+    fn flush(&self) {
+        if let Some(sink) = self.first {
+            sink.flush();
+        }
+        if let Some(sink) = self.second {
+            sink.flush();
+        }
+    }
+
     fn record(&self, event: Event) {
         if let Some(sink) = self.first {
             sink.record(event.clone());
@@ -530,6 +554,12 @@ impl<'a> FaultSink<'a> {
 }
 
 impl Sink for FaultSink<'_> {
+    fn flush(&self) {
+        if let Some(sink) = self.inner {
+            sink.flush();
+        }
+    }
+
     fn record(&self, event: Event) {
         if event.name() == self.trigger {
             panic!("fault injection: stage {} panicked", self.trigger);

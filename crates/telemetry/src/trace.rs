@@ -64,7 +64,7 @@ pub struct SpanRecord {
 }
 
 /// Rebuilds a [`SpanTree`] from open/close notifications in stream order.
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TreeBuilder {
     records: Vec<SpanRecord>,
     by_id: BTreeMap<u64, usize>,
@@ -349,6 +349,16 @@ impl Explain {
             .rev()
             .find(|(n, _)| n == name)
             .map(|(_, d)| d.as_str())
+    }
+
+    /// The machine-readable resume frontier, if the decision stopped on a
+    /// resumable budget limit. This is the checkpoint document the facade
+    /// records under the `explain.frontier.json` note, parsed back into
+    /// [`Json`] so tools can inspect (or persist) it without re-running the
+    /// decision.
+    pub fn frontier_json(&self) -> Option<Json> {
+        self.note("explain.frontier.json")
+            .and_then(|s| crate::json::parse(s).ok())
     }
 
     /// The explanation as one JSON object (`outcome`, `limit`, `tree`,

@@ -7,26 +7,32 @@
 #   3. fault injection        (cargo test --test guard_robustness)
 #   4. parallel scheduler     (cargo test --test par_differential,
 #                              then a RIC_WORKERS=1 / RIC_WORKERS=4 matrix)
-#   5. paper properties       (cargo test --test paper_properties)
-#   6. static analysis        (cargo test -p ric-analysis,
+#   5. checkpoint/resume      (cargo test --test resume_differential, then a
+#                              RIC_RESUME_K=2,5 x RIC_WORKERS={1,4} matrix:
+#                              K-installment decisions must be identical to
+#                              uninterrupted runs)
+#   6. worker-panic faults    (guard_robustness quarantine/degradation/flush
+#                              tests plus the ric-trace torn-record suite)
+#   7. paper properties       (cargo test --test paper_properties)
+#   8. static analysis        (cargo test -p ric-analysis,
 #                              cargo test --test analysis_properties)
-#   7. bench artifacts        (regen_tables --deadline-ms guard; the run
+#   9. bench artifacts        (regen_tables --deadline-ms guard; the run
 #                              fails if any shipped workload draws an
 #                              Error-level analyzer diagnostic, and also
 #                              streams a JSONL decision trace)
-#   8. trace smoke            (the trace_decision example and the
+#  10. trace smoke            (the trace_decision example and the
 #                              regen_tables --trace stream must round-trip
 #                              through the ric-trace CLI: tree, prune, and
 #                              diff all parse and render; a malformed trace
 #                              is rejected with a nonzero exit)
-#   9. disabled probes        (cargo test -p ric-telemetry disabled_probe:
+#  11. disabled probes        (cargo test -p ric-telemetry disabled_probe:
 #                              Probe::disabled adds zero events, traced or
 #                              not)
-#  10. full test suite        (cargo test -q -- --include-ignored)
-#  11. formatting             (cargo fmt --check)
-#  12. lints                  (cargo clippy --all-targets -D warnings)
-#  13. lints, workspace       (cargo clippy --workspace -D warnings)
-#  14. lints, unwrap ban      (clippy -D clippy::unwrap_used/expect_used on
+#  12. full test suite        (cargo test -q -- --include-ignored)
+#  13. formatting             (cargo fmt --check)
+#  14. lints                  (cargo clippy --all-targets -D warnings)
+#  15. lints, workspace       (cargo clippy --workspace -D warnings)
+#  16. lints, unwrap ban      (clippy -D clippy::unwrap_used/expect_used on
 #                              library code; tests are exempt via clippy.toml)
 #
 # Everything runs with --offline: the default build has zero third-party
@@ -61,6 +67,27 @@ for workers in 1 4; do
   step "parallel scheduler differential suite (RIC_WORKERS=${workers})"
   RIC_WORKERS="${workers}" cargo test -q --offline --test par_differential
 done
+
+# Resume equivalence: a decision finished in K installments must be
+# verdict-, witness-, and counter-identical to one uninterrupted run. The
+# suite honours RIC_RESUME_K and RIC_WORKERS, so pin the K x workers matrix
+# explicitly alongside the default run.
+step "checkpoint/resume differential suite (default K set {2,5})"
+cargo test -q --offline --test resume_differential
+for workers in 1 4; do
+  step "checkpoint/resume differential suite (RIC_RESUME_K=2,5 RIC_WORKERS=${workers})"
+  RIC_RESUME_K=2,5 RIC_WORKERS="${workers}" \
+    cargo test -q --offline --test resume_differential
+done
+
+# Worker-death fault matrix: an injected mid-chunk panic must recover (one
+# death) or degrade Parallel -> Indexed (repeated deaths), never change a
+# verdict; the panic path must still flush buffered telemetry sinks.
+step "worker-panic fault matrix (quarantine, degradation ladder, sink flush)"
+cargo test -q --offline --test guard_robustness worker_panic
+cargo test -q --offline --test guard_robustness worker_deaths
+cargo test -q --offline --test guard_robustness flushed_on_the_facade_panic_path
+cargo test -q --offline -p ric-bench --test trace_load
 
 step "paper-property suite (monotonicity, C1-C4, witnesses, Prop 2.1)"
 cargo test -q --offline --test paper_properties

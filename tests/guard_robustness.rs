@@ -413,3 +413,164 @@ fn interrupts_are_recorded_with_site_and_tick() {
     assert_eq!(report.interrupts[0].at_tick, guard.ticks());
     assert_eq!(report.notes("rcdp.limit"), vec!["deadline".to_string()]);
 }
+
+// ---------------------------------------------------------------------------
+// Worker-death recovery and the engine degradation ladder
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a_single_worker_panic_is_quarantined_and_retried() {
+    let (setting, q, db) = master_bounded_instance();
+    let indexed = SearchBudget::default().with_engine(Engine::Indexed);
+    let expected = rcdp(&setting, &q, &db, &indexed).unwrap();
+
+    // One worker, so the first chunk's first tick deterministically dies;
+    // one fire, so the quarantine retry of that chunk survives.
+    let budget = SearchBudget::default().with_engine(Engine::parallel(1));
+    let guard = Guard::new(&budget).with_fault_plan(FaultPlan::new().worker_panic_at_tick(0, 1));
+    let collector = Collector::new();
+    let decision = ric::try_rcdp_guarded(
+        &setting,
+        &q,
+        &db,
+        &budget,
+        &guard,
+        Probe::attached(&collector),
+    )
+    .expect("one worker death must not kill the decision");
+    assert_eq!(decision.verdict, expected, "verdict after chunk recovery");
+
+    let report = collector.report();
+    assert!(
+        report.counter("recover.chunk") >= 1,
+        "the quarantined chunk retry must be recorded: {:?}",
+        report.counters
+    );
+    assert_eq!(report.counter("degrade.chunk"), 0);
+    assert!(
+        report.notes("degrade.engine").is_empty(),
+        "a recovered run must not degrade"
+    );
+}
+
+#[test]
+fn repeated_worker_deaths_degrade_parallel_to_indexed() {
+    let (setting, q, db) = master_bounded_instance();
+    let indexed = SearchBudget::default().with_engine(Engine::Indexed);
+    let expected = rcdp(&setting, &q, &db, &indexed).unwrap();
+
+    // Unlimited fires: the chunk dies again on its quarantine retry, so the
+    // scheduler must walk the degradation ladder instead of re-raising.
+    let budget = SearchBudget::default().with_engine(Engine::parallel(1));
+    let guard =
+        Guard::new(&budget).with_fault_plan(FaultPlan::new().worker_panic_at_tick(0, u32::MAX));
+    let collector = Collector::new();
+    let decision = ric::try_rcdp_guarded(
+        &setting,
+        &q,
+        &db,
+        &budget,
+        &guard,
+        Probe::attached(&collector),
+    )
+    .expect("a lost chunk must degrade, not error");
+    assert_eq!(decision.verdict, expected, "verdict after degradation");
+
+    let report = collector.report();
+    assert!(
+        report.counter("degrade.chunk") >= 1,
+        "{:?}",
+        report.counters
+    );
+    let notes = report.notes("degrade.engine");
+    assert_eq!(notes.len(), 1, "exactly one degradation note: {notes:?}");
+    assert!(
+        notes[0].contains("downgrading to the sequential"),
+        "note should explain the downgrade: {}",
+        notes[0]
+    );
+}
+
+#[test]
+fn repeated_worker_deaths_degrade_the_bounded_search_too() {
+    let (setting, q, db) = fp_bounded_instance();
+    let indexed = SearchBudget::default().with_engine(Engine::Indexed);
+    let expected = rcdp(&setting, &q, &db, &indexed).unwrap();
+
+    let budget = SearchBudget::default().with_engine(Engine::parallel(1));
+    let guard =
+        Guard::new(&budget).with_fault_plan(FaultPlan::new().worker_panic_at_tick(0, u32::MAX));
+    let collector = Collector::new();
+    let decision = ric::try_rcdp_guarded(
+        &setting,
+        &q,
+        &db,
+        &budget,
+        &guard,
+        Probe::attached(&collector),
+    )
+    .expect("a lost chunk must degrade, not error");
+    assert_eq!(
+        decision.verdict, expected,
+        "bounded verdict after degradation"
+    );
+    let report = collector.report();
+    assert!(
+        !report.notes("degrade.engine").is_empty(),
+        "the bounded scheduler must record its downgrade: {:?}",
+        report.counters
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Sink flushing on the panic path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn buffered_sinks_are_flushed_on_the_facade_panic_path() {
+    use std::io;
+    use std::sync::{Arc, Mutex};
+
+    /// A writer into a shared buffer, so the test can observe what the
+    /// facade actually pushed through the `BufWriter` before unwinding.
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl io::Write for SharedBuf {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let (setting, q, db) = master_bounded_instance();
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let jsonl = ric::JsonlSink::new(SharedBuf(Arc::clone(&buf)));
+    // The caller's sink chain: a buffered JSONL sink behind the panicking
+    // stage. Events recorded before the trigger sit in the BufWriter; only
+    // the facade's exit-path flush can get them out.
+    let fault = FaultSink::new("rcdp.enumerate", Some(&jsonl));
+    let err = ric::try_rcdp_probed(
+        &setting,
+        &q,
+        &db,
+        &SearchBudget::default(),
+        Probe::attached(&fault),
+    )
+    .expect_err("the injected panic must surface as an error");
+    assert!(matches!(err, DecisionError::Panic { .. }));
+
+    // `jsonl` is still alive, so its BufWriter has not been dropped: every
+    // byte in the shared buffer got there via the facade's flush.
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    assert!(
+        text.lines().count() >= 1,
+        "pre-panic telemetry must be flushed through the buffered sink"
+    );
+    for line in text.lines() {
+        let doc = ric::telemetry::json::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable flushed line {line:?}: {e:?}"));
+        assert!(doc.get("kind").is_some(), "not an event line: {line}");
+    }
+}
