@@ -21,6 +21,11 @@
 //!   decisions timed under `Engine::Indexed` and `Engine::Parallel`, with
 //!   per-cell speedups, verdict-identity checks, and the median speedup at
 //!   the largest size;
+//! * `BENCH_PLAN.json` — the plan A/B suite: the same scaling decisions
+//!   timed under `Engine::Indexed` and `Engine::Planned` (cost-based
+//!   compiled query plans), with per-cell speedups, verdict-identity
+//!   checks, the median speedup at the largest size, and a prepared-reuse
+//!   cell amortizing one `prepare()` over a batch of decisions;
 //! * `BENCH_ANALYSIS.json` — the static-analysis A/B suite: FO-*syntax*
 //!   queries that `ric::analyze` certifies down to CQ, decided through the
 //!   naive FO-cell dispatch versus the analyzer-gated `try_rcdp_analyzed`
@@ -43,10 +48,15 @@
 //! well-formed artifacts, which is the point: the tables can be rebuilt on a
 //! time budget without ever reporting a wrong cell.
 //!
-//! Pass `--engine naive|indexed|parallel` to pick the evaluation engine used
-//! for the Table I/II cells (default `indexed`; every engine is exact, so the
-//! verdicts must not differ). The A/B suite behind `BENCH_ENGINE.json`
-//! always runs both sequential engines regardless of the flag.
+//! Pass `--engine naive|indexed|parallel|planned` to pick the evaluation
+//! engine used for the Table I/II cells (default `indexed`; every engine is
+//! exact, so the verdicts must not differ). The A/B suite behind
+//! `BENCH_ENGINE.json` always runs both sequential engines regardless of the
+//! flag, and the plan suite behind `BENCH_PLAN.json` always runs indexed
+//! versus planned: the same scaling decisions timed under both, with
+//! per-cell verdict-identity checks, the median speedup at the largest
+//! size, and a prepared-reuse cell that amortizes one [`ric::prepare`] call
+//! over a batch of decisions.
 //!
 //! Pass `--workers N` to size the worker pool of the parallel engine
 //! (default 4). The parallel scaling suite behind `BENCH_PAR.json` times the
@@ -178,7 +188,7 @@ fn parse_invocation() -> Invocation {
         } else {
             eprintln!(
                 "usage: regen_tables [--deadline-ms N] \
-                 [--engine naive|indexed|parallel] [--workers N] [--trace FILE]"
+                 [--engine naive|indexed|parallel|planned] [--workers N] [--trace FILE]"
             );
             std::process::exit(2);
         }
@@ -199,9 +209,11 @@ fn parse_invocation() -> Invocation {
         None | Some("indexed") => Engine::Indexed,
         Some("naive") => Engine::Naive,
         Some("parallel") => Engine::parallel(workers),
+        Some("planned") => Engine::planned(workers),
         Some(other) => {
             eprintln!(
-                "regen_tables: --engine expects `naive`, `indexed`, or `parallel`, got {other:?}"
+                "regen_tables: --engine expects `naive`, `indexed`, `parallel`, \
+                 or `planned`, got {other:?}"
             );
             std::process::exit(2);
         }
@@ -868,6 +880,202 @@ fn write_par_suite(path: &str, cells: &[ParCell], workers: usize, median: f64, m
     }
 }
 
+/// One cell of the plan A/B suite: the same decision timed under the indexed
+/// engine and the planned (cost-based compiled plans) engine.
+struct PlanCell {
+    cell: String,
+    size: usize,
+    /// Whether `size` is the largest in its family (these cells feed the
+    /// median-speedup headline number).
+    largest: bool,
+    indexed_us: u128,
+    planned_us: u128,
+    /// Plans fix join orders only, so planned verdicts are *bit-identical*
+    /// to the indexed ones — counterexamples included.
+    identical: bool,
+}
+
+impl PlanCell {
+    fn speedup(&self) -> f64 {
+        self.indexed_us as f64 / self.planned_us.max(1) as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cell", Json::from(self.cell.as_str())),
+            ("size", Json::from(self.size)),
+            ("largest_size", Json::from(self.largest)),
+            ("indexed_micros", Json::from(self.indexed_us)),
+            ("planned_micros", Json::from(self.planned_us)),
+            ("speedup", Json::from(self.speedup())),
+            ("verdicts_identical", Json::from(self.identical)),
+        ])
+    }
+}
+
+/// The prepared-reuse cell: one [`ric::prepare`] amortized over a batch of
+/// decisions, versus preparing from scratch inside every decision.
+struct ReuseCell {
+    cell: String,
+    decisions: usize,
+    fresh_us: u128,
+    prepared_us: u128,
+    identical: bool,
+}
+
+impl ReuseCell {
+    fn speedup(&self) -> f64 {
+        self.fresh_us as f64 / self.prepared_us.max(1) as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cell", Json::from(self.cell.as_str())),
+            ("decisions", Json::from(self.decisions)),
+            ("fresh_micros", Json::from(self.fresh_us)),
+            ("prepared_micros", Json::from(self.prepared_us)),
+            ("speedup", Json::from(self.speedup())),
+            ("verdicts_identical", Json::from(self.identical)),
+        ])
+    }
+}
+
+/// The plan A/B suite: the largest Table I cell family (the FD-pinned
+/// Example 3.1 instances, whose CQ-bodied constraints are where the delta
+/// check dominates) timed under `Engine::Indexed` versus `Engine::Planned`.
+/// The instances are complete by construction, so both engines sweep the
+/// whole valuation space; the planned arm's compiled plans with reusable
+/// scratch buffers are what the speedup measures.
+fn plan_suite(inv: &Invocation) -> (Vec<PlanCell>, ReuseCell) {
+    let mut cells = Vec::new();
+    let sizes = [20usize, 48, 96];
+    let largest = *sizes.last().unwrap();
+    let queries: [(&str, &str); 2] = [
+        ("(CQ, CQ) FD-pinned", "Q(C) :- Supt('e0', D, C)."),
+        (
+            "(UCQ, CQ) FD-pinned two-disjunct",
+            "Q(C) :- Supt('e0', D, C). Q(C) :- Supt('e1', D, C).",
+        ),
+    ];
+    for (name, src) in queries {
+        for &n in &sizes {
+            let (setting, db) = fd_instance(n);
+            let query: Query = if src.matches(":-").count() > 1 {
+                parse_ucq(&setting.schema, src).expect("fixed query").into()
+            } else {
+                parse_cq(&setting.schema, src).expect("fixed query").into()
+            };
+            let run = |engine: Engine| {
+                let budget = bounded(SearchBudget::default(), inv).with_engine(engine);
+                let start = Instant::now();
+                let v = rcdp(&setting, &query, &db, &budget).expect("well-formed instance");
+                (start.elapsed().as_micros(), v)
+            };
+            let (indexed_us, vi) = run(Engine::Indexed);
+            let (planned_us, vp) = run(Engine::planned(1));
+            cells.push(PlanCell {
+                cell: format!("{name} n={n}"),
+                size: n,
+                largest: n == largest,
+                indexed_us,
+                planned_us,
+                identical: vi == vp,
+            });
+        }
+    }
+
+    // Prepared reuse: the same planned decision repeated over a batch, once
+    // preparing from scratch every time and once against one shared
+    // `PreparedSetting`. Small instances are the regime preparation is for:
+    // there the per-decision compile (tableau normalization, rhs
+    // evaluation, planning) is a visible fraction of the decision.
+    let decisions = 200usize;
+    let reuse_n = 8usize;
+    let (setting, db) = fd_instance(reuse_n);
+    let query: Query = parse_cq(&setting.schema, "Q(C) :- Supt('e0', D, C).")
+        .expect("fixed query")
+        .into();
+    let budget = bounded(SearchBudget::default(), inv).with_engine(Engine::planned(1));
+
+    // One-time preparation cost counts against the prepared arm. The arms
+    // interleave decision-by-decision so clock-frequency drift over the
+    // batch cannot bias either side, and both use unprobed, unisolated
+    // entry points — the timing isolates the preparation reuse itself.
+    let start = Instant::now();
+    let prepared =
+        ric::prepare(&setting, &db, Engine::planned(1)).expect("well-formed preparation");
+    let mut prepared_us = start.elapsed().as_micros();
+    let mut fresh_us = 0u128;
+    let mut fresh_verdicts = Vec::new();
+    let mut prepared_verdicts = Vec::new();
+    for _ in 0..decisions {
+        let start = Instant::now();
+        fresh_verdicts.push(rcdp(&setting, &query, &db, &budget).expect("well-formed instance"));
+        fresh_us += start.elapsed().as_micros();
+        let start = Instant::now();
+        prepared_verdicts.push(
+            prepared
+                .rcdp(&query, &db, &budget)
+                .expect("well-formed instance"),
+        );
+        prepared_us += start.elapsed().as_micros();
+    }
+
+    let reuse = ReuseCell {
+        cell: format!("(CQ, CQ) FD-pinned n={reuse_n} prepared-reuse"),
+        decisions,
+        fresh_us,
+        prepared_us,
+        identical: fresh_verdicts == prepared_verdicts,
+    };
+    (cells, reuse)
+}
+
+fn print_plan_suite(cells: &[PlanCell], reuse: &ReuseCell, median: f64) {
+    println!("\nPlan A/B - indexed vs planned");
+    println!("=============================");
+    println!(
+        "{:<42} {:>12} {:>12} {:>9} {:>10}",
+        "cell", "indexed", "planned", "speedup", "identical"
+    );
+    println!("{}", "-".repeat(90));
+    for c in cells {
+        println!(
+            "{:<42} {:>9} µs {:>9} µs {:>8.1}x {:>10}",
+            c.cell,
+            c.indexed_us,
+            c.planned_us,
+            c.speedup(),
+            c.identical
+        );
+    }
+    println!(
+        "{:<42} {:>9} µs {:>9} µs {:>8.1}x {:>10}   ({} decisions)",
+        reuse.cell,
+        reuse.fresh_us,
+        reuse.prepared_us,
+        reuse.speedup(),
+        reuse.identical,
+        reuse.decisions
+    );
+    println!("median speedup at largest size: {median:.1}x");
+}
+
+fn write_plan_suite(path: &str, cells: &[PlanCell], reuse: &ReuseCell, median: f64, meta: &Json) {
+    let doc = Json::obj([
+        ("source", Json::from("regen_tables")),
+        ("meta", meta.clone()),
+        ("engines", Json::arr(["indexed", "planned"].map(Json::from))),
+        ("cells", Json::arr(cells.iter().map(PlanCell::to_json))),
+        ("prepared_reuse", reuse.to_json()),
+        ("median_speedup_at_largest", Json::from(median)),
+    ]);
+    match std::fs::write(path, format!("{}\n", doc.pretty())) {
+        Ok(()) => println!("wrote {path} ({} cells + prepared-reuse)", cells.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn print_engine_suite(cells: &[EngineCell], median: f64) {
     println!("\nEngine A/B - naive vs indexed");
     println!("=============================");
@@ -1141,12 +1349,28 @@ fn main() {
             .collect(),
     );
     print_par_suite(&par_cells, inv.workers, par_median);
+    let (plan_cells, plan_reuse) = plan_suite(&inv);
+    let plan_median = self::median(
+        plan_cells
+            .iter()
+            .filter(|c| c.largest)
+            .map(PlanCell::speedup)
+            .collect(),
+    );
+    print_plan_suite(&plan_cells, &plan_reuse, plan_median);
     println!();
     let meta = meta_json(&inv);
     write_table("BENCH_TABLE1.json", "I", "RCDP(L_Q, L_C)", &t1, &meta);
     write_table("BENCH_TABLE2.json", "II", "RCQP(L_Q, L_C)", &t2, &meta);
     write_engine_suite("BENCH_ENGINE.json", &engine_cells, median, &meta);
     write_par_suite("BENCH_PAR.json", &par_cells, inv.workers, par_median, &meta);
+    write_plan_suite(
+        "BENCH_PLAN.json",
+        &plan_cells,
+        &plan_reuse,
+        plan_median,
+        &meta,
+    );
     write_analysis_suite(
         "BENCH_ANALYSIS.json",
         &analysis_cells,
@@ -1228,6 +1452,29 @@ fn write_trace(path: &str, inv: &Invocation) {
             &inst.setting,
             &inst.query,
             &budget,
+            Probe::attached(&sink).with_trace(&trace),
+        )
+        .map(drop)
+        .map_err(|e| e.to_string()),
+    );
+
+    // Decision 4: a CQ-bodied FD setting under the planned engine — the
+    // plan.explain / plan.cards telemetry the `ric-trace plan` report
+    // renders (the planted workload's projection-bodied constraint set is
+    // a pure IND set, which takes the containment shortcut and plans
+    // nothing, so it cannot exercise this path).
+    let (plan_setting, plan_db) = fd_instance(8);
+    let plan_query: Query = parse_cq(&plan_setting.schema, "Q(C) :- Supt('e0', D, C).")
+        .expect("fixed query")
+        .into();
+    let plan_budget = budget.with_engine(Engine::planned(1));
+    run(
+        "planned rcdp",
+        try_rcdp_probed(
+            &plan_setting,
+            &plan_query,
+            &plan_db,
+            &plan_budget,
             Probe::attached(&sink).with_trace(&trace),
         )
         .map(drop)

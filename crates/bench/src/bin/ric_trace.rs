@@ -14,6 +14,11 @@
 //!   counters (`prune.cc.NN` constraint attribution, `prune.head` head
 //!   filter, `depth.pruned.NN` per-depth families) did the work, per
 //!   decision and totalled over the file.
+//! * `ric-trace plan FILE` — the query-plan report for planned-engine
+//!   traces: per decision, whether the preparation was compiled or reused,
+//!   the chosen join orders with per-atom access paths and cost estimates
+//!   (the `plan.explain` note), and the planner's assumed row counts against
+//!   the decision database's actual ones (the `plan.cards` note).
 //! * `ric-trace diff A B` — compare two trace files (summed counters, span
 //!   wall/tick totals, decision counts) or two `BENCH_*.json` artifacts
 //!   (per-cell micros and outcome drift, keyed by the `cell` string). The
@@ -36,6 +41,7 @@ use ric_bench::trace_load::{load_trace as load_trace_typed, Segment};
 const USAGE: &str = "usage: ric-trace <command> [args]\n\
   tree  FILE       render each decision's span tree from a JSONL trace\n\
   prune FILE [K]   top-K pruning report (default K=10)\n\
+  plan  FILE       query-plan report (join orders, estimates, cardinalities)\n\
   diff  A B        diff two JSONL traces, or two BENCH_*.json artifacts";
 
 fn main() -> ExitCode {
@@ -50,6 +56,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         },
+        ["plan", path] => cmd_plan(path),
         ["diff", a, b] => cmd_diff(a, b),
         _ => {
             eprintln!("{USAGE}");
@@ -162,6 +169,32 @@ fn cmd_prune(path: &str, k: usize) -> Result<(), String> {
     }
     println!("total over {n} decision(s)");
     print_prune_block(&total, k);
+    Ok(())
+}
+
+// ── plan ────────────────────────────────────────────────────────────────
+
+fn cmd_plan(path: &str) -> Result<(), String> {
+    let segments = load_trace(path)?;
+    let n = segments.len();
+    let mut planned = 0usize;
+    for (i, seg) in segments.iter().enumerate() {
+        let label = seg.outcome().unwrap_or("?");
+        println!("decision {}/{n} (outcome: {label})", i + 1);
+        match ric_bench::plan_report::plan_report(seg) {
+            Some(report) => {
+                planned += 1;
+                for line in report.lines() {
+                    println!("  {line}");
+                }
+            }
+            None => println!("  (no plan telemetry — not a planned-engine decision)"),
+        }
+        println!();
+    }
+    if planned == 0 {
+        println!("no planned-engine decisions in {n} segment(s); run under Engine::Planned");
+    }
     Ok(())
 }
 

@@ -7,6 +7,7 @@
 //! machine-readable `BENCH_TABLE1.json` / `BENCH_TABLE2.json` artifacts.
 
 pub mod harness;
+pub mod plan_report;
 pub mod trace_load;
 
 use ric::prelude::*;

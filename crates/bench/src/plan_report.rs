@@ -1,0 +1,190 @@
+//! The `ric-trace plan` report: rebuild a planned-engine decision's query
+//! plans from its trace segment.
+//!
+//! A decision run under [`ric::Engine::Planned`] records four counters
+//! (`plan.compile` / `plan.reuse`, `plan.fallback`, `plan.cost`) and two
+//! notes: `plan.explain` (one rendered plan per line — the chosen join order
+//! with per-atom access paths and estimated cardinalities) and `plan.cards`
+//! (`Rel planned=N actual=M` pairs comparing the row counts the planner
+//! costed against with the decision database). [`plan_report`] renders all
+//! of that back as an indented text block; decisions that never planned
+//! (other engines, pure-IND settings) report as [`None`].
+
+use crate::trace_load::Segment;
+use std::fmt::Write;
+
+/// One `Rel planned=N actual=M` entry from the `plan.cards` note.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CardRow {
+    /// Relation display name.
+    pub rel: String,
+    /// Rows the planner costed against (the statistics snapshot).
+    pub planned: u64,
+    /// Rows in the decision database.
+    pub actual: u64,
+}
+
+/// Parse a `plan.cards` note body (`"R planned=3 actual=5; S planned=0
+/// actual=2"`). Entries that do not match the shape are skipped — the note
+/// is advisory display data, not a contract worth failing a whole trace
+/// over.
+pub fn parse_cards(detail: &str) -> Vec<CardRow> {
+    detail
+        .split("; ")
+        .filter_map(|entry| {
+            let mut parts = entry.split_whitespace();
+            let rel = parts.next()?.to_string();
+            let planned = parts.next()?.strip_prefix("planned=")?.parse().ok()?;
+            let actual = parts.next()?.strip_prefix("actual=")?.parse().ok()?;
+            Some(CardRow {
+                rel,
+                planned,
+                actual,
+            })
+        })
+        .collect()
+}
+
+/// Render one decision's plan report, or `None` if the segment carries no
+/// plan telemetry (not a planned-engine decision, or an IND-only setting
+/// where nothing compiles).
+pub fn plan_report(seg: &Segment) -> Option<String> {
+    let compile = seg.counters.get("plan.compile").copied();
+    let reuse = seg.counters.get("plan.reuse").copied();
+    let explain = seg
+        .notes
+        .iter()
+        .find(|(name, _)| name == "plan.explain")
+        .map(|(_, detail)| detail.as_str());
+    if compile.is_none() && reuse.is_none() && explain.is_none() {
+        return None;
+    }
+    let mut out = String::new();
+    match (reuse, compile) {
+        (Some(n), _) if n > 0 => {
+            let _ = writeln!(out, "preparation: reused ({n} decision(s) in segment)");
+        }
+        (_, Some(n)) => {
+            let _ = writeln!(out, "preparation: compiled {n} constraint plan set(s)");
+        }
+        _ => {
+            let _ = writeln!(out, "preparation: recorded without compile/reuse counters");
+        }
+    }
+    let fallbacks = seg.counters.get("plan.fallback").copied().unwrap_or(0);
+    let cost = seg.counters.get("plan.cost").copied().unwrap_or(0);
+    let _ = writeln!(out, "static fallbacks: {fallbacks}");
+    let _ = writeln!(out, "estimated cost: {cost}");
+    match explain {
+        Some(text) if !text.is_empty() => {
+            let _ = writeln!(out, "join orders (per-atom access path and estimate):");
+            for line in text.lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        _ => {
+            let _ = writeln!(out, "join orders: (none rendered)");
+        }
+    }
+    let cards = seg
+        .notes
+        .iter()
+        .find(|(name, _)| name == "plan.cards")
+        .map(|(_, detail)| parse_cards(detail))
+        .unwrap_or_default();
+    if !cards.is_empty() {
+        let _ = writeln!(
+            out,
+            "cardinalities (planner statistics vs decision database):"
+        );
+        for row in &cards {
+            // actual/planned drift ratio; planned=0 means the planner saw an
+            // empty relation (static fallback territory), shown as "-".
+            let drift = if row.planned > 0 {
+                format!("{:.2}x", row.actual as f64 / row.planned as f64)
+            } else {
+                "-".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "  {:<20} planned={:<10} actual={:<10} {drift}",
+                row.rel, row.planned, row.actual
+            );
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planned_segment() -> Segment {
+        let mut seg = Segment::default();
+        seg.counters.insert("plan.compile".into(), 2);
+        seg.counters.insert("plan.fallback".into(), 1);
+        seg.counters.insert("plan.cost".into(), 37);
+        seg.notes.push((
+            "plan.explain".into(),
+            "cc0.t0: R[a0] delta est=3.0 -> S[a1] probe(c0=v2) est=1.5 | cost=4.5".into(),
+        ));
+        seg.notes.push((
+            "plan.cards".into(),
+            "R planned=100 actual=150; S planned=0 actual=7".into(),
+        ));
+        seg
+    }
+
+    #[test]
+    fn cards_note_round_trips() {
+        let rows = parse_cards("R planned=100 actual=150; S planned=0 actual=7");
+        assert_eq!(
+            rows,
+            vec![
+                CardRow {
+                    rel: "R".into(),
+                    planned: 100,
+                    actual: 150
+                },
+                CardRow {
+                    rel: "S".into(),
+                    planned: 0,
+                    actual: 7
+                },
+            ]
+        );
+        // Garbage entries are dropped, not fatal.
+        assert!(parse_cards("not a card").is_empty());
+        assert!(parse_cards("").is_empty());
+    }
+
+    #[test]
+    fn report_renders_compile_fallback_cost_and_cards() {
+        let report = plan_report(&planned_segment()).expect("planned segment has a report");
+        assert!(report.contains("compiled 2 constraint plan set(s)"));
+        assert!(report.contains("static fallbacks: 1"));
+        assert!(report.contains("estimated cost: 37"));
+        assert!(report.contains("cc0.t0: R[a0] delta est=3.0"));
+        assert!(report.contains("planned=100"));
+        assert!(report.contains("1.50x"));
+        // planned=0 renders a "-" drift, not a division by zero.
+        assert!(report.contains('-'));
+    }
+
+    #[test]
+    fn reuse_counter_wins_over_compile() {
+        let mut seg = planned_segment();
+        seg.counters.remove("plan.compile");
+        seg.counters.insert("plan.reuse".into(), 3);
+        let report = plan_report(&seg).expect("reused segment has a report");
+        assert!(report.contains("reused (3 decision(s)"));
+    }
+
+    #[test]
+    fn unplanned_segment_has_no_report() {
+        let mut seg = Segment::default();
+        seg.counters.insert("rcdp.valuations".into(), 10);
+        seg.notes.push(("rcdp.outcome".into(), "complete".into()));
+        assert!(plan_report(&seg).is_none());
+    }
+}

@@ -21,6 +21,8 @@
 
 use crate::cc::{CcBody, ConstraintSet};
 use ric_data::{Database, Overlay, RelId, Tuple};
+use ric_plan::planner::{plan_tableau_delta, StatsProvider};
+use ric_plan::{exec, DeltaPlans};
 use ric_query::eval::eval_tableau_delta;
 use ric_query::tableau::{Tableau, TableauError};
 use std::collections::BTreeSet;
@@ -51,6 +53,10 @@ struct PreparedCc {
     /// The body's tableaux (`None` for FO/FP bodies, which re-evaluate in
     /// full on the materialized union).
     tableaux: Option<Vec<Tableau>>,
+    /// Compiled delta plans, one per tableau, when this set was prepared
+    /// with [`PreparedUpper::with_plans`]. Plans and tableaux answer the
+    /// same question; the plans just fix the join order up front.
+    plans: Option<Vec<DeltaPlans>>,
     /// The right-hand side evaluated on the master data, fixed per decision.
     rhs: BTreeSet<Tuple>,
 }
@@ -65,6 +71,11 @@ pub struct PreparedUpper {
     /// Body of some constraint is FO/FP (forces materialization when its
     /// relations are touched).
     fo_bodies: Vec<usize>,
+    /// Per-relation row counts the planner costed against, for every
+    /// relation read by a plan-bearing body. Empty when prepared without
+    /// plans. Telemetry compares these against the decision database so a
+    /// trace can show how stale the planning statistics were.
+    planned_rows: Vec<(RelId, usize)>,
 }
 
 impl PreparedUpper {
@@ -73,6 +84,32 @@ impl PreparedUpper {
         v: &ConstraintSet,
         schema: &ric_data::Schema,
         dm: &Database,
+    ) -> Result<Self, TableauError> {
+        Self::build(v, schema, dm, None)
+    }
+
+    /// Prepare the upper bounds of `v` against master data `dm` *and*
+    /// compile every monotone body's tableaux into cost-based
+    /// [`DeltaPlans`] steered by `stats` (normally the base database).
+    ///
+    /// Plan choice affects join order only, never answers:
+    /// [`Self::satisfied_delta`] on a plan-bearing preparation returns the
+    /// same [`DeltaCheck`] — including the violated-constraint index — as on
+    /// a plain one.
+    pub fn with_plans(
+        v: &ConstraintSet,
+        schema: &ric_data::Schema,
+        dm: &Database,
+        stats: &dyn StatsProvider,
+    ) -> Result<Self, TableauError> {
+        Self::build(v, schema, dm, Some(stats))
+    }
+
+    fn build(
+        v: &ConstraintSet,
+        schema: &ric_data::Schema,
+        dm: &Database,
+        stats: Option<&dyn StatsProvider>,
     ) -> Result<Self, TableauError> {
         let mut ccs = Vec::with_capacity(v.ccs.len());
         let mut fo_bodies = Vec::new();
@@ -84,13 +121,86 @@ impl PreparedUpper {
                     None
                 }
             };
+            let plans = match (&tableaux, stats) {
+                (Some(ts), Some(stats)) => {
+                    Some(ts.iter().map(|t| plan_tableau_delta(t, stats)).collect())
+                }
+                _ => None,
+            };
             ccs.push(PreparedCc {
                 rels: cc.body.rels(),
                 tableaux,
+                plans,
                 rhs: cc.rhs.eval(dm),
             });
         }
-        Ok(PreparedUpper { ccs, fo_bodies })
+        let planned_rows = match stats {
+            Some(stats) => {
+                let rels: BTreeSet<RelId> = ccs
+                    .iter()
+                    .filter(|cc| cc.plans.is_some())
+                    .flat_map(|cc| cc.rels.iter().copied())
+                    .collect();
+                rels.into_iter()
+                    .map(|r| (r, stats.rel_stats(r).rows))
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+        Ok(PreparedUpper {
+            ccs,
+            fo_bodies,
+            planned_rows,
+        })
+    }
+
+    /// The row counts the planner costed against, per relation read by a
+    /// plan-bearing body (sorted by relation id). Empty when prepared
+    /// without plans.
+    pub fn planned_rows(&self) -> &[(RelId, usize)] {
+        &self.planned_rows
+    }
+
+    /// Summary of the compiled plans for telemetry: `(constraints with
+    /// plans, plans that fell back to the static order, total estimated
+    /// cost)`. All zeros when prepared without plans.
+    pub fn plan_summary(&self) -> (usize, usize, f64) {
+        let mut compiled = 0usize;
+        let mut fallbacks = 0usize;
+        let mut cost = 0.0f64;
+        for prep in &self.ccs {
+            if let Some(plans) = &prep.plans {
+                compiled += 1;
+                for dp in plans {
+                    if dp.fallback() {
+                        fallbacks += 1;
+                    }
+                    cost += dp.cost();
+                }
+            }
+        }
+        (compiled, fallbacks, cost)
+    }
+
+    /// Render every compiled plan (one constraint per paragraph) for the
+    /// Explain trace note. Empty when prepared without plans.
+    pub fn render_plans(&self, rel_name: impl Fn(RelId) -> String + Copy) -> String {
+        let mut out = String::new();
+        for (i, prep) in self.ccs.iter().enumerate() {
+            if let Some(plans) = &prep.plans {
+                for (j, dp) in plans.iter().enumerate() {
+                    if !out.is_empty() {
+                        out.push('\n');
+                    }
+                    out.push_str(&format!("cc{i}.t{j}: "));
+                    out.push_str(
+                        &dp.render(rel_name)
+                            .replace('\n', &format!("\ncc{i}.t{j}: ")),
+                    );
+                }
+            }
+        }
+        out
     }
 
     /// Any FO/FP bodies among the prepared constraints?
@@ -122,16 +232,27 @@ impl PreparedUpper {
             checked += 1;
             match &prep.tableaux {
                 Some(ts) => {
-                    for t in ts {
-                        let added = eval_tableau_delta(t, ov);
-                        if !added.iter().all(|a| prep.rhs.contains(a)) {
-                            return Ok(DeltaCheck {
-                                satisfied: false,
-                                checked,
-                                skipped,
-                                violated: Some(i),
-                            });
-                        }
+                    let within = match &prep.plans {
+                        // Compiled path: early-exits on the first delta
+                        // answer outside the bound, no answer-set built.
+                        Some(plans) => exec::with_scratch(|scratch| {
+                            plans
+                                .iter()
+                                .all(|dp| dp.delta_answers_within(ov, scratch, &prep.rhs))
+                        }),
+                        None => ts.iter().all(|t| {
+                            eval_tableau_delta(t, ov)
+                                .iter()
+                                .all(|a| prep.rhs.contains(a))
+                        }),
+                    };
+                    if !within {
+                        return Ok(DeltaCheck {
+                            satisfied: false,
+                            checked,
+                            skipped,
+                            violated: Some(i),
+                        });
                     }
                 }
                 None => {
@@ -283,6 +404,38 @@ mod tests {
         assert!(res.satisfied);
         assert_eq!(res.checked, 0);
         assert_eq!(res.skipped, 1);
+    }
+
+    #[test]
+    fn planned_preparation_returns_identical_delta_checks() {
+        let (r, m) = schemas();
+        let cust = r.rel_id("Cust").unwrap();
+        let dcust = m.rel_id("DCust").unwrap();
+        let q = parse_cq(&r, "Q(C) :- Cust(C, Cc), Cc = 1.").unwrap();
+        let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+            CcBody::Cq(q),
+            dcust,
+            vec![0],
+        )]);
+        let mut dm = Database::empty(&m);
+        dm.insert(dcust, t1(10));
+        dm.insert(dcust, t1(11));
+        let mut db = Database::empty(&r);
+        db.insert(cust, t2(10, 1));
+        let plain = PreparedUpper::new(&v, &r, &dm).unwrap();
+        let planned = PreparedUpper::with_plans(&v, &r, &dm, &db).unwrap();
+        assert_eq!(plain.plan_summary(), (0, 0, 0.0));
+        let (compiled, _, _) = planned.plan_summary();
+        assert_eq!(compiled, 1);
+        assert!(planned.render_plans(|_| "Cust".into()).contains("est="));
+        for (cid, cc) in [(11, 1), (99, 1), (99, 2)] {
+            let mut delta = Database::empty(&r);
+            delta.insert(cust, t2(cid, cc));
+            let ov = Overlay::new(&db, &delta).unwrap();
+            let a = plain.satisfied_delta(&v, &ov).unwrap();
+            let b = planned.satisfied_delta(&v, &ov).unwrap();
+            assert_eq!(a, b, "delta ({cid}, {cc})");
+        }
     }
 
     #[test]

@@ -35,6 +35,18 @@ pub enum Engine {
         /// Worker thread count for the chunked enumeration pool.
         workers: usize,
     },
+    /// The indexed engine with containment-constraint bodies compiled to
+    /// cost-based prepared plans (`ric-plan`): fixed binding orders chosen
+    /// from base-database statistics, pre-resolved index probes, pinned
+    /// inequality checks. `workers > 1` additionally shards the enumeration
+    /// loops like `Parallel`; `workers: 1` stays sequential. Falls back to
+    /// the static greedy order (plan-level, still exact) when statistics
+    /// are absent. Verdicts, witnesses, and checkpoints are identical to
+    /// `Indexed` by construction.
+    Planned {
+        /// Worker thread count (1 = sequential, like `Indexed`).
+        workers: usize,
+    },
 }
 
 impl Engine {
@@ -45,18 +57,45 @@ impl Engine {
         }
     }
 
+    /// A planned engine with `workers` threads (clamped to at least 1).
+    pub fn planned(workers: usize) -> Self {
+        Engine::Planned {
+            workers: workers.max(1),
+        }
+    }
+
     /// Does this engine use the indexed data path (overlays, per-column
     /// indexes, delta-restricted constraint checks)? `Parallel` shards the
-    /// indexed loops, so it does.
+    /// indexed loops and `Planned` compiles them, so both do.
     pub fn indexed(&self) -> bool {
-        matches!(self, Engine::Indexed | Engine::Parallel { .. })
+        matches!(
+            self,
+            Engine::Indexed | Engine::Parallel { .. } | Engine::Planned { .. }
+        )
+    }
+
+    /// Does this engine compile constraint bodies to prepared plans?
+    pub fn is_planned(&self) -> bool {
+        matches!(self, Engine::Planned { .. })
+    }
+
+    /// Does this engine shard its enumeration loops across a thread pool?
+    /// `Parallel` always does (`workers: 1` runs the parallel code path on
+    /// the calling thread, by contract); `Planned` only with more than one
+    /// worker — `planned:1` is the sequential engine plus plans.
+    pub fn sharded(&self) -> bool {
+        match self {
+            Engine::Parallel { .. } => true,
+            Engine::Planned { workers } => *workers > 1,
+            _ => false,
+        }
     }
 
     /// The number of worker threads this engine fans enumeration out to
     /// (1 for the sequential engines).
     pub fn workers(&self) -> usize {
         match self {
-            Engine::Parallel { workers } => (*workers).max(1),
+            Engine::Parallel { workers } | Engine::Planned { workers } => (*workers).max(1),
             _ => 1,
         }
     }
@@ -68,6 +107,7 @@ impl std::fmt::Display for Engine {
             Engine::Naive => write!(f, "naive"),
             Engine::Indexed => write!(f, "indexed"),
             Engine::Parallel { workers } => write!(f, "parallel:{workers}"),
+            Engine::Planned { workers } => write!(f, "planned:{workers}"),
         }
     }
 }
@@ -336,6 +376,25 @@ mod tests {
         assert_eq!(Engine::parallel(4).workers(), 4);
         assert_eq!(Engine::Naive.workers(), 1);
         assert_eq!(Engine::parallel(4).to_string(), "parallel:4");
+    }
+
+    #[test]
+    fn engine_helpers_classify_planned() {
+        assert!(Engine::planned(1).indexed());
+        assert!(Engine::planned(1).is_planned());
+        assert!(!Engine::Indexed.is_planned());
+        assert!(!Engine::parallel(4).is_planned());
+        assert_eq!(Engine::planned(0).workers(), 1);
+        assert_eq!(Engine::planned(4).workers(), 4);
+        assert_eq!(Engine::planned(4).to_string(), "planned:4");
+        // Sharding: Parallel always runs the pool (even workers=1, by
+        // documented contract); Planned only fans out past one worker.
+        assert!(Engine::parallel(1).sharded());
+        assert!(Engine::parallel(4).sharded());
+        assert!(!Engine::planned(1).sharded());
+        assert!(Engine::planned(4).sharded());
+        assert!(!Engine::Indexed.sharded());
+        assert!(!Engine::Naive.sharded());
     }
 
     #[test]

@@ -264,7 +264,7 @@ fn e2_check_inner(
     // `D_𝒱` is partially closed (checked above) and lower bounds are
     // preserved under extension, so `(D_𝒱 ∪ Δ, D_m) |= V` reduces to the
     // upper bounds — exactly what the engine's check mode answers.
-    let mode = crate::rcdp::CheckMode::select(setting, budget.engine)?;
+    let mode = crate::rcdp::CheckMode::select(setting, budget.engine, dv)?;
     let cc_skipped = std::cell::Cell::new(0u64);
     let mut ok = true;
     let outcome = space.for_each_valid(

@@ -86,6 +86,12 @@ pub fn complete_extension_guarded(
     }
     let exact = crate::rcdp::exactly_decidable(query.language())
         && crate::rcdp::exactly_decidable(setting.v.language());
+    // Compile the upper-bound preparation once for the whole loop: the
+    // constraint set is fixed across rounds, and the statistics that steer
+    // planned join orders only affect timing, so reusing the base-database
+    // plans as `current` grows is sound.
+    let reuse = crate::prepared::prepare_upper(setting, budget.engine, db)?;
+    crate::rcdp::emit_plan_telemetry(probe, setting, budget.engine, reuse.as_ref(), false, db);
     let span = probe.span("extend.completion");
     let mut current = db.clone();
     let mut added = Database::with_relations(setting.schema.len());
@@ -106,22 +112,24 @@ pub fn complete_extension_guarded(
         // hundreds of rounds, and each round's counters would swamp the
         // sink; rounds and collected tuples summarise the loop.
         let verdict = if exact {
-            crate::rcdp::rcdp_exact_guarded(
+            crate::rcdp::rcdp_exact_reusing(
                 setting,
                 query,
                 &current,
                 budget,
                 guard,
                 Probe::disabled(),
+                reuse.as_ref(),
             )?
         } else {
-            crate::semidecide::rcdp_bounded_guarded(
+            crate::semidecide::rcdp_bounded_guarded_reusing(
                 setting,
                 query,
                 &current,
                 budget,
                 guard,
                 Probe::disabled(),
+                reuse.as_ref(),
             )?
         };
         match verdict {

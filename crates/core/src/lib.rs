@@ -44,6 +44,7 @@ pub mod checkpoint;
 pub mod extend;
 pub mod guard;
 pub(crate) mod par;
+pub mod prepared;
 pub mod query;
 pub mod rcdp;
 pub mod rcqp;
@@ -61,6 +62,7 @@ pub use checkpoint::{
 };
 pub use guard::{CancelToken, FaultPlan, Guard, Interrupt};
 pub use par::sched_test;
+pub use prepared::PreparedSetting;
 pub use query::Query;
 pub use rcdp::{rcdp, rcdp_guarded, rcdp_probed};
 pub use rcqp::{rcqp, rcqp_guarded, rcqp_probed};

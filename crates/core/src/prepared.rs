@@ -1,0 +1,272 @@
+//! Prepared decision settings: compile the constraint machinery **once**,
+//! decide many times.
+//!
+//! Every decider entry point re-derives the same artifacts per call: the
+//! upper-bound delta preparation (per-constraint tableaux plus, under
+//! [`Engine::Planned`], cost-based compiled plans for each tableau body).
+//! For a one-shot decision that is invisible; for a workload that asks many
+//! decisions against the same `(R, R_m, D_m, V)` setting — the extension
+//! loop, a benchmark sweep, a service holding a fixed schema — it is pure
+//! rework. [`PreparedSetting`] hoists the compilation out of the loop and
+//! hands the shared preparation ([`std::sync::Arc`]-backed, so parallel
+//! workers share it too) to every decision.
+//!
+//! Preparation never changes verdicts: plans fix the join *order* of checks
+//! whose result is order-independent, and the statistics that steer the
+//! order are advisory. A `PreparedSetting` built from one database may
+//! legally decide another — only timing shifts.
+
+use crate::budget::{Engine, SearchBudget};
+use crate::guard::Guard;
+use crate::query::Query;
+use crate::setting::Setting;
+use crate::verdict::{QueryVerdict, RcError, Verdict};
+use ric_constraints::PreparedUpper;
+use ric_data::Database;
+use ric_telemetry::Probe;
+use std::sync::Arc;
+
+/// Build the shared upper-bound preparation `engine` wants for `setting`,
+/// or `None` when the engine never consults one (naive engines use the
+/// materialized union; IND-only settings use the C3 delta identity with no
+/// tableaux to prepare).
+pub(crate) fn prepare_upper(
+    setting: &Setting,
+    engine: Engine,
+    stats: &Database,
+) -> Result<Option<Arc<PreparedUpper>>, RcError> {
+    if setting.v.is_ind_set() || !engine.indexed() {
+        return Ok(None);
+    }
+    let prep = if engine.is_planned() {
+        PreparedUpper::with_plans(&setting.v, &setting.schema, &setting.dm, stats)?
+    } else {
+        PreparedUpper::new(&setting.v, &setting.schema, &setting.dm)?
+    };
+    Ok(Some(Arc::new(prep)))
+}
+
+/// A [`Setting`] with its per-engine constraint compilation done up front.
+///
+/// Build one with [`PreparedSetting::prepare`], then call the mirrored
+/// decider methods ([`Self::rcdp`], [`Self::rcqp`], …) any number of times:
+/// each decision reuses the shared preparation instead of recompiling, and
+/// under [`Engine::Planned`] emits `plan.reuse` instead of `plan.compile`.
+pub struct PreparedSetting {
+    setting: Setting,
+    engine: Engine,
+    upper: Option<Arc<PreparedUpper>>,
+}
+
+impl PreparedSetting {
+    /// Compile `setting`'s upper bounds once for `engine`. Under
+    /// [`Engine::Planned`] the join orders are costed from `stats_db`'s
+    /// statistics; with empty or absent statistics every plan falls back to
+    /// the static greedy order (the indexed engine's dynamic choice), so
+    /// preparation degrades to [`Engine::Indexed`] behavior rather than
+    /// failing.
+    pub fn prepare(setting: Setting, stats_db: &Database, engine: Engine) -> Result<Self, RcError> {
+        let upper = prepare_upper(&setting, engine, stats_db)?;
+        Ok(PreparedSetting {
+            setting,
+            engine,
+            upper,
+        })
+    }
+
+    /// The underlying setting.
+    pub fn setting(&self) -> &Setting {
+        &self.setting
+    }
+
+    /// The engine this preparation was compiled for.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// `(plans compiled, static fallbacks, summed estimated cost)` across
+    /// the prepared constraint bodies, when a preparation exists and plans
+    /// were compiled (planned engine only).
+    pub fn plan_summary(&self) -> Option<(usize, usize, f64)> {
+        let (compiled, fallbacks, cost) = self.upper.as_ref()?.plan_summary();
+        (compiled > 0).then_some((compiled, fallbacks, cost))
+    }
+
+    /// Human-readable rendering of every compiled plan (the Explain note),
+    /// empty when no plans were compiled.
+    pub fn render_plans(&self) -> String {
+        match &self.upper {
+            Some(prep) => prep.render_plans(|rel| {
+                self.setting
+                    .schema
+                    .relation(rel)
+                    .map(|r| r.name.clone())
+                    .unwrap_or_else(|_| format!("r{}", rel.0))
+            }),
+            None => String::new(),
+        }
+    }
+
+    /// The shared preparation, for the `*_reusing` decider internals.
+    pub(crate) fn upper(&self) -> Option<&Arc<PreparedUpper>> {
+        self.upper.as_ref()
+    }
+
+    /// The budget this preparation expects: the caller's limits with the
+    /// engine pinned to the prepared one.
+    fn budget_for(&self, budget: &SearchBudget) -> SearchBudget {
+        let mut b = *budget;
+        b.engine = self.engine;
+        b
+    }
+
+    /// [`crate::rcdp::rcdp`] reusing this preparation.
+    pub fn rcdp(
+        &self,
+        query: &Query,
+        db: &Database,
+        budget: &SearchBudget,
+    ) -> Result<Verdict, RcError> {
+        self.rcdp_probed(query, db, budget, Probe::disabled())
+    }
+
+    /// [`crate::rcdp::rcdp_probed`] reusing this preparation.
+    pub fn rcdp_probed(
+        &self,
+        query: &Query,
+        db: &Database,
+        budget: &SearchBudget,
+        probe: Probe<'_>,
+    ) -> Result<Verdict, RcError> {
+        let budget = self.budget_for(budget);
+        self.rcdp_guarded(query, db, &budget, &Guard::new(&budget), probe)
+    }
+
+    /// [`crate::rcdp::rcdp_guarded`] reusing this preparation.
+    pub fn rcdp_guarded(
+        &self,
+        query: &Query,
+        db: &Database,
+        budget: &SearchBudget,
+        guard: &Guard,
+        probe: Probe<'_>,
+    ) -> Result<Verdict, RcError> {
+        let budget = self.budget_for(budget);
+        crate::rcdp::rcdp_guarded_reusing(
+            &self.setting,
+            query,
+            db,
+            &budget,
+            guard,
+            probe,
+            self.upper(),
+        )
+    }
+
+    /// [`crate::rcqp::rcqp`] reusing this preparation.
+    pub fn rcqp(&self, query: &Query, budget: &SearchBudget) -> Result<QueryVerdict, RcError> {
+        self.rcqp_probed(query, budget, Probe::disabled())
+    }
+
+    /// [`crate::rcqp::rcqp_probed`] reusing this preparation.
+    pub fn rcqp_probed(
+        &self,
+        query: &Query,
+        budget: &SearchBudget,
+        probe: Probe<'_>,
+    ) -> Result<QueryVerdict, RcError> {
+        let budget = self.budget_for(budget);
+        self.rcqp_guarded(query, &budget, &Guard::new(&budget), probe)
+    }
+
+    /// [`crate::rcqp::rcqp_guarded`] reusing this preparation.
+    pub fn rcqp_guarded(
+        &self,
+        query: &Query,
+        budget: &SearchBudget,
+        guard: &Guard,
+        probe: Probe<'_>,
+    ) -> Result<QueryVerdict, RcError> {
+        let budget = self.budget_for(budget);
+        crate::rcqp::rcqp_guarded_reusing(&self.setting, query, &budget, guard, probe, self.upper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ric_constraints::{CcBody, ConstraintSet, ContainmentConstraint};
+    use ric_data::{RelationSchema, Schema, Tuple, Value};
+    use ric_query::parse_cq;
+
+    fn setting_and_db() -> (Setting, Database) {
+        let schema = Schema::from_relations(vec![RelationSchema::infinite(
+            "Supt",
+            &["eid", "dept", "cid"],
+        )])
+        .unwrap();
+        let supt = schema.rel_id("Supt").unwrap();
+        let m_schema =
+            Schema::from_relations(vec![RelationSchema::infinite("Cust", &["cid"])]).unwrap();
+        let cust = m_schema.rel_id("Cust").unwrap();
+        let mut dm = Database::empty(&m_schema);
+        for c in [1, 2, 3] {
+            dm.insert(cust, Tuple::new([Value::int(c)]));
+        }
+        // CQ body (not a bare projection) so the constraint set is not an
+        // IND set and the delta preparation actually compiles.
+        let q = parse_cq(&schema, "Q(C) :- Supt(E, D, C), D = 1.").unwrap();
+        let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+            CcBody::Cq(q),
+            cust,
+            vec![0],
+        )]);
+        let setting = Setting::new(schema, m_schema, dm, v);
+        let mut db = Database::empty(&setting.schema);
+        db.insert(
+            supt,
+            Tuple::new([Value::int(10), Value::int(1), Value::int(1)]),
+        );
+        (setting, db)
+    }
+
+    #[test]
+    fn prepared_rcdp_matches_fresh_decision_per_engine() {
+        let (setting, db) = setting_and_db();
+        let query = Query::Cq(parse_cq(&setting.schema, "Q(E) :- Supt(E, D, C).").unwrap());
+        for engine in [
+            Engine::Indexed,
+            Engine::planned(1),
+            Engine::planned(2),
+            Engine::parallel(2),
+        ] {
+            let budget = SearchBudget {
+                engine,
+                ..SearchBudget::default()
+            };
+            let fresh = crate::rcdp::rcdp(&setting, &query, &db, &budget).unwrap();
+            let prepared = PreparedSetting::prepare(setting.clone(), &db, engine).unwrap();
+            let reused = prepared.rcdp(&query, &db, &budget).unwrap();
+            assert_eq!(
+                format!("{fresh:?}"),
+                format!("{reused:?}"),
+                "engine {engine}"
+            );
+            // A second decision reuses the same Arc — no recompilation.
+            let again = prepared.rcdp(&query, &db, &budget).unwrap();
+            assert_eq!(format!("{fresh:?}"), format!("{again:?}"));
+        }
+    }
+
+    #[test]
+    fn planned_preparation_exposes_summary_and_render() {
+        let (setting, db) = setting_and_db();
+        let prepared = PreparedSetting::prepare(setting.clone(), &db, Engine::planned(1)).unwrap();
+        let (compiled, _fallbacks, _cost) = prepared.plan_summary().expect("plans compiled");
+        assert!(compiled >= 1);
+        assert!(prepared.render_plans().contains("est="));
+        // Indexed preparation compiles tableaux but no plans.
+        let indexed = PreparedSetting::prepare(setting, &db, Engine::Indexed).unwrap();
+        assert!(indexed.plan_summary().is_none());
+    }
+}

@@ -33,6 +33,7 @@ use ric_query::QueryLanguage;
 use ric_telemetry::Probe;
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// How the inner loop checks `(D ∪ Δ, D_m) |= V` per candidate.
 pub(crate) enum CheckMode {
@@ -42,24 +43,61 @@ pub(crate) enum CheckMode {
     /// Materialize `D ∪ Δ` and re-check every constraint (naive engine).
     Union,
     /// Overlay `D ∪ Δ` and re-check only what the novel tuples can break.
-    Delta(PreparedUpper),
+    /// Shared (`Arc`) so a [`crate::PreparedSetting`] can compile once and
+    /// hand the same preparation to every decision.
+    Delta(Arc<PreparedUpper>),
 }
 
 impl CheckMode {
     /// Pick the mode for this decision. The delta mode's precondition —
     /// upper bounds hold on the base — is the partial-closure input
-    /// requirement, verified by the callers.
-    pub(crate) fn select(setting: &Setting, engine: Engine) -> Result<CheckMode, RcError> {
+    /// requirement, verified by the callers. `db` supplies the statistics
+    /// the planned engine compiles its join orders from.
+    pub(crate) fn select(
+        setting: &Setting,
+        engine: Engine,
+        db: &Database,
+    ) -> Result<CheckMode, RcError> {
+        Self::select_reusing(setting, engine, db, None)
+    }
+
+    /// [`Self::select`] with an optional pre-built preparation (the
+    /// prepared-decision path): when `reuse` is given and the decision wants
+    /// the delta mode, the shared preparation is cloned instead of
+    /// recompiled.
+    pub(crate) fn select_reusing(
+        setting: &Setting,
+        engine: Engine,
+        db: &Database,
+        reuse: Option<&Arc<PreparedUpper>>,
+    ) -> Result<CheckMode, RcError> {
         if setting.v.is_ind_set() {
             Ok(CheckMode::IndOnly)
-        } else if engine.indexed() {
-            Ok(CheckMode::Delta(PreparedUpper::new(
+        } else if !engine.indexed() {
+            Ok(CheckMode::Union)
+        } else if let Some(prep) = reuse {
+            Ok(CheckMode::Delta(Arc::clone(prep)))
+        } else if engine.is_planned() {
+            Ok(CheckMode::Delta(Arc::new(PreparedUpper::with_plans(
                 &setting.v,
                 &setting.schema,
                 &setting.dm,
-            )?))
+                db,
+            )?)))
         } else {
-            Ok(CheckMode::Union)
+            Ok(CheckMode::Delta(Arc::new(PreparedUpper::new(
+                &setting.v,
+                &setting.schema,
+                &setting.dm,
+            )?)))
+        }
+    }
+
+    /// The shared preparation backing the delta mode, if any.
+    pub(crate) fn prepared(&self) -> Option<&Arc<PreparedUpper>> {
+        match self {
+            CheckMode::Delta(prep) => Some(prep),
+            _ => None,
         }
     }
 
@@ -206,6 +244,21 @@ pub fn rcdp_guarded(
     guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<Verdict, RcError> {
+    rcdp_guarded_reusing(setting, query, db, budget, guard, probe, None)
+}
+
+/// [`rcdp_guarded`] with an optional pre-built upper-bound preparation from a
+/// [`crate::PreparedSetting`]: when given, the exact and bounded paths reuse
+/// the shared plans instead of recompiling them per decision.
+pub(crate) fn rcdp_guarded_reusing(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    reuse: Option<&Arc<PreparedUpper>>,
+) -> Result<Verdict, RcError> {
     // The guard is the decision's deterministic timebase: spans opened below
     // carry tick deltas alongside wall-clock micros.
     let probe = probe.with_ticks(guard);
@@ -215,10 +268,12 @@ pub fn rcdp_guarded(
     }
     if exactly_decidable(query.language()) && exactly_decidable(setting.v.language()) {
         probe.note("rcdp.strategy", || "exact".into());
-        rcdp_exact_guarded(setting, query, db, budget, guard, probe)
+        rcdp_exact_reusing(setting, query, db, budget, guard, probe, reuse)
     } else {
         probe.note("rcdp.strategy", || "bounded".into());
-        crate::semidecide::rcdp_bounded_guarded(setting, query, db, budget, guard, probe)
+        crate::semidecide::rcdp_bounded_guarded_reusing(
+            setting, query, db, budget, guard, probe, reuse,
+        )
     }
 }
 
@@ -253,6 +308,100 @@ pub fn rcdp_exact_guarded(
     guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<Verdict, RcError> {
+    rcdp_exact_reusing(setting, query, db, budget, guard, probe, None)
+}
+
+/// Emit `plan.*` telemetry for a planned-engine decision: compile/reuse,
+/// static-fallback count, total estimated cost, the rendered plan note, and
+/// the planned-vs-actual cardinality note (`plan.cards`) comparing the row
+/// counts the planner costed against with the decision database `db`.
+/// No-ops for every other engine so the indexed counter stream is untouched.
+pub(crate) fn emit_plan_telemetry(
+    probe: Probe<'_>,
+    setting: &Setting,
+    engine: Engine,
+    prep: Option<&Arc<PreparedUpper>>,
+    reused: bool,
+    db: &Database,
+) {
+    if !engine.is_planned() {
+        return;
+    }
+    let Some(prep) = prep else { return };
+    let rel_name = |rel: ric_data::RelId| {
+        setting
+            .schema
+            .relation(rel)
+            .map(|r| r.name.clone())
+            .unwrap_or_else(|_| format!("r{}", rel.0))
+    };
+    let (compiled, fallbacks, cost) = prep.plan_summary();
+    if reused {
+        probe.count("plan.reuse", 1);
+    } else {
+        probe.count("plan.compile", compiled as u64);
+    }
+    probe.count("plan.fallback", fallbacks as u64);
+    probe.count("plan.cost", cost as u64);
+    probe.note("plan.explain", || prep.render_plans(rel_name));
+    probe.note("plan.cards", || {
+        use ric_data::TupleStore;
+        prep.planned_rows()
+            .iter()
+            .map(|&(rel, planned)| {
+                format!(
+                    "{} planned={planned} actual={}",
+                    rel_name(rel),
+                    db.rel_len(rel)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    });
+    // Export the planner's statistics as gauges so metrics snapshots carry
+    // the row counts each plan was costed against, keyed by relation id like
+    // the `prune.cc.NN` attribution family (gauges max-merge, and the
+    // planning snapshot is fixed per preparation, so workers agree).
+    for &(rel, planned) in prep.planned_rows() {
+        let slot = rel.0.min(STATS_ROWS.len() - 1);
+        probe.gauge(STATS_ROWS[slot], planned as u64);
+    }
+}
+
+/// Stable gauge names for the planner's per-relation statistics by relation
+/// id: `stats.rows.NN` is the row count relation `NN` reported to the
+/// planner (slot 15 absorbs larger schemas, maximum wins).
+pub(crate) const STATS_ROWS: [&str; 16] = [
+    "stats.rows.00",
+    "stats.rows.01",
+    "stats.rows.02",
+    "stats.rows.03",
+    "stats.rows.04",
+    "stats.rows.05",
+    "stats.rows.06",
+    "stats.rows.07",
+    "stats.rows.08",
+    "stats.rows.09",
+    "stats.rows.10",
+    "stats.rows.11",
+    "stats.rows.12",
+    "stats.rows.13",
+    "stats.rows.14",
+    "stats.rows.15",
+];
+
+/// [`rcdp_exact_guarded`] with an optional shared preparation (see
+/// [`CheckMode::select_reusing`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rcdp_exact_reusing(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    reuse: Option<&Arc<PreparedUpper>>,
+) -> Result<Verdict, RcError> {
     let probe = probe.with_ticks(guard);
     let Some(ucq) = query.as_ucq() else {
         return Err(RcError::Unsupported(format!(
@@ -276,8 +425,16 @@ pub fn rcdp_exact_guarded(
         .max(1);
     let adom = Adom::build(db, setting, query, n_fresh);
     probe.gauge("rcdp.adom_size", adom.len() as u64);
-    let mode = CheckMode::select(setting, budget.engine)?;
-    if matches!(budget.engine, Engine::Parallel { .. }) {
+    let mode = CheckMode::select_reusing(setting, budget.engine, db, reuse)?;
+    emit_plan_telemetry(
+        probe,
+        setting,
+        budget.engine,
+        mode.prepared(),
+        reuse.is_some(),
+        db,
+    );
+    if budget.engine.sharded() {
         return rcdp_exact_parallel(
             setting, db, budget, guard, probe, &tableaux, &q_d, &adom, &mode,
         );
@@ -932,7 +1089,8 @@ pub(crate) fn rcdp_exact_resumed(
         .max(1);
     let adom = Adom::build(db, setting, query, n_fresh);
     probe.gauge("rcdp.adom_size", adom.len() as u64);
-    let mode = CheckMode::select(setting, budget.engine)?;
+    let mode = CheckMode::select(setting, budget.engine, db)?;
+    emit_plan_telemetry(probe, setting, budget.engine, mode.prepared(), false, db);
     let (spaces, chunks) = exact_chunk_layout(&tableaux, setting, &adom);
     if chunks.is_empty() {
         let verdict = Verdict::Complete;
@@ -952,7 +1110,7 @@ pub(crate) fn rcdp_exact_resumed(
         }
         None => BTreeMap::new(),
     };
-    let (verdict, ledger) = if matches!(budget.engine, Engine::Parallel { .. }) {
+    let (verdict, ledger) = if budget.engine.sharded() {
         exact_chunks_parallel(
             setting, db, budget, guard, probe, &tableaux, &q_d, &mode, &spaces, &chunks, committed,
         )

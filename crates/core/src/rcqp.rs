@@ -67,19 +67,45 @@ enum ConsistencyCheck {
     /// construction (the seed is checked up front, and only admitted tuples
     /// are ever inserted) and `L_C` is UCQ-expressible here, so lower-bound
     /// bodies are monotone and stay satisfied under extension.
-    Delta(PreparedUpper),
+    Delta(std::sync::Arc<PreparedUpper>),
 }
 
 impl ConsistencyCheck {
-    fn select(setting: &Setting, engine: Engine) -> Result<Self, RcError> {
-        if engine.indexed() {
-            Ok(ConsistencyCheck::Delta(PreparedUpper::new(
+    /// `stats` is the search's seed database — the only instance in hand when
+    /// RCQP starts (candidate databases are enumerated, not given). For the
+    /// planned engine it is typically near-empty, so plans usually compile in
+    /// static-fallback order; order only affects timing, never admission.
+    fn select(
+        setting: &Setting,
+        engine: Engine,
+        stats: &Database,
+        reuse: Option<&std::sync::Arc<PreparedUpper>>,
+    ) -> Result<Self, RcError> {
+        if !engine.indexed() {
+            return Ok(ConsistencyCheck::Full);
+        }
+        let prepared = match reuse {
+            Some(prep) => std::sync::Arc::clone(prep),
+            None if engine.is_planned() => std::sync::Arc::new(PreparedUpper::with_plans(
                 &setting.v,
                 &setting.schema,
                 &setting.dm,
-            )?))
-        } else {
-            Ok(ConsistencyCheck::Full)
+                stats,
+            )?),
+            None => std::sync::Arc::new(PreparedUpper::new(
+                &setting.v,
+                &setting.schema,
+                &setting.dm,
+            )?),
+        };
+        Ok(ConsistencyCheck::Delta(prepared))
+    }
+
+    /// The shared preparation backing the delta mode, if any.
+    fn prepared(&self) -> Option<&std::sync::Arc<PreparedUpper>> {
+        match self {
+            ConsistencyCheck::Delta(prep) => Some(prep),
+            ConsistencyCheck::Full => None,
         }
     }
 
@@ -143,8 +169,21 @@ pub fn rcqp_guarded(
     guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<QueryVerdict, RcError> {
+    rcqp_guarded_reusing(setting, query, budget, guard, probe, None)
+}
+
+/// [`rcqp_guarded`] with an optional pre-built upper-bound preparation from a
+/// [`crate::PreparedSetting`].
+pub(crate) fn rcqp_guarded_reusing(
+    setting: &Setting,
+    query: &Query,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    reuse: Option<&std::sync::Arc<PreparedUpper>>,
+) -> Result<QueryVerdict, RcError> {
     let probe = probe.with_ticks(guard);
-    let verdict = rcqp_inner(setting, query, budget, guard, probe)?;
+    let verdict = rcqp_inner(setting, query, budget, guard, probe, reuse)?;
     emit_query_verdict(probe, &verdict);
     Ok(verdict)
 }
@@ -173,6 +212,7 @@ fn rcqp_inner(
     budget: &SearchBudget,
     guard: &Guard,
     probe: Probe<'_>,
+    reuse: Option<&std::sync::Arc<PreparedUpper>>,
 ) -> Result<QueryVerdict, RcError> {
     if !(exactly_decidable(query.language()) && exactly_decidable(setting.v.language())) {
         probe.note("rcqp.strategy", || "bounded".into());
@@ -235,7 +275,9 @@ fn rcqp_inner(
         rcqp_ind(setting, query, &seed, &tableaux, budget, guard, probe)
     } else {
         probe.note("rcqp.strategy", || "general".into());
-        rcqp_general(setting, query, &seed, &tableaux, budget, guard, probe)
+        rcqp_general(
+            setting, query, &seed, &tableaux, budget, guard, probe, reuse,
+        )
     }
 }
 
@@ -780,6 +822,7 @@ fn rcqp_general(
     budget: &SearchBudget,
     guard: &Guard,
     probe: Probe<'_>,
+    reuse: Option<&std::sync::Arc<PreparedUpper>>,
 ) -> Result<QueryVerdict, RcError> {
     // Sound emptiness fast path: a disjunct whose generic instantiation
     // escapes every constraint dooms all candidate databases.
@@ -854,7 +897,7 @@ fn rcqp_general(
     // Pre-filter: a tuple that violates V on its own can never belong to a
     // consistent subset. Upper bounds only: a lone tuple cannot be expected
     // to satisfy lower bounds (the seed provides those).
-    pool = if matches!(budget.engine, Engine::Parallel { .. }) {
+    pool = if budget.engine.sharded() {
         prefilter_parallel(setting, &pool, budget, guard, probe)?
     } else {
         let mut kept = Vec::with_capacity(pool.len());
@@ -903,7 +946,15 @@ fn rcqp_general(
     let mut chosen: Vec<usize> = Vec::new();
     let mut current = seed.clone();
     let mut result: Option<Database> = None;
-    let check_mode = ConsistencyCheck::select(setting, budget.engine)?;
+    let check_mode = ConsistencyCheck::select(setting, budget.engine, seed, reuse)?;
+    crate::rcdp::emit_plan_telemetry(
+        probe,
+        setting,
+        budget.engine,
+        check_mode.prepared(),
+        reuse.is_some(),
+        seed,
+    );
     let cc_skipped = Cell::new(0u64);
     let probes_before = probe_count();
     let scratch = RefCell::new(Database::with_relations(setting.schema.len()));

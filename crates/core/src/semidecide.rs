@@ -27,6 +27,7 @@ use ric_data::{index::probe_count, Database, Overlay, RelId, Tuple, Value};
 use ric_telemetry::Probe;
 use std::cell::Cell;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Upper bound on the materialised candidate pool; beyond it the bounded
 /// searches report `Unknown` instead of exhausting memory.
@@ -79,7 +80,7 @@ enum BoundedCheck {
     /// Check upper bounds incrementally on the overlay and materialize only
     /// the survivors. Requires the upper bounds to hold on the base.
     Delta {
-        prepared: PreparedUpper,
+        prepared: Arc<PreparedUpper>,
         /// Lower bounds must be re-checked on each surviving union — some
         /// body is FO/FP (not monotone) or the base does not satisfy them
         /// yet (an extension can repair a missing lower bound).
@@ -88,7 +89,12 @@ enum BoundedCheck {
 }
 
 impl BoundedCheck {
-    fn select(setting: &Setting, db: &Database, engine: Engine) -> Result<Self, RcError> {
+    fn select(
+        setting: &Setting,
+        db: &Database,
+        engine: Engine,
+        reuse: Option<&Arc<PreparedUpper>>,
+    ) -> Result<Self, RcError> {
         // The incremental identity for monotone upper bodies needs the upper
         // bounds to hold on the base; when they do not (possible here —
         // `rcdp_bounded` is a public entry that does not demand partial
@@ -105,10 +111,32 @@ impl BoundedCheck {
                 break;
             }
         }
+        let prepared = match reuse {
+            Some(prep) => Arc::clone(prep),
+            None if engine.is_planned() => Arc::new(PreparedUpper::with_plans(
+                &setting.v,
+                &setting.schema,
+                &setting.dm,
+                db,
+            )?),
+            None => Arc::new(PreparedUpper::new(
+                &setting.v,
+                &setting.schema,
+                &setting.dm,
+            )?),
+        };
         Ok(BoundedCheck::Delta {
-            prepared: PreparedUpper::new(&setting.v, &setting.schema, &setting.dm)?,
+            prepared,
             recheck_lower,
         })
+    }
+
+    /// The shared preparation backing the delta mode, if any.
+    fn prepared(&self) -> Option<&Arc<PreparedUpper>> {
+        match self {
+            BoundedCheck::Delta { prepared, .. } => Some(prepared),
+            BoundedCheck::Full => None,
+        }
     }
 
     /// `(D ∪ Δ, D_m) |= V`? Returns the materialized union for survivors so
@@ -217,12 +245,28 @@ pub fn rcdp_bounded_guarded(
     guard: &Guard,
     probe: Probe<'_>,
 ) -> Result<Verdict, RcError> {
+    rcdp_bounded_guarded_reusing(setting, query, db, budget, guard, probe, None)
+}
+
+/// [`rcdp_bounded_guarded`] with an optional pre-built upper-bound
+/// preparation from a [`crate::PreparedSetting`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rcdp_bounded_guarded_reusing(
+    setting: &Setting,
+    query: &Query,
+    db: &Database,
+    budget: &SearchBudget,
+    guard: &Guard,
+    probe: Probe<'_>,
+    reuse: Option<&Arc<PreparedUpper>>,
+) -> Result<Verdict, RcError> {
     let probe = probe.with_ticks(guard);
-    let verdict = rcdp_bounded_inner(setting, query, db, budget, guard, probe)?;
+    let verdict = rcdp_bounded_inner(setting, query, db, budget, guard, probe, reuse)?;
     crate::rcdp::emit_verdict(probe, &verdict);
     Ok(verdict)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn rcdp_bounded_inner(
     setting: &Setting,
     query: &Query,
@@ -230,10 +274,19 @@ fn rcdp_bounded_inner(
     budget: &SearchBudget,
     guard: &Guard,
     probe: Probe<'_>,
+    reuse: Option<&Arc<PreparedUpper>>,
 ) -> Result<Verdict, RcError> {
     let q_d = query.eval(db)?;
     let probes_before = probe_count();
-    let check = BoundedCheck::select(setting, db, budget.engine)?;
+    let check = BoundedCheck::select(setting, db, budget.engine, reuse)?;
+    crate::rcdp::emit_plan_telemetry(
+        probe,
+        setting,
+        budget.engine,
+        check.prepared(),
+        reuse.is_some(),
+        db,
+    );
     let adom = Adom::build(db, setting, query, budget.fresh_values);
     let mut values = adom.constants.clone();
     values.extend(adom.fresh.iter().cloned());
@@ -251,7 +304,7 @@ fn rcdp_bounded_inner(
     }
     let pool = tuple_pool(setting, db, &values);
     probe.gauge("semidecide.pool_size", pool.len() as u64);
-    if matches!(budget.engine, Engine::Parallel { .. }) {
+    if budget.engine.sharded() {
         let (verdict, _) = rcdp_bounded_parallel(
             setting,
             query,
@@ -464,7 +517,8 @@ pub(crate) fn rcdp_bounded_resumed(
     let probe = probe.with_ticks(guard);
     let q_d = query.eval(db)?;
     let probes_before = probe_count();
-    let check = BoundedCheck::select(setting, db, budget.engine)?;
+    let check = BoundedCheck::select(setting, db, budget.engine, None)?;
+    crate::rcdp::emit_plan_telemetry(probe, setting, budget.engine, check.prepared(), false, db);
     let adom = Adom::build(db, setting, query, budget.fresh_values);
     let mut values = adom.constants.clone();
     values.extend(adom.fresh.iter().cloned());
@@ -486,7 +540,7 @@ pub(crate) fn rcdp_bounded_resumed(
     probe.gauge("semidecide.pool_size", pool.len() as u64);
     let start_size = prior.map_or(1, |r| r.next_size);
     let committed = prior.map_or_else(ChunkStats::default, |r| r.stats);
-    let (verdict, frontier) = if matches!(budget.engine, Engine::Parallel { .. }) {
+    let (verdict, frontier) = if budget.engine.sharded() {
         rcdp_bounded_parallel(
             setting,
             query,
@@ -916,7 +970,7 @@ pub(crate) fn rcqp_bounded_inner(
                 // the outer meter already accounts for the work. The guard is
                 // shared so a deadline covers the inner searches too.
                 if let Verdict::Unknown { .. } =
-                    rcdp_bounded_inner(setting, query, &db, budget, guard, Probe::disabled())?
+                    rcdp_bounded_inner(setting, query, &db, budget, guard, Probe::disabled(), None)?
                 {
                     // An Unknown caused by a guard trip is not evidence that
                     // the candidate survived — the refutation search was cut

@@ -82,6 +82,18 @@ impl ColumnIndex {
         self.tuples.len()
     }
 
+    /// Number of indexed columns (the widest tuple's arity).
+    pub fn n_cols(&self) -> usize {
+        self.by_col.len()
+    }
+
+    /// Number of distinct values in column `col` (0 when the column exceeds
+    /// every tuple's arity). Reading a statistic is not a probe and is not
+    /// counted as one.
+    pub fn distinct(&self, col: usize) -> usize {
+        self.by_col.get(col).map(HashMap::len).unwrap_or(0)
+    }
+
     /// Is the snapshot empty?
     pub fn is_empty(&self) -> bool {
         self.tuples.is_empty()

@@ -27,6 +27,7 @@ pub mod intern;
 pub mod overlay;
 pub mod rng;
 pub mod schema;
+pub mod stats;
 pub mod store;
 pub mod value;
 
@@ -38,5 +39,6 @@ pub use intern::{Interner, Sym};
 pub use overlay::Overlay;
 pub use rng::SplitMix64;
 pub use schema::{Attribute, DomainKind, RelId, RelationSchema, Schema};
+pub use stats::RelStats;
 pub use store::TupleStore;
 pub use value::Value;

@@ -1,0 +1,138 @@
+//! Per-relation statistics for cost-based planning.
+//!
+//! A [`RelStats`] summarizes one relation instance: its cardinality and the
+//! number of distinct values per column. The planner in `ric-plan` estimates
+//! join output cardinalities from these two figures alone (the classic
+//! uniform-selectivity model: an equality predicate on column `c` keeps
+//! `rows / distinct(c)` tuples).
+//!
+//! Statistics are *derived* data, computed from the instance's lazily built
+//! [`ColumnIndex`](crate::ColumnIndex) — distinct counts are exactly the
+//! per-column key counts of the index — so they share its invalidation
+//! discipline for free: any mutation drops the index, and the next `stats`
+//! call recomputes both. They are estimates for *planning only*: a stale or
+//! wrong figure can change join order (timing), never answers.
+
+use crate::database::Instance;
+
+/// Cardinality and per-column distinct counts of one relation instance.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RelStats {
+    /// Number of tuples in the instance.
+    pub rows: usize,
+    /// `distinct[c]` — number of distinct values in column `c`, over the
+    /// tuples that have a column `c` (mixed arities index what they have).
+    pub distinct: Vec<usize>,
+}
+
+impl RelStats {
+    /// Stats of an empty relation (what a planner sees when no data has been
+    /// loaded yet — the "no statistics" fallback case).
+    pub fn empty() -> Self {
+        RelStats::default()
+    }
+
+    /// Are there any rows to estimate from?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Distinct count of `col`, defaulting to 1 for columns past the widest
+    /// tuple (a probe there matches nothing, but the estimate stays sane).
+    pub fn distinct_at(&self, col: usize) -> usize {
+        self.distinct.get(col).copied().unwrap_or(1).max(1)
+    }
+
+    /// Estimated fraction of rows surviving an equality predicate on `col`
+    /// (uniform-distribution assumption: `1 / distinct(col)`).
+    pub fn selectivity(&self, col: usize) -> f64 {
+        1.0 / self.distinct_at(col) as f64
+    }
+
+    /// Combine with the stats of a delta overlaid on this relation: rows add
+    /// (an upper bound — overlapping tuples count twice), distinct counts
+    /// take the max of the two sides (a lower bound). Both biases are safe:
+    /// stats only steer plan choice.
+    pub fn overlaid(&self, delta: &RelStats) -> RelStats {
+        let cols = self.distinct.len().max(delta.distinct.len());
+        RelStats {
+            rows: self.rows + delta.rows,
+            distinct: (0..cols)
+                .map(|c| {
+                    self.distinct
+                        .get(c)
+                        .copied()
+                        .unwrap_or(0)
+                        .max(delta.distinct.get(c).copied().unwrap_or(0))
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Instance {
+    /// Statistics over the current tuples, read off the (lazily built,
+    /// mutation-invalidated) column index.
+    pub fn stats(&self) -> RelStats {
+        let idx = self.index();
+        RelStats {
+            rows: idx.len(),
+            distinct: (0..idx.n_cols()).map(|c| idx.distinct(c)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Tuple;
+    use crate::value::Value;
+
+    fn t(vs: &[i64]) -> Tuple {
+        Tuple::new(vs.iter().map(|&v| Value::int(v)))
+    }
+
+    #[test]
+    fn stats_count_rows_and_distinct_values() {
+        let inst = Instance::from_tuples([t(&[1, 2]), t(&[1, 3]), t(&[2, 3])]);
+        let s = inst.stats();
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.distinct, vec![2, 2]);
+        assert_eq!(s.distinct_at(0), 2);
+        assert_eq!(s.distinct_at(9), 1, "out-of-range column defaults to 1");
+        assert!((s.selectivity(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutation_refreshes_stats() {
+        let mut inst = Instance::from_tuples([t(&[1, 2])]);
+        assert_eq!(inst.stats().rows, 1);
+        inst.insert(t(&[3, 4]));
+        let s = inst.stats();
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.distinct, vec![2, 2]);
+    }
+
+    #[test]
+    fn empty_stats_are_the_fallback_shape() {
+        let s = Instance::new().stats();
+        assert!(s.is_empty());
+        assert_eq!(s, RelStats::empty());
+        assert_eq!(s.distinct_at(0), 1);
+    }
+
+    #[test]
+    fn overlay_combination_is_monotone() {
+        let base = RelStats {
+            rows: 10,
+            distinct: vec![5, 2],
+        };
+        let delta = RelStats {
+            rows: 3,
+            distinct: vec![3, 4, 2],
+        };
+        let c = base.overlaid(&delta);
+        assert_eq!(c.rows, 13);
+        assert_eq!(c.distinct, vec![5, 4, 2]);
+    }
+}

@@ -15,6 +15,7 @@
 use crate::database::{Database, Tuple};
 use crate::overlay::Overlay;
 use crate::schema::RelId;
+use crate::stats::RelStats;
 use crate::value::Value;
 use std::collections::BTreeSet;
 
@@ -40,6 +41,10 @@ pub trait TupleStore {
 
     /// Collect every constant appearing in the store into `out`.
     fn active_domain_into(&self, out: &mut BTreeSet<Value>);
+
+    /// Cardinality and per-column distinct counts of `rel`, for cost-based
+    /// planning. Estimates only — they steer plan choice, never answers.
+    fn stats(&self, rel: RelId) -> RelStats;
 }
 
 impl TupleStore for Database {
@@ -76,6 +81,10 @@ impl TupleStore for Database {
 
     fn active_domain_into(&self, out: &mut BTreeSet<Value>) {
         out.extend(self.active_domain().iter().cloned());
+    }
+
+    fn stats(&self, rel: RelId) -> RelStats {
+        self.instance(rel).stats()
     }
 }
 
@@ -118,6 +127,13 @@ impl TupleStore for Overlay<'_> {
 
     fn active_domain_into(&self, out: &mut BTreeSet<Value>) {
         Overlay::active_domain_into(self, out)
+    }
+
+    fn stats(&self, rel: RelId) -> RelStats {
+        self.base()
+            .instance(rel)
+            .stats()
+            .overlaid(&self.delta().instance(rel).stats())
     }
 }
 

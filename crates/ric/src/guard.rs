@@ -108,7 +108,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn isolate<T>(
+pub(crate) fn isolate<T>(
     probe: Probe<'_>,
     run: impl FnOnce(Probe<'_>) -> Result<T, RcError>,
 ) -> Result<Decision<T>, DecisionError> {

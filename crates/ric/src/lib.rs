@@ -71,6 +71,7 @@
 
 mod analyzed;
 mod guard;
+mod prepared;
 mod retry;
 
 pub use analyzed::{
@@ -81,6 +82,10 @@ pub use guard::{
     try_rcdp, try_rcdp_guarded, try_rcdp_probed, try_rcdp_resumed, try_rcdp_resumed_guarded,
     try_rcdp_resumed_probed, try_rcqp, try_rcqp_guarded, try_rcqp_probed, try_rcqp_resumed,
     try_rcqp_resumed_guarded, try_rcqp_resumed_probed, Decision, DecisionError, Resumed,
+};
+pub use prepared::{
+    prepare, try_rcdp_prepared, try_rcdp_prepared_probed, try_rcqp_prepared,
+    try_rcqp_prepared_probed,
 };
 pub use retry::{decide_query_with_retry, decide_with_retry, RetryOutcome, RetryPolicy};
 
@@ -97,8 +102,8 @@ pub use ric_analysis::{AnalysisReport, Classification, Code, Diagnostic, Pointer
 pub use ric_complete::{
     rcdp, rcdp_fingerprint, rcdp_guarded, rcdp_probed, rcqp, rcqp_fingerprint, rcqp_guarded,
     rcqp_probed, BudgetLimit, CancelToken, Checkpoint, CheckpointError, DecisionKind, Engine,
-    FaultPlan, Frontier, Guard, Interrupt, MeterKind, Progress, Query, QueryVerdict, RcError,
-    SearchBudget, SearchStats, Setting, Verdict, CHECKPOINT_VERSION,
+    FaultPlan, Frontier, Guard, Interrupt, MeterKind, PreparedSetting, Progress, Query,
+    QueryVerdict, RcError, SearchBudget, SearchStats, Setting, Verdict, CHECKPOINT_VERSION,
 };
 pub use ric_data::SplitMix64;
 pub use ric_telemetry::{
@@ -117,13 +122,17 @@ pub mod prelude {
         try_rcdp_resumed_probed, try_rcqp, try_rcqp_guarded, try_rcqp_probed, try_rcqp_resumed,
         try_rcqp_resumed_guarded, try_rcqp_resumed_probed, Decision, DecisionError, Resumed,
     };
+    pub use crate::prepared::{
+        prepare, try_rcdp_prepared, try_rcdp_prepared_probed, try_rcqp_prepared,
+        try_rcqp_prepared_probed,
+    };
     pub use crate::retry::{decide_query_with_retry, decide_with_retry, RetryOutcome, RetryPolicy};
     pub use ric_analysis::{AnalysisReport, Code, Diagnostic, Pointer, Severity};
     pub use ric_complete::{
         rcdp, rcdp_guarded, rcdp_probed, rcqp, rcqp_guarded, rcqp_probed, BudgetLimit, CancelToken,
         Checkpoint, CheckpointError, CounterExample, DecisionKind, Engine, FaultPlan, Guard,
-        Interrupt, MeterKind, Query, QueryVerdict, RcError, SearchBudget, SearchStats, Setting,
-        Verdict,
+        Interrupt, MeterKind, PreparedSetting, Query, QueryVerdict, RcError, SearchBudget,
+        SearchStats, Setting, Verdict,
     };
     pub use ric_constraints::{
         CcBody, CcRhs, Cfd, Cind, ConstraintSet, ContainmentConstraint, Denial, Fd, IndCc,

@@ -385,14 +385,24 @@ mod tests {
 
     #[test]
     fn metrics_merge_is_order_independent() {
+        // Two "workers" recording overlapping counter/gauge/histogram sets,
+        // including the planned-engine families (`plan.*` counters, the
+        // `stats.rows.*` statistics gauges): merge order must not matter,
+        // down to the exported bytes.
         let mut a = Metrics::new();
         a.inc("rcdp.valuations", 10);
+        a.inc("plan.compile", 1);
+        a.inc("plan.cost", 40);
         a.gauge("rcdp.adom_size", 4);
+        a.gauge("stats.rows.00", 128);
         a.observe("span_micros", "rcdp.enumerate", 120);
         let mut b = Metrics::new();
         b.inc("rcdp.valuations", 5);
         b.inc("rcdp.cc_checks", 2);
+        b.inc("plan.reuse", 1);
+        b.inc("plan.fallback", 1);
         b.gauge("rcdp.adom_size", 9);
+        b.gauge("stats.rows.00", 128);
         b.observe("span_micros", "rcdp.enumerate", 80);
         b.observe("span_micros", "rcqp.e2_search", 7);
 
@@ -402,7 +412,10 @@ mod tests {
         ba.merge(&a);
         assert_eq!(ab, ba);
         assert_eq!(ab.to_prometheus(), ba.to_prometheus());
+        assert_eq!(ab.to_json().to_string(), ba.to_json().to_string());
         assert_eq!(ab.counter("rcdp.valuations"), 15);
+        assert_eq!(ab.counter("plan.compile"), 1);
+        assert_eq!(ab.counter("plan.reuse"), 1);
         assert_eq!(
             ab.histogram("span_micros", "rcdp.enumerate")
                 .unwrap()
@@ -417,16 +430,24 @@ mod tests {
         let mut m = Metrics::new();
         m.inc("rcdp.valuations", 42);
         m.inc("rcdp.cc_checks", 7);
+        m.inc("plan.compile", 2);
+        m.inc("plan.cost", 37);
+        m.inc("plan.fallback", 1);
         m.gauge("rcdp.adom_size", 14);
+        m.gauge("stats.rows.00", 128);
         for v in [0u64, 1, 3, 900] {
             m.observe("span_micros", "rcdp.enumerate", v);
         }
         let expected = "\
 # TYPE ric_counter_total counter
+ric_counter_total{name=\"plan.compile\"} 2
+ric_counter_total{name=\"plan.cost\"} 37
+ric_counter_total{name=\"plan.fallback\"} 1
 ric_counter_total{name=\"rcdp.cc_checks\"} 7
 ric_counter_total{name=\"rcdp.valuations\"} 42
 # TYPE ric_gauge gauge
 ric_gauge{name=\"rcdp.adom_size\"} 14
+ric_gauge{name=\"stats.rows.00\"} 128
 # TYPE ric_span_micros histogram
 ric_span_micros_bucket{name=\"rcdp.enumerate\",le=\"0\"} 1
 ric_span_micros_bucket{name=\"rcdp.enumerate\",le=\"1\"} 2

@@ -7,32 +7,36 @@
 #   3. fault injection        (cargo test --test guard_robustness)
 #   4. parallel scheduler     (cargo test --test par_differential,
 #                              then a RIC_WORKERS=1 / RIC_WORKERS=4 matrix)
-#   5. checkpoint/resume      (cargo test --test resume_differential, then a
+#   5. plan A/B               (cargo test --test plan_differential, then a
+#                              RIC_WORKERS={1,4} matrix: the cost-based
+#                              planned engine must be verdict-identical to
+#                              the indexed engine on every decision)
+#   6. checkpoint/resume      (cargo test --test resume_differential, then a
 #                              RIC_RESUME_K=2,5 x RIC_WORKERS={1,4} matrix:
 #                              K-installment decisions must be identical to
 #                              uninterrupted runs)
-#   6. worker-panic faults    (guard_robustness quarantine/degradation/flush
+#   7. worker-panic faults    (guard_robustness quarantine/degradation/flush
 #                              tests plus the ric-trace torn-record suite)
-#   7. paper properties       (cargo test --test paper_properties)
-#   8. static analysis        (cargo test -p ric-analysis,
+#   8. paper properties       (cargo test --test paper_properties)
+#   9. static analysis        (cargo test -p ric-analysis,
 #                              cargo test --test analysis_properties)
-#   9. bench artifacts        (regen_tables --deadline-ms guard; the run
+#  10. bench artifacts        (regen_tables --deadline-ms guard; the run
 #                              fails if any shipped workload draws an
 #                              Error-level analyzer diagnostic, and also
 #                              streams a JSONL decision trace)
-#  10. trace smoke            (the trace_decision example and the
+#  11. trace smoke            (the trace_decision example and the
 #                              regen_tables --trace stream must round-trip
-#                              through the ric-trace CLI: tree, prune, and
-#                              diff all parse and render; a malformed trace
-#                              is rejected with a nonzero exit)
-#  11. disabled probes        (cargo test -p ric-telemetry disabled_probe:
+#                              through the ric-trace CLI: tree, prune, plan,
+#                              and diff all parse and render; a malformed
+#                              trace is rejected with a nonzero exit)
+#  12. disabled probes        (cargo test -p ric-telemetry disabled_probe:
 #                              Probe::disabled adds zero events, traced or
 #                              not)
-#  12. full test suite        (cargo test -q -- --include-ignored)
-#  13. formatting             (cargo fmt --check)
-#  14. lints                  (cargo clippy --all-targets -D warnings)
-#  15. lints, workspace       (cargo clippy --workspace -D warnings)
-#  16. lints, unwrap ban      (clippy -D clippy::unwrap_used/expect_used on
+#  13. full test suite        (cargo test -q -- --include-ignored)
+#  14. formatting             (cargo fmt --check)
+#  15. lints                  (cargo clippy --all-targets -D warnings)
+#  16. lints, workspace       (cargo clippy --workspace -D warnings)
+#  17. lints, unwrap ban      (clippy -D clippy::unwrap_used/expect_used on
 #                              library code; tests are exempt via clippy.toml)
 #
 # Everything runs with --offline: the default build has zero third-party
@@ -66,6 +70,18 @@ cargo test -q --offline --test par_differential
 for workers in 1 4; do
   step "parallel scheduler differential suite (RIC_WORKERS=${workers})"
   RIC_WORKERS="${workers}" cargo test -q --offline --test par_differential
+done
+
+# Plan A/B: the planned engine fixes join orders from cost estimates but
+# must change nothing else — every decision's verdict (and witness) under
+# Engine::Planned must be identical to Engine::Indexed. The differential
+# suite honours RIC_WORKERS, so pin the single-worker and 4-worker pools
+# explicitly alongside the default run.
+step "plan differential suite (planned vs indexed verdict identity, default)"
+cargo test -q --offline --test plan_differential
+for workers in 1 4; do
+  step "plan differential suite (RIC_WORKERS=${workers})"
+  RIC_WORKERS="${workers}" cargo test -q --offline --test plan_differential
 done
 
 # Resume equivalence: a decision finished in K installments must be
@@ -118,6 +134,7 @@ cargo run -q --release --offline --example trace_decision \
 for trace in example regen; do
   ric_trace tree  "${trace_dir}/${trace}.jsonl" > /dev/null
   ric_trace prune "${trace_dir}/${trace}.jsonl" > /dev/null
+  ric_trace plan  "${trace_dir}/${trace}.jsonl" > /dev/null
 done
 ric_trace diff "${trace_dir}/example.jsonl" "${trace_dir}/regen.jsonl" > /dev/null
 ric_trace diff BENCH_TABLE1.json BENCH_TABLE1.json > /dev/null
@@ -152,7 +169,7 @@ cargo clippy --workspace --offline -- -D warnings
 # error or an explicit unreachable!() with its justification. Tests keep
 # unwrap ergonomics via clippy.toml (allow-unwrap-in-tests/expect-in-tests).
 step "clippy (unwrap/expect ban on library code)"
-cargo clippy --offline -p ric-complete -p ric -- \
+cargo clippy --offline -p ric-complete -p ric -p ric-plan -- \
   -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 printf '\nci.sh: all checks passed\n'

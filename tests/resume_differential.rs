@@ -162,6 +162,7 @@ fn engines() -> Vec<Engine> {
     let mut out = vec![Engine::Naive, Engine::Indexed];
     for workers in worker_counts() {
         out.push(Engine::Parallel { workers });
+        out.push(Engine::Planned { workers });
     }
     out
 }
@@ -472,4 +473,67 @@ fn foreign_checkpoints_are_rejected_up_front() {
         Err(DecisionError::Checkpoint(CheckpointError::KindMismatch { .. })) => {}
         other => panic!("expected a kind rejection, got {other:?}"),
     }
+}
+
+/// Engines are a runtime choice, not part of a decision's identity: the
+/// checkpoint fingerprint covers `(setting, query, db)` only, so a decision
+/// checkpointed under `Engine::Planned` resumes legally under
+/// `Engine::Indexed` and vice versa — and the cross-engine resume reaches
+/// the same verdict as either engine's uninterrupted run.
+#[test]
+fn checkpoints_resume_across_planned_and_indexed_engines() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0DE);
+    let pool = cq_pool();
+    let q: Query = pool[1].clone().into();
+    let indexed = SearchBudget::default().with_engine(Engine::Indexed);
+    let planned = SearchBudget::default().with_engine(Engine::planned(1));
+
+    let mut exercised = 0usize;
+    for _ in 0..50 {
+        let setting = random_setting(&mut rng);
+        let db = random_db(&mut rng, 6, 5, 3);
+        if !setting.partially_closed(&db).unwrap() {
+            continue;
+        }
+        let t = total_ticks(&setting, &q, &db, &indexed);
+        if t < 2 {
+            continue;
+        }
+        let baseline = try_rcdp(&setting, &q, &db, &indexed).expect("baseline");
+
+        for (first, second) in [(&planned, &indexed), (&indexed, &planned)] {
+            let starved = sliced(first, false, t / 2);
+            let (v1, cp) = try_rcdp_resumed(&setting, &q, &db, &starved, None).expect("starved");
+            let Some(cp) = cp else {
+                continue; // this instance decided before the meter tripped
+            };
+            assert!(matches!(v1, Verdict::Unknown { .. }));
+            // The fingerprint binds the checkpoint to the decision inputs
+            // only — recomputing it without any engine in hand must match.
+            cp.validate(
+                ric::DecisionKind::Rcdp,
+                ric::rcdp_fingerprint(&setting, &q, &db),
+            )
+            .expect("fingerprint must not depend on the engine");
+            // Resume on the *other* engine at full budget.
+            let (v2, cp2) =
+                try_rcdp_resumed(&setting, &q, &db, second, Some(&cp)).expect("cross resume");
+            match (&baseline, &v2) {
+                (Verdict::Complete, Verdict::Complete) => {}
+                (Verdict::Incomplete(_), Verdict::Incomplete(b)) => {
+                    assert!(
+                        ric::complete::rcdp::certify_counterexample(&setting, &q, &db, b).unwrap(),
+                        "cross-engine resume produced an uncertified counterexample"
+                    );
+                }
+                other => panic!("cross-engine resume changed the verdict: {other:?}"),
+            }
+            assert!(cp2.is_none(), "full budget must conclude");
+            exercised += 1;
+        }
+    }
+    assert!(
+        exercised >= 4,
+        "too few interruptible instances for the cross-engine matrix ({exercised})"
+    );
 }

@@ -362,3 +362,96 @@ fn interrupted_reports_serialize_the_interrupt_records() {
         Some(1)
     );
 }
+
+/// The planned engine's `plan.*` counters and `stats.rows.NN` statistics
+/// gauges export through the [`Metrics`] registry, and merging the
+/// per-worker-count registries in either order produces byte-identical
+/// Prometheus-text and JSON snapshots — the same bit-identical-merge
+/// guarantee the counter layer pins.
+#[test]
+fn plan_counters_and_stats_gauges_export_through_metrics_snapshots() {
+    use ric::Metrics;
+
+    // A CQ-bodied constraint (a join), so the planned engine compiles plans;
+    // pure-IND sets take the containment fast path and plan nothing.
+    let schema = Schema::from_relations(vec![
+        RelationSchema::infinite("Supt", &["eid", "dept", "cid"]),
+        RelationSchema::infinite("Dept", &["dept"]),
+    ])
+    .unwrap();
+    let supt = schema.rel_id("Supt").unwrap();
+    let dept = schema.rel_id("Dept").unwrap();
+    let mschema =
+        Schema::from_relations(vec![RelationSchema::infinite("DCust", &["cid"])]).unwrap();
+    let dcust = mschema.rel_id("DCust").unwrap();
+    let mut dm = Database::empty(&mschema);
+    dm.insert(dcust, Tuple::new([Value::str("c1")]));
+    dm.insert(dcust, Tuple::new([Value::str("c2")]));
+    let body = parse_cq(&schema, "Q(C) :- Supt(E, D, C), Dept(D).").unwrap();
+    let v = ConstraintSet::new(vec![ContainmentConstraint::into_master(
+        CcBody::Cq(body),
+        dcust,
+        vec![0],
+    )]);
+    let setting = Setting::new(schema.clone(), mschema, dm, v);
+    let q: Query = parse_cq(&schema, "Q(C) :- Supt('e0', D, C).")
+        .unwrap()
+        .into();
+    let mut db = Database::empty(&schema);
+    db.insert(dept, Tuple::new([Value::str("d0")]));
+    db.insert(
+        supt,
+        Tuple::new([Value::str("e0"), Value::str("d0"), Value::str("c1")]),
+    );
+
+    // One registry per worker count, as a sharded service would keep them.
+    let mut registries = Vec::new();
+    for workers in [1usize, 4] {
+        let collector = Collector::new();
+        let budget = SearchBudget::default().with_engine(Engine::planned(workers));
+        rcdp_probed(&setting, &q, &db, &budget, Probe::attached(&collector)).unwrap();
+        let mut m = Metrics::new();
+        m.absorb_report(&collector.report());
+        assert!(
+            m.counter("plan.compile") >= 1,
+            "planned decisions export plan.compile"
+        );
+        registries.push(m);
+    }
+
+    let mut ab = registries[0].clone();
+    ab.merge(&registries[1]);
+    let mut ba = registries[1].clone();
+    ba.merge(&registries[0]);
+    assert_eq!(ab, ba, "metrics merge is order-independent");
+
+    let prom = ab.to_prometheus();
+    assert_eq!(prom, ba.to_prometheus(), "Prometheus snapshots byte-match");
+    assert_eq!(
+        ab.to_json().to_string(),
+        ba.to_json().to_string(),
+        "JSON snapshots byte-match"
+    );
+
+    // Both exporters carry the plan counters and the statistics gauges.
+    assert!(prom.contains("ric_counter_total{name=\"plan.compile\"} 2"));
+    assert!(prom.contains("ric_counter_total{name=\"plan.cost\"}"));
+    // Two body relations with ids 0 and 1, one tuple each.
+    assert!(prom.contains("ric_gauge{name=\"stats.rows.00\"} 1"));
+    assert!(prom.contains("ric_gauge{name=\"stats.rows.01\"} 1"));
+    let doc = json::parse(&ab.to_json().to_string()).unwrap();
+    let counters = doc.get("counters").expect("counters key");
+    assert_eq!(
+        counters
+            .get("plan.compile")
+            .and_then(ric::telemetry::Json::as_int),
+        Some(2)
+    );
+    let gauges = doc.get("gauges").expect("gauges key");
+    assert_eq!(
+        gauges
+            .get("stats.rows.00")
+            .and_then(ric::telemetry::Json::as_int),
+        Some(1)
+    );
+}
