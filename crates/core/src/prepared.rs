@@ -107,6 +107,32 @@ impl PreparedSetting {
         }
     }
 
+    /// The per-relation row counts the compiled plans were costed from,
+    /// empty when no plans were compiled (non-planned engines, IND-only
+    /// settings). Streaming callers (`ric-monitor`) compare these against
+    /// live cardinalities to detect statistics drift and replan.
+    pub fn planned_rows(&self) -> Vec<(ric_data::RelId, usize)> {
+        self.upper
+            .as_ref()
+            .map(|u| u.planned_rows().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Incremental upper-bound check against this preparation: given that
+    /// the upper bounds hold on `ov.base()` (minus any tombstones), do they
+    /// hold on the effective view? `Ok(None)` when the engine compiled no
+    /// preparation (naive engines, IND-only settings) — the caller falls
+    /// back to a full check.
+    pub fn upper_satisfied_delta(
+        &self,
+        ov: &ric_data::Overlay<'_>,
+    ) -> Result<Option<ric_constraints::DeltaCheck>, RcError> {
+        match &self.upper {
+            Some(prep) => Ok(Some(prep.satisfied_delta(&self.setting.v, ov)?)),
+            None => Ok(None),
+        }
+    }
+
     /// The shared preparation, for the `*_reusing` decider internals.
     pub(crate) fn upper(&self) -> Option<&Arc<PreparedUpper>> {
         self.upper.as_ref()

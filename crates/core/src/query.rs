@@ -81,6 +81,25 @@ impl Query {
         }
     }
 
+    /// The database relations this query reads, when that set is
+    /// syntactically meaningful: the atom relations for CQ/UCQ/∃FO⁺.
+    ///
+    /// `None` for FO/FP: under active-domain semantics an FO query's answer
+    /// can change when *any* relation changes (quantifiers range over the
+    /// whole database's constants), and a datalog program's fixpoint can
+    /// feed any EDB into any IDB — so their footprint is the entire schema.
+    /// Streaming invalidation (`ric-monitor`) treats `None` as "touches
+    /// everything".
+    pub fn rels(&self) -> Option<std::collections::BTreeSet<ric_data::RelId>> {
+        self.as_ucq().map(|u| {
+            u.disjuncts
+                .iter()
+                .flat_map(|d| d.atoms.iter())
+                .map(|a| a.rel)
+                .collect()
+        })
+    }
+
     /// The UCQ view of the query, when it is in a UCQ-expressible language
     /// (CQ, UCQ, ∃FO⁺). `None` for FO/FP.
     pub fn as_ucq(&self) -> Option<Ucq> {

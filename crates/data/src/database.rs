@@ -84,11 +84,19 @@ impl fmt::Display for Tuple {
 ///
 /// Carries a lazily built per-column hash index ([`Instance::index`]) for the
 /// evaluators' joins; the cache is dropped on every mutation and excluded
-/// from equality, ordering, and cloning.
-#[derive(Debug, Default)]
+/// from equality, ordering, cloning, and `Debug` (two semantically equal
+/// instances render identically whether or not their index is warm — the
+/// structural fingerprints hash the `Debug` form).
+#[derive(Default)]
 pub struct Instance {
     tuples: BTreeSet<Tuple>,
     index: OnceLock<ColumnIndex>,
+}
+
+impl std::fmt::Debug for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.tuples.iter()).finish()
+    }
 }
 
 impl Clone for Instance {
@@ -199,12 +207,20 @@ impl FromIterator<Tuple> for Instance {
 /// longer clone candidate extensions — they layer an
 /// [`Overlay`](crate::Overlay) over a shared base instead — but cloning
 /// remains cheap for the places that still materialize.
-#[derive(Debug)]
 pub struct Database {
     instances: Vec<Instance>,
     /// Cached active domain; dropped on mutation (see
     /// [`Database::active_domain`]).
     adom: OnceLock<BTreeSet<Value>>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The adom cache is derived data; like equality, rendering ignores
+        // it so warm and cold databases with the same tuples print (and
+        // fingerprint) identically.
+        f.debug_list().entries(self.instances.iter()).finish()
+    }
 }
 
 impl Clone for Database {

@@ -102,23 +102,30 @@ impl TupleStore for Overlay<'_> {
     }
 
     fn scan(&self, rel: RelId, f: &mut dyn FnMut(&Tuple) -> bool) -> bool {
-        if !self.base().scan(rel, f) {
+        let live = self
+            .base()
+            .scan(rel, &mut |t| !self.in_live_base(rel, t) || f(t));
+        if !live {
             return false;
         }
         self.for_each_novel(rel, f)
     }
 
     fn probe(&self, rel: RelId, col: usize, v: &Value, f: &mut dyn FnMut(&Tuple) -> bool) -> bool {
-        if !self.base().probe(rel, col, v, f) {
+        // The base's lazily built index still lists tombstoned tuples; every
+        // hit is re-checked against the deletes side before being yielded.
+        let live = self
+            .base()
+            .probe(rel, col, v, &mut |t| !self.in_live_base(rel, t) || f(t));
+        if !live {
             return false;
         }
-        let base = self.base();
         let idx = self.delta().instance(rel).index();
         for &id in idx.probe(col, v) {
             let t = idx.tuple(id);
-            // Skip delta tuples already in the base: the union yields each
-            // tuple once.
-            if !base.instance(rel).contains(t) && !f(t) {
+            // Skip delta tuples already live in the base: the effective view
+            // yields each tuple once.
+            if !self.in_live_base(rel, t) && !f(t) {
                 return false;
             }
         }
@@ -130,10 +137,25 @@ impl TupleStore for Overlay<'_> {
     }
 
     fn stats(&self, rel: RelId) -> RelStats {
-        self.base()
-            .instance(rel)
-            .stats()
-            .overlaid(&self.delta().instance(rel).stats())
+        match self.deletes() {
+            // Fast additive path: combine the two sides' cached index stats.
+            None => self
+                .base()
+                .instance(rel)
+                .stats()
+                .overlaid(&self.delta().instance(rel).stats()),
+            // With tombstones, rebuild exact stats from the effective view.
+            // Stats are advisory (plan choice only), so the scan cost is
+            // paid rarely — and only by deletes-carrying overlays.
+            Some(_) => {
+                let mut tuples = Vec::new();
+                self.scan(rel, &mut |t| {
+                    tuples.push(t.clone());
+                    true
+                });
+                crate::database::Instance::from_tuples(tuples).stats()
+            }
+        }
     }
 }
 
@@ -190,6 +212,58 @@ mod tests {
         );
         assert_eq!(collect_scan(&ov, RelId(0)).len(), 2);
         assert_eq!(TupleStore::rel_len(&ov, RelId(0)), 2);
+    }
+
+    #[test]
+    fn tombstoned_tuples_filtered_from_scan_probe_and_stats() {
+        let mut base = Database::with_relations(1);
+        base.insert(RelId(0), t(&[1, 2]));
+        base.insert(RelId(0), t(&[1, 3]));
+        base.insert(RelId(0), t(&[2, 3]));
+        // Regression: warm the base's per-column index *before* building the
+        // overlay — the stale index still lists the tombstoned tuple, and
+        // the probe path must re-check every hit against the deletes side.
+        let warm = collect_probe(&base, RelId(0), 0, &Value::int(1));
+        assert_eq!(warm.len(), 2);
+        let mut deletes = Database::with_relations(1);
+        deletes.insert(RelId(0), t(&[1, 3]));
+        let mut delta = Database::with_relations(1);
+        delta.insert(RelId(0), t(&[1, 9]));
+        let ov = Overlay::with_deletes(&base, &delta, &deletes).unwrap();
+        assert_eq!(
+            collect_probe(&ov, RelId(0), 0, &Value::int(1)),
+            vec![t(&[1, 2]), t(&[1, 9])],
+            "stale base index must not leak the tombstoned (1,3)"
+        );
+        assert_eq!(
+            collect_scan(&ov, RelId(0)),
+            vec![t(&[1, 2]), t(&[2, 3]), t(&[1, 9])],
+            "live base tuples in order, then the novel delta tuple"
+        );
+        assert_eq!(TupleStore::rel_len(&ov, RelId(0)), 3);
+        let stats = TupleStore::stats(&ov, RelId(0));
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.distinct, vec![2, 3]);
+        assert!(!ov.contains(RelId(0), &t(&[1, 3])));
+    }
+
+    #[test]
+    fn deletes_early_exit_propagates_through_live_filter() {
+        let mut base = Database::with_relations(1);
+        base.insert(RelId(0), t(&[1]));
+        base.insert(RelId(0), t(&[2]));
+        base.insert(RelId(0), t(&[3]));
+        let mut deletes = Database::with_relations(1);
+        deletes.insert(RelId(0), t(&[1]));
+        let delta = Database::with_relations(1);
+        let ov = Overlay::with_deletes(&base, &delta, &deletes).unwrap();
+        let mut seen = 0;
+        let completed = ov.scan(RelId(0), &mut |_| {
+            seen += 1;
+            false
+        });
+        assert!(!completed);
+        assert_eq!(seen, 1, "the tombstoned tuple must not reach the visitor");
     }
 
     #[test]

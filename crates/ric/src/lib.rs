@@ -51,6 +51,11 @@
 //! * [`telemetry`] — the [`Probe`]/[`Sink`] observability layer: attach a
 //!   [`Collector`] to `rcdp_probed`/`rcqp_probed` for counters, span
 //!   timings, and decision notes (see `examples/observe_search.rs`);
+//! * [`monitor`] — streaming incremental monitoring: a [`Monitor`] keeps
+//!   many registered settings' RCDP verdicts continuously up to date across
+//!   a transactional insert/delete stream, with footprint-based skipping,
+//!   verdict fast paths, and fingerprint memoization (see
+//!   `examples/monitor_stream.rs` and DESIGN.md §12);
 //! * [`analysis`] — the static pass in front of the deciders: typed
 //!   diagnostics (`RIC001`…) and certified minimal-fragment classification.
 //!   [`analyze`] produces the [`AnalysisReport`]; [`try_rcdp_analyzed`] /
@@ -94,6 +99,7 @@ pub use ric_complete as complete;
 pub use ric_constraints as constraints;
 pub use ric_data as data;
 pub use ric_mdm as mdm;
+pub use ric_monitor as monitor;
 pub use ric_query as query;
 pub use ric_reductions as reductions;
 pub use ric_telemetry as telemetry;
@@ -106,6 +112,10 @@ pub use ric_complete::{
     QueryVerdict, RcError, SearchBudget, SearchStats, Setting, Verdict, CHECKPOINT_VERSION,
 };
 pub use ric_data::SplitMix64;
+pub use ric_monitor::{
+    Monitor, MonitorCounters, MonitorError, Op, SettingId, SettingVerdict, Status, Target, Txn,
+    VerdictChange,
+};
 pub use ric_telemetry::{
     Collector, Event, Explain, FaultSink, JsonlSink, Metrics, PrettySink, Probe, Report, Sink,
     SpanTree, TeeSink, TraceState,
@@ -140,6 +150,10 @@ pub mod prelude {
     };
     pub use ric_data::{
         Attribute, Database, DomainKind, RelId, RelationSchema, Schema, Tuple, Value,
+    };
+    pub use ric_monitor::{
+        Monitor, MonitorCounters, MonitorError, Op, SettingId, SettingVerdict, Status, Target, Txn,
+        VerdictChange,
     };
     pub use ric_query::{parse_cq, parse_program, parse_ucq, Cq, Term, Ucq, Var};
     pub use ric_telemetry::{Collector, Explain, Probe, Report, Sink, TraceState};

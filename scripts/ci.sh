@@ -15,28 +15,37 @@
 #                              RIC_RESUME_K=2,5 x RIC_WORKERS={1,4} matrix:
 #                              K-installment decisions must be identical to
 #                              uninterrupted runs)
-#   7. worker-panic faults    (guard_robustness quarantine/degradation/flush
+#   7. monitor differential   (cargo test --test monitor_differential, then
+#                              a RIC_TXN_BATCH={1,8} x RIC_WORKERS={1,4}
+#                              matrix: every incremental verdict must equal
+#                              a from-scratch decision after every txn) and
+#                              the monitor metamorphic suite (inversion,
+#                              coalescing, splitting, monotonicity)
+#   8. worker-panic faults    (guard_robustness quarantine/degradation/flush
 #                              tests plus the ric-trace torn-record suite)
-#   8. paper properties       (cargo test --test paper_properties)
-#   9. static analysis        (cargo test -p ric-analysis,
+#   9. paper properties       (cargo test --test paper_properties)
+#  10. static analysis        (cargo test -p ric-analysis,
 #                              cargo test --test analysis_properties)
-#  10. bench artifacts        (regen_tables --deadline-ms guard; the run
+#  11. bench artifacts        (regen_tables --deadline-ms guard; the run
 #                              fails if any shipped workload draws an
 #                              Error-level analyzer diagnostic, and also
-#                              streams a JSONL decision trace)
-#  11. trace smoke            (the trace_decision example and the
+#                              streams a JSONL decision trace; then a
+#                              bench_monitor regen smoke: BENCH_MONITOR.json
+#                              must report all_ok — >=5x median speedup and
+#                              verdict identity in every cell)
+#  12. trace smoke            (the trace_decision example and the
 #                              regen_tables --trace stream must round-trip
 #                              through the ric-trace CLI: tree, prune, plan,
 #                              and diff all parse and render; a malformed
 #                              trace is rejected with a nonzero exit)
-#  12. disabled probes        (cargo test -p ric-telemetry disabled_probe:
+#  13. disabled probes        (cargo test -p ric-telemetry disabled_probe:
 #                              Probe::disabled adds zero events, traced or
 #                              not)
-#  13. full test suite        (cargo test -q -- --include-ignored)
-#  14. formatting             (cargo fmt --check)
-#  15. lints                  (cargo clippy --all-targets -D warnings)
-#  16. lints, workspace       (cargo clippy --workspace -D warnings)
-#  17. lints, unwrap ban      (clippy -D clippy::unwrap_used/expect_used on
+#  14. full test suite        (cargo test -q -- --include-ignored)
+#  15. formatting             (cargo fmt --check)
+#  16. lints                  (cargo clippy --all-targets -D warnings)
+#  17. lints, workspace       (cargo clippy --workspace -D warnings)
+#  18. lints, unwrap ban      (clippy -D clippy::unwrap_used/expect_used on
 #                              library code; tests are exempt via clippy.toml)
 #
 # Everything runs with --offline: the default build has zero third-party
@@ -96,6 +105,27 @@ for workers in 1 4; do
     cargo test -q --offline --test resume_differential
 done
 
+# Monitor differential: after EVERY transaction in a seeded stream, the
+# incremental verdict must equal a from-scratch prepared decision on the
+# same state. The suite honours RIC_TXN_BATCH (ops per transaction) and
+# RIC_WORKERS, so pin the batch x workers matrix explicitly alongside the
+# default run.
+step "monitor differential suite (incremental vs from-scratch, default)"
+cargo test -q --offline --test monitor_differential
+for workers in 1 4; do
+  for batch in 1 8; do
+    step "monitor differential suite (RIC_TXN_BATCH=${batch} RIC_WORKERS=${workers})"
+    RIC_TXN_BATCH="${batch}" RIC_WORKERS="${workers}" \
+      cargo test -q --offline --test monitor_differential
+  done
+done
+
+# Monitor metamorphic: inverse transactions restore state bitwise, op
+# coalescing and singleton splitting change nothing observable, and
+# insert-only streams keep Complete verdicts monotone.
+step "monitor metamorphic suite (inversion, coalescing, splitting, monotonicity)"
+cargo test -q --offline --test monitor_metamorphic
+
 # Worker-death fault matrix: an injected mid-chunk panic must recover (one
 # death) or degrade Parallel -> Indexed (repeated deaths), never change a
 # verdict; the panic path must still flush buffered telemetry sinks.
@@ -123,6 +153,16 @@ trap 'rm -rf "${trace_dir}"' EXIT
 step "bench artifact regeneration (BENCH_*.json + decision trace, deadline-guarded)"
 cargo run -q --release --offline -p ric-bench --bin regen_tables -- --deadline-ms 15000 \
   --trace "${trace_dir}/regen.jsonl" > /dev/null
+
+# Monitor bench smoke: regenerate BENCH_MONITOR.json in place and require the
+# artifact's own verdict — the run fails if any cell misses the >=5x median
+# speedup bar or sees an incremental/from-scratch verdict mismatch.
+step "monitor bench regeneration (BENCH_MONITOR.json, >=5x + verdict identity)"
+cargo run -q --release --offline -p ric-bench --bin bench_monitor > /dev/null
+grep -q '"all_ok": true' BENCH_MONITOR.json || {
+  echo "ci.sh: BENCH_MONITOR.json regenerated with all_ok != true" >&2
+  exit 1
+}
 
 # The observability round trip: every JSONL trace the workspace emits must
 # parse and render through the ric-trace CLI, and a malformed trace must be
@@ -169,7 +209,7 @@ cargo clippy --workspace --offline -- -D warnings
 # error or an explicit unreachable!() with its justification. Tests keep
 # unwrap ergonomics via clippy.toml (allow-unwrap-in-tests/expect-in-tests).
 step "clippy (unwrap/expect ban on library code)"
-cargo clippy --offline -p ric-complete -p ric -p ric-plan -- \
+cargo clippy --offline -p ric-complete -p ric -p ric-plan -p ric-monitor -- \
   -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 printf '\nci.sh: all checks passed\n'
