@@ -129,6 +129,22 @@ pub enum Code {
     /// `RIC031` — a candidate rewrite failed differential certification and
     /// was discarded (the declared fragment is kept).
     UncertifiedRewrite,
+    /// `RIC040` — a containment constraint is implied by the rest of `V`
+    /// (relative to the fixed master data) and can be dropped from the
+    /// per-candidate recheck loop without changing any decision.
+    ImpliedCc,
+    /// `RIC041` — the query body is statically unsatisfiable under `V`:
+    /// no legal extension can ever produce an answer.
+    UnsatUnderV,
+    /// `RIC042` — the decision is statically `Complete` (certified): either
+    /// every query disjunct dies under `V`, or a cover fact applies.
+    StaticallyComplete,
+    /// `RIC043` — a static conclusion of the symbolic reasoner failed
+    /// differential certification and was discarded.
+    UncertifiedStatic,
+    /// `RIC044` — the symbolic reasoner degraded on a fragment outside its
+    /// reach (FO/FP bodies, inequalities, oversized canonical databases).
+    ReasonDegraded,
 }
 
 impl Code {
@@ -153,6 +169,11 @@ impl Code {
             Code::CcForcesEmpty => "RIC024",
             Code::Downgrade => "RIC030",
             Code::UncertifiedRewrite => "RIC031",
+            Code::ImpliedCc => "RIC040",
+            Code::UnsatUnderV => "RIC041",
+            Code::StaticallyComplete => "RIC042",
+            Code::UncertifiedStatic => "RIC043",
+            Code::ReasonDegraded => "RIC044",
         }
     }
 
@@ -172,11 +193,16 @@ impl Code {
             | Code::CqUnsatisfiableNeq
             | Code::CcTriviallySatisfied
             | Code::CcForcesEmpty
-            | Code::UncertifiedRewrite => Severity::Warn,
+            | Code::UncertifiedRewrite
+            | Code::UnsatUnderV
+            | Code::UncertifiedStatic => Severity::Warn,
             Code::FpTriviallyStratified
             | Code::CqTautologicalNeq
             | Code::CqDuplicateAtom
-            | Code::Downgrade => Severity::Info,
+            | Code::Downgrade
+            | Code::ImpliedCc
+            | Code::StaticallyComplete
+            | Code::ReasonDegraded => Severity::Info,
         }
     }
 }
@@ -255,6 +281,11 @@ mod tests {
             Code::CcForcesEmpty,
             Code::Downgrade,
             Code::UncertifiedRewrite,
+            Code::ImpliedCc,
+            Code::UnsatUnderV,
+            Code::StaticallyComplete,
+            Code::UncertifiedStatic,
+            Code::ReasonDegraded,
         ];
         let ids: std::collections::BTreeSet<_> = all.iter().map(|c| c.id()).collect();
         assert_eq!(ids.len(), all.len(), "duplicate diagnostic code");

@@ -39,9 +39,10 @@ pub use classify::{
 };
 pub use diag::{Code, Diagnostic, Pointer, Severity};
 
-use ric_complete::{Query, Setting};
+use ric_complete::{Query, SearchBudget, Setting};
 use ric_constraints::CcBody;
 use ric_query::QueryLanguage;
+use ric_reason::{ReasonNote, StaticFacts};
 use ric_telemetry::Json;
 
 /// Seed for the deterministic differential-certification RNG. Fixed so the
@@ -210,12 +211,90 @@ pub fn analyze(setting: &Setting, query: &Query) -> AnalysisReport {
         lower_bounds.push(cls);
     }
 
+    // Symbolic pre-decision reasoning (RIC040+): certified implied
+    // constraints, static verdicts, and degradation notes. The reasoner runs
+    // under its own small budget so analysis stays fast, and every reported
+    // conclusion has already survived differential certification.
+    let facts = ric_reason::reason(setting, query, &SearchBudget::small());
+    diagnostics.extend(reason_diagnostics(&facts));
+
     AnalysisReport {
         diagnostics,
         query: query_cls,
         constraints,
         lower_bounds,
     }
+}
+
+/// Render the reasoner's certified [`StaticFacts`] as stable diagnostics.
+pub fn reason_diagnostics(facts: &StaticFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for implied in &facts.implied {
+        out.push(Diagnostic::new(
+            Code::ImpliedCc,
+            Pointer::Constraint(implied.cc),
+            format!(
+                "constraint is implied by kept constraints {:?} (relative to the fixed master data); the minimized V drops it from the per-candidate recheck loop",
+                implied.by
+            ),
+        ));
+    }
+    for &di in &facts.unsat_disjuncts {
+        out.push(Diagnostic::new(
+            Code::UnsatUnderV,
+            Pointer::QueryDisjunct(di),
+            "disjunct is statically unsatisfiable under V: no legal extension can match it",
+        ));
+    }
+    if facts.statically_complete {
+        out.push(Diagnostic::new(
+            Code::StaticallyComplete,
+            Pointer::Query,
+            "every query disjunct dies under V (certified): the RCDP decision is statically Complete",
+        ));
+    }
+    if let Some(cover) = facts.cover {
+        out.push(Diagnostic::new(
+            Code::StaticallyComplete,
+            Pointer::Query,
+            format!(
+                "query is contained in the body of constraint {} (certified): decisions short-circuit to Complete whenever p(D_m) ⊆ Q(D)",
+                cover.cc
+            ),
+        ));
+    }
+    for note in &facts.notes {
+        match note {
+            ReasonNote::Uncertified { what, why } => out.push(Diagnostic::new(
+                Code::UncertifiedStatic,
+                Pointer::Setting,
+                format!("{what} failed differential certification and was discarded: {why}"),
+            )),
+            ReasonNote::Degraded { place, why } => {
+                let pointer = if place == "query" {
+                    Pointer::Query
+                } else if let Some(i) = place
+                    .strip_prefix("cc ")
+                    .and_then(|i| i.parse::<usize>().ok())
+                {
+                    Pointer::Constraint(i)
+                } else if let Some(i) = place
+                    .strip_prefix("query disjunct ")
+                    .and_then(|i| i.parse::<usize>().ok())
+                {
+                    Pointer::QueryDisjunct(i)
+                } else {
+                    Pointer::Setting
+                };
+                out.push(Diagnostic::new(
+                    Code::ReasonDegraded,
+                    pointer,
+                    format!("symbolic reasoning degraded: {why}"),
+                ));
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -222,7 +222,45 @@ fn load_bench(path: &str) -> Result<Option<Json>, String> {
     }
 }
 
+/// Warn (loudly, before the table) when two BENCH artifacts were produced
+/// under different conditions: comparing timings across engines, worker
+/// counts, or deadlines is apples to oranges, and outcome drift may be
+/// expected rather than a regression. Previously `meta` was silently
+/// ignored.
+fn warn_meta_mismatch(name_a: &str, a: &Json, name_b: &str, b: &Json) {
+    let field = |doc: &Json, key: &str| -> String {
+        doc.get("meta")
+            .and_then(|m| m.get(key))
+            .map(|v| match v.as_str() {
+                Some(s) => s.to_string(),
+                None => v
+                    .as_int()
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| "?".into()),
+            })
+            .unwrap_or_else(|| "absent".into())
+    };
+    let mut drift = Vec::new();
+    for key in ["engine", "workers", "deadline_ms", "schema_version"] {
+        let va = field(a, key);
+        let vb = field(b, key);
+        if va != vb {
+            drift.push(format!("{key}: A={va} B={vb}"));
+        }
+    }
+    if !drift.is_empty() {
+        println!("WARNING: artifacts were produced under different conditions; timings and");
+        println!("         outcomes may differ for that reason alone, not as a regression.");
+        for line in &drift {
+            println!("         {line}");
+        }
+        println!("         (A = {name_a}, B = {name_b})");
+        println!();
+    }
+}
+
 fn diff_bench(name_a: &str, a: &Json, name_b: &str, b: &Json) -> Result<(), String> {
+    warn_meta_mismatch(name_a, a, name_b, b);
     let cells = |doc: &Json, name: &str| -> Result<Vec<(String, u128, String)>, String> {
         let arr = doc
             .get("cells")

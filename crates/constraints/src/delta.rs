@@ -10,7 +10,7 @@
 //!
 //! so with `q(D) ⊆ rhs` given, the union satisfies the constraint iff the
 //! *delta answers* do — computed by
-//! [`eval_tableau_delta`](ric_query::eval::eval_tableau_delta) without ever
+//! [`eval_tableau_delta`] without ever
 //! materializing the union. Constraints whose body reads no relation with a
 //! novel delta tuple are skipped outright (reported as
 //! [`DeltaCheck::skipped`], the deciders' `cc.skipped_by_delta` counter).

@@ -3,7 +3,7 @@
 //! * **C1/C2** (Proposition 3.3, `L_Q = L_C =` CQ), **C3** (Corollary 3.4,
 //!   `L_C` = INDs), **C4** (Corollary 3.5, UCQ): a database is relatively
 //!   complete iff it is *bounded* — these delegate to the unified valuation
-//!   check in [`crate::rcdp`], which implements exactly those conditions.
+//!   check in [`crate::rcdp()`], which implements exactly those conditions.
 //! * [`brute_force_complete`] — an independent reference decision procedure
 //!   that enumerates *every* extension over the extended active domain. It is
 //!   doubly exponential and only usable on tiny instances, which is exactly

@@ -190,7 +190,7 @@ impl FaultPlan {
 /// thread polls its own guard); the cross-thread handle is the
 /// [`CancelToken`]. Public `*_guarded` entry points take `&Guard` so one
 /// guard — one deadline, one token — spans an entire decision, including
-/// nested decider calls. The parallel scheduler derives one [`Guard::worker`]
+/// nested decider calls. The parallel scheduler derives one `Guard::worker`
 /// per pool thread from the decision guard: workers observe the same deadline
 /// and tokens plus a pool-local token, and any worker trip broadcasts through
 /// that pool token so every other worker stops at its next poll.

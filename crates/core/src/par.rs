@@ -520,9 +520,9 @@ pub(crate) fn chunk_budget(total: u64, n_chunks: usize, chunk: usize) -> u64 {
 
 /// Deterministic schedule perturbation for the parallel test suites.
 ///
-/// [`with_schedule`] installs a seed in thread-local state; any pool started
+/// `with_schedule` installs a seed in thread-local state; any pool started
 /// on that thread while the closure runs claims its chunks in the seeded
-/// [`permutation`] order instead of ascending order. The merge is
+/// `permutation` order instead of ascending order. The merge is
 /// index-ordered, so a correct scheduler returns identical results under
 /// every schedule — the differential suites assert exactly that across many
 /// seeds, making interleaving bugs reproducible instead of lucky.

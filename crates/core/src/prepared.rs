@@ -21,7 +21,7 @@ use crate::guard::Guard;
 use crate::query::Query;
 use crate::setting::Setting;
 use crate::verdict::{QueryVerdict, RcError, Verdict};
-use ric_constraints::PreparedUpper;
+use ric_constraints::{PreparedUpper, StatsProvider};
 use ric_data::Database;
 use ric_telemetry::Probe;
 use std::sync::Arc;
@@ -33,7 +33,7 @@ use std::sync::Arc;
 pub(crate) fn prepare_upper(
     setting: &Setting,
     engine: Engine,
-    stats: &Database,
+    stats: &dyn StatsProvider,
 ) -> Result<Option<Arc<PreparedUpper>>, RcError> {
     if setting.v.is_ind_set() || !engine.indexed() {
         return Ok(None);
@@ -66,7 +66,20 @@ impl PreparedSetting {
     /// preparation degrades to [`Engine::Indexed`] behavior rather than
     /// failing.
     pub fn prepare(setting: Setting, stats_db: &Database, engine: Engine) -> Result<Self, RcError> {
-        let upper = prepare_upper(&setting, engine, stats_db)?;
+        Self::prepare_with_stats(setting, stats_db, engine)
+    }
+
+    /// Like [`PreparedSetting::prepare`], but the join-order statistics come
+    /// from an arbitrary [`StatsProvider`] — e.g. a live database clamped by
+    /// chase-derived cardinality caps, or precomputed workload statistics.
+    /// Statistics are advisory everywhere: they steer join order under
+    /// [`Engine::Planned`] and never change answers.
+    pub fn prepare_with_stats(
+        setting: Setting,
+        stats: &dyn StatsProvider,
+        engine: Engine,
+    ) -> Result<Self, RcError> {
+        let upper = prepare_upper(&setting, engine, stats)?;
         Ok(PreparedSetting {
             setting,
             engine,

@@ -325,7 +325,7 @@ impl<'a> ValuationSpace<'a> {
 
     /// The depth-0 candidates of this space — the chunk boundaries the
     /// parallel scheduler shards on — paired with the fresh-pool usage after
-    /// choosing each. Replicates exactly the candidate list [`Self::rec`]
+    /// choosing each. Replicates exactly the candidate list `Self::rec`
     /// builds at depth 0 (constants first, then the single symmetry-broken
     /// fresh representative), so concatenating the per-candidate subtrees in
     /// this order reproduces the sequential enumeration. `None` when the

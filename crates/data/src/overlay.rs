@@ -9,7 +9,7 @@
 //!
 //! A delta tuple already present in the base is *not novel*: it changes
 //! nothing about the union. The novel tuples are what incremental constraint
-//! checking ([`ric-constraints`]'s delta mode) evaluates against.
+//! checking (`ric-constraints`'s delta mode) evaluates against.
 //!
 //! [`Overlay::with_deletes`] adds a third side of *tombstones*: base tuples
 //! listed there are treated as absent, so the effective view is

@@ -21,7 +21,7 @@
 //! * **Incremental partial closure.** For insert-heavy transactions the
 //!   `(D, D_m) |= V` check is maintained through the prepared delta checker
 //!   ([`PreparedSetting::upper_satisfied_delta`]) over an additive
-//!   [`Overlay`](ric_data::Overlay) instead of a full re-evaluation; deletes
+//!   [`Overlay`] instead of a full re-evaluation; deletes
 //!   on monotone bodies ride the same check by downward closure.
 //! * **Verdict fast paths.** A `Complete` verdict survives any insert-only
 //!   transaction that keeps the database partially closed (a counterexample
@@ -40,7 +40,8 @@
 //!   on the same database (validated by [`rcdp_fingerprint`]) — in
 //!   particular a budget escalation through [`Monitor::escalate`] — resumes
 //!   it instead of restarting.
-//! * **Plan staleness.** Under [`Engine::Planned`], observed cardinalities
+//! * **Plan staleness.** Under [`Engine::Planned`](ric_complete::Engine),
+//!   observed cardinalities
 //!   drifting ≥2× from the preparation's [`planned_rows`] raise
 //!   `plan.stale`; the decision still runs (drifted plans are exact, only
 //!   slower) and the setting replans before its *next* decision.
@@ -361,6 +362,9 @@ pub struct MonitorCounters {
     pub reprepare: u64,
     /// Decisions resumed from a cached [`Checkpoint`] frontier.
     pub frontier_resume: u64,
+    /// Memoized verdicts evicted by the per-setting LRU cap
+    /// ([`Monitor::with_memo_cap`]).
+    pub memo_evict: u64,
 }
 
 /// The D-side or Dm-side relation footprint of a setting.
@@ -450,7 +454,8 @@ enum Action {
     },
 }
 
-/// Cap on memoized decisions per setting (oldest-inserted evicted).
+/// Default cap on memoized decisions per setting (least-recently-used
+/// evicted); override per monitor with [`Monitor::with_memo_cap`].
 const MEMO_CAP: usize = 32;
 
 struct Registered {
@@ -490,7 +495,8 @@ impl Registered {
         hit
     }
 
-    fn memoize(&mut self, fp: u64, state: &SettingVerdict) {
+    /// Memoize under the LRU cap; returns the number of evictions (0 or 1).
+    fn memoize(&mut self, fp: u64, state: &SettingVerdict, cap: usize) -> u64 {
         // Wall-clock limited verdicts are not deterministic functions of the
         // decision inputs; caching them would let timing leak into replays.
         if let SettingVerdict::Decided(Verdict::Unknown { stats }) = state {
@@ -498,18 +504,21 @@ impl Registered {
                 stats.limit,
                 ric_complete::BudgetLimit::Deadline | ric_complete::BudgetLimit::Cancelled
             ) {
-                return;
+                return 0;
             }
         }
         if self.memo.insert(fp, state.clone()).is_some() {
             self.memo_order.retain(|&f| f != fp);
         }
         self.memo_order.push_back(fp);
-        if self.memo_order.len() > MEMO_CAP {
+        let mut evicted = 0;
+        while self.memo_order.len() > cap {
             if let Some(old) = self.memo_order.pop_front() {
                 self.memo.remove(&old);
+                evicted += 1;
             }
         }
+        evicted
     }
 }
 
@@ -542,6 +551,7 @@ pub struct Monitor {
     db: Database,
     dm: Database,
     budget: SearchBudget,
+    memo_cap: usize,
     settings: Vec<Registered>,
     txn_seq: u64,
     counters: MonitorCounters,
@@ -574,6 +584,7 @@ impl Monitor {
             db,
             dm,
             budget,
+            memo_cap: MEMO_CAP,
             settings: Vec::new(),
             txn_seq: 0,
             counters: MonitorCounters::default(),
@@ -600,6 +611,21 @@ impl Monitor {
     /// The per-decision budget (engine included).
     pub fn budget(&self) -> &SearchBudget {
         &self.budget
+    }
+
+    /// Override the per-setting verdict-memo capacity (default 32, minimum
+    /// 1). Evictions are counted in [`MonitorCounters::memo_evict`] and
+    /// emitted as `monitor.memo.evict`. Memoization is a pure cache: the
+    /// capacity changes how often verdicts are replayed bitwise from memory
+    /// versus re-decided, never the verdicts themselves.
+    pub fn with_memo_cap(mut self, cap: usize) -> Self {
+        self.memo_cap = cap.max(1);
+        self
+    }
+
+    /// The per-setting verdict-memo capacity.
+    pub fn memo_cap(&self) -> usize {
+        self.memo_cap
     }
 
     /// Cumulative work/skip counters.
@@ -733,6 +759,7 @@ impl Monitor {
                 key,
                 &self.db,
                 &self.budget,
+                self.memo_cap,
                 &guard,
                 probe,
                 &mut self.counters,
@@ -887,7 +914,9 @@ impl Monitor {
             new_state,
             SettingVerdict::Decided(Verdict::Complete | Verdict::Incomplete(_))
         ) {
-            s.memoize(key, &new_state);
+            let evicted = s.memoize(key, &new_state, self.memo_cap);
+            self.counters.memo_evict += evicted;
+            probe.count("monitor.memo.evict", evicted);
         }
         let from = s.state.status();
         let to = new_state.status();
@@ -1144,7 +1173,9 @@ impl Monitor {
                     // Fast-path outcomes are memoized too, so a later
                     // revisit of this fingerprint replays them exactly.
                     Some(state) => {
-                        s.memoize(key, &state);
+                        let evicted = s.memoize(key, &state, self.memo_cap);
+                        self.counters.memo_evict += evicted;
+                        probe.count("monitor.memo.evict", evicted);
                         state
                     }
                     None => decide(
@@ -1152,6 +1183,7 @@ impl Monitor {
                         key,
                         &self.db,
                         &self.budget,
+                        self.memo_cap,
                         guard,
                         probe,
                         &mut self.counters,
@@ -1241,11 +1273,13 @@ fn apply_net(db: &mut Database, ins: &Database, del: &Database) {
 /// Full re-decision pipeline for one setting on the current database (the
 /// caller already computed the memo `key` and found no entry under it):
 /// plan-staleness replan, frontier resume, decide, memoize.
+#[allow(clippy::too_many_arguments)]
 fn decide(
     s: &mut Registered,
     key: u64,
     db: &Database,
     budget: &SearchBudget,
+    memo_cap: usize,
     guard: &Guard,
     probe: Probe<'_>,
     counters: &mut MonitorCounters,
@@ -1305,7 +1339,9 @@ fn decide(
         }
     };
     let state = SettingVerdict::Decided(verdict);
-    s.memoize(key, &state);
+    let evicted = s.memoize(key, &state, memo_cap);
+    counters.memo_evict += evicted;
+    probe.count("monitor.memo.evict", evicted);
     Ok(state)
 }
 

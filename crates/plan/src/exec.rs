@@ -3,7 +3,7 @@
 //!
 //! The executor is a direct loop over the compiled step list: each step
 //! either scans its relation or probes the pre-resolved column, matches the
-//! tuple against the step's arena'd column [`Action`]s (constants, equality
+//! tuple against the step's arena'd column `Action`s (constants, equality
 //! checks against bound slots, fresh binds), runs the inequality checks
 //! pinned to this step, and recurses. The only mutable state is the binding
 //! array inside a reusable [`PlanScratch`]; a candidate tuple that fails

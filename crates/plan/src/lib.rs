@@ -4,10 +4,10 @@
 //! atom first") for every call — and the deciders of `ric-complete` call it
 //! once per containment-constraint body per candidate valuation, millions of
 //! times per decision. This crate moves that choice out of the loop: a
-//! [`Tableau`] is compiled **once** into a [`PreparedPlan`] with
+//! [`Tableau`](ric_query::tableau::Tableau) is compiled **once** into a [`PreparedPlan`] with
 //!
 //! * a **fixed binding order** chosen by a cost model over per-relation
-//!   [`RelStats`] (cardinality × product of per-column selectivities,
+//!   [`RelStats`](ric_data::RelStats) (cardinality × product of per-column selectivities,
 //!   System-R style, greedy);
 //! * **pre-resolved index choices** — each step knows statically whether it
 //!   scans or probes, on which column, and with which key (a constant or an
@@ -21,7 +21,7 @@
 //!   [`PlanScratch`].
 //!
 //! Plans are *estimates-in, exactness-out*: statistics steer only the join
-//! order, so a stale, empty, or adversarially wrong [`RelStats`] can change
+//! order, so a stale, empty, or adversarially wrong [`RelStats`](ric_data::RelStats) can change
 //! timing but never answers. When no statistics are available the planner
 //! falls back to a static simulation of the greedy most-bound-first order
 //! ([`PreparedPlan::fallback`]), which is what the indexed engine would have
@@ -38,7 +38,9 @@ pub mod exec;
 pub mod planner;
 
 pub use exec::PlanScratch;
-pub use planner::{plan_tableau, plan_tableau_delta, DeltaPlans, PreparedPlan, StatsProvider};
+pub use planner::{
+    plan_tableau, plan_tableau_delta, CappedStats, DeltaPlans, PreparedPlan, StatsProvider,
+};
 
 #[cfg(test)]
 mod tests {

@@ -455,3 +455,111 @@ fn mark_bound(t: &Tableau, prefix: &[usize]) -> Vec<bool> {
     }
     bound
 }
+
+/// A [`StatsProvider`] decorator that clamps rows and per-column distinct
+/// counts to externally derived upper bounds — e.g. the chase-derived
+/// cardinality caps of the symbolic reasoner, which bound *every* legal
+/// database through the fixed master data. Like all statistics, caps are
+/// advisory: they steer join order and never change answers. Because the
+/// caps hold for every legal extension, a plan built against capped stats
+/// cannot be invalidated by database growth past the master bounds.
+pub struct CappedStats<'a, S: StatsProvider + ?Sized> {
+    inner: &'a S,
+    rows: std::collections::BTreeMap<RelId, usize>,
+    distinct: std::collections::BTreeMap<(RelId, usize), usize>,
+}
+
+impl<'a, S: StatsProvider + ?Sized> CappedStats<'a, S> {
+    /// Wrap a provider with no caps.
+    pub fn new(inner: &'a S) -> Self {
+        CappedStats {
+            inner,
+            rows: std::collections::BTreeMap::new(),
+            distinct: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Clamp the row count of `rel` to at most `limit` (tightest cap wins).
+    pub fn cap_rows(mut self, rel: RelId, limit: usize) -> Self {
+        let slot = self.rows.entry(rel).or_insert(limit);
+        *slot = (*slot).min(limit);
+        self
+    }
+
+    /// Clamp the distinct count of `rel`'s column `col` (tightest cap wins).
+    pub fn cap_distinct(mut self, rel: RelId, col: usize, limit: usize) -> Self {
+        let slot = self.distinct.entry((rel, col)).or_insert(limit);
+        *slot = (*slot).min(limit);
+        self
+    }
+
+    /// Number of caps installed.
+    pub fn len(&self) -> usize {
+        self.rows.len() + self.distinct.len()
+    }
+
+    /// Are there no caps?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty() && self.distinct.is_empty()
+    }
+}
+
+impl<S: StatsProvider + ?Sized> StatsProvider for CappedStats<'_, S> {
+    fn rel_stats(&self, rel: RelId) -> RelStats {
+        let mut st = self.inner.rel_stats(rel);
+        if let Some(&cap) = self.rows.get(&rel) {
+            st.rows = st.rows.min(cap);
+        }
+        for (col, d) in st.distinct.iter_mut().enumerate() {
+            if let Some(&cap) = self.distinct.get(&(rel, col)) {
+                *d = (*d).min(cap);
+            }
+        }
+        st
+    }
+}
+
+#[cfg(test)]
+mod capped_tests {
+    use super::*;
+
+    struct Fixed(RelStats);
+    impl StatsProvider for Fixed {
+        fn rel_stats(&self, _rel: RelId) -> RelStats {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn caps_clamp_rows_and_distinct_and_tightest_wins() {
+        let inner = Fixed(RelStats {
+            rows: 100,
+            distinct: vec![50, 80],
+        });
+        let capped = CappedStats::new(&inner)
+            .cap_rows(RelId(0), 40)
+            .cap_rows(RelId(0), 60)
+            .cap_distinct(RelId(0), 1, 10);
+        assert_eq!(capped.len(), 2);
+        let st = capped.rel_stats(RelId(0));
+        assert_eq!(st.rows, 40);
+        assert_eq!(st.distinct, vec![50, 10]);
+        // Uncapped relations pass through untouched.
+        let st1 = capped.rel_stats(RelId(1));
+        assert_eq!(st1.rows, 100);
+        assert_eq!(st1.distinct, vec![50, 80]);
+    }
+
+    #[test]
+    fn empty_caps_are_the_identity() {
+        let inner = Fixed(RelStats {
+            rows: 7,
+            distinct: vec![3],
+        });
+        let capped = CappedStats::new(&inner);
+        assert!(capped.is_empty());
+        let st = capped.rel_stats(RelId(2));
+        assert_eq!(st.rows, 7);
+        assert_eq!(st.distinct, vec![3]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Differential certification of symbolic conclusions.
+//!
+//! Every rewrite or static fact the reasoner proposes is checked against
+//! plain evaluation on a battery of seeded random databases before it is
+//! allowed to influence a decision — the same discipline the analyzer uses
+//! for certified query downgrades. Certification can only *reject* sound
+//! conclusions (a false alarm keeps the original, slower path); it can never
+//! admit an unsound one that the battery detects. The decision-level
+//! differential suites in `tests/` then pin the surviving conclusions
+//! verdict-, witness-, and counter-identical to the unmodified search.
+//!
+//! Half of the battery draws values from the setting's own pool (master
+//! data's active domain plus constraint and query constants) so constraints
+//! have a realistic chance of being satisfied; the other half draws small
+//! integers to probe generic shapes.
+
+use ric_complete::{Query, Setting};
+use ric_constraints::ConstraintSet;
+use ric_data::rng::SplitMix64;
+use ric_data::{Database, Schema, Tuple, Value};
+
+/// Rounds in every certification battery (mirrors the analyzer's certified
+/// downgrades).
+pub const CERTIFY_ROUNDS: u32 = 24;
+
+/// Build `V` restricted to the kept constraints (lower bounds are never
+/// dropped and are carried over unchanged).
+pub fn masked_constraints(v: &ConstraintSet, kept: &[bool]) -> ConstraintSet {
+    let mut out = ConstraintSet::new(
+        v.ccs
+            .iter()
+            .zip(kept.iter())
+            .filter(|(_, k)| **k)
+            .map(|(cc, _)| cc.clone())
+            .collect(),
+    );
+    out.lower_bounds = v.lower_bounds.clone();
+    out
+}
+
+/// Certify a kept-mask: on every sampled database, `D ⊨ V_min` must agree
+/// with `D ⊨ V` (upper constraints only — the lower bounds are untouched).
+/// Any evaluation error fails certification: a conclusion that cannot be
+/// checked is discarded, not trusted.
+pub fn certify_kept_mask(setting: &Setting, kept: &[bool], seed: u64) -> Result<(), String> {
+    if kept.len() != setting.v.ccs.len() {
+        return Err(format!(
+            "kept-mask arity mismatch: {} entries for {} constraints",
+            kept.len(),
+            setting.v.ccs.len()
+        ));
+    }
+    let v_min = masked_constraints(&setting.v, kept);
+    let pool = value_pool(setting);
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    for round in 0..CERTIFY_ROUNDS {
+        let db = sample_database(&setting.schema, &mut rng, 8, round_pool(round, &pool));
+        let full = setting
+            .v
+            .upper_satisfied(&db, &setting.dm)
+            .map_err(|e| format!("round {round}: full V evaluation failed: {e:?}"))?;
+        let min = v_min
+            .upper_satisfied(&db, &setting.dm)
+            .map_err(|e| format!("round {round}: minimized V evaluation failed: {e:?}"))?;
+        if full != min {
+            return Err(format!(
+                "round {round}: minimized V disagrees with V (full={full}, minimized={min})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Certify a static unsatisfiability verdict: on every sampled database that
+/// satisfies `V`, the query must evaluate to the empty answer.
+pub fn certify_unsat(setting: &Setting, query: &Query, seed: u64) -> Result<(), String> {
+    let pool = value_pool(setting);
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    for round in 0..CERTIFY_ROUNDS {
+        let db = sample_database(&setting.schema, &mut rng, 8, round_pool(round, &pool));
+        let legal = setting
+            .v
+            .satisfied(&db, &setting.dm)
+            .map_err(|e| format!("round {round}: V evaluation failed: {e:?}"))?;
+        if !legal {
+            continue;
+        }
+        let ans = query
+            .eval(&db)
+            .map_err(|e| format!("round {round}: query evaluation failed: {e:?}"))?;
+        if !ans.is_empty() {
+            return Err(format!(
+                "round {round}: query returned {} answers on a V-consistent database claimed unsatisfiable",
+                ans.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Certify a cover fact `Q ⊆ body(φ_j)`: on every sampled database — legal
+/// or not, containment is a pure query property — the query's answers must
+/// be a subset of the body's answers.
+pub fn certify_cover(setting: &Setting, query: &Query, cc: usize, seed: u64) -> Result<(), String> {
+    let Some(target) = setting.v.ccs.get(cc) else {
+        return Err(format!(
+            "cover certification against unknown constraint {cc}"
+        ));
+    };
+    let pool = value_pool(setting);
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    for round in 0..CERTIFY_ROUNDS {
+        let db = sample_database(&setting.schema, &mut rng, 8, round_pool(round, &pool));
+        let q_ans = query
+            .eval(&db)
+            .map_err(|e| format!("round {round}: query evaluation failed: {e:?}"))?;
+        let body_ans = target
+            .body
+            .eval(&db)
+            .map_err(|e| format!("round {round}: body evaluation failed: {e:?}"))?;
+        if !q_ans.is_subset(&body_ans) {
+            return Err(format!(
+                "round {round}: query answer escapes the covering body (|Q|={}, |body|={})",
+                q_ans.len(),
+                body_ans.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Values likely to matter for this setting: the master data's active domain
+/// plus every constraint and lower-bound constant.
+fn value_pool(setting: &Setting) -> Vec<Value> {
+    let mut pool: Vec<Value> = setting.dm.active_domain().iter().cloned().collect();
+    for v in setting.v.constants() {
+        if !pool.contains(&v) {
+            pool.push(v);
+        }
+    }
+    pool
+}
+
+/// Alternate pool-biased and generic rounds.
+fn round_pool(round: u32, pool: &[Value]) -> &[Value] {
+    if round.is_multiple_of(2) {
+        &[]
+    } else {
+        pool
+    }
+}
+
+/// A random database over `schema`: up to `max_tuples` tuples per relation.
+/// Finite-domain columns draw from their domain; infinite columns draw from
+/// `pool` when one is supplied, otherwise small integers.
+pub fn sample_database(
+    schema: &Schema,
+    rng: &mut SplitMix64,
+    max_tuples: usize,
+    pool: &[Value],
+) -> Database {
+    let mut db = Database::empty(schema);
+    for (rel, rs) in schema.iter() {
+        let n = rng.random_range(0..max_tuples + 1);
+        'tuples: for _ in 0..n {
+            let mut vals = Vec::with_capacity(rs.arity());
+            for col in 0..rs.arity() {
+                let v = match schema.domain(rel, col) {
+                    Ok(d) if !d.is_infinite() => {
+                        let Some(choices) = d.finite_values() else {
+                            continue 'tuples;
+                        };
+                        if choices.is_empty() {
+                            continue 'tuples;
+                        }
+                        choices[rng.random_range(0..choices.len())].clone()
+                    }
+                    _ if !pool.is_empty() => pool[rng.random_range(0..pool.len())].clone(),
+                    _ => Value::int(rng.random_range(0..6) as i64),
+                };
+                vals.push(v);
+            }
+            db.insert(rel, Tuple::new(vals));
+        }
+    }
+    db
+}

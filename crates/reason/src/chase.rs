@@ -1,0 +1,236 @@
+//! A bounded chase of containment constraints over canonical databases.
+//!
+//! Chasing a canonical database `canon(d)` with a containment constraint
+//! `φ = q ⊆ p(R_m)` means evaluating `q` on `canon(d)` and recording the
+//! resulting *obligations*: tuples that must belong to `p(D_m)` in any legal
+//! database containing an image of `d`. Because every right-hand side lives
+//! in the fixed, closed-world master data, the chase never adds tuples to
+//! the database side — it saturates in a single round, and the only bound
+//! needed is a cap on the canonical database's size ([`MAX_CANON_ATOMS`]).
+//!
+//! Obligation classification (the soundness core of the crate):
+//!
+//! * a **denial hit** — `q(canon(d)) ≠ ∅` for a constraint with right-hand
+//!   side `∅` — is always specialization-robust: homomorphisms compose, so
+//!   any real match of `d` produces a real match of `q`;
+//! * an **all-constant obligation** `a ∉ p(D_m)` is robust because
+//!   specializations fix constants — `a` itself appears in `q(D)` for every
+//!   database `D` containing an image of `d`;
+//! * an obligation containing a frozen value is **fragile**: a
+//!   specialization may map the frozen value onto one that `p(D_m)` does
+//!   cover, so nothing is concluded from it.
+//!
+//! Only inequality-free constraint bodies participate: frozen values are
+//! pairwise distinct, so a canonical match of a body with `≠` conditions
+//! need not survive specializations that merge values.
+
+use crate::canon::CanonDb;
+use crate::MAX_CANON_ATOMS;
+use ric_complete::{Query, Setting};
+use ric_constraints::{CcRhs, ContainmentConstraint};
+use ric_data::{Tuple, Value};
+use ric_query::eval::eval_tableau;
+use ric_query::tableau::TableauError;
+use ric_query::{Cq, Tableau};
+use std::collections::BTreeSet;
+
+/// Precomputed per-setting reasoning context: usable constraint-body
+/// tableaux, right-hand sides evaluated on the fixed master data, and the
+/// constant set fresh values must avoid.
+pub(crate) struct ReasonEnv {
+    pub n_rels: usize,
+    /// Constants of `V`, `Q`, and the master data's active domain.
+    pub observe: BTreeSet<Value>,
+    /// Per constraint: inequality-free tableaux of its body, or `None` when
+    /// the body is outside the reasoned fragment (FO/FP, oversized, or every
+    /// disjunct carries inequalities).
+    pub bodies: Vec<Option<Vec<Tableau>>>,
+    /// Per constraint: `p(D_m)` for `Master` right-hand sides, `None` for
+    /// denials.
+    pub rhs_vals: Vec<Option<BTreeSet<Tuple>>>,
+    /// Human-readable notes about constraints excluded from reasoning.
+    pub degraded: Vec<(usize, String)>,
+}
+
+impl ReasonEnv {
+    pub fn build(setting: &Setting, query: &Query) -> ReasonEnv {
+        let n_rels = setting.schema.len();
+        let mut observe: BTreeSet<Value> = setting.v.constants();
+        observe.extend(query.constants());
+        observe.extend(setting.dm.active_domain().iter().cloned());
+        let mut bodies = Vec::with_capacity(setting.v.ccs.len());
+        let mut rhs_vals = Vec::with_capacity(setting.v.ccs.len());
+        let mut degraded = Vec::new();
+        for (i, cc) in setting.v.ccs.iter().enumerate() {
+            bodies.push(usable_tableaux(cc, setting, i, &mut degraded));
+            rhs_vals.push(match &cc.rhs {
+                CcRhs::Empty => None,
+                CcRhs::Master(p) => Some(p.eval(&setting.dm)),
+            });
+        }
+        ReasonEnv {
+            n_rels,
+            observe,
+            bodies,
+            rhs_vals,
+            degraded,
+        }
+    }
+
+    /// Freeze one query or constraint-body disjunct, or explain why not.
+    /// The disjunct's `≠` conditions are deliberately ignored: dropping them
+    /// only enlarges the query, which is sound for every use here (proving
+    /// the disjunct empty, or proving it contained in something).
+    pub fn freeze(&self, d: &Cq) -> Result<CanonDb, Frozen> {
+        let t = match Tableau::of(d) {
+            Ok(t) => t,
+            Err(TableauError::Unsatisfiable) => return Err(Frozen::Unsat),
+            Err(e) => return Err(Frozen::Degraded(format!("tableau rejected: {e:?}"))),
+        };
+        if t.atoms.len() > MAX_CANON_ATOMS {
+            return Err(Frozen::Degraded(format!(
+                "canonical database too large ({} atoms > {MAX_CANON_ATOMS})",
+                t.atoms.len()
+            )));
+        }
+        Ok(CanonDb::freeze(&t, self.n_rels, &self.observe))
+    }
+}
+
+/// Why a disjunct could not be frozen.
+pub(crate) enum Frozen {
+    /// The disjunct is unsatisfiable: it contributes nothing anywhere.
+    Unsat,
+    /// Outside the reasoned fragment; no conclusion may be drawn.
+    Degraded(String),
+}
+
+/// The fate of one disjunct after chasing its canonical database.
+pub(crate) enum Fate {
+    /// Contradictory side conditions: the disjunct has no match anywhere.
+    Unsat,
+    /// A specialization-robust violation of constraint `by`: no legal
+    /// database contains an image of this disjunct.
+    Killed { by: usize },
+    /// No robust violation found; the disjunct may fire on legal databases.
+    Open,
+    /// Outside the reasoned fragment.
+    Degraded(String),
+}
+
+/// Chase `canon(d)` with every usable constraint allowed by `usable` and
+/// classify the disjunct. `usable` receives the constraint index; implication
+/// tests exclude the candidate itself and already-dropped constraints.
+pub(crate) fn disjunct_fate(d: &Cq, env: &ReasonEnv, usable: impl Fn(usize) -> bool) -> Fate {
+    let canon = match env.freeze(d) {
+        Ok(c) => c,
+        Err(Frozen::Unsat) => return Fate::Unsat,
+        Err(Frozen::Degraded(why)) => return Fate::Degraded(why),
+    };
+    for (j, tabs) in env.bodies.iter().enumerate() {
+        if !usable(j) {
+            continue;
+        }
+        let Some(tabs) = tabs else { continue };
+        match &env.rhs_vals[j] {
+            // Denial: any canonical match is a robust violation.
+            None => {
+                if tabs.iter().any(|t| !eval_tableau(t, &canon.db).is_empty()) {
+                    return Fate::Killed { by: j };
+                }
+            }
+            // Master rhs: only an all-constant obligation missing from
+            // p(D_m) is robust.
+            Some(p_dm) => {
+                for t in tabs {
+                    for ans in eval_tableau(t, &canon.db) {
+                        if canon.all_constant(&ans) && !p_dm.contains(&ans) {
+                            return Fate::Killed { by: j };
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Fate::Open
+}
+
+/// Result of the canonical containment test `d ⊆ body(φ_j)`.
+pub(crate) enum Contained {
+    Yes,
+    No,
+    /// The left-hand side is unsatisfiable (trivially contained).
+    UnsatLhs,
+    /// Either side is outside the reasoned fragment.
+    Degraded,
+}
+
+/// Canonical containment of disjunct `d` in the body of constraint `j`: the
+/// frozen head of `d` must appear among the answers of some (inequality-free)
+/// body disjunct on `canon(d)`. Exact for inequality-free CQs against UCQs
+/// (Sagiv–Yannakakis); `d`'s own inequalities are ignored, which is sound for
+/// the `⊆` direction.
+pub(crate) fn canon_contained(d: &Cq, env: &ReasonEnv, j: usize) -> Contained {
+    let Some(tabs) = &env.bodies[j] else {
+        return Contained::Degraded;
+    };
+    let canon = match env.freeze(d) {
+        Ok(c) => c,
+        Err(Frozen::Unsat) => return Contained::UnsatLhs,
+        Err(Frozen::Degraded(_)) => return Contained::Degraded,
+    };
+    for t in tabs {
+        if eval_tableau(t, &canon.db).contains(&canon.frozen_head) {
+            return Contained::Yes;
+        }
+    }
+    Contained::No
+}
+
+/// The inequality-free tableaux of a constraint's body, or `None` (with a
+/// degradation note) when the body cannot participate in symbolic reasoning.
+fn usable_tableaux(
+    cc: &ContainmentConstraint,
+    setting: &Setting,
+    idx: usize,
+    degraded: &mut Vec<(usize, String)>,
+) -> Option<Vec<Tableau>> {
+    let Some(ucq) = cc.body.as_ucq(&setting.schema) else {
+        degraded.push((idx, "FO/FP body is outside the reasoned fragment".into()));
+        return None;
+    };
+    let mut out = Vec::with_capacity(ucq.disjuncts.len());
+    let mut skipped_neq = false;
+    for d in &ucq.disjuncts {
+        match Tableau::of(d) {
+            Ok(t) if !t.neqs.is_empty() => skipped_neq = true,
+            Ok(t) if t.atoms.len() > MAX_CANON_ATOMS => {
+                degraded.push((
+                    idx,
+                    "body disjunct too large for canonical evaluation".into(),
+                ));
+                return None;
+            }
+            Ok(t) => out.push(t),
+            // Unsatisfiable disjuncts contribute nothing to any answer.
+            Err(TableauError::Unsatisfiable) => {}
+            Err(e) => {
+                degraded.push((idx, format!("body tableau rejected: {e:?}")));
+                return None;
+            }
+        }
+    }
+    if out.is_empty() {
+        if skipped_neq {
+            degraded.push((
+                idx,
+                "every body disjunct carries inequalities; frozen matches need not survive specialization".into(),
+            ));
+        }
+        return None;
+    }
+    if skipped_neq {
+        degraded.push((idx, "body disjuncts with inequalities were skipped".into()));
+    }
+    Some(out)
+}

@@ -1,0 +1,234 @@
+//! Certified V-minimization.
+//!
+//! A constraint `φ_i` is *implied* by the rest of `V` (relative to the fixed
+//! master data) when every database satisfying `V \ {φ_i}` also satisfies
+//! `φ_i`. Dropping implied constraints shrinks the per-candidate recheck
+//! loop inside the deciders without changing which candidate extensions are
+//! legal — so verdicts, witnesses, and search counters are preserved
+//! exactly.
+//!
+//! Implication is established per body disjunct `d` of `φ_i` by chasing its
+//! canonical database with the kept constraints:
+//!
+//! * **Rule A (denial subsumption)** — some kept denial fires on
+//!   `canon(d)`, or a kept master constraint produces a robust all-constant
+//!   obligation missing from `p(D_m)`: then no legal database matches `d`
+//!   at all, and the disjunct imposes nothing.
+//! * **Rule B (containment subsumption)** — `φ_i = q_i ⊆ p_i(R_m)` and some
+//!   kept `φ_j = q_j ⊆ p_j(R_m)` with `d ⊆ q_j` (canonical test) and
+//!   `p_j(D_m) ⊆ p_i(D_m)` (direct evaluation on the fixed master data):
+//!   then `d(D) ⊆ q_j(D) ⊆ p_j(D_m) ⊆ p_i(D_m)` on every legal `D`.
+//!
+//! Two additional gates keep the rewrite observationally silent:
+//!
+//! * **constants preservation** — the deciders seed their candidate pool
+//!   from the constants of `V`; a drop that removed a constant would change
+//!   the search itself, so it is refused outright;
+//! * **certification** — every tentative drop is checked by
+//!   [`certify_kept_mask`] before it is committed; an uncertified drop is
+//!   discarded with a note, keeping the constraint in place.
+
+use crate::certify::certify_kept_mask;
+use crate::chase::{canon_contained, disjunct_fate, Contained, Fate, ReasonEnv};
+use crate::{ImpliedCc, ReasonNote};
+use ric_complete::{Guard, Setting};
+use ric_constraints::CcRhs;
+use ric_data::Value;
+use std::collections::BTreeSet;
+
+/// The outcome of a minimization pass.
+#[derive(Clone, Debug, Default)]
+pub struct Minimization {
+    /// Per-constraint keep flag (`false` = dropped as implied).
+    pub kept: Vec<bool>,
+    /// The dropped constraints with their justifying witnesses.
+    pub implied: Vec<ImpliedCc>,
+    /// Refused or degraded drops.
+    pub notes: Vec<ReasonNote>,
+}
+
+/// Greedy certified minimization: constraints are considered in order, and
+/// each drop is justified against the constraints still kept at that point —
+/// so two mutually implied constraints can never both disappear.
+pub(crate) fn minimize(
+    setting: &Setting,
+    env: &ReasonEnv,
+    guard: &Guard,
+    seed: u64,
+) -> (Minimization, bool) {
+    let n = setting.v.ccs.len();
+    let mut m = Minimization {
+        kept: vec![true; n],
+        ..Minimization::default()
+    };
+    // Try to drop the most expensive bodies first: when two constraints
+    // imply each other, the cheap one (an IND beats a CQ, fewer atoms beat
+    // more) should survive into the per-candidate recheck loop. Ties break
+    // on index for determinism.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(body_cost(&setting.v.ccs[i].body)), i));
+    for i in order {
+        if guard.check().is_some() {
+            return (m, true);
+        }
+        let Some(by) = implied_by_kept(setting, env, &m.kept, i) else {
+            continue;
+        };
+        if !constants_preserved(setting, &m.kept, i) {
+            m.notes.push(ReasonNote::Degraded {
+                place: format!("cc {i}"),
+                why: "drop refused: it would remove constants from the candidate pool".into(),
+            });
+            continue;
+        }
+        let mut tentative = m.kept.clone();
+        tentative[i] = false;
+        match certify_kept_mask(setting, &tentative, seed ^ (i as u64 + 1)) {
+            Ok(()) => {
+                m.kept[i] = false;
+                m.implied.push(ImpliedCc { cc: i, by });
+            }
+            Err(why) => m.notes.push(ReasonNote::Uncertified {
+                what: format!("drop of implied cc {i}"),
+                why,
+            }),
+        }
+    }
+    (m, false)
+}
+
+/// Certification-only application of externally supplied drop candidates, in
+/// order. This is the same gate the minimizer runs after its implication
+/// rules: a candidate whose drop fails differential certification is
+/// discarded with an [`ReasonNote::Uncertified`] note and the constraint
+/// stays. Exposed so suites can prove that deliberately wrong implications
+/// never reach a decision.
+pub fn apply_candidates(setting: &Setting, candidates: &[usize], seed: u64) -> Minimization {
+    let n = setting.v.ccs.len();
+    let mut m = Minimization {
+        kept: vec![true; n],
+        ..Minimization::default()
+    };
+    for &i in candidates {
+        if i >= n {
+            m.notes.push(ReasonNote::Uncertified {
+                what: format!("drop of cc {i}"),
+                why: format!("no such constraint (V has {n})"),
+            });
+            continue;
+        }
+        if !constants_preserved(setting, &m.kept, i) {
+            m.notes.push(ReasonNote::Degraded {
+                place: format!("cc {i}"),
+                why: "drop refused: it would remove constants from the candidate pool".into(),
+            });
+            continue;
+        }
+        let mut tentative = m.kept.clone();
+        tentative[i] = false;
+        match certify_kept_mask(setting, &tentative, seed ^ (i as u64 + 1)) {
+            Ok(()) => {
+                m.kept[i] = false;
+                m.implied.push(ImpliedCc {
+                    cc: i,
+                    by: Vec::new(),
+                });
+            }
+            Err(why) => m.notes.push(ReasonNote::Uncertified {
+                what: format!("drop of cc {i}"),
+                why,
+            }),
+        }
+    }
+    m
+}
+
+/// Is `φ_i` implied by the *kept* constraints other than itself? Returns the
+/// justifying constraint indices (one per disjunct, deduplicated).
+fn implied_by_kept(
+    setting: &Setting,
+    env: &ReasonEnv,
+    kept: &[bool],
+    i: usize,
+) -> Option<Vec<usize>> {
+    let cc = &setting.v.ccs[i];
+    // The dropped side may use its full body — inequalities and all: they
+    // only shrink the disjunct, and shrinking preserves both rules.
+    let ucq = cc.body.as_ucq(&setting.schema)?;
+    if ucq.disjuncts.is_empty() {
+        return None;
+    }
+    let usable = |j: usize| j != i && kept[j];
+    let mut by = BTreeSet::new();
+    for d in &ucq.disjuncts {
+        match disjunct_fate(d, env, usable) {
+            Fate::Unsat => continue,
+            Fate::Killed { by: j } => {
+                by.insert(j);
+                continue;
+            }
+            Fate::Degraded(_) => return None,
+            Fate::Open => {}
+        }
+        // Rule B needs a master rhs on both sides.
+        let CcRhs::Master(p_i) = &cc.rhs else {
+            return None;
+        };
+        let p_i_dm = p_i.eval(&setting.dm);
+        let mut covered = false;
+        for (j, rhs) in env.rhs_vals.iter().enumerate() {
+            if !usable(j) {
+                continue;
+            }
+            let Some(p_j_dm) = rhs else { continue };
+            if !p_j_dm.is_subset(&p_i_dm) {
+                continue;
+            }
+            match canon_contained(d, env, j) {
+                Contained::Yes | Contained::UnsatLhs => {
+                    by.insert(j);
+                    covered = true;
+                    break;
+                }
+                Contained::No | Contained::Degraded => {}
+            }
+        }
+        if !covered {
+            return None;
+        }
+    }
+    Some(by.into_iter().collect())
+}
+
+/// Relative evaluation cost of a constraint body in the per-candidate
+/// recheck loop (advisory only — it orders drop attempts, nothing else).
+fn body_cost(body: &ric_constraints::CcBody) -> usize {
+    use ric_constraints::CcBody;
+    match body {
+        CcBody::Proj(_) => 0,
+        CcBody::Cq(q) => 1 + q.atoms.len(),
+        CcBody::Ucq(u) => 1 + u.disjuncts.iter().map(|d| d.atoms.len()).sum::<usize>(),
+        // FO/FP bodies are never droppable (outside the reasoned fragment),
+        // so their cost only affects attempt order, not outcomes.
+        CcBody::Efo(_) | CcBody::Fo(_) | CcBody::Fp(_) => 2,
+    }
+}
+
+/// Would dropping `φ_i` remove constants from `V`'s pool? The deciders seed
+/// candidate tuples from `ConstraintSet::constants`, so the constant set
+/// must survive the drop exactly for decisions to stay bit-identical.
+fn constants_preserved(setting: &Setting, kept: &[bool], i: usize) -> bool {
+    let dropped: BTreeSet<Value> = setting.v.ccs[i].body.constants();
+    if dropped.is_empty() {
+        return true;
+    }
+    // `ConstraintSet::constants` collects body constants of the upper
+    // constraints only, so only kept bodies count toward preservation.
+    let mut remaining: BTreeSet<Value> = BTreeSet::new();
+    for (j, cc) in setting.v.ccs.iter().enumerate() {
+        if j != i && kept[j] {
+            remaining.extend(cc.body.constants());
+        }
+    }
+    dropped.is_subset(&remaining)
+}

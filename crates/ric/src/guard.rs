@@ -155,7 +155,7 @@ pub(crate) fn isolate<T>(
     }
 }
 
-/// [`rcdp`](ric_complete::rcdp), panic-isolated. Never panics: a panic
+/// [`rcdp`](fn@ric_complete::rcdp), panic-isolated. Never panics: a panic
 /// anywhere inside the decision (or an attached sink) becomes
 /// [`DecisionError::Panic`].
 pub fn try_rcdp(
@@ -293,7 +293,7 @@ pub fn try_rcdp_resumed_guarded(
     })
 }
 
-/// [`rcqp`](ric_complete::rcqp), panic-isolated. Never panics.
+/// [`rcqp`](fn@ric_complete::rcqp), panic-isolated. Never panics.
 pub fn try_rcqp(
     setting: &Setting,
     query: &Query,

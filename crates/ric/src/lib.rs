@@ -4,7 +4,8 @@
 //! and Floris Geerts, PODS 2009 / ACM TODS 35(4), 2010): given master data
 //! `D_m` and containment constraints `V`, decide whether a partially closed
 //! database `D` has complete information to answer a query `Q`
-//! ([`rcdp`]), and whether *any* such database exists ([`rcqp`]).
+//! ([`rcdp`](fn@rcdp)), and whether *any* such database exists
+//! ([`rcqp`](fn@rcqp)).
 //!
 //! ```
 //! use ric::prelude::*;
@@ -77,6 +78,7 @@
 mod analyzed;
 mod guard;
 mod prepared;
+mod reasoned;
 mod retry;
 
 pub use analyzed::{
@@ -92,6 +94,10 @@ pub use prepared::{
     prepare, try_rcdp_prepared, try_rcdp_prepared_probed, try_rcqp_prepared,
     try_rcqp_prepared_probed,
 };
+pub use reasoned::{
+    try_rcdp_static, try_rcdp_static_probed, try_rcqp_static, try_rcqp_static_probed,
+    ReasonedSetting,
+};
 pub use retry::{decide_query_with_retry, decide_with_retry, RetryOutcome, RetryPolicy};
 
 pub use ric_analysis as analysis;
@@ -100,7 +106,9 @@ pub use ric_constraints as constraints;
 pub use ric_data as data;
 pub use ric_mdm as mdm;
 pub use ric_monitor as monitor;
+pub use ric_plan as plan;
 pub use ric_query as query;
+pub use ric_reason as reason;
 pub use ric_reductions as reductions;
 pub use ric_telemetry as telemetry;
 
@@ -116,6 +124,7 @@ pub use ric_monitor::{
     Monitor, MonitorCounters, MonitorError, Op, SettingId, SettingVerdict, Status, Target, Txn,
     VerdictChange,
 };
+pub use ric_reason::{CapKind, CardinalityCap, CoverFact, ImpliedCc, ReasonNote, StaticFacts};
 pub use ric_telemetry::{
     Collector, Event, Explain, FaultSink, JsonlSink, Metrics, PrettySink, Probe, Report, Sink,
     SpanTree, TeeSink, TraceState,
@@ -135,6 +144,10 @@ pub mod prelude {
     pub use crate::prepared::{
         prepare, try_rcdp_prepared, try_rcdp_prepared_probed, try_rcqp_prepared,
         try_rcqp_prepared_probed,
+    };
+    pub use crate::reasoned::{
+        try_rcdp_static, try_rcdp_static_probed, try_rcqp_static, try_rcqp_static_probed,
+        ReasonedSetting,
     };
     pub use crate::retry::{decide_query_with_retry, decide_with_retry, RetryOutcome, RetryPolicy};
     pub use ric_analysis::{AnalysisReport, Code, Diagnostic, Pointer, Severity};
@@ -156,6 +169,7 @@ pub mod prelude {
         VerdictChange,
     };
     pub use ric_query::{parse_cq, parse_program, parse_ucq, Cq, Term, Ucq, Var};
+    pub use ric_reason::{ReasonNote, StaticFacts};
     pub use ric_telemetry::{Collector, Explain, Probe, Report, Sink, TraceState};
 }
 

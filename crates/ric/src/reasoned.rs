@@ -1,0 +1,182 @@
+//! Reasoned decisions: run the symbolic prover once, decide many times.
+//!
+//! [`ReasonedSetting::prepare`] runs [`ric_reason::reason`] over one
+//! `(setting, query)` pair and bakes its certified [`StaticFacts`] into the
+//! decision path three ways:
+//!
+//! * the per-candidate constraint recheck runs against the **minimized**
+//!   `V` — certified-implied constraints are dropped from the loop;
+//! * chase-derived **cardinality caps** clamp the planner statistics
+//!   (advisory only: join order, never answers);
+//! * **static verdicts** short-circuit the search entirely: a certified
+//!   statically-unsatisfiable query is `Complete` without enumerating a
+//!   single candidate, and a certified cover fact `Q ⊆ body(φ_j)` decides
+//!   `Complete` whenever `p_j(D_m) ⊆ Q(D)` holds at decision time.
+//!
+//! Partial closure is always checked against the **full** constraint set, so
+//! a reasoned decision accepts and rejects exactly the databases the
+//! unreasoned one does. The `reason_differential` suite pins reasoned
+//! decisions verdict-, witness-, and counter-identical to the plain
+//! prepared paths.
+
+use crate::guard::{isolate, Decision, DecisionError};
+use ric_complete::{Engine, PreparedSetting, Query, QueryVerdict, RcError, Setting, Verdict};
+use ric_data::{Database, Tuple};
+use ric_plan::CappedStats;
+use ric_reason::{CapKind, StaticFacts};
+use ric_telemetry::Probe;
+use std::collections::BTreeSet;
+
+/// A `(setting, query)` pair compiled through the symbolic prover: static
+/// facts plus a [`PreparedSetting`] over the minimized constraint set.
+pub struct ReasonedSetting {
+    /// The original setting; partial closure is gated on its full `V`.
+    setting: Setting,
+    /// The query the facts were derived for.
+    query: Query,
+    /// The certified static artifact.
+    facts: StaticFacts,
+    /// Prepared over the minimized setting, with cap-clamped statistics.
+    prepared: PreparedSetting,
+    /// `p_j(D_m)` of the covering constraint, precomputed.
+    cover_dm: Option<BTreeSet<Tuple>>,
+}
+
+impl ReasonedSetting {
+    /// Run the reasoner under `budget` and prepare the minimized setting for
+    /// `engine`, costing planned join orders from `stats_db` clamped by the
+    /// chase-derived cardinality caps.
+    pub fn prepare(
+        setting: &Setting,
+        query: &Query,
+        stats_db: &Database,
+        engine: Engine,
+        budget: &ric_complete::SearchBudget,
+    ) -> Result<ReasonedSetting, RcError> {
+        Self::prepare_probed(setting, query, stats_db, engine, budget, Probe::disabled())
+    }
+
+    /// [`ReasonedSetting::prepare`] with telemetry (`reason.*` counters).
+    pub fn prepare_probed(
+        setting: &Setting,
+        query: &Query,
+        stats_db: &Database,
+        engine: Engine,
+        budget: &ric_complete::SearchBudget,
+        probe: Probe<'_>,
+    ) -> Result<ReasonedSetting, RcError> {
+        let facts = ric_reason::reason_probed(setting, query, budget, probe);
+        let mut stats = CappedStats::new(stats_db);
+        for cap in &facts.caps {
+            stats = match cap.kind {
+                CapKind::Rows { limit } => stats.cap_rows(cap.rel, limit),
+                CapKind::DistinctAt { col, limit } => stats.cap_distinct(cap.rel, col, limit),
+            };
+        }
+        let prepared =
+            PreparedSetting::prepare_with_stats(facts.minimized_setting(setting), &stats, engine)?;
+        let cover_dm = facts.cover.map(|c| match &setting.v.ccs[c.cc].rhs {
+            ric_constraints::CcRhs::Master(p) => p.eval(&setting.dm),
+            // Cover facts are only derived for master right-hand sides.
+            ric_constraints::CcRhs::Empty => BTreeSet::new(),
+        });
+        Ok(ReasonedSetting {
+            setting: setting.clone(),
+            query: query.clone(),
+            facts,
+            prepared,
+            cover_dm,
+        })
+    }
+
+    /// The certified static artifact this preparation is built on.
+    pub fn facts(&self) -> &StaticFacts {
+        &self.facts
+    }
+
+    /// The query the facts were derived for.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// RCDP against the reasoned preparation: static verdicts first, then
+    /// the search over the minimized setting.
+    pub fn rcdp_probed(
+        &self,
+        db: &Database,
+        budget: &ric_complete::SearchBudget,
+        probe: Probe<'_>,
+    ) -> Result<Verdict, RcError> {
+        // The input contract is checked against the FULL constraint set, so
+        // reasoned and unreasoned paths accept exactly the same inputs.
+        if !self.setting.partially_closed(db)? {
+            return Err(RcError::NotPartiallyClosed);
+        }
+        if self.facts.statically_complete {
+            probe.count("reason.static_verdict", 1);
+            probe.note("rcdp.outcome", || "complete".into());
+            return Ok(Verdict::Complete);
+        }
+        if let Some(p_dm) = &self.cover_dm {
+            // Q ⊆ body(φ_j) ⊆ p_j(R_m) is certified, so on every legal
+            // extension Q(D ∪ ΔD) ⊆ p_j(D_m); if p_j(D_m) ⊆ Q(D) already,
+            // monotonicity closes the loop: Q(D ∪ ΔD) = Q(D).
+            let q_ans = self.query.eval(db)?;
+            if p_dm.is_subset(&q_ans) {
+                probe.count("reason.cover_hit", 1);
+                probe.note("rcdp.outcome", || "complete".into());
+                return Ok(Verdict::Complete);
+            }
+            probe.count("reason.cover_miss", 1);
+        }
+        self.prepared.rcdp_probed(&self.query, db, budget, probe)
+    }
+
+    /// RCQP through the minimized preparation (no static shortcut: RCQP's
+    /// existential form is not decided by the RCDP facts).
+    pub fn rcqp_probed(
+        &self,
+        budget: &ric_complete::SearchBudget,
+        probe: Probe<'_>,
+    ) -> Result<QueryVerdict, RcError> {
+        self.prepared.rcqp_probed(&self.query, budget, probe)
+    }
+}
+
+/// [`crate::try_rcdp`] against a [`ReasonedSetting`]: certified static
+/// verdicts short-circuit the search, everything else runs over the
+/// minimized constraint set.
+pub fn try_rcdp_static(
+    reasoned: &ReasonedSetting,
+    db: &Database,
+    budget: &ric_complete::SearchBudget,
+) -> Result<Verdict, DecisionError> {
+    try_rcdp_static_probed(reasoned, db, budget, Probe::disabled()).map(|d| d.verdict)
+}
+
+/// [`try_rcdp_static`] with a telemetry probe attached.
+pub fn try_rcdp_static_probed(
+    reasoned: &ReasonedSetting,
+    db: &Database,
+    budget: &ric_complete::SearchBudget,
+    probe: Probe<'_>,
+) -> Result<Decision<Verdict>, DecisionError> {
+    isolate(probe, |p| reasoned.rcdp_probed(db, budget, p))
+}
+
+/// [`crate::try_rcqp`] against a [`ReasonedSetting`].
+pub fn try_rcqp_static(
+    reasoned: &ReasonedSetting,
+    budget: &ric_complete::SearchBudget,
+) -> Result<QueryVerdict, DecisionError> {
+    try_rcqp_static_probed(reasoned, budget, Probe::disabled()).map(|d| d.verdict)
+}
+
+/// [`try_rcqp_static`] with a telemetry probe attached.
+pub fn try_rcqp_static_probed(
+    reasoned: &ReasonedSetting,
+    budget: &ric_complete::SearchBudget,
+    probe: Probe<'_>,
+) -> Result<Decision<QueryVerdict>, DecisionError> {
+    isolate(probe, |p| reasoned.rcqp_probed(budget, p))
+}

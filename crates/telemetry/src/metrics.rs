@@ -1,7 +1,7 @@
 //! A small metrics registry: log-bucketed histograms plus counter/gauge
 //! totals, with Prometheus-text and JSON snapshot exporters.
 //!
-//! The registry is the aggregation layer *above* [`Report`](crate::Report):
+//! The registry is the aggregation layer *above* [`Report`]:
 //! a report summarises one decision, a [`Metrics`] accumulates many (a bench
 //! sweep, a service's request stream) into distributions. Everything is
 //! integer arithmetic over fixed bucket boundaries, so merging two

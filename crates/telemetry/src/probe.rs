@@ -2,7 +2,7 @@
 //!
 //! A probe is what the deciders actually hold: a `Copy` handle that is either
 //! disabled (the default — a `None` niche, so emissions cost one branch) or
-//! attached to a [`Sink`](crate::Sink). Instrumented code never pays for
+//! attached to a [`Sink`]. Instrumented code never pays for
 //! formatting, clocks, or allocation unless a sink is attached.
 //!
 //! # Hierarchical spans

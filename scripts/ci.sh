@@ -11,42 +11,59 @@
 #                              RIC_WORKERS={1,4} matrix: the cost-based
 #                              planned engine must be verdict-identical to
 #                              the indexed engine on every decision)
-#   6. checkpoint/resume      (cargo test --test resume_differential, then a
+#   6. reason A/B             (cargo test --test reason_differential, then a
+#                              RIC_WORKERS={1,4} matrix: the symbolic
+#                              pre-decision prover — certified V-minimization
+#                              and static verdicts — must be verdict- and
+#                              witness-identical to the full-V prepared path)
+#   7. checkpoint/resume      (cargo test --test resume_differential, then a
 #                              RIC_RESUME_K=2,5 x RIC_WORKERS={1,4} matrix:
 #                              K-installment decisions must be identical to
 #                              uninterrupted runs)
-#   7. monitor differential   (cargo test --test monitor_differential, then
+#   8. monitor differential   (cargo test --test monitor_differential, then
 #                              a RIC_TXN_BATCH={1,8} x RIC_WORKERS={1,4}
 #                              matrix: every incremental verdict must equal
 #                              a from-scratch decision after every txn) and
 #                              the monitor metamorphic suite (inversion,
-#                              coalescing, splitting, monotonicity)
-#   8. worker-panic faults    (guard_robustness quarantine/degradation/flush
+#                              coalescing, splitting, monotonicity) plus the
+#                              tombstone-edge suite (net no-op txns, digest
+#                              stability, capped-memo eviction)
+#   9. worker-panic faults    (guard_robustness quarantine/degradation/flush
 #                              tests plus the ric-trace torn-record suite)
-#   9. paper properties       (cargo test --test paper_properties)
-#  10. static analysis        (cargo test -p ric-analysis,
+#  10. paper properties       (cargo test --test paper_properties)
+#  11. static analysis        (cargo test -p ric-analysis, cargo test
+#                              -p ric-reason,
 #                              cargo test --test analysis_properties)
-#  11. bench artifacts        (regen_tables --deadline-ms guard; the run
+#  12. bench artifacts        (regen_tables --deadline-ms guard; the run
 #                              fails if any shipped workload draws an
 #                              Error-level analyzer diagnostic, and also
 #                              streams a JSONL decision trace; then a
 #                              bench_monitor regen smoke: BENCH_MONITOR.json
 #                              must report all_ok — >=5x median speedup and
-#                              verdict identity in every cell)
-#  12. trace smoke            (the trace_decision example and the
+#                              verdict identity in every cell; then a
+#                              bench_static regen smoke: BENCH_STATIC.json
+#                              must report all_ok — >=2x on redundant-V,
+#                              >=10x on statically-decidable cells, verdicts
+#                              identical everywhere)
+#  13. trace smoke            (the trace_decision example and the
 #                              regen_tables --trace stream must round-trip
 #                              through the ric-trace CLI: tree, prune, plan,
 #                              and diff all parse and render; a malformed
 #                              trace is rejected with a nonzero exit)
-#  13. disabled probes        (cargo test -p ric-telemetry disabled_probe:
+#  14. disabled probes        (cargo test -p ric-telemetry disabled_probe:
 #                              Probe::disabled adds zero events, traced or
 #                              not)
-#  14. full test suite        (cargo test -q -- --include-ignored)
-#  15. formatting             (cargo fmt --check)
-#  16. lints                  (cargo clippy --all-targets -D warnings)
-#  17. lints, workspace       (cargo clippy --workspace -D warnings)
-#  18. lints, unwrap ban      (clippy -D clippy::unwrap_used/expect_used on
+#  15. full test suite        (cargo test -q -- --include-ignored)
+#  16. determinism lint       (scripts/lint_determinism.sh: no std hash
+#                              containers or wall-clock reads in library
+#                              crates outside the audited allowlist)
+#  17. formatting             (cargo fmt --check)
+#  18. lints                  (cargo clippy --all-targets -D warnings)
+#  19. lints, workspace       (cargo clippy --workspace -D warnings)
+#  20. lints, unwrap ban      (clippy -D clippy::unwrap_used/expect_used on
 #                              library code; tests are exempt via clippy.toml)
+#  21. docs                   (RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps:
+#                              broken intra-doc links are build errors)
 #
 # Everything runs with --offline: the default build has zero third-party
 # dependencies, so no network access is ever required. The proptest suites
@@ -93,6 +110,18 @@ for workers in 1 4; do
   RIC_WORKERS="${workers}" cargo test -q --offline --test plan_differential
 done
 
+# Reason A/B: the symbolic pre-decision prover may drop implied constraints
+# and short-circuit statically decided settings, but every verdict, witness,
+# and pinned counter must match the full-V prepared path. The suite honours
+# RIC_WORKERS, so pin the single-worker and 4-worker pools explicitly
+# alongside the default run.
+step "reason differential suite (reasoned vs full-V verdict identity, default)"
+cargo test -q --offline --test reason_differential
+for workers in 1 4; do
+  step "reason differential suite (RIC_WORKERS=${workers})"
+  RIC_WORKERS="${workers}" cargo test -q --offline --test reason_differential
+done
+
 # Resume equivalence: a decision finished in K installments must be
 # verdict-, witness-, and counter-identical to one uninterrupted run. The
 # suite honours RIC_RESUME_K and RIC_WORKERS, so pin the K x workers matrix
@@ -126,6 +155,12 @@ done
 step "monitor metamorphic suite (inversion, coalescing, splitting, monotonicity)"
 cargo test -q --offline --test monitor_metamorphic
 
+# Tombstone edges: insert→delete and delete→reinsert within one txn are net
+# no-ops, the state digest is content-addressed (stable across commuting op
+# orderings), and a capacity-1 verdict memo evicts without changing verdicts.
+step "monitor tombstone-edge suite (net no-ops, digest stability, memo cap)"
+cargo test -q --offline --test monitor_tombstone_edges
+
 # Worker-death fault matrix: an injected mid-chunk panic must recover (one
 # death) or degrade Parallel -> Indexed (repeated deaths), never change a
 # verdict; the panic path must still flush buffered telemetry sinks.
@@ -140,6 +175,7 @@ cargo test -q --offline --test paper_properties
 
 step "static analysis suite (diagnostics, certified downgrades, gated dispatch)"
 cargo test -q --offline -p ric-analysis
+cargo test -q --offline -p ric-reason
 cargo test -q --offline --test analysis_properties
 
 # Regenerate the bench artifacts under a wall-clock guard. regen_tables runs
@@ -161,6 +197,17 @@ step "monitor bench regeneration (BENCH_MONITOR.json, >=5x + verdict identity)"
 cargo run -q --release --offline -p ric-bench --bin bench_monitor > /dev/null
 grep -q '"all_ok": true' BENCH_MONITOR.json || {
   echo "ci.sh: BENCH_MONITOR.json regenerated with all_ok != true" >&2
+  exit 1
+}
+
+# Static-reasoning bench smoke: regenerate BENCH_STATIC.json in place and
+# require the artifact's own verdict — the run fails if the redundant-V cells
+# miss >=2x, the statically-decidable cells miss >=10x, or any repetition sees
+# a reasoned/full-V verdict mismatch.
+step "static-reasoning bench regeneration (BENCH_STATIC.json, >=2x/>=10x + verdict identity)"
+cargo run -q --release --offline -p ric-bench --bin bench_static > /dev/null
+grep -q '"all_ok": true' BENCH_STATIC.json || {
+  echo "ci.sh: BENCH_STATIC.json regenerated with all_ok != true" >&2
   exit 1
 }
 
@@ -192,6 +239,12 @@ cargo test -q --offline -p ric-telemetry disabled_probe
 step "tests (full: --include-ignored picks up the heavy instances)"
 cargo test -q --offline -- --include-ignored
 
+# Determinism lint: std hash containers and wall-clock reads in library
+# crates are banned outside the audited allowlist — either would let run-to-
+# run nondeterminism leak into verdicts, witnesses, or artifacts.
+step "determinism lint (no HashMap/HashSet or wall-clock in library crates)"
+bash scripts/lint_determinism.sh
+
 step "formatting"
 cargo fmt --all -- --check
 
@@ -209,7 +262,12 @@ cargo clippy --workspace --offline -- -D warnings
 # error or an explicit unreachable!() with its justification. Tests keep
 # unwrap ergonomics via clippy.toml (allow-unwrap-in-tests/expect-in-tests).
 step "clippy (unwrap/expect ban on library code)"
-cargo clippy --offline -p ric-complete -p ric -p ric-plan -p ric-monitor -- \
+cargo clippy --offline -p ric-complete -p ric -p ric-plan -p ric-monitor -p ric-reason -- \
   -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+# Docs are part of the API contract: a broken intra-doc link or malformed
+# doc attribute fails CI rather than shipping a dead reference.
+step "docs (rustdoc, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
 
 printf '\nci.sh: all checks passed\n'
